@@ -1,0 +1,405 @@
+//! Optimized kernels: blocked parallel matmul, im2col convolution, and
+//! vector-friendly element-wise loops — the AVX/TF-C class of performance
+//! the Node.js backend gets by binding to the TensorFlow C library
+//! (paper Sec 4.2).
+
+use crate::parallel::parallel_for_slices;
+use webml_core::conv_util::Conv2dInfo;
+
+/// Batched matmul `[b, m, k] x [b, k, n]` with transposes, parallel over
+/// output rows, ikj loop order for contiguous vectorizable inner loops.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul(
+    a: &[f32],
+    b: &[f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    threads: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; batch * m * n];
+    for bi in 0..batch {
+        // Materialize row-major A [m,k] and B [k,n] so the inner loops are
+        // contiguous (the copies are O(mk + kn), negligible vs O(mkn)).
+        let a_mat = gather_matrix(&a[bi * m * k..(bi + 1) * m * k], m, k, transpose_a);
+        let b_mat = gather_matrix(&b[bi * k * n..(bi + 1) * k * n], k, n, transpose_b);
+        let out_b = &mut out[bi * m * n..(bi + 1) * m * n];
+        parallel_for_slices(out_b, m, n, threads, |rows, chunk| {
+            for (local_i, i) in rows.enumerate() {
+                let out_row = &mut chunk[local_i * n..(local_i + 1) * n];
+                let a_row = &a_mat[i * k..(i + 1) * k];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_mat[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+fn gather_matrix(src: &[f32], rows: usize, cols: usize, transposed: bool) -> Vec<f32> {
+    if !transposed {
+        return src.to_vec();
+    }
+    // src is [cols, rows] and we want row-major [rows, cols].
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * cols + c] = src[c * rows + r];
+        }
+    }
+    out
+}
+
+/// conv2d via im2col + blocked matmul.
+pub fn conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    let c = info;
+    let patch = c.filter_height * c.filter_width * c.in_channels;
+    let rows = c.batch * c.out_height * c.out_width;
+    let mut cols = vec![0.0f32; rows * patch];
+    // Build the patch matrix in parallel over output rows.
+    parallel_for_slices(&mut cols, rows, patch, threads, |range, chunk| {
+        for (local, row) in range.enumerate() {
+            let oc_spatial = c.out_height * c.out_width;
+            let b = row / oc_spatial;
+            let rem = row % oc_spatial;
+            let oh = rem / c.out_width;
+            let ow = rem % c.out_width;
+            let dst = &mut chunk[local * patch..(local + 1) * patch];
+            let mut di = 0;
+            for fh in 0..c.filter_height {
+                let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+                for fw in 0..c.filter_width {
+                    let iw = (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                    if ih < 0 || ih >= c.in_height as isize || iw < 0 || iw >= c.in_width as isize {
+                        dst[di..di + c.in_channels].fill(0.0);
+                    } else {
+                        let base = ((b * c.in_height + ih as usize) * c.in_width + iw as usize)
+                            * c.in_channels;
+                        dst[di..di + c.in_channels].copy_from_slice(&x[base..base + c.in_channels]);
+                    }
+                    di += c.in_channels;
+                }
+            }
+        }
+    });
+    // [rows, patch] x [patch, out_c].
+    matmul(&cols, w, 1, rows, patch, c.out_channels, false, false, threads)
+}
+
+/// Depthwise conv2d, parallel over output pixels.
+pub fn depthwise_conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    let c = info.clone();
+    let mul = c.channel_mul;
+    let pixels = c.batch * c.out_height * c.out_width;
+    let stride = c.out_channels;
+    let mut out = vec![0.0f32; pixels * stride];
+    parallel_for_slices(&mut out, pixels, stride, threads, |range, chunk| {
+        for (local, pix) in range.enumerate() {
+            let spatial = c.out_height * c.out_width;
+            let b = pix / spatial;
+            let rem = pix % spatial;
+            let oh = rem / c.out_width;
+            let ow = rem % c.out_width;
+            let dst = &mut chunk[local * stride..(local + 1) * stride];
+            for fh in 0..c.filter_height {
+                let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+                if ih < 0 || ih >= c.in_height as isize {
+                    continue;
+                }
+                for fw in 0..c.filter_width {
+                    let iw = (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                    if iw < 0 || iw >= c.in_width as isize {
+                        continue;
+                    }
+                    let x_base =
+                        ((b * c.in_height + ih as usize) * c.in_width + iw as usize) * c.in_channels;
+                    let w_base = (fh * c.filter_width + fw) * c.in_channels * mul;
+                    if mul == 1 {
+                        // The common MobileNet case: contiguous multiply-add.
+                        let xs = &x[x_base..x_base + c.in_channels];
+                        let ws = &w[w_base..w_base + c.in_channels];
+                        for ((d, &xv), &wv) in dst.iter_mut().zip(xs).zip(ws) {
+                            *d += xv * wv;
+                        }
+                    } else {
+                        for ic in 0..c.in_channels {
+                            let xv = x[x_base + ic];
+                            for m in 0..mul {
+                                dst[ic * mul + m] += xv * w[w_base + ic * mul + m];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Gradient of conv2d w.r.t. input, gather form, parallel over input pixels.
+pub fn conv2d_backprop_input(dy: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    let c = info.clone();
+    let pixels = c.batch * c.in_height * c.in_width;
+    let stride = c.in_channels;
+    let mut dx = vec![0.0f32; pixels * stride];
+    parallel_for_slices(&mut dx, pixels, stride, threads, |range, chunk| {
+        for (local, pix) in range.enumerate() {
+            let spatial = c.in_height * c.in_width;
+            let b = pix / spatial;
+            let rem = pix % spatial;
+            let ih = rem / c.in_width;
+            let iw = rem % c.in_width;
+            let dst = &mut chunk[local * stride..(local + 1) * stride];
+            for fh in 0..c.filter_height {
+                // oh * stride_h = ih + pad_top - fh * dil_h, must divide.
+                let num_h = ih as isize + c.pad_top as isize - (fh * c.dilation_h) as isize;
+                if num_h < 0 || num_h % c.stride_h as isize != 0 {
+                    continue;
+                }
+                let oh = (num_h / c.stride_h as isize) as usize;
+                if oh >= c.out_height {
+                    continue;
+                }
+                for fw in 0..c.filter_width {
+                    let num_w = iw as isize + c.pad_left as isize - (fw * c.dilation_w) as isize;
+                    if num_w < 0 || num_w % c.stride_w as isize != 0 {
+                        continue;
+                    }
+                    let ow = (num_w / c.stride_w as isize) as usize;
+                    if ow >= c.out_width {
+                        continue;
+                    }
+                    let dy_base =
+                        ((b * c.out_height + oh) * c.out_width + ow) * c.out_channels;
+                    let w_base = (fh * c.filter_width + fw) * c.in_channels * c.out_channels;
+                    for (ic, d) in dst.iter_mut().enumerate() {
+                        let w_row = &w[w_base + ic * c.out_channels..w_base + (ic + 1) * c.out_channels];
+                        let dy_row = &dy[dy_base..dy_base + c.out_channels];
+                        let mut acc = 0.0f32;
+                        for (&g, &wv) in dy_row.iter().zip(w_row) {
+                            acc += g * wv;
+                        }
+                        *d += acc;
+                    }
+                }
+            }
+        }
+    });
+    dx
+}
+
+/// Gradient of conv2d w.r.t. filter, gather form, parallel over filter rows.
+pub fn conv2d_backprop_filter(x: &[f32], dy: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    let c = info.clone();
+    let positions = c.filter_height * c.filter_width * c.in_channels;
+    let stride = c.out_channels;
+    let mut dw = vec![0.0f32; positions * stride];
+    parallel_for_slices(&mut dw, positions, stride, threads, |range, chunk| {
+        for (local, pos) in range.enumerate() {
+            let fh = pos / (c.filter_width * c.in_channels);
+            let rem = pos % (c.filter_width * c.in_channels);
+            let fw = rem / c.in_channels;
+            let ic = rem % c.in_channels;
+            let dst = &mut chunk[local * stride..(local + 1) * stride];
+            for b in 0..c.batch {
+                for oh in 0..c.out_height {
+                    let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+                    if ih < 0 || ih >= c.in_height as isize {
+                        continue;
+                    }
+                    for ow in 0..c.out_width {
+                        let iw =
+                            (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                        if iw < 0 || iw >= c.in_width as isize {
+                            continue;
+                        }
+                        let xv = x[((b * c.in_height + ih as usize) * c.in_width + iw as usize)
+                            * c.in_channels
+                            + ic];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let dy_base =
+                            ((b * c.out_height + oh) * c.out_width + ow) * c.out_channels;
+                        let dy_row = &dy[dy_base..dy_base + c.out_channels];
+                        for (d, &g) in dst.iter_mut().zip(dy_row) {
+                            *d += xv * g;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    dw
+}
+
+/// Parallel element-wise unary map.
+pub fn unary_map(x: &[f32], threads: usize, f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    parallel_for_slices(&mut out, x.len(), 1, threads, |range, chunk| {
+        for (o, &v) in chunk.iter_mut().zip(&x[range]) {
+            *o = f(v);
+        }
+    });
+    out
+}
+
+/// Parallel element-wise binary map for equal shapes.
+pub fn binary_map(a: &[f32], b: &[f32], threads: usize, f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.len()];
+    parallel_for_slices(&mut out, a.len(), 1, threads, |range, chunk| {
+        for ((o, &u), &v) in chunk.iter_mut().zip(&a[range.clone()]) .zip(&b[range]) {
+            *o = f(u, v);
+        }
+    });
+    out
+}
+
+/// Suffix-broadcast binary map: `b` repeats every `b.len()` elements (the
+/// bias-add pattern `[n, h, w, c] + [c]`).
+pub fn binary_map_suffix(
+    a: &[f32],
+    b: &[f32],
+    threads: usize,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Vec<f32> {
+    let bl = b.len();
+    let mut out = vec![0.0f32; a.len()];
+    parallel_for_slices(&mut out, a.len(), 1, threads, |range, chunk| {
+        for (k, (o, &u)) in chunk.iter_mut().zip(&a[range.clone()]).enumerate() {
+            let i = range.start + k;
+            *o = f(u, b[i % bl]);
+        }
+    });
+    out
+}
+
+/// Parallel sum over the trailing `inner` elements of each of `outer` rows.
+pub fn reduce_last(x: &[f32], outer: usize, inner: usize, threads: usize, mean: bool) -> Vec<f32> {
+    let mut out = vec![0.0f32; outer];
+    parallel_for_slices(&mut out, outer, 1, threads, |range, chunk| {
+        for (o, row) in chunk.iter_mut().zip(x[range.start * inner..range.end * inner].chunks(inner)) {
+            let mut acc = 0.0f32;
+            for &v in row {
+                acc += v;
+            }
+            *o = if mean { acc / inner as f32 } else { acc };
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webml_core::conv_util::{conv2d_info, Padding};
+    use webml_core::kernels as reference;
+    use webml_core::shape::Shape;
+
+    fn close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "i={i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference_all_flags() {
+        let a: Vec<f32> = (0..2 * 5 * 7).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b: Vec<f32> = (0..2 * 7 * 3).map(|i| (i as f32 * 0.29).cos()).collect();
+        for ta in [false, true] {
+            for tb in [false, true] {
+                // Shapes adjusted so logical m=5, k=7, n=3 regardless of flags.
+                let got = matmul(&a, &b, 2, 5, 7, 3, ta, tb, 4);
+                let want = reference::matmul(&a, &b, 2, 5, 7, 3, ta, tb);
+                close(&got, &want, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let xs = Shape::new(vec![2, 9, 9, 4]);
+        let ws = Shape::new(vec![3, 3, 4, 8]);
+        let info = conv2d_info("t", &xs, &ws, (2, 2), Padding::Same, (1, 1)).unwrap();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.17).sin()).collect();
+        let w: Vec<f32> = (0..ws.size()).map(|i| (i as f32 * 0.37).cos()).collect();
+        close(&conv2d(&x, &w, &info, 4), &reference::conv2d(&x, &w, &info), 1e-3);
+    }
+
+    #[test]
+    fn conv2d_dilated_matches_reference() {
+        let xs = Shape::new(vec![1, 10, 10, 3]);
+        let ws = Shape::new(vec![3, 3, 3, 5]);
+        let info = conv2d_info("t", &xs, &ws, (1, 1), Padding::Valid, (2, 2)).unwrap();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.11).sin()).collect();
+        let w: Vec<f32> = (0..ws.size()).map(|i| (i as f32 * 0.23).cos()).collect();
+        close(&conv2d(&x, &w, &info, 2), &reference::conv2d(&x, &w, &info), 1e-3);
+    }
+
+    #[test]
+    fn depthwise_matches_reference() {
+        use webml_core::conv_util::depthwise_conv2d_info;
+        let xs = Shape::new(vec![2, 8, 8, 6]);
+        let ws = Shape::new(vec![3, 3, 6, 2]);
+        let info = depthwise_conv2d_info("t", &xs, &ws, (1, 1), Padding::Same, (1, 1)).unwrap();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.19).sin()).collect();
+        let w: Vec<f32> = (0..ws.size()).map(|i| (i as f32 * 0.41).cos()).collect();
+        close(&depthwise_conv2d(&x, &w, &info, 4), &reference::depthwise_conv2d(&x, &w, &info), 1e-4);
+    }
+
+    #[test]
+    fn conv_backprops_match_reference() {
+        let xs = Shape::new(vec![1, 6, 6, 3]);
+        let ws = Shape::new(vec![3, 3, 3, 4]);
+        let info = conv2d_info("t", &xs, &ws, (2, 2), Padding::Same, (1, 1)).unwrap();
+        let dy_len = info.out_shape().size();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.21).sin()).collect();
+        let w: Vec<f32> = (0..ws.size()).map(|i| (i as f32 * 0.33).cos()).collect();
+        let dy: Vec<f32> = (0..dy_len).map(|i| (i as f32 * 0.47).sin()).collect();
+        close(
+            &conv2d_backprop_input(&dy, &w, &info, 3),
+            &reference::conv2d_backprop_input(&dy, &w, &info),
+            1e-4,
+        );
+        close(
+            &conv2d_backprop_filter(&x, &dy, &info, 3),
+            &reference::conv2d_backprop_filter(&x, &dy, &info),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let a: Vec<f32> = (0..5000).map(|i| i as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..5000).map(|i| 1.0 + i as f32 * 0.02).collect();
+        let got = binary_map(&a, &b, 4, |x, y| x + y);
+        for i in 0..5000 {
+            assert_eq!(got[i], a[i] + b[i]);
+        }
+        let bias = vec![1.0f32, 2.0];
+        let got = binary_map_suffix(&a, &bias, 4, |x, y| x + y);
+        assert_eq!(got[0], a[0] + 1.0);
+        assert_eq!(got[1], a[1] + 2.0);
+        assert_eq!(got[4999], a[4999] + 2.0);
+        let got = unary_map(&a, 4, |x| x * 2.0);
+        assert_eq!(got[4321], a[4321] * 2.0);
+    }
+
+    #[test]
+    fn reduce_last_sums_rows() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(reduce_last(&x, 2, 3, 2, false), vec![6.0, 15.0]);
+        assert_eq!(reduce_last(&x, 2, 3, 2, true), vec![2.0, 5.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! A tiny scoped-thread work splitter (the backend's "thread pool").
+
+use std::ops::Range;
+
+/// Run `f` over `0..n` split into up to `threads` contiguous ranges, on
+/// scoped threads. Falls back to inline execution for a single thread or
+/// small `n`.
+pub fn parallel_for(n: usize, threads: usize, f: impl Fn(Range<usize>) + Sync) {
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            scope.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+/// Like [`parallel_for`] but hands each worker a disjoint `&mut` slice of
+/// `out` aligned with its range (`out.len()` must be `n * stride`).
+pub fn parallel_for_slices<T: Send>(
+    out: &mut [T],
+    n: usize,
+    stride: usize,
+    threads: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n * stride < 1024 {
+        f(0..n, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut start = 0;
+        let mut rest = out;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let take = (end - start) * stride;
+            let (head, tail) = rest.split_at_mut(take);
+            scope.spawn(move || f(start..end, head));
+            rest = tail;
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_whole_range_once() {
+        let count = AtomicUsize::new(0);
+        parallel_for(10_000, 4, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn slices_align_with_ranges() {
+        let n = 2048;
+        let stride = 3;
+        let mut out = vec![0usize; n * stride];
+        parallel_for_slices(&mut out, n, stride, 4, |range, chunk| {
+            for (k, i) in range.enumerate() {
+                for s in 0..stride {
+                    chunk[k * stride + s] = i;
+                }
+            }
+        });
+        for (i, v) in out.chunks(stride).enumerate() {
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let mut out = vec![0; 8];
+        parallel_for_slices(&mut out, 8, 1, 1, |range, chunk| {
+            for (k, i) in range.enumerate() {
+                chunk[k] = i * 2;
+            }
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}

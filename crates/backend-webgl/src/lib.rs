@@ -1,0 +1,580 @@
+//! # webml-backend-webgl
+//!
+//! The WebGL backend (paper Sec 4.1): kernels are fragment-shader programs
+//! executed over the [`webml_webgl_sim`] substrate through a
+//! `GPGPUContext`. Ops enqueue programs on the device command queue and
+//! return immediately; `read`/`read_sync` are the `data()`/`dataSync()`
+//! readback paths of Figures 2 and 3. Texture recycling, CPU paging,
+//! RGBA-texel packing, the layout squeeze optimization and per-device f16
+//! precision all come from the substrate and are switchable through
+//! [`WebGlConfig`] for the ablation benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod programs;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use webml_core::backend::{
+    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, KTensor, KernelTiming,
+    PoolOp, ReduceOp, UnaryOp,
+};
+use webml_core::conv_util::Conv2dInfo;
+use webml_core::dtype::{DType, TensorData};
+use webml_core::error::{Error, Result};
+use webml_core::shape::Shape;
+use webml_webgl_sim::context::{ContextConfig, GpgpuContext, TexHandle};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::pager::PagingPolicy;
+use webml_webgl_sim::shader::Program;
+
+/// Re-exported configuration of the underlying GPGPU context.
+pub type WebGlConfig = ContextConfig;
+
+struct Entry {
+    tex: TexHandle,
+    dtype: DType,
+}
+
+/// The WebGL backend over a simulated device.
+pub struct WebGlBackend {
+    name: String,
+    ctx: GpgpuContext,
+    store: Mutex<HashMap<DataId, Entry>>,
+    next_id: AtomicU64,
+}
+
+impl WebGlBackend {
+    /// Create a backend named `"webgl"` on the given device profile.
+    ///
+    /// # Errors
+    /// Fails when the device lacks float-texture support — callers should
+    /// fall back to a CPU backend, as TensorFlow.js does automatically.
+    pub fn new(profile: DeviceProfile, config: WebGlConfig) -> Result<WebGlBackend> {
+        Self::with_name("webgl", profile, config)
+    }
+
+    /// Create a backend with a custom registry name (used to register
+    /// multiple device profiles side by side, e.g. `webgl-integrated` and
+    /// `webgl-discrete` for Table 1).
+    ///
+    /// # Errors
+    /// Same as [`WebGlBackend::new`].
+    pub fn with_name(
+        name: impl Into<String>,
+        profile: DeviceProfile,
+        config: WebGlConfig,
+    ) -> Result<WebGlBackend> {
+        let name = name.into();
+        let ctx = GpgpuContext::new(profile, config)
+            .map_err(|e| Error::backend(&name, e.to_string()))?;
+        Ok(WebGlBackend { name, ctx, store: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) })
+    }
+
+    /// The underlying GPGPU context (for diagnostics and benchmarks).
+    pub fn context(&self) -> &GpgpuContext {
+        &self.ctx
+    }
+
+    fn handle(&self, id: DataId) -> Result<TexHandle> {
+        self.store
+            .lock()
+            .get(&id)
+            .map(|e| e.tex.clone())
+            .ok_or_else(|| Error::backend(&self.name, format!("unknown data id {id:?}")))
+    }
+
+    /// Handle re-viewed under the kernel's logical shape. Tensors share
+    /// data containers across free reshapes, so the stored layout may not
+    /// match the shape the op sees; the accessor math must.
+    fn view(&self, id: DataId, shape: &Shape) -> Result<TexHandle> {
+        let h = self.handle(id)?;
+        self.ctx
+            .relayout(&h, shape.dims())
+            .map_err(|e| Error::backend(&self.name, e.to_string()))
+    }
+
+    fn insert(&self, tex: TexHandle, dtype: DType) -> DataId {
+        let id = DataId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.store.lock().insert(id, Entry { tex, dtype });
+        id
+    }
+
+    fn run1(&self, program: Program, a: &TexHandle, dtype: DType) -> Result<DataId> {
+        let out = self
+            .ctx
+            .run(program, &[a])
+            .map_err(|e| Error::backend(&self.name, e.to_string()))?;
+        Ok(self.insert(out, dtype))
+    }
+
+    fn run_n(&self, program: Program, inputs: &[&TexHandle], dtype: DType) -> Result<DataId> {
+        let out = self
+            .ctx
+            .run(program, inputs)
+            .map_err(|e| Error::backend(&self.name, e.to_string()))?;
+        Ok(self.insert(out, dtype))
+    }
+
+    fn packing(&self) -> bool {
+        self.ctx.config().packing
+    }
+}
+
+fn to_tensor_data(vals: Vec<f32>, dtype: DType) -> TensorData {
+    TensorData::F32(vals).cast(dtype)
+}
+
+impl Backend for WebGlBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn register(&self, data: TensorData, dtype: DType) -> DataId {
+        let vals = data.to_f32_vec();
+        let n = vals.len();
+        let tex = self
+            .ctx
+            .upload(vals, &[n])
+            .expect("rank-1 upload always fits the texture limit checks");
+        self.insert(tex, dtype)
+    }
+
+    fn read_sync(&self, id: DataId) -> Result<TensorData> {
+        let (tex, dtype) = {
+            let store = self.store.lock();
+            let e = store
+                .get(&id)
+                .ok_or_else(|| Error::backend(&self.name, format!("unknown data id {id:?}")))?;
+            (e.tex.clone(), e.dtype)
+        };
+        let vals = self.ctx.read_sync(&tex).map_err(|e| Error::backend(&self.name, e.to_string()))?;
+        Ok(to_tensor_data(vals, dtype))
+    }
+
+    fn read(&self, id: DataId) -> DataFuture {
+        let (tex, dtype) = {
+            let store = self.store.lock();
+            match store.get(&id) {
+                Some(e) => (e.tex.clone(), e.dtype),
+                None => {
+                    return DataFuture::ready(Err(Error::backend(
+                        &self.name,
+                        format!("unknown data id {id:?}"),
+                    )))
+                }
+            }
+        };
+        let inner = self.ctx.read_async(&tex);
+        let (future, promise) = DataFuture::pending();
+        let backend_name = self.name.clone();
+        // Bridge the substrate future onto the engine future; the waiting
+        // thread parks until the device resolves (promise semantics).
+        std::thread::spawn(move || {
+            let result = inner
+                .wait()
+                .map(|vals| to_tensor_data(vals, dtype))
+                .map_err(|e| Error::backend(&backend_name, e));
+            promise.complete(result);
+        });
+        future
+    }
+
+    fn dispose_data(&self, id: DataId) {
+        if let Some(entry) = self.store.lock().remove(&id) {
+            self.ctx.dispose(&entry.tex);
+        }
+    }
+
+    fn memory(&self) -> BackendMemory {
+        let m = self.ctx.memory();
+        let store = self.store.lock();
+        BackendMemory {
+            num_buffers: store.len(),
+            num_bytes: m.bytes_in_gpu + m.pager.bytes_paged,
+            details: vec![
+                ("bytes_in_gpu".to_string(), m.bytes_in_gpu as f64),
+                ("bytes_paged".to_string(), m.pager.bytes_paged as f64),
+                ("page_outs".to_string(), m.pager.page_outs as f64),
+                ("page_ins".to_string(), m.pager.page_ins as f64),
+                ("recycler_hits".to_string(), m.recycler.hits as f64),
+                ("recycler_misses".to_string(), m.recycler.misses as f64),
+                ("programs_run".to_string(), m.programs_run as f64),
+            ],
+        }
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.ctx.epsilon()
+    }
+
+    fn float_precision(&self) -> u8 {
+        if self.ctx.profile().half_precision_only {
+            16
+        } else {
+            32
+        }
+    }
+
+    fn begin_timing(&self) {
+        self.ctx.begin_timing();
+    }
+
+    fn end_timing(&self) -> KernelTiming {
+        KernelTiming { kernel_ms: self.ctx.end_timing() }
+    }
+
+    fn unary(&self, op: UnaryOp, a: &KTensor<'_>) -> Result<DataId> {
+        let tex = self.view(a.data, a.shape)?;
+        let program = programs::unary(op, a.shape.0.clone(), self.packing());
+        self.run1(program, &tex, op.out_dtype(a.dtype))
+    }
+
+    fn binary(
+        &self,
+        op: BinaryOp,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        out_shape: &Shape,
+        out_dtype: DType,
+    ) -> Result<DataId> {
+        let ta = self.view(a.data, a.shape)?;
+        let tb = self.view(b.data, b.shape)?;
+        let program =
+            programs::binary(op, a.shape.0.clone(), b.shape.0.clone(), out_shape.0.clone(), self.packing());
+        self.run_n(program, &[&ta, &tb], out_dtype)
+    }
+
+    fn cast(&self, a: &KTensor<'_>, dtype: DType) -> Result<DataId> {
+        let tex = self.view(a.data, a.shape)?;
+        let program = programs::cast(a.shape.0.clone(), dtype);
+        self.run1(program, &tex, dtype)
+    }
+
+    fn reduce(&self, op: ReduceOp, a: &KTensor<'_>, axes: &[usize]) -> Result<DataId> {
+        let tex = self.view(a.data, a.shape)?;
+        let out_dims: Vec<usize> = a
+            .shape
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !axes.contains(i))
+            .map(|(_, &d)| d)
+            .collect();
+        let program = programs::reduce(op, a.shape.0.clone(), axes.to_vec(), out_dims);
+        self.run1(program, &tex, op.out_dtype(a.dtype))
+    }
+
+    fn arg_reduce(&self, op: ArgReduceOp, a: &KTensor<'_>, axis: usize) -> Result<DataId> {
+        let tex = self.view(a.data, a.shape)?;
+        let out_dims: Vec<usize> = a
+            .shape
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let program = programs::arg_reduce(op, a.shape.0.clone(), axis, out_dims);
+        self.run1(program, &tex, DType::I32)
+    }
+
+    fn matmul(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        let ta = self.view(a.data, a.shape)?;
+        let tb = self.view(b.data, b.shape)?;
+        let batch = a.shape.dim(0);
+        let (m, k) = if transpose_a {
+            (a.shape.dim(2), a.shape.dim(1))
+        } else {
+            (a.shape.dim(1), a.shape.dim(2))
+        };
+        let n = if transpose_b { b.shape.dim(1) } else { b.shape.dim(2) };
+        let program = programs::matmul(batch, m, k, n, transpose_a, transpose_b, self.packing());
+        self.run_n(program, &[&ta, &tb], DType::F32)
+    }
+
+    fn conv2d(&self, x: &KTensor<'_>, filter: &KTensor<'_>, info: &Conv2dInfo) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        self.run_n(programs::conv2d(info.clone(), self.packing()), &[&tx, &tw], DType::F32)
+    }
+
+    fn conv2d_backprop_input(
+        &self,
+        dy: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tdy = self.view(dy.data, dy.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        self.run_n(programs::conv2d_backprop_input(info.clone()), &[&tdy, &tw], DType::F32)
+    }
+
+    fn conv2d_backprop_filter(
+        &self,
+        x: &KTensor<'_>,
+        dy: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tdy = self.view(dy.data, dy.shape)?;
+        self.run_n(programs::conv2d_backprop_filter(info.clone()), &[&tx, &tdy], DType::F32)
+    }
+
+    fn depthwise_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        self.run_n(programs::depthwise_conv2d(info.clone()), &[&tx, &tw], DType::F32)
+    }
+
+    fn depthwise_conv2d_backprop_input(
+        &self,
+        dy: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tdy = self.view(dy.data, dy.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        self.run_n(programs::depthwise_conv2d_backprop_input(info.clone()), &[&tdy, &tw], DType::F32)
+    }
+
+    fn depthwise_conv2d_backprop_filter(
+        &self,
+        x: &KTensor<'_>,
+        dy: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tdy = self.view(dy.data, dy.shape)?;
+        self.run_n(programs::depthwise_conv2d_backprop_filter(info.clone()), &[&tx, &tdy], DType::F32)
+    }
+
+    fn pool2d(&self, op: PoolOp, x: &KTensor<'_>, info: &Conv2dInfo) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        self.run1(programs::pool2d(op, info.clone()), &tx, x.dtype)
+    }
+
+    fn pool2d_backprop(
+        &self,
+        op: PoolOp,
+        dy: &KTensor<'_>,
+        x: &KTensor<'_>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tdy = self.view(dy.data, dy.shape)?;
+        let tx = self.view(x.data, x.shape)?;
+        self.run_n(programs::pool2d_backprop(op, info.clone()), &[&tdy, &tx], DType::F32)
+    }
+
+    fn slice(&self, x: &KTensor<'_>, begin: &[usize], size: &[usize]) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        self.run1(programs::slice(x.shape.rank(), begin.to_vec(), size.to_vec()), &tx, x.dtype)
+    }
+
+    fn concat(&self, xs: &[KTensor<'_>], axis: usize) -> Result<DataId> {
+        let handles: Vec<TexHandle> = xs.iter().map(|t| self.view(t.data, t.shape)).collect::<Result<_>>()?;
+        let refs: Vec<&TexHandle> = handles.iter().collect();
+        let sizes: Vec<usize> = xs.iter().map(|t| t.shape.dim(axis)).collect();
+        let mut out_dims = xs[0].shape.0.clone();
+        out_dims[axis] = sizes.iter().sum();
+        self.run_n(programs::concat(sizes, axis, out_dims), &refs, xs[0].dtype)
+    }
+
+    fn transpose(&self, x: &KTensor<'_>, perm: &[usize]) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let out_dims: Vec<usize> = perm.iter().map(|&p| x.shape.dim(p)).collect();
+        self.run1(programs::transpose(perm.to_vec(), out_dims), &tx, x.dtype)
+    }
+
+    fn pad(&self, x: &KTensor<'_>, paddings: &[(usize, usize)], value: f32) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let out_dims: Vec<usize> =
+            x.shape.dims().iter().zip(paddings).map(|(&d, &(b, a))| d + b + a).collect();
+        self.run1(programs::pad(x.shape.0.clone(), paddings.to_vec(), value, out_dims), &tx, x.dtype)
+    }
+
+    fn gather(&self, x: &KTensor<'_>, indices: &KTensor<'_>, axis: usize) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let ti = self.view(indices.data, indices.shape)?;
+        let n_indices = indices.shape.size();
+        let mut out_dims = x.shape.0.clone();
+        out_dims[axis] = n_indices;
+        self.run_n(
+            programs::gather(x.shape.0.clone(), axis, n_indices, out_dims),
+            &[&tx, &ti],
+            x.dtype,
+        )
+    }
+
+    fn tile(&self, x: &KTensor<'_>, reps: &[usize]) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let out_dims: Vec<usize> =
+            x.shape.dims().iter().zip(reps).map(|(&d, &r)| d * r).collect();
+        self.run1(programs::tile(x.shape.0.clone(), out_dims), &tx, x.dtype)
+    }
+
+    fn reverse(&self, x: &KTensor<'_>, axes: &[usize]) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        self.run1(programs::reverse(x.shape.0.clone(), axes.to_vec(), x.shape.0.clone()), &tx, x.dtype)
+    }
+
+    fn select(
+        &self,
+        cond: &KTensor<'_>,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        out_shape: &Shape,
+    ) -> Result<DataId> {
+        let tc = self.view(cond.data, cond.shape)?;
+        let ta = self.view(a.data, a.shape)?;
+        let tb = self.view(b.data, b.shape)?;
+        self.run_n(
+            programs::select(cond.shape.0.clone(), a.shape.0.clone(), b.shape.0.clone(), out_shape.0.clone()),
+            &[&tc, &ta, &tb],
+            a.dtype,
+        )
+    }
+
+    fn one_hot(&self, indices: &KTensor<'_>, depth: usize, on: f32, off: f32) -> Result<DataId> {
+        let ti = self.view(indices.data, indices.shape)?;
+        let mut out_dims = indices.shape.0.clone();
+        out_dims.push(depth);
+        self.run1(programs::one_hot(depth, on, off, out_dims), &ti, DType::F32)
+    }
+
+    fn resize_bilinear(
+        &self,
+        x: &KTensor<'_>,
+        new_h: usize,
+        new_w: usize,
+        align_corners: bool,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        self.run1(
+            programs::resize_bilinear(x.shape.0.clone(), new_h, new_w, align_corners),
+            &tx,
+            DType::F32,
+        )
+    }
+}
+
+/// Convenience: a webgl backend on the integrated-GPU profile with default
+/// config and paging estimated from a 1080p screen.
+///
+/// # Errors
+/// Never in practice: the built-in profile supports float textures.
+pub fn default_webgl_backend() -> Result<WebGlBackend> {
+    let config = WebGlConfig { paging: PagingPolicy::from_screen(1920, 1080), ..Default::default() };
+    WebGlBackend::new(DeviceProfile::intel_iris_pro(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::ops;
+    use webml_core::Engine;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()).unwrap();
+        e.register_backend("webgl", Arc::new(backend), 2);
+        e
+    }
+
+    #[test]
+    fn matmul_on_webgl() {
+        let e = engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = e.tensor_2d(&[5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        let c = ops::matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn async_data_resolves() {
+        let e = engine();
+        let a = e.tensor_1d(&[2.0, 3.0]).unwrap();
+        let y = ops::square(&a).unwrap();
+        let fut = y.data().unwrap();
+        assert_eq!(fut.wait().unwrap().to_f32_vec(), vec![4.0, 9.0]);
+    }
+
+    #[test]
+    fn ops_return_before_device_finishes() {
+        let e = engine();
+        let a = e.rand_uniform([128, 128], -1.0, 1.0, 1).unwrap();
+        let t0 = std::time::Instant::now();
+        let mut y = ops::matmul(&a, &a, false, false).unwrap();
+        for _ in 0..5 {
+            y = ops::matmul(&y, &a, false, false).unwrap();
+        }
+        let enqueue_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Six chained 128x128 matmuls enqueue quickly; the Listing-2 style
+        // per-output dot products take much longer to actually run.
+        assert!(enqueue_ms < 100.0, "enqueue took {enqueue_ms} ms");
+        let vals = y.to_f32_vec().unwrap();
+        assert_eq!(vals.len(), 128 * 128);
+    }
+
+    #[test]
+    fn gradients_run_on_webgl() {
+        let e = engine();
+        let x = e.tensor_1d(&[3.0]).unwrap();
+        let g = e.grad(&x, || ops::sum(&ops::square(&x)?, None, false)).unwrap();
+        assert_eq!(g.to_f32_vec().unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn f16_device_underflows_small_epsilon() {
+        let e = Engine::new();
+        let backend =
+            WebGlBackend::new(DeviceProfile::ios_safari(), WebGlConfig::default()).unwrap();
+        e.register_backend("webgl", Arc::new(backend), 2);
+        // The paper's bug: log(x + eps) with the f32 default eps = 1e-8
+        // becomes log(x + 0) on a 16-bit device because 1e-8 rounds to 0...
+        let x = e.tensor_1d(&[0.0]).unwrap();
+        let tiny = e.scalar(1e-8).unwrap();
+        let y = ops::log(&ops::add(&x, &tiny).unwrap()).unwrap();
+        assert!(y.to_f32_vec().unwrap()[0].is_infinite(), "log(0 + 1e-8) must collapse to log(0)");
+        // ...and the per-device adjusted epsilon (1e-4) survives.
+        assert_eq!(e.epsilon(), 1e-4);
+        let eps = e.scalar(e.epsilon()).unwrap();
+        let z = ops::log(&ops::add(&x, &eps).unwrap()).unwrap();
+        assert!(z.to_f32_vec().unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn conv_and_pool_match_cpu_reference() {
+        let cpu = Engine::new();
+        cpu.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+        let gl = engine();
+        let vals: Vec<f32> = (0..8 * 8 * 3).map(|i| (i as f32 * 0.37).sin()).collect();
+        let wvals: Vec<f32> = (0..3 * 3 * 3 * 4).map(|i| (i as f32 * 0.19).cos()).collect();
+        let run = |e: &Engine| -> Vec<f32> {
+            let x = e.tensor_4d(&vals, 1, 8, 8, 3).unwrap();
+            let w = e.tensor_4d(&wvals, 3, 3, 3, 4).unwrap();
+            let y = ops::conv2d(&x, &w, (2, 2), webml_core::conv_util::Padding::Same, (1, 1)).unwrap();
+            let p = ops::max_pool(&y, (2, 2), (2, 2), webml_core::conv_util::Padding::Valid).unwrap();
+            p.to_f32_vec().unwrap()
+        };
+        let want = run(&cpu);
+        let got = run(&gl);
+        assert_eq!(want.len(), got.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! **E-map ablation** (paper Sec 4.1): the logical→physical layout
+//! optimization — squeezing unit dimensions out of the generated accessors
+//! (`getA(a,b,c,d)` ignoring `a` and `c` for a 1x3x1x2 tensor) — which the
+//! paper credits with a 1.3x average speedup. Squeezed vs naive accessor
+//! math on unit-dim-heavy broadcast workloads.
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::{ops, Engine};
+use webml_webgl_sim::devices::DeviceProfile;
+
+fn engine(squeeze: bool) -> Engine {
+    let e = Engine::new();
+    let mut config = WebGlConfig::default();
+    config.squeeze_layout = squeeze;
+    // Broadcast programs use the coordinate accessors this ablation
+    // targets; packing is orthogonal, leave it default.
+    let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+    e.register_backend("webgl", Arc::new(backend), 1);
+    e
+}
+
+/// Broadcast-heavy workload over shapes with unit dims (the paper's
+/// 1x3x1x2 pattern, scaled up): every sample goes through the layout's
+/// accessor math.
+fn unit_dim_pass(e: &Engine) -> usize {
+    e.tidy(|| {
+        let x = e.rand_uniform([1, 96, 1, 64], -1.0, 1.0, 1).unwrap();
+        let scale = e.rand_uniform([1, 96, 1, 1], 0.5, 1.5, 2).unwrap();
+        let bias = e.rand_uniform([1, 1, 1, 64], -0.5, 0.5, 3).unwrap();
+        let y = ops::add(&ops::mul(&x, &scale).unwrap(), &bias).unwrap();
+        let z = ops::mul(&y, &scale).unwrap();
+        let w = ops::add(&z, &bias).unwrap();
+        w.data_sync().unwrap().len()
+    })
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_layout_squeeze");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    for squeeze in [false, true] {
+        let label = if squeeze { "squeezed_logical_map" } else { "naive_full_rank_map" };
+        let e = engine(squeeze);
+        group.bench_function(label, |b| b.iter(|| unit_dim_pass(&e)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **E-pack ablation** (paper Sec 3.9): texel packing — storing floats in
+//! all 4 RGBA channels instead of only R — gave TensorFlow.js a 1.3–1.4x
+//! speedup on PoseNet. Here: a PoseNet-style conv stack plus a matmul chain
+//! on the webgl backend, packing on vs off.
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::conv_util::Padding;
+use webml_core::{ops, Engine};
+use webml_webgl_sim::devices::DeviceProfile;
+
+fn engine(packing: bool) -> Engine {
+    let e = Engine::new();
+    let mut config = WebGlConfig::default();
+    config.packing = packing;
+    let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+    e.register_backend("webgl", Arc::new(backend), 1);
+    e
+}
+
+/// A PoseNet-ish stack: strided convs + element-wise activations.
+fn posenet_like_pass(e: &Engine) -> usize {
+    e.tidy(|| {
+        let x = e.rand_uniform([1, 64, 64, 3], -1.0, 1.0, 1).unwrap();
+        let w1 = e.rand_uniform([3, 3, 3, 8], -0.5, 0.5, 2).unwrap();
+        let w2 = e.rand_uniform([3, 3, 8, 16], -0.5, 0.5, 3).unwrap();
+        let y = ops::conv2d(&x, &w1, (2, 2), Padding::Same, (1, 1)).unwrap();
+        let y = ops::relu6(&y).unwrap();
+        let y = ops::conv2d(&y, &w2, (2, 2), Padding::Same, (1, 1)).unwrap();
+        let y = ops::relu6(&y).unwrap();
+        let y = ops::add(&y, &y).unwrap();
+        y.data_sync().unwrap().len()
+    })
+}
+
+fn matmul_chain_pass(e: &Engine) -> usize {
+    e.tidy(|| {
+        let a = e.rand_uniform([96, 96], -1.0, 1.0, 4).unwrap();
+        let mut y = ops::matmul(&a, &a, false, false).unwrap();
+        for _ in 0..3 {
+            y = ops::matmul(&y, &a, false, false).unwrap();
+        }
+        y.data_sync().unwrap().len()
+    })
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_packing");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    for packing in [false, true] {
+        let label = if packing { "packed_rgba" } else { "unpacked_r_only" };
+        let e = engine(packing);
+        group.bench_function(format!("posenet_like/{label}"), |b| {
+            b.iter(|| posenet_like_pass(&e))
+        });
+        group.bench_function(format!("matmul_chain/{label}"), |b| {
+            b.iter(|| matmul_chain_pass(&e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **E-page ablation** (paper Sec 4.1.2): automatic paging keeps a leaky
+//! application alive past the GPU budget, at the cost of page-in/page-out
+//! copies. Measures the throughput cost of running under a tight threshold
+//! versus an unconstrained device, and the cost of touching paged tensors.
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::{ops, Engine, Tensor};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::pager::PagingPolicy;
+
+fn engine(paging: PagingPolicy) -> Engine {
+    let e = Engine::new();
+    let mut config = WebGlConfig::default();
+    config.paging = paging;
+    let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+    e.register_backend("webgl", Arc::new(backend), 1);
+    e
+}
+
+/// A working set larger than the tight threshold, touched round-robin so
+/// the pager keeps moving textures both ways.
+fn working_set_pass(_e: &Engine, set: &[Tensor]) -> f32 {
+    let mut acc = 0.0;
+    for t in set {
+        let y = ops::sum(t, None, false).unwrap();
+        acc += y.to_scalar().unwrap();
+        y.dispose();
+    }
+    acc
+}
+
+fn bench_paging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_paging");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    let scenarios = [
+        ("paging_off_fits", PagingPolicy::disabled()),
+        ("paging_on_tight_budget", PagingPolicy { enabled: true, threshold_bytes: 96 * 1024 }),
+    ];
+    for (label, policy) in scenarios {
+        let e = engine(policy);
+        // ~512 KB working set (8 tensors x 16K floats).
+        let set: Vec<Tensor> =
+            (0..8).map(|i| e.fill([16_384], i as f32, webml_core::DType::F32).unwrap()).collect();
+        group.bench_function(label, |b| b.iter(|| working_set_pass(&e, &set)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paging);
+criterion_main!(benches);

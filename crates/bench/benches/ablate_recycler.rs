@@ -1,0 +1,52 @@
+//! **E-recycle ablation** (paper Sec 4.1.2): "the texture recycler gives us
+//! significant performance wins since multiple passes through the same ML
+//! model often generate tensors of the same shapes." Repeated model passes
+//! with the recycler on vs off.
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::{ops, Engine};
+use webml_webgl_sim::devices::DeviceProfile;
+
+fn engine(recycling: bool) -> Engine {
+    let e = Engine::new();
+    let mut config = WebGlConfig::default();
+    config.recycling = recycling;
+    let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+    e.register_backend("webgl", Arc::new(backend), 1);
+    e
+}
+
+/// One "model pass": same shapes every time (the recycler's best case),
+/// allocation-heavy and compute-light so the texture-allocation cost the
+/// recycler avoids dominates.
+fn model_pass(e: &Engine, x: &webml_core::Tensor) -> usize {
+    e.tidy(|| {
+        let mut y = ops::relu(x).unwrap();
+        for _ in 0..7 {
+            y = ops::add(&y, x).unwrap();
+        }
+        y.data_sync().unwrap().len()
+    })
+}
+
+fn bench_recycler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_texture_recycler");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    for recycling in [false, true] {
+        let label = if recycling { "recycler_on" } else { "recycler_off" };
+        let e = engine(recycling);
+        let x = e.rand_uniform([1024 * 1024], -1.0, 1.0, 1).unwrap();
+        // Prime: first pass allocates either way.
+        model_pass(&e, &x);
+        group.bench_function(label, |b| b.iter(|| model_pass(&e, &x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recycler);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! **E-quant / E-shard** (paper Sec 5.1): converter throughput — weight
+//! quantization (4x/2x size reduction), dequantization on load, and 4 MB
+//! sharding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use webml_converter::{quantize::Quantization, shard};
+
+fn bench_converter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("converter");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    // A MobileNet-α0.25-scale weight buffer (~470K floats).
+    let weights: Vec<f32> = (0..470_000).map(|i| ((i as f32) * 0.137).sin()).collect();
+
+    group.bench_function("quantize_u8", |b| {
+        b.iter(|| Quantization::U8.quantize(&weights).0.len())
+    });
+    group.bench_function("quantize_u16", |b| {
+        b.iter(|| Quantization::U16.quantize(&weights).0.len())
+    });
+    let (q8, scale, min) = Quantization::U8.quantize(&weights);
+    group.bench_function("dequantize_u8", |b| {
+        b.iter(|| Quantization::U8.dequantize(&q8, scale, min).len())
+    });
+
+    // Sharding a full-precision MobileNet-1.0-scale buffer (~17 MB).
+    let big = vec![0x5Au8; 17 * 1024 * 1024];
+    group.bench_function("shard_4mb_17mb_model", |b| {
+        b.iter(|| shard::split(&big, shard::SHARD_BYTES).len())
+    });
+    let shards = shard::split(&big, shard::SHARD_BYTES);
+    group.bench_function("join_shards", |b| b.iter(|| shard::join(&shards).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_converter);
+criterion_main!(benches);

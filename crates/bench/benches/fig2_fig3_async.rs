@@ -1,0 +1,63 @@
+//! **Figures 2 and 3**: the cost of the two readback styles on the webgl
+//! backend. `dataSync` blocks the caller for the whole device computation;
+//! `data` returns a promise the caller polls while staying responsive. The
+//! end-to-end latency is the same; what differs is main-thread availability
+//! — quantified by the `async_timeline` binary. This bench tracks the
+//! round-trip latencies of both paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use webml_bench::harness::TableBackend;
+use webml_core::ops;
+
+fn bench_read_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fig3_read_styles");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let engine = TableBackend::WebGlIntegrated.engine();
+    let a = engine.rand_uniform([96, 96], -1.0, 1.0, 1).unwrap();
+
+    group.bench_function("dataSync (Figure 2)", |b| {
+        b.iter(|| {
+            engine.tidy(|| {
+                let y = ops::matmul(&a, &a, false, false).unwrap();
+                let v = y.data_sync().unwrap();
+                v.len()
+            })
+        })
+    });
+
+    group.bench_function("data + poll (Figure 3)", |b| {
+        b.iter(|| {
+            engine.tidy(|| {
+                let y = ops::matmul(&a, &a, false, false).unwrap();
+                let fut = y.data().unwrap();
+                // The main thread is free here: simulate doing other work
+                // until the promise resolves.
+                let mut spins = 0u64;
+                loop {
+                    if let Some(v) = fut.poll() {
+                        break v.unwrap().len() + spins as usize;
+                    }
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+            })
+        })
+    });
+
+    // The enqueue itself (no read): sub-millisecond per the paper.
+    group.bench_function("op enqueue only", |b| {
+        b.iter(|| {
+            engine.tidy(|| {
+                let y = ops::matmul(&a, &a, false, false).unwrap();
+                // Synchronize outside the timed region conceptually; the
+                // tidy disposal of a pending tensor is still queue-cheap.
+                y.id()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_styles);
+criterion_main!(benches);

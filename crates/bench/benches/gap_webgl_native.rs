@@ -1,0 +1,72 @@
+//! **E-gap** (paper Sec 3.9): "we observed a 3-10x gap in performance
+//! between WebGL and CUDA. We believe the gap to be due to WebGL's lack of
+//! work groups and shared memory access." The simulator reproduces the
+//! mechanism: the webgl matmul recomputes every dot product per output
+//! (Listing 2), while the native backend's blocked kernel reuses operands
+//! through cache/registers. Measured per-thread (both serial on this host),
+//! the ratio isolates the algorithmic handicap.
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use webml_backend_native::NativeBackend;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::{ops, Engine};
+use webml_webgl_sim::devices::DeviceProfile;
+
+fn webgl_engine() -> Engine {
+    let e = Engine::new();
+    // A single modeled core: isolates per-thread kernel efficiency.
+    let mut profile = DeviceProfile::intel_iris_pro();
+    profile.parallelism = 1;
+    let backend = WebGlBackend::new(profile, WebGlConfig::default()).unwrap();
+    e.register_backend("webgl", Arc::new(backend), 1);
+    e
+}
+
+fn native_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("native", Arc::new(NativeBackend::with_threads("native", 1)), 1);
+    e
+}
+
+fn matmul_pass(e: &Engine, n: usize) -> usize {
+    e.tidy(|| {
+        let a = e.rand_uniform([n, n], -1.0, 1.0, 1).unwrap();
+        let b = e.rand_uniform([n, n], -1.0, 1.0, 2).unwrap();
+        let y = ops::matmul(&a, &b, false, false).unwrap();
+        y.data_sync().unwrap().len()
+    })
+}
+
+fn conv_pass(e: &Engine, side: usize) -> usize {
+    e.tidy(|| {
+        let x = e.rand_uniform([1, side, side, 16], -1.0, 1.0, 1).unwrap();
+        let w = e.rand_uniform([3, 3, 16, 16], -0.5, 0.5, 2).unwrap();
+        let y = ops::conv2d(&x, &w, (1, 1), webml_core::conv_util::Padding::Same, (1, 1)).unwrap();
+        y.data_sync().unwrap().len()
+    })
+}
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_webgl_vs_native_per_thread");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    let gl = webgl_engine();
+    let nt = native_engine();
+    for &n in &[64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("webgl_no_shared_memory", n), &n, |b, &n| {
+            b.iter(|| matmul_pass(&gl, n))
+        });
+        group.bench_with_input(BenchmarkId::new("native_blocked", n), &n, |b, &n| {
+            b.iter(|| matmul_pass(&nt, n))
+        });
+    }
+    group.bench_function("conv_webgl_32", |b| b.iter(|| conv_pass(&gl, 32)));
+    group.bench_function("conv_native_32", |b| b.iter(|| conv_pass(&nt, 32)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

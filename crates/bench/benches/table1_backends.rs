@@ -1,0 +1,28 @@
+//! **Table 1** (criterion form): MobileNet v1 single-inference wall time per
+//! backend. The `table1` binary prints the paper-style table including the
+//! simulated-device-time rows; this bench tracks the measured wall times
+//! over code changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use webml_bench::harness::{mobilenet_workload, time_inference, tiny_mobilenet_config, TableBackend};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_mobilenet_wall");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for backend in TableBackend::all() {
+        // The CUDA-class row shares the native backend; skip the duplicate.
+        if backend == TableBackend::NativeCudaClass {
+            continue;
+        }
+        let engine = backend.engine();
+        let (mut net, input) = mobilenet_workload(&engine, tiny_mobilenet_config());
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| time_inference(&mut net, &input));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark harnesses regenerating every table and figure of the paper.
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded results.
+
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,167 @@
+//! Serialized model artifacts: topology, weight specs, weight bytes.
+
+use crate::quantize::Quantization;
+use serde_json::{json, Value};
+use webml_core::Error;
+
+/// Quantization metadata attached to a weight spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantInfo {
+    /// Integer width used.
+    pub kind: Quantization,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Dequantization minimum.
+    pub min: f32,
+}
+
+/// Description of one weight inside the flattened weight-data buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSpec {
+    /// Canonical weight name (`layer/kernel`).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Quantization, if any.
+    pub quantization: Option<QuantInfo>,
+}
+
+impl WeightSpec {
+    /// A full-precision (f32) weight.
+    pub fn full(name: String, shape: Vec<usize>) -> WeightSpec {
+        WeightSpec { name, shape, quantization: None }
+    }
+
+    /// A quantized weight.
+    pub fn quantized(
+        name: String,
+        shape: Vec<usize>,
+        kind: Quantization,
+        scale: f32,
+        min: f32,
+    ) -> WeightSpec {
+        WeightSpec { name, shape, quantization: Some(QuantInfo { kind, scale, min }) }
+    }
+
+    /// Bytes this weight occupies in the data buffer.
+    pub fn byte_len(&self) -> usize {
+        let count: usize = self.shape.iter().product();
+        match &self.quantization {
+            None => count * 4,
+            Some(q) => count * q.kind.byte_size(),
+        }
+    }
+
+    /// Manifest JSON entry (tfjs `weightsManifest[].weights[]` style).
+    pub fn to_json(&self) -> Value {
+        match &self.quantization {
+            None => json!({ "name": self.name, "shape": self.shape, "dtype": "float32" }),
+            Some(q) => json!({
+                "name": self.name,
+                "shape": self.shape,
+                "dtype": "float32",
+                "quantization": {
+                    "dtype": q.kind.name(),
+                    "scale": q.scale,
+                    "min": q.min,
+                },
+            }),
+        }
+    }
+
+    /// Parse a manifest entry.
+    ///
+    /// # Errors
+    /// Fails on missing fields.
+    pub fn from_json(v: &Value) -> Result<WeightSpec, Error> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::Serialization { message: "weight missing name".into() })?
+            .to_string();
+        let shape: Vec<usize> = v
+            .get("shape")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::Serialization { message: "weight missing shape".into() })?
+            .iter()
+            .filter_map(Value::as_u64)
+            .map(|d| d as usize)
+            .collect();
+        let quantization = match v.get("quantization") {
+            None => None,
+            Some(q) => {
+                let kind = q
+                    .get("dtype")
+                    .and_then(Value::as_str)
+                    .and_then(Quantization::from_name)
+                    .ok_or_else(|| Error::Serialization { message: "bad quantization dtype".into() })?;
+                Some(QuantInfo {
+                    kind,
+                    scale: q.get("scale").and_then(Value::as_f64).unwrap_or(1.0) as f32,
+                    min: q.get("min").and_then(Value::as_f64).unwrap_or(0.0) as f32,
+                })
+            }
+        };
+        Ok(WeightSpec { name, shape, quantization })
+    }
+}
+
+/// A complete serialized model: topology JSON plus weights.
+#[derive(Debug, Clone)]
+pub struct ModelArtifacts {
+    /// The Keras-style topology.
+    pub topology: Value,
+    /// Weight layout within [`ModelArtifacts::weight_data`].
+    pub weight_specs: Vec<WeightSpec>,
+    /// Concatenated weight bytes.
+    pub weight_data: bytes::Bytes,
+}
+
+impl ModelArtifacts {
+    /// The `model.json` content referencing the given shard paths.
+    pub fn manifest_json(&self, shard_paths: &[String]) -> Value {
+        json!({
+            "format": "webml-layers-model",
+            "generatedBy": "webml-converter",
+            "modelTopology": self.topology,
+            "weightsManifest": [{
+                "paths": shard_paths,
+                "weights": self.weight_specs.iter().map(WeightSpec::to_json).collect::<Vec<_>>(),
+            }],
+        })
+    }
+
+    /// Total weight bytes.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_round_trip_full() {
+        let s = WeightSpec::full("dense/kernel".into(), vec![3, 4]);
+        let parsed = WeightSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(s.byte_len(), 48);
+    }
+
+    #[test]
+    fn spec_json_round_trip_quantized() {
+        let s = WeightSpec::quantized("w".into(), vec![10], Quantization::U8, 0.5, -1.0);
+        let parsed = WeightSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(s.byte_len(), 10);
+        let s16 = WeightSpec::quantized("w".into(), vec![10], Quantization::U16, 0.5, -1.0);
+        assert_eq!(s16.byte_len(), 20);
+    }
+
+    #[test]
+    fn malformed_spec_errors() {
+        assert!(WeightSpec::from_json(&json!({"shape": [1]})).is_err());
+        assert!(WeightSpec::from_json(&json!({"name": "w"})).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! A simulated HTTP layer with a browser-style cache.
+//!
+//! The 4 MB shard size exists because browsers cache fetched files
+//! per-URL: on a model update only the changed shards re-download, and on a
+//! page reload everything comes from cache. [`SimulatedNetwork`] models a
+//! host (url → bytes) plus a cache, counting transferred vs cached bytes so
+//! the benefit is measurable.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use webml_core::{Error, Result};
+
+/// Transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Requests served from the network.
+    pub network_requests: u64,
+    /// Requests served from the cache.
+    pub cache_hits: u64,
+    /// Bytes that crossed the simulated network.
+    pub bytes_transferred: u64,
+    /// Bytes served from cache.
+    pub bytes_from_cache: u64,
+}
+
+#[derive(Default)]
+struct State {
+    host: HashMap<String, Vec<u8>>,
+    cache: HashMap<String, Vec<u8>>,
+    stats: FetchStats,
+}
+
+/// A simulated origin server plus browser cache.
+#[derive(Default)]
+pub struct SimulatedNetwork {
+    state: Mutex<State>,
+}
+
+impl SimulatedNetwork {
+    /// An empty network.
+    pub fn new() -> SimulatedNetwork {
+        SimulatedNetwork::default()
+    }
+
+    /// Publish bytes at a URL (hosting a file on the server).
+    pub fn host(&self, url: impl Into<String>, bytes: Vec<u8>) {
+        let url = url.into();
+        let mut state = self.state.lock();
+        // Publishing new content invalidates the cached entry (the cache
+        // key would change via ETag in a real browser).
+        state.cache.remove(&url);
+        state.host.insert(url, bytes);
+    }
+
+    /// Fetch a URL through the cache.
+    ///
+    /// # Errors
+    /// Fails (404) when the URL is not hosted.
+    pub fn fetch(&self, url: &str) -> Result<Vec<u8>> {
+        let mut state = self.state.lock();
+        if let Some(bytes) = state.cache.get(url).cloned() {
+            state.stats.cache_hits += 1;
+            state.stats.bytes_from_cache += bytes.len() as u64;
+            return Ok(bytes);
+        }
+        let bytes = state
+            .host
+            .get(url)
+            .cloned()
+            .ok_or_else(|| Error::Serialization { message: format!("404: {url}") })?;
+        state.stats.network_requests += 1;
+        state.stats.bytes_transferred += bytes.len() as u64;
+        state.cache.insert(url.to_string(), bytes.clone());
+        Ok(bytes)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> FetchStats {
+        self.state.lock().stats
+    }
+
+    /// Clear the cache (a fresh browser profile).
+    pub fn clear_cache(&self) {
+        self.state.lock().cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_fetch_hits_cache() {
+        let net = SimulatedNetwork::new();
+        net.host("a.bin", vec![1, 2, 3]);
+        assert_eq!(net.fetch("a.bin").unwrap(), vec![1, 2, 3]);
+        assert_eq!(net.fetch("a.bin").unwrap(), vec![1, 2, 3]);
+        let s = net.stats();
+        assert_eq!(s.network_requests, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.bytes_transferred, 3);
+        assert_eq!(s.bytes_from_cache, 3);
+    }
+
+    #[test]
+    fn missing_url_404s() {
+        let net = SimulatedNetwork::new();
+        assert!(net.fetch("nope.bin").is_err());
+    }
+
+    #[test]
+    fn republishing_invalidates_only_that_shard() {
+        let net = SimulatedNetwork::new();
+        net.host("shard1.bin", vec![1; 100]);
+        net.host("shard2.bin", vec![2; 100]);
+        net.fetch("shard1.bin").unwrap();
+        net.fetch("shard2.bin").unwrap();
+        // Update shard2 only (a model revision touching few weights).
+        net.host("shard2.bin", vec![3; 100]);
+        net.fetch("shard1.bin").unwrap();
+        net.fetch("shard2.bin").unwrap();
+        let s = net.stats();
+        // shard1 came from cache the second time; shard2 re-downloaded.
+        assert_eq!(s.network_requests, 3);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_redownload() {
+        let net = SimulatedNetwork::new();
+        net.host("a.bin", vec![9; 10]);
+        net.fetch("a.bin").unwrap();
+        net.clear_cache();
+        net.fetch("a.bin").unwrap();
+        assert_eq!(net.stats().network_requests, 2);
+    }
+}

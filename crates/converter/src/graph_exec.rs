@@ -1,0 +1,331 @@
+//! A GraphDef executor: runs (pruned) TensorFlow-style inference graphs on
+//! the eager engine — the "load and execute pre-trained TensorFlow
+//! SavedModels" path of paper Sec 5.1.
+//!
+//! Supports the op set the converter emits for the models this repo
+//! reproduces (dense/conv image classifiers): placeholders, constants,
+//! matmul, bias/arithmetic, activations, conv/pool, reshape, softmax.
+
+use crate::prune::{GraphDef, NodeDef};
+use serde_json::Value;
+use std::collections::HashMap;
+use webml_core::conv_util::Padding;
+use webml_core::{ops, Engine, Error, Result, Shape, Tensor};
+
+/// A loaded, executable inference graph.
+pub struct GraphModel {
+    engine: Engine,
+    graph: GraphDef,
+    /// Values for `Const`/`VariableV2` nodes, by node name.
+    weights: HashMap<String, Tensor>,
+    order: Vec<usize>,
+}
+
+fn attr_str<'a>(node: &'a NodeDef, key: &str) -> Option<&'a str> {
+    node.attrs.get(key).and_then(Value::as_str)
+}
+
+fn attr_pair(node: &NodeDef, key: &str, default: (usize, usize)) -> (usize, usize) {
+    node.attrs
+        .get(key)
+        .and_then(Value::as_array)
+        .map(|a| {
+            (
+                a.first().and_then(Value::as_u64).unwrap_or(default.0 as u64) as usize,
+                a.get(1).and_then(Value::as_u64).unwrap_or(default.1 as u64) as usize,
+            )
+        })
+        .unwrap_or(default)
+}
+
+fn attr_padding(node: &NodeDef) -> Result<Padding> {
+    match attr_str(node, "padding").unwrap_or("SAME") {
+        "SAME" | "same" => Ok(Padding::Same),
+        "VALID" | "valid" => Ok(Padding::Valid),
+        other => Err(Error::Serialization { message: format!("unknown padding {other}") }),
+    }
+}
+
+impl GraphModel {
+    /// Build an executable model from a graph and its weight values.
+    ///
+    /// # Errors
+    /// Fails when the graph has cycles, unknown input references, or a
+    /// `Const`/`VariableV2` node without a supplied weight.
+    pub fn new(
+        engine: &Engine,
+        graph: GraphDef,
+        weights: HashMap<String, Tensor>,
+    ) -> Result<GraphModel> {
+        // Kahn topological sort (GraphDefs are not guaranteed ordered).
+        let index: HashMap<&str, usize> =
+            graph.nodes.iter().enumerate().map(|(i, n)| (n.name.as_str(), i)).collect();
+        let mut indegree = vec![0usize; graph.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); graph.nodes.len()];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                let clean = input.trim_start_matches('^');
+                let &j = index.get(clean).ok_or_else(|| Error::Serialization {
+                    message: format!("node {} references unknown input {clean}", node.name),
+                })?;
+                indegree[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..graph.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(graph.nodes.len());
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() != graph.nodes.len() {
+            return Err(Error::Serialization { message: "graph contains a cycle".into() });
+        }
+        for node in &graph.nodes {
+            if matches!(node.op.as_str(), "Const" | "VariableV2") && !weights.contains_key(&node.name)
+            {
+                return Err(Error::Serialization {
+                    message: format!("missing weight for node {}", node.name),
+                });
+            }
+        }
+        Ok(GraphModel { engine: engine.clone(), graph, weights, order })
+    }
+
+    /// Execute the graph: bind `feeds` to placeholders, return the tensors
+    /// of `fetches`. All intermediates are disposed.
+    ///
+    /// # Errors
+    /// Fails on missing feeds/fetches or unsupported ops.
+    pub fn execute(&self, feeds: &[(&str, &Tensor)], fetches: &[&str]) -> Result<Vec<Tensor>> {
+        self.engine.clone().tidy(|| self.execute_inner(feeds, fetches))
+    }
+
+    fn execute_inner(&self, feeds: &[(&str, &Tensor)], fetches: &[&str]) -> Result<Vec<Tensor>> {
+        let mut values: HashMap<&str, Tensor> = HashMap::new();
+        for &i in &self.order {
+            let node = &self.graph.nodes[i];
+            let get = |k: usize| -> Result<&Tensor> {
+                let name = node.inputs[k].trim_start_matches('^');
+                values
+                    .get(name)
+                    .ok_or_else(|| Error::invalid("GraphModel", format!("input {name} not computed")))
+            };
+            let out = match node.op.as_str() {
+                "Placeholder" => {
+                    let fed = feeds.iter().find(|(n, _)| *n == node.name).ok_or_else(|| {
+                        Error::invalid("GraphModel", format!("no feed for placeholder {}", node.name))
+                    })?;
+                    ops::identity(fed.1)?
+                }
+                "Const" | "VariableV2" => {
+                    ops::identity(&self.weights[&node.name])?
+                }
+                "MatMul" => ops::matmul(get(0)?, get(1)?, false, false)?,
+                "Add" | "AddV2" | "BiasAdd" => ops::add(get(0)?, get(1)?)?,
+                "Sub" => ops::sub(get(0)?, get(1)?)?,
+                "Mul" => ops::mul(get(0)?, get(1)?)?,
+                "RealDiv" | "Div" => ops::div(get(0)?, get(1)?)?,
+                "Relu" => ops::relu(get(0)?)?,
+                "Relu6" => ops::relu6(get(0)?)?,
+                "Sigmoid" => ops::sigmoid(get(0)?)?,
+                "Tanh" => ops::tanh(get(0)?)?,
+                "Softmax" => ops::softmax(get(0)?)?,
+                "Identity" => ops::identity(get(0)?)?,
+                "Reshape" => {
+                    let target: Vec<usize> = node
+                        .attrs
+                        .get("shape")
+                        .and_then(Value::as_array)
+                        .map(|a| a.iter().filter_map(Value::as_u64).map(|d| d as usize).collect())
+                        .ok_or_else(|| Error::Serialization {
+                            message: format!("Reshape {} missing shape attr", node.name),
+                        })?;
+                    let x = get(0)?;
+                    // A leading 0 means "keep the batch dim".
+                    let dims: Vec<usize> = target
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &d)| if d == 0 && i == 0 { x.shape_ref().dim(0) } else { d })
+                        .collect();
+                    ops::reshape(x, Shape::new(dims))?
+                }
+                "Conv2D" => {
+                    let strides = attr_pair(node, "strides", (1, 1));
+                    ops::conv2d(get(0)?, get(1)?, strides, attr_padding(node)?, (1, 1))?
+                }
+                "DepthwiseConv2dNative" => {
+                    let strides = attr_pair(node, "strides", (1, 1));
+                    ops::depthwise_conv2d(get(0)?, get(1)?, strides, attr_padding(node)?, (1, 1))?
+                }
+                "MaxPool" => {
+                    let window = attr_pair(node, "ksize", (2, 2));
+                    let strides = attr_pair(node, "strides", window);
+                    ops::max_pool(get(0)?, window, strides, attr_padding(node)?)?
+                }
+                "AvgPool" => {
+                    let window = attr_pair(node, "ksize", (2, 2));
+                    let strides = attr_pair(node, "strides", window);
+                    ops::avg_pool(get(0)?, window, strides, attr_padding(node)?)?
+                }
+                "Mean" => {
+                    // Reduce over attr axes (default: spatial dims 1,2).
+                    let axes: Vec<isize> = node
+                        .attrs
+                        .get("axes")
+                        .and_then(Value::as_array)
+                        .map(|a| a.iter().filter_map(Value::as_i64).map(|d| d as isize).collect())
+                        .unwrap_or_else(|| vec![1, 2]);
+                    ops::mean(get(0)?, Some(&axes), false)?
+                }
+                other => {
+                    return Err(Error::invalid(
+                        "GraphModel",
+                        format!("unsupported op {other} (node {})", node.name),
+                    ))
+                }
+            };
+            values.insert(node.name.as_str(), out);
+        }
+        fetches
+            .iter()
+            .map(|&f| {
+                values
+                    .get(f)
+                    .cloned()
+                    .ok_or_else(|| Error::invalid("GraphModel", format!("unknown fetch {f}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    fn mlp_graph() -> GraphDef {
+        let mut g = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w1", "VariableV2", &[]),
+            ("b1", "VariableV2", &[]),
+            ("mm1", "MatMul", &["x", "w1"]),
+            ("z1", "BiasAdd", &["mm1", "b1"]),
+            ("h", "Relu", &["z1"]),
+            ("w2", "VariableV2", &[]),
+            ("logits", "MatMul", &["h", "w2"]),
+            ("probs", "Softmax", &["logits"]),
+        ]);
+        // Deliberately shuffle to exercise the topological sort.
+        g.nodes.reverse();
+        g
+    }
+
+    fn mlp_weights(e: &Engine) -> HashMap<String, Tensor> {
+        let mut w = HashMap::new();
+        w.insert("w1".to_string(), e.tensor_2d(&[1.0, -1.0, 0.5, 0.5], 2, 2).unwrap());
+        w.insert("b1".to_string(), e.tensor_1d(&[0.1, -0.1]).unwrap());
+        w.insert("w2".to_string(), e.tensor_2d(&[1.0, 0.0, 0.0, 1.0], 2, 2).unwrap());
+        w
+    }
+
+    #[test]
+    fn executes_an_mlp_graph() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        let out = model.execute(&[("x", &x)], &["probs"]).unwrap();
+        let probs = out[0].to_f32_vec().unwrap();
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0] + probs[1] - 1.0).abs() < 1e-5);
+        // Manual forward: z = [1*1+2*0.5+0.1, -1+1-0.1] = [2.1, -0.1];
+        // h = [2.1, 0]; logits = h; softmax(2.1, 0).
+        let e0 = (2.1f32).exp();
+        let expect = e0 / (e0 + 1.0);
+        assert!((probs[0] - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pruned_training_graph_executes(){
+        // End-to-end Sec 5.1 path: prune the training graph, execute it.
+        let e = engine();
+        let training = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("y", "MatMul", &["x", "w"]),
+            ("out", "Softmax", &["y"]),
+            ("labels", "Placeholder", &[]),
+            ("grad", "MatMul", &["x", "labels"]),
+            ("train", "ApplyGradientDescent", &["w", "grad"]),
+            ("save", "SaveV2", &["w"]),
+        ]);
+        let pruned = training.prune(&["out"]).unwrap();
+        let mut weights = HashMap::new();
+        weights.insert("w".to_string(), e.eye(2).unwrap());
+        let model = GraphModel::new(&e, pruned, weights).unwrap();
+        let x = e.tensor_2d(&[3.0, 1.0], 1, 2).unwrap();
+        let out = model.execute(&[("x", &x)], &["out"]).unwrap();
+        let probs = out[0].to_f32_vec().unwrap();
+        assert!(probs[0] > probs[1]);
+    }
+
+    #[test]
+    fn conv_graph_with_attrs() {
+        let e = engine();
+        let mut graph = GraphDef::from_triples(&[
+            ("img", "Placeholder", &[]),
+            ("filter", "Const", &[]),
+            ("conv", "Conv2D", &["img", "filter"]),
+            ("act", "Relu6", &["conv"]),
+            ("pool", "MaxPool", &["act"]),
+        ]);
+        graph.nodes[2].attrs = serde_json::json!({ "strides": [1, 1], "padding": "SAME" });
+        graph.nodes[4].attrs = serde_json::json!({ "ksize": [2, 2], "padding": "VALID" });
+        let mut weights = HashMap::new();
+        weights.insert("filter".to_string(), e.tensor_4d(&[1.0], 1, 1, 1, 1).unwrap());
+        let model = GraphModel::new(&e, graph, weights).unwrap();
+        let img = e.tensor_4d(&[1.0, 2.0, 3.0, 4.0], 1, 2, 2, 1).unwrap();
+        let out = model.execute(&[("img", &img)], &["pool"]).unwrap();
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn missing_weight_and_unknown_op_error() {
+        let e = engine();
+        let graph = GraphDef::from_triples(&[("w", "VariableV2", &[])]);
+        assert!(GraphModel::new(&e, graph, HashMap::new()).is_err());
+
+        let graph = GraphDef::from_triples(&[("x", "Placeholder", &[]), ("q", "QuantumOp", &["x"])]);
+        let model = GraphModel::new(&e, graph, HashMap::new()).unwrap();
+        let x = e.tensor_1d(&[1.0]).unwrap();
+        assert!(model.execute(&[("x", &x)], &["q"]).is_err());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let e = engine();
+        let graph = GraphDef::from_triples(&[("a", "Relu", &["b"]), ("b", "Relu", &["a"])]);
+        assert!(GraphModel::new(&e, graph, HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn missing_feed_errors() {
+        let e = engine();
+        let graph = GraphDef::from_triples(&[("x", "Placeholder", &[])]);
+        let model = GraphModel::new(&e, graph, HashMap::new()).unwrap();
+        assert!(model.execute(&[], &["x"]).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! # webml-converter
+//!
+//! The model converter (paper Sec 5.1): serializes models to the "web
+//! format" — a topology JSON plus binary weight files — and loads them
+//! back.
+//!
+//! Reproduced design points:
+//! - weights are packed into **4 MB shards**, "optimizing for browser
+//!   auto-caching" ([`shard`]);
+//! - optional **quantization** reduces the model size by 4x (u8) or 2x
+//!   (u16) ([`quantize`]);
+//! - **training-op pruning** strips optimizer/save/restore subgraphs from a
+//!   graph before serving it for inference ([`prune`]);
+//! - a simulated HTTP layer with a browser-style cache demonstrates the
+//!   shard-granularity caching benefit ([`fetch`]).
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod fetch;
+pub mod graph_exec;
+pub mod prune;
+pub mod quantize;
+pub mod shard;
+
+pub use artifacts::{ModelArtifacts, WeightSpec};
+pub use fetch::{FetchStats, SimulatedNetwork};
+pub use graph_exec::GraphModel;
+pub use prune::{GraphDef, NodeDef};
+pub use quantize::Quantization;
+
+use serde_json::Value;
+use std::path::Path;
+use webml_core::{Engine, Error, Result, Tensor};
+use webml_layers::Sequential;
+
+/// Convert a model into in-memory artifacts (topology + specs + bytes).
+///
+/// # Errors
+/// Fails when weight data cannot be read.
+pub fn to_artifacts(model: &Sequential, quantization: Option<Quantization>) -> Result<ModelArtifacts> {
+    let topology = model.to_topology();
+    let mut specs = Vec::new();
+    let mut data = Vec::new();
+    for (name, var) in model.named_weights() {
+        let tensor = var.value();
+        let values = tensor.to_f32_vec()?;
+        let spec = match quantization {
+            None => {
+                for v in &values {
+                    data.extend_from_slice(&v.to_le_bytes());
+                }
+                WeightSpec::full(name, tensor.shape().0)
+            }
+            Some(q) => {
+                let (bytes, scale, min) = q.quantize(&values);
+                data.extend_from_slice(&bytes);
+                WeightSpec::quantized(name, tensor.shape().0, q, scale, min)
+            }
+        };
+        specs.push(spec);
+    }
+    Ok(ModelArtifacts { topology, weight_specs: specs, weight_data: bytes::Bytes::from(data) })
+}
+
+/// Reconstruct a model from artifacts on `engine`.
+///
+/// # Errors
+/// Fails on malformed artifacts.
+pub fn from_artifacts(engine: &Engine, artifacts: &ModelArtifacts) -> Result<Sequential> {
+    let mut model = Sequential::from_topology(engine, &artifacts.topology)?;
+    let weights = decode_weights(engine, &artifacts.weight_specs, &artifacts.weight_data)?;
+    model.set_weights_by_name(&weights)?;
+    Ok(model)
+}
+
+/// Decode weight tensors from specs plus concatenated bytes.
+///
+/// # Errors
+/// Fails when byte counts do not line up with the specs.
+pub fn decode_weights(
+    engine: &Engine,
+    specs: &[WeightSpec],
+    data: &[u8],
+) -> Result<Vec<(String, Tensor)>> {
+    let mut offset = 0usize;
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let count = spec.shape.iter().product::<usize>();
+        let byte_len = spec.byte_len();
+        if offset + byte_len > data.len() {
+            return Err(Error::Serialization {
+                message: format!("weight {} overruns data buffer", spec.name),
+            });
+        }
+        let slice = &data[offset..offset + byte_len];
+        offset += byte_len;
+        let values: Vec<f32> = match &spec.quantization {
+            None => slice
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+            Some(q) => q.kind.dequantize(slice, q.scale, q.min),
+        };
+        if values.len() != count {
+            return Err(Error::Serialization {
+                message: format!("weight {}: expected {count} values, got {}", spec.name, values.len()),
+            });
+        }
+        let tensor = engine.tensor(values, spec.shape.clone())?;
+        out.push((spec.name.clone(), tensor));
+    }
+    Ok(out)
+}
+
+/// Save a model to a directory in the web format:
+/// `model.json` plus `group1-shard{i}of{n}.bin` files of at most 4 MB.
+///
+/// # Errors
+/// Fails on IO errors.
+pub fn save_model(
+    model: &Sequential,
+    dir: impl AsRef<Path>,
+    quantization: Option<Quantization>,
+) -> Result<()> {
+    let artifacts = to_artifacts(model, quantization)?;
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let shards = shard::split(&artifacts.weight_data, shard::SHARD_BYTES);
+    let paths: Vec<String> =
+        (0..shards.len()).map(|i| format!("group1-shard{}of{}.bin", i + 1, shards.len())).collect();
+    let manifest = artifacts.manifest_json(&paths);
+    std::fs::write(dir.join("model.json"), serde_json::to_vec_pretty(&manifest).map_err(json_err)?)
+        .map_err(io_err)?;
+    for (path, shard) in paths.iter().zip(&shards) {
+        std::fs::write(dir.join(path), shard).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Load a model from a directory written by [`save_model`]
+/// (`tf.loadModel(url)` for the filesystem case).
+///
+/// # Errors
+/// Fails on IO errors or malformed files.
+pub fn load_model(engine: &Engine, dir: impl AsRef<Path>) -> Result<Sequential> {
+    let dir = dir.as_ref();
+    let manifest: Value = serde_json::from_slice(
+        &std::fs::read(dir.join("model.json")).map_err(io_err)?,
+    )
+    .map_err(json_err)?;
+    let artifacts = artifacts_from_manifest(&manifest, |path| {
+        std::fs::read(dir.join(path)).map_err(io_err)
+    })?;
+    from_artifacts(engine, &artifacts)
+}
+
+/// Load a model through the simulated network (`tf.loadModel(url)` over
+/// HTTP with the browser cache).
+///
+/// # Errors
+/// Fails on missing URLs or malformed payloads.
+pub fn load_model_from_network(
+    engine: &Engine,
+    net: &SimulatedNetwork,
+    base_url: &str,
+) -> Result<Sequential> {
+    let manifest_bytes = net.fetch(&format!("{base_url}/model.json"))?;
+    let manifest: Value = serde_json::from_slice(&manifest_bytes).map_err(json_err)?;
+    let artifacts =
+        artifacts_from_manifest(&manifest, |path| net.fetch(&format!("{base_url}/{path}")))?;
+    from_artifacts(engine, &artifacts)
+}
+
+/// Parse a manifest JSON, fetching shard bytes through `read`.
+///
+/// # Errors
+/// Fails on malformed manifests.
+pub fn artifacts_from_manifest(
+    manifest: &Value,
+    mut read: impl FnMut(&str) -> Result<Vec<u8>>,
+) -> Result<ModelArtifacts> {
+    let topology = manifest
+        .get("modelTopology")
+        .cloned()
+        .ok_or_else(|| Error::Serialization { message: "missing modelTopology".into() })?;
+    let groups = manifest
+        .get("weightsManifest")
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::Serialization { message: "missing weightsManifest".into() })?;
+    let mut specs = Vec::new();
+    let mut data = Vec::new();
+    for group in groups {
+        for w in group.get("weights").and_then(Value::as_array).into_iter().flatten() {
+            specs.push(WeightSpec::from_json(w)?);
+        }
+        for path in group.get("paths").and_then(Value::as_array).into_iter().flatten() {
+            let p = path.as_str().ok_or_else(|| Error::Serialization {
+                message: "non-string shard path".into(),
+            })?;
+            data.extend_from_slice(&read(p)?);
+        }
+    }
+    Ok(ModelArtifacts { topology, weight_specs: specs, weight_data: bytes::Bytes::from(data) })
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Serialization { message: format!("io error: {e}") }
+}
+
+fn json_err(e: serde_json::Error) -> Error {
+    Error::Serialization { message: format!("json error: {e}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+    use webml_layers::{Activation, Dense};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    fn small_model(e: &Engine) -> Sequential {
+        let mut m = Sequential::new(e).with_seed(11);
+        m.add(Dense::new(8).with_input_dim(4).with_activation(Activation::Relu));
+        m.add(Dense::new(3));
+        m.build([4]).unwrap();
+        m
+    }
+
+    #[test]
+    fn artifacts_round_trip_exact() {
+        let e = engine();
+        let mut model = small_model(&e);
+        let x = e.tensor_2d(&[0.1, -0.2, 0.3, 0.4], 1, 4).unwrap();
+        let expect = model.predict(&x).unwrap().to_f32_vec().unwrap();
+        let artifacts = to_artifacts(&model, None).unwrap();
+        let mut restored = from_artifacts(&e, &artifacts).unwrap();
+        let got = restored.predict(&x).unwrap().to_f32_vec().unwrap();
+        assert_eq!(got, expect, "full-precision round trip must be exact");
+    }
+
+    #[test]
+    fn quantized_round_trip_approximate() {
+        let e = engine();
+        let mut model = small_model(&e);
+        let x = e.tensor_2d(&[0.1, -0.2, 0.3, 0.4], 1, 4).unwrap();
+        let expect = model.predict(&x).unwrap().to_f32_vec().unwrap();
+        let artifacts = to_artifacts(&model, Some(Quantization::U8)).unwrap();
+        // 4x size reduction.
+        let full = to_artifacts(&model, None).unwrap();
+        assert_eq!(full.weight_data.len(), artifacts.weight_data.len() * 4);
+        let mut restored = from_artifacts(&e, &artifacts).unwrap();
+        let got = restored.predict(&x).unwrap().to_f32_vec().unwrap();
+        for (g, w) in got.iter().zip(&expect) {
+            assert!((g - w).abs() < 0.1, "quantized {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn save_load_directory() {
+        let e = engine();
+        let mut model = small_model(&e);
+        let dir = std::env::temp_dir().join(format!("webml-test-{}", std::process::id()));
+        save_model(&model, &dir, None).unwrap();
+        assert!(dir.join("model.json").exists());
+        assert!(dir.join("group1-shard1of1.bin").exists());
+        let mut loaded = load_model(&e, &dir).unwrap();
+        let x = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 1, 4).unwrap();
+        assert_eq!(
+            loaded.predict(&x).unwrap().to_f32_vec().unwrap(),
+            model.predict(&x).unwrap().to_f32_vec().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_fields_error() {
+        let e = engine();
+        let bad = serde_json::json!({"weightsManifest": []});
+        assert!(artifacts_from_manifest(&bad, |_| Ok(Vec::new())).is_err());
+        let _ = e;
+    }
+}

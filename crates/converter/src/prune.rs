@@ -1,0 +1,220 @@
+//! Training-op pruning (paper Sec 5.1: "TensorFlow.js optimizes the model
+//! by pruning unnecessary operations (e.g. training operations)").
+//!
+//! A serialized TensorFlow graph carries optimizer update ops, gradient
+//! subgraphs, and checkpoint save/restore machinery that inference never
+//! touches. Pruning keeps only the nodes reachable backwards from the
+//! requested outputs, after dropping nodes whose op type is training-only.
+
+use serde_json::{json, Value};
+use std::collections::{HashMap, HashSet};
+use webml_core::{Error, Result};
+
+/// One node of a (simplified) GraphDef.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDef {
+    /// Node name.
+    pub name: String,
+    /// Op type (`"MatMul"`, `"ApplyGradientDescent"`, ...).
+    pub op: String,
+    /// Input node names.
+    pub inputs: Vec<String>,
+    /// Op attributes (strides, padding, ...), JSON-encoded; `Null` when the
+    /// op has none.
+    pub attrs: Value,
+}
+
+/// A simplified TensorFlow GraphDef.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDef {
+    /// Graph nodes.
+    pub nodes: Vec<NodeDef>,
+}
+
+/// Op types that only exist for training/checkpointing and are never needed
+/// at inference time.
+pub const TRAINING_OPS: &[&str] = &[
+    "ApplyGradientDescent",
+    "ApplyAdam",
+    "ApplyMomentum",
+    "ApplyRMSProp",
+    "AssignAddVariableOp",
+    "ResourceApplyGradientDescent",
+    "SaveV2",
+    "RestoreV2",
+    "ShardedFilename",
+    "MergeV2Checkpoints",
+    "BroadcastGradientArgs",
+    "StopGradient",
+    "NoOp",
+];
+
+impl GraphDef {
+    /// Build from `(name, op, inputs)` triples.
+    pub fn from_triples(triples: &[(&str, &str, &[&str])]) -> GraphDef {
+        GraphDef {
+            nodes: triples
+                .iter()
+                .map(|(name, op, inputs)| NodeDef {
+                    name: name.to_string(),
+                    op: op.to_string(),
+                    inputs: inputs.iter().map(|s| s.to_string()).collect(),
+                    attrs: Value::Null,
+                })
+                .collect(),
+        }
+    }
+
+    /// Prune to the inference subgraph feeding `outputs`: training-only ops
+    /// are removed, then only nodes reachable backwards from the outputs
+    /// survive. Node order is preserved.
+    ///
+    /// # Errors
+    /// Fails when an output name does not exist.
+    pub fn prune(&self, outputs: &[&str]) -> Result<GraphDef> {
+        let by_name: HashMap<&str, &NodeDef> =
+            self.nodes.iter().map(|n| (n.name.as_str(), n)).collect();
+        for &out in outputs {
+            if !by_name.contains_key(out) {
+                return Err(Error::invalid("prune", format!("unknown output node {out}")));
+            }
+        }
+        let is_training = |op: &str| TRAINING_OPS.contains(&op);
+        // Backwards reachability from outputs, never entering training ops.
+        let mut keep: HashSet<&str> = HashSet::new();
+        let mut stack: Vec<&str> = outputs.to_vec();
+        while let Some(name) = stack.pop() {
+            if !keep.insert(name) {
+                continue;
+            }
+            if let Some(node) = by_name.get(name) {
+                if is_training(&node.op) {
+                    return Err(Error::invalid(
+                        "prune",
+                        format!("output {name} is a training op ({})", node.op),
+                    ));
+                }
+                for input in &node.inputs {
+                    // Control inputs are prefixed with '^' in GraphDef.
+                    let clean = input.trim_start_matches('^');
+                    if let Some(dep) = by_name.get(clean) {
+                        if !is_training(&dep.op) {
+                            stack.push(clean);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(GraphDef {
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|n| keep.contains(n.name.as_str()))
+                .map(|n| NodeDef {
+                    name: n.name.clone(),
+                    op: n.op.clone(),
+                    // Drop references to pruned control inputs.
+                    inputs: n
+                        .inputs
+                        .iter()
+                        .filter(|i| keep.contains(i.trim_start_matches('^')))
+                        .cloned()
+                        .collect(),
+                    attrs: n.attrs.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Count of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "node": self.nodes.iter().map(|n| json!({
+                "name": n.name, "op": n.op, "input": n.inputs, "attr": n.attrs,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small training graph: inference path conv -> relu -> softmax, plus
+    /// gradient and optimizer nodes, plus checkpointing.
+    fn training_graph() -> GraphDef {
+        GraphDef::from_triples(&[
+            ("input", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("conv", "Conv2D", &["input", "w"]),
+            ("relu", "Relu", &["conv"]),
+            ("softmax", "Softmax", &["relu"]),
+            ("labels", "Placeholder", &[]),
+            ("xent", "SoftmaxCrossEntropyWithLogits", &["relu", "labels"]),
+            ("grad_w", "Conv2DBackpropFilter", &["input", "xent"]),
+            ("train", "ApplyGradientDescent", &["w", "grad_w"]),
+            ("save", "SaveV2", &["w"]),
+            ("restore", "RestoreV2", &[]),
+        ])
+    }
+
+    #[test]
+    fn prune_keeps_only_inference_path() {
+        let g = training_graph();
+        let pruned = g.prune(&["softmax"]).unwrap();
+        let names: Vec<&str> = pruned.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["input", "w", "conv", "relu", "softmax"]);
+        // 11 -> 5 nodes.
+        assert_eq!(g.len(), 11);
+        assert_eq!(pruned.len(), 5);
+    }
+
+    #[test]
+    fn prune_drops_gradient_subgraph_even_if_reachable() {
+        // xent reaches labels/grad path, but softmax output does not.
+        let pruned = training_graph().prune(&["softmax"]).unwrap();
+        assert!(!pruned.nodes.iter().any(|n| n.op.contains("Backprop")));
+        assert!(!pruned.nodes.iter().any(|n| n.op == "SaveV2" || n.op == "RestoreV2"));
+    }
+
+    #[test]
+    fn unknown_output_errors() {
+        assert!(training_graph().prune(&["nonexistent"]).is_err());
+    }
+
+    #[test]
+    fn training_output_errors() {
+        assert!(training_graph().prune(&["train"]).is_err());
+    }
+
+    #[test]
+    fn control_inputs_are_followed_and_cleaned() {
+        let g = GraphDef::from_triples(&[
+            ("a", "Const", &[]),
+            ("init", "NoOp", &[]),
+            ("b", "Identity", &["a", "^init"]),
+        ]);
+        let pruned = g.prune(&["b"]).unwrap();
+        assert_eq!(pruned.len(), 2);
+        // The control edge to the pruned NoOp is dropped.
+        let b = pruned.nodes.iter().find(|n| n.name == "b").unwrap();
+        assert_eq!(b.inputs, vec!["a"]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let g = GraphDef::from_triples(&[("a", "Const", &[])]);
+        let v = g.to_json();
+        assert_eq!(v["node"][0]["op"], "Const");
+    }
+}

@@ -1,0 +1,144 @@
+//! Affine weight quantization (paper Sec 5.1: "the user can also quantize
+//! the weights, reducing the model size by 4X").
+
+/// Integer width for quantized storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantization {
+    /// One byte per weight: 4x smaller than f32.
+    U8,
+    /// Two bytes per weight: 2x smaller than f32.
+    U16,
+}
+
+impl Quantization {
+    /// Bytes per stored value.
+    pub fn byte_size(self) -> usize {
+        match self {
+            Quantization::U8 => 1,
+            Quantization::U16 => 2,
+        }
+    }
+
+    /// Number of representable levels.
+    fn levels(self) -> f64 {
+        match self {
+            Quantization::U8 => 255.0,
+            Quantization::U16 => 65_535.0,
+        }
+    }
+
+    /// Manifest dtype name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Quantization::U8 => "uint8",
+            Quantization::U16 => "uint16",
+        }
+    }
+
+    /// Parse a manifest dtype name.
+    pub fn from_name(name: &str) -> Option<Quantization> {
+        match name {
+            "uint8" => Some(Quantization::U8),
+            "uint16" => Some(Quantization::U16),
+            _ => None,
+        }
+    }
+
+    /// Quantize values to bytes plus `(scale, min)` for dequantization:
+    /// `value ≈ q * scale + min`.
+    pub fn quantize(self, values: &[f32]) -> (Vec<u8>, f32, f32) {
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let range = (max - min) as f64;
+        let scale = if range == 0.0 { 1.0 } else { range / self.levels() };
+        let encode = |v: f32| -> u64 {
+            if range == 0.0 {
+                0
+            } else {
+                (((v - min) as f64 / scale).round() as u64).min(self.levels() as u64)
+            }
+        };
+        let mut out = Vec::with_capacity(values.len() * self.byte_size());
+        for &v in values {
+            let q = encode(v);
+            match self {
+                Quantization::U8 => out.push(q as u8),
+                Quantization::U16 => out.extend_from_slice(&(q as u16).to_le_bytes()),
+            }
+        }
+        (out, scale as f32, min)
+    }
+
+    /// Dequantize bytes back to f32 values.
+    pub fn dequantize(self, bytes: &[u8], scale: f32, min: f32) -> Vec<f32> {
+        match self {
+            Quantization::U8 => bytes.iter().map(|&b| b as f32 * scale + min).collect(),
+            Quantization::U16 => bytes
+                .chunks_exact(2)
+                .map(|b| u16::from_le_bytes([b[0], b[1]]) as f32 * scale + min)
+                .collect(),
+        }
+    }
+
+    /// Worst-case absolute reconstruction error for a value range.
+    pub fn max_error(self, min: f32, max: f32) -> f32 {
+        ((max - min) as f64 / self.levels() / 2.0) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_gives_4x_reduction() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32 / 10.0).collect();
+        let (bytes, _, _) = Quantization::U8.quantize(&values);
+        assert_eq!(bytes.len() * 4, values.len() * 4);
+        assert_eq!(bytes.len(), 100);
+    }
+
+    #[test]
+    fn u16_gives_2x_reduction() {
+        let values = vec![1.0f32; 50];
+        let (bytes, _, _) = Quantization::U16.quantize(&values);
+        assert_eq!(bytes.len(), 100);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+        for q in [Quantization::U8, Quantization::U16] {
+            let (bytes, scale, min) = q.quantize(&values);
+            let back = q.dequantize(&bytes, scale, min);
+            let bound = q.max_error(-3.0, 3.0) * 1.01;
+            for (a, b) in values.iter().zip(&back) {
+                assert!((a - b).abs() <= bound, "{q:?}: {a} vs {b} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let values = vec![-2.0f32, 0.0, 2.0];
+        let (bytes, scale, min) = Quantization::U8.quantize(&values);
+        let back = Quantization::U8.dequantize(&bytes, scale, min);
+        assert_eq!(back[0], -2.0);
+        assert!((back[2] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_tensor_survives() {
+        let values = vec![0.7f32; 8];
+        let (bytes, scale, min) = Quantization::U8.quantize(&values);
+        let back = Quantization::U8.dequantize(&bytes, scale, min);
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (bytes, _, _) = Quantization::U8.quantize(&[]);
+        assert!(bytes.is_empty());
+    }
+}

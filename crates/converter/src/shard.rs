@@ -1,0 +1,61 @@
+//! Weight sharding (paper Sec 5.1: "packs weights into 4MB files,
+//! optimizing for browser auto-caching").
+
+/// The shard size the paper chose for browser cache friendliness.
+pub const SHARD_BYTES: usize = 4 * 1024 * 1024;
+
+/// Split a byte buffer into shards of at most `shard_bytes`.
+pub fn split(data: &[u8], shard_bytes: usize) -> Vec<Vec<u8>> {
+    if data.is_empty() {
+        return vec![Vec::new()];
+    }
+    data.chunks(shard_bytes.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Reassemble shards into the original buffer.
+pub fn join(shards: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+    for s in shards {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_join_round_trip() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let shards = split(&data, 1024);
+        assert_eq!(shards.len(), 10);
+        assert!(shards[..9].iter().all(|s| s.len() == 1024));
+        assert_eq!(shards[9].len(), 10_000 - 9 * 1024);
+        assert_eq!(join(&shards), data);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_empty_tail() {
+        let data = vec![0u8; 2048];
+        let shards = split(&data, 1024);
+        assert_eq!(shards.len(), 2);
+    }
+
+    #[test]
+    fn all_shards_at_most_4mb_for_large_models() {
+        // A MobileNet-scale weight buffer (17 MB).
+        let data = vec![7u8; 17 * 1024 * 1024];
+        let shards = split(&data, SHARD_BYTES);
+        assert_eq!(shards.len(), 5);
+        assert!(shards.iter().all(|s| s.len() <= SHARD_BYTES));
+        assert_eq!(join(&shards).len(), data.len());
+    }
+
+    #[test]
+    fn empty_data_yields_single_empty_shard() {
+        let shards = split(&[], SHARD_BYTES);
+        assert_eq!(shards.len(), 1);
+        assert!(shards[0].is_empty());
+    }
+}

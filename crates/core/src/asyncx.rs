@@ -1,0 +1,189 @@
+//! A browser main-thread (event-loop) simulator, used to reproduce the
+//! timelines of Figures 2 and 3 of the paper.
+//!
+//! The browser UI thread must keep rendering frames (~60 fps). A blocking
+//! `tensor.dataSync()` stalls it for the whole GPU computation (Figure 2);
+//! the asynchronous `tensor.data()` releases it, so frames keep rendering
+//! while the device works and the promise resolves at the end (Figure 3).
+//! [`EventLoop`] renders simulated frames on the calling thread and records
+//! the gaps between them, so the two read styles can be compared
+//! quantitatively.
+
+use crate::backend::DataFuture;
+use crate::dtype::TensorData;
+use crate::error::Result;
+use std::time::{Duration, Instant};
+
+/// Statistics of one simulated main-thread run.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineReport {
+    /// Total wall time of the run, in milliseconds.
+    pub total_ms: f64,
+    /// Timestamps (ms from start) when each frame was rendered.
+    pub frame_times_ms: Vec<f64>,
+    /// Number of frames rendered.
+    pub frames_rendered: usize,
+    /// Largest gap between consecutive frames (ms): the "jank" measure.
+    /// Under a blocking read this approaches the full device time; under an
+    /// async read it stays near the frame interval.
+    pub longest_frame_gap_ms: f64,
+    /// Milliseconds the main thread spent blocked inside a synchronous read.
+    pub blocked_ms: f64,
+    /// When the tensor data became available (ms from start).
+    pub data_ready_at_ms: f64,
+}
+
+impl TimelineReport {
+    fn finish(&mut self, start: Instant) {
+        self.total_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.frames_rendered = self.frame_times_ms.len();
+        let mut prev = 0.0;
+        for &t in &self.frame_times_ms {
+            self.longest_frame_gap_ms = self.longest_frame_gap_ms.max(t - prev);
+            prev = t;
+        }
+        self.longest_frame_gap_ms = self.longest_frame_gap_ms.max(self.total_ms - prev);
+    }
+}
+
+/// A simulated browser event loop rendering frames at a fixed interval.
+#[derive(Debug, Clone, Copy)]
+pub struct EventLoop {
+    frame_interval: Duration,
+}
+
+impl Default for EventLoop {
+    fn default() -> Self {
+        // 60 fps.
+        EventLoop { frame_interval: Duration::from_micros(16_667) }
+    }
+}
+
+impl EventLoop {
+    /// Event loop with a custom frame interval.
+    pub fn new(frame_interval: Duration) -> EventLoop {
+        EventLoop { frame_interval }
+    }
+
+    /// Reproduce **Figure 2**: enqueue device work via `enqueue` (which must
+    /// return quickly, like an op call), then perform a *blocking* read with
+    /// `read_sync`, then keep rendering frames until `tail` has elapsed.
+    ///
+    /// The main thread renders no frames while blocked, so
+    /// `longest_frame_gap_ms` captures the stall.
+    pub fn run_sync<T>(
+        &self,
+        enqueue: impl FnOnce() -> T,
+        read_sync: impl FnOnce(&T) -> Result<TensorData>,
+        tail: Duration,
+    ) -> (Result<TensorData>, TimelineReport) {
+        let start = Instant::now();
+        let mut report = TimelineReport::default();
+        self.render_frame(start, &mut report);
+        let handle = enqueue();
+        // Blocking read: the event loop cannot run.
+        let t0 = Instant::now();
+        let data = read_sync(&handle);
+        report.blocked_ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.data_ready_at_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Tail frames after the data arrived.
+        let tail_end = Instant::now() + tail;
+        while Instant::now() < tail_end {
+            self.render_frame(start, &mut report);
+            std::thread::sleep(self.frame_interval);
+        }
+        report.finish(start);
+        (data, report)
+    }
+
+    /// Reproduce **Figure 3**: enqueue device work returning a
+    /// [`DataFuture`], then keep rendering frames while polling the future.
+    /// The main thread never blocks; the promise resolves when the device is
+    /// done.
+    pub fn run_async(
+        &self,
+        enqueue: impl FnOnce() -> Result<DataFuture>,
+        tail: Duration,
+    ) -> (Result<TensorData>, TimelineReport) {
+        let start = Instant::now();
+        let mut report = TimelineReport::default();
+        self.render_frame(start, &mut report);
+        let future = match enqueue() {
+            Ok(f) => f,
+            Err(e) => {
+                report.finish(start);
+                return (Err(e), report);
+            }
+        };
+        // Poll between frames, exactly like a promise callback scheduled on
+        // the micro-task queue.
+        let data = loop {
+            if let Some(result) = future.poll() {
+                report.data_ready_at_ms = start.elapsed().as_secs_f64() * 1e3;
+                break result;
+            }
+            self.render_frame(start, &mut report);
+            std::thread::sleep(self.frame_interval);
+        };
+        let tail_end = Instant::now() + tail;
+        while Instant::now() < tail_end {
+            self.render_frame(start, &mut report);
+            std::thread::sleep(self.frame_interval);
+        }
+        report.finish(start);
+        (data, report)
+    }
+
+    fn render_frame(&self, start: Instant, report: &mut TimelineReport) {
+        report.frame_times_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DataFuture;
+
+    #[test]
+    fn sync_read_blocks_frames() {
+        let lp = EventLoop::new(Duration::from_millis(2));
+        let (data, report) = lp.run_sync(
+            || (),
+            |_| {
+                // Simulate 40 ms of device work with a blocking read.
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(TensorData::F32(vec![1.0]))
+            },
+            Duration::from_millis(10),
+        );
+        assert!(data.is_ok());
+        assert!(report.blocked_ms >= 35.0, "blocked {} ms", report.blocked_ms);
+        assert!(
+            report.longest_frame_gap_ms >= 35.0,
+            "sync read must cause a long frame gap, got {}",
+            report.longest_frame_gap_ms
+        );
+    }
+
+    #[test]
+    fn async_read_keeps_frames_flowing() {
+        let lp = EventLoop::new(Duration::from_millis(2));
+        let (fut, promise) = DataFuture::pending();
+        // Device thread resolves after 40 ms.
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            promise.complete(Ok(TensorData::F32(vec![2.0])));
+        });
+        let (data, report) = lp.run_async(move || Ok(fut), Duration::from_millis(10));
+        worker.join().unwrap();
+        assert_eq!(data.unwrap(), TensorData::F32(vec![2.0]));
+        assert_eq!(report.blocked_ms, 0.0);
+        assert!(
+            report.longest_frame_gap_ms < 30.0,
+            "async read must keep frames flowing, longest gap {}",
+            report.longest_frame_gap_ms
+        );
+        assert!(report.frames_rendered >= 10);
+        assert!(report.data_ready_at_ms >= 35.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A mutable host-side tensor builder (`tf.buffer()`).
+//!
+//! Tensors are immutable; a [`TensorBuffer`] accumulates values by
+//! coordinate on the host and materializes a tensor once, avoiding
+//! per-element op dispatch when assembling data procedurally.
+
+use crate::dtype::{DType, TensorData};
+use crate::engine::Engine;
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A mutable, host-resident n-dimensional value buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorBuffer {
+    shape: Shape,
+    dtype: DType,
+    values: Vec<f32>,
+}
+
+impl TensorBuffer {
+    /// A zero-initialized buffer.
+    pub fn new(shape: impl Into<Shape>, dtype: DType) -> TensorBuffer {
+        let shape = shape.into();
+        let values = vec![0.0; shape.size()];
+        TensorBuffer { shape, dtype, values }
+    }
+
+    /// The buffer's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The buffer's dtype.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Set the value at N-D `coords`.
+    ///
+    /// # Errors
+    /// Fails on rank mismatch or out-of-bounds coordinates.
+    pub fn set(&mut self, coords: &[usize], value: f32) -> Result<()> {
+        let idx = self.index_of(coords)?;
+        self.values[idx] = value;
+        Ok(())
+    }
+
+    /// Read the value at N-D `coords`.
+    ///
+    /// # Errors
+    /// Fails on rank mismatch or out-of-bounds coordinates.
+    pub fn get(&self, coords: &[usize]) -> Result<f32> {
+        Ok(self.values[self.index_of(coords)?])
+    }
+
+    fn index_of(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.shape.rank() {
+            return Err(Error::invalid(
+                "TensorBuffer",
+                format!("got {} coords for rank {}", coords.len(), self.shape.rank()),
+            ));
+        }
+        for (axis, (&c, &d)) in coords.iter().zip(self.shape.dims()).enumerate() {
+            if c >= d {
+                return Err(Error::invalid(
+                    "TensorBuffer",
+                    format!("coordinate {c} out of bounds for axis {axis} (size {d})"),
+                ));
+            }
+        }
+        Ok(self.shape.flat_index(coords))
+    }
+
+    /// Mutable access to the flat values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// The flat values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Materialize the buffer as an immutable tensor on `engine`
+    /// (`buffer.toTensor()`).
+    ///
+    /// # Errors
+    /// Propagates tensor-creation errors.
+    pub fn to_tensor(&self, engine: &Engine) -> Result<Tensor> {
+        engine.make_tensor(TensorData::F32(self.values.clone()), self.shape.clone(), self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::test_engine;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut b = TensorBuffer::new([2, 3], DType::F32);
+        b.set(&[1, 2], 7.5).unwrap();
+        b.set(&[0, 0], -1.0).unwrap();
+        assert_eq!(b.get(&[1, 2]).unwrap(), 7.5);
+        assert_eq!(b.get(&[0, 0]).unwrap(), -1.0);
+        assert_eq!(b.get(&[0, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bounds_and_rank_checks() {
+        let mut b = TensorBuffer::new([2, 2], DType::F32);
+        assert!(b.set(&[2, 0], 1.0).is_err());
+        assert!(b.set(&[0], 1.0).is_err());
+        assert!(b.get(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn to_tensor_materializes_values_and_dtype() {
+        let e = test_engine();
+        let mut b = TensorBuffer::new([3], DType::I32);
+        b.set(&[0], 1.9).unwrap();
+        b.set(&[2], -2.0).unwrap();
+        let t = b.to_tensor(&e).unwrap();
+        assert_eq!(t.dtype(), DType::I32);
+        assert_eq!(t.to_i32_vec().unwrap(), vec![1, 0, -2]);
+    }
+
+    #[test]
+    fn scalar_buffer() {
+        let e = test_engine();
+        let mut b = TensorBuffer::new(Shape::scalar(), DType::F32);
+        b.set(&[], 4.0).unwrap();
+        assert_eq!(b.to_tensor(&e).unwrap().to_scalar().unwrap(), 4.0);
+    }
+}

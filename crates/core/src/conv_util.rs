@@ -1,0 +1,356 @@
+//! Convolution and pooling geometry shared by all backends.
+//!
+//! All spatial ops use NHWC layout (batch, height, width, channels), the
+//! TensorFlow.js default, and HWIO filter layout (height, width, in-channels,
+//! out-channels).
+
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+
+/// Padding scheme for convolutions and pooling, per TensorFlow semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Padding {
+    /// No implicit padding; output shrinks.
+    Valid,
+    /// Pad so that `out = ceil(in / stride)`.
+    Same,
+    /// Explicit symmetric padding `(top, bottom, left, right)`.
+    Explicit(usize, usize, usize, usize),
+}
+
+impl Padding {
+    /// The tfjs-style string name for serialization.
+    pub fn name(&self) -> String {
+        match self {
+            Padding::Valid => "valid".to_string(),
+            Padding::Same => "same".to_string(),
+            Padding::Explicit(t, b, l, r) => format!("explicit({t},{b},{l},{r})"),
+        }
+    }
+}
+
+/// Fully resolved geometry of a conv2d / depthwise-conv2d / pool2d call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conv2dInfo {
+    /// Batch size.
+    pub batch: usize,
+    /// Input spatial height.
+    pub in_height: usize,
+    /// Input spatial width.
+    pub in_width: usize,
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output spatial height.
+    pub out_height: usize,
+    /// Output spatial width.
+    pub out_width: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Filter height.
+    pub filter_height: usize,
+    /// Filter width.
+    pub filter_width: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Vertical dilation.
+    pub dilation_h: usize,
+    /// Horizontal dilation.
+    pub dilation_w: usize,
+    /// Padding applied above the input.
+    pub pad_top: usize,
+    /// Padding applied left of the input.
+    pub pad_left: usize,
+    /// Channel multiplier (depthwise convs); 1 for regular convs.
+    pub channel_mul: usize,
+}
+
+impl Conv2dInfo {
+    /// Output shape in NHWC.
+    pub fn out_shape(&self) -> Shape {
+        Shape::new(vec![self.batch, self.out_height, self.out_width, self.out_channels])
+    }
+
+    /// The effective filter extent including dilation.
+    pub fn effective_filter(&self) -> (usize, usize) {
+        (
+            self.filter_height + (self.filter_height - 1) * (self.dilation_h - 1),
+            self.filter_width + (self.filter_width - 1) * (self.dilation_w - 1),
+        )
+    }
+}
+
+fn out_dim(input: usize, filter: usize, stride: usize, dilation: usize, pad: Padding) -> (usize, usize) {
+    let eff = filter + (filter - 1) * (dilation - 1);
+    match pad {
+        Padding::Valid => {
+            let out = if input >= eff { (input - eff) / stride + 1 } else { 0 };
+            (out, 0)
+        }
+        Padding::Same => {
+            let out = input.div_ceil(stride);
+            let total_pad = ((out - 1) * stride + eff).saturating_sub(input);
+            (out, total_pad / 2)
+        }
+        Padding::Explicit(before, after, _, _) => {
+            let padded = input + before + after;
+            let out = if padded >= eff { (padded - eff) / stride + 1 } else { 0 };
+            (out, before)
+        }
+    }
+}
+
+/// Compute the geometry of a conv2d.
+///
+/// `x_shape` is NHWC, `filter_shape` is HWIO `[fh, fw, in_c, out_c]`.
+///
+/// # Errors
+/// Returns a shape error if the input is not rank 4 or channels mismatch.
+pub fn conv2d_info(
+    op: &'static str,
+    x_shape: &Shape,
+    filter_shape: &Shape,
+    strides: (usize, usize),
+    pad: Padding,
+    dilations: (usize, usize),
+) -> Result<Conv2dInfo> {
+    if x_shape.rank() != 4 {
+        return Err(Error::shape(op, format!("input must be rank 4 NHWC, got {x_shape}")));
+    }
+    if filter_shape.rank() != 4 {
+        return Err(Error::shape(op, format!("filter must be rank 4 HWIO, got {filter_shape}")));
+    }
+    let (batch, in_h, in_w, in_c) =
+        (x_shape.dim(0), x_shape.dim(1), x_shape.dim(2), x_shape.dim(3));
+    let (fh, fw, f_in, out_c) =
+        (filter_shape.dim(0), filter_shape.dim(1), filter_shape.dim(2), filter_shape.dim(3));
+    if f_in != in_c {
+        return Err(Error::shape(
+            op,
+            format!("filter in-channels {f_in} does not match input channels {in_c}"),
+        ));
+    }
+    if strides.0 == 0 || strides.1 == 0 {
+        return Err(Error::invalid(op, "strides must be positive"));
+    }
+    let (out_h, pad_top) = out_dim(in_h, fh, strides.0, dilations.0, pad);
+    let (out_w, pad_left) = match pad {
+        Padding::Explicit(_, _, l, r) => out_dim(in_w, fw, strides.1, dilations.1, Padding::Explicit(l, r, 0, 0)),
+        p => out_dim(in_w, fw, strides.1, dilations.1, p),
+    };
+    Ok(Conv2dInfo {
+        batch,
+        in_height: in_h,
+        in_width: in_w,
+        in_channels: in_c,
+        out_height: out_h,
+        out_width: out_w,
+        out_channels: out_c,
+        filter_height: fh,
+        filter_width: fw,
+        stride_h: strides.0,
+        stride_w: strides.1,
+        dilation_h: dilations.0,
+        dilation_w: dilations.1,
+        pad_top,
+        pad_left,
+        channel_mul: 1,
+    })
+}
+
+/// Compute the geometry of a depthwise conv2d.
+///
+/// `filter_shape` is `[fh, fw, in_c, channel_mul]`; output channels are
+/// `in_c * channel_mul`.
+///
+/// # Errors
+/// Returns a shape error on rank or channel mismatches.
+pub fn depthwise_conv2d_info(
+    op: &'static str,
+    x_shape: &Shape,
+    filter_shape: &Shape,
+    strides: (usize, usize),
+    pad: Padding,
+    dilations: (usize, usize),
+) -> Result<Conv2dInfo> {
+    let mut info = conv2d_info(op, x_shape, filter_shape, strides, pad, dilations)?;
+    let channel_mul = filter_shape.dim(3);
+    info.channel_mul = channel_mul;
+    info.out_channels = info.in_channels * channel_mul;
+    Ok(info)
+}
+
+/// Compute the geometry of a 2-D pooling op (`filter` is the window size).
+///
+/// # Errors
+/// Returns a shape error if the input is not rank 4.
+pub fn pool2d_info(
+    op: &'static str,
+    x_shape: &Shape,
+    window: (usize, usize),
+    strides: (usize, usize),
+    pad: Padding,
+) -> Result<Conv2dInfo> {
+    if x_shape.rank() != 4 {
+        return Err(Error::shape(op, format!("input must be rank 4 NHWC, got {x_shape}")));
+    }
+    let (batch, in_h, in_w, in_c) =
+        (x_shape.dim(0), x_shape.dim(1), x_shape.dim(2), x_shape.dim(3));
+    let (out_h, pad_top) = out_dim(in_h, window.0, strides.0, 1, pad);
+    let (out_w, pad_left) = match pad {
+        Padding::Explicit(_, _, l, r) => out_dim(in_w, window.1, strides.1, 1, Padding::Explicit(l, r, 0, 0)),
+        p => out_dim(in_w, window.1, strides.1, 1, p),
+    };
+    Ok(Conv2dInfo {
+        batch,
+        in_height: in_h,
+        in_width: in_w,
+        in_channels: in_c,
+        out_height: out_h,
+        out_width: out_w,
+        out_channels: in_c,
+        filter_height: window.0,
+        filter_width: window.1,
+        stride_h: strides.0,
+        stride_w: strides.1,
+        dilation_h: 1,
+        dilation_w: 1,
+        pad_top,
+        pad_left,
+        channel_mul: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(d: &[usize]) -> Shape {
+        Shape::new(d.to_vec())
+    }
+
+    #[test]
+    fn conv_same_preserves_spatial_at_stride_1() {
+        let info = conv2d_info(
+            "conv2d",
+            &shape(&[1, 224, 224, 3]),
+            &shape(&[3, 3, 3, 32]),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        assert_eq!(info.out_shape(), shape(&[1, 224, 224, 32]));
+        assert_eq!(info.pad_top, 1);
+    }
+
+    #[test]
+    fn conv_same_stride_2_halves() {
+        let info = conv2d_info(
+            "conv2d",
+            &shape(&[1, 224, 224, 3]),
+            &shape(&[3, 3, 3, 32]),
+            (2, 2),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        assert_eq!(info.out_shape(), shape(&[1, 112, 112, 32]));
+    }
+
+    #[test]
+    fn conv_valid_shrinks() {
+        let info = conv2d_info(
+            "conv2d",
+            &shape(&[2, 5, 5, 1]),
+            &shape(&[3, 3, 1, 4]),
+            (1, 1),
+            Padding::Valid,
+            (1, 1),
+        )
+        .unwrap();
+        assert_eq!(info.out_shape(), shape(&[2, 3, 3, 4]));
+        assert_eq!(info.pad_top, 0);
+    }
+
+    #[test]
+    fn conv_dilation_extends_filter() {
+        let info = conv2d_info(
+            "conv2d",
+            &shape(&[1, 7, 7, 1]),
+            &shape(&[3, 3, 1, 1]),
+            (1, 1),
+            Padding::Valid,
+            (2, 2),
+        )
+        .unwrap();
+        // Effective filter 5x5 -> output 3x3.
+        assert_eq!(info.out_shape(), shape(&[1, 3, 3, 1]));
+        assert_eq!(info.effective_filter(), (5, 5));
+    }
+
+    #[test]
+    fn conv_channel_mismatch_errors() {
+        let e = conv2d_info(
+            "conv2d",
+            &shape(&[1, 8, 8, 3]),
+            &shape(&[3, 3, 4, 8]),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn depthwise_multiplies_channels() {
+        let info = depthwise_conv2d_info(
+            "depthwiseConv2d",
+            &shape(&[1, 8, 8, 3]),
+            &shape(&[3, 3, 3, 2]),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        assert_eq!(info.out_channels, 6);
+        assert_eq!(info.channel_mul, 2);
+    }
+
+    #[test]
+    fn pool_geometry() {
+        let info =
+            pool2d_info("maxPool", &shape(&[1, 4, 4, 8]), (2, 2), (2, 2), Padding::Valid).unwrap();
+        assert_eq!(info.out_shape(), shape(&[1, 2, 2, 8]));
+    }
+
+    #[test]
+    fn explicit_padding() {
+        let info = conv2d_info(
+            "conv2d",
+            &shape(&[1, 4, 4, 1]),
+            &shape(&[3, 3, 1, 1]),
+            (1, 1),
+            Padding::Explicit(1, 1, 1, 1),
+            (1, 1),
+        )
+        .unwrap();
+        assert_eq!(info.out_shape(), shape(&[1, 4, 4, 1]));
+        assert_eq!((info.pad_top, info.pad_left), (1, 1));
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let e = conv2d_info(
+            "conv2d",
+            &shape(&[1, 4, 4, 1]),
+            &shape(&[3, 3, 1, 1]),
+            (0, 1),
+            Padding::Same,
+            (1, 1),
+        );
+        assert!(e.is_err());
+    }
+}

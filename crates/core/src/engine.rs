@@ -1,0 +1,931 @@
+//! The eager execution engine.
+//!
+//! The engine owns backend registration, the tensor/data registries with
+//! reference counting (paper Sec 3.4), memory scopes for `tidy()` (Sec 3.7),
+//! the gradient tape (Sec 3.5), and the profiling/debugging hooks (Sec 3.8).
+
+use crate::backend::{Backend, BackendMemory, DataId, KTensor, KernelTiming};
+use crate::dtype::{DType, TensorData};
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+use crate::tape::{GradFn, Tape, TapeNode};
+use crate::tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How tensor memory is reclaimed.
+///
+/// The paper contrasts the browser (no finalization: manual `dispose()` /
+/// `tidy()`, Sec 3.7) with Node.js (V8 finalization frees memory
+/// automatically, Sec 4.2). [`MemoryPolicy::Manual`] reproduces browser
+/// semantics — dropping a [`Tensor`] handle does *not* free its memory;
+/// [`MemoryPolicy::Finalized`] reproduces Node semantics — the last handle
+/// drop disposes the tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryPolicy {
+    /// Browser-like: only `dispose()`/`tidy()` free memory. Forgetting them
+    /// leaks, exactly as in WebGL TensorFlow.js.
+    Manual,
+    /// Node-like: dropping the last handle frees the tensor.
+    Finalized,
+}
+
+/// Engine-level memory snapshot (`tf.memory()`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryInfo {
+    /// Number of live (undisposed) tensors.
+    pub num_tensors: usize,
+    /// Number of live data containers (shared by shallow copies).
+    pub num_data_buffers: usize,
+    /// Total bytes across live containers.
+    pub num_bytes: usize,
+    /// Backend-specific gauges.
+    pub backend: BackendMemory,
+}
+
+/// Per-kernel profile entry (paper Sec 3.8: "users can profile every kernel
+/// that gets called, seeing the output shape, memory footprint, as well as
+/// device-specific timing information").
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Wall-clock milliseconds spent in the kernel call.
+    pub wall_ms: f64,
+    /// Shapes of the outputs.
+    pub output_shapes: Vec<Shape>,
+    /// Bytes allocated for the outputs.
+    pub bytes_added: usize,
+}
+
+/// Result of [`Engine::profile`] (`tf.profile(f)`).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileInfo {
+    /// Tensors newly allocated while running the function.
+    pub new_tensors: usize,
+    /// Bytes newly allocated while running the function.
+    pub new_bytes: usize,
+    /// Peak live tensor count inside the function.
+    pub peak_tensors: usize,
+    /// Peak live bytes inside the function.
+    pub peak_bytes: usize,
+    /// Every kernel invocation, in order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+/// Result of [`Engine::time`] (`tf.time(f)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeInfo {
+    /// Wall-clock milliseconds for the whole function, including scheduling.
+    pub wall_ms: f64,
+    /// Device kernel milliseconds as reported by the backend (on the webgl
+    /// backend this is pure GPU time, excluding upload/download).
+    pub kernel_ms: f64,
+}
+
+struct ProfileState {
+    new_tensors: usize,
+    new_bytes: usize,
+    peak_tensors: usize,
+    peak_bytes: usize,
+    kernels: Vec<KernelProfile>,
+}
+
+pub(crate) struct DataRecord {
+    backend_name: String,
+    id: DataId,
+    refcount: usize,
+    bytes: usize,
+    dtype: DType,
+}
+
+pub(crate) struct TensorRecord {
+    data: u64,
+    kept: bool,
+    variable: bool,
+    scope: Option<usize>,
+}
+
+struct Scope {
+    id: usize,
+    name: &'static str,
+    tensors: Vec<usize>,
+}
+
+struct EngineState {
+    backends: Vec<(String, i32, Arc<dyn Backend>)>,
+    current_backend: Option<usize>,
+    tensors: HashMap<usize, TensorRecord>,
+    data: HashMap<u64, DataRecord>,
+    scopes: Vec<Scope>,
+    next_scope_id: usize,
+    tape_stack: Vec<Tape>,
+    recording_paused: bool,
+    kept_by_tape: HashSet<usize>,
+    profile: Option<ProfileState>,
+    debug: bool,
+    num_bytes: usize,
+}
+
+/// The eager execution engine. Cheap to clone (`Arc` internally); usually
+/// accessed through [`crate::global::engine`] the way `tf` is the global
+/// namespace in TensorFlow.js.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+struct EngineInner {
+    state: Mutex<EngineState>,
+    garbage: Mutex<Vec<usize>>,
+    next_data_handle: AtomicU64,
+    next_tensor_id: AtomicUsize,
+    policy: AtomicU8,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Engine")
+            .field("num_tensors", &state.tensors.len())
+            .field("num_bytes", &state.num_bytes)
+            .field(
+                "backend",
+                &state.current_backend.map(|i| state.backends[i].0.clone()),
+            )
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl PartialEq for Engine {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Engine {
+    /// Create an engine with no backends registered.
+    pub fn new() -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                state: Mutex::new(EngineState {
+                    backends: Vec::new(),
+                    current_backend: None,
+                    tensors: HashMap::new(),
+                    data: HashMap::new(),
+                    scopes: Vec::new(),
+                    next_scope_id: 0,
+                    tape_stack: Vec::new(),
+                    recording_paused: false,
+                    kept_by_tape: HashSet::new(),
+                    profile: None,
+                    debug: false,
+                    num_bytes: 0,
+                }),
+                garbage: Mutex::new(Vec::new()),
+                next_data_handle: AtomicU64::new(1),
+                next_tensor_id: AtomicUsize::new(1),
+                policy: AtomicU8::new(0), // Manual
+            }),
+        }
+    }
+
+    // --- backends ----------------------------------------------------------
+
+    /// Register a backend under `name`. The highest-priority backend becomes
+    /// the default, mirroring `tf.registerBackend` semantics.
+    pub fn register_backend(&self, name: impl Into<String>, backend: Arc<dyn Backend>, priority: i32) {
+        let name = name.into();
+        let mut state = self.inner.state.lock();
+        state.backends.retain(|(n, _, _)| n != &name);
+        state.backends.push((name, priority, backend));
+        // Default to the highest priority backend.
+        let best = state
+            .backends
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, p, _))| *p)
+            .map(|(i, _)| i);
+        state.current_backend = best;
+    }
+
+    /// Switch the active backend by name.
+    ///
+    /// # Errors
+    /// [`Error::UnknownBackend`] when no backend has that name.
+    pub fn set_backend(&self, name: &str) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        match state.backends.iter().position(|(n, _, _)| n == name) {
+            Some(i) => {
+                state.current_backend = Some(i);
+                Ok(())
+            }
+            None => Err(Error::UnknownBackend { name: name.to_string() }),
+        }
+    }
+
+    /// Name of the active backend.
+    ///
+    /// # Panics
+    /// Panics if no backend is registered.
+    pub fn backend_name(&self) -> String {
+        let state = self.inner.state.lock();
+        let i = state.current_backend.expect("no backend registered");
+        state.backends[i].0.clone()
+    }
+
+    /// Names of all registered backends.
+    pub fn backend_names(&self) -> Vec<String> {
+        let state = self.inner.state.lock();
+        state.backends.iter().map(|(n, _, _)| n.clone()).collect()
+    }
+
+    /// Handle to the active backend.
+    ///
+    /// # Panics
+    /// Panics if no backend is registered.
+    pub fn backend(&self) -> Arc<dyn Backend> {
+        let state = self.inner.state.lock();
+        let i = state.current_backend.expect("no backend registered");
+        state.backends[i].2.clone()
+    }
+
+    fn backend_by_name(state: &EngineState, name: &str) -> Arc<dyn Backend> {
+        state
+            .backends
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, b)| b.clone())
+            .expect("backend of live data must stay registered")
+    }
+
+    /// Smallest safely representable positive value on the active backend
+    /// (paper Sec 4.1.3: adjusted for 16-bit-float devices).
+    pub fn epsilon(&self) -> f32 {
+        self.backend().epsilon()
+    }
+
+    // --- memory policy -----------------------------------------------------
+
+    /// Set how memory is reclaimed (browser-manual vs node-finalized).
+    pub fn set_memory_policy(&self, policy: MemoryPolicy) {
+        let v = match policy {
+            MemoryPolicy::Manual => 0,
+            MemoryPolicy::Finalized => 1,
+        };
+        self.inner.policy.store(v, Ordering::SeqCst);
+    }
+
+    /// The active memory policy.
+    pub fn memory_policy(&self) -> MemoryPolicy {
+        match self.inner.policy.load(Ordering::SeqCst) {
+            0 => MemoryPolicy::Manual,
+            _ => MemoryPolicy::Finalized,
+        }
+    }
+
+    pub(crate) fn enqueue_garbage(&self, tensor_id: usize) {
+        self.inner.garbage.lock().push(tensor_id);
+    }
+
+    fn collect_garbage(&self, state: &mut EngineState) {
+        let ids: Vec<usize> = std::mem::take(&mut *self.inner.garbage.lock());
+        for id in ids {
+            Self::dispose_tensor_locked(state, id);
+        }
+    }
+
+    // --- tensor/data registry ----------------------------------------------
+
+    fn fresh_tensor_id(&self) -> usize {
+        self.inner.next_tensor_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn fresh_data_handle(&self) -> u64 {
+        self.inner.next_data_handle.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn register_tensor_locked(
+        &self,
+        state: &mut EngineState,
+        data_handle: u64,
+        shape: Shape,
+        dtype: DType,
+    ) -> Tensor {
+        let id = self.fresh_tensor_id();
+        let scope = state.scopes.last().map(|s| s.id);
+        if let Some(s) = state.scopes.last_mut() {
+            s.tensors.push(id);
+        }
+        state.tensors.insert(
+            id,
+            TensorRecord { data: data_handle, kept: false, variable: false, scope },
+        );
+        if let Some(p) = state.profile.as_mut() {
+            p.new_tensors += 1;
+            p.peak_tensors = p.peak_tensors.max(state.tensors.len());
+        }
+        Tensor::from_parts(self.clone(), id, shape, dtype)
+    }
+
+    fn register_data_locked(
+        &self,
+        state: &mut EngineState,
+        backend_name: String,
+        id: DataId,
+        bytes: usize,
+        dtype: DType,
+    ) -> u64 {
+        let handle = self.fresh_data_handle();
+        state.data.insert(handle, DataRecord { backend_name, id, refcount: 1, bytes, dtype });
+        state.num_bytes += bytes;
+        if let Some(p) = state.profile.as_mut() {
+            p.new_bytes += bytes;
+            p.peak_bytes = p.peak_bytes.max(state.num_bytes);
+        }
+        handle
+    }
+
+    /// Create a tensor from host data on the active backend.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when `data.len() != shape.size()`.
+    pub fn make_tensor(&self, data: TensorData, shape: Shape, dtype: DType) -> Result<Tensor> {
+        if data.len() != shape.size() {
+            return Err(Error::invalid(
+                "tensor",
+                format!("data length {} does not match shape {} (size {})", data.len(), shape, shape.size()),
+            ));
+        }
+        let data = data.cast(dtype);
+        let backend = self.backend();
+        let backend_name = backend.name().to_string();
+        let bytes = shape.size() * dtype.byte_size();
+        let id = backend.register(data, dtype);
+        let mut state = self.inner.state.lock();
+        self.collect_garbage(&mut state);
+        let handle = self.register_data_locked(&mut state, backend_name, id, bytes, dtype);
+        Ok(self.register_tensor_locked(&mut state, handle, shape, dtype))
+    }
+
+    /// Create a new tensor that shares the data of `t` under a new shape —
+    /// the free `reshape`/`clone` of paper Sec 3.4. Records a tape node when
+    /// a gradient function is supplied and a tape is active.
+    ///
+    /// # Errors
+    /// Fails when `t` is disposed or the element counts differ.
+    pub fn run_alias(
+        &self,
+        kernel: &'static str,
+        t: &Tensor,
+        new_shape: Shape,
+        grad: Option<GradFn>,
+    ) -> Result<Tensor> {
+        if t.shape().size() != new_shape.size() {
+            return Err(Error::shape(
+                kernel,
+                format!("cannot view {} as {} (different sizes)", t.shape(), new_shape),
+            ));
+        }
+        let mut state = self.inner.state.lock();
+        self.collect_garbage(&mut state);
+        let data_handle = {
+            let rec = state
+                .tensors
+                .get(&t.id())
+                .ok_or(Error::TensorDisposed { tensor_id: t.id() })?;
+            rec.data
+        };
+        state.data.get_mut(&data_handle).expect("live tensor has data").refcount += 1;
+        let dtype = t.dtype();
+        let out = self.register_tensor_locked(&mut state, data_handle, new_shape, dtype);
+        if let Some(grad_fn) = grad {
+            Self::maybe_record_locked(&mut state, kernel, &[t], std::slice::from_ref(&out), grad_fn);
+        }
+        drop(state);
+        Ok(out)
+    }
+
+    fn maybe_record_locked(
+        state: &mut EngineState,
+        kernel: &'static str,
+        inputs: &[&Tensor],
+        outputs: &[Tensor],
+        grad_fn: GradFn,
+    ) {
+        if state.tape_stack.is_empty() || state.recording_paused {
+            return;
+        }
+        let node = TapeNode {
+            kernel,
+            input_ids: inputs.iter().map(|t| t.id()).collect(),
+            output_ids: outputs.iter().map(|t| t.id()).collect(),
+            inputs: inputs.iter().map(|&t| t.clone()).collect(),
+            outputs: outputs.to_vec(),
+            grad_fn,
+        };
+        for t in inputs {
+            state.kept_by_tape.insert(t.id());
+        }
+        for t in outputs {
+            state.kept_by_tape.insert(t.id());
+        }
+        state.tape_stack.last_mut().expect("tape active").record(node);
+    }
+
+    /// Run a kernel: validate inputs, execute `forward` on the active
+    /// backend, register outputs, and record a tape node when differentiable
+    /// and a gradient scope is active.
+    ///
+    /// This is the single funnel every op goes through; profiling and the
+    /// NaN-debug mode (paper Sec 3.8) hook in here.
+    ///
+    /// # Errors
+    /// Propagates disposed-tensor, backend, and NaN-debug errors.
+    #[allow(clippy::type_complexity)] // the documented kernel funnel signature
+    pub fn run_kernel(
+        &self,
+        kernel: &'static str,
+        inputs: &[&Tensor],
+        forward: &mut dyn FnMut(&dyn Backend, &[KTensor<'_>]) -> Result<Vec<(DataId, Shape, DType)>>,
+        grad: Option<GradFn>,
+    ) -> Result<Vec<Tensor>> {
+        // Phase 1 (locked): validate inputs, migrate cross-backend data,
+        // pin input data so a concurrent dispose cannot free it mid-kernel.
+        let (backend, backend_name, input_data, debug, profiling) = {
+            let mut state = self.inner.state.lock();
+            self.collect_garbage(&mut state);
+            let i = state.current_backend.ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
+            let backend = state.backends[i].2.clone();
+            let backend_name = state.backends[i].0.clone();
+            let mut input_data = Vec::with_capacity(inputs.len());
+            for t in inputs {
+                let data_handle = state
+                    .tensors
+                    .get(&t.id())
+                    .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
+                    .data;
+                // Migrate data living on another backend (lazy movement on
+                // first use, like tfjs `moveData`).
+                let needs_move = state.data[&data_handle].backend_name != backend_name;
+                if needs_move {
+                    let (old_backend, old_id, dtype) = {
+                        let rec = &state.data[&data_handle];
+                        (Self::backend_by_name(&state, &rec.backend_name), rec.id, rec.dtype)
+                    };
+                    let host = old_backend.read_sync(old_id)?;
+                    old_backend.dispose_data(old_id);
+                    let new_id = backend.register(host, dtype);
+                    let rec = state.data.get_mut(&data_handle).expect("live data");
+                    rec.backend_name = backend_name.clone();
+                    rec.id = new_id;
+                }
+                let rec = state.data.get_mut(&data_handle).expect("live data");
+                rec.refcount += 1; // pin
+                input_data.push((data_handle, rec.id));
+            }
+            (backend, backend_name, input_data, state.debug, state.profile.is_some())
+        };
+
+        // Phase 2 (unlocked): run the kernel.
+        let ktensors: Vec<KTensor<'_>> = inputs
+            .iter()
+            .zip(&input_data)
+            .map(|(t, (_, id))| KTensor { data: *id, shape: t.shape_ref(), dtype: t.dtype() })
+            .collect();
+        let t0 = Instant::now();
+        let result = forward(backend.as_ref(), &ktensors);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // NaN-debug mode: download every output and fail at the first NaN,
+        // naming the kernel (paper Sec 3.8).
+        if debug {
+            if let Ok(outs) = &result {
+                for (id, _, dtype) in outs {
+                    if dtype.is_float() && backend.read_sync(*id)?.has_nan() {
+                        // Clean up the outputs we won't register.
+                        for (oid, _, _) in outs {
+                            backend.dispose_data(*oid);
+                        }
+                        self.unpin(&input_data);
+                        return Err(Error::NanDetected { kernel });
+                    }
+                }
+            }
+        }
+
+        // Phase 3 (locked): unpin inputs, register outputs, record tape.
+        let mut state = self.inner.state.lock();
+        for (handle, _) in &input_data {
+            Self::release_data_locked(&mut state, *handle);
+        }
+        let outs = result?;
+        let mut outputs = Vec::with_capacity(outs.len());
+        let mut bytes_added = 0;
+        let mut output_shapes = Vec::with_capacity(outs.len());
+        for (id, shape, dtype) in outs {
+            let bytes = shape.size() * dtype.byte_size();
+            bytes_added += bytes;
+            output_shapes.push(shape.clone());
+            let handle = self.register_data_locked(&mut state, backend_name.clone(), id, bytes, dtype);
+            outputs.push(self.register_tensor_locked(&mut state, handle, shape, dtype));
+        }
+        if profiling {
+            if let Some(p) = state.profile.as_mut() {
+                p.kernels.push(KernelProfile { name: kernel, wall_ms, output_shapes, bytes_added });
+            }
+        }
+        if let Some(grad_fn) = grad {
+            Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad_fn);
+        }
+        drop(state);
+        Ok(outputs)
+    }
+
+    /// Run a *composite* op with a user-supplied gradient (`tf.customGrad`):
+    /// `forward` computes the outputs using ordinary ops, but those inner
+    /// ops are not recorded — instead a single tape node with `grad_fn` is,
+    /// so backprop treats the whole composite as one differentiable unit.
+    ///
+    /// Useful for numerically better gradients than the composed ones
+    /// (e.g. fused softmax-cross-entropy) and for gradient overrides.
+    ///
+    /// # Errors
+    /// Propagates errors from `forward`.
+    pub fn run_custom(
+        &self,
+        kernel: &'static str,
+        inputs: &[&Tensor],
+        forward: impl FnOnce() -> Result<Vec<Tensor>>,
+        grad: GradFn,
+    ) -> Result<Vec<Tensor>> {
+        let outputs = self.pause_recording(forward)?;
+        let mut state = self.inner.state.lock();
+        Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad);
+        drop(state);
+        Ok(outputs)
+    }
+
+    fn unpin(&self, input_data: &[(u64, DataId)]) {
+        let mut state = self.inner.state.lock();
+        for (handle, _) in input_data {
+            Self::release_data_locked(&mut state, *handle);
+        }
+    }
+
+    fn release_data_locked(state: &mut EngineState, handle: u64) {
+        let dispose = {
+            let rec = state.data.get_mut(&handle).expect("pinned data exists");
+            rec.refcount -= 1;
+            rec.refcount == 0
+        };
+        if dispose {
+            let rec = state.data.remove(&handle).expect("checked above");
+            state.num_bytes -= rec.bytes;
+            let backend = Self::backend_by_name(state, &rec.backend_name);
+            backend.dispose_data(rec.id);
+        }
+    }
+
+    // --- reads -------------------------------------------------------------
+
+    pub(crate) fn read_sync(&self, tensor_id: usize) -> Result<TensorData> {
+        let (backend, id) = {
+            let state = self.inner.state.lock();
+            let rec = state
+                .tensors
+                .get(&tensor_id)
+                .ok_or(Error::TensorDisposed { tensor_id })?;
+            let data = &state.data[&rec.data];
+            (Self::backend_by_name(&state, &data.backend_name), data.id)
+        };
+        backend.read_sync(id)
+    }
+
+    pub(crate) fn read(&self, tensor_id: usize) -> Result<crate::backend::DataFuture> {
+        let (backend, id) = {
+            let state = self.inner.state.lock();
+            let rec = state
+                .tensors
+                .get(&tensor_id)
+                .ok_or(Error::TensorDisposed { tensor_id })?;
+            let data = &state.data[&rec.data];
+            (Self::backend_by_name(&state, &data.backend_name), data.id)
+        };
+        Ok(backend.read(id))
+    }
+
+    pub(crate) fn is_disposed(&self, tensor_id: usize) -> bool {
+        !self.inner.state.lock().tensors.contains_key(&tensor_id)
+    }
+
+    // --- disposal, keep, scopes ---------------------------------------------
+
+    fn dispose_tensor_locked(state: &mut EngineState, tensor_id: usize) {
+        if let Some(rec) = state.tensors.remove(&tensor_id) {
+            Self::release_data_locked(state, rec.data);
+        }
+    }
+
+    /// Dispose a tensor explicitly (`tensor.dispose()`). Idempotent.
+    pub fn dispose_tensor(&self, tensor_id: usize) {
+        let mut state = self.inner.state.lock();
+        Self::dispose_tensor_locked(&mut state, tensor_id);
+    }
+
+    /// Mark a tensor as kept: it survives all enclosing `tidy` scopes
+    /// (`tf.keep`).
+    pub fn keep(&self, tensor_id: usize) {
+        let mut state = self.inner.state.lock();
+        if let Some(rec) = state.tensors.get_mut(&tensor_id) {
+            rec.kept = true;
+        }
+    }
+
+    pub(crate) fn mark_variable(&self, tensor_id: usize) {
+        let mut state = self.inner.state.lock();
+        if let Some(rec) = state.tensors.get_mut(&tensor_id) {
+            rec.variable = true;
+            rec.kept = true;
+        }
+    }
+
+    /// Push a named memory scope. Prefer [`Engine::tidy`].
+    pub fn start_scope(&self, name: &'static str) {
+        let mut state = self.inner.state.lock();
+        let id = state.next_scope_id;
+        state.next_scope_id += 1;
+        state.scopes.push(Scope { id, name, tensors: Vec::new() });
+    }
+
+    /// Pop the current scope, disposing every tensor allocated inside it
+    /// except kept tensors, variables, tape-referenced tensors, and the ids
+    /// in `keep_ids` (which move to the parent scope).
+    pub fn end_scope(&self, keep_ids: &[usize]) {
+        let mut state = self.inner.state.lock();
+        self.collect_garbage(&mut state);
+        let scope = match state.scopes.pop() {
+            Some(s) => s,
+            None => return,
+        };
+        let parent = state.scopes.last().map(|s| s.id);
+        let mut to_dispose = Vec::new();
+        let mut to_parent = Vec::new();
+        for id in scope.tensors {
+            let rec = match state.tensors.get(&id) {
+                Some(r) => r,
+                None => continue, // already disposed
+            };
+            // Tensors may have been re-homed (kept) since creation.
+            if rec.scope != Some(scope.id) {
+                continue;
+            }
+            let survive =
+                rec.kept || rec.variable || keep_ids.contains(&id) || state.kept_by_tape.contains(&id);
+            if survive {
+                to_parent.push(id);
+            } else {
+                to_dispose.push(id);
+            }
+        }
+        for id in to_parent {
+            if let Some(rec) = state.tensors.get_mut(&id) {
+                rec.scope = parent;
+            }
+            if let Some(p) = state.scopes.last_mut() {
+                p.tensors.push(id);
+            }
+        }
+        for id in to_dispose {
+            Self::dispose_tensor_locked(&mut state, id);
+        }
+        let _ = scope.name;
+    }
+
+    /// Execute `f` inside a memory scope and dispose every intermediate
+    /// tensor it allocated, except those referenced by the return value —
+    /// `tf.tidy()` (paper Sec 3.7).
+    pub fn tidy<R: TidyOutput>(&self, f: impl FnOnce() -> R) -> R {
+        self.start_scope("tidy");
+        let out = f();
+        self.end_scope(&out.tensor_ids());
+        out
+    }
+
+    // --- tape --------------------------------------------------------------
+
+    pub(crate) fn push_tape(&self) {
+        self.inner.state.lock().tape_stack.push(Tape::new());
+    }
+
+    /// Pop the active tape. Clears the tape-keep set when the stack empties.
+    pub(crate) fn pop_tape(&self) -> Tape {
+        let (tape, _leftover): (Tape, Vec<usize>) = {
+            let mut state = self.inner.state.lock();
+            let tape = state.tape_stack.pop().expect("tape stack underflow");
+            let leftover = if state.tape_stack.is_empty() {
+                state.kept_by_tape.drain().collect()
+            } else {
+                Vec::new()
+            };
+            (tape, leftover)
+        };
+        // Tape node drops (and the saved tensor handle drops inside) happen
+        // here, outside the state lock, via the caller dropping `tape`.
+        tape
+    }
+
+    pub(crate) fn pause_recording<R>(&self, f: impl FnOnce() -> R) -> R {
+        {
+            self.inner.state.lock().recording_paused = true;
+        }
+        let r = f();
+        {
+            self.inner.state.lock().recording_paused = false;
+        }
+        r
+    }
+
+    #[allow(dead_code)] // diagnostic helper for composite ops
+    pub(crate) fn tape_active(&self) -> bool {
+        let state = self.inner.state.lock();
+        !state.tape_stack.is_empty() && !state.recording_paused
+    }
+
+    // --- diagnostics ---------------------------------------------------------
+
+    /// Engine-plus-backend memory snapshot (`tf.memory()`).
+    pub fn memory(&self) -> MemoryInfo {
+        let backend = self.backend();
+        let mut state = self.inner.state.lock();
+        self.collect_garbage(&mut state);
+        MemoryInfo {
+            num_tensors: state.tensors.len(),
+            num_data_buffers: state.data.len(),
+            num_bytes: state.num_bytes,
+            backend: backend.memory(),
+        }
+    }
+
+    /// Count of live tensors (`tf.memory().numTensors`).
+    pub fn num_tensors(&self) -> usize {
+        let mut state = self.inner.state.lock();
+        self.collect_garbage(&mut state);
+        state.tensors.len()
+    }
+
+    /// Enable or disable NaN-checking debug mode (paper Sec 3.8).
+    pub fn set_debug(&self, on: bool) {
+        self.inner.state.lock().debug = on;
+    }
+
+    /// Whether NaN-checking debug mode is on.
+    pub fn debug(&self) -> bool {
+        self.inner.state.lock().debug
+    }
+
+    /// Profile the memory and kernel behaviour of `f` (`tf.profile`).
+    pub fn profile<R>(&self, f: impl FnOnce() -> R) -> (R, ProfileInfo) {
+        {
+            let mut state = self.inner.state.lock();
+            state.profile = Some(ProfileState {
+                new_tensors: 0,
+                new_bytes: 0,
+                peak_tensors: state.tensors.len(),
+                peak_bytes: state.num_bytes,
+                kernels: Vec::new(),
+            });
+        }
+        let r = f();
+        let p = {
+            let mut state = self.inner.state.lock();
+            state.profile.take().expect("profile state set above")
+        };
+        (
+            r,
+            ProfileInfo {
+                new_tensors: p.new_tensors,
+                new_bytes: p.new_bytes,
+                peak_tensors: p.peak_tensors,
+                peak_bytes: p.peak_bytes,
+                kernels: p.kernels,
+            },
+        )
+    }
+
+    /// Time `f`, reporting wall time and backend kernel time (`tf.time`).
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> (R, TimeInfo) {
+        let backend = self.backend();
+        backend.begin_timing();
+        let t0 = Instant::now();
+        let r = f();
+        let KernelTiming { kernel_ms } = backend.end_timing();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (r, TimeInfo { wall_ms, kernel_ms })
+    }
+}
+
+/// Types that can be returned from [`Engine::tidy`]: the engine must be able
+/// to see which tensors the return value references so it can keep them.
+pub trait TidyOutput {
+    /// Ids of the tensors referenced by this value.
+    fn tensor_ids(&self) -> Vec<usize>;
+}
+
+impl TidyOutput for () {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for Tensor {
+    fn tensor_ids(&self) -> Vec<usize> {
+        vec![self.id()]
+    }
+}
+
+impl TidyOutput for Vec<Tensor> {
+    fn tensor_ids(&self) -> Vec<usize> {
+        self.iter().map(|t| t.id()).collect()
+    }
+}
+
+impl<const N: usize> TidyOutput for [Tensor; N] {
+    fn tensor_ids(&self) -> Vec<usize> {
+        self.iter().map(|t| t.id()).collect()
+    }
+}
+
+impl<T: TidyOutput> TidyOutput for Option<T> {
+    fn tensor_ids(&self) -> Vec<usize> {
+        self.as_ref().map(|t| t.tensor_ids()).unwrap_or_default()
+    }
+}
+
+impl<T: TidyOutput> TidyOutput for Result<T> {
+    fn tensor_ids(&self) -> Vec<usize> {
+        self.as_ref().map(|t| t.tensor_ids()).unwrap_or_default()
+    }
+}
+
+impl<A: TidyOutput, B: TidyOutput> TidyOutput for (A, B) {
+    fn tensor_ids(&self) -> Vec<usize> {
+        let mut v = self.0.tensor_ids();
+        v.extend(self.1.tensor_ids());
+        v
+    }
+}
+
+impl<A: TidyOutput, B: TidyOutput, C: TidyOutput> TidyOutput for (A, B, C) {
+    fn tensor_ids(&self) -> Vec<usize> {
+        let mut v = self.0.tensor_ids();
+        v.extend(self.1.tensor_ids());
+        v.extend(self.2.tensor_ids());
+        v
+    }
+}
+
+impl TidyOutput for f32 {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for Vec<f32> {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for usize {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for bool {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for String {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+impl TidyOutput for f64 {
+    fn tensor_ids(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}

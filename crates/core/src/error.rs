@@ -1,0 +1,151 @@
+//! Error types for the WebML core engine.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by all fallible engine, tensor and op APIs.
+///
+/// Mirrors the error surface of TensorFlow.js: shape mismatches, disposed
+/// tensors, unsupported dtype combinations, backend failures, and the
+/// NaN-debug mode exception described in Section 3.8 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two shapes were incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// An operation was attempted on a tensor whose data has been disposed.
+    TensorDisposed {
+        /// Identifier of the disposed tensor.
+        tensor_id: usize,
+    },
+    /// The requested dtype is not supported by the operation or backend.
+    InvalidDType {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An argument failed validation.
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The backend failed to execute a kernel.
+    Backend {
+        /// Backend name.
+        backend: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Debug mode detected a NaN in the output of a kernel (paper Sec 3.8).
+    NanDetected {
+        /// The kernel that first produced a NaN.
+        kernel: &'static str,
+    },
+    /// The gradient for an op was requested but is not defined.
+    GradientNotDefined {
+        /// The op missing a gradient.
+        op: &'static str,
+    },
+    /// No backend is registered under the requested name.
+    UnknownBackend {
+        /// The requested backend name.
+        name: String,
+    },
+    /// Serialization / deserialization failure (converter, layers configs).
+    Serialization {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::ShapeMismatch`].
+    pub fn shape(op: &'static str, message: impl Into<String>) -> Self {
+        Error::ShapeMismatch { op, message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::InvalidArgument`].
+    pub fn invalid(op: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidArgument { op, message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::InvalidDType`].
+    pub fn dtype(op: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidDType { op, message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::Backend`].
+    pub fn backend(backend: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Backend { backend: backend.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, message } => {
+                write!(f, "shape mismatch in {op}: {message}")
+            }
+            Error::TensorDisposed { tensor_id } => {
+                write!(f, "tensor {tensor_id} is disposed")
+            }
+            Error::InvalidDType { op, message } => {
+                write!(f, "invalid dtype in {op}: {message}")
+            }
+            Error::InvalidArgument { op, message } => {
+                write!(f, "invalid argument in {op}: {message}")
+            }
+            Error::Backend { backend, message } => {
+                write!(f, "backend {backend} error: {message}")
+            }
+            Error::NanDetected { kernel } => {
+                write!(f, "the result of kernel {kernel} contains a NaN")
+            }
+            Error::GradientNotDefined { op } => {
+                write!(f, "gradient is not defined for op {op}")
+            }
+            Error::UnknownBackend { name } => {
+                write!(f, "no backend registered under name {name}")
+            }
+            Error::Serialization { message } => {
+                write!(f, "serialization error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::shape("matMul", "inner dims 3 vs 4");
+        assert_eq!(e.to_string(), "shape mismatch in matMul: inner dims 3 vs 4");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Error>();
+        assert_sync::<Error>();
+    }
+
+    #[test]
+    fn nan_error_names_kernel() {
+        let e = Error::NanDetected { kernel: "log" };
+        assert!(e.to_string().contains("log"));
+    }
+}

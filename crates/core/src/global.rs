@@ -1,0 +1,41 @@
+//! The process-wide default engine — the analogue of the global `tf`
+//! namespace in TensorFlow.js.
+
+use crate::cpu::CpuBackend;
+use crate::engine::Engine;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+/// The global engine. Lazily created with the bundled [`CpuBackend`]
+/// registered at priority 1, the way TensorFlow.js always has its plain CPU
+/// fallback available; accelerated backends register themselves on top with
+/// higher priorities.
+pub fn engine() -> Engine {
+    GLOBAL
+        .get_or_init(|| {
+            let e = Engine::new();
+            e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+            e
+        })
+        .clone()
+}
+
+/// Execute `f` inside a `tidy` scope on the global engine (`tf.tidy`).
+pub fn tidy<R: crate::engine::TidyOutput>(f: impl FnOnce() -> R) -> R {
+    engine().tidy(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_engine_is_singleton_with_cpu() {
+        let a = engine();
+        let b = engine();
+        assert_eq!(a, b);
+        assert!(a.backend_names().contains(&"cpu".to_string()));
+    }
+}

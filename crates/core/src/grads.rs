@@ -1,0 +1,359 @@
+//! The user-facing gradient API (paper Sec 3.5): eager differentiation in
+//! the style of `tf.grad` / `tf.grads` / `tf.valueAndGrads`.
+//!
+//! While the supplied function runs, every kernel is recorded on a tape;
+//! backpropagation then walks the tape in reverse over the nodes that lie on
+//! a path from the requested inputs to the output. Because differentiation
+//! is eager, native Rust `if`/`while` control flow works inside the closure
+//! — no special control-flow ops are needed.
+
+use crate::engine::Engine;
+use crate::error::{Error, Result};
+use crate::ops;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+impl Engine {
+    /// Compute `f()` and the gradients of its scalar-ish output with respect
+    /// to each tensor in `xs`.
+    ///
+    /// Inputs in `xs` that do not influence the output receive a zero
+    /// gradient (TensorFlow.js throws in this case; returning zeros composes
+    /// better with optimizers over partially-frozen variable sets).
+    ///
+    /// All intermediate tensors allocated by `f` and by backpropagation are
+    /// disposed before returning; only the value and gradients survive.
+    ///
+    /// # Errors
+    /// Propagates errors from `f` and from gradient functions, and fails if
+    /// an op on the path has no registered gradient.
+    pub fn value_and_grads(
+        &self,
+        xs: &[&Tensor],
+        f: impl FnOnce() -> Result<Tensor>,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        self.start_scope("grads");
+        let result = self.value_and_grads_inner(xs, f);
+        match &result {
+            Ok((y, gs)) => {
+                let mut keep: Vec<usize> = gs.iter().map(|g| g.id()).collect();
+                keep.push(y.id());
+                self.end_scope(&keep);
+            }
+            Err(_) => self.end_scope(&[]),
+        }
+        result
+    }
+
+    fn value_and_grads_inner(
+        &self,
+        xs: &[&Tensor],
+        f: impl FnOnce() -> Result<Tensor>,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        self.push_tape();
+        let y = match f() {
+            Ok(y) => y,
+            Err(e) => {
+                drop(self.pop_tape());
+                return Err(e);
+            }
+        };
+        let tape = self.pop_tape();
+
+        let x_ids: Vec<usize> = xs.iter().map(|t| t.id()).collect();
+        let path = tape.filter_nodes(&x_ids, &[y.id()]);
+
+        // Seed dL/dy = 1.
+        let mut grad_map: HashMap<usize, Tensor> = HashMap::new();
+        grad_map.insert(y.id(), ops::ones_like(&y)?);
+
+        for &i in path.iter().rev() {
+            let node = &tape.nodes[i];
+            // Assemble output gradients (zeros where nothing flowed yet).
+            let mut dys = Vec::with_capacity(node.outputs.len());
+            let mut any = false;
+            for out in &node.outputs {
+                match grad_map.get(&out.id()) {
+                    Some(g) => {
+                        any = true;
+                        dys.push(g.clone());
+                    }
+                    None => dys.push(ops::zeros_like(out)?),
+                }
+            }
+            if !any {
+                continue;
+            }
+            let input_grads = (node.grad_fn)(&dys, &node.inputs, &node.outputs).map_err(|e| {
+                match e {
+                    Error::GradientNotDefined { .. } => Error::GradientNotDefined { op: node.kernel },
+                    other => other,
+                }
+            })?;
+            if input_grads.len() != node.inputs.len() {
+                return Err(Error::invalid(
+                    "grads",
+                    format!(
+                        "gradient of {} returned {} grads for {} inputs",
+                        node.kernel,
+                        input_grads.len(),
+                        node.inputs.len()
+                    ),
+                ));
+            }
+            for (input, g) in node.inputs.iter().zip(input_grads) {
+                if let Some(g) = g {
+                    match grad_map.remove(&input.id()) {
+                        Some(existing) => {
+                            grad_map.insert(input.id(), ops::add(&existing, &g)?);
+                        }
+                        None => {
+                            grad_map.insert(input.id(), g);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut grads = Vec::with_capacity(xs.len());
+        for x in xs {
+            match grad_map.get(&x.id()) {
+                Some(g) => grads.push(g.clone()),
+                None => grads.push(ops::zeros_like(x)?),
+            }
+        }
+        Ok((y, grads))
+    }
+
+    /// Gradients only; the output value is disposed.
+    ///
+    /// # Errors
+    /// See [`Engine::value_and_grads`].
+    pub fn grads(&self, xs: &[&Tensor], f: impl FnOnce() -> Result<Tensor>) -> Result<Vec<Tensor>> {
+        let (y, gs) = self.value_and_grads(xs, f)?;
+        y.dispose();
+        Ok(gs)
+    }
+
+    /// Single-input convenience: `d f(x) / d x`.
+    ///
+    /// # Errors
+    /// See [`Engine::value_and_grads`].
+    pub fn grad(&self, x: &Tensor, f: impl FnOnce() -> Result<Tensor>) -> Result<Tensor> {
+        Ok(self.grads(&[x], f)?.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::testutil::{assert_close, test_engine};
+    use crate::ops::{self};
+
+    #[test]
+    fn grad_of_square_is_2x() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[3.0]).unwrap();
+        let g = e.grad(&x, || ops::sum(&ops::square(&x)?, None, false)).unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[6.0], 1e-6);
+    }
+
+    #[test]
+    fn grad_through_chain() {
+        // d/dx sum(exp(2x)) at x = 0 is 2.
+        let e = test_engine();
+        let x = e.tensor_1d(&[0.0]).unwrap();
+        let g = e
+            .grad(&x, || {
+                let two = e.scalar(2.0)?;
+                ops::sum(&ops::exp(&ops::mul(&x, &two)?)?, None, false)
+            })
+            .unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[2.0], 1e-6);
+    }
+
+    #[test]
+    fn grads_multiple_inputs() {
+        // f = sum(a * b): df/da = b, df/db = a.
+        let e = test_engine();
+        let a = e.tensor_1d(&[2.0, 3.0]).unwrap();
+        let b = e.tensor_1d(&[10.0, 20.0]).unwrap();
+        let gs = e.grads(&[&a, &b], || ops::sum(&ops::mul(&a, &b)?, None, false)).unwrap();
+        assert_close(&gs[0].to_f32_vec().unwrap(), &[10.0, 20.0], 1e-6);
+        assert_close(&gs[1].to_f32_vec().unwrap(), &[2.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // f = sum(x * x + x): df/dx = 2x + 1.
+        let e = test_engine();
+        let x = e.tensor_1d(&[4.0]).unwrap();
+        let g = e
+            .grad(&x, || ops::sum(&ops::add(&ops::mul(&x, &x)?, &x)?, None, false))
+            .unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[9.0], 1e-6);
+    }
+
+    #[test]
+    fn unconnected_input_gets_zeros() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0]).unwrap();
+        let unused = e.tensor_1d(&[5.0, 6.0]).unwrap();
+        let gs = e.grads(&[&x, &unused], || ops::sum(&ops::square(&x)?, None, false)).unwrap();
+        assert_close(&gs[1].to_f32_vec().unwrap(), &[0.0, 0.0], 1e-9);
+    }
+
+    #[test]
+    fn native_control_flow_works() {
+        // Eager differentiation supports plain Rust `if` (paper Sec 3.5).
+        let e = test_engine();
+        let x = e.tensor_1d(&[2.0]).unwrap();
+        let f = |x: &crate::tensor::Tensor| -> crate::error::Result<crate::tensor::Tensor> {
+            let v = x.to_scalar()?;
+            if v > 0.0 {
+                ops::sum(&ops::mul(x, x)?, None, false)
+            } else {
+                ops::sum(x, None, false)
+            }
+        };
+        let g = e.grad(&x, || f(&x)).unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[4.0], 1e-6);
+    }
+
+    #[test]
+    fn intermediates_are_disposed_after_grads() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        let before = e.num_tensors();
+        let g = e
+            .grad(&x, || {
+                let a = ops::exp(&x)?;
+                let b = ops::mul(&a, &x)?;
+                ops::sum(&b, None, false)
+            })
+            .unwrap();
+        // Only the gradient survives.
+        assert_eq!(e.num_tensors(), before + 1);
+        g.dispose();
+        assert_eq!(e.num_tensors(), before);
+    }
+
+    #[test]
+    fn matmul_grad_matches_finite_difference() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[0.5, -0.3, 0.8, 0.1], 2, 2).unwrap();
+        let b = e.tensor_2d(&[1.0, 2.0, -1.0, 0.5], 2, 2).unwrap();
+        let gs = e
+            .grads(&[&a, &b], || ops::sum(&ops::matmul(&a, &b, false, false)?, None, false))
+            .unwrap();
+        let ga = gs[0].to_f32_vec().unwrap();
+        // Finite difference on a[0].
+        let f = |av: &[f32]| -> f32 {
+            let at = e.tensor_2d(av, 2, 2).unwrap();
+            let y = ops::sum(&ops::matmul(&at, &b, false, false).unwrap(), None, false).unwrap();
+            let v = y.to_scalar().unwrap();
+            at.dispose();
+            y.dispose();
+            v
+        };
+        let base = [0.5, -0.3, 0.8, 0.1];
+        for i in 0..4 {
+            let mut p = base;
+            p[i] += 1e-3;
+            let mut m = base;
+            m[i] -= 1e-3;
+            let fd = (f(&p) - f(&m)) / 2e-3;
+            assert!((fd - ga[i]).abs() < 1e-2, "i={i} fd={fd} got={}", ga[i]);
+        }
+    }
+
+    #[test]
+    fn tidy_inside_grad_keeps_needed_tensors() {
+        // An inner tidy must not dispose tensors needed by backprop.
+        let e = test_engine();
+        let x = e.tensor_1d(&[2.0]).unwrap();
+        let g = e
+            .grad(&x, || {
+                e.tidy(|| -> crate::error::Result<crate::tensor::Tensor> {
+                    let a = ops::exp(&x)?;
+                    ops::sum(&ops::mul(&a, &x)?, None, false)
+                })
+            })
+            .unwrap();
+        // d/dx (x e^x) = e^x (1 + x) = e^2 * 3.
+        assert_close(&g.to_f32_vec().unwrap(), &[(2.0f32).exp() * 3.0], 1e-4);
+    }
+}
+
+#[cfg(test)]
+mod custom_grad_tests {
+    use crate::ops::testutil::{assert_close, test_engine};
+    use crate::ops;
+    use crate::tape::GradFn;
+    use std::sync::Arc;
+
+    #[test]
+    fn run_custom_overrides_the_composed_gradient() {
+        // f(x) = x^2 computed normally, but with a custom gradient of 7
+        // (not 2x): backprop must use the override.
+        let e = test_engine();
+        let x = e.tensor_1d(&[3.0]).unwrap();
+        let grad_fn: GradFn = Arc::new(|dys, _ins, _outs| {
+            let seven = dys[0].engine().scalar(7.0)?;
+            Ok(vec![Some(ops::mul(&dys[0], &seven)?)])
+        });
+        let g = e
+            .grad(&x, || {
+                let ys = e.run_custom(
+                    "SquareCustom",
+                    &[&x],
+                    || Ok(vec![ops::square(&x)?]),
+                    grad_fn.clone(),
+                )?;
+                ops::sum(&ys[0], None, false)
+            })
+            .unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[7.0], 1e-6);
+    }
+
+    #[test]
+    fn run_custom_forward_value_is_normal() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[2.0, -3.0]).unwrap();
+        let grad_fn: GradFn = Arc::new(|dys, _ins, _outs| Ok(vec![Some(dys[0].clone())]));
+        let ys = e
+            .run_custom("Id", &[&x], || Ok(vec![ops::square(&x)?]), grad_fn)
+            .unwrap();
+        assert_eq!(ys[0].to_f32_vec().unwrap(), vec![4.0, 9.0]);
+    }
+
+    #[test]
+    fn run_custom_inner_ops_are_not_taped() {
+        // A custom op whose inner computation would normally add many tape
+        // nodes contributes exactly one gradient path.
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.5]).unwrap();
+        // Custom stable "softplus" with the analytic gradient sigmoid(x).
+        let grad_fn: GradFn = Arc::new(|dys, ins, _outs| {
+            Ok(vec![Some(ops::mul(&dys[0], &ops::sigmoid(&ins[0])?)?)])
+        });
+        let g = e
+            .grad(&x, || {
+                let ys = e.run_custom(
+                    "StableSoftplus",
+                    &[&x],
+                    || {
+                        // Deliberately convoluted forward; gradient must
+                        // still be the single custom one.
+                        let a = ops::exp(&x)?;
+                        let b = ops::log1p(&a)?;
+                        Ok(vec![ops::identity(&b)?])
+                    },
+                    grad_fn.clone(),
+                )?;
+                ops::sum(&ys[0], None, false)
+            })
+            .unwrap();
+        let expect = 1.0 / (1.0 + (-1.5f32).exp());
+        assert_close(&g.to_f32_vec().unwrap(), &[expect], 1e-5);
+    }
+}

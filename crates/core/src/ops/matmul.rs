@@ -1,0 +1,201 @@
+//! Matrix multiplication (the Listing 2 kernel of the paper) and friends.
+
+use super::{reshape, same_engine, tile};
+use crate::dtype::DType;
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+use crate::tape::GradFn;
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// `a x b` with optional transposes. Accepts rank-2 matrices or rank-3
+/// batched matrices; a batch of 1 broadcasts against the other operand.
+///
+/// # Errors
+/// Fails on rank < 2, inner-dimension mismatch, or batch mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor, transpose_a: bool, transpose_b: bool) -> Result<Tensor> {
+    same_engine("MatMul", a, b)?;
+    if a.rank() < 2 || b.rank() < 2 || a.rank() > 3 || b.rank() > 3 {
+        return Err(Error::shape(
+            "MatMul",
+            format!("expected rank 2 or 3 tensors, got {} and {}", a.shape(), b.shape()),
+        ));
+    }
+    let out_rank2 = a.rank() == 2 && b.rank() == 2;
+    // Normalize to rank 3.
+    let a3 = if a.rank() == 2 { reshape(a, prepend_batch(a.shape_ref()))? } else { a.clone() };
+    let b3 = if b.rank() == 2 { reshape(b, prepend_batch(b.shape_ref()))? } else { b.clone() };
+    // Broadcast batch of 1.
+    let (a3, b3) = match (a3.shape_ref().dim(0), b3.shape_ref().dim(0)) {
+        (x, y) if x == y => (a3, b3),
+        (1, y) => (tile(&a3, &[y, 1, 1])?, b3),
+        (x, 1) => (a3, tile(&b3, &[x, 1, 1])?),
+        (x, y) => {
+            return Err(Error::shape("MatMul", format!("batch dims {x} vs {y} incompatible")))
+        }
+    };
+    let batch = a3.shape_ref().dim(0);
+    let (m, k_a) = if transpose_a {
+        (a3.shape_ref().dim(2), a3.shape_ref().dim(1))
+    } else {
+        (a3.shape_ref().dim(1), a3.shape_ref().dim(2))
+    };
+    let (k_b, n) = if transpose_b {
+        (b3.shape_ref().dim(2), b3.shape_ref().dim(1))
+    } else {
+        (b3.shape_ref().dim(1), b3.shape_ref().dim(2))
+    };
+    if k_a != k_b {
+        return Err(Error::shape(
+            "MatMul",
+            format!("inner dimensions must match: {k_a} vs {k_b} ({} x {})", a.shape(), b.shape()),
+        ));
+    }
+    let out_shape = Shape::new(vec![batch, m, n]);
+    let shape_for_fwd = out_shape.clone();
+    let grad: GradFn = Arc::new(move |dys, ins, _outs| {
+        let dy = &dys[0];
+        let a = &ins[0];
+        let b = &ins[1];
+        let (da, db) = match (transpose_a, transpose_b) {
+            (false, false) => (matmul(dy, b, false, true)?, matmul(a, dy, true, false)?),
+            (false, true) => (matmul(dy, b, false, false)?, matmul(dy, a, true, false)?),
+            (true, false) => (matmul(b, dy, false, true)?, matmul(a, dy, false, false)?),
+            (true, true) => (matmul(b, dy, true, true)?, matmul(dy, a, true, true)?),
+        };
+        Ok(vec![Some(da), Some(db)])
+    });
+    let outs = a.engine().run_kernel(
+        "MatMul",
+        &[&a3, &b3],
+        &mut |backend, ins| {
+            let id = backend.matmul(&ins[0], &ins[1], transpose_a, transpose_b)?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        Some(grad),
+    )?;
+    let out = outs.into_iter().next().expect("one output");
+    if out_rank2 {
+        reshape(&out, vec![m, n])
+    } else {
+        Ok(out)
+    }
+}
+
+fn prepend_batch(s: &Shape) -> Vec<usize> {
+    let mut dims = vec![1];
+    dims.extend_from_slice(s.dims());
+    dims
+}
+
+/// Vector/matrix product convenience (`tf.dot`): rank-1 inputs are treated
+/// as `1 x n` / `n x 1` and the unit dims are squeezed from the result.
+///
+/// # Errors
+/// Fails when inner dimensions mismatch.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let a2 = if a.rank() == 1 { reshape(a, vec![1, a.size()])? } else { a.clone() };
+    let b2 = if b.rank() == 1 { reshape(b, vec![b.size(), 1])? } else { b.clone() };
+    let out = matmul(&a2, &b2, false, false)?;
+    match (a.rank(), b.rank()) {
+        (1, 1) => reshape(&out, Shape::scalar()),
+        (1, _) => reshape(&out, vec![out.shape_ref().dim(1)]),
+        (_, 1) => reshape(&out, vec![out.shape_ref().dim(0)]),
+        _ => Ok(out),
+    }
+}
+
+/// Outer product of two rank-1 tensors.
+///
+/// # Errors
+/// Fails when either input is not rank 1.
+pub fn outer(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 1 || b.rank() != 1 {
+        return Err(Error::shape("Outer", "expected rank-1 tensors"));
+    }
+    let a2 = reshape(a, vec![a.size(), 1])?;
+    let b2 = reshape(b, vec![1, b.size()])?;
+    matmul(&a2, &b2, false, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, test_engine};
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = e.tensor_2d(&[5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        let c = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.shape(), Shape::new(vec![2, 2]));
+        assert_eq!(c.to_f32_vec().unwrap(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transposes() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let at_a = matmul(&a, &a, true, false).unwrap();
+        assert_eq!(at_a.to_f32_vec().unwrap(), vec![10.0, 14.0, 14.0, 20.0]);
+        let a_at = matmul(&a, &a, false, true).unwrap();
+        assert_eq!(a_at.to_f32_vec().unwrap(), vec![5.0, 11.0, 11.0, 25.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let b = e.tensor_2d(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2).unwrap();
+        let c = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let e = test_engine();
+        let a = e.tensor_3d(&[1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], 2, 2, 2).unwrap();
+        let b = e.tensor_3d(&[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], 2, 2, 2).unwrap();
+        let c = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.shape(), Shape::new(vec![2, 2, 2]));
+        assert_eq!(c.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_batch_broadcast() {
+        let e = test_engine();
+        let a = e.tensor_3d(&[1.0, 2.0, 3.0, 4.0], 2, 1, 2).unwrap();
+        let b = e.tensor_3d(&[1.0, 0.0, 0.0, 1.0], 1, 2, 2).unwrap();
+        let c = matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_inner_mismatch_errors() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0; 6], 2, 3).unwrap();
+        let b = e.tensor_2d(&[1.0; 4], 2, 2).unwrap();
+        assert!(matmul(&a, &b, false, false).is_err());
+    }
+
+    #[test]
+    fn dot_vectors() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0, 3.0]).unwrap();
+        let b = e.tensor_1d(&[4.0, 5.0, 6.0]).unwrap();
+        let d = dot(&a, &b).unwrap();
+        assert_eq!(d.rank(), 0);
+        assert_close(&[d.to_scalar().unwrap()], &[32.0], 1e-6);
+    }
+
+    #[test]
+    fn outer_product() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        let b = e.tensor_1d(&[3.0, 4.0, 5.0]).unwrap();
+        let o = outer(&a, &b).unwrap();
+        assert_eq!(o.shape(), Shape::new(vec![2, 3]));
+        assert_eq!(o.to_f32_vec().unwrap(), vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! The Ops API (paper Sec 3.3): operations validate shapes/dtypes, call into
+//! backend kernels through the engine, and register gradient functions so
+//! the eager autodiff engine (Sec 3.5) can differentiate through them.
+//!
+//! Ops are synchronous and return immediately with a [`Tensor`] handle whose
+//! data may still be computing on the device (Sec 3.6); only
+//! [`Tensor::data_sync`]/[`Tensor::data`] synchronize.
+
+mod binary;
+mod compare;
+mod conv;
+mod creation;
+mod image;
+mod matmul;
+mod misc;
+mod norm;
+mod reduce;
+mod shape_ops;
+mod softmax;
+mod unary;
+
+pub use binary::*;
+pub use compare::*;
+pub use conv::*;
+pub use image::*;
+pub use matmul::*;
+pub use misc::*;
+pub use norm::*;
+pub use reduce::*;
+pub use shape_ops::*;
+pub use softmax::*;
+pub use unary::*;
+
+use crate::dtype::DType;
+use crate::error::{Error, Result};
+use crate::shape::{broadcast_reduce_axes, Shape};
+use crate::tensor::Tensor;
+
+/// Zero tensor with the shape and dtype of `t`.
+///
+/// # Errors
+/// Never fails in practice.
+pub fn zeros_like(t: &Tensor) -> Result<Tensor> {
+    t.engine().zeros(t.shape(), t.dtype())
+}
+
+/// One-filled tensor with the shape and dtype of `t`.
+///
+/// # Errors
+/// Never fails in practice.
+pub fn ones_like(t: &Tensor) -> Result<Tensor> {
+    t.engine().ones(t.shape(), t.dtype())
+}
+
+/// Check two tensors live on the same engine.
+pub(crate) fn same_engine(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.engine() != b.engine() {
+        return Err(Error::invalid(op, "tensors belong to different engines"));
+    }
+    Ok(())
+}
+
+/// Reduce `dy` (shaped like the broadcast output) back to `target` shape by
+/// summing over the broadcast axes — the gradient counterpart of
+/// broadcasting in binary ops.
+pub(crate) fn sum_to_shape(dy: &Tensor, target: &Shape) -> Result<Tensor> {
+    if dy.shape_ref() == target {
+        return Ok(dy.clone());
+    }
+    let axes = broadcast_reduce_axes(target, dy.shape_ref());
+    let axes_isize: Vec<isize> = axes.iter().map(|&a| a as isize).collect();
+    let summed = sum(dy, Some(&axes_isize), false)?;
+    reshape(&summed, target.clone())
+}
+
+/// Cast both operands to their promoted dtype, returning possibly-new
+/// tensors.
+pub(crate) fn promote_pair(a: &Tensor, b: &Tensor) -> Result<(Tensor, Tensor, DType)> {
+    let dt = a.dtype().promote(b.dtype());
+    let a2 = if a.dtype() == dt { a.clone() } else { cast(a, dt)? };
+    let b2 = if b.dtype() == dt { b.clone() } else { cast(b, dt)? };
+    Ok((a2, b2, dt))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::cpu::CpuBackend;
+    use crate::engine::Engine;
+    use std::sync::Arc;
+
+    /// A fresh engine with the reference cpu backend, for op unit tests.
+    pub fn test_engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    /// Assert two float slices agree within `tol`.
+    pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
+        assert_eq!(actual.len(), expected.len(), "length mismatch: {actual:?} vs {expected:?}");
+        for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+            assert!(
+                (a - e).abs() <= tol || (a.is_nan() && e.is_nan()),
+                "index {i}: actual {a} vs expected {e} (tol {tol})"
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Normalization ops: batch normalization, dropout, L2 normalization.
+
+use super::{add, div, mul, rsqrt, sqrt, sub, sum};
+use crate::dtype::DType;
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+
+/// Batch normalization: `(x - mean) / sqrt(variance + eps) * scale + offset`.
+///
+/// `mean`/`variance`/`offset`/`scale` broadcast against `x` (typically
+/// per-channel vectors for NHWC inputs). Composed from primitives, so it is
+/// fully differentiable.
+///
+/// # Errors
+/// Fails on shape mismatches.
+pub fn batch_norm(
+    x: &Tensor,
+    mean: &Tensor,
+    variance: &Tensor,
+    offset: Option<&Tensor>,
+    scale: Option<&Tensor>,
+    epsilon: f32,
+) -> Result<Tensor> {
+    if epsilon <= 0.0 {
+        return Err(Error::invalid("BatchNorm", "epsilon must be positive"));
+    }
+    let e = x.engine();
+    let eps = e.scalar(epsilon)?;
+    let inv_std = rsqrt(&add(variance, &eps)?)?;
+    let mut out = mul(&sub(x, mean)?, &inv_std)?;
+    if let Some(s) = scale {
+        out = mul(&out, s)?;
+    }
+    if let Some(o) = offset {
+        out = add(&out, o)?;
+    }
+    Ok(out)
+}
+
+/// Inverted dropout: zeroes each element with probability `rate` and scales
+/// the survivors by `1/(1-rate)`. Returns `x` unchanged when `rate == 0`.
+///
+/// # Errors
+/// Fails when `rate` is outside `[0, 1)`.
+pub fn dropout(x: &Tensor, rate: f32, seed: u64) -> Result<Tensor> {
+    if !(0.0..1.0).contains(&rate) {
+        return Err(Error::invalid("Dropout", "rate must be in [0, 1)"));
+    }
+    if rate == 0.0 {
+        return super::identity(x);
+    }
+    let e = x.engine();
+    let u = e.rand_uniform(x.shape(), 0.0, 1.0, seed)?;
+    let thresh = e.scalar(rate)?;
+    let mask = super::cast(&super::greater_equal(&u, &thresh)?, DType::F32)?;
+    let keep = e.scalar(1.0 - rate)?;
+    div(&mul(x, &mask)?, &keep)
+}
+
+/// L2-normalize along `axes` (`None` = all): `x / max(sqrt(sum(x^2)), eps)`.
+///
+/// # Errors
+/// Fails on invalid axes.
+pub fn l2_normalize(x: &Tensor, axes: Option<&[isize]>) -> Result<Tensor> {
+    let e = x.engine();
+    let sq = sum(&mul(x, x)?, axes, true)?;
+    let norm = sqrt(&sq)?;
+    let eps = e.scalar(e.epsilon())?;
+    div(x, &super::maximum(&norm, &eps)?)
+}
+
+/// Local response normalization-style scale by the global norm, used by some
+/// embedding models; kept simple: `x * alpha / (beta + norm)`.
+///
+/// # Errors
+/// Fails on disposed inputs.
+pub fn norm_scale(x: &Tensor, alpha: f32, beta: f32) -> Result<Tensor> {
+    let e = x.engine();
+    let n = sqrt(&sum(&mul(x, x)?, None, true)?)?;
+    let a = e.scalar(alpha)?;
+    let b = e.scalar(beta)?;
+    div(&mul(x, &a)?, &add(&n, &b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, test_engine};
+    use super::*;
+
+    #[test]
+    fn batch_norm_standardizes() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[0.0, 10.0]).unwrap();
+        let mean = e.scalar(5.0).unwrap();
+        let var = e.scalar(25.0).unwrap();
+        let out = batch_norm(&x, &mean, &var, None, None, 1e-8).unwrap();
+        assert_close(&out.to_f32_vec().unwrap(), &[-1.0, 1.0], 1e-4);
+    }
+
+    #[test]
+    fn batch_norm_scale_offset() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[0.0, 10.0]).unwrap();
+        let mean = e.scalar(5.0).unwrap();
+        let var = e.scalar(25.0).unwrap();
+        let scale = e.scalar(2.0).unwrap();
+        let offset = e.scalar(1.0).unwrap();
+        let out = batch_norm(&x, &mean, &var, Some(&offset), Some(&scale), 1e-8).unwrap();
+        assert_close(&out.to_f32_vec().unwrap(), &[-1.0, 3.0], 1e-4);
+    }
+
+    #[test]
+    fn batch_norm_rejects_bad_epsilon() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0]).unwrap();
+        let m = e.scalar(0.0).unwrap();
+        let v = e.scalar(1.0).unwrap();
+        assert!(batch_norm(&x, &m, &v, None, None, 0.0).is_err());
+    }
+
+    #[test]
+    fn dropout_rate_zero_is_identity() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0, 2.0, 3.0]).unwrap();
+        let y = dropout(&x, 0.0, 1).unwrap();
+        assert_eq!(y.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let e = test_engine();
+        let x = e.ones([10_000], DType::F32).unwrap();
+        let y = dropout(&x, 0.5, 42).unwrap().to_f32_vec().unwrap();
+        let mean: f32 = y.iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Survivors are scaled by 2.
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_rejects_rate_one() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0]).unwrap();
+        assert!(dropout(&x, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[3.0, 4.0]).unwrap();
+        let y = l2_normalize(&x, None).unwrap().to_f32_vec().unwrap();
+        assert_close(&y, &[0.6, 0.8], 1e-6);
+    }
+}

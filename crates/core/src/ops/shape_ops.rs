@@ -1,0 +1,503 @@
+//! Shape-manipulation ops.
+//!
+//! `reshape`, `squeeze`, `expand_dims`, `flatten` and `identity` are *free*:
+//! they create a new tensor handle pointing at the same data container
+//! (paper Sec 3.4). The rest move data through backend kernels.
+
+use crate::dtype::DType;
+use crate::error::{Error, Result};
+use crate::shape::{normalize_axis, Shape};
+use crate::tape::GradFn;
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// View `a` under a new shape without copying.
+///
+/// # Errors
+/// Fails when the element counts differ or `a` is disposed.
+pub fn reshape(a: &Tensor, shape: impl Into<Shape>) -> Result<Tensor> {
+    let new_shape = shape.into();
+    let old_shape = a.shape();
+    let grad: GradFn =
+        Arc::new(move |dys, _ins, _outs| Ok(vec![Some(reshape(&dys[0], old_shape.clone())?)]));
+    a.engine().run_alias("Reshape", a, new_shape, Some(grad))
+}
+
+/// A new tensor sharing `a`'s data and shape (`tensor.clone()` in tfjs).
+///
+/// # Errors
+/// Fails when `a` is disposed.
+pub fn identity(a: &Tensor) -> Result<Tensor> {
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| Ok(vec![Some(dys[0].clone())]));
+    a.engine().run_alias("Identity", a, a.shape(), Some(grad))
+}
+
+/// Collapse to rank 1.
+///
+/// # Errors
+/// Fails when `a` is disposed.
+pub fn flatten(a: &Tensor) -> Result<Tensor> {
+    reshape(a, vec![a.size()])
+}
+
+/// Insert a size-1 dimension at `axis`.
+///
+/// # Errors
+/// Fails on an out-of-range axis.
+pub fn expand_dims(a: &Tensor, axis: isize) -> Result<Tensor> {
+    let rank = a.rank();
+    let axis = if axis < 0 { (axis + rank as isize + 1) as usize } else { axis as usize };
+    if axis > rank {
+        return Err(Error::invalid("ExpandDims", format!("axis {axis} out of range for rank {rank}")));
+    }
+    let mut dims = a.shape().0;
+    dims.insert(axis, 1);
+    reshape(a, dims)
+}
+
+/// Remove size-1 dimensions (all of them, or the listed axes).
+///
+/// # Errors
+/// Fails when a listed axis is not size 1.
+pub fn squeeze(a: &Tensor, axes: Option<&[isize]>) -> Result<Tensor> {
+    let dims = a.shape().0;
+    let new_dims: Vec<usize> = match axes {
+        None => dims.iter().copied().filter(|&d| d != 1).collect(),
+        Some(list) => {
+            let mut drop = Vec::new();
+            for &ax in list {
+                let ax = normalize_axis("Squeeze", ax, a.rank())?;
+                if dims[ax] != 1 {
+                    return Err(Error::invalid("Squeeze", format!("axis {ax} has size {}", dims[ax])));
+                }
+                drop.push(ax);
+            }
+            dims.iter().enumerate().filter(|(i, _)| !drop.contains(i)).map(|(_, &d)| d).collect()
+        }
+    };
+    reshape(a, new_dims)
+}
+
+/// Permute dimensions; `perm = None` reverses them.
+///
+/// # Errors
+/// Fails when `perm` is not a permutation of `0..rank`.
+pub fn transpose(a: &Tensor, perm: Option<&[usize]>) -> Result<Tensor> {
+    let rank = a.rank();
+    let perm: Vec<usize> = match perm {
+        Some(p) => p.to_vec(),
+        None => (0..rank).rev().collect(),
+    };
+    {
+        let mut seen = vec![false; rank];
+        if perm.len() != rank || perm.iter().any(|&p| p >= rank || std::mem::replace(&mut seen[p], true)) {
+            return Err(Error::invalid("Transpose", format!("invalid permutation {perm:?} for rank {rank}")));
+        }
+    }
+    let out_dims: Vec<usize> = perm.iter().map(|&p| a.shape_ref().dim(p)).collect();
+    let out_shape = Shape::new(out_dims);
+    let dtype = a.dtype();
+    // Inverse permutation for the gradient.
+    let mut inv = vec![0usize; rank];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| {
+        Ok(vec![Some(transpose(&dys[0], Some(&inv))?)])
+    });
+    let shape_for_fwd = out_shape.clone();
+    let perm_fwd = perm.clone();
+    let outs = a.engine().run_kernel(
+        "Transpose",
+        &[a],
+        &mut |backend, ins| {
+            let id = backend.transpose(&ins[0], &perm_fwd)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        Some(grad),
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Constant-pad each dimension by `(before, after)`.
+///
+/// # Errors
+/// Fails when `paddings.len() != rank`.
+pub fn pad(a: &Tensor, paddings: &[(usize, usize)], value: f32) -> Result<Tensor> {
+    if paddings.len() != a.rank() {
+        return Err(Error::invalid("Pad", "paddings length must equal rank"));
+    }
+    let out_dims: Vec<usize> =
+        a.shape_ref().dims().iter().zip(paddings).map(|(&d, &(b, aft))| d + b + aft).collect();
+    let out_shape = Shape::new(out_dims);
+    let dtype = a.dtype();
+    let begins: Vec<usize> = paddings.iter().map(|&(b, _)| b).collect();
+    let sizes: Vec<usize> = a.shape_ref().dims().to_vec();
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| {
+        Ok(vec![Some(slice(&dys[0], &begins, &sizes)?)])
+    });
+    let shape_for_fwd = out_shape.clone();
+    let pads = paddings.to_vec();
+    let outs = a.engine().run_kernel(
+        "Pad",
+        &[a],
+        &mut |backend, ins| {
+            let id = backend.pad(&ins[0], &pads, value)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        Some(grad),
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Extract `a[begin .. begin+size]` per axis.
+///
+/// # Errors
+/// Fails when the window exceeds the tensor bounds.
+pub fn slice(a: &Tensor, begin: &[usize], size: &[usize]) -> Result<Tensor> {
+    if begin.len() != a.rank() || size.len() != a.rank() {
+        return Err(Error::invalid("Slice", "begin/size length must equal rank"));
+    }
+    for i in 0..a.rank() {
+        if begin[i] + size[i] > a.shape_ref().dim(i) {
+            return Err(Error::invalid(
+                "Slice",
+                format!("slice [{}, {}) exceeds dim {} of size {}", begin[i], begin[i] + size[i], i, a.shape_ref().dim(i)),
+            ));
+        }
+    }
+    let out_shape = Shape::new(size.to_vec());
+    let dtype = a.dtype();
+    let in_dims = a.shape().0;
+    let g_begin = begin.to_vec();
+    let g_size = size.to_vec();
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| {
+        let pads: Vec<(usize, usize)> = (0..in_dims.len())
+            .map(|i| (g_begin[i], in_dims[i] - g_begin[i] - g_size[i]))
+            .collect();
+        Ok(vec![Some(pad(&dys[0], &pads, 0.0)?)])
+    });
+    let shape_for_fwd = out_shape.clone();
+    let f_begin = begin.to_vec();
+    let f_size = size.to_vec();
+    let outs = a.engine().run_kernel(
+        "Slice",
+        &[a],
+        &mut |backend, ins| {
+            let id = backend.slice(&ins[0], &f_begin, &f_size)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        Some(grad),
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Concatenate tensors along `axis`.
+///
+/// # Errors
+/// Fails when ranks or non-axis dims differ, or the list is empty.
+pub fn concat(xs: &[&Tensor], axis: isize) -> Result<Tensor> {
+    if xs.is_empty() {
+        return Err(Error::invalid("Concat", "need at least one tensor"));
+    }
+    if xs.len() == 1 {
+        return identity(xs[0]);
+    }
+    let rank = xs[0].rank();
+    let axis = normalize_axis("Concat", axis, rank)?;
+    for t in xs {
+        if t.rank() != rank {
+            return Err(Error::shape("Concat", "all tensors must share rank"));
+        }
+        for d in 0..rank {
+            if d != axis && t.shape_ref().dim(d) != xs[0].shape_ref().dim(d) {
+                return Err(Error::shape("Concat", format!("dim {d} mismatch")));
+            }
+        }
+    }
+    let mut out_dims = xs[0].shape().0;
+    out_dims[axis] = xs.iter().map(|t| t.shape_ref().dim(axis)).sum();
+    let out_shape = Shape::new(out_dims);
+    let dtype = xs[0].dtype();
+    let sizes: Vec<usize> = xs.iter().map(|t| t.shape_ref().dim(axis)).collect();
+    let shapes: Vec<Shape> = xs.iter().map(|t| t.shape()).collect();
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| {
+        // Slice dy back into per-input gradients.
+        let dy = &dys[0];
+        let mut offset = 0;
+        let mut grads = Vec::with_capacity(sizes.len());
+        for (sz, shape) in sizes.iter().zip(&shapes) {
+            let mut begin = vec![0; shape.rank()];
+            begin[axis] = offset;
+            grads.push(Some(slice(dy, &begin, shape.dims())?));
+            offset += sz;
+        }
+        Ok(grads)
+    });
+    let shape_for_fwd = out_shape.clone();
+    let outs = xs[0].engine().run_kernel(
+        "Concat",
+        xs,
+        &mut |backend, ins| {
+            let id = backend.concat(ins, axis)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        Some(grad),
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Stack tensors of identical shape along a new `axis`.
+///
+/// # Errors
+/// Fails when shapes differ.
+pub fn stack(xs: &[&Tensor], axis: isize) -> Result<Tensor> {
+    if xs.is_empty() {
+        return Err(Error::invalid("Stack", "need at least one tensor"));
+    }
+    let rank = xs[0].rank();
+    let axis_u = if axis < 0 { (axis + rank as isize + 1) as usize } else { axis as usize };
+    let expanded: Vec<Tensor> =
+        xs.iter().map(|t| expand_dims(t, axis_u as isize)).collect::<Result<_>>()?;
+    let refs: Vec<&Tensor> = expanded.iter().collect();
+    concat(&refs, axis_u as isize)
+}
+
+/// Split a tensor into equal parts along `axis` (the inverse of [`stack`]
+/// keeps the axis; see [`unstack`] to drop it).
+///
+/// # Errors
+/// Fails when the axis size is not divisible by `parts`.
+pub fn split(a: &Tensor, parts: usize, axis: isize) -> Result<Vec<Tensor>> {
+    let axis = normalize_axis("Split", axis, a.rank())?;
+    let n = a.shape_ref().dim(axis);
+    if parts == 0 || !n.is_multiple_of(parts) {
+        return Err(Error::invalid("Split", format!("cannot split {n} into {parts} parts")));
+    }
+    let step = n / parts;
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let mut begin = vec![0; a.rank()];
+        begin[axis] = p * step;
+        let mut size = a.shape().0;
+        size[axis] = step;
+        out.push(slice(a, &begin, &size)?);
+    }
+    Ok(out)
+}
+
+/// Unstack along `axis` into tensors with that axis removed.
+///
+/// # Errors
+/// Fails on an out-of-range axis.
+pub fn unstack(a: &Tensor, axis: isize) -> Result<Vec<Tensor>> {
+    let axis_u = normalize_axis("Unstack", axis, a.rank())?;
+    let n = a.shape_ref().dim(axis_u);
+    let slices = split(a, n, axis_u as isize)?;
+    slices.into_iter().map(|s| squeeze(&s, Some(&[axis_u as isize]))).collect()
+}
+
+/// Gather slices along `axis` by I32 `indices` (rank-1).
+///
+/// The gradient w.r.t. `x` is not implemented (indices are data-dependent);
+/// training through `gather` returns an error from the autodiff engine.
+///
+/// # Errors
+/// Fails when `indices` is not an integer tensor.
+pub fn gather(x: &Tensor, indices: &Tensor, axis: isize) -> Result<Tensor> {
+    if indices.dtype() != DType::I32 {
+        return Err(Error::dtype("Gather", "indices must be int32"));
+    }
+    let axis = normalize_axis("Gather", axis, x.rank())?;
+    let mut out_dims = Vec::new();
+    out_dims.extend_from_slice(&x.shape_ref().dims()[..axis]);
+    out_dims.extend_from_slice(indices.shape_ref().dims());
+    out_dims.extend_from_slice(&x.shape_ref().dims()[axis + 1..]);
+    let out_shape = Shape::new(out_dims);
+    let dtype = x.dtype();
+    let shape_for_fwd = out_shape.clone();
+    let outs = x.engine().run_kernel(
+        "Gather",
+        &[x, indices],
+        &mut |backend, ins| {
+            let id = backend.gather(&ins[0], &ins[1], axis)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Repeat each dimension `reps[i]` times. Not differentiable.
+///
+/// # Errors
+/// Fails when `reps.len() != rank`.
+pub fn tile(a: &Tensor, reps: &[usize]) -> Result<Tensor> {
+    if reps.len() != a.rank() {
+        return Err(Error::invalid("Tile", "reps length must equal rank"));
+    }
+    let out_dims: Vec<usize> =
+        a.shape_ref().dims().iter().zip(reps).map(|(&d, &r)| d * r).collect();
+    let out_shape = Shape::new(out_dims);
+    let dtype = a.dtype();
+    let shape_for_fwd = out_shape.clone();
+    let reps_fwd = reps.to_vec();
+    let outs = a.engine().run_kernel(
+        "Tile",
+        &[a],
+        &mut |backend, ins| {
+            let id = backend.tile(&ins[0], &reps_fwd)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// Reverse along the given axes.
+///
+/// # Errors
+/// Fails on out-of-range axes.
+pub fn reverse(a: &Tensor, axes: &[isize]) -> Result<Tensor> {
+    let norm: Vec<usize> =
+        axes.iter().map(|&ax| normalize_axis("Reverse", ax, a.rank())).collect::<Result<_>>()?;
+    let out_shape = a.shape();
+    let dtype = a.dtype();
+    let g_axes = axes.to_vec();
+    let grad: GradFn = Arc::new(move |dys, _ins, _outs| {
+        Ok(vec![Some(reverse(&dys[0], &g_axes)?)])
+    });
+    let shape_for_fwd = out_shape.clone();
+    let outs = a.engine().run_kernel(
+        "Reverse",
+        &[a],
+        &mut |backend, ins| {
+            let id = backend.reverse(&ins[0], &norm)?;
+            Ok(vec![(id, shape_for_fwd.clone(), dtype)])
+        },
+        Some(grad),
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::test_engine;
+    use super::*;
+
+    #[test]
+    fn reshape_shares_data() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let before = e.memory().num_bytes;
+        let b = reshape(&a, [2, 2]).unwrap();
+        // No new bytes allocated: reshape is free (paper Sec 3.4).
+        assert_eq!(e.memory().num_bytes, before);
+        assert_eq!(b.shape(), Shape::new(vec![2, 2]));
+        assert_eq!(b.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        // Engine sees two tensors but one data buffer.
+        assert_eq!(e.memory().num_data_buffers, 1);
+        assert_eq!(e.memory().num_tensors, 2);
+    }
+
+    #[test]
+    fn reshape_size_mismatch_errors() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        assert!(reshape(&a, [3]).is_err());
+    }
+
+    #[test]
+    fn disposing_view_keeps_data_alive() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        let b = reshape(&a, [2, 1]).unwrap();
+        a.dispose();
+        // b still reads fine: refcounted data container.
+        assert_eq!(b.to_f32_vec().unwrap(), vec![1.0, 2.0]);
+        b.dispose();
+        assert_eq!(e.memory().num_data_buffers, 0);
+    }
+
+    #[test]
+    fn expand_squeeze_round_trip() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        let b = expand_dims(&a, 0).unwrap();
+        assert_eq!(b.shape(), Shape::new(vec![1, 1, 2]));
+        let c = squeeze(&b, None).unwrap();
+        assert_eq!(c.shape(), Shape::new(vec![2]));
+        assert!(squeeze(&a, Some(&[1])).is_err());
+    }
+
+    #[test]
+    fn transpose_values() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let t = transpose(&a, None).unwrap();
+        assert_eq!(t.shape(), Shape::new(vec![3, 2]));
+        assert_eq!(t.to_f32_vec().unwrap(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(transpose(&a, Some(&[0, 0])).is_err());
+    }
+
+    #[test]
+    fn pad_slice_inverse() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let p = pad(&a, &[(1, 1), (1, 1)], 0.0).unwrap();
+        assert_eq!(p.shape(), Shape::new(vec![4, 4]));
+        let s = slice(&p, &[1, 1], &[2, 2]).unwrap();
+        assert_eq!(s.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_out_of_bounds_errors() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        assert!(slice(&a, &[1], &[2]).is_err());
+    }
+
+    #[test]
+    fn concat_stack_unstack() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        let b = e.tensor_1d(&[3.0, 4.0]).unwrap();
+        let c = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        let s = stack(&[&a, &b], 0).unwrap();
+        assert_eq!(s.shape(), Shape::new(vec![2, 2]));
+        let parts = unstack(&s, 0).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[1].to_f32_vec().unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn split_axis1() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let parts = split(&a, 2, 1).unwrap();
+        assert_eq!(parts[0].to_f32_vec().unwrap(), vec![1.0, 3.0]);
+        assert_eq!(parts[1].to_f32_vec().unwrap(), vec![2.0, 4.0]);
+        assert!(split(&a, 3, 1).is_err());
+    }
+
+    #[test]
+    fn gather_requires_int_indices() {
+        let e = test_engine();
+        let x = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let bad = e.tensor_1d(&[0.0]).unwrap();
+        assert!(gather(&x, &bad, 0).is_err());
+        let ix = e.tensor(vec![1i32, 1, 0], [3]).unwrap();
+        let out = gather(&x, &ix, 0).unwrap();
+        assert_eq!(out.shape(), Shape::new(vec![3, 2]));
+        assert_eq!(out.to_f32_vec().unwrap(), vec![3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tile_and_reverse() {
+        let e = test_engine();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        assert_eq!(tile(&a, &[3]).unwrap().to_f32_vec().unwrap(), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(reverse(&a, &[0]).unwrap().to_f32_vec().unwrap(), vec![2.0, 1.0]);
+    }
+}

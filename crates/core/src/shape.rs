@@ -1,0 +1,375 @@
+//! Shapes, strides, broadcasting and index arithmetic.
+//!
+//! These utilities are shared by the engine's shape inference and by every
+//! backend's kernels, so that all three backends (cpu, webgl, native) agree
+//! exactly on geometry.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logical shape of a tensor: a list of dimension sizes.
+///
+/// Rank 0 (scalar) is the empty list. Shapes are cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Shape {
+        Shape(dims.into())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn size(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Convert an N-D coordinate to a flat row-major index.
+    pub fn flat_index(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.rank());
+        let mut idx = 0;
+        let mut stride = 1;
+        for i in (0..self.rank()).rev() {
+            idx += coords[i] * stride;
+            stride *= self.0[i];
+        }
+        idx
+    }
+
+    /// Convert a flat row-major index to an N-D coordinate.
+    pub fn coords(&self, mut index: usize) -> Vec<usize> {
+        let mut out = vec![0; self.rank()];
+        for i in (0..self.rank()).rev() {
+            out[i] = index % self.0[i];
+            index /= self.0[i];
+        }
+        out
+    }
+
+    /// Remove all size-1 dimensions (the layout "squeeze" optimization of
+    /// paper Sec 4.1: a `1x3x1x2` tensor maps to `3x2`).
+    pub fn squeezed(&self) -> Shape {
+        Shape(self.0.iter().copied().filter(|&d| d != 1).collect())
+    }
+
+    /// Indices of the dimensions kept by [`Shape::squeezed`].
+    pub fn squeezed_axes(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether this shape can be reshaped into `other` (same element count).
+    pub fn same_size(&self, other: &Shape) -> bool {
+        self.size() == other.size()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Compute the broadcast shape of two shapes per NumPy/TensorFlow rules.
+///
+/// # Errors
+/// Returns [`Error::ShapeMismatch`] when a dimension pair is incompatible
+/// (neither equal nor 1).
+#[allow(clippy::needless_range_loop)] // symmetric right-aligned index math
+pub fn broadcast_shapes(op: &'static str, a: &Shape, b: &Shape) -> Result<Shape> {
+    let rank = a.rank().max(b.rank());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let ad = if i < rank - a.rank() { 1 } else { a.0[i - (rank - a.rank())] };
+        let bd = if i < rank - b.rank() { 1 } else { b.0[i - (rank - b.rank())] };
+        if ad != bd && ad != 1 && bd != 1 {
+            return Err(Error::shape(
+                op,
+                format!("cannot broadcast {a} with {b}: dim {i} ({ad} vs {bd})"),
+            ));
+        }
+        out[i] = ad.max(bd);
+    }
+    Ok(Shape(out))
+}
+
+/// Map a coordinate in the broadcast output shape back to a flat index in an
+/// input of shape `in_shape` (right-aligned, size-1 dims repeat).
+pub fn broadcast_source_index(out_coords: &[usize], in_shape: &Shape) -> usize {
+    let offset = out_coords.len() - in_shape.rank();
+    let mut idx = 0;
+    let mut stride = 1;
+    for i in (0..in_shape.rank()).rev() {
+        let d = in_shape.0[i];
+        let c = if d == 1 { 0 } else { out_coords[i + offset] };
+        idx += c * stride;
+        stride *= d;
+    }
+    idx
+}
+
+/// The axes of `in_shape` (right-aligned inside `out_rank`) along which
+/// broadcasting duplicated data; used by gradients of broadcasting binary ops
+/// (sum the upstream gradient over these axes).
+pub fn broadcast_reduce_axes(in_shape: &Shape, out_shape: &Shape) -> Vec<usize> {
+    let offset = out_shape.rank() - in_shape.rank();
+    let mut axes: Vec<usize> = (0..offset).collect();
+    for i in 0..in_shape.rank() {
+        if in_shape.0[i] == 1 && out_shape.0[i + offset] != 1 {
+            axes.push(i + offset);
+        }
+    }
+    axes
+}
+
+/// Normalize a possibly-negative axis into `0..rank`.
+///
+/// # Errors
+/// Returns [`Error::InvalidArgument`] when out of range.
+pub fn normalize_axis(op: &'static str, axis: isize, rank: usize) -> Result<usize> {
+    let r = rank as isize;
+    let a = if axis < 0 { axis + r } else { axis };
+    if a < 0 || (a >= r && !(r == 0 && a == 0)) {
+        return Err(Error::invalid(op, format!("axis {axis} out of range for rank {rank}")));
+    }
+    Ok(a as usize)
+}
+
+/// Normalize a list of axes; `None` means all axes.
+///
+/// # Errors
+/// Returns [`Error::InvalidArgument`] when any axis is out of range or
+/// duplicated.
+pub fn normalize_axes(op: &'static str, axes: Option<&[isize]>, rank: usize) -> Result<Vec<usize>> {
+    let mut out = match axes {
+        None => (0..rank).collect::<Vec<_>>(),
+        Some(list) => {
+            let mut v = Vec::with_capacity(list.len());
+            for &a in list {
+                v.push(normalize_axis(op, a, rank)?);
+            }
+            v
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    if axes.is_some() && out.len() != axes.unwrap().len() {
+        return Err(Error::invalid(op, "duplicate axes".to_string()));
+    }
+    Ok(out)
+}
+
+/// Output shape of a reduction over `axes`.
+pub fn reduced_shape(shape: &Shape, axes: &[usize], keep_dims: bool) -> Shape {
+    let mut dims = Vec::new();
+    for (i, &d) in shape.0.iter().enumerate() {
+        if axes.contains(&i) {
+            if keep_dims {
+                dims.push(1);
+            }
+        } else {
+            dims.push(d);
+        }
+    }
+    Shape(dims)
+}
+
+/// Iterator over all N-D coordinates of a shape, in row-major order.
+///
+/// For rank-0 shapes, yields a single empty coordinate.
+pub struct CoordIter {
+    dims: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl CoordIter {
+    /// Create a coordinate iterator over `shape`.
+    pub fn new(shape: &Shape) -> CoordIter {
+        let done = shape.size() == 0 && shape.rank() > 0;
+        CoordIter { dims: shape.0.clone(), current: vec![0; shape.rank()], done }
+    }
+}
+
+impl Iterator for CoordIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        // Advance odometer.
+        let mut i = self.dims.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.dims[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let s = Shape::new(vec![2, 3, 4]);
+        for i in 0..s.size() {
+            assert_eq!(s.flat_index(&s.coords(i)), i);
+        }
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let out = broadcast_shapes("add", &Shape::new(vec![2, 1, 4]), &Shape::new(vec![3, 1])).unwrap();
+        assert_eq!(out, Shape::new(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let out = broadcast_shapes("add", &Shape::scalar(), &Shape::new(vec![5, 2])).unwrap();
+        assert_eq!(out, Shape::new(vec![5, 2]));
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let e = broadcast_shapes("add", &Shape::new(vec![2, 3]), &Shape::new(vec![2, 4]));
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn broadcast_source_index_repeats() {
+        // in shape [1,3] broadcast to [2,3]: row coordinate ignored.
+        let s = Shape::new(vec![1, 3]);
+        assert_eq!(broadcast_source_index(&[0, 2], &s), 2);
+        assert_eq!(broadcast_source_index(&[1, 2], &s), 2);
+    }
+
+    #[test]
+    fn broadcast_reduce_axes_identifies_summed_dims() {
+        let a = Shape::new(vec![3, 1]);
+        let out = Shape::new(vec![2, 3, 4]);
+        assert_eq!(broadcast_reduce_axes(&a, &out), vec![0, 2]);
+    }
+
+    #[test]
+    fn squeezed_removes_unit_dims() {
+        // The paper's 1x3x1x2 example maps to 3x2.
+        let s = Shape::new(vec![1, 3, 1, 2]);
+        assert_eq!(s.squeezed(), Shape::new(vec![3, 2]));
+        assert_eq!(s.squeezed_axes(), vec![1, 3]);
+    }
+
+    #[test]
+    fn normalize_axis_handles_negative() {
+        assert_eq!(normalize_axis("t", -1, 3).unwrap(), 2);
+        assert_eq!(normalize_axis("t", 0, 3).unwrap(), 0);
+        assert!(normalize_axis("t", 3, 3).is_err());
+        assert!(normalize_axis("t", -4, 3).is_err());
+    }
+
+    #[test]
+    fn reduced_shape_keep_dims() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(reduced_shape(&s, &[1], false), Shape::new(vec![2, 4]));
+        assert_eq!(reduced_shape(&s, &[1], true), Shape::new(vec![2, 1, 4]));
+        assert_eq!(reduced_shape(&s, &[0, 1, 2], false), Shape::scalar());
+    }
+
+    #[test]
+    fn coord_iter_covers_all_in_order() {
+        let s = Shape::new(vec![2, 2]);
+        let coords: Vec<_> = CoordIter::new(&s).collect();
+        assert_eq!(coords, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn coord_iter_scalar_yields_once() {
+        let coords: Vec<_> = CoordIter::new(&Shape::scalar()).collect();
+        assert_eq!(coords, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn coord_iter_empty_shape_yields_none() {
+        let coords: Vec<_> = CoordIter::new(&Shape::new(vec![0, 3])).collect();
+        assert!(coords.is_empty());
+    }
+}

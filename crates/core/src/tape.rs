@@ -1,0 +1,141 @@
+//! The gradient tape for eager automatic differentiation (paper Sec 3.5).
+//!
+//! TensorFlow.js uses eager differentiation: while a gradient scope is
+//! active, every kernel the engine runs appends a [`TapeNode`] recording its
+//! inputs, outputs and a gradient function. Backpropagation walks the tape in
+//! reverse, restricted to nodes on a path from the requested inputs `xs` to
+//! the output `y`.
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Gradient function of a kernel: given the gradients flowing into each
+/// output (`dys`), the saved input tensors and the saved output tensors,
+/// produce the gradient for each input (or `None` for non-differentiable
+/// inputs such as integer index tensors).
+pub type GradFn =
+    Arc<dyn Fn(&[Tensor], &[Tensor], &[Tensor]) -> Result<Vec<Option<Tensor>>> + Send + Sync>;
+
+/// One recorded kernel invocation.
+pub struct TapeNode {
+    /// Kernel name, for error messages.
+    pub kernel: &'static str,
+    /// Tensor ids of the inputs, in call order.
+    pub input_ids: Vec<usize>,
+    /// Tensor ids of the outputs.
+    pub output_ids: Vec<usize>,
+    /// Saved input handles (kept alive for the backward pass).
+    pub inputs: Vec<Tensor>,
+    /// Saved output handles.
+    pub outputs: Vec<Tensor>,
+    /// The gradient function.
+    pub grad_fn: GradFn,
+}
+
+impl std::fmt::Debug for TapeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapeNode")
+            .field("kernel", &self.kernel)
+            .field("input_ids", &self.input_ids)
+            .field("output_ids", &self.output_ids)
+            .finish()
+    }
+}
+
+/// An append-only record of kernel invocations inside a gradient scope.
+#[derive(Debug, Default)]
+pub struct Tape {
+    /// Recorded nodes, in execution order.
+    pub nodes: Vec<TapeNode>,
+}
+
+impl Tape {
+    /// Create an empty tape.
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Append a node.
+    pub fn record(&mut self, node: TapeNode) {
+        self.nodes.push(node);
+    }
+
+    /// Indices of nodes that lie on a path from any of `x_ids` to any of
+    /// `y_ids` — the eager analogue of TensorFlow's pruned gradient graph.
+    ///
+    /// A node qualifies if (a) at least one input is reachable *from* an x
+    /// (forward pass over the tape) and (b) at least one output *reaches* a y
+    /// (backward pass). Nodes off this path are skipped during backprop.
+    pub fn filter_nodes(&self, x_ids: &[usize], y_ids: &[usize]) -> Vec<usize> {
+        // Forward reachability from xs.
+        let mut from_x: HashSet<usize> = x_ids.iter().copied().collect();
+        let mut fwd = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.input_ids.iter().any(|id| from_x.contains(id)) {
+                fwd[i] = true;
+                for &out in &node.output_ids {
+                    from_x.insert(out);
+                }
+            }
+        }
+        // Backward reachability to ys.
+        let mut to_y: HashSet<usize> = y_ids.iter().copied().collect();
+        let mut bwd = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate().rev() {
+            if node.output_ids.iter().any(|id| to_y.contains(id)) {
+                bwd[i] = true;
+                for &inp in &node.input_ids {
+                    to_y.insert(inp);
+                }
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| fwd[i] && bwd[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_node(kernel: &'static str, inputs: Vec<usize>, outputs: Vec<usize>) -> TapeNode {
+        TapeNode {
+            kernel,
+            input_ids: inputs,
+            output_ids: outputs,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            grad_fn: Arc::new(|_, _, _| Ok(Vec::new())),
+        }
+    }
+
+    #[test]
+    fn filter_keeps_only_path_nodes() {
+        let mut tape = Tape::new();
+        tape.record(dummy_node("a", vec![1], vec![2])); // on path
+        tape.record(dummy_node("b", vec![9], vec![10])); // unrelated
+        tape.record(dummy_node("c", vec![2], vec![3])); // on path
+        tape.record(dummy_node("d", vec![3], vec![4])); // past y? output 4 != y
+        let kept = tape.filter_nodes(&[1], &[3]);
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn filter_handles_fan_in() {
+        let mut tape = Tape::new();
+        tape.record(dummy_node("m1", vec![1, 2], vec![3]));
+        tape.record(dummy_node("m2", vec![3, 4], vec![5]));
+        // x = 4 only: node m1 is not reachable from x, m2 is.
+        let kept = tape.filter_nodes(&[4], &[5]);
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn filter_empty_when_no_path() {
+        let mut tape = Tape::new();
+        tape.record(dummy_node("a", vec![1], vec![2]));
+        assert!(tape.filter_nodes(&[5], &[2]).is_empty());
+        assert!(tape.filter_nodes(&[1], &[7]).is_empty());
+    }
+}

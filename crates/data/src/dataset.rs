@@ -1,0 +1,197 @@
+//! An in-memory dataset with shuffling and batching.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use webml_core::{Engine, Error, Result, Shape, Tensor};
+
+/// Feature/label pairs held on the host, materialized into tensors batch by
+/// batch.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+    x_shape: Vec<usize>,
+    y_shape: Vec<usize>,
+    len: usize,
+}
+
+impl Dataset {
+    /// Create a dataset; `x_shape`/`y_shape` are per-example shapes.
+    ///
+    /// # Errors
+    /// Fails when buffer lengths are inconsistent.
+    pub fn new(xs: Vec<f32>, x_shape: Vec<usize>, ys: Vec<f32>, y_shape: Vec<usize>) -> Result<Dataset> {
+        let x_size: usize = x_shape.iter().product();
+        let y_size: usize = y_shape.iter().product();
+        if x_size == 0 || y_size == 0 {
+            return Err(Error::invalid("Dataset", "per-example shapes must be non-empty"));
+        }
+        if !xs.len().is_multiple_of(x_size) || !ys.len().is_multiple_of(y_size) {
+            return Err(Error::invalid("Dataset", "buffer lengths do not divide example sizes"));
+        }
+        let len = xs.len() / x_size;
+        if ys.len() / y_size != len {
+            return Err(Error::invalid("Dataset", "xs and ys disagree on example count"));
+        }
+        Ok(Dataset { xs, ys, x_shape, y_shape, len })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-example feature shape.
+    pub fn x_shape(&self) -> &[usize] {
+        &self.x_shape
+    }
+
+    /// Per-example label shape.
+    pub fn y_shape(&self) -> &[usize] {
+        &self.y_shape
+    }
+
+    /// Shuffle examples in place, deterministically.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut order: Vec<usize> = (0..self.len).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let x_size: usize = self.x_shape.iter().product();
+        let y_size: usize = self.y_shape.iter().product();
+        let mut xs = Vec::with_capacity(self.xs.len());
+        let mut ys = Vec::with_capacity(self.ys.len());
+        for &i in &order {
+            xs.extend_from_slice(&self.xs[i * x_size..(i + 1) * x_size]);
+            ys.extend_from_slice(&self.ys[i * y_size..(i + 1) * y_size]);
+        }
+        self.xs = xs;
+        self.ys = ys;
+    }
+
+    /// Materialize the whole dataset as `(x, y)` tensors.
+    ///
+    /// # Errors
+    /// Propagates tensor-creation errors.
+    pub fn to_tensors(&self, engine: &Engine) -> Result<(Tensor, Tensor)> {
+        let mut xd = vec![self.len];
+        xd.extend_from_slice(&self.x_shape);
+        let mut yd = vec![self.len];
+        yd.extend_from_slice(&self.y_shape);
+        Ok((
+            engine.tensor(self.xs.clone(), Shape::new(xd))?,
+            engine.tensor(self.ys.clone(), Shape::new(yd))?,
+        ))
+    }
+
+    /// Materialize one batch `[start, start+size)` as tensors.
+    ///
+    /// # Errors
+    /// Fails when the range exceeds the dataset.
+    pub fn batch(&self, engine: &Engine, start: usize, size: usize) -> Result<(Tensor, Tensor)> {
+        if start + size > self.len {
+            return Err(Error::invalid("Dataset.batch", "batch exceeds dataset length"));
+        }
+        let x_size: usize = self.x_shape.iter().product();
+        let y_size: usize = self.y_shape.iter().product();
+        let mut xd = vec![size];
+        xd.extend_from_slice(&self.x_shape);
+        let mut yd = vec![size];
+        yd.extend_from_slice(&self.y_shape);
+        Ok((
+            engine.tensor(self.xs[start * x_size..(start + size) * x_size].to_vec(), Shape::new(xd))?,
+            engine.tensor(self.ys[start * y_size..(start + size) * y_size].to_vec(), Shape::new(yd))?,
+        ))
+    }
+
+    /// Split off the last `fraction` of examples as a validation set.
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        let n_val = ((self.len as f64) * fraction).round() as usize;
+        let n_train = self.len - n_val;
+        let x_size: usize = self.x_shape.iter().product();
+        let y_size: usize = self.y_shape.iter().product();
+        let val = Dataset {
+            xs: self.xs.split_off(n_train * x_size),
+            ys: self.ys.split_off(n_train * y_size),
+            x_shape: self.x_shape.clone(),
+            y_shape: self.y_shape.clone(),
+            len: n_val,
+        };
+        self.len = n_train;
+        (self, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![2],
+            vec![0.0, 1.0, 2.0],
+            vec![1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn length_and_shapes() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.x_shape(), &[2]);
+    }
+
+    #[test]
+    fn inconsistent_lengths_error() {
+        assert!(Dataset::new(vec![1.0; 5], vec![2], vec![0.0; 2], vec![1]).is_err());
+        assert!(Dataset::new(vec![1.0; 4], vec![2], vec![0.0; 3], vec![1]).is_err());
+    }
+
+    #[test]
+    fn batch_extracts_rows() {
+        let e = engine();
+        let d = tiny();
+        let (x, y) = d.batch(&e, 1, 2).unwrap();
+        assert_eq!(x.to_f32_vec().unwrap(), vec![3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(y.to_f32_vec().unwrap(), vec![1.0, 2.0]);
+        assert!(d.batch(&e, 2, 2).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_pairs_stay_aligned() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.shuffle(9);
+        b.shuffle(9);
+        assert_eq!(a.xs, b.xs);
+        // Each y must still follow its x (x = [2k+1, 2k+2] ↔ y = k).
+        for i in 0..a.len() {
+            let x0 = a.xs[i * 2];
+            let y = a.ys[i];
+            assert_eq!(y, (x0 - 1.0) / 2.0);
+        }
+    }
+
+    #[test]
+    fn split_fractions() {
+        let d = tiny();
+        let (train, val) = d.split(1.0 / 3.0);
+        assert_eq!(train.len(), 2);
+        assert_eq!(val.len(), 1);
+        assert_eq!(val.xs, vec![5.0, 6.0]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # webml-data
+//!
+//! Data utilities for the full ML workflow the paper's future-work section
+//! calls for: in-memory datasets with batching, deterministic synthetic
+//! dataset generators, and simulated browser sensors (webcam, microphone) —
+//! the on-device data sources of paper Sec 2.2.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod sensors;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use sensors::{Microphone, Webcam};

@@ -1,0 +1,158 @@
+//! Simulated browser sensors (paper Sec 2.2: "standardized access to
+//! various components of device hardware such as the web camera and
+//! microphone ... allow easy integration between ML models and sensor
+//! data").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webml_core::{Engine, Result, Tensor};
+
+/// A simulated webcam producing RGB frames with a moving bright blob over a
+/// noisy background — enough structure to exercise image models end to end.
+pub struct Webcam {
+    width: usize,
+    height: usize,
+    frame_index: u64,
+    rng: StdRng,
+}
+
+impl Webcam {
+    /// A webcam with the given frame size.
+    pub fn new(width: usize, height: usize, seed: u64) -> Webcam {
+        Webcam { width, height, frame_index: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Capture the next frame as interleaved RGB bytes (`h * w * 3`).
+    pub fn capture(&mut self) -> Vec<u8> {
+        let t = self.frame_index as f32 * 0.2;
+        self.frame_index += 1;
+        // The blob orbits the frame center.
+        let cx = self.width as f32 * (0.5 + 0.3 * t.cos());
+        let cy = self.height as f32 * (0.5 + 0.3 * t.sin());
+        let radius = (self.width.min(self.height) as f32) * 0.15;
+        let mut frame = Vec::with_capacity(self.width * self.height * 3);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let d = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                let blob = ((1.0 - d / radius).max(0.0) * 255.0) as u8;
+                let noise = self.rng.gen_range(0..30u8);
+                frame.push(blob.saturating_add(noise));
+                frame.push(blob / 2 + noise);
+                frame.push(noise);
+            }
+        }
+        frame
+    }
+
+    /// Capture straight into a `[1, h, w, 3]` float tensor
+    /// (`tf.browser.fromPixels(webcam)`).
+    ///
+    /// # Errors
+    /// Propagates tensor-creation errors.
+    pub fn capture_tensor(&mut self, engine: &Engine) -> Result<Tensor> {
+        let (h, w) = (self.height, self.width);
+        let frame = self.capture();
+        engine.from_pixels(&frame, h, w, 3)
+    }
+}
+
+/// A simulated microphone producing labelled waveforms: each "command"
+/// class is a distinct fundamental frequency plus noise — the structure a
+/// speech-commands model needs.
+pub struct Microphone {
+    sample_rate: usize,
+    rng: StdRng,
+}
+
+impl Microphone {
+    /// A microphone at the given sample rate.
+    pub fn new(sample_rate: usize, seed: u64) -> Microphone {
+        Microphone { sample_rate, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Record `samples` of a given command class (0-based). Classes map to
+    /// fundamentals 200 Hz, 400 Hz, 600 Hz, ...
+    pub fn record_command(&mut self, class: usize, samples: usize) -> Vec<f32> {
+        let freq = 200.0 * (class + 1) as f32;
+        let mut out = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let t = i as f32 / self.sample_rate as f32;
+            let tone = (2.0 * std::f32::consts::PI * freq * t).sin();
+            let harmonic = 0.3 * (4.0 * std::f32::consts::PI * freq * t).sin();
+            let noise = (self.rng.gen::<f32>() - 0.5) * 0.1;
+            out.push(tone + harmonic + noise);
+        }
+        out
+    }
+
+    /// A crude magnitude "spectrogram": energies of `bins` frequency probes
+    /// over `frames` windows — enough for a tiny audio classifier.
+    pub fn spectrogram(&mut self, class: usize, frames: usize, bins: usize) -> Vec<f32> {
+        let window = 128;
+        let wave = self.record_command(class, frames * window);
+        let mut spec = Vec::with_capacity(frames * bins);
+        for f in 0..frames {
+            let chunk = &wave[f * window..(f + 1) * window];
+            for b in 0..bins {
+                let probe = 100.0 * (b + 1) as f32;
+                let (mut re, mut im) = (0.0f32, 0.0f32);
+                for (i, &s) in chunk.iter().enumerate() {
+                    let t = i as f32 / self.sample_rate as f32;
+                    let phase = 2.0 * std::f32::consts::PI * probe * t;
+                    re += s * phase.cos();
+                    im += s * phase.sin();
+                }
+                spec.push((re * re + im * im).sqrt() / window as f32);
+            }
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    #[test]
+    fn webcam_frames_have_right_size_and_vary() {
+        let mut cam = Webcam::new(32, 24, 1);
+        let a = cam.capture();
+        let b = cam.capture();
+        assert_eq!(a.len(), 32 * 24 * 3);
+        assert_ne!(a, b, "the blob moves between frames");
+    }
+
+    #[test]
+    fn webcam_tensor_shape() {
+        let e = webml_core::Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        let mut cam = Webcam::new(16, 8, 2);
+        let t = cam.capture_tensor(&e).unwrap();
+        assert_eq!(t.dims(), &[1, 8, 16, 3]);
+    }
+
+    #[test]
+    fn microphone_classes_differ_spectrally() {
+        let mut mic = Microphone::new(16_000, 3);
+        let a = mic.spectrogram(0, 4, 8);
+        let b = mic.spectrogram(2, 4, 8);
+        assert_eq!(a.len(), 32);
+        // Different fundamentals concentrate energy in different bins.
+        let peak = |s: &[f32]| {
+            s[..8].iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).map(|(i, _)| i).unwrap()
+        };
+        assert_ne!(peak(&a), peak(&b));
+    }
+}

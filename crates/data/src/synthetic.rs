@@ -1,0 +1,133 @@
+//! Deterministic synthetic datasets for examples, tests and benchmarks.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The XOR problem (4 examples, optionally jittered copies).
+pub fn xor(copies: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..copies.max(1) {
+        for (x, y) in base {
+            xs.push(x[0] + rng.gen::<f32>() * 0.05);
+            xs.push(x[1] + rng.gen::<f32>() * 0.05);
+            ys.push(y);
+        }
+    }
+    Dataset::new(xs, vec![2], ys, vec![1]).expect("consistent construction")
+}
+
+/// Noisy samples of `y = slope * x + intercept`.
+pub fn linear(n: usize, slope: f32, intercept: f32, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = i as f32 / n.max(1) as f32 * 10.0;
+        xs.push(x);
+        ys.push(slope * x + intercept + (rng.gen::<f32>() - 0.5) * 2.0 * noise);
+    }
+    Dataset::new(xs, vec![1], ys, vec![1]).expect("consistent construction")
+}
+
+/// Two interleaved spirals, one-hot labels — the classic playground task.
+pub fn spiral(n_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for class in 0..2 {
+        for i in 0..n_per_class {
+            let r = i as f32 / n_per_class as f32 * 4.0;
+            let t = 1.75 * r + class as f32 * std::f32::consts::PI;
+            xs.push(r * t.sin() + rng.gen::<f32>() * 0.1);
+            xs.push(r * t.cos() + rng.gen::<f32>() * 0.1);
+            ys.push(if class == 0 { 1.0 } else { 0.0 });
+            ys.push(if class == 1 { 1.0 } else { 0.0 });
+        }
+    }
+    Dataset::new(xs, vec![2], ys, vec![2]).expect("consistent construction")
+}
+
+/// MNIST-like synthetic digits: each class has a random prototype image;
+/// samples are prototypes plus pixel noise. Labels are one-hot.
+///
+/// This preserves what matters for runtime/learning-behaviour experiments —
+/// image-shaped inputs, class structure, learnable signal — without
+/// shipping the real dataset.
+pub fn mnist_like(n: usize, classes: usize, side: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pixels = side * side;
+    // Class prototypes.
+    let prototypes: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..pixels).map(|_| if rng.gen::<f32>() < 0.25 { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let mut xs = Vec::with_capacity(n * pixels);
+    let mut ys = Vec::with_capacity(n * classes);
+    for i in 0..n {
+        let class = i % classes;
+        for &p in &prototypes[class] {
+            let noise = (rng.gen::<f32>() - 0.5) * 0.4;
+            xs.push((p + noise).clamp(0.0, 1.0));
+        }
+        for c in 0..classes {
+            ys.push(if c == class { 1.0 } else { 0.0 });
+        }
+    }
+    Dataset::new(xs, vec![side, side, 1], ys, vec![classes]).expect("consistent construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_has_four_examples_per_copy() {
+        let d = xor(3, 1);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.x_shape(), &[2]);
+    }
+
+    #[test]
+    fn linear_tracks_slope() {
+        let d = linear(100, 2.0, 1.0, 0.0, 1);
+        assert_eq!(d.len(), 100);
+        let (xs, ys) = {
+            use std::sync::Arc;
+            let e = webml_core::Engine::new();
+            e.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+            let (x, y) = d.to_tensors(&e).unwrap();
+            (x.to_f32_vec().unwrap(), y.to_f32_vec().unwrap())
+        };
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((y - (2.0 * x + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spiral_one_hot_labels() {
+        let d = spiral(10, 2);
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.y_shape(), &[2]);
+    }
+
+    #[test]
+    fn mnist_like_shapes_and_determinism() {
+        let a = mnist_like(20, 10, 8, 5);
+        let b = mnist_like(20, 10, 8, 5);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.x_shape(), &[8, 8, 1]);
+        assert_eq!(a.y_shape(), &[10]);
+        let e = {
+            use std::sync::Arc;
+            let e = webml_core::Engine::new();
+            e.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+            e
+        };
+        let (xa, _) = a.to_tensors(&e).unwrap();
+        let (xb, _) = b.to_tensors(&e).unwrap();
+        assert_eq!(xa.to_f32_vec().unwrap(), xb.to_f32_vec().unwrap());
+    }
+}

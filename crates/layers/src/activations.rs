@@ -1,0 +1,134 @@
+//! Activation functions, by Keras name.
+
+use serde::{Deserialize, Serialize};
+use webml_core::{ops, Result, Tensor};
+
+/// An activation function applied element-wise (softmax: over the last
+/// axis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum Activation {
+    /// Identity.
+    #[default]
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU capped at 6 (MobileNet's activation).
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Softmax over the last axis.
+    Softmax,
+    /// Exponential linear unit.
+    Elu,
+    /// Scaled ELU.
+    Selu,
+    /// Softplus.
+    Softplus,
+    /// Leaky ReLU with slope 0.2.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Apply the activation.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn apply(self, x: &Tensor) -> Result<Tensor> {
+        match self {
+            Activation::Linear => ops::identity(x),
+            Activation::Relu => ops::relu(x),
+            Activation::Relu6 => ops::relu6(x),
+            Activation::Sigmoid => ops::sigmoid(x),
+            Activation::Tanh => ops::tanh(x),
+            Activation::Softmax => ops::softmax(x),
+            Activation::Elu => ops::elu(x),
+            Activation::Selu => ops::selu(x),
+            Activation::Softplus => ops::softplus(x),
+            Activation::LeakyRelu => ops::leaky_relu(x, 0.2),
+        }
+    }
+
+    /// Keras serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Relu6 => "relu6",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "softmax",
+            Activation::Elu => "elu",
+            Activation::Selu => "selu",
+            Activation::Softplus => "softplus",
+            Activation::LeakyRelu => "leaky_relu",
+        }
+    }
+
+    /// Parse a Keras activation name.
+    pub fn from_name(name: &str) -> Option<Activation> {
+        match name {
+            "linear" => Some(Activation::Linear),
+            "relu" => Some(Activation::Relu),
+            "relu6" => Some(Activation::Relu6),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "tanh" => Some(Activation::Tanh),
+            "softmax" => Some(Activation::Softmax),
+            "elu" => Some(Activation::Elu),
+            "selu" => Some(Activation::Selu),
+            "softplus" => Some(Activation::Softplus),
+            "leaky_relu" => Some(Activation::LeakyRelu),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::{cpu::CpuBackend, Engine};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Relu6,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Softmax,
+            Activation::Elu,
+            Activation::Selu,
+            Activation::Softplus,
+            Activation::LeakyRelu,
+        ] {
+            assert_eq!(Activation::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Activation::from_name("swish"), None);
+    }
+
+    #[test]
+    fn softmax_normalizes_rows() {
+        let e = engine();
+        let x = e.tensor_2d(&[1.0, 2.0, 0.0, 0.0], 2, 2).unwrap();
+        let y = Activation::Softmax.apply(&x).unwrap().to_f32_vec().unwrap();
+        assert!((y[0] + y[1] - 1.0).abs() < 1e-6);
+        assert!((y[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_applies() {
+        let e = engine();
+        let x = e.tensor_1d(&[-1.0, 2.0]).unwrap();
+        assert_eq!(Activation::Relu.apply(&x).unwrap().to_f32_vec().unwrap(), vec![0.0, 2.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Weight initializers with Keras semantics and names.
+
+use serde::{Deserialize, Serialize};
+use webml_core::{DType, Engine, Result, Shape, Tensor};
+
+/// How layer weights are initialized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Initializer {
+    /// All zeros (the bias default).
+    Zeros,
+    /// All ones (batch-norm gamma).
+    Ones,
+    /// A constant value.
+    Constant(f32),
+    /// Uniform in `±sqrt(6 / (fan_in + fan_out))` (the Keras kernel default).
+    GlorotUniform,
+    /// Normal with `std = sqrt(2 / (fan_in + fan_out))`, truncated.
+    GlorotNormal,
+    /// Normal with `std = sqrt(2 / fan_in)`, truncated (He).
+    HeNormal,
+    /// Uniform in `[-limit, limit]`.
+    RandomUniform(f32),
+    /// Normal with the given std.
+    RandomNormal(f32),
+}
+
+/// Fan-in/fan-out of a weight shape, per Keras conventions: dense kernels
+/// are `[in, out]`; conv kernels `[h, w, in, out]` use the receptive field
+/// size as a multiplier.
+fn fans(shape: &Shape) -> (f64, f64) {
+    let dims = shape.dims();
+    match dims.len() {
+        0 => (1.0, 1.0),
+        1 => (dims[0] as f64, dims[0] as f64),
+        2 => (dims[0] as f64, dims[1] as f64),
+        _ => {
+            let receptive: f64 = dims[..dims.len() - 2].iter().product::<usize>() as f64;
+            (receptive * dims[dims.len() - 2] as f64, receptive * dims[dims.len() - 1] as f64)
+        }
+    }
+}
+
+impl Initializer {
+    /// Materialize a weight tensor.
+    ///
+    /// # Errors
+    /// Propagates creation-op errors.
+    pub fn init(self, engine: &Engine, shape: impl Into<Shape>, seed: u64) -> Result<Tensor> {
+        let shape = shape.into();
+        let (fan_in, fan_out) = fans(&shape);
+        match self {
+            Initializer::Zeros => engine.zeros(shape, DType::F32),
+            Initializer::Ones => engine.ones(shape, DType::F32),
+            Initializer::Constant(v) => engine.fill(shape, v, DType::F32),
+            Initializer::GlorotUniform => {
+                let limit = (6.0 / (fan_in + fan_out)).sqrt() as f32;
+                engine.rand_uniform(shape, -limit, limit, seed)
+            }
+            Initializer::GlorotNormal => {
+                let std = (2.0 / (fan_in + fan_out)).sqrt() as f32;
+                engine.truncated_normal(shape, 0.0, std, seed)
+            }
+            Initializer::HeNormal => {
+                let std = (2.0 / fan_in).sqrt() as f32;
+                engine.truncated_normal(shape, 0.0, std, seed)
+            }
+            Initializer::RandomUniform(limit) => engine.rand_uniform(shape, -limit, limit, seed),
+            Initializer::RandomNormal(std) => engine.rand_normal(shape, 0.0, std, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn zeros_ones_constant() {
+        let e = engine();
+        assert_eq!(
+            Initializer::Zeros.init(&e, [2], 0).unwrap().to_f32_vec().unwrap(),
+            vec![0.0, 0.0]
+        );
+        assert_eq!(Initializer::Ones.init(&e, [2], 0).unwrap().to_f32_vec().unwrap(), vec![1.0, 1.0]);
+        assert_eq!(
+            Initializer::Constant(0.5).init(&e, [2], 0).unwrap().to_f32_vec().unwrap(),
+            vec![0.5, 0.5]
+        );
+    }
+
+    #[test]
+    fn glorot_uniform_respects_limit() {
+        let e = engine();
+        // fan_in = 100, fan_out = 50: limit = sqrt(6/150) ≈ 0.2.
+        let w = Initializer::GlorotUniform.init(&e, [100, 50], 1).unwrap().to_f32_vec().unwrap();
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= limit));
+        // Spread should fill a good part of the range.
+        let max = w.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > limit * 0.8);
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let e = engine();
+        let w = Initializer::HeNormal.init(&e, [200, 10], 2).unwrap().to_f32_vec().unwrap();
+        let std = (w.iter().map(|v| v * v).sum::<f32>() / w.len() as f32).sqrt();
+        let expect = (2.0f32 / 200.0).sqrt();
+        assert!((std - expect).abs() < expect * 0.3, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn conv_fans_use_receptive_field() {
+        let (fi, fo) = fans(&Shape::new(vec![3, 3, 8, 16]));
+        assert_eq!(fi, 72.0);
+        assert_eq!(fo, 144.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e = engine();
+        let a = Initializer::GlorotUniform.init(&e, [10], 7).unwrap().to_f32_vec().unwrap();
+        let b = Initializer::GlorotUniform.init(&e, [10], 7).unwrap().to_f32_vec().unwrap();
+        assert_eq!(a, b);
+    }
+}

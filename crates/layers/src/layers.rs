@@ -1,0 +1,1277 @@
+//! The layer zoo: Keras-style building blocks with reasonable defaults.
+//!
+//! Shapes in `build`/`output_shape` are per-example (no batch dimension),
+//! as in Keras `input_shape`; `call` receives batched tensors whose first
+//! dimension is the batch.
+
+use crate::activations::Activation;
+use crate::initializers::Initializer;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use webml_core::conv_util::Padding;
+use webml_core::{ops, Engine, Error, Result, Shape, Tensor, Variable};
+
+static LAYER_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique default layer name like `dense_3`. Unique names matter:
+/// weight names (`layer/kernel`) key optimizer slots and converter
+/// manifests.
+pub fn unique_name(prefix: &str) -> String {
+    format!("{prefix}_{}", LAYER_COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A model building block (paper Sec 3.2).
+pub trait Layer: Send {
+    /// Keras class name for serialization (`"Dense"`, `"Conv2D"`, ...).
+    fn class_name(&self) -> &'static str;
+
+    /// Instance name.
+    fn name(&self) -> &str;
+
+    /// Allocate weights for the given per-example input shape.
+    ///
+    /// # Errors
+    /// Fails on incompatible input shapes.
+    fn build(&mut self, engine: &Engine, input_shape: &Shape, seed: u64) -> Result<()>;
+
+    /// Whether weights exist.
+    fn built(&self) -> bool;
+
+    /// Run the layer on a batched input.
+    ///
+    /// # Errors
+    /// Fails when not built or on op errors.
+    fn call(&self, input: &Tensor, training: bool) -> Result<Tensor>;
+
+    /// Per-example output shape for a per-example input shape.
+    ///
+    /// # Errors
+    /// Fails on incompatible input shapes.
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape>;
+
+    /// Named weights in canonical order (kernel before bias).
+    fn weights(&self) -> Vec<(String, Variable)> {
+        Vec::new()
+    }
+
+    /// Keras-style `config` object for serialization.
+    fn get_config(&self) -> Value;
+
+    /// Total parameter count.
+    fn count_params(&self) -> usize {
+        self.weights().iter().map(|(_, v)| v.shape().size()).sum()
+    }
+}
+
+fn require_built<'a>(v: &'a Option<Variable>, layer: &str) -> Result<&'a Variable> {
+    v.as_ref().ok_or_else(|| Error::invalid("Layer.call", format!("layer {layer} is not built")))
+}
+
+fn padding_name(p: Padding) -> &'static str {
+    match p {
+        Padding::Same => "same",
+        Padding::Valid => "valid",
+        Padding::Explicit(..) => "explicit",
+    }
+}
+
+/// Parse a Keras padding name.
+pub fn padding_from_name(name: &str) -> Result<Padding> {
+    match name {
+        "same" => Ok(Padding::Same),
+        "valid" => Ok(Padding::Valid),
+        other => Err(Error::Serialization { message: format!("unknown padding {other}") }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer: `activation(x · kernel + bias)`.
+pub struct Dense {
+    name: String,
+    units: usize,
+    activation: Activation,
+    use_bias: bool,
+    kernel_initializer: Initializer,
+    input_dim: Option<usize>,
+    kernel: Option<Variable>,
+    bias: Option<Variable>,
+}
+
+impl Dense {
+    /// A dense layer with `units` outputs.
+    pub fn new(units: usize) -> Dense {
+        Dense {
+            name: unique_name("dense"),
+            units,
+            activation: Activation::Linear,
+            use_bias: true,
+            kernel_initializer: Initializer::GlorotUniform,
+            input_dim: None,
+            kernel: None,
+            bias: None,
+        }
+    }
+
+    /// Set the activation.
+    pub fn with_activation(mut self, a: Activation) -> Dense {
+        self.activation = a;
+        self
+    }
+
+    /// Declare the input feature count (first layer of a Sequential).
+    pub fn with_input_dim(mut self, dim: usize) -> Dense {
+        self.input_dim = Some(dim);
+        self
+    }
+
+    /// Disable the bias term.
+    pub fn without_bias(mut self) -> Dense {
+        self.use_bias = false;
+        self
+    }
+
+    /// Set the kernel initializer.
+    pub fn with_kernel_initializer(mut self, init: Initializer) -> Dense {
+        self.kernel_initializer = init;
+        self
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Dense {
+        self.name = name.into();
+        self
+    }
+
+    /// Declared input dim, if any.
+    pub fn input_dim(&self) -> Option<usize> {
+        self.input_dim
+    }
+}
+
+impl Layer for Dense {
+    fn class_name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, engine: &Engine, input_shape: &Shape, seed: u64) -> Result<()> {
+        if input_shape.rank() != 1 {
+            return Err(Error::shape("Dense.build", format!("expected rank-1 input, got {input_shape}")));
+        }
+        let in_dim = input_shape.dim(0);
+        let kernel = self.kernel_initializer.init(engine, [in_dim, self.units], seed)?;
+        self.kernel = Some(Variable::new(kernel, format!("{}/kernel", self.name)));
+        if self.use_bias {
+            let bias = Initializer::Zeros.init(engine, [self.units], seed)?;
+            self.bias = Some(Variable::new(bias, format!("{}/bias", self.name)));
+        }
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let kernel = require_built(&self.kernel, &self.name)?;
+        let mut y = ops::matmul(input, &kernel.value(), false, false)?;
+        if let Some(bias) = &self.bias {
+            y = ops::add(&y, &bias.value())?;
+        }
+        self.activation.apply(&y)
+    }
+
+    fn output_shape(&self, _input_shape: &Shape) -> Result<Shape> {
+        Ok(Shape::new(vec![self.units]))
+    }
+
+    fn weights(&self) -> Vec<(String, Variable)> {
+        let mut w = Vec::new();
+        if let Some(k) = &self.kernel {
+            w.push((format!("{}/kernel", self.name), k.clone()));
+        }
+        if let Some(b) = &self.bias {
+            w.push((format!("{}/bias", self.name), b.clone()));
+        }
+        w
+    }
+
+    fn get_config(&self) -> Value {
+        json!({
+            "name": self.name,
+            "units": self.units,
+            "activation": self.activation.name(),
+            "use_bias": self.use_bias,
+            "input_dim": self.input_dim,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution layer (NHWC).
+pub struct Conv2D {
+    name: String,
+    filters: usize,
+    kernel_size: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+    activation: Activation,
+    use_bias: bool,
+    kernel_initializer: Initializer,
+    input_shape: Option<[usize; 3]>,
+    kernel: Option<Variable>,
+    bias: Option<Variable>,
+}
+
+impl Conv2D {
+    /// A conv layer with `filters` output channels and a square kernel.
+    pub fn new(filters: usize, kernel_size: usize) -> Conv2D {
+        Conv2D {
+            name: unique_name("conv2d"),
+            filters,
+            kernel_size: (kernel_size, kernel_size),
+            strides: (1, 1),
+            padding: Padding::Same,
+            activation: Activation::Linear,
+            use_bias: true,
+            kernel_initializer: Initializer::GlorotUniform,
+            input_shape: None,
+            kernel: None,
+            bias: None,
+        }
+    }
+
+    /// Set strides.
+    pub fn with_strides(mut self, s: (usize, usize)) -> Conv2D {
+        self.strides = s;
+        self
+    }
+
+    /// Set padding.
+    pub fn with_padding(mut self, p: Padding) -> Conv2D {
+        self.padding = p;
+        self
+    }
+
+    /// Set the activation.
+    pub fn with_activation(mut self, a: Activation) -> Conv2D {
+        self.activation = a;
+        self
+    }
+
+    /// Disable the bias term.
+    pub fn without_bias(mut self) -> Conv2D {
+        self.use_bias = false;
+        self
+    }
+
+    /// Declare the per-example input shape `[h, w, c]` (first layer).
+    pub fn with_input_shape(mut self, shape: [usize; 3]) -> Conv2D {
+        self.input_shape = Some(shape);
+        self
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Conv2D {
+        self.name = name.into();
+        self
+    }
+
+    /// Declared input shape, if any.
+    pub fn input_shape(&self) -> Option<[usize; 3]> {
+        self.input_shape
+    }
+}
+
+impl Layer for Conv2D {
+    fn class_name(&self) -> &'static str {
+        "Conv2D"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, engine: &Engine, input_shape: &Shape, seed: u64) -> Result<()> {
+        if input_shape.rank() != 3 {
+            return Err(Error::shape("Conv2D.build", format!("expected [h,w,c] input, got {input_shape}")));
+        }
+        let c = input_shape.dim(2);
+        let kernel = self.kernel_initializer.init(
+            engine,
+            [self.kernel_size.0, self.kernel_size.1, c, self.filters],
+            seed,
+        )?;
+        self.kernel = Some(Variable::new(kernel, format!("{}/kernel", self.name)));
+        if self.use_bias {
+            let bias = Initializer::Zeros.init(engine, [self.filters], seed)?;
+            self.bias = Some(Variable::new(bias, format!("{}/bias", self.name)));
+        }
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let kernel = require_built(&self.kernel, &self.name)?;
+        let mut y = ops::conv2d(input, &kernel.value(), self.strides, self.padding, (1, 1))?;
+        if let Some(bias) = &self.bias {
+            y = ops::add(&y, &bias.value())?;
+        }
+        self.activation.apply(&y)
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        let full = Shape::new(vec![
+            1,
+            input_shape.dim(0),
+            input_shape.dim(1),
+            input_shape.dim(2),
+        ]);
+        let filter = Shape::new(vec![
+            self.kernel_size.0,
+            self.kernel_size.1,
+            input_shape.dim(2),
+            self.filters,
+        ]);
+        let info = webml_core::conv_util::conv2d_info(
+            "Conv2D.outputShape",
+            &full,
+            &filter,
+            self.strides,
+            self.padding,
+            (1, 1),
+        )?;
+        Ok(Shape::new(vec![info.out_height, info.out_width, info.out_channels]))
+    }
+
+    fn weights(&self) -> Vec<(String, Variable)> {
+        let mut w = Vec::new();
+        if let Some(k) = &self.kernel {
+            w.push((format!("{}/kernel", self.name), k.clone()));
+        }
+        if let Some(b) = &self.bias {
+            w.push((format!("{}/bias", self.name), b.clone()));
+        }
+        w
+    }
+
+    fn get_config(&self) -> Value {
+        json!({
+            "name": self.name,
+            "filters": self.filters,
+            "kernel_size": [self.kernel_size.0, self.kernel_size.1],
+            "strides": [self.strides.0, self.strides.1],
+            "padding": padding_name(self.padding),
+            "activation": self.activation.name(),
+            "use_bias": self.use_bias,
+            "input_shape": self.input_shape.map(|s| s.to_vec()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DepthwiseConv2D
+// ---------------------------------------------------------------------------
+
+/// Depthwise 2-D convolution (the MobileNet building block).
+pub struct DepthwiseConv2D {
+    name: String,
+    kernel_size: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+    depth_multiplier: usize,
+    activation: Activation,
+    use_bias: bool,
+    kernel: Option<Variable>,
+    bias: Option<Variable>,
+}
+
+impl DepthwiseConv2D {
+    /// A depthwise conv with a square kernel.
+    pub fn new(kernel_size: usize) -> DepthwiseConv2D {
+        DepthwiseConv2D {
+            name: unique_name("depthwise_conv2d"),
+            kernel_size: (kernel_size, kernel_size),
+            strides: (1, 1),
+            padding: Padding::Same,
+            depth_multiplier: 1,
+            activation: Activation::Linear,
+            use_bias: true,
+            kernel: None,
+            bias: None,
+        }
+    }
+
+    /// Set strides.
+    pub fn with_strides(mut self, s: (usize, usize)) -> DepthwiseConv2D {
+        self.strides = s;
+        self
+    }
+
+    /// Set padding.
+    pub fn with_padding(mut self, p: Padding) -> DepthwiseConv2D {
+        self.padding = p;
+        self
+    }
+
+    /// Set the activation.
+    pub fn with_activation(mut self, a: Activation) -> DepthwiseConv2D {
+        self.activation = a;
+        self
+    }
+
+    /// Disable the bias term.
+    pub fn without_bias(mut self) -> DepthwiseConv2D {
+        self.use_bias = false;
+        self
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> DepthwiseConv2D {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for DepthwiseConv2D {
+    fn class_name(&self) -> &'static str {
+        "DepthwiseConv2D"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, engine: &Engine, input_shape: &Shape, seed: u64) -> Result<()> {
+        if input_shape.rank() != 3 {
+            return Err(Error::shape("DepthwiseConv2D.build", format!("expected [h,w,c], got {input_shape}")));
+        }
+        let c = input_shape.dim(2);
+        let kernel = Initializer::GlorotUniform.init(
+            engine,
+            [self.kernel_size.0, self.kernel_size.1, c, self.depth_multiplier],
+            seed,
+        )?;
+        self.kernel = Some(Variable::new(kernel, format!("{}/kernel", self.name)));
+        if self.use_bias {
+            let bias = Initializer::Zeros.init(engine, [c * self.depth_multiplier], seed)?;
+            self.bias = Some(Variable::new(bias, format!("{}/bias", self.name)));
+        }
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let kernel = require_built(&self.kernel, &self.name)?;
+        let mut y =
+            ops::depthwise_conv2d(input, &kernel.value(), self.strides, self.padding, (1, 1))?;
+        if let Some(bias) = &self.bias {
+            y = ops::add(&y, &bias.value())?;
+        }
+        self.activation.apply(&y)
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        let full = Shape::new(vec![1, input_shape.dim(0), input_shape.dim(1), input_shape.dim(2)]);
+        let filter = Shape::new(vec![
+            self.kernel_size.0,
+            self.kernel_size.1,
+            input_shape.dim(2),
+            self.depth_multiplier,
+        ]);
+        let info = webml_core::conv_util::depthwise_conv2d_info(
+            "DepthwiseConv2D.outputShape",
+            &full,
+            &filter,
+            self.strides,
+            self.padding,
+            (1, 1),
+        )?;
+        Ok(Shape::new(vec![info.out_height, info.out_width, info.out_channels]))
+    }
+
+    fn weights(&self) -> Vec<(String, Variable)> {
+        let mut w = Vec::new();
+        if let Some(k) = &self.kernel {
+            w.push((format!("{}/kernel", self.name), k.clone()));
+        }
+        if let Some(b) = &self.bias {
+            w.push((format!("{}/bias", self.name), b.clone()));
+        }
+        w
+    }
+
+    fn get_config(&self) -> Value {
+        json!({
+            "name": self.name,
+            "kernel_size": [self.kernel_size.0, self.kernel_size.1],
+            "strides": [self.strides.0, self.strides.1],
+            "padding": padding_name(self.padding),
+            "depth_multiplier": self.depth_multiplier,
+            "activation": self.activation.name(),
+            "use_bias": self.use_bias,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pooling / reshaping / stateless layers
+// ---------------------------------------------------------------------------
+
+macro_rules! pooling_layer {
+    ($(#[$doc:meta])* $name:ident, $class:literal, $op:path) => {
+        $(#[$doc])*
+        pub struct $name {
+            name: String,
+            pool_size: (usize, usize),
+            strides: (usize, usize),
+            padding: Padding,
+        }
+
+        impl $name {
+            /// A pooling layer with a square window (stride = window).
+            pub fn new(pool_size: usize) -> $name {
+                $name {
+                    name: unique_name(&$class.to_lowercase()),
+                    pool_size: (pool_size, pool_size),
+                    strides: (pool_size, pool_size),
+                    padding: Padding::Valid,
+                }
+            }
+
+            /// Set strides.
+            pub fn with_strides(mut self, s: (usize, usize)) -> $name {
+                self.strides = s;
+                self
+            }
+
+            /// Set padding.
+            pub fn with_padding(mut self, p: Padding) -> $name {
+                self.padding = p;
+                self
+            }
+
+            /// Set the instance name.
+            pub fn with_name(mut self, name: impl Into<String>) -> $name {
+                self.name = name.into();
+                self
+            }
+        }
+
+        impl Layer for $name {
+            fn class_name(&self) -> &'static str {
+                $class
+            }
+
+            fn name(&self) -> &str {
+                &self.name
+            }
+
+            fn build(&mut self, _engine: &Engine, _input_shape: &Shape, _seed: u64) -> Result<()> {
+                Ok(())
+            }
+
+            fn built(&self) -> bool {
+                true
+            }
+
+            fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+                $op(input, self.pool_size, self.strides, self.padding)
+            }
+
+            fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+                let full =
+                    Shape::new(vec![1, input_shape.dim(0), input_shape.dim(1), input_shape.dim(2)]);
+                let info = webml_core::conv_util::pool2d_info(
+                    "Pool.outputShape",
+                    &full,
+                    self.pool_size,
+                    self.strides,
+                    self.padding,
+                )?;
+                Ok(Shape::new(vec![info.out_height, info.out_width, info.out_channels]))
+            }
+
+            fn get_config(&self) -> Value {
+                json!({
+                    "name": self.name,
+                    "pool_size": [self.pool_size.0, self.pool_size.1],
+                    "strides": [self.strides.0, self.strides.1],
+                    "padding": padding_name(self.padding),
+                })
+            }
+        }
+    };
+}
+
+pooling_layer!(
+    /// Max pooling over 2-D windows.
+    MaxPooling2D,
+    "MaxPooling2D",
+    ops::max_pool
+);
+pooling_layer!(
+    /// Average pooling over 2-D windows.
+    AveragePooling2D,
+    "AveragePooling2D",
+    ops::avg_pool
+);
+
+/// Global average pooling: `[h, w, c] -> [c]`.
+#[derive(Default)]
+pub struct GlobalAveragePooling2D {
+    name: String,
+}
+
+impl GlobalAveragePooling2D {
+    /// A global average pooling layer.
+    pub fn new() -> GlobalAveragePooling2D {
+        GlobalAveragePooling2D { name: unique_name("global_average_pooling2d") }
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> GlobalAveragePooling2D {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for GlobalAveragePooling2D {
+    fn class_name(&self) -> &'static str {
+        "GlobalAveragePooling2D"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, _engine: &Engine, _input_shape: &Shape, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        true
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        ops::global_avg_pool(input)
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        Ok(Shape::new(vec![input_shape.dim(2)]))
+    }
+
+    fn get_config(&self) -> Value {
+        json!({ "name": self.name })
+    }
+}
+
+/// Flatten to rank 1 per example.
+#[derive(Default)]
+pub struct Flatten {
+    name: String,
+}
+
+impl Flatten {
+    /// A flatten layer.
+    pub fn new() -> Flatten {
+        Flatten { name: unique_name("flatten") }
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Flatten {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for Flatten {
+    fn class_name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, _engine: &Engine, _input_shape: &Shape, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        true
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let batch = input.shape_ref().dim(0);
+        ops::reshape(input, vec![batch, input.size() / batch])
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        Ok(Shape::new(vec![input_shape.size()]))
+    }
+
+    fn get_config(&self) -> Value {
+        json!({ "name": self.name })
+    }
+}
+
+/// Reshape each example to a target shape.
+pub struct ReshapeLayer {
+    name: String,
+    target: Vec<usize>,
+}
+
+impl ReshapeLayer {
+    /// Reshape to `target` (per example).
+    pub fn new(target: Vec<usize>) -> ReshapeLayer {
+        ReshapeLayer { name: unique_name("reshape"), target }
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> ReshapeLayer {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for ReshapeLayer {
+    fn class_name(&self) -> &'static str {
+        "Reshape"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, _engine: &Engine, input_shape: &Shape, _seed: u64) -> Result<()> {
+        if input_shape.size() != self.target.iter().product::<usize>() {
+            return Err(Error::shape(
+                "Reshape.build",
+                format!("cannot reshape {input_shape} into {:?}", self.target),
+            ));
+        }
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        true
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let mut dims = vec![input.shape_ref().dim(0)];
+        dims.extend_from_slice(&self.target);
+        ops::reshape(input, dims)
+    }
+
+    fn output_shape(&self, _input_shape: &Shape) -> Result<Shape> {
+        Ok(Shape::new(self.target.clone()))
+    }
+
+    fn get_config(&self) -> Value {
+        json!({ "name": self.name, "target_shape": self.target })
+    }
+}
+
+/// Inverted dropout, active only while training.
+pub struct Dropout {
+    name: String,
+    rate: f32,
+    counter: AtomicU64,
+}
+
+impl Dropout {
+    /// Dropout with the given rate in `[0, 1)`.
+    pub fn new(rate: f32) -> Dropout {
+        Dropout { name: unique_name("dropout"), rate, counter: AtomicU64::new(1) }
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Dropout {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for Dropout {
+    fn class_name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, _engine: &Engine, _input_shape: &Shape, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        true
+    }
+
+    fn call(&self, input: &Tensor, training: bool) -> Result<Tensor> {
+        if !training || self.rate == 0.0 {
+            return ops::identity(input);
+        }
+        let seed = self.counter.fetch_add(1, Ordering::Relaxed);
+        ops::dropout(input, self.rate, seed)
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        Ok(input_shape.clone())
+    }
+
+    fn get_config(&self) -> Value {
+        json!({ "name": self.name, "rate": self.rate })
+    }
+}
+
+/// A standalone activation layer.
+pub struct ActivationLayer {
+    name: String,
+    activation: Activation,
+}
+
+impl ActivationLayer {
+    /// Wrap an activation as a layer.
+    pub fn new(activation: Activation) -> ActivationLayer {
+        ActivationLayer { name: unique_name("activation"), activation }
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> ActivationLayer {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn class_name(&self) -> &'static str {
+        "Activation"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, _engine: &Engine, _input_shape: &Shape, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        true
+    }
+
+    fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        self.activation.apply(input)
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        Ok(input_shape.clone())
+    }
+
+    fn get_config(&self) -> Value {
+        json!({ "name": self.name, "activation": self.activation.name() })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNormalization
+// ---------------------------------------------------------------------------
+
+/// Batch normalization over the last axis, with moving statistics.
+pub struct BatchNormalization {
+    name: String,
+    momentum: f32,
+    epsilon: f32,
+    gamma: Option<Variable>,
+    beta: Option<Variable>,
+    moving_mean: Option<Variable>,
+    moving_variance: Option<Variable>,
+}
+
+impl BatchNormalization {
+    /// Batch norm with Keras defaults (momentum 0.99, epsilon 1e-3).
+    pub fn new() -> BatchNormalization {
+        BatchNormalization {
+            name: unique_name("batch_normalization"),
+            momentum: 0.99,
+            epsilon: 1e-3,
+            gamma: None,
+            beta: None,
+            moving_mean: None,
+            moving_variance: None,
+        }
+    }
+
+    /// Set the moving-average momentum.
+    pub fn with_momentum(mut self, m: f32) -> BatchNormalization {
+        self.momentum = m;
+        self
+    }
+
+    /// Set the instance name.
+    pub fn with_name(mut self, name: impl Into<String>) -> BatchNormalization {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Default for BatchNormalization {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for BatchNormalization {
+    fn class_name(&self) -> &'static str {
+        "BatchNormalization"
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&mut self, engine: &Engine, input_shape: &Shape, seed: u64) -> Result<()> {
+        let c = input_shape.dim(input_shape.rank() - 1);
+        let _ = seed;
+        self.gamma = Some(Variable::new(
+            Initializer::Ones.init(engine, [c], 0)?,
+            format!("{}/gamma", self.name),
+        ));
+        self.beta = Some(Variable::new(
+            Initializer::Zeros.init(engine, [c], 0)?,
+            format!("{}/beta", self.name),
+        ));
+        self.moving_mean = Some(Variable::with_trainable(
+            Initializer::Zeros.init(engine, [c], 0)?,
+            format!("{}/moving_mean", self.name),
+            false,
+        ));
+        self.moving_variance = Some(Variable::with_trainable(
+            Initializer::Ones.init(engine, [c], 0)?,
+            format!("{}/moving_variance", self.name),
+            false,
+        ));
+        Ok(())
+    }
+
+    fn built(&self) -> bool {
+        self.gamma.is_some()
+    }
+
+    fn call(&self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let gamma = require_built(&self.gamma, &self.name)?.value();
+        let beta = require_built(&self.beta, &self.name)?.value();
+        let moving_mean = require_built(&self.moving_mean, &self.name)?;
+        let moving_var = require_built(&self.moving_variance, &self.name)?;
+        if training {
+            // Normalize with batch moments over all axes but the last.
+            let axes: Vec<isize> = (0..input.rank() as isize - 1).collect();
+            let (mean, variance) = ops::moments(input, Some(&axes), false)?;
+            let y = ops::batch_norm(input, &mean, &variance, Some(&beta), Some(&gamma), self.epsilon)?;
+            // Update moving statistics outside the gradient path.
+            let e = input.engine();
+            let m = e.scalar(self.momentum)?;
+            let one_minus = e.scalar(1.0 - self.momentum)?;
+            let new_mean =
+                ops::add(&ops::mul(&moving_mean.value(), &m)?, &ops::mul(&mean, &one_minus)?)?;
+            let new_var =
+                ops::add(&ops::mul(&moving_var.value(), &m)?, &ops::mul(&variance, &one_minus)?)?;
+            moving_mean.assign(new_mean)?;
+            moving_var.assign(new_var)?;
+            Ok(y)
+        } else {
+            ops::batch_norm(
+                input,
+                &moving_mean.value(),
+                &moving_var.value(),
+                Some(&beta),
+                Some(&gamma),
+                self.epsilon,
+            )
+        }
+    }
+
+    fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
+        Ok(input_shape.clone())
+    }
+
+    fn weights(&self) -> Vec<(String, Variable)> {
+        [&self.gamma, &self.beta, &self.moving_mean, &self.moving_variance]
+            .into_iter()
+            .flatten()
+            .map(|v| (v.name().to_string(), v.clone()))
+            .collect()
+    }
+
+    fn get_config(&self) -> Value {
+        json!({
+            "name": self.name,
+            "momentum": self.momentum,
+            "epsilon": self.epsilon,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+fn as_usize(v: &Value, key: &str) -> Result<usize> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|x| x as usize)
+        .ok_or_else(|| Error::Serialization { message: format!("missing field {key}") })
+}
+
+fn as_pair(v: &Value, key: &str) -> Result<(usize, usize)> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::Serialization { message: format!("missing field {key}") })?;
+    Ok((arr[0].as_u64().unwrap_or(1) as usize, arr[1].as_u64().unwrap_or(1) as usize))
+}
+
+fn as_activation(v: &Value) -> Activation {
+    v.get("activation")
+        .and_then(Value::as_str)
+        .and_then(Activation::from_name)
+        .unwrap_or(Activation::Linear)
+}
+
+/// Reconstruct a layer from its Keras-style `(class_name, config)`.
+///
+/// # Errors
+/// Fails on unknown classes or malformed configs.
+pub fn layer_from_config(class_name: &str, config: &Value) -> Result<Box<dyn Layer>> {
+    let name = config.get("name").and_then(Value::as_str).unwrap_or("layer").to_string();
+    let use_bias = config.get("use_bias").and_then(Value::as_bool).unwrap_or(true);
+    match class_name {
+        "Dense" => {
+            let mut l = Dense::new(as_usize(config, "units")?)
+                .with_activation(as_activation(config))
+                .with_name(name);
+            if !use_bias {
+                l = l.without_bias();
+            }
+            if let Some(dim) = config.get("input_dim").and_then(Value::as_u64) {
+                l = l.with_input_dim(dim as usize);
+            }
+            Ok(Box::new(l))
+        }
+        "Conv2D" => {
+            let ks = as_pair(config, "kernel_size")?;
+            let mut l = Conv2D::new(as_usize(config, "filters")?, ks.0)
+                .with_strides(as_pair(config, "strides")?)
+                .with_padding(padding_from_name(
+                    config.get("padding").and_then(Value::as_str).unwrap_or("same"),
+                )?)
+                .with_activation(as_activation(config))
+                .with_name(name);
+            if !use_bias {
+                l = l.without_bias();
+            }
+            if let Some(arr) = config.get("input_shape").and_then(Value::as_array) {
+                if arr.len() == 3 {
+                    l = l.with_input_shape([
+                        arr[0].as_u64().unwrap_or(1) as usize,
+                        arr[1].as_u64().unwrap_or(1) as usize,
+                        arr[2].as_u64().unwrap_or(1) as usize,
+                    ]);
+                }
+            }
+            Ok(Box::new(l))
+        }
+        "DepthwiseConv2D" => {
+            let ks = as_pair(config, "kernel_size")?;
+            let mut l = DepthwiseConv2D::new(ks.0)
+                .with_strides(as_pair(config, "strides")?)
+                .with_padding(padding_from_name(
+                    config.get("padding").and_then(Value::as_str).unwrap_or("same"),
+                )?)
+                .with_activation(as_activation(config))
+                .with_name(name);
+            if !use_bias {
+                l = l.without_bias();
+            }
+            Ok(Box::new(l))
+        }
+        "MaxPooling2D" => {
+            let ps = as_pair(config, "pool_size")?;
+            Ok(Box::new(
+                MaxPooling2D::new(ps.0)
+                    .with_strides(as_pair(config, "strides")?)
+                    .with_padding(padding_from_name(
+                        config.get("padding").and_then(Value::as_str).unwrap_or("valid"),
+                    )?)
+                    .with_name(name),
+            ))
+        }
+        "AveragePooling2D" => {
+            let ps = as_pair(config, "pool_size")?;
+            Ok(Box::new(
+                AveragePooling2D::new(ps.0)
+                    .with_strides(as_pair(config, "strides")?)
+                    .with_padding(padding_from_name(
+                        config.get("padding").and_then(Value::as_str).unwrap_or("valid"),
+                    )?)
+                    .with_name(name),
+            ))
+        }
+        "GlobalAveragePooling2D" => Ok(Box::new(GlobalAveragePooling2D::new().with_name(name))),
+        "Flatten" => Ok(Box::new(Flatten::new().with_name(name))),
+        "Reshape" => {
+            let target = config
+                .get("target_shape")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(Value::as_u64).map(|x| x as usize).collect())
+                .ok_or_else(|| Error::Serialization { message: "missing target_shape".into() })?;
+            Ok(Box::new(ReshapeLayer::new(target).with_name(name)))
+        }
+        "Dropout" => {
+            let rate = config.get("rate").and_then(Value::as_f64).unwrap_or(0.5) as f32;
+            Ok(Box::new(Dropout::new(rate).with_name(name)))
+        }
+        "Activation" => Ok(Box::new(ActivationLayer::new(as_activation(config)).with_name(name))),
+        "BatchNormalization" => {
+            let momentum = config.get("momentum").and_then(Value::as_f64).unwrap_or(0.99) as f32;
+            Ok(Box::new(BatchNormalization::new().with_momentum(momentum).with_name(name)))
+        }
+        other => Err(Error::Serialization { message: format!("unknown layer class {other}") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn dense_forward_and_params() {
+        let e = engine();
+        let mut l = Dense::new(3);
+        l.build(&e, &Shape::new(vec![2]), 1).unwrap();
+        assert_eq!(l.count_params(), 2 * 3 + 3);
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        let y = l.call(&x, false).unwrap();
+        assert_eq!(y.shape(), Shape::new(vec![1, 3]));
+    }
+
+    #[test]
+    fn dense_requires_rank1_input_shape() {
+        let e = engine();
+        let mut l = Dense::new(3);
+        assert!(l.build(&e, &Shape::new(vec![2, 2]), 1).is_err());
+    }
+
+    #[test]
+    fn call_before_build_errors() {
+        let e = engine();
+        let l = Dense::new(3);
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        assert!(l.call(&x, false).is_err());
+    }
+
+    #[test]
+    fn conv2d_output_shape() {
+        let l = Conv2D::new(8, 3).with_strides((2, 2));
+        let out = l.output_shape(&Shape::new(vec![16, 16, 3])).unwrap();
+        assert_eq!(out, Shape::new(vec![8, 8, 8]));
+    }
+
+    #[test]
+    fn pooling_and_flatten_shapes() {
+        let p = MaxPooling2D::new(2);
+        assert_eq!(p.output_shape(&Shape::new(vec![8, 8, 4])).unwrap(), Shape::new(vec![4, 4, 4]));
+        let f = Flatten::new();
+        assert_eq!(f.output_shape(&Shape::new(vec![4, 4, 4])).unwrap(), Shape::new(vec![64]));
+        let g = GlobalAveragePooling2D::new();
+        assert_eq!(g.output_shape(&Shape::new(vec![7, 7, 32])).unwrap(), Shape::new(vec![32]));
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let e = engine();
+        let l = Dropout::new(0.9);
+        let x = e.tensor_1d(&[1.0, 2.0, 3.0]).unwrap();
+        let y = l.call(&x, false).unwrap();
+        assert_eq!(y.to_f32_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        let t = l.call(&x, true).unwrap();
+        // With rate 0.9 on 3 elements, almost surely some are zeroed.
+        let _ = t;
+    }
+
+    #[test]
+    fn batch_norm_updates_moving_stats_in_training() {
+        let e = engine();
+        let mut bn = BatchNormalization::new().with_momentum(0.5);
+        bn.build(&e, &Shape::new(vec![2]), 0).unwrap();
+        let x = e.tensor_2d(&[0.0, 10.0, 4.0, 30.0], 2, 2).unwrap();
+        let _ = bn.call(&x, true).unwrap();
+        let weights = bn.weights();
+        let mm = &weights.iter().find(|(n, _)| n.contains("moving_mean")).unwrap().1;
+        let v = mm.value().to_f32_vec().unwrap();
+        // Batch means are [2, 20]; moving mean = 0.5*0 + 0.5*[2,20].
+        assert!((v[0] - 1.0).abs() < 1e-5);
+        assert!((v[1] - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batch_norm_inference_uses_moving_stats() {
+        let e = engine();
+        let mut bn = BatchNormalization::new();
+        bn.build(&e, &Shape::new(vec![1]), 0).unwrap();
+        // moving_mean = 0, moving_var = 1: output ~ input.
+        let x = e.tensor_2d(&[3.0], 1, 1).unwrap();
+        let y = bn.call(&x, false).unwrap();
+        assert!((y.to_scalar().unwrap() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dense::new(4).with_activation(Activation::Relu).with_input_dim(2)),
+            Box::new(Conv2D::new(8, 3).with_strides((2, 2)).without_bias()),
+            Box::new(DepthwiseConv2D::new(3)),
+            Box::new(MaxPooling2D::new(2)),
+            Box::new(AveragePooling2D::new(2)),
+            Box::new(GlobalAveragePooling2D::new()),
+            Box::new(Flatten::new()),
+            Box::new(ReshapeLayer::new(vec![2, 2])),
+            Box::new(Dropout::new(0.25)),
+            Box::new(ActivationLayer::new(Activation::Softmax)),
+            Box::new(BatchNormalization::new()),
+        ];
+        for l in &layers {
+            let rebuilt = layer_from_config(l.class_name(), &l.get_config()).unwrap();
+            assert_eq!(rebuilt.class_name(), l.class_name());
+            // The config of the rebuilt layer must match (stable round trip).
+            assert_eq!(rebuilt.get_config(), l.get_config(), "{}", l.class_name());
+        }
+        assert!(layer_from_config("LSTM", &json!({})).is_err());
+    }
+}

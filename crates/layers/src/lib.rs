@@ -1,0 +1,49 @@
+//! # webml-layers
+//!
+//! The Layers API (paper Sec 3.2): higher-level model building blocks
+//! mirroring Keras as closely as possible, including the serialization
+//! format — the "two-way door" that lets models move between this library
+//! and Keras-style JSON.
+//!
+//! ```
+//! use webml_layers::{Dense, Sequential, Loss, Sgd, FitConfig};
+//! use webml_core::global;
+//!
+//! # fn main() -> webml_core::Result<()> {
+//! // Listing 1 of the paper: a linear model with one dense layer.
+//! let engine = global::engine();
+//! let mut model = Sequential::new(&engine);
+//! model.add(Dense::new(1).with_input_dim(1));
+//! model.compile(Loss::MeanSquaredError, Box::new(Sgd::new(0.1)));
+//!
+//! let xs = engine.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 4, 1)?;
+//! let ys = engine.tensor_2d(&[1.0, 3.0, 5.0, 7.0], 4, 1)?;
+//! model.fit(&xs, &ys, FitConfig { epochs: 100, batch_size: 4, ..Default::default() })?;
+//!
+//! let x = engine.tensor_2d(&[5.0], 1, 1)?;
+//! let y = model.predict(&x)?;
+//! assert!((y.to_scalar()? - 9.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod initializers;
+pub mod layers;
+pub mod losses;
+pub mod metrics;
+pub mod optimizers;
+pub mod sequential;
+
+pub use activations::Activation;
+pub use initializers::Initializer;
+pub use layers::{
+    ActivationLayer, AveragePooling2D, BatchNormalization, Conv2D, Dense, DepthwiseConv2D,
+    Dropout, Flatten, GlobalAveragePooling2D, Layer, MaxPooling2D, ReshapeLayer,
+};
+pub use losses::Loss;
+pub use metrics::Metric;
+pub use optimizers::{Adam, Momentum, Optimizer, RmsProp, Sgd};
+pub use sequential::{FitConfig, History, Sequential};

@@ -1,0 +1,157 @@
+//! Loss functions (mean over the batch).
+
+use serde::{Deserialize, Serialize};
+use webml_core::{ops, Result, Tensor};
+
+/// A training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Loss {
+    /// Mean of squared errors.
+    MeanSquaredError,
+    /// Mean of absolute errors.
+    MeanAbsoluteError,
+    /// Cross entropy between one-hot/probability targets and softmax
+    /// probabilities produced by the model.
+    CategoricalCrossentropy,
+    /// Cross entropy between one-hot targets and raw logits (numerically
+    /// stable; apply no softmax in the model's last layer).
+    CategoricalCrossentropyFromLogits,
+    /// Element-wise binary cross entropy on probabilities.
+    BinaryCrossentropy,
+    /// Huber loss with delta 1.
+    Huber,
+}
+
+impl Loss {
+    /// Compute the scalar loss: mean over all examples.
+    ///
+    /// # Errors
+    /// Propagates op errors (shape mismatches etc.).
+    pub fn compute(self, y_true: &Tensor, y_pred: &Tensor) -> Result<Tensor> {
+        match self {
+            Loss::MeanSquaredError => {
+                ops::mean(&ops::squared_difference(y_true, y_pred)?, None, false)
+            }
+            Loss::MeanAbsoluteError => {
+                ops::mean(&ops::abs(&ops::sub(y_true, y_pred)?)?, None, false)
+            }
+            Loss::CategoricalCrossentropy => {
+                // -mean over batch of sum(y_true * log(clip(y_pred))).
+                let eps = y_pred.engine().epsilon();
+                let p = ops::clip_by_value(y_pred, eps, 1.0)?;
+                let ce = ops::neg(&ops::sum(&ops::mul(y_true, &ops::log(&p)?)?, Some(&[-1]), false)?)?;
+                ops::mean(&ce, None, false)
+            }
+            Loss::CategoricalCrossentropyFromLogits => {
+                ops::mean(&ops::softmax_cross_entropy(y_true, y_pred)?, None, false)
+            }
+            Loss::BinaryCrossentropy => {
+                ops::mean(&ops::binary_cross_entropy(y_true, y_pred)?, None, false)
+            }
+            Loss::Huber => {
+                let e = y_pred.engine();
+                let one = e.scalar(1.0)?;
+                let half = e.scalar(0.5)?;
+                let diff = ops::abs(&ops::sub(y_true, y_pred)?)?;
+                let quad = ops::mul(&half, &ops::mul(&diff, &diff)?)?;
+                let lin = ops::sub(&diff, &half)?;
+                let use_quad = ops::less_equal(&diff, &one)?;
+                ops::mean(&ops::select(&use_quad, &quad, &lin)?, None, false)
+            }
+        }
+    }
+
+    /// Keras serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Loss::MeanSquaredError => "mean_squared_error",
+            Loss::MeanAbsoluteError => "mean_absolute_error",
+            Loss::CategoricalCrossentropy => "categorical_crossentropy",
+            Loss::CategoricalCrossentropyFromLogits => "categorical_crossentropy_from_logits",
+            Loss::BinaryCrossentropy => "binary_crossentropy",
+            Loss::Huber => "huber",
+        }
+    }
+
+    /// Parse a Keras loss name.
+    pub fn from_name(name: &str) -> Option<Loss> {
+        match name {
+            "mean_squared_error" | "meanSquaredError" | "mse" => Some(Loss::MeanSquaredError),
+            "mean_absolute_error" | "mae" => Some(Loss::MeanAbsoluteError),
+            "categorical_crossentropy" => Some(Loss::CategoricalCrossentropy),
+            "categorical_crossentropy_from_logits" => Some(Loss::CategoricalCrossentropyFromLogits),
+            "binary_crossentropy" => Some(Loss::BinaryCrossentropy),
+            "huber" => Some(Loss::Huber),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::{cpu::CpuBackend, Engine};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn mse_and_mae() {
+        let e = engine();
+        let t = e.tensor_1d(&[1.0, 2.0]).unwrap();
+        let p = e.tensor_1d(&[2.0, 4.0]).unwrap();
+        assert!((Loss::MeanSquaredError.compute(&t, &p).unwrap().to_scalar().unwrap() - 2.5).abs() < 1e-6);
+        assert!((Loss::MeanAbsoluteError.compute(&t, &p).unwrap().to_scalar().unwrap() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn categorical_xent_perfect_prediction_is_zero() {
+        let e = engine();
+        let t = e.tensor_2d(&[1.0, 0.0], 1, 2).unwrap();
+        let p = e.tensor_2d(&[1.0, 0.0], 1, 2).unwrap();
+        let l = Loss::CategoricalCrossentropy.compute(&t, &p).unwrap().to_scalar().unwrap();
+        assert!(l.abs() < 1e-5);
+    }
+
+    #[test]
+    fn from_logits_matches_composed() {
+        let e = engine();
+        let t = e.tensor_2d(&[0.0, 1.0], 1, 2).unwrap();
+        let logits = e.tensor_2d(&[0.3, 1.7], 1, 2).unwrap();
+        let a = Loss::CategoricalCrossentropyFromLogits.compute(&t, &logits).unwrap().to_scalar().unwrap();
+        let probs = ops::softmax(&logits).unwrap();
+        let b = Loss::CategoricalCrossentropy.compute(&t, &probs).unwrap().to_scalar().unwrap();
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_quadratic_near_zero_linear_far() {
+        let e = engine();
+        let t = e.tensor_1d(&[0.0]).unwrap();
+        let near = e.tensor_1d(&[0.5]).unwrap();
+        let far = e.tensor_1d(&[10.0]).unwrap();
+        let l_near = Loss::Huber.compute(&t, &near).unwrap().to_scalar().unwrap();
+        let l_far = Loss::Huber.compute(&t, &far).unwrap().to_scalar().unwrap();
+        assert!((l_near - 0.125).abs() < 1e-6);
+        assert!((l_far - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for l in [
+            Loss::MeanSquaredError,
+            Loss::MeanAbsoluteError,
+            Loss::CategoricalCrossentropy,
+            Loss::CategoricalCrossentropyFromLogits,
+            Loss::BinaryCrossentropy,
+            Loss::Huber,
+        ] {
+            assert_eq!(Loss::from_name(l.name()), Some(l));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+use webml_core::{ops, DType, Result, Tensor};
+
+/// A scalar evaluation metric (mean over the batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Metric {
+    /// Fraction of examples whose argmax prediction matches the argmax
+    /// label (one-hot or probability labels).
+    CategoricalAccuracy,
+    /// Fraction of examples where `round(pred) == label` (binary tasks).
+    BinaryAccuracy,
+    /// Mean absolute error.
+    MeanAbsoluteError,
+    /// Mean squared error.
+    MeanSquaredError,
+}
+
+impl Metric {
+    /// Compute the metric value for a batch.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn compute(self, y_true: &Tensor, y_pred: &Tensor) -> Result<f32> {
+        let value = match self {
+            Metric::CategoricalAccuracy => {
+                let t = ops::argmax(y_true, -1)?;
+                let p = ops::argmax(y_pred, -1)?;
+                let eq = ops::cast(&ops::equal(&t, &p)?, DType::F32)?;
+                ops::mean(&eq, None, false)?
+            }
+            Metric::BinaryAccuracy => {
+                let rounded = ops::round(y_pred)?;
+                let eq = ops::cast(&ops::equal(y_true, &rounded)?, DType::F32)?;
+                ops::mean(&eq, None, false)?
+            }
+            Metric::MeanAbsoluteError => ops::mean(&ops::abs(&ops::sub(y_true, y_pred)?)?, None, false)?,
+            Metric::MeanSquaredError => {
+                ops::mean(&ops::squared_difference(y_true, y_pred)?, None, false)?
+            }
+        };
+        value.to_scalar()
+    }
+
+    /// Serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::CategoricalAccuracy => "categorical_accuracy",
+            Metric::BinaryAccuracy => "binary_accuracy",
+            Metric::MeanAbsoluteError => "mean_absolute_error",
+            Metric::MeanSquaredError => "mean_squared_error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::{cpu::CpuBackend, Engine};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn categorical_accuracy_counts_argmax_matches() {
+        let e = engine();
+        let t = e.tensor_2d(&[1.0, 0.0, 0.0, 1.0], 2, 2).unwrap();
+        let p = e.tensor_2d(&[0.9, 0.1, 0.8, 0.2], 2, 2).unwrap();
+        // First correct, second wrong.
+        assert_eq!(Metric::CategoricalAccuracy.compute(&t, &p).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn binary_accuracy_rounds() {
+        let e = engine();
+        let t = e.tensor_1d(&[1.0, 0.0, 1.0]).unwrap();
+        let p = e.tensor_1d(&[0.9, 0.2, 0.4]).unwrap();
+        let acc = Metric::BinaryAccuracy.compute(&t, &p).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let e = engine();
+        let t = e.tensor_1d(&[0.0, 0.0]).unwrap();
+        let p = e.tensor_1d(&[3.0, -1.0]).unwrap();
+        assert_eq!(Metric::MeanAbsoluteError.compute(&t, &p).unwrap(), 2.0);
+        assert_eq!(Metric::MeanSquaredError.compute(&t, &p).unwrap(), 5.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! A host-side RGB image: the `HTMLImageElement` stand-in models accept.
+
+use webml_core::{ops, Engine, Error, Result, Tensor};
+
+/// An 8-bit interleaved RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Create an image from interleaved RGB bytes.
+    ///
+    /// # Errors
+    /// Fails when `data.len() != w * h * 3`.
+    pub fn from_rgb(data: Vec<u8>, width: usize, height: usize) -> Result<Image> {
+        if data.len() != width * height * 3 {
+            return Err(Error::invalid(
+                "Image",
+                format!("buffer length {} != {width}x{height}x3", data.len()),
+            ));
+        }
+        Ok(Image { width, height, data })
+    }
+
+    /// A solid-color image.
+    pub fn solid(width: usize, height: usize, rgb: [u8; 3]) -> Image {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        Image { width, height, data }
+    }
+
+    /// A deterministic synthetic "person-like" test image: a bright
+    /// vertical figure (head blob + torso bar) on a dark background, so
+    /// pose heads have spatial structure to respond to.
+    pub fn synthetic_person(width: usize, height: usize) -> Image {
+        let mut data = vec![20u8; width * height * 3];
+        let cx = width / 2;
+        let head_cy = height / 5;
+        let head_r = (height / 10).max(2);
+        for y in 0..height {
+            for x in 0..width {
+                let idx = (y * width + x) * 3;
+                // Head: filled circle.
+                let dh = (((x as isize - cx as isize).pow(2) + (y as isize - head_cy as isize).pow(2)) as f64)
+                    .sqrt();
+                if dh < head_r as f64 {
+                    data[idx] = 230;
+                    data[idx + 1] = 190;
+                    data[idx + 2] = 160;
+                }
+                // Torso: vertical bar below the head.
+                if y > head_cy + head_r && y < height * 3 / 4 && x.abs_diff(cx) < width / 8 {
+                    data[idx] = 60;
+                    data[idx + 1] = 90;
+                    data[idx + 2] = 200;
+                }
+            }
+        }
+        Image { width, height, data }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw interleaved bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Import as a `[1, h, w, 3]` tensor with values in `[0, 255]`
+    /// (`tf.browser.fromPixels`).
+    ///
+    /// # Errors
+    /// Propagates tensor-creation errors.
+    pub fn to_tensor(&self, engine: &Engine) -> Result<Tensor> {
+        engine.from_pixels(&self.data, self.height, self.width, 3)
+    }
+
+    /// Import resized to `(size x size)` and normalized to `[-1, 1]` — the
+    /// standard MobileNet preprocessing.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn to_normalized_tensor(&self, engine: &Engine, size: usize) -> Result<Tensor> {
+        let t = self.to_tensor(engine)?;
+        let resized = if self.height == size && self.width == size {
+            t
+        } else {
+            ops::resize_bilinear(&t, size, size, false)?
+        };
+        let scale = engine.scalar(127.5)?;
+        let one = engine.scalar(1.0)?;
+        ops::sub(&ops::div(&resized, &scale)?, &one)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn from_rgb_validates_length() {
+        assert!(Image::from_rgb(vec![0; 11], 2, 2).is_err());
+        assert!(Image::from_rgb(vec![0; 12], 2, 2).is_ok());
+    }
+
+    #[test]
+    fn solid_pixels() {
+        let img = Image::solid(3, 2, [10, 20, 30]);
+        assert_eq!(img.pixel(2, 1), [10, 20, 30]);
+    }
+
+    #[test]
+    fn synthetic_person_has_bright_head_dark_corner() {
+        let img = Image::synthetic_person(64, 96);
+        let head = img.pixel(32, 96 / 5);
+        let corner = img.pixel(0, 95);
+        assert!(head[0] > 200);
+        assert_eq!(corner, [20, 20, 20]);
+    }
+
+    #[test]
+    fn normalized_tensor_range() {
+        let e = engine();
+        let img = Image::solid(4, 4, [0, 127, 255]);
+        let t = img.to_normalized_tensor(&e, 4).unwrap();
+        let v = t.to_f32_vec().unwrap();
+        assert!((v[0] + 1.0).abs() < 1e-5);
+        assert!(v[1].abs() < 0.01);
+        assert!((v[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalized_tensor_resizes() {
+        let e = engine();
+        let img = Image::solid(8, 8, [255, 255, 255]);
+        let t = img.to_normalized_tensor(&e, 4).unwrap();
+        assert_eq!(t.dims(), &[1, 4, 4, 3]);
+    }
+}

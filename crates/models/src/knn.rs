@@ -1,0 +1,181 @@
+//! A k-nearest-neighbours classifier over embeddings — the
+//! transfer-learning companion of the models repo (paper Sec 5.2: "these
+//! models can be used in a transfer learning setting, enabling personalized
+//! applications with on-device training with relatively little user data"),
+//! the pattern behind Teachable Machine.
+
+use std::collections::HashMap;
+use webml_core::{Error, Result, Tensor};
+
+/// A labelled-embedding KNN classifier.
+#[derive(Debug, Default)]
+pub struct KnnClassifier {
+    examples: Vec<(Vec<f32>, String)>,
+    dim: Option<usize>,
+}
+
+/// A KNN prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnPrediction {
+    /// Winning label.
+    pub label: String,
+    /// Vote share per label among the k neighbours.
+    pub confidences: HashMap<String, f32>,
+}
+
+impl KnnClassifier {
+    /// An empty classifier.
+    pub fn new() -> KnnClassifier {
+        KnnClassifier::default()
+    }
+
+    /// Number of stored examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether no examples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Labels seen so far.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.examples.iter().map(|(_, l)| l.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Add a labelled embedding (any shape; flattened).
+    ///
+    /// # Errors
+    /// Fails when the embedding length differs from earlier examples.
+    pub fn add_example(&mut self, embedding: &Tensor, label: impl Into<String>) -> Result<()> {
+        let values = embedding.to_f32_vec()?;
+        match self.dim {
+            None => self.dim = Some(values.len()),
+            Some(d) if d != values.len() => {
+                return Err(Error::invalid(
+                    "KnnClassifier.addExample",
+                    format!("embedding length {} != expected {d}", values.len()),
+                ))
+            }
+            _ => {}
+        }
+        self.examples.push((values, label.into()));
+        Ok(())
+    }
+
+    /// Classify an embedding by majority vote of its `k` nearest stored
+    /// examples (L2 distance).
+    ///
+    /// # Errors
+    /// Fails when empty or on length mismatch.
+    pub fn predict(&self, embedding: &Tensor, k: usize) -> Result<KnnPrediction> {
+        if self.examples.is_empty() {
+            return Err(Error::invalid("KnnClassifier.predict", "no examples added"));
+        }
+        let query = embedding.to_f32_vec()?;
+        if Some(query.len()) != self.dim {
+            return Err(Error::invalid("KnnClassifier.predict", "embedding length mismatch"));
+        }
+        let mut dists: Vec<(f32, &str)> = self
+            .examples
+            .iter()
+            .map(|(v, l)| {
+                let d: f32 = v.iter().zip(&query).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, l.as_str())
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = k.max(1).min(dists.len());
+        let mut votes: HashMap<String, usize> = HashMap::new();
+        for (_, label) in &dists[..k] {
+            *votes.entry((*label).to_string()).or_default() += 1;
+        }
+        let label = votes
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(l, _)| l.clone())
+            .expect("non-empty votes");
+        let confidences =
+            votes.into_iter().map(|(l, c)| (l, c as f32 / k as f32)).collect();
+        Ok(KnnPrediction { label, confidences })
+    }
+
+    /// Remove all examples of a label (re-training a Teachable Machine
+    /// class).
+    pub fn clear_label(&mut self, label: &str) {
+        self.examples.retain(|(_, l)| l != label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::{cpu::CpuBackend, Engine};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let e = engine();
+        let mut knn = KnnClassifier::new();
+        for i in 0..5 {
+            let a = e.tensor_1d(&[1.0 + i as f32 * 0.01, 0.0]).unwrap();
+            knn.add_example(&a, "right").unwrap();
+            let b = e.tensor_1d(&[-1.0 - i as f32 * 0.01, 0.0]).unwrap();
+            knn.add_example(&b, "left").unwrap();
+        }
+        let q = e.tensor_1d(&[0.9, 0.05]).unwrap();
+        let pred = knn.predict(&q, 3).unwrap();
+        assert_eq!(pred.label, "right");
+        assert_eq!(pred.confidences["right"], 1.0);
+    }
+
+    #[test]
+    fn vote_shares_sum_to_one() {
+        let e = engine();
+        let mut knn = KnnClassifier::new();
+        knn.add_example(&e.tensor_1d(&[0.0]).unwrap(), "a").unwrap();
+        knn.add_example(&e.tensor_1d(&[1.0]).unwrap(), "b").unwrap();
+        knn.add_example(&e.tensor_1d(&[2.0]).unwrap(), "b").unwrap();
+        let pred = knn.predict(&e.tensor_1d(&[0.9]).unwrap(), 3).unwrap();
+        let total: f32 = pred.confidences.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert_eq!(pred.label, "b");
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let e = engine();
+        let mut knn = KnnClassifier::new();
+        knn.add_example(&e.tensor_1d(&[1.0, 2.0]).unwrap(), "a").unwrap();
+        assert!(knn.add_example(&e.tensor_1d(&[1.0]).unwrap(), "a").is_err());
+        assert!(knn.predict(&e.tensor_1d(&[1.0]).unwrap(), 1).is_err());
+    }
+
+    #[test]
+    fn empty_classifier_errors() {
+        let e = engine();
+        let knn = KnnClassifier::new();
+        assert!(knn.predict(&e.tensor_1d(&[1.0]).unwrap(), 1).is_err());
+    }
+
+    #[test]
+    fn clear_label_removes_class() {
+        let e = engine();
+        let mut knn = KnnClassifier::new();
+        knn.add_example(&e.tensor_1d(&[0.0]).unwrap(), "a").unwrap();
+        knn.add_example(&e.tensor_1d(&[1.0]).unwrap(), "b").unwrap();
+        knn.clear_label("a");
+        assert_eq!(knn.labels(), vec!["b"]);
+        assert_eq!(knn.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # webml-models
+//!
+//! The models repo (paper Sec 5.2): pretrained-style model wrappers whose
+//! prediction methods "always take native JS objects like DOM elements or
+//! primitive arrays and return JS objects that represent human-friendly
+//! predictions" — here, [`Image`]s in and plain structs out, no tensors in
+//! the public API. Expert users can still reach the tensor-level
+//! [`MobileNet::infer`] embedding API for transfer learning.
+//!
+//! Weights are deterministic synthetic stand-ins: the paper's experiments
+//! measure runtime and API shape, which depend only on the architecture.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod knn;
+pub mod mobilenet;
+pub mod posenet;
+pub mod repo;
+pub mod speech;
+pub mod tsne;
+
+pub use image::Image;
+pub use knn::KnnClassifier;
+pub use mobilenet::{MobileNet, MobileNetConfig};
+pub use posenet::{Keypoint, Pose, PoseNet};
+pub use speech::SpeechCommands;
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,314 @@
+//! MobileNet v1 (Howard et al., 2017) — the paper's Table 1 benchmark
+//! workload and the backbone of several models-repo wrappers.
+//!
+//! The architecture is exact (initial strided conv + 13 depthwise-separable
+//! blocks + global average pool + classifier); weights are deterministic
+//! synthetic values, which preserves everything the paper measures
+//! (runtime, memory, API behaviour).
+
+use crate::image::Image;
+use serde::Serialize;
+use webml_core::{ops, Engine, Result, Tensor};
+use webml_layers::{
+    Activation, BatchNormalization, Conv2D, Dense, DepthwiseConv2D, GlobalAveragePooling2D,
+    Sequential,
+};
+
+/// Configuration of a MobileNet v1 instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MobileNetConfig {
+    /// Width multiplier α ∈ {0.25, 0.5, 0.75, 1.0}.
+    pub alpha: f32,
+    /// Square input resolution (the paper uses 224).
+    pub input_size: usize,
+    /// Number of classifier outputs.
+    pub classes: usize,
+    /// Include batch-norm layers (the published network has them; skipping
+    /// them roughly halves layer count for quick tests).
+    pub batch_norm: bool,
+    /// Weight seed.
+    pub seed: u64,
+}
+
+impl Default for MobileNetConfig {
+    fn default() -> Self {
+        MobileNetConfig { alpha: 1.0, input_size: 224, classes: 1000, batch_norm: true, seed: 1234 }
+    }
+}
+
+impl MobileNetConfig {
+    /// The paper's Table 1 configuration: MobileNet v1 1.0 at 224x224x3.
+    pub fn paper_table1() -> MobileNetConfig {
+        MobileNetConfig::default()
+    }
+
+    /// A small configuration for fast tests/benches (α 0.25, 96x96).
+    pub fn small() -> MobileNetConfig {
+        MobileNetConfig { alpha: 0.25, input_size: 96, classes: 100, batch_norm: true, seed: 1234 }
+    }
+}
+
+/// A classification result.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ClassPrediction {
+    /// Human-readable class name.
+    pub class_name: String,
+    /// Softmax probability.
+    pub probability: f32,
+}
+
+/// MobileNet v1 image classifier with a tensor-free `classify` API and a
+/// tensor-level `infer` API for transfer learning (paper Sec 5.2).
+pub struct MobileNet {
+    model: Sequential,
+    config: MobileNetConfig,
+    labels: Vec<String>,
+}
+
+/// Round a scaled filter count to the nearest multiple of 8 (the MobileNet
+/// width-multiplier rule), never below 8.
+fn scaled(filters: usize, alpha: f32) -> usize {
+    let f = (filters as f32 * alpha).round() as usize;
+    ((f + 4) / 8 * 8).max(8)
+}
+
+/// `(pointwise_filters, stride)` of the 13 separable blocks.
+const BLOCKS: [(usize, usize); 13] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+];
+
+/// Build the MobileNet v1 layer stack (without the classifier head) on a
+/// [`Sequential`].
+pub fn add_backbone(model: &mut Sequential, config: &MobileNetConfig) {
+    let conv_bn_relu = |model: &mut Sequential, layer: Conv2D| {
+        if config.batch_norm {
+            model.add(layer.without_bias());
+            model.add(BatchNormalization::new());
+            model.add(webml_layers::ActivationLayer::new(Activation::Relu6));
+        } else {
+            model.add(layer.with_activation(Activation::Relu6));
+        }
+    };
+    // Initial strided conv.
+    conv_bn_relu(
+        model,
+        Conv2D::new(scaled(32, config.alpha), 3)
+            .with_strides((2, 2))
+            .with_input_shape([config.input_size, config.input_size, 3])
+            .with_name("conv1"),
+    );
+    for (i, (filters, stride)) in BLOCKS.iter().enumerate() {
+        let dw = DepthwiseConv2D::new(3)
+            .with_strides((*stride, *stride))
+            .with_name(format!("conv_dw_{}", i + 1));
+        if config.batch_norm {
+            model.add(dw.without_bias());
+            model.add(BatchNormalization::new());
+            model.add(webml_layers::ActivationLayer::new(Activation::Relu6));
+        } else {
+            model.add(dw.with_activation(Activation::Relu6));
+        }
+        conv_bn_relu(
+            model,
+            Conv2D::new(scaled(*filters, config.alpha), 1).with_name(format!("conv_pw_{}", i + 1)),
+        );
+    }
+}
+
+impl MobileNet {
+    /// Build a MobileNet with deterministic synthetic weights.
+    ///
+    /// # Errors
+    /// Propagates build errors.
+    pub fn new(engine: &Engine, config: MobileNetConfig) -> Result<MobileNet> {
+        let mut model = Sequential::new(engine).with_seed(config.seed);
+        add_backbone(&mut model, &config);
+        model.add(GlobalAveragePooling2D::new());
+        model.add(
+            Dense::new(config.classes).with_activation(Activation::Softmax).with_name("predictions"),
+        );
+        model.build([config.input_size, config.input_size, 3])?;
+        let labels = (0..config.classes).map(synthetic_label).collect();
+        Ok(MobileNet { model, config, labels })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MobileNetConfig {
+        &self.config
+    }
+
+    /// The underlying layers model (for conversion/saving).
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Mutable access (for fine-tuning workflows).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Total parameter count.
+    pub fn count_params(&self) -> usize {
+        self.model.count_params()
+    }
+
+    /// Run one inference on an already-prepared `[1, s, s, 3]` tensor,
+    /// returning class probabilities `[1, classes]` — the expert/tensor
+    /// API.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.model.predict(input)
+    }
+
+    /// Penultimate-layer embedding `[1, features]`, the transfer-learning
+    /// hook (run the stack without the classifier head).
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn embed(&mut self, image: &Image) -> Result<Tensor> {
+        let engine = self.model.engine().clone();
+        let size = self.config.input_size;
+        let n_layers = self.model.len();
+        engine.tidy(|| {
+            let x = image.to_normalized_tensor(&engine, size)?;
+            let mut y = ops::identity(&x)?;
+            // All layers except the final Dense head.
+            for layer in &self.model.layers()[..n_layers - 1] {
+                y = layer.call(&y, false)?;
+            }
+            Ok(y)
+        })
+    }
+
+    /// Classify an image, returning the top-k predictions — the
+    /// tensor-free beginner API of paper Sec 5.2.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn classify(&mut self, image: &Image, top_k: usize) -> Result<Vec<ClassPrediction>> {
+        let engine = self.model.engine().clone();
+        let size = self.config.input_size;
+        let probs = engine.tidy(|| -> Result<Vec<f32>> {
+            let x = image.to_normalized_tensor(&engine, size)?;
+            let y = self.model.forward(&x, false)?;
+            y.to_f32_vec()
+        })?;
+        let mut ranked: Vec<(usize, f32)> = probs.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        Ok(ranked
+            .into_iter()
+            .take(top_k)
+            .map(|(i, p)| ClassPrediction { class_name: self.labels[i].clone(), probability: p })
+            .collect())
+    }
+}
+
+/// Deterministic human-readable label for class `i`.
+fn synthetic_label(i: usize) -> String {
+    const NOUNS: [&str; 20] = [
+        "tabby cat", "golden retriever", "espresso", "acoustic guitar", "school bus",
+        "lighthouse", "monarch butterfly", "snowplow", "street sign", "water bottle",
+        "mountain bike", "grand piano", "wood rabbit", "container ship", "umbrella",
+        "strawberry", "hot air balloon", "park bench", "laptop", "teapot",
+    ];
+    format!("{} #{i}", NOUNS[i % NOUNS.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_backend_native::NativeBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("native", Arc::new(NativeBackend::new()), 3);
+        e
+    }
+
+    #[test]
+    fn paper_config_parameter_count_matches_mobilenet_v1() {
+        // MobileNet v1 1.0 224 has ~4.2M parameters.
+        let e = engine();
+        let net = MobileNet::new(&e, MobileNetConfig { classes: 1000, ..Default::default() }).unwrap();
+        let params = net.count_params();
+        assert!(
+            (4_000_000..4_600_000).contains(&params),
+            "expected ~4.2M params, got {params}"
+        );
+    }
+
+    #[test]
+    fn small_config_classifies() {
+        let e = engine();
+        let mut net = MobileNet::new(&e, MobileNetConfig::small()).unwrap();
+        let img = Image::synthetic_person(96, 96);
+        let preds = net.classify(&img, 3).unwrap();
+        assert_eq!(preds.len(), 3);
+        // Probabilities sorted and normalized.
+        assert!(preds[0].probability >= preds[1].probability);
+        let total: f32 = preds.iter().map(|p| p.probability).sum();
+        assert!(total <= 1.0 + 1e-4);
+        assert!(!preds[0].class_name.is_empty());
+    }
+
+    #[test]
+    fn classify_does_not_leak_tensors() {
+        let e = engine();
+        let mut net = MobileNet::new(
+            &e,
+            MobileNetConfig { alpha: 0.25, input_size: 32, classes: 10, batch_norm: false, seed: 1 },
+        )
+        .unwrap();
+        let img = Image::solid(32, 32, [128, 128, 128]);
+        net.classify(&img, 1).unwrap();
+        let before = e.num_tensors();
+        net.classify(&img, 1).unwrap();
+        assert_eq!(e.num_tensors(), before);
+    }
+
+    #[test]
+    fn embedding_has_feature_width() {
+        let e = engine();
+        let mut net = MobileNet::new(
+            &e,
+            MobileNetConfig { alpha: 0.25, input_size: 32, classes: 10, batch_norm: false, seed: 1 },
+        )
+        .unwrap();
+        let img = Image::solid(32, 32, [90, 10, 200]);
+        let emb = net.embed(&img).unwrap();
+        assert_eq!(emb.dims(), &[1, scaled(1024, 0.25)]);
+    }
+
+    #[test]
+    fn scaled_rounds_to_multiples_of_8() {
+        assert_eq!(scaled(32, 1.0), 32);
+        assert_eq!(scaled(32, 0.25), 8);
+        assert_eq!(scaled(512, 0.75), 384);
+        assert_eq!(scaled(64, 0.25), 16);
+    }
+
+    #[test]
+    fn deterministic_weights_per_seed() {
+        let e = engine();
+        let cfg = MobileNetConfig { alpha: 0.25, input_size: 32, classes: 5, batch_norm: false, seed: 9 };
+        let mut a = MobileNet::new(&e, cfg).unwrap();
+        let mut b = MobileNet::new(&e, cfg).unwrap();
+        let img = Image::synthetic_person(32, 32);
+        assert_eq!(a.classify(&img, 2).unwrap(), b.classify(&img, 2).unwrap());
+    }
+}

@@ -1,0 +1,254 @@
+//! PoseNet-style human pose estimation (paper Listing 3): a MobileNet
+//! backbone with heatmap + offset heads, decoded into a tensor-free
+//! [`Pose`] of named keypoints.
+
+use crate::image::Image;
+use serde::Serialize;
+use webml_core::{ops, Engine, Result, Shape};
+use webml_layers::{Activation, Conv2D, Layer, Sequential};
+
+/// The 17 COCO keypoint names PoseNet reports, in output order.
+pub const PART_NAMES: [&str; 17] = [
+    "nose",
+    "leftEye",
+    "rightEye",
+    "leftEar",
+    "rightEar",
+    "leftShoulder",
+    "rightShoulder",
+    "leftElbow",
+    "rightElbow",
+    "leftWrist",
+    "rightWrist",
+    "leftHip",
+    "rightHip",
+    "leftKnee",
+    "rightKnee",
+    "leftAnkle",
+    "rightAnkle",
+];
+
+/// An image position in pixels.
+#[derive(Debug, Clone, Copy, Serialize, PartialEq)]
+pub struct Position {
+    /// Horizontal pixel coordinate.
+    pub x: f32,
+    /// Vertical pixel coordinate.
+    pub y: f32,
+}
+
+/// One detected keypoint.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Keypoint {
+    /// Body part name (`"nose"`, `"leftShoulder"`, ...).
+    pub part: String,
+    /// Pixel position in the input image.
+    pub position: Position,
+    /// Detection confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// A detected pose — the JSON-friendly object of Listing 3.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Pose {
+    /// Mean keypoint confidence.
+    pub score: f32,
+    /// All 17 keypoints.
+    pub keypoints: Vec<Keypoint>,
+}
+
+/// Pose estimator: truncated MobileNet features, 1x1 conv heads for
+/// heatmaps `[h, w, 17]` and offsets `[h, w, 34]`, single-pose decoding.
+pub struct PoseNet {
+    backbone: Sequential,
+    heatmap_head: Box<dyn Layer>,
+    offset_head: Box<dyn Layer>,
+    input_size: usize,
+    output_stride: usize,
+}
+
+impl PoseNet {
+    /// Build with deterministic synthetic weights at the given input size
+    /// (must be divisible by the output stride, 16).
+    ///
+    /// # Errors
+    /// Fails on invalid sizes.
+    pub fn new(engine: &Engine, input_size: usize) -> Result<PoseNet> {
+        const STRIDE: usize = 16;
+        if !input_size.is_multiple_of(STRIDE) || input_size == 0 {
+            return Err(webml_core::Error::invalid(
+                "PoseNet",
+                format!("input size {input_size} must be a positive multiple of {STRIDE}"),
+            ));
+        }
+        // A compact backbone reaching stride 16: four strided convs.
+        let mut backbone = Sequential::new(engine).with_seed(77);
+        backbone.add(
+            Conv2D::new(16, 3)
+                .with_strides((2, 2))
+                .with_activation(Activation::Relu6)
+                .with_input_shape([input_size, input_size, 3])
+                .with_name("pose_conv1"),
+        );
+        backbone.add(
+            Conv2D::new(32, 3).with_strides((2, 2)).with_activation(Activation::Relu6).with_name("pose_conv2"),
+        );
+        backbone.add(
+            Conv2D::new(64, 3).with_strides((2, 2)).with_activation(Activation::Relu6).with_name("pose_conv3"),
+        );
+        backbone.add(
+            Conv2D::new(128, 3).with_strides((2, 2)).with_activation(Activation::Relu6).with_name("pose_conv4"),
+        );
+        backbone.build([input_size, input_size, 3])?;
+
+        let feat = input_size / STRIDE;
+        let mut heatmap_head: Box<dyn Layer> =
+            Box::new(Conv2D::new(17, 1).with_name("heatmap").with_activation(Activation::Linear));
+        heatmap_head.build(engine, &Shape::new(vec![feat, feat, 128]), 101)?;
+        let mut offset_head: Box<dyn Layer> =
+            Box::new(Conv2D::new(34, 1).with_name("offset").with_activation(Activation::Linear));
+        offset_head.build(engine, &Shape::new(vec![feat, feat, 128]), 102)?;
+        Ok(PoseNet { backbone, heatmap_head, offset_head, input_size, output_stride: STRIDE })
+    }
+
+    /// The square input resolution.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Estimate a single pose from an image — the tensor-free API of
+    /// Listing 3: `posenet.estimateSinglePose(imageElement)`.
+    ///
+    /// # Errors
+    /// Propagates op errors.
+    pub fn estimate_single_pose(&mut self, image: &Image) -> Result<Pose> {
+        let engine = self.backbone.engine().clone();
+        let size = self.input_size;
+        let (heat, offsets, feat) = engine.tidy(|| -> Result<(Vec<f32>, Vec<f32>, usize)> {
+            let x = image.to_normalized_tensor(&engine, size)?;
+            let features = self.backbone.forward(&x, false)?;
+            let heatmaps = ops::sigmoid(&self.heatmap_head.call(&features, false)?)?;
+            let offsets = self.offset_head.call(&features, false)?;
+            let feat = heatmaps.shape_ref().dim(1);
+            Ok((heatmaps.to_f32_vec()?, offsets.to_f32_vec()?, feat))
+        })?;
+        Ok(self.decode_single_pose(&heat, &offsets, feat, image))
+    }
+
+    /// Decode heatmaps+offsets into a pose: per part, take the argmax cell
+    /// of its heatmap and displace by the offset vector at that cell.
+    fn decode_single_pose(&self, heat: &[f32], offsets: &[f32], feat: usize, image: &Image) -> Pose {
+        let parts = PART_NAMES.len();
+        let scale_x = image.width() as f32 / self.input_size as f32;
+        let scale_y = image.height() as f32 / self.input_size as f32;
+        let mut keypoints = Vec::with_capacity(parts);
+        let mut total = 0.0f32;
+        for (k, part) in PART_NAMES.iter().enumerate() {
+            let mut best = f32::NEG_INFINITY;
+            let (mut by, mut bx) = (0usize, 0usize);
+            for y in 0..feat {
+                for x in 0..feat {
+                    let v = heat[(y * feat + x) * parts + k];
+                    if v > best {
+                        best = v;
+                        by = y;
+                        bx = x;
+                    }
+                }
+            }
+            // Offsets: dy at channel k, dx at channel 17 + k (PoseNet layout).
+            let dy = offsets[(by * feat + bx) * parts * 2 + k];
+            let dx = offsets[(by * feat + bx) * parts * 2 + parts + k];
+            let px = (bx as f32 * self.output_stride as f32 + dx) * scale_x;
+            let py = (by as f32 * self.output_stride as f32 + dy) * scale_y;
+            total += best;
+            keypoints.push(Keypoint {
+                part: part.to_string(),
+                position: Position {
+                    x: px.clamp(0.0, image.width() as f32),
+                    y: py.clamp(0.0, image.height() as f32),
+                },
+                score: best,
+            });
+        }
+        Pose { score: total / parts as f32, keypoints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_backend_native::NativeBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("native", Arc::new(NativeBackend::new()), 3);
+        e
+    }
+
+    #[test]
+    fn rejects_bad_input_size() {
+        let e = engine();
+        assert!(PoseNet::new(&e, 100).is_err());
+        assert!(PoseNet::new(&e, 0).is_err());
+    }
+
+    #[test]
+    fn estimates_all_17_keypoints_with_valid_fields() {
+        let e = engine();
+        let mut net = PoseNet::new(&e, 128).unwrap();
+        let img = Image::synthetic_person(128, 128);
+        let pose = net.estimate_single_pose(&img).unwrap();
+        assert_eq!(pose.keypoints.len(), 17);
+        assert_eq!(pose.keypoints[0].part, "nose");
+        for kp in &pose.keypoints {
+            assert!((0.0..=1.0).contains(&kp.score), "{}: {}", kp.part, kp.score);
+            assert!((0.0..=128.0).contains(&kp.position.x));
+            assert!((0.0..=128.0).contains(&kp.position.y));
+        }
+        assert!((0.0..=1.0).contains(&pose.score));
+    }
+
+    #[test]
+    fn pose_serializes_like_listing3() {
+        let e = engine();
+        let mut net = PoseNet::new(&e, 64).unwrap();
+        let pose = net.estimate_single_pose(&Image::synthetic_person(64, 64)).unwrap();
+        let json = serde_json::to_value(&pose).unwrap();
+        assert!(json["score"].is_number());
+        assert_eq!(json["keypoints"][0]["part"], "nose");
+        assert!(json["keypoints"][0]["position"]["x"].is_number());
+    }
+
+    #[test]
+    fn scales_positions_to_original_image_size() {
+        let e = engine();
+        let mut net = PoseNet::new(&e, 64).unwrap();
+        // A 256x256 input gets resized down; keypoints scale back up.
+        let img = Image::synthetic_person(256, 256);
+        let pose = net.estimate_single_pose(&img).unwrap();
+        assert!(pose.keypoints.iter().all(|k| k.position.x <= 256.0 && k.position.y <= 256.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = engine();
+        let mut net = PoseNet::new(&e, 64).unwrap();
+        let img = Image::synthetic_person(64, 64);
+        let a = net.estimate_single_pose(&img).unwrap();
+        let b = net.estimate_single_pose(&img).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_tensor_leaks() {
+        let e = engine();
+        let mut net = PoseNet::new(&e, 64).unwrap();
+        let img = Image::synthetic_person(64, 64);
+        net.estimate_single_pose(&img).unwrap();
+        let before = e.num_tensors();
+        net.estimate_single_pose(&img).unwrap();
+        assert_eq!(e.num_tensors(), before);
+    }
+}

@@ -1,0 +1,93 @@
+//! The hosted models repository (paper Sec 5.2): pretrained models are
+//! published as web-format artifacts on a storage bucket and loaded by URL.
+//! Here the bucket is a [`SimulatedNetwork`], so cache behaviour and
+//! transfer sizes are measurable.
+
+use webml_converter::{load_model_from_network, save_model, SimulatedNetwork};
+use webml_core::{Engine, Result};
+use webml_layers::Sequential;
+
+/// Publish a model's web-format artifacts (model.json + ≤4 MB shards)
+/// under `base_url` on the simulated bucket.
+///
+/// # Errors
+/// Propagates serialization errors.
+pub fn publish(model: &Sequential, net: &SimulatedNetwork, base_url: &str) -> Result<()> {
+    // Reuse the directory writer through a temp dir, then host the files.
+    let dir = std::env::temp_dir().join(format!(
+        "webml-repo-{}-{}",
+        std::process::id(),
+        base_url.replace(['/', ':'], "_")
+    ));
+    save_model(model, &dir, None)?;
+    for entry in std::fs::read_dir(&dir).map_err(|e| webml_core::Error::Serialization {
+        message: format!("io error: {e}"),
+    })? {
+        let entry = entry.map_err(|e| webml_core::Error::Serialization {
+            message: format!("io error: {e}"),
+        })?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        let bytes = std::fs::read(entry.path()).map_err(|e| webml_core::Error::Serialization {
+            message: format!("io error: {e}"),
+        })?;
+        net.host(format!("{base_url}/{name}"), bytes);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+/// Load a published model by URL (`tf.loadModel(url)`).
+///
+/// # Errors
+/// Fails on 404s or malformed artifacts.
+pub fn load(engine: &Engine, net: &SimulatedNetwork, base_url: &str) -> Result<Sequential> {
+    load_model_from_network(engine, net, base_url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+    use webml_layers::{Activation, Dense};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    #[test]
+    fn publish_and_load_round_trip() {
+        let e = engine();
+        let mut model = Sequential::new(&e).with_seed(5);
+        model.add(Dense::new(4).with_input_dim(3).with_activation(Activation::Tanh));
+        model.add(Dense::new(2));
+        model.build([3]).unwrap();
+        let net = SimulatedNetwork::new();
+        publish(&model, &net, "https://storage.example.com/demo-model").unwrap();
+
+        let mut loaded = load(&e, &net, "https://storage.example.com/demo-model").unwrap();
+        let x = e.tensor_2d(&[0.5, -0.5, 1.0], 1, 3).unwrap();
+        assert_eq!(
+            loaded.predict(&x).unwrap().to_f32_vec().unwrap(),
+            model.predict(&x).unwrap().to_f32_vec().unwrap()
+        );
+    }
+
+    #[test]
+    fn reload_hits_browser_cache() {
+        let e = engine();
+        let mut model = Sequential::new(&e);
+        model.add(Dense::new(2).with_input_dim(2));
+        model.build([2]).unwrap();
+        let net = SimulatedNetwork::new();
+        publish(&model, &net, "https://cdn/m").unwrap();
+        load(&e, &net, "https://cdn/m").unwrap();
+        let first = net.stats();
+        load(&e, &net, "https://cdn/m").unwrap();
+        let second = net.stats();
+        assert_eq!(second.network_requests, first.network_requests, "reload must be all cache hits");
+        assert!(second.cache_hits > first.cache_hits);
+    }
+}

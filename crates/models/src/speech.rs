@@ -1,0 +1,239 @@
+//! A speech-commands-style audio classifier — the on-device microphone use
+//! case of paper Sec 2.2 ("speech-impaired users can use their phones to
+//! collect audio samples to train a personalized model in the browser"),
+//! and a models-repo member in TensorFlow.js.
+//!
+//! The model is a small conv net over spectrogram frames, trained
+//! in-library on simulated microphone recordings.
+
+use serde::Serialize;
+use webml_core::{ops, Engine, Error, Result, Tensor};
+use webml_layers::{
+    Activation, Conv2D, Dense, FitConfig, Flatten, Loss, Metric, RmsProp, Sequential,
+};
+
+/// A recognized command with its probability.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct CommandPrediction {
+    /// Command label.
+    pub command: String,
+    /// Softmax probability.
+    pub probability: f32,
+}
+
+/// A trainable spectrogram classifier with a tensor-free prediction API.
+pub struct SpeechCommands {
+    model: Sequential,
+    labels: Vec<String>,
+    frames: usize,
+    bins: usize,
+}
+
+impl SpeechCommands {
+    /// Build an untrained recognizer for `labels`, expecting spectrograms
+    /// of `frames x bins`.
+    ///
+    /// # Errors
+    /// Fails when fewer than 2 labels are supplied.
+    pub fn new(engine: &Engine, labels: &[&str], frames: usize, bins: usize) -> Result<SpeechCommands> {
+        if labels.len() < 2 {
+            return Err(Error::invalid("SpeechCommands", "need at least 2 command labels"));
+        }
+        let mut model = Sequential::new(engine).with_seed(99);
+        model.add(
+            Conv2D::new(8, 3)
+                .with_strides((1, 1))
+                .with_activation(Activation::Relu)
+                .with_input_shape([frames, bins, 1]),
+        );
+        model.add(Conv2D::new(16, 3).with_strides((2, 2)).with_activation(Activation::Relu));
+        model.add(Flatten::new());
+        model.add(Dense::new(labels.len()).with_activation(Activation::Softmax));
+        model.compile_with_metrics(
+            Loss::CategoricalCrossentropy,
+            Box::new(RmsProp::new(0.01)),
+            vec![Metric::CategoricalAccuracy],
+        );
+        model.build([frames, bins, 1])?;
+        Ok(SpeechCommands {
+            model,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            frames,
+            bins,
+        })
+    }
+
+    /// The command labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Train on labelled spectrograms (`examples[i]` has `frames*bins`
+    /// values; `label_ids[i]` indexes [`SpeechCommands::labels`]).
+    ///
+    /// # Errors
+    /// Fails on inconsistent buffer sizes or label ids.
+    pub fn train(&mut self, examples: &[Vec<f32>], label_ids: &[usize], epochs: usize) -> Result<f32> {
+        if examples.len() != label_ids.len() || examples.is_empty() {
+            return Err(Error::invalid("SpeechCommands.train", "examples/labels mismatch"));
+        }
+        let per = self.frames * self.bins;
+        let mut xs = Vec::with_capacity(examples.len() * per);
+        for ex in examples {
+            if ex.len() != per {
+                return Err(Error::invalid("SpeechCommands.train", "bad spectrogram size"));
+            }
+            xs.extend_from_slice(ex);
+        }
+        if let Some(&bad) = label_ids.iter().find(|&&l| l >= self.labels.len()) {
+            return Err(Error::invalid("SpeechCommands.train", format!("label id {bad} out of range")));
+        }
+        let engine = self.model.engine().clone();
+        let n = examples.len();
+        let x = engine.tensor(xs, [n, self.frames, self.bins, 1])?;
+        let ids: Vec<i32> = label_ids.iter().map(|&l| l as i32).collect();
+        let labels_t = engine.tensor(ids, [n])?;
+        let y = engine.one_hot(&labels_t, self.labels.len())?;
+        labels_t.dispose();
+        let history = self.model.fit(
+            &x,
+            &y,
+            FitConfig { epochs, batch_size: 8.min(n), ..Default::default() },
+        )?;
+        x.dispose();
+        y.dispose();
+        let acc = history
+            .metrics
+            .get("categorical_accuracy")
+            .and_then(|v| v.last().copied())
+            .unwrap_or(0.0);
+        Ok(acc)
+    }
+
+    /// Recognize a spectrogram, returning commands sorted by probability —
+    /// the tensor-free prediction API.
+    ///
+    /// # Errors
+    /// Fails on a wrong-sized spectrogram.
+    pub fn recognize(&mut self, spectrogram: &[f32]) -> Result<Vec<CommandPrediction>> {
+        if spectrogram.len() != self.frames * self.bins {
+            return Err(Error::invalid("SpeechCommands.recognize", "bad spectrogram size"));
+        }
+        let engine = self.model.engine().clone();
+        let probs = engine.tidy(|| -> Result<Vec<f32>> {
+            let x = engine.tensor(spectrogram.to_vec(), [1, self.frames, self.bins, 1])?;
+            let y = self.model.forward(&x, false)?;
+            y.to_f32_vec()
+        })?;
+        let mut ranked: Vec<CommandPrediction> = self
+            .labels
+            .iter()
+            .zip(&probs)
+            .map(|(label, &p)| CommandPrediction { command: label.clone(), probability: p })
+            .collect();
+        ranked.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+        Ok(ranked)
+    }
+
+    /// The model's embedding of a spectrogram (penultimate layer), for KNN
+    /// transfer learning on personalized commands.
+    ///
+    /// # Errors
+    /// Fails on a wrong-sized spectrogram.
+    pub fn embed(&mut self, spectrogram: &[f32]) -> Result<Tensor> {
+        if spectrogram.len() != self.frames * self.bins {
+            return Err(Error::invalid("SpeechCommands.embed", "bad spectrogram size"));
+        }
+        let engine = self.model.engine().clone();
+        let n_layers = self.model.len();
+        engine.tidy(|| {
+            let x = engine.tensor(spectrogram.to_vec(), [1, self.frames, self.bins, 1])?;
+            let mut y = ops::identity(&x)?;
+            for layer in &self.model.layers()[..n_layers - 1] {
+                y = layer.call(&y, false)?;
+            }
+            Ok(y)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_backend_native::NativeBackend;
+    use webml_data::Microphone;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("native", Arc::new(NativeBackend::new()), 3);
+        e
+    }
+
+    #[test]
+    fn trains_to_separate_synthetic_commands() {
+        let e = engine();
+        let (frames, bins) = (6, 8);
+        let mut net = SpeechCommands::new(&e, &["yes", "no", "stop"], frames, bins).unwrap();
+        let mut mic = Microphone::new(16_000, 5);
+        let mut examples = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..3 {
+            for _ in 0..6 {
+                examples.push(mic.spectrogram(class, frames, bins));
+                labels.push(class);
+            }
+        }
+        let acc = net.train(&examples, &labels, 12).unwrap();
+        assert!(acc > 0.8, "training accuracy {acc}");
+        // Fresh recordings classify correctly.
+        let mut hits = 0;
+        for class in 0..3 {
+            let spec = mic.spectrogram(class, frames, bins);
+            let pred = net.recognize(&spec).unwrap();
+            hits += (pred[0].command == net.labels()[class]) as usize;
+        }
+        assert!(hits >= 2, "{hits}/3 fresh recordings recognized");
+    }
+
+    #[test]
+    fn probabilities_are_sorted_and_normalized() {
+        let e = engine();
+        let mut net = SpeechCommands::new(&e, &["a", "b"], 4, 4).unwrap();
+        let pred = net.recognize(&[0.5; 16]).unwrap();
+        assert_eq!(pred.len(), 2);
+        assert!(pred[0].probability >= pred[1].probability);
+        let total: f32 = pred.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn validation() {
+        let e = engine();
+        assert!(SpeechCommands::new(&e, &["only-one"], 4, 4).is_err());
+        let mut net = SpeechCommands::new(&e, &["a", "b"], 4, 4).unwrap();
+        assert!(net.recognize(&[0.0; 3]).is_err());
+        assert!(net.train(&[vec![0.0; 16]], &[5], 1).is_err());
+        assert!(net.train(&[vec![0.0; 9]], &[0], 1).is_err());
+    }
+
+    #[test]
+    fn embeddings_feed_knn_transfer_learning() {
+        use crate::knn::KnnClassifier;
+        let e = engine();
+        let mut net = SpeechCommands::new(&e, &["a", "b"], 6, 8).unwrap();
+        let mut mic = Microphone::new(16_000, 11);
+        let mut knn = KnnClassifier::new();
+        for class in 0..2 {
+            for _ in 0..4 {
+                let emb = net.embed(&mic.spectrogram(class, 6, 8)).unwrap();
+                knn.add_example(&emb, format!("cmd{class}")).unwrap();
+                emb.dispose();
+            }
+        }
+        let emb = net.embed(&mic.spectrogram(0, 6, 8)).unwrap();
+        let pred = knn.predict(&emb, 3).unwrap();
+        emb.dispose();
+        assert_eq!(pred.label, "cmd0");
+    }
+}

@@ -1,0 +1,281 @@
+//! t-SNE on the ops API — the paper's Sec 6.4 "numeric applications"
+//! example (tfjs-tsne): GPU-accelerated dimensionality reduction running on
+//! whatever backend the engine uses.
+//!
+//! This is the exact O(n²) formulation with the analytic Kullback-Leibler
+//! gradient computed entirely in tensor ops, so every iteration runs as a
+//! handful of matmul/element-wise kernels on the active backend.
+
+use webml_core::{ops, Engine, Error, Result, Tensor};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the input-space affinities.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Early-exaggeration factor applied to P for the first quarter of
+    /// iterations (standard t-SNE trick for cluster separation).
+    pub exaggeration: f32,
+    /// Random seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            exaggeration: 4.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Embed `n` points of dimension `d` (row-major `data`, length `n*d`) into
+/// 2-D. Returns the `[n, 2]` embedding coordinates.
+///
+/// # Errors
+/// Fails when fewer than 4 points are supplied or the buffer length is
+/// inconsistent.
+pub fn tsne(engine: &Engine, data: &[f32], n: usize, d: usize, config: TsneConfig) -> Result<Vec<f32>> {
+    if n < 4 {
+        return Err(Error::invalid("tsne", "need at least 4 points"));
+    }
+    if data.len() != n * d {
+        return Err(Error::invalid("tsne", format!("data length {} != {n}x{d}", data.len())));
+    }
+    // Input affinities P: perplexity-calibrated Gaussian kernel,
+    // symmetrized. Computed host-side once (O(n² log(precision))).
+    let p = joint_probabilities(data, n, d, config.perplexity);
+
+    let exaggerated: Vec<f32> = p.iter().map(|v| v * config.exaggeration).collect();
+    let p_exag = engine.tensor(exaggerated, [n, n])?;
+    let p_plain = engine.tensor(p, [n, n])?;
+
+    let mut y = engine.rand_normal([n, 2], 0.0, 1e-2, config.seed)?;
+    let mut velocity = engine.zeros([n, 2], webml_core::DType::F32)?;
+    let exaggeration_end = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let p_t = if iter < exaggeration_end { &p_exag } else { &p_plain };
+        let (new_y, new_v) = engine.tidy(|| -> Result<(Tensor, Tensor)> {
+            let grad = kl_gradient(engine, p_t, &y, n)?;
+            // velocity = momentum * velocity - lr * grad; y += velocity.
+            let mom = engine.scalar(config.momentum)?;
+            let lr = engine.scalar(config.learning_rate)?;
+            let v = ops::sub(&ops::mul(&velocity, &mom)?, &ops::mul(&grad, &lr)?)?;
+            let ny = ops::add(&y, &v)?;
+            // Re-center to keep the embedding bounded.
+            let mean = ops::mean(&ny, Some(&[0]), true)?;
+            Ok((ops::sub(&ny, &mean)?, v))
+        })?;
+        y.dispose();
+        velocity.dispose();
+        y = new_y;
+        velocity = new_v;
+    }
+    let out = y.to_f32_vec()?;
+    y.dispose();
+    velocity.dispose();
+    p_exag.dispose();
+    p_plain.dispose();
+    Ok(out)
+}
+
+/// The t-SNE gradient in tensor ops:
+/// `grad_i = 4 Σ_j (p_ij − q_ij) w_ij (y_i − y_j)` with
+/// `w_ij = 1 / (1 + ||y_i − y_j||²)` (Student-t kernel) and `Q = W / ΣW`.
+fn kl_gradient(engine: &Engine, p: &Tensor, y: &Tensor, n: usize) -> Result<Tensor> {
+    // Pairwise squared distances: D = s + sᵀ − 2 Y Yᵀ.
+    let yyt = ops::matmul(y, y, false, true)?;
+    let sq = ops::sum(&ops::mul(y, y)?, Some(&[1]), true)?; // [n, 1]
+    let sq_t = ops::reshape(&sq, vec![1, n])?;
+    let two = engine.scalar(2.0)?;
+    let dist = ops::add(&ops::sub(&ops::add(&sq, &sq_t)?, &ops::mul(&two, &yyt)?)?, &engine.scalar(0.0)?)?;
+    // Student-t weights with a zeroed diagonal.
+    let one = engine.scalar(1.0)?;
+    let w_full = ops::reciprocal(&ops::add(&one, &dist)?)?;
+    let eye = engine.eye(n)?;
+    let w = ops::mul(&w_full, &ops::sub(&one, &eye)?)?;
+    // Q = W / sum(W), floored to avoid division blowups.
+    let w_sum = ops::sum(&w, None, false)?;
+    let q = ops::div(&w, &ops::maximum(&w_sum, &engine.scalar(1e-12)?)?)?;
+    // (P − Q) ⊙ W.
+    let pq = ops::mul(&ops::sub(p, &q)?, &w)?;
+    // grad = 4 (diag(rowsum(PQ)) − PQ) Y.
+    let row = ops::sum(&pq, Some(&[1]), true)?; // [n, 1]
+    let scaled_y = ops::mul(&row, y)?; // broadcast: rowsum_i * y_i
+    let mixed = ops::matmul(&pq, y, false, false)?;
+    let four = engine.scalar(4.0)?;
+    ops::mul(&four, &ops::sub(&scaled_y, &mixed)?)
+}
+
+/// Symmetrized, perplexity-calibrated input affinities (host-side).
+fn joint_probabilities(data: &[f32], n: usize, d: usize, perplexity: f32) -> Vec<f32> {
+    // Pairwise squared distances.
+    let mut dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0;
+            for k in 0..d {
+                let diff = data[i * d + k] - data[j * d + k];
+                s += diff * diff;
+            }
+            dist[i * n + j] = s;
+            dist[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        // Binary search the Gaussian precision beta for this row.
+        let row = &dist[i * n..(i + 1) * n];
+        let (mut lo, mut hi, mut beta) = (0.0f32, f32::INFINITY, 1.0f32);
+        let mut probs = vec![0.0f32; n];
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            for j in 0..n {
+                probs[j] = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-12);
+            let mut entropy = 0.0f32;
+            for pj in probs.iter_mut() {
+                *pj /= sum;
+                if *pj > 1e-12 {
+                    entropy -= *pj * pj.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        for j in 0..n {
+            p[i * n + j] = probs[j];
+        }
+    }
+    // Symmetrize and normalize; floor keeps gradients defined.
+    let mut joint = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    for i in 0..n {
+        joint[i * n + i] = 0.0;
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_backend_native::NativeBackend;
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("native", Arc::new(NativeBackend::new()), 3);
+        e
+    }
+
+    /// Three well-separated Gaussian clusters in 8-D.
+    fn clusters(n_per: usize) -> (Vec<f32>, usize) {
+        let d = 8;
+        let mut data = Vec::new();
+        let mut state = 12345u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for c in 0..3 {
+            for _ in 0..n_per {
+                for k in 0..d {
+                    let center = if k % 3 == c { 10.0 } else { 0.0 };
+                    data.push(center + rand() * 0.5);
+                }
+            }
+        }
+        (data, 3 * n_per)
+    }
+
+    #[test]
+    fn separates_well_separated_clusters() {
+        let e = engine();
+        let (data, n) = clusters(12);
+        let emb = tsne(
+            &e,
+            &data,
+            n,
+            8,
+            TsneConfig { iterations: 400, perplexity: 8.0, learning_rate: 10.0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(emb.len(), n * 2);
+        // Cluster centroids in embedding space.
+        let centroid = |c: usize| -> (f32, f32) {
+            let mut x = 0.0;
+            let mut y = 0.0;
+            for i in 0..12 {
+                x += emb[(c * 12 + i) * 2];
+                y += emb[(c * 12 + i) * 2 + 1];
+            }
+            (x / 12.0, y / 12.0)
+        };
+        let mean_intra = {
+            let mut total = 0.0;
+            for c in 0..3 {
+                let (cx, cy) = centroid(c);
+                for i in 0..12 {
+                    let dx = emb[(c * 12 + i) * 2] - cx;
+                    let dy = emb[(c * 12 + i) * 2 + 1] - cy;
+                    total += (dx * dx + dy * dy).sqrt();
+                }
+            }
+            total / 36.0
+        };
+        let mut min_inter = f32::INFINITY;
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let (ax, ay) = centroid(a);
+                let (bx, by) = centroid(b);
+                min_inter = min_inter.min(((ax - bx).powi(2) + (ay - by).powi(2)).sqrt());
+            }
+        }
+        assert!(
+            min_inter > mean_intra * 2.0,
+            "clusters should separate: inter {min_inter} vs intra {mean_intra}"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let e = engine();
+        assert!(tsne(&e, &[0.0; 6], 3, 2, TsneConfig::default()).is_err());
+        assert!(tsne(&e, &[0.0; 7], 4, 2, TsneConfig::default()).is_err());
+    }
+
+    #[test]
+    fn does_not_leak_tensors() {
+        let e = engine();
+        let (data, n) = clusters(4);
+        let before = e.num_tensors();
+        let _ = tsne(&e, &data, n, 8, TsneConfig { iterations: 5, ..Default::default() }).unwrap();
+        assert_eq!(e.num_tensors(), before);
+    }
+}

@@ -1,0 +1,478 @@
+//! The GPGPUContext (paper Sec 4.1): the host-side abstraction over the
+//! simulated WebGL device — texture upload/readback, program execution,
+//! fences, disjoint timer queries, recycling and paging.
+
+use crate::devices::DeviceProfile;
+use crate::future::ReadFuture;
+use crate::layout::{LayoutError, TextureLayout};
+use crate::pager::{PagerStats, PagingPolicy};
+use crate::queue::{device_loop, Command, DeviceShared, TexId};
+use crate::recycler::RecyclerStats;
+use crate::shader::Program;
+use crate::texture::TextureFormat;
+use crossbeam::channel::Sender;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Context configuration (the tfjs environment flags).
+#[derive(Debug, Clone, Copy)]
+pub struct ContextConfig {
+    /// Use RGBA texel packing for programs that provide a packed body
+    /// (paper Sec 3.9, 1.3-1.4x on PoseNet).
+    pub packing: bool,
+    /// Use the squeezed logical→physical mapping (paper Sec 4.1, ~1.3x).
+    pub squeeze_layout: bool,
+    /// Automatic texture paging policy (paper Sec 4.1.2).
+    pub paging: PagingPolicy,
+    /// Texture recycling (paper Sec 4.1.2).
+    pub recycling: bool,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            packing: true,
+            squeeze_layout: true,
+            paging: PagingPolicy::disabled(),
+            recycling: true,
+        }
+    }
+}
+
+/// Memory/diagnostic gauges of the device.
+#[derive(Debug, Clone, Default)]
+pub struct GpuMemoryStats {
+    /// Bytes resident in GPU textures.
+    pub bytes_in_gpu: usize,
+    /// Live texture handles (excluding the recycler's free pool).
+    pub num_textures: usize,
+    /// Programs executed so far.
+    pub programs_run: u64,
+    /// Recycler counters.
+    pub recycler: RecyclerStats,
+    /// Paging counters.
+    pub pager: PagerStats,
+}
+
+/// Errors from context operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlError {
+    /// The device cannot run float-texture GPGPU at all (Sec 4.1.3).
+    Unsupported {
+        /// Device name.
+        device: String,
+    },
+    /// A tensor exceeded the device texture limits.
+    Layout(LayoutError),
+    /// Readback failed.
+    Read(String),
+}
+
+impl std::fmt::Display for GlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlError::Unsupported { device } => {
+                write!(f, "device {device} lacks float texture support (OES_texture_float)")
+            }
+            GlError::Layout(e) => write!(f, "{e}"),
+            GlError::Read(e) => write!(f, "readback failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GlError {}
+
+impl From<LayoutError> for GlError {
+    fn from(e: LayoutError) -> Self {
+        GlError::Layout(e)
+    }
+}
+
+/// A handle to a device texture holding one logical tensor.
+#[derive(Debug, Clone)]
+pub struct TexHandle {
+    /// Device texture id.
+    pub id: TexId,
+    /// Compiled layout.
+    pub layout: TextureLayout,
+}
+
+impl TexHandle {
+    /// Logical element count.
+    pub fn size(&self) -> usize {
+        self.layout.size()
+    }
+}
+
+/// A fence inserted into the command queue (`gl.fenceSync`, Sec 4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceHandle(u64);
+
+/// The host-side GPGPU context over a simulated WebGL device.
+pub struct GpgpuContext {
+    profile: DeviceProfile,
+    config: ContextConfig,
+    shared: Arc<DeviceShared>,
+    sender: Sender<Command>,
+    next_tex: AtomicU64,
+    next_fence: AtomicU64,
+    timing_mark: AtomicU64,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GpgpuContext {
+    /// Create a context on `profile`.
+    ///
+    /// # Errors
+    /// [`GlError::Unsupported`] when the device lacks float-texture support
+    /// — callers should fall back to the CPU backend, as TensorFlow.js does.
+    pub fn new(profile: DeviceProfile, config: ContextConfig) -> Result<GpgpuContext, GlError> {
+        if !profile.supports_float_textures() {
+            return Err(GlError::Unsupported { device: profile.name.clone() });
+        }
+        let shared = Arc::new(DeviceShared::new(config.recycling));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let worker_shared = shared.clone();
+        let parallelism = profile.parallelism;
+        let half = profile.half_precision_only;
+        let paging = config.paging;
+        let worker = std::thread::Builder::new()
+            .name("webgl-device".into())
+            .spawn(move || device_loop(rx, worker_shared, parallelism, half, paging))
+            .expect("spawn device thread");
+        Ok(GpgpuContext {
+            profile,
+            config,
+            shared,
+            sender: tx,
+            next_tex: AtomicU64::new(1),
+            next_fence: AtomicU64::new(1),
+            timing_mark: AtomicU64::new(0),
+            worker: Some(worker),
+        })
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The context configuration.
+    pub fn config(&self) -> &ContextConfig {
+        &self.config
+    }
+
+    /// Per-device epsilon (paper Sec 4.1.3).
+    pub fn epsilon(&self) -> f32 {
+        self.profile.epsilon()
+    }
+
+    fn base_format(&self, packed: bool) -> TextureFormat {
+        let fmt = if self.profile.half_precision_only { TextureFormat::R16F } else { TextureFormat::R32F };
+        fmt.with_packing(packed)
+    }
+
+    fn compile_layout(&self, shape: &[usize], packed: bool) -> Result<TextureLayout, GlError> {
+        Ok(TextureLayout::compile(
+            shape,
+            self.base_format(packed),
+            self.profile.max_texture_size,
+            self.config.squeeze_layout,
+        )?)
+    }
+
+    /// Upload host values as a new texture-backed tensor.
+    ///
+    /// # Errors
+    /// [`GlError::Layout`] when the tensor exceeds texture limits.
+    pub fn upload(&self, data: Vec<f32>, shape: &[usize]) -> Result<TexHandle, GlError> {
+        let layout = self.compile_layout(shape, false)?;
+        let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
+        self.sender
+            .send(Command::Upload {
+                tex: id,
+                data,
+                rows: layout.tex_rows,
+                cols: layout.tex_cols,
+                format: layout.format,
+            })
+            .expect("device thread alive");
+        Ok(TexHandle { id, layout })
+    }
+
+    /// Enqueue a program over `inputs`, returning the output handle
+    /// immediately (sub-millisecond) while the device computes.
+    ///
+    /// Packed program bodies run packed only when the context enables
+    /// packing; otherwise the per-element path must be provided by the
+    /// caller (programs carry a single body).
+    ///
+    /// # Errors
+    /// [`GlError::Layout`] when the output exceeds texture limits.
+    pub fn run(&self, program: Program, inputs: &[&TexHandle]) -> Result<TexHandle, GlError> {
+        let packed = program.is_packed() && self.config.packing;
+        let out_layout = self.compile_layout(&program.out_shape.clone(), packed)?;
+        let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
+        let in_layouts: Vec<TextureLayout> = inputs.iter().map(|h| h.layout.clone()).collect();
+        self.sender
+            .send(Command::Run {
+                program,
+                inputs: inputs.iter().map(|h| h.id).collect(),
+                in_layouts,
+                output: id,
+                out_layout: out_layout.clone(),
+            })
+            .expect("device thread alive");
+        Ok(TexHandle { id, layout: out_layout })
+    }
+
+    /// Re-view a texture under a different logical shape (same element
+    /// count): the free `reshape` of paper Sec 3.4 — no data moves, only
+    /// the layout's accessor math changes.
+    ///
+    /// # Errors
+    /// [`GlError::Layout`] when the shape cannot be laid out (cannot happen
+    /// for shapes of equal size to an existing layout, kept for safety).
+    pub fn relayout(&self, h: &TexHandle, shape: &[usize]) -> Result<TexHandle, GlError> {
+        let mut layout = TextureLayout::compile(
+            shape,
+            h.layout.format,
+            self.profile.max_texture_size,
+            self.config.squeeze_layout,
+        )?;
+        // Keep the physical texture geometry of the existing allocation.
+        layout.tex_rows = h.layout.tex_rows;
+        layout.tex_cols = h.layout.tex_cols;
+        Ok(TexHandle { id: h.id, layout })
+    }
+
+    /// Blocking readback (`gl.readPixels` after an implicit flush) — the
+    /// `dataSync()` path of Figure 2.
+    ///
+    /// # Errors
+    /// [`GlError::Read`] when the texture does not exist.
+    pub fn read_sync(&self, h: &TexHandle) -> Result<Vec<f32>, GlError> {
+        self.read_async(h).wait().map_err(GlError::Read)
+    }
+
+    /// Asynchronous readback — the `data()` path of Figure 3. The future
+    /// resolves once the device has executed all prior commands and copied
+    /// the values out.
+    pub fn read_async(&self, h: &TexHandle) -> ReadFuture {
+        let (future, promise) = ReadFuture::pending();
+        self.sender
+            .send(Command::ReadPixels { tex: h.id, len: h.size(), promise })
+            .expect("device thread alive");
+        future
+    }
+
+    /// Release a texture back to the recycler.
+    pub fn dispose(&self, h: &TexHandle) {
+        let _ = self.sender.send(Command::Dispose { tex: h.id });
+    }
+
+    /// Insert a fence into the command queue (`gl.fenceSync`).
+    pub fn fence(&self) -> FenceHandle {
+        let id = self.next_fence.fetch_add(1, Ordering::Relaxed);
+        self.sender.send(Command::Fence { id }).expect("device thread alive");
+        FenceHandle(id)
+    }
+
+    /// Poll whether a fence has passed (all commands before it completed).
+    pub fn fence_passed(&self, f: FenceHandle) -> bool {
+        self.shared.last_fence.load(Ordering::SeqCst) >= f.0
+    }
+
+    /// Block until every queued command has executed.
+    pub fn flush(&self) {
+        let (future, promise) = ReadFuture::pending();
+        self.sender.send(Command::Flush { promise }).expect("device thread alive");
+        let _ = future.wait();
+    }
+
+    /// Begin a disjoint-timer-query window measuring pure device time.
+    pub fn begin_timing(&self) {
+        self.flush();
+        self.timing_mark.store(self.shared.gpu_nanos.load(Ordering::Relaxed), Ordering::SeqCst);
+    }
+
+    /// End the timing window, returning device milliseconds spent in
+    /// programs (excluding upload/download, as the paper's WebGL timing
+    /// does).
+    pub fn end_timing(&self) -> f64 {
+        self.flush();
+        let now = self.shared.gpu_nanos.load(Ordering::Relaxed);
+        (now - self.timing_mark.load(Ordering::SeqCst)) as f64 / 1e6
+    }
+
+    /// Memory and diagnostics snapshot (flushes first for stable numbers).
+    pub fn memory(&self) -> GpuMemoryStats {
+        self.flush();
+        GpuMemoryStats {
+            bytes_in_gpu: self.shared.bytes_gpu.load(Ordering::Relaxed),
+            num_textures: self.shared.textures.lock().len(),
+            programs_run: self.shared.program_count.load(Ordering::Relaxed),
+            recycler: self.shared.recycler_stats(),
+            pager: *self.shared.pager.lock(),
+        }
+    }
+}
+
+impl Drop for GpgpuContext {
+    fn drop(&mut self) {
+        let _ = self.sender.send(Command::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shader::Program;
+
+    fn ctx() -> GpgpuContext {
+        GpgpuContext::new(DeviceProfile::intel_iris_pro(), ContextConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn upload_read_round_trip() {
+        let c = ctx();
+        let h = c.upload(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(c.read_sync(&h).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unsupported_device_is_rejected() {
+        let e = GpgpuContext::new(DeviceProfile::android_legacy(), ContextConfig::default());
+        assert!(matches!(e, Err(GlError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn run_add_program() {
+        let c = ctx();
+        let a = c.upload(vec![1.0, 2.0], &[2]).unwrap();
+        let b = c.upload(vec![10.0, 20.0], &[2]).unwrap();
+        let prog = Program::per_element("Add", vec![2], |s, i, _| {
+            s.get_flat(0, i) + s.get_flat(1, i)
+        });
+        let out = c.run(prog, &[&a, &b]).unwrap();
+        assert_eq!(c.read_sync(&out).unwrap(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn enqueue_returns_before_completion() {
+        // A chain of slow programs: run() must return quickly while the
+        // fence only passes later.
+        let c = ctx();
+        let a = c.upload(vec![1.0; 256], &[256]).unwrap();
+        let slow = Program::per_element("Slow", vec![256], |s, i, _| {
+            // Artificial heavy per-element math.
+            let mut v = s.get_flat(0, i);
+            for _ in 0..20_000 {
+                v = (v * 1.000_001).sin() + 1.0;
+            }
+            v
+        });
+        let t0 = std::time::Instant::now();
+        let out = c.run(slow, &[&a]).unwrap();
+        let fence = c.fence();
+        let enqueue_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(enqueue_ms < 50.0, "enqueue took {enqueue_ms} ms");
+        assert!(!c.fence_passed(fence) || t0.elapsed().as_millis() > 0);
+        // Blocking read waits for the result.
+        let vals = c.read_sync(&out).unwrap();
+        assert_eq!(vals.len(), 256);
+        assert!(c.fence_passed(fence));
+    }
+
+    #[test]
+    fn async_read_resolves() {
+        let c = ctx();
+        let a = c.upload(vec![3.0], &[1]).unwrap();
+        let prog = Program::per_element("Square", vec![1], |s, i, _| {
+            let v = s.get_flat(0, i);
+            v * v
+        });
+        let out = c.run(prog, &[&a]).unwrap();
+        let fut = c.read_async(&out);
+        assert_eq!(fut.wait().unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn dispose_recycles_textures() {
+        let c = ctx();
+        let h = c.upload(vec![0.0; 64], &[64]).unwrap();
+        c.dispose(&h);
+        let h2 = c.upload(vec![1.0; 64], &[64]).unwrap();
+        let m = c.memory();
+        assert_eq!(m.recycler.hits, 1, "second same-shape upload must recycle");
+        assert_eq!(c.read_sync(&h2).unwrap()[0], 1.0);
+    }
+
+    #[test]
+    fn timer_query_measures_device_time() {
+        let c = ctx();
+        let a = c.upload(vec![1.0; 4096], &[4096]).unwrap();
+        c.begin_timing();
+        let prog = Program::per_element("Work", vec![4096], |s, i, _| {
+            let mut v = s.get_flat(0, i);
+            for _ in 0..100 {
+                v = v * 1.0001 + 0.1;
+            }
+            v
+        });
+        let out = c.run(prog, &[&a]).unwrap();
+        let ms = c.end_timing();
+        assert!(ms > 0.0);
+        let _ = c.read_sync(&out);
+    }
+
+    #[test]
+    fn f16_device_rounds_uploads() {
+        let c = GpgpuContext::new(DeviceProfile::ios_safari(), ContextConfig::default()).unwrap();
+        let h = c.upload(vec![1e-8, 1.0], &[2]).unwrap();
+        assert_eq!(c.read_sync(&h).unwrap(), vec![0.0, 1.0]);
+        assert_eq!(c.epsilon(), 1e-4);
+    }
+
+    #[test]
+    fn paging_prevents_unbounded_gpu_growth() {
+        let config = ContextConfig {
+            paging: PagingPolicy { enabled: true, threshold_bytes: 64 * 1024 },
+            ..Default::default()
+        };
+        let c = GpgpuContext::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+        // Allocate ~1 MB without disposing anything (a leaky app).
+        let mut handles = Vec::new();
+        for i in 0..64 {
+            handles.push(c.upload(vec![i as f32; 4096], &[4096]).unwrap());
+        }
+        let m = c.memory();
+        assert!(m.bytes_in_gpu <= 96 * 1024, "GPU stays near threshold, got {}", m.bytes_in_gpu);
+        assert!(m.pager.page_outs > 0);
+        // Paged textures are still readable and correct.
+        assert_eq!(c.read_sync(&handles[0]).unwrap()[0], 0.0);
+        assert_eq!(c.read_sync(&handles[5]).unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn paged_texture_pages_back_in_when_sampled() {
+        let config = ContextConfig {
+            paging: PagingPolicy { enabled: true, threshold_bytes: 32 * 1024 },
+            ..Default::default()
+        };
+        let c = GpgpuContext::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+        let first = c.upload(vec![7.0; 4096], &[4096]).unwrap();
+        for _ in 0..16 {
+            let _ = c.upload(vec![0.0; 4096], &[4096]).unwrap();
+        }
+        // `first` should have been paged out by now; running a program on it
+        // pages it back in.
+        let prog = Program::per_element("AddOne", vec![4096], |s, i, _| s.get_flat(0, i) + 1.0);
+        let out = c.run(prog, &[&first]).unwrap();
+        assert_eq!(c.read_sync(&out).unwrap()[0], 8.0);
+        assert!(c.memory().pager.page_ins > 0);
+    }
+}

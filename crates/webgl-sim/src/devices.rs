@@ -1,0 +1,266 @@
+//! Device capability profiles and the market-share database used to
+//! reproduce the device-support statistics of paper Sec 4.1.3 ("TensorFlow.js
+//! can run on 99% of desktop devices, 98% of iOS and Windows mobile devices,
+//! and 52% of Android devices").
+
+/// WebGL specification level implemented by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlVersion {
+    /// WebGL 1.0 (needs `OES_texture_float` for float textures).
+    WebGl1,
+    /// WebGL 2.0 (float textures and `fenceSync` built in).
+    WebGl2,
+}
+
+/// Broad device category, for Table 1-style reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Laptop/desktop with an integrated GPU (e.g. Intel Iris Pro).
+    DesktopIntegrated,
+    /// Desktop with a discrete GPU (e.g. GTX 1080).
+    DesktopDiscrete,
+    /// iOS device (Safari: WebGL 1.0, 16-bit float textures).
+    MobileIos,
+    /// Android device.
+    MobileAndroid,
+    /// Windows mobile device.
+    MobileWindows,
+}
+
+/// Capabilities of one simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Device category.
+    pub class: DeviceClass,
+    /// WebGL level.
+    pub gl_version: GlVersion,
+    /// Whether WebGL 1.0 exposes `OES_texture_float` (required to upload
+    /// and read float textures; the gating capability of Sec 4.1.3).
+    pub has_oes_texture_float: bool,
+    /// iOS-style devices only support 16-bit float textures.
+    pub half_precision_only: bool,
+    /// `MAX_TEXTURE_SIZE` per dimension.
+    pub max_texture_size: usize,
+    /// Modeled shader-core parallelism: the effective core count used by
+    /// the simulated-time model (and, up to the host machine's size, by
+    /// real execution). Calibrated so the simulated Table 1 ratios track
+    /// the paper: integrated ≈ 8, discrete ≈ 64.
+    pub parallelism: usize,
+    /// `gl.fenceSync` availability (WebGL 2.0 path of Sec 4.1.1).
+    pub has_fence_sync: bool,
+    /// `EXT_disjoint_timer_query` availability (WebGL 1.0 path).
+    pub has_disjoint_timer_query: bool,
+}
+
+impl DeviceProfile {
+    /// Whether the WebGL backend can run at all on this device.
+    pub fn supports_float_textures(&self) -> bool {
+        match self.gl_version {
+            GlVersion::WebGl2 => true,
+            GlVersion::WebGl1 => self.has_oes_texture_float,
+        }
+    }
+
+    /// The per-device epsilon of Sec 4.1.3: 1e-7 at full precision, 1e-4 on
+    /// 16-bit devices (where the f32 default 1e-8 rounds to zero and made
+    /// `log(x + eps)` collapse to `log(x)`).
+    pub fn epsilon(&self) -> f32 {
+        if self.half_precision_only {
+            1e-4
+        } else {
+            1e-7
+        }
+    }
+
+    /// An integrated-GPU laptop (the paper's MacBook Pro / Intel Iris Pro
+    /// measurement platform).
+    pub fn intel_iris_pro() -> DeviceProfile {
+        DeviceProfile {
+            name: "Intel Iris Pro (integrated)".into(),
+            class: DeviceClass::DesktopIntegrated,
+            gl_version: GlVersion::WebGl2,
+            has_oes_texture_float: true,
+            half_precision_only: false,
+            max_texture_size: 16_384,
+            parallelism: 8,
+            has_fence_sync: true,
+            has_disjoint_timer_query: true,
+        }
+    }
+
+    /// A discrete desktop GPU (the paper's GTX 1080 platform).
+    pub fn gtx_1080() -> DeviceProfile {
+        DeviceProfile {
+            name: "GTX 1080 (discrete)".into(),
+            class: DeviceClass::DesktopDiscrete,
+            gl_version: GlVersion::WebGl2,
+            has_oes_texture_float: true,
+            half_precision_only: false,
+            max_texture_size: 16_384,
+            parallelism: 64,
+            has_fence_sync: true,
+            has_disjoint_timer_query: true,
+        }
+    }
+
+    /// iOS Safari: WebGL 1.0, 16-bit float textures only (Sec 4.1.3).
+    pub fn ios_safari() -> DeviceProfile {
+        DeviceProfile {
+            name: "iOS Safari".into(),
+            class: DeviceClass::MobileIos,
+            gl_version: GlVersion::WebGl1,
+            has_oes_texture_float: true,
+            half_precision_only: true,
+            max_texture_size: 4_096,
+            parallelism: 2,
+            has_fence_sync: false,
+            has_disjoint_timer_query: true,
+        }
+    }
+
+    /// A modern Android device with full float support.
+    pub fn android_modern() -> DeviceProfile {
+        DeviceProfile {
+            name: "Android (modern)".into(),
+            class: DeviceClass::MobileAndroid,
+            gl_version: GlVersion::WebGl2,
+            has_oes_texture_float: true,
+            half_precision_only: false,
+            max_texture_size: 8_192,
+            parallelism: 4,
+            has_fence_sync: true,
+            has_disjoint_timer_query: false,
+        }
+    }
+
+    /// An old Android device without GPU float-texture support — the WebGL
+    /// backend cannot run here and the engine falls back to plain CPU.
+    pub fn android_legacy() -> DeviceProfile {
+        DeviceProfile {
+            name: "Android (legacy, no GPU float)".into(),
+            class: DeviceClass::MobileAndroid,
+            gl_version: GlVersion::WebGl1,
+            has_oes_texture_float: false,
+            half_precision_only: false,
+            max_texture_size: 2_048,
+            parallelism: 1,
+            has_fence_sync: false,
+            has_disjoint_timer_query: false,
+        }
+    }
+}
+
+/// One entry of the simulated WebGLStats-style population: a device model
+/// with a within-platform market share.
+#[derive(Debug, Clone)]
+pub struct PopulationEntry {
+    /// Platform bucket the share is relative to.
+    pub platform: Platform,
+    /// Device model name.
+    pub model: String,
+    /// Share within the platform (entries per platform sum to 1.0).
+    pub share: f64,
+    /// Whether the device supports float textures (can run the WebGL
+    /// backend).
+    pub supports_webgl_backend: bool,
+}
+
+/// Reporting platform of Sec 4.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Desktop browsers.
+    Desktop,
+    /// iOS and Windows mobile devices (reported jointly in the paper).
+    IosAndWindowsMobile,
+    /// Android devices.
+    Android,
+}
+
+/// The simulated device population, calibrated to the WebGLStats figures
+/// the paper cites. The Android gap is dominated by a long tail of older
+/// devices with no usable GPU float support.
+pub fn population() -> Vec<PopulationEntry> {
+    use Platform::*;
+    let e = |platform, model: &str, share, ok| PopulationEntry {
+        platform,
+        model: model.to_string(),
+        share,
+        supports_webgl_backend: ok,
+    };
+    vec![
+        // Desktop: overwhelmingly supported; a sliver of ancient GPUs or
+        // blacklisted drivers is not.
+        e(Desktop, "desktop-webgl2", 0.82, true),
+        e(Desktop, "desktop-webgl1-oes", 0.17, true),
+        e(Desktop, "desktop-blacklisted-driver", 0.01, false),
+        // iOS + Windows mobile: Safari exposes 16-bit float textures, which
+        // still counts as supported (reduced precision).
+        e(IosAndWindowsMobile, "ios-safari-f16", 0.90, true),
+        e(IosAndWindowsMobile, "windows-mobile-webgl1", 0.08, true),
+        e(IosAndWindowsMobile, "ios-legacy", 0.02, false),
+        // Android: modern devices support it; a long tail of older devices
+        // has no GPU float path at all (the 52% of the paper).
+        e(Android, "android-webgl2", 0.40, true),
+        e(Android, "android-webgl1-oes", 0.12, true),
+        e(Android, "android-legacy-no-float", 0.48, false),
+    ]
+}
+
+/// Fraction of a platform's population able to run the WebGL backend.
+pub fn coverage(platform: Platform) -> f64 {
+    let pop = population();
+    let total: f64 = pop.iter().filter(|p| p.platform == platform).map(|p| p.share).sum();
+    let ok: f64 = pop
+        .iter()
+        .filter(|p| p.platform == platform && p.supports_webgl_backend)
+        .map(|p| p.share)
+        .sum();
+    ok / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_shares_sum_to_one_per_platform() {
+        for platform in [Platform::Desktop, Platform::IosAndWindowsMobile, Platform::Android] {
+            let total: f64 =
+                population().iter().filter(|p| p.platform == platform).map(|p| p.share).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{platform:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn coverage_matches_paper_figures() {
+        assert!((coverage(Platform::Desktop) - 0.99).abs() < 0.005);
+        assert!((coverage(Platform::IosAndWindowsMobile) - 0.98).abs() < 0.005);
+        assert!((coverage(Platform::Android) - 0.52).abs() < 0.005);
+    }
+
+    #[test]
+    fn ios_profile_is_half_precision_webgl1() {
+        let p = DeviceProfile::ios_safari();
+        assert!(p.supports_float_textures());
+        assert!(p.half_precision_only);
+        assert_eq!(p.epsilon(), 1e-4);
+        assert!(!p.has_fence_sync, "WebGL 1.0 has no fenceSync");
+        assert!(p.has_disjoint_timer_query);
+    }
+
+    #[test]
+    fn legacy_android_cannot_run_webgl_backend() {
+        assert!(!DeviceProfile::android_legacy().supports_float_textures());
+    }
+
+    #[test]
+    fn desktop_profiles_support_everything() {
+        for p in [DeviceProfile::intel_iris_pro(), DeviceProfile::gtx_1080()] {
+            assert!(p.supports_float_textures());
+            assert_eq!(p.epsilon(), 1e-7);
+            assert!(p.has_fence_sync);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! A promise-like handle for asynchronous texture readback.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct State {
+    slot: Mutex<Option<Result<Vec<f32>, String>>>,
+    cond: Condvar,
+}
+
+/// The resolving half, held by the device thread.
+#[derive(Debug, Clone)]
+pub struct ReadPromise {
+    state: Arc<State>,
+}
+
+impl ReadPromise {
+    /// Resolve the paired [`ReadFuture`].
+    pub fn complete(&self, value: Result<Vec<f32>, String>) {
+        let mut slot = self.state.slot.lock();
+        *slot = Some(value);
+        self.state.cond.notify_all();
+    }
+}
+
+/// A pending asynchronous read of texture data.
+#[derive(Debug)]
+pub struct ReadFuture {
+    state: Arc<State>,
+}
+
+impl ReadFuture {
+    /// Create an unresolved future plus its promise.
+    pub fn pending() -> (ReadFuture, ReadPromise) {
+        let state = Arc::new(State { slot: Mutex::new(None), cond: Condvar::new() });
+        (ReadFuture { state: state.clone() }, ReadPromise { state })
+    }
+
+    /// Non-blocking poll.
+    pub fn poll(&self) -> Option<Result<Vec<f32>, String>> {
+        self.state.slot.lock().clone()
+    }
+
+    /// Whether the read has completed.
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+
+    /// Block until the read completes.
+    pub fn wait(&self) -> Result<Vec<f32>, String> {
+        let mut slot = self.state.slot.lock();
+        while slot.is_none() {
+            self.state.cond.wait(&mut slot);
+        }
+        slot.clone().expect("resolved")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_across_threads() {
+        let (fut, promise) = ReadFuture::pending();
+        assert!(!fut.is_ready());
+        let t = std::thread::spawn(move || promise.complete(Ok(vec![1.0, 2.0])));
+        assert_eq!(fut.wait().unwrap(), vec![1.0, 2.0]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn carries_errors() {
+        let (fut, promise) = ReadFuture::pending();
+        promise.complete(Err("context lost".into()));
+        assert_eq!(fut.wait().unwrap_err(), "context lost");
+    }
+}

@@ -1,0 +1,100 @@
+//! Threshold-based paging of textures to CPU memory (paper Sec 4.1.2).
+//!
+//! "We automatically page WebGL textures to the CPU when the total amount of
+//! GPU memory allocated exceeds a threshold which can be estimated from the
+//! screen size" — the built-in heuristic that keeps leaky applications from
+//! crashing. Victims are chosen least-recently-used; touching a paged
+//! texture uploads it back.
+
+/// Paging policy parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PagingPolicy {
+    /// Whether automatic paging is active. It is disabled for applications
+    /// that manage memory explicitly via `tidy`/`dispose` (per the paper).
+    pub enabled: bool,
+    /// GPU byte budget before paging starts.
+    pub threshold_bytes: usize,
+}
+
+impl PagingPolicy {
+    /// The paper's heuristic: estimate the budget from the screen size.
+    /// A `width x height` RGBA32F framebuffer times a small multiplier.
+    pub fn from_screen(width: usize, height: usize) -> PagingPolicy {
+        PagingPolicy { enabled: true, threshold_bytes: width * height * 16 * 4 }
+    }
+
+    /// Paging disabled (explicit memory management).
+    pub fn disabled() -> PagingPolicy {
+        PagingPolicy { enabled: false, threshold_bytes: usize::MAX }
+    }
+}
+
+/// Paging statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Textures evicted to CPU memory.
+    pub page_outs: u64,
+    /// Textures re-uploaded to the GPU after eviction.
+    pub page_ins: u64,
+    /// Bytes currently resident in CPU (paged) storage.
+    pub bytes_paged: usize,
+}
+
+/// Select LRU victims so that GPU usage drops to the threshold.
+///
+/// `candidates` are `(id, bytes, last_use)` of evictable GPU textures;
+/// returns the ids to evict, oldest first.
+pub fn select_victims(
+    candidates: &[(u64, usize, u64)],
+    bytes_in_gpu: usize,
+    threshold: usize,
+) -> Vec<u64> {
+    if bytes_in_gpu <= threshold {
+        return Vec::new();
+    }
+    let mut sorted: Vec<_> = candidates.to_vec();
+    sorted.sort_by_key(|&(_, _, last_use)| last_use);
+    let mut need = bytes_in_gpu - threshold;
+    let mut out = Vec::new();
+    for (id, bytes, _) in sorted {
+        if need == 0 {
+            break;
+        }
+        out.push(id);
+        need = need.saturating_sub(bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_threshold_evicts_nothing() {
+        assert!(select_victims(&[(1, 100, 0)], 100, 200).is_empty());
+    }
+
+    #[test]
+    fn evicts_lru_first() {
+        let candidates = [(1, 100, 5), (2, 100, 1), (3, 100, 9)];
+        let victims = select_victims(&candidates, 300, 150);
+        assert_eq!(victims, vec![2, 1]);
+    }
+
+    #[test]
+    fn evicts_just_enough() {
+        let candidates = [(1, 400, 1), (2, 400, 2)];
+        let victims = select_victims(&candidates, 800, 500);
+        assert_eq!(victims, vec![1]);
+    }
+
+    #[test]
+    fn screen_heuristic_scales_with_resolution() {
+        let small = PagingPolicy::from_screen(1280, 720);
+        let large = PagingPolicy::from_screen(3840, 2160);
+        assert!(large.threshold_bytes > small.threshold_bytes);
+        assert!(small.enabled);
+        assert!(!PagingPolicy::disabled().enabled);
+    }
+}

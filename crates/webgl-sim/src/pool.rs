@@ -1,0 +1,187 @@
+//! A persistent worker pool: the simulator's "shader cores".
+//!
+//! Real GPUs do not pay thread-creation cost per draw call; neither should
+//! the simulator. The device thread owns one [`WorkerPool`] sized to the
+//! device profile's parallelism and dispatches every program's chunks onto
+//! it.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A chunk-executing job shared with the workers.
+struct Job {
+    /// Executes chunk `i`. The pointee lives on the dispatcher's stack;
+    /// `run` blocks until all chunks complete, which keeps it alive.
+    func: ChunkFn,
+    next: std::sync::atomic::AtomicUsize,
+    total: usize,
+    done: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Type-erased chunk function pointer, `Send`/`Sync` by construction: the
+/// dispatcher guarantees the pointee outlives the job (it blocks in `run`).
+struct ChunkFn(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for ChunkFn {}
+unsafe impl Sync for ChunkFn {}
+
+/// A fixed-size pool of long-lived worker threads.
+pub struct WorkerPool {
+    size: usize,
+    senders: Vec<Sender<Arc<Job>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `size` workers (0 and 1 both mean "run inline").
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let mut senders = Vec::new();
+        let mut workers = Vec::new();
+        // One fewer worker than `size`: the dispatcher itself is a core.
+        for i in 1..size {
+            let (tx, rx) = unbounded::<Arc<Job>>();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("shader-core-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            work_until_drained(&job);
+                        }
+                    })
+                    .expect("spawn shader core"),
+            );
+        }
+        WorkerPool { size, senders, workers }
+    }
+
+    /// Number of cores (including the dispatcher).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute `func(0..chunks)` across the pool, blocking until every
+    /// chunk has run. `func` must be safe to call concurrently for distinct
+    /// chunk indices.
+    pub fn run(&self, chunks: usize, func: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if self.senders.is_empty() || chunks == 1 {
+            for i in 0..chunks {
+                func(i);
+            }
+            return;
+        }
+        // SAFETY: the pointee outlives the job because `run` blocks below
+        // until every chunk completed; the transmute only erases the
+        // lifetime, not the type.
+        let func_static: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(func as *const (dyn Fn(usize) + Sync)) };
+        let job = Arc::new(Job {
+            func: ChunkFn(func_static),
+            next: std::sync::atomic::AtomicUsize::new(0),
+            total: chunks,
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        for tx in &self.senders {
+            let _ = tx.send(job.clone());
+        }
+        // The dispatcher participates as a core.
+        work_until_drained(&job);
+        // Wait for the stragglers.
+        let mut done = job.done.lock();
+        while *done < job.total {
+            job.cv.wait(&mut done);
+        }
+    }
+}
+
+fn work_until_drained(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if i >= job.total {
+            return;
+        }
+        // SAFETY: the dispatcher blocks inside `run` until `done == total`,
+        // so the closure behind the raw pointer outlives every call.
+        let func = unsafe { &*job.func.0 };
+        func(i);
+        let mut done = job.done.lock();
+        *done += 1;
+        if *done == job.total {
+            job.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect: workers exit their recv loops
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.run(10, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_workers() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.run(8, &|i| {
+                sum.fetch_add(i + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 28 + 8 * round);
+        }
+    }
+
+    #[test]
+    fn disjoint_mut_slices_can_be_written() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u32; 64];
+        {
+            let base = data.as_mut_ptr() as usize;
+            pool.run(8, &move |i| {
+                // SAFETY: each chunk owns a disjoint 8-element window.
+                let slice = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut u32).add(i * 8), 8)
+                };
+                for (k, v) in slice.iter_mut().enumerate() {
+                    *v = (i * 8 + k) as u32;
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+}

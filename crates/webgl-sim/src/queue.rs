@@ -1,0 +1,370 @@
+//! The GPU command queue and device thread (paper Sec 4.1.1).
+//!
+//! "When the user calls an operation, we enqueue a program onto the GPU
+//! command queue, which typically takes sub-millisecond time, and
+//! immediately return a handle to the resulting tensor despite the
+//! computation not being done." Commands execute in order on a dedicated
+//! device thread; fences and readbacks are themselves commands, which gives
+//! the same ordering guarantees as a real GL command stream.
+
+use crate::future::ReadPromise;
+use crate::layout::TextureLayout;
+use crate::pager::{select_victims, PagerStats, PagingPolicy};
+use crate::recycler::{RecyclerStats, TextureRecycler};
+use crate::shader::{execute, Program};
+use crate::texture::{Texture, TextureFormat};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a device texture.
+pub type TexId = u64;
+
+/// Residency state of a texture.
+pub enum SlotState {
+    /// Resident in (simulated) GPU memory.
+    Gpu(Texture),
+    /// Paged out to CPU memory (paper Sec 4.1.2).
+    Paged {
+        /// Physical rows.
+        rows: usize,
+        /// Physical cols.
+        cols: usize,
+        /// Texture format to restore with.
+        format: TextureFormat,
+        /// The values, kept on the host.
+        data: Vec<f32>,
+    },
+}
+
+/// A texture slot with LRU bookkeeping.
+pub struct Slot {
+    /// Residency.
+    pub state: SlotState,
+    /// Monotone use counter for LRU eviction.
+    pub last_use: u64,
+}
+
+/// Commands accepted by the device thread, executed strictly in order.
+pub enum Command {
+    /// Upload host data into a new texture.
+    Upload {
+        /// Destination texture id.
+        tex: TexId,
+        /// Values to upload.
+        data: Vec<f32>,
+        /// Physical rows.
+        rows: usize,
+        /// Physical cols.
+        cols: usize,
+        /// Texture format.
+        format: TextureFormat,
+    },
+    /// Execute a shader program into a fresh output texture.
+    Run {
+        /// The program.
+        program: Program,
+        /// Input texture ids.
+        inputs: Vec<TexId>,
+        /// Input layouts (parallel to `inputs`).
+        in_layouts: Vec<TextureLayout>,
+        /// Output texture id (fresh).
+        output: TexId,
+        /// Output layout.
+        out_layout: TextureLayout,
+    },
+    /// Read a texture back to the host (`gl.readPixels`), resolving the
+    /// promise with the first `len` values.
+    ReadPixels {
+        /// Texture to read.
+        tex: TexId,
+        /// Number of logical values wanted.
+        len: usize,
+        /// Completion promise.
+        promise: ReadPromise,
+    },
+    /// Mark a fence as passed once all prior commands completed
+    /// (`gl.fenceSync`).
+    Fence {
+        /// Fence id.
+        id: u64,
+    },
+    /// Release a texture (returned to the recycler).
+    Dispose {
+        /// Texture to release.
+        tex: TexId,
+    },
+    /// Resolve the promise once the queue has drained up to this point.
+    Flush {
+        /// Completion promise.
+        promise: ReadPromise,
+    },
+    /// Stop the device thread.
+    Shutdown,
+}
+
+/// State shared between the host-side context and the device thread.
+pub struct DeviceShared {
+    /// Texture registry.
+    pub textures: Mutex<HashMap<TexId, Slot>>,
+    /// Highest fence id that has passed.
+    pub last_fence: AtomicU64,
+    /// Total device-side execution time (the disjoint-timer-query counter).
+    pub gpu_nanos: AtomicU64,
+    /// Number of programs executed.
+    pub program_count: AtomicU64,
+    /// Bytes resident in GPU memory.
+    pub bytes_gpu: AtomicUsize,
+    /// Paging statistics.
+    pub pager: Mutex<PagerStats>,
+    /// The texture recycler.
+    pub recycler: Mutex<TextureRecycler>,
+    /// Monotone use counter.
+    pub use_counter: AtomicU64,
+}
+
+impl DeviceShared {
+    /// Fresh shared state.
+    pub fn new(recycling_enabled: bool) -> DeviceShared {
+        DeviceShared {
+            textures: Mutex::new(HashMap::new()),
+            last_fence: AtomicU64::new(0),
+            gpu_nanos: AtomicU64::new(0),
+            program_count: AtomicU64::new(0),
+            bytes_gpu: AtomicUsize::new(0),
+            pager: Mutex::new(PagerStats::default()),
+            recycler: Mutex::new(TextureRecycler::new(recycling_enabled)),
+            use_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of recycler statistics.
+    pub fn recycler_stats(&self) -> RecyclerStats {
+        self.recycler.lock().stats()
+    }
+
+    fn touch(&self) -> u64 {
+        self.use_counter.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Run the device loop until [`Command::Shutdown`]. Executed on the device
+/// thread spawned by [`crate::context::GpgpuContext`].
+pub fn device_loop(
+    rx: crossbeam::channel::Receiver<Command>,
+    shared: Arc<DeviceShared>,
+    parallelism: usize,
+    half_precision: bool,
+    paging: PagingPolicy,
+) {
+    // The device's persistent shader cores. The pool is bounded by the
+    // host machine; `parallelism` stays the *modeled* core count used by
+    // the simulated-time accounting below.
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let pool = crate::pool::WorkerPool::new(parallelism.min(host));
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Upload { tex, data, rows, cols, format } => {
+                let (mut t, recycled) = shared.recycler.lock().acquire(rows, cols, format);
+                if !recycled {
+                    shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
+                }
+                // Recycled textures may be dirty; uploads overwrite the
+                // prefix and must zero the rest.
+                t.data.iter_mut().for_each(|v| *v = 0.0);
+                t.upload(&data);
+                shared.bytes_gpu.fetch_add(t.byte_size(), Ordering::Relaxed);
+                let last_use = shared.touch();
+                shared.textures.lock().insert(tex, Slot { state: SlotState::Gpu(t), last_use });
+                maybe_page_out(&shared, &paging);
+            }
+            Command::Run { program, inputs, in_layouts, output, out_layout } => {
+                run_program(
+                    &shared, program, &inputs, &in_layouts, output, &out_layout, &pool,
+                    parallelism, half_precision,
+                );
+                maybe_page_out(&shared, &paging);
+            }
+            Command::ReadPixels { tex, len, promise } => {
+                let textures = shared.textures.lock();
+                match textures.get(&tex) {
+                    Some(slot) => {
+                        let data = match &slot.state {
+                            SlotState::Gpu(t) => t.data[..len.min(t.data.len())].to_vec(),
+                            SlotState::Paged { data, .. } => data[..len.min(data.len())].to_vec(),
+                        };
+                        drop(textures);
+                        promise.complete(Ok(data));
+                    }
+                    None => {
+                        drop(textures);
+                        promise.complete(Err(format!("texture {tex} does not exist")));
+                    }
+                }
+            }
+            Command::Fence { id } => {
+                shared.last_fence.store(id, Ordering::SeqCst);
+            }
+            Command::Dispose { tex } => {
+                let slot = shared.textures.lock().remove(&tex);
+                if let Some(slot) = slot {
+                    match slot.state {
+                        SlotState::Gpu(t) => {
+                            shared.bytes_gpu.fetch_sub(t.byte_size(), Ordering::Relaxed);
+                            shared.recycler.lock().release(t);
+                        }
+                        SlotState::Paged { data, .. } => {
+                            shared.pager.lock().bytes_paged -= data.len() * 4;
+                        }
+                    }
+                }
+            }
+            Command::Flush { promise } => {
+                promise.complete(Ok(Vec::new()));
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Fixed per-draw-call device overhead in the simulated-time model
+/// (command decode, pipeline state, framebuffer bind).
+const DRAW_CALL_OVERHEAD_NANOS: u64 = 8_000;
+
+/// Simulated driver cost of allocating a fresh WebGL texture (paper
+/// Sec 4.1.2: "disposing and re-allocating WebGL textures is relatively
+/// expensive") — avoided entirely when the recycler supplies a texture.
+const TEXTURE_ALLOC_OVERHEAD_NANOS: u64 = 60_000;
+
+#[allow(clippy::too_many_arguments)]
+fn run_program(
+    shared: &Arc<DeviceShared>,
+    program: Program,
+    inputs: &[TexId],
+    in_layouts: &[TextureLayout],
+    output: TexId,
+    out_layout: &TextureLayout,
+    pool: &crate::pool::WorkerPool,
+    modeled_parallelism: usize,
+    half_precision: bool,
+) {
+    let t0 = Instant::now();
+    // Page in any evicted inputs and temporarily take them out of the
+    // registry so the executor can borrow them while the lock is released.
+    let mut taken: Vec<(TexId, Texture)> = Vec::new();
+    {
+        let mut textures = shared.textures.lock();
+        let mut seen = Vec::new();
+        for &id in inputs {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            let slot = textures.remove(&id).expect("input texture exists (queue order)");
+            let tex = match slot.state {
+                SlotState::Gpu(t) => t,
+                SlotState::Paged { rows, cols, format, data } => {
+                    // Page back in.
+                    let mut stats = shared.pager.lock();
+                    stats.page_ins += 1;
+                    stats.bytes_paged -= data.len() * 4;
+                    drop(stats);
+                    let (mut t, recycled) = shared.recycler.lock().acquire(rows, cols, format);
+                    if !recycled {
+                        shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
+                    }
+                    t.data.iter_mut().for_each(|v| *v = 0.0);
+                    t.upload(&data);
+                    shared.bytes_gpu.fetch_add(t.byte_size(), Ordering::Relaxed);
+                    t
+                }
+            };
+            taken.push((id, tex));
+        }
+    }
+
+    // Allocate the output (possibly recycled).
+    let out_format = out_layout.format;
+    let (mut out_tex, recycled) =
+        shared.recycler.lock().acquire(out_layout.tex_rows, out_layout.tex_cols, out_format);
+    if !recycled {
+        shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
+    }
+
+    let stats = {
+        let sampler_inputs: Vec<(&[f32], &TextureLayout)> = inputs
+            .iter()
+            .zip(in_layouts)
+            .map(|(id, layout)| {
+                let tex = &taken.iter().find(|(tid, _)| tid == id).expect("taken above").1;
+                (tex.data.as_slice(), layout)
+            })
+            .collect();
+        execute(&program, &sampler_inputs, &mut out_tex.data, pool, modeled_parallelism, half_precision)
+    };
+
+    // Return inputs and publish the output.
+    let out_bytes = out_tex.byte_size();
+    {
+        let mut textures = shared.textures.lock();
+        for (id, tex) in taken {
+            let last_use = shared.touch();
+            textures.insert(id, Slot { state: SlotState::Gpu(tex), last_use });
+        }
+        let last_use = shared.touch();
+        textures.insert(output, Slot { state: SlotState::Gpu(out_tex), last_use });
+    }
+    shared.bytes_gpu.fetch_add(out_bytes, Ordering::Relaxed);
+    shared.program_count.fetch_add(1, Ordering::Relaxed);
+    // Simulated device time: the measured execution, rescaled from the
+    // host threads actually engaged to the occupancy the draw call would
+    // achieve on the modeled device, plus fixed draw-call overhead. On a
+    // single-core host the measurement is the serial time and the model
+    // divides by occupancy; on a many-core host the measurement already
+    // reflects `real_engaged`-way parallelism.
+    let elapsed = t0.elapsed().as_nanos() as u64;
+    let modeled =
+        elapsed.saturating_mul(stats.real_engaged as u64) / stats.occupancy.max(1) as u64;
+    shared
+        .gpu_nanos
+        .fetch_add(modeled + DRAW_CALL_OVERHEAD_NANOS, Ordering::Relaxed);
+}
+
+fn maybe_page_out(shared: &Arc<DeviceShared>, paging: &PagingPolicy) {
+    if !paging.enabled {
+        return;
+    }
+    let bytes = shared.bytes_gpu.load(Ordering::Relaxed);
+    if bytes <= paging.threshold_bytes {
+        return;
+    }
+    // Under pressure, first drop the recycler's free pool.
+    shared.recycler.lock().clear();
+    let mut textures = shared.textures.lock();
+    let candidates: Vec<(u64, usize, u64)> = textures
+        .iter()
+        .filter_map(|(&id, slot)| match &slot.state {
+            SlotState::Gpu(t) => Some((id, t.byte_size(), slot.last_use)),
+            SlotState::Paged { .. } => None,
+        })
+        .collect();
+    let victims = select_victims(&candidates, bytes, paging.threshold_bytes);
+    for id in victims {
+        if let Some(slot) = textures.get_mut(&id) {
+            if let SlotState::Gpu(t) = &slot.state {
+                let bytes = t.byte_size();
+                let data = t.data.clone();
+                let (rows, cols, format) = (t.rows, t.cols, t.format);
+                shared.bytes_gpu.fetch_sub(bytes, Ordering::Relaxed);
+                let mut stats = shared.pager.lock();
+                stats.page_outs += 1;
+                stats.bytes_paged += data.len() * 4;
+                drop(stats);
+                slot.state = SlotState::Paged { rows, cols, format, data };
+            }
+        }
+    }
+}

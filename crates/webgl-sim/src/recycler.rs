@@ -1,0 +1,146 @@
+//! The texture recycler (paper Sec 4.1.2).
+//!
+//! "Disposing and re-allocating WebGL textures is relatively expensive, so
+//! we don't release memory when a tensor gets disposed. Instead, we mark the
+//! texture for reuse. If another tensor gets allocated with the same
+//! physical texture shape, we simply recycle the texture." Repeated passes
+//! through the same model produce same-shaped tensors, so the hit rate is
+//! high.
+
+use crate::texture::{Texture, TextureFormat};
+use std::collections::HashMap;
+
+/// Recycler statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecyclerStats {
+    /// Allocations served from the free list.
+    pub hits: u64,
+    /// Allocations requiring a fresh texture.
+    pub misses: u64,
+    /// Textures currently parked on the free list.
+    pub free_textures: usize,
+    /// Bytes currently parked on the free list.
+    pub free_bytes: usize,
+}
+
+/// A pool of disposed textures keyed by physical shape.
+#[derive(Debug, Default)]
+pub struct TextureRecycler {
+    enabled: bool,
+    free: HashMap<(usize, usize, TextureFormat), Vec<Texture>>,
+    hits: u64,
+    misses: u64,
+    free_bytes: usize,
+}
+
+impl TextureRecycler {
+    /// Create a recycler; when disabled it always allocates fresh.
+    pub fn new(enabled: bool) -> TextureRecycler {
+        TextureRecycler { enabled, ..Default::default() }
+    }
+
+    /// Acquire a texture of the given physical shape, recycled when
+    /// possible; the flag reports whether it came from the free list.
+    /// Recycled textures are not zeroed — like real WebGL, reused texture
+    /// contents are whatever the previous program left, and programs must
+    /// write every output texel.
+    pub fn acquire(&mut self, rows: usize, cols: usize, format: TextureFormat) -> (Texture, bool) {
+        if self.enabled {
+            if let Some(list) = self.free.get_mut(&(rows, cols, format)) {
+                if let Some(tex) = list.pop() {
+                    self.hits += 1;
+                    self.free_bytes -= tex.byte_size();
+                    return (tex, true);
+                }
+            }
+        }
+        self.misses += 1;
+        (Texture::new(rows, cols, format), false)
+    }
+
+    /// Return a disposed texture to the pool (dropped when disabled).
+    pub fn release(&mut self, tex: Texture) {
+        if !self.enabled {
+            return;
+        }
+        self.free_bytes += tex.byte_size();
+        self.free.entry((tex.rows, tex.cols, tex.format)).or_default().push(tex);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RecyclerStats {
+        RecyclerStats {
+            hits: self.hits,
+            misses: self.misses,
+            free_textures: self.free.values().map(|v| v.len()).sum(),
+            free_bytes: self.free_bytes,
+        }
+    }
+
+    /// Drop every pooled texture (used under memory pressure).
+    pub fn clear(&mut self) {
+        self.free.clear();
+        self.free_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_same_shape() {
+        let mut r = TextureRecycler::new(true);
+        let (t, hit) = r.acquire(4, 4, TextureFormat::R32F);
+        assert!(!hit);
+        r.release(t);
+        assert_eq!(r.stats().free_textures, 1);
+        let (_t2, hit2) = r.acquire(4, 4, TextureFormat::R32F);
+        assert!(hit2);
+        let s = r.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.free_textures, 0);
+    }
+
+    #[test]
+    fn different_shape_misses() {
+        let mut r = TextureRecycler::new(true);
+        let (t, _) = r.acquire(4, 4, TextureFormat::R32F);
+        r.release(t);
+        let (_t2, hit) = r.acquire(4, 8, TextureFormat::R32F);
+        assert!(!hit);
+        assert_eq!(r.stats().hits, 0);
+        assert_eq!(r.stats().misses, 2);
+    }
+
+    #[test]
+    fn format_is_part_of_the_key() {
+        let mut r = TextureRecycler::new(true);
+        r.release(Texture::new(4, 4, TextureFormat::R32F));
+        let (_t, hit) = r.acquire(4, 4, TextureFormat::Rgba32F);
+        assert!(!hit);
+        assert_eq!(r.stats().hits, 0);
+    }
+
+    #[test]
+    fn disabled_recycler_always_allocates() {
+        let mut r = TextureRecycler::new(false);
+        let (t, _) = r.acquire(2, 2, TextureFormat::R32F);
+        r.release(t);
+        assert_eq!(r.stats().free_textures, 0);
+        let (_t, hit) = r.acquire(2, 2, TextureFormat::R32F);
+        assert!(!hit);
+        assert_eq!(r.stats().hits, 0);
+        assert_eq!(r.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut r = TextureRecycler::new(true);
+        r.release(Texture::new(2, 2, TextureFormat::R32F));
+        r.clear();
+        assert_eq!(r.stats().free_bytes, 0);
+        assert_eq!(r.stats().free_textures, 0);
+    }
+}

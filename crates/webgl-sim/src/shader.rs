@@ -1,0 +1,365 @@
+//! The shader abstraction: GPGPU programs as data-parallel per-texel
+//! functions (paper Sec 4.1, Figure 4 and Listing 2).
+//!
+//! A [`Program`] is the analogue of a compiled fragment shader: its body is
+//! invoked once per output value (or once per packed texel), in parallel,
+//! with **no shared memory** and **no scatter** — the body can only return
+//! the value for its own output coordinates (`setOutput`), and reads inputs
+//! exclusively through [`Samplers`], the layout-compiled `getA(...)`
+//! accessors the shader compiler generates. These are exactly the
+//! constraints the paper identifies as the source of the WebGL/CUDA gap
+//! (no work groups, no shared memory — Sec 3.9).
+
+use crate::layout::TextureLayout;
+use std::sync::Arc;
+
+/// Read-only access to the program's input textures in logical coordinates.
+pub struct Samplers<'a> {
+    inputs: &'a [(&'a [f32], &'a TextureLayout)],
+}
+
+impl<'a> Samplers<'a> {
+    /// Wrap input texture data and layouts.
+    pub fn new(inputs: &'a [(&'a [f32], &'a TextureLayout)]) -> Samplers<'a> {
+        Samplers { inputs }
+    }
+
+    /// Sample input `i` at logical N-D `coords` — the generated
+    /// `getA(b, r, c, d)` accessor.
+    #[inline]
+    pub fn get(&self, i: usize, coords: &[usize]) -> f32 {
+        let (data, layout) = &self.inputs[i];
+        data[layout.slot(coords)]
+    }
+
+    /// Sample input `i` at a logical flat index (element-wise kernels).
+    #[inline]
+    pub fn get_flat(&self, i: usize, flat: usize) -> f32 {
+        let (data, layout) = &self.inputs[i];
+        data[layout.slot_of_flat(flat)]
+    }
+
+    /// Logical shape of input `i`.
+    pub fn shape(&self, i: usize) -> &[usize] {
+        &self.inputs[i].1.logical
+    }
+
+    /// Number of inputs bound.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether no inputs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Body of an unpacked program: `main()` runs per output element with its
+/// flat index and N-D coordinates, returning the value for `setOutput`.
+pub type ElementBody = Arc<dyn Fn(&Samplers<'_>, usize, &[usize]) -> f32 + Send + Sync>;
+
+/// Body of a packed program: one invocation computes the 4 consecutive
+/// output elements of an RGBA texel (the packing optimization of Sec 3.9).
+pub type PackedBody = Arc<dyn Fn(&Samplers<'_>, usize) -> [f32; 4] + Send + Sync>;
+
+/// A compiled GPGPU program.
+#[derive(Clone)]
+pub struct Program {
+    /// Program name, reported by timer queries and profiling.
+    pub name: &'static str,
+    /// Logical output shape.
+    pub out_shape: Vec<usize>,
+    /// Execution body.
+    pub body: ProgramBody,
+    /// Approximate arithmetic operations per output element — the
+    /// occupancy hint the executor uses to decide how many shader cores a
+    /// draw call can usefully fill (tiny draws underutilize a real GPU the
+    /// same way).
+    pub cost_per_element: usize,
+}
+
+/// Unpacked or packed execution body.
+#[derive(Clone)]
+pub enum ProgramBody {
+    /// One invocation per output element.
+    PerElement(ElementBody),
+    /// One invocation per 4-wide output texel.
+    Packed(PackedBody),
+}
+
+impl Program {
+    /// An unpacked per-element program.
+    pub fn per_element(
+        name: &'static str,
+        out_shape: Vec<usize>,
+        body: impl Fn(&Samplers<'_>, usize, &[usize]) -> f32 + Send + Sync + 'static,
+    ) -> Program {
+        Program { name, out_shape, body: ProgramBody::PerElement(Arc::new(body)), cost_per_element: 1 }
+    }
+
+    /// A packed program computing 4 outputs per invocation.
+    pub fn packed(
+        name: &'static str,
+        out_shape: Vec<usize>,
+        body: impl Fn(&Samplers<'_>, usize) -> [f32; 4] + Send + Sync + 'static,
+    ) -> Program {
+        Program { name, out_shape, body: ProgramBody::Packed(Arc::new(body)), cost_per_element: 1 }
+    }
+
+    /// Attach an occupancy cost hint (arithmetic ops per output element).
+    pub fn with_cost(mut self, cost_per_element: usize) -> Program {
+        self.cost_per_element = cost_per_element.max(1);
+        self
+    }
+
+    /// Logical output element count.
+    pub fn out_size(&self) -> usize {
+        self.out_shape.iter().product::<usize>().max(1)
+    }
+
+    /// Whether the body is packed.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.body, ProgramBody::Packed(_))
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("name", &self.name)
+            .field("out_shape", &self.out_shape)
+            .field("packed", &self.is_packed())
+            .finish()
+    }
+}
+
+/// Execute a program body over an output buffer, splitting the work across
+/// the device's persistent [`crate::pool::WorkerPool`] — the simulator's model of
+/// fragment-shader parallelism. Each invocation writes only its own output
+/// slot.
+///
+/// `store` semantics (f16 rounding) are applied per element; this function
+/// fills `out` at logical flat indices.
+/// What a program execution used: the basis of the simulated-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Modeled shader cores the draw call could fill (occupancy).
+    pub occupancy: usize,
+    /// Host threads actually engaged (bounded by the machine).
+    pub real_engaged: usize,
+}
+
+/// Execute a program over the device pool, filling `out` at logical flat
+/// indices (with f16 rounding when the device is half-precision), and
+/// return the occupancy statistics the simulated-time model needs.
+pub fn execute(
+    program: &Program,
+    samplers_inputs: &[(&[f32], &TextureLayout)],
+    out: &mut [f32],
+    pool: &crate::pool::WorkerPool,
+    modeled_parallelism: usize,
+    half_precision: bool,
+) -> ExecStats {
+    let size = program.out_size();
+    if size == 0 {
+        return ExecStats { occupancy: 1, real_engaged: 1 };
+    }
+    // Occupancy model: a draw call only fills as many shader cores as its
+    // total work justifies (tiny textures underutilize a real GPU).
+    let work = size.saturating_mul(program.cost_per_element);
+    let occupancy = modeled_parallelism.max(1).min((work / 2_048).max(1));
+    let threads = pool.size().min(occupancy);
+    // Chunk boundaries; packed bodies need texel (4-element) alignment.
+    let align = if program.is_packed() { 4 } else { 1 };
+    let raw_chunk = size.div_ceil(threads);
+    let chunk_len = raw_chunk.div_ceil(align) * align;
+    let n_chunks = size.div_ceil(chunk_len);
+    let base_ptr = out.as_mut_ptr() as usize;
+    let dims = program.out_shape.clone();
+    let body = program.body.clone();
+    pool.run(n_chunks, &move |ci| {
+        let start = ci * chunk_len;
+        let len = chunk_len.min(size - start);
+        // SAFETY: chunks are disjoint windows of `out`, and `execute`
+        // blocks inside `pool.run` until all chunks are done.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut((base_ptr as *mut f32).add(start), len) };
+        let samplers = Samplers::new(samplers_inputs);
+        match &body {
+            ProgramBody::PerElement(f) => {
+                let mut coords = coords_of(&dims, start);
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let v = f(&samplers, start + off, &coords);
+                    *slot = if half_precision { crate::f16::round(v) } else { v };
+                    advance(&dims, &mut coords);
+                }
+            }
+            ProgramBody::Packed(f) => {
+                let mut off = 0;
+                while off < len {
+                    let take = 4.min(len - off);
+                    let quad = f(&samplers, start + off);
+                    for (q, slot) in chunk[off..off + take].iter_mut().enumerate() {
+                        let v = quad[q];
+                        *slot = if half_precision { crate::f16::round(v) } else { v };
+                    }
+                    off += take;
+                }
+            }
+        }
+    });
+    ExecStats { occupancy, real_engaged: threads.min(n_chunks) }
+}
+
+fn coords_of(dims: &[usize], mut flat: usize) -> Vec<usize> {
+    let mut coords = vec![0usize; dims.len()];
+    for i in (0..dims.len()).rev() {
+        coords[i] = flat % dims[i];
+        flat /= dims[i];
+    }
+    coords
+}
+
+fn advance(dims: &[usize], coords: &mut [usize]) {
+    for i in (0..dims.len()).rev() {
+        coords[i] += 1;
+        if coords[i] < dims[i] {
+            return;
+        }
+        coords[i] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use crate::texture::TextureFormat;
+
+    fn layout(dims: &[usize]) -> TextureLayout {
+        TextureLayout::compile(dims, TextureFormat::R32F, 16_384, true).unwrap()
+    }
+
+    fn run(program: &Program, inputs: &[(&[f32], &TextureLayout)], out: &mut [f32], cores: usize) {
+        let pool = WorkerPool::new(cores);
+        execute(program, inputs, out, &pool, cores, false);
+    }
+
+    #[test]
+    fn per_element_addition_matches_figure4() {
+        // Figure 4: element-wise addition of two equally shaped matrices,
+        // one main() per output value.
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        let la = layout(&[2, 2]);
+        let lb = layout(&[2, 2]);
+        let prog = Program::per_element("Add", vec![2, 2], |s, flat, _| {
+            s.get_flat(0, flat) + s.get_flat(1, flat)
+        });
+        let mut out = vec![0.0; 4];
+        run(&prog, &[(&a, &la), (&b, &lb)], &mut out, 1);
+        assert_eq!(out, vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let n = 100_000;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let la = layout(&[n]);
+        let prog = Program::per_element("Square", vec![n], |s, flat, _| {
+            let v = s.get_flat(0, flat);
+            v * v
+        })
+        .with_cost(64);
+        let mut serial = vec![0.0; n];
+        run(&prog, &[(&a, &la)], &mut serial, 1);
+        let mut parallel = vec![0.0; n];
+        run(&prog, &[(&a, &la)], &mut parallel, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn coords_are_row_major() {
+        let prog = Program::per_element("CoordProbe", vec![2, 3], |_, _, coords| {
+            (coords[0] * 10 + coords[1]) as f32
+        });
+        let mut out = vec![0.0; 6];
+        run(&prog, &[], &mut out, 1);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn packed_program_computes_quads() {
+        let a: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let la = layout(&[10]);
+        let prog = Program::packed("AddOnePacked", vec![10], |s, base| {
+            let mut quad = [0.0; 4];
+            for (i, q) in quad.iter_mut().enumerate() {
+                if base + i < 10 {
+                    *q = s.get_flat(0, base + i) + 1.0;
+                }
+            }
+            quad
+        });
+        let mut out = vec![0.0; 10];
+        run(&prog, &[(&a, &la)], &mut out, 1);
+        let expected: Vec<f32> = (0..10).map(|i| (i + 1) as f32).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn packed_parallel_matches_serial() {
+        let n = 99_999;
+        let a: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let la = layout(&[n]);
+        let prog = Program::packed("NegPacked", vec![n], move |s, base| {
+            let mut quad = [0.0; 4];
+            for (i, q) in quad.iter_mut().enumerate() {
+                if base + i < n {
+                    *q = -s.get_flat(0, base + i);
+                }
+            }
+            quad
+        })
+        .with_cost(64);
+        let mut serial = vec![0.0; n];
+        run(&prog, &[(&a, &la)], &mut serial, 1);
+        let mut parallel = vec![0.0; n];
+        run(&prog, &[(&a, &la)], &mut parallel, 7);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn half_precision_rounds_outputs() {
+        let a = vec![1e-8f32];
+        let la = layout(&[1]);
+        let prog = Program::per_element("Id", vec![1], |s, flat, _| s.get_flat(0, flat));
+        let mut out = vec![9.0; 1];
+        let pool = WorkerPool::new(1);
+        execute(&prog, &[(&a, &la)], &mut out, &pool, 1, true);
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn matmul_listing2_style() {
+        // Listing 2: per-output dot product. No shared memory: each output
+        // recomputes its whole row x column walk.
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2x2
+        let b = vec![5.0, 6.0, 7.0, 8.0]; // 2x2
+        let la = layout(&[2, 2]);
+        let lb = layout(&[2, 2]);
+        let n = 2;
+        let prog = Program::per_element("MatMul", vec![2, 2], move |s, _, coords| {
+            let (row, col) = (coords[0], coords[1]);
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += s.get(0, &[row, i]) * s.get(1, &[i, col]);
+            }
+            acc
+        });
+        let mut out = vec![0.0; 4];
+        run(&prog, &[(&a, &la), (&b, &lb)], &mut out, 1);
+        assert_eq!(out, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+}

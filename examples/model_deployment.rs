@@ -1,0 +1,54 @@
+//! The model-deployment pipeline of paper Sec 5.1/5.2: train a model, save
+//! it to the web format (topology JSON + 4 MB weight shards), quantize it
+//! for 4x smaller downloads, publish it to a simulated storage bucket, and
+//! load it back by URL through a browser-style cache.
+//!
+//! ```text
+//! cargo run --release --example model_deployment
+//! ```
+
+use webml::converter::{self, Quantization, SimulatedNetwork};
+use webml::models::repo;
+use webml::prelude::*;
+
+fn main() -> webml::Result<()> {
+    let engine = webml::init();
+
+    // 1. Author and train a model in-library.
+    let mut model = Sequential::new(&engine).with_seed(21);
+    model.add(Dense::new(64).with_input_dim(32).with_activation(Activation::Relu));
+    model.add(Dense::new(64).with_activation(Activation::Relu));
+    model.add(Dense::new(4).with_activation(Activation::Softmax));
+    model.compile(Loss::CategoricalCrossentropy, Box::new(Adam::new(0.01)));
+    let xs = engine.rand_uniform([64, 32], -1.0, 1.0, 5)?;
+    let labels = engine.tensor((0..64).map(|i| i % 4).collect::<Vec<i32>>(), [64])?;
+    let ys = engine.one_hot(&labels, 4)?;
+    model.fit(&xs, &ys, FitConfig { epochs: 3, batch_size: 16, ..Default::default() })?;
+
+    // 2. Convert: full precision vs quantized artifact sizes.
+    let full = converter::to_artifacts(&model, None)?;
+    let q8 = converter::to_artifacts(&model, Some(Quantization::U8))?;
+    let q16 = converter::to_artifacts(&model, Some(Quantization::U16))?;
+    println!("weight bytes: full {} | uint16 {} | uint8 {}", full.weight_bytes(), q16.weight_bytes(), q8.weight_bytes());
+    println!(
+        "reductions:   uint16 {:.1}x, uint8 {:.1}x",
+        full.weight_bytes() as f64 / q16.weight_bytes() as f64,
+        full.weight_bytes() as f64 / q8.weight_bytes() as f64
+    );
+
+    // 3. Publish to a simulated bucket and load by URL.
+    let net = SimulatedNetwork::new();
+    repo::publish(&model, &net, "https://storage.example.com/my-model")?;
+    let mut served = repo::load(&engine, &net, "https://storage.example.com/my-model")?;
+    let probe = engine.rand_uniform([1, 32], -1.0, 1.0, 9)?;
+    let original = model.predict(&probe)?.to_f32_vec()?;
+    let loaded = served.predict(&probe)?.to_f32_vec()?;
+    assert_eq!(original, loaded);
+    println!("\nfirst load:  {:?}", net.stats());
+
+    // 4. Reload: the browser cache serves every shard.
+    let _again = repo::load(&engine, &net, "https://storage.example.com/my-model")?;
+    println!("second load: {:?}", net.stats());
+    println!("\npredictions from the served model match the original exactly.");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Listing 3 of the paper: the PoseNet wrapper API — pass an image in, get
+//! a human-friendly JSON object of named keypoints out. No tensors anywhere
+//! in the user-facing flow.
+//!
+//! ```text
+//! cargo run --release --example posenet
+//! ```
+
+use webml::prelude::*;
+
+fn main() -> webml::Result<()> {
+    let engine = webml::init();
+
+    // The `document.getElementById('person')` stand-in: a synthetic image
+    // with a person-like figure.
+    let image_element = Image::synthetic_person(192, 192);
+
+    // Estimate a single pose from the image.
+    let mut posenet = PoseNet::new(&engine, 128)?;
+    let pose = posenet.estimate_single_pose(&image_element)?;
+
+    // Console output, exactly the Listing 3 shape.
+    let json = serde_json::to_string_pretty(&pose).expect("pose serializes");
+    println!("{json}");
+
+    // A couple of human-readable highlights.
+    let best = pose
+        .keypoints
+        .iter()
+        .max_by(|a, b| a.score.total_cmp(&b.score))
+        .expect("17 keypoints");
+    println!(
+        "\nmost confident part: {} at ({:.1}, {:.1}) score {:.2}",
+        best.part, best.position.x, best.position.y, best.score
+    );
+    println!("overall pose score: {:.2}", pose.score);
+    Ok(())
+}

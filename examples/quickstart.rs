@@ -1,0 +1,45 @@
+//! Quickstart: Listing 1 of the paper — build a single-layer linear model
+//! with the Layers API, train it on synthetic data, and predict an unseen
+//! point.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use webml::prelude::*;
+
+fn main() -> webml::Result<()> {
+    let engine = webml::init();
+    println!("backend: {}", engine.backend_name());
+
+    // A linear model with 1 dense layer.
+    let mut model = Sequential::new(&engine);
+    model.add(Dense::new(1).with_input_dim(1));
+
+    // Specify the loss and the optimizer.
+    model.compile(Loss::MeanSquaredError, Box::new(Sgd::new(0.1)));
+
+    // Generate synthetic data to train: y = 2x - 1.
+    let xs = engine.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 4, 1)?;
+    let ys = engine.tensor_2d(&[1.0, 3.0, 5.0, 7.0], 4, 1)?;
+
+    // Train the model using the data.
+    let history = model.fit(
+        &xs,
+        &ys,
+        FitConfig { epochs: 200, batch_size: 4, verbose: false, ..Default::default() },
+    )?;
+    println!(
+        "trained {} epochs: loss {:.6} -> {:.6}",
+        history.loss.len(),
+        history.loss[0],
+        history.loss.last().expect("at least one epoch")
+    );
+
+    // Do inference on an unseen data point and print the result.
+    let x = engine.tensor_2d(&[5.0], 1, 1)?;
+    let y = model.predict(&x)?;
+    y.print();
+    println!("expected ~9.0, live tensors: {}", engine.num_tensors());
+    Ok(())
+}

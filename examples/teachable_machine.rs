@@ -1,0 +1,63 @@
+//! Teachable-machine-style transfer learning (paper Sec 6.1/5.2): collect
+//! webcam frames per class, embed them with a pretrained-style MobileNet,
+//! and classify new frames with a KNN over the embeddings — personalized,
+//! on-device, no gradient training needed.
+//!
+//! ```text
+//! cargo run --release --example teachable_machine
+//! ```
+
+use webml::data::Webcam;
+use webml::prelude::*;
+
+fn main() -> webml::Result<()> {
+    let engine = webml::init();
+    let mut mobilenet = MobileNet::new(
+        &engine,
+        MobileNetConfig { alpha: 0.25, input_size: 64, classes: 10, batch_norm: false, seed: 1 },
+    )?;
+    let mut knn = KnnClassifier::new();
+
+    // "Class A": frames from one webcam (one lighting/scene seed);
+    // "Class B": frames from another.
+    let mut cam_a = Webcam::new(64, 64, 11);
+    let mut cam_b = Webcam::new(64, 64, 927);
+    println!("collecting 8 examples per class from the webcam...");
+    for _ in 0..8 {
+        let frame_a = Image::from_rgb(cam_a.capture(), 64, 64)?;
+        let emb_a = mobilenet.embed(&frame_a)?;
+        knn.add_example(&emb_a, "wave")?;
+        emb_a.dispose();
+        let frame_b = Image::from_rgb(cam_b.capture(), 64, 64)?;
+        let emb_b = mobilenet.embed(&frame_b)?;
+        knn.add_example(&emb_b, "thumbs-up")?;
+        emb_b.dispose();
+    }
+    println!("classes: {:?}, examples: {}", knn.labels(), knn.len());
+
+    // Classify fresh frames from both cameras.
+    let mut correct = 0;
+    let trials = 6;
+    for i in 0..trials {
+        let (frame, truth) = if i % 2 == 0 {
+            (Image::from_rgb(cam_a.capture(), 64, 64)?, "wave")
+        } else {
+            (Image::from_rgb(cam_b.capture(), 64, 64)?, "thumbs-up")
+        };
+        let emb = mobilenet.embed(&frame)?;
+        let pred = knn.predict(&emb, 5)?;
+        emb.dispose();
+        let hit = pred.label == truth;
+        correct += hit as usize;
+        println!(
+            "frame {i}: predicted {:<10} (truth {:<10}) confidences {:?}",
+            pred.label, truth, pred.confidences
+        );
+    }
+    println!("accuracy: {correct}/{trials}");
+    println!(
+        "live tensors after session: {} (exactly the model's weight variables)",
+        engine.num_tensors()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! t-SNE on the ops API (paper Sec 6.4, the tfjs-tsne use case):
+//! dimensionality-reduce three 8-D Gaussian clusters to 2-D and draw the
+//! embedding as an ASCII scatter plot.
+//!
+//! ```text
+//! cargo run --release --example tsne
+//! ```
+
+use webml::models::tsne::{tsne, TsneConfig};
+
+fn main() -> webml::Result<()> {
+    let engine = webml::init();
+    println!("backend: {}\n", engine.backend_name());
+
+    // Three clusters in 8 dimensions, 20 points each.
+    let (d, per) = (8usize, 20usize);
+    let mut data = Vec::new();
+    let mut state = 99u64;
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    for c in 0..3usize {
+        for _ in 0..per {
+            for k in 0..d {
+                let center = if k % 3 == c { 8.0 } else { 0.0 };
+                data.push(center + rand());
+            }
+        }
+    }
+    let n = 3 * per;
+
+    let embedding = tsne(
+        &engine,
+        &data,
+        n,
+        d,
+        TsneConfig { iterations: 400, perplexity: 10.0, learning_rate: 10.0, ..Default::default() },
+    )?;
+
+    // ASCII scatter.
+    let (width, height) = (64usize, 24usize);
+    let xs: Vec<f32> = embedding.iter().step_by(2).copied().collect();
+    let ys: Vec<f32> = embedding.iter().skip(1).step_by(2).copied().collect();
+    let (min_x, max_x) = bounds(&xs);
+    let (min_y, max_y) = bounds(&ys);
+    let mut grid = vec![vec![' '; width]; height];
+    let glyphs = ['o', 'x', '+'];
+    for i in 0..n {
+        let gx = (((xs[i] - min_x) / (max_x - min_x).max(1e-6)) * (width - 1) as f32) as usize;
+        let gy = (((ys[i] - min_y) / (max_y - min_y).max(1e-6)) * (height - 1) as f32) as usize;
+        grid[gy][gx] = glyphs[i / per];
+    }
+    println!("t-SNE embedding of 3 clusters (o / x / +):\n");
+    for row in grid {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+    println!("\n{n} points embedded; live tensors: {}", engine.num_tensors());
+    Ok(())
+}
+
+fn bounds(v: &[f32]) -> (f32, f32) {
+    let min = v.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    (min, max)
+}

@@ -1,0 +1,146 @@
+//! # WebML
+//!
+//! A Rust reproduction of *TensorFlow.js: Machine Learning for the Web and
+//! Beyond* (Smilkov et al., SysML 2019): an eager tensor engine with
+//! automatic differentiation, a Keras-style Layers API, a model converter,
+//! a pretrained-style models repo — and, underneath, a faithful software
+//! simulation of the WebGL GPGPU execution model the paper repurposes for
+//! numeric computing.
+//!
+//! ## Backends
+//!
+//! [`init`] registers four backends on the global engine, mirroring
+//! Figure 1 of the paper:
+//!
+//! | name       | analogue                         | priority |
+//! |------------|----------------------------------|----------|
+//! | `plainjs`  | interpreted plain-JS CPU baseline| 0        |
+//! | `cpu`      | bundled reference CPU fallback   | 1        |
+//! | `webgl`    | WebGL fragment-shader GPGPU      | 2        |
+//! | `native`   | Node.js binding to TensorFlow C  | 3        |
+//!
+//! The highest-priority registered backend is the default, as in
+//! TensorFlow.js; switch with [`Engine::set_backend`].
+//!
+//! ## Quickstart (Listing 1 of the paper)
+//!
+//! ```
+//! use webml::prelude::*;
+//!
+//! # fn main() -> webml::Result<()> {
+//! let engine = webml::init();
+//! let mut model = Sequential::new(&engine);
+//! model.add(Dense::new(1).with_input_dim(1));
+//! model.compile(Loss::MeanSquaredError, Box::new(Sgd::new(0.1)));
+//! let xs = engine.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 4, 1)?;
+//! let ys = engine.tensor_2d(&[1.0, 3.0, 5.0, 7.0], 4, 1)?;
+//! model.fit(&xs, &ys, FitConfig { epochs: 100, batch_size: 4, ..Default::default() })?;
+//! let pred = model.predict(&engine.tensor_2d(&[5.0], 1, 1)?)?;
+//! assert!((pred.to_scalar()? - 9.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use webml_backend_cpu as backend_cpu;
+pub use webml_backend_native as backend_native;
+pub use webml_backend_webgl as backend_webgl;
+pub use webml_converter as converter;
+pub use webml_core as core;
+pub use webml_data as data;
+pub use webml_layers as layers;
+pub use webml_models as models;
+pub use webml_webgl_sim as webgl_sim;
+
+pub use webml_core::{
+    ops, DType, Engine, Error, MemoryPolicy, Result, Shape, Tensor, TensorData, Variable,
+};
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+use webml_backend_cpu::PlainJsBackend;
+use webml_backend_native::NativeBackend;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::pager::PagingPolicy;
+
+/// Commonly used items, for `use webml::prelude::*`.
+pub mod prelude {
+    pub use webml_core::{ops, DType, Engine, Shape, Tensor, Variable};
+    pub use webml_layers::{
+        Activation, Adam, Conv2D, Dense, DepthwiseConv2D, Dropout, FitConfig, Flatten,
+        GlobalAveragePooling2D, Loss, MaxPooling2D, Metric, Momentum, RmsProp, Sequential, Sgd,
+    };
+    pub use webml_models::{Image, KnnClassifier, MobileNet, MobileNetConfig, PoseNet};
+}
+
+static INITED: OnceLock<Engine> = OnceLock::new();
+
+/// Create a *fresh, private* engine with all four backends registered —
+/// unlike [`init`], nothing is shared. Useful for tests and for embedding
+/// several independent engines in one process.
+pub fn new_engine() -> Engine {
+    let engine = Engine::new();
+    engine.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+    engine.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 0);
+    if let Ok(webgl) = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()) {
+        engine.register_backend("webgl", Arc::new(webgl), 2);
+    }
+    engine.register_backend("native", Arc::new(NativeBackend::new()), 3);
+    engine
+}
+
+/// Initialize the global engine with every backend registered (idempotent)
+/// and return it. The `native` backend becomes the default.
+pub fn init() -> Engine {
+    INITED
+        .get_or_init(|| {
+            let engine = webml_core::global::engine();
+            engine.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 0);
+            let config =
+                WebGlConfig { paging: PagingPolicy::from_screen(1920, 1080), ..Default::default() };
+            if let Ok(webgl) = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config) {
+                engine.register_backend("webgl", Arc::new(webgl), 2);
+            }
+            engine.register_backend("native", Arc::new(NativeBackend::new()), 3);
+            engine
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_registers_all_backends_with_native_default() {
+        let e = init();
+        let names = e.backend_names();
+        for expected in ["cpu", "plainjs", "webgl", "native"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        // Highest priority wins.
+        assert_eq!(e.backend_name(), "native");
+        // Idempotent.
+        let e2 = init();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn ops_run_on_every_backend() {
+        let e = init();
+        let original = e.backend_name();
+        for name in ["plainjs", "cpu", "webgl", "native"] {
+            e.set_backend(name).unwrap();
+            let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
+            let b = e.tensor_1d(&[3.0, 4.0]).unwrap();
+            let c = ops::add(&a, &b).unwrap();
+            assert_eq!(c.to_f32_vec().unwrap(), vec![4.0, 6.0], "backend {name}");
+            a.dispose();
+            b.dispose();
+            c.dispose();
+        }
+        e.set_backend(&original).unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! Asynchronous execution (paper Sec 3.6 / 4.1.1, Figures 2-3) and the
+//! per-device precision handling of Sec 4.1.3, exercised end to end through
+//! the engine on the webgl backend.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webml::core::asyncx::EventLoop;
+use webml::backend_webgl::{WebGlBackend, WebGlConfig};
+use webml::webgl_sim::devices::DeviceProfile;
+use webml::{ops, Engine, Tensor};
+
+fn webgl_engine() -> Engine {
+    let e = webml::new_engine();
+    e.set_backend("webgl").unwrap();
+    e
+}
+
+fn heavy_chain(e: &Engine, n: usize, depth: usize) -> Tensor {
+    let a = e.rand_uniform([n, n], -1.0, 1.0, 1).unwrap();
+    let mut y = ops::matmul(&a, &a, false, false).unwrap();
+    for _ in 0..depth {
+        y = ops::matmul(&y, &a, false, false).unwrap();
+    }
+    y
+}
+
+#[test]
+fn ops_are_synchronous_but_nonblocking() {
+    // Paper Sec 3.6: "operations like tf.matMul() are purposefully
+    // synchronous and return a tensor whose data might not be computed
+    // yet."
+    let e = webgl_engine();
+    let t0 = Instant::now();
+    let y = heavy_chain(&e, 160, 5);
+    let enqueue_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let vals = y.data_sync().unwrap();
+    let compute_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(vals.len(), 160 * 160);
+    assert!(
+        enqueue_ms < compute_ms,
+        "enqueue ({enqueue_ms:.1} ms) must be cheaper than compute ({compute_ms:.1} ms)"
+    );
+}
+
+#[test]
+fn figure2_sync_read_blocks_main_thread() {
+    let e = webgl_engine();
+    let lp = EventLoop::new(Duration::from_millis(2));
+    let (data, report) = lp.run_sync(
+        || heavy_chain(&e, 160, 5),
+        |y| y.data_sync(),
+        Duration::from_millis(20),
+    );
+    assert!(data.is_ok());
+    assert!(report.blocked_ms > 5.0, "main thread must stall, got {} ms", report.blocked_ms);
+    assert!(report.longest_frame_gap_ms >= report.blocked_ms * 0.9);
+}
+
+#[test]
+fn figure3_async_read_keeps_frames_flowing() {
+    let e = webgl_engine();
+    let lp = EventLoop::new(Duration::from_millis(2));
+    let (data, report) = lp.run_async(
+        || {
+            let y = heavy_chain(&e, 160, 5);
+            y.data()
+        },
+        Duration::from_millis(20),
+    );
+    assert_eq!(data.unwrap().len(), 160 * 160);
+    assert_eq!(report.blocked_ms, 0.0);
+    // Frames kept rendering while the device worked.
+    assert!(report.frames_rendered > 5, "only {} frames", report.frames_rendered);
+}
+
+#[test]
+fn async_data_can_be_polled_like_a_promise() {
+    let e = webgl_engine();
+    let y = heavy_chain(&e, 128, 4);
+    let future = y.data().unwrap();
+    // Poll until resolution, doing "other main-thread work" in between.
+    let mut polls = 0;
+    let data = loop {
+        if let Some(result) = future.poll() {
+            break result.unwrap();
+        }
+        polls += 1;
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    assert_eq!(data.len(), 128 * 128);
+    let _ = polls; // may be zero on very fast machines; correctness only
+}
+
+#[test]
+fn f16_device_adjusts_epsilon_and_underflows() {
+    // Sec 4.1.3: on iOS-class devices log(x + 1e-8) becomes log(x); the
+    // library-wide epsilon is raised to 1e-4 on such devices.
+    let e = Engine::new();
+    let ios = WebGlBackend::new(DeviceProfile::ios_safari(), WebGlConfig::default()).unwrap();
+    e.register_backend("webgl", Arc::new(ios), 2);
+    assert_eq!(e.epsilon(), 1e-4);
+    assert_eq!(e.backend().float_precision(), 16);
+
+    let x = e.tensor_1d(&[0.0]).unwrap();
+    let bad_eps = e.scalar(1e-8).unwrap();
+    let y = ops::log(&ops::add(&x, &bad_eps).unwrap()).unwrap();
+    assert!(y.to_f32_vec().unwrap()[0].is_infinite());
+
+    let good_eps = e.scalar(e.epsilon()).unwrap();
+    let z = ops::log(&ops::add(&x, &good_eps).unwrap()).unwrap();
+    assert!(z.to_f32_vec().unwrap()[0].is_finite());
+}
+
+#[test]
+fn f32_device_keeps_default_epsilon() {
+    let e = webgl_engine();
+    assert_eq!(e.epsilon(), 1e-7);
+    assert_eq!(e.backend().float_precision(), 32);
+}
+
+#[test]
+fn f16_values_round_through_half_precision() {
+    let e = Engine::new();
+    let ios = WebGlBackend::new(DeviceProfile::ios_safari(), WebGlConfig::default()).unwrap();
+    e.register_backend("webgl", Arc::new(ios), 2);
+    // 0.1 is inexact in binary16: the stored value differs from f32's 0.1.
+    let t = e.tensor_1d(&[0.1]).unwrap();
+    let v = t.to_f32_vec().unwrap()[0];
+    assert_ne!(v, 0.1f32);
+    assert!((v - 0.1).abs() < 1e-4);
+}
+
+#[test]
+fn unsupported_device_falls_back_to_cpu_pattern() {
+    // Sec 4.1.3 / 3.1: devices without float-texture support cannot run the
+    // WebGL backend; the engine keeps working on the CPU fallback.
+    let legacy = WebGlBackend::new(DeviceProfile::android_legacy(), WebGlConfig::default());
+    assert!(legacy.is_err(), "legacy Android must be rejected");
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(webml::core::cpu::CpuBackend::new()), 1);
+    if let Ok(b) = WebGlBackend::new(DeviceProfile::android_legacy(), WebGlConfig::default()) {
+        e.register_backend("webgl", Arc::new(b), 2);
+    }
+    // webgl absent; cpu serves.
+    assert_eq!(e.backend_name(), "cpu");
+    let t = e.tensor_1d(&[1.0, 2.0]).unwrap();
+    assert_eq!(ops::add(&t, &t).unwrap().to_f32_vec().unwrap(), vec![2.0, 4.0]);
+}

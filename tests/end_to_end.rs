@@ -1,0 +1,148 @@
+//! End-to-end scenarios spanning crates: training on different backends,
+//! the full converter pipeline on a MobileNet, transfer learning, and the
+//! architecture layering of Figure 1.
+
+use webml::converter::{self, Quantization, SimulatedNetwork};
+use webml::data::synthetic;
+use webml::models::repo;
+use webml::prelude::*;
+
+#[test]
+fn xor_trains_on_cpu_and_webgl_backends() {
+    for backend in ["cpu", "webgl"] {
+        let engine = webml::new_engine();
+        engine.set_backend(backend).unwrap();
+        let mut model = Sequential::new(&engine).with_seed(7);
+        model.add(Dense::new(8).with_input_dim(2).with_activation(Activation::Tanh));
+        model.add(Dense::new(1).with_activation(Activation::Sigmoid));
+        model.compile(Loss::MeanSquaredError, Box::new(Adam::new(0.1)));
+        let data = synthetic::xor(1, 1);
+        let (xs, ys) = data.to_tensors(&engine).unwrap();
+        let history = model
+            .fit(&xs, &ys, FitConfig { epochs: 150, batch_size: 4, ..Default::default() })
+            .unwrap();
+        let final_loss = *history.loss.last().unwrap();
+        assert!(final_loss < 0.05, "{backend}: final loss {final_loss}");
+    }
+}
+
+#[test]
+fn training_histories_agree_across_backends() {
+    // The same seed and data must give closely matching loss curves on the
+    // reference cpu backend and the optimized native backend.
+    let run = |backend: &str| -> Vec<f32> {
+        let engine = webml::new_engine();
+        engine.set_backend(backend).unwrap();
+        let mut model = Sequential::new(&engine).with_seed(13);
+        model.add(Dense::new(4).with_input_dim(1).with_activation(Activation::Tanh));
+        model.add(Dense::new(1));
+        model.compile(Loss::MeanSquaredError, Box::new(Sgd::new(0.05)));
+        let data = synthetic::linear(32, 1.5, -0.5, 0.1, 3);
+        let (xs, ys) = data.to_tensors(&engine).unwrap();
+        model
+            .fit(&xs, &ys, FitConfig { epochs: 5, batch_size: 8, seed: 2, ..Default::default() })
+            .unwrap()
+            .loss
+    };
+    let cpu = run("cpu");
+    let native = run("native");
+    for (a, b) in cpu.iter().zip(&native) {
+        assert!((a - b).abs() < 1e-2, "cpu {a} vs native {b}");
+    }
+}
+
+#[test]
+fn mobilenet_full_converter_pipeline() {
+    let engine = webml::new_engine();
+    let mut net = MobileNet::new(
+        &engine,
+        MobileNetConfig { alpha: 0.25, input_size: 32, classes: 8, batch_norm: true, seed: 4 },
+    )
+    .unwrap();
+    let img = Image::synthetic_person(32, 32);
+    let expect = net.classify(&img, 3).unwrap();
+
+    // Save quantized artifacts, publish, reload over the network.
+    let artifacts = converter::to_artifacts(net.model(), Some(Quantization::U16)).unwrap();
+    let full = converter::to_artifacts(net.model(), None).unwrap();
+    assert_eq!(full.weight_bytes(), artifacts.weight_bytes() * 2);
+
+    let net_sim = SimulatedNetwork::new();
+    repo::publish(net.model(), &net_sim, "https://bucket/mobilenet").unwrap();
+    let mut restored = repo::load(&engine, &net_sim, "https://bucket/mobilenet").unwrap();
+
+    // Identical predictions from the restored full-precision model.
+    let x = img.to_normalized_tensor(&engine, 32).unwrap();
+    let orig_probs = net.infer(&x).unwrap().to_f32_vec().unwrap();
+    let rest_probs = restored.predict(&x).unwrap().to_f32_vec().unwrap();
+    assert_eq!(orig_probs, rest_probs);
+    let _ = expect;
+}
+
+#[test]
+fn transfer_learning_with_knn_separates_synthetic_classes() {
+    let engine = webml::new_engine();
+    let mut backbone = MobileNet::new(
+        &engine,
+        MobileNetConfig { alpha: 0.25, input_size: 32, classes: 4, batch_norm: false, seed: 2 },
+    )
+    .unwrap();
+    let mut knn = KnnClassifier::new();
+    // Distinct solid colors are trivially separable embeddings.
+    for i in 0..4 {
+        let red = Image::solid(32, 32, [200 + i * 10, 10, 10]);
+        let emb = backbone.embed(&red).unwrap();
+        knn.add_example(&emb, "red").unwrap();
+        emb.dispose();
+        let blue = Image::solid(32, 32, [10, 10, 200 + i * 10]);
+        let emb = backbone.embed(&blue).unwrap();
+        knn.add_example(&emb, "blue").unwrap();
+        emb.dispose();
+    }
+    let probe = Image::solid(32, 32, [235, 15, 5]);
+    let emb = backbone.embed(&probe).unwrap();
+    let pred = knn.predict(&emb, 3).unwrap();
+    assert_eq!(pred.label, "red");
+}
+
+#[test]
+fn figure1_architecture_layering() {
+    // Figure 1: Layers API sits on the Ops API, which dispatches to
+    // swappable backends. One model, three backends, same predictions.
+    let engine = webml::new_engine();
+    let mut model = Sequential::new(&engine).with_seed(6);
+    model.add(Dense::new(4).with_input_dim(3).with_activation(Activation::Relu));
+    model.add(Dense::new(2).with_activation(Activation::Softmax));
+    model.build([3]).unwrap();
+    let x = engine.tensor_2d(&[0.2, -0.4, 0.6], 1, 3).unwrap();
+    let mut outputs = Vec::new();
+    for backend in ["cpu", "webgl", "native", "plainjs"] {
+        engine.set_backend(backend).unwrap();
+        outputs.push(model.predict(&x).unwrap().to_f32_vec().unwrap());
+    }
+    for pair in outputs.windows(2) {
+        for (a, b) in pair[0].iter().zip(&pair[1]) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn batchnorm_model_trains_and_switches_modes() {
+    let engine = webml::new_engine();
+    let mut model = Sequential::new(&engine).with_seed(10);
+    model.add(Dense::new(8).with_input_dim(2));
+    model.add(webml::layers::BatchNormalization::new());
+    model.add(webml::layers::ActivationLayer::new(Activation::Relu));
+    model.add(Dense::new(1));
+    model.compile(Loss::MeanSquaredError, Box::new(Adam::new(0.05)));
+    let data = synthetic::xor(4, 2);
+    let (xs, ys) = data.to_tensors(&engine).unwrap();
+    let history =
+        model.fit(&xs, &ys, FitConfig { epochs: 30, batch_size: 8, ..Default::default() }).unwrap();
+    assert!(history.loss.last().unwrap() < &history.loss[0]);
+    // Inference (moving-stats path) must be deterministic.
+    let p1 = model.predict(&xs).unwrap().to_f32_vec().unwrap();
+    let p2 = model.predict(&xs).unwrap().to_f32_vec().unwrap();
+    assert_eq!(p1, p2);
+}

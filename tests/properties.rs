@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on core invariants: broadcasting,
+//! reshape data-sharing, matmul against the naive reference, quantization
+//! error bounds, tidy leak-freedom, and the webgl packing/squeeze
+//! optimizations being pure optimizations (identical results).
+
+#![allow(clippy::field_reassign_with_default)] // ablations toggle single config fields
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use webml::backend_webgl::{WebGlBackend, WebGlConfig};
+use webml::converter::Quantization;
+use webml::webgl_sim::devices::DeviceProfile;
+use webml::{ops, Engine};
+
+fn cpu_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(webml::core::cpu::CpuBackend::new()), 1);
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reshape_round_trips_any_factorization(
+        values in prop::collection::vec(-1e3f32..1e3, 1..64),
+        split in 1usize..8,
+    ) {
+        let e = cpu_engine();
+        let n = values.len();
+        let t = e.tensor_1d(&values).unwrap();
+        // Reshape to [d, n/d] for any divisor-ish split, padding ignored.
+        let d = (split % n).max(1);
+        if n % d == 0 {
+            let r = ops::reshape(&t, vec![d, n / d]).unwrap();
+            let back = ops::reshape(&r, vec![n]).unwrap();
+            prop_assert_eq!(back.to_f32_vec().unwrap(), values);
+            // No data copy happened.
+            prop_assert_eq!(e.memory().num_data_buffers, 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_commutes(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let e = cpu_engine();
+        let a = e.rand_uniform([rows, cols], -10.0, 10.0, seed).unwrap();
+        let b = e.rand_uniform([cols], -10.0, 10.0, seed + 1).unwrap();
+        let ab = ops::add(&a, &b).unwrap().to_f32_vec().unwrap();
+        let ba = ops::add(&b, &a).unwrap().to_f32_vec().unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let e = cpu_engine();
+        let a = e.rand_uniform([m, k], -2.0, 2.0, seed).unwrap();
+        let b = e.rand_uniform([k, n], -2.0, 2.0, seed + 7).unwrap();
+        let fast = ops::matmul(&a, &b, false, false).unwrap().to_f32_vec().unwrap();
+        let av = a.to_f32_vec().unwrap();
+        let bv = b.to_f32_vec().unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += av[i * k + p] * bv[p * n + j];
+                }
+                prop_assert!((fast[i * n + j] - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded(
+        values in prop::collection::vec(-100.0f32..100.0, 1..256),
+    ) {
+        for q in [Quantization::U8, Quantization::U16] {
+            let (bytes, scale, min) = q.quantize(&values);
+            let back = q.dequantize(&bytes, scale, min);
+            let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let bound = q.max_error(lo, hi) * 1.02 + 1e-4;
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+            }
+        }
+    }
+
+    #[test]
+    fn tidy_never_leaks(
+        ops_count in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let e = cpu_engine();
+        let baseline = e.num_tensors();
+        e.tidy(|| {
+            let mut t = e.rand_uniform([8], -1.0, 1.0, seed).unwrap();
+            for i in 0..ops_count {
+                t = match i % 4 {
+                    0 => ops::exp(&t).unwrap(),
+                    1 => ops::relu(&t).unwrap(),
+                    2 => ops::add(&t, &t).unwrap(),
+                    _ => ops::reshape(&t, vec![2, 4]).unwrap()
+                        .pipe(|r| ops::reshape(&r, vec![8]).unwrap()),
+                };
+            }
+        });
+        prop_assert_eq!(e.num_tensors(), baseline);
+    }
+
+    #[test]
+    fn grad_of_sum_square_is_2x(values in prop::collection::vec(-10.0f32..10.0, 1..16)) {
+        let e = cpu_engine();
+        let x = e.tensor_1d(&values).unwrap();
+        let g = e.grad(&x, || ops::sum(&ops::square(&x)?, None, false)).unwrap();
+        let got = g.to_f32_vec().unwrap();
+        for (v, g) in values.iter().zip(&got) {
+            prop_assert!((g - 2.0 * v).abs() < 1e-3);
+        }
+    }
+}
+
+/// Tiny pipe helper for the tidy property test.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packing_is_a_pure_optimization(
+        n in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        // Packed (RGBA texel) and unpacked execution must agree exactly.
+        let run = |packing: bool| -> Vec<f32> {
+            let e = Engine::new();
+            let mut config = WebGlConfig::default();
+            config.packing = packing;
+            let b = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+            e.register_backend("webgl", Arc::new(b), 2);
+            let a = e.rand_uniform([n], -5.0, 5.0, seed).unwrap();
+            let b2 = e.rand_uniform([n], -5.0, 5.0, seed + 1).unwrap();
+            let y = ops::add(&ops::mul(&a, &b2).unwrap(), &a).unwrap();
+            y.to_f32_vec().unwrap()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn squeeze_layout_is_a_pure_optimization(
+        b in 1usize..3,
+        h in 1usize..5,
+        w in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        // Unit-dim squeezing changes only address math, never results.
+        let run = |squeeze: bool| -> Vec<f32> {
+            let e = Engine::new();
+            let mut config = WebGlConfig::default();
+            config.squeeze_layout = squeeze;
+            let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+            e.register_backend("webgl", Arc::new(backend), 2);
+            // Shapes with unit dims, like the paper's 1x3x1x2 example.
+            let x = e.rand_uniform([b, h, 1, w], -1.0, 1.0, seed).unwrap();
+            let y = e.rand_uniform([1, h, 1, 1], -1.0, 1.0, seed + 3).unwrap();
+            let z = ops::mul(&x, &y).unwrap();
+            let t = ops::transpose(&z, Some(&[3, 1, 2, 0])).unwrap();
+            t.to_f32_vec().unwrap()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn matmul_packed_agrees_with_unpacked_webgl(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        let run = |packing: bool| -> Vec<f32> {
+            let e = Engine::new();
+            let mut config = WebGlConfig::default();
+            config.packing = packing;
+            let backend = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config).unwrap();
+            e.register_backend("webgl", Arc::new(backend), 2);
+            let a = e.rand_uniform([m, k], -1.0, 1.0, seed).unwrap();
+            let b = e.rand_uniform([k, n], -1.0, 1.0, seed + 1).unwrap();
+            ops::matmul(&a, &b, false, false).unwrap().to_f32_vec().unwrap()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
