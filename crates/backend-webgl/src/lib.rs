@@ -24,17 +24,41 @@ use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::{DType, TensorData};
 use webml_core::error::{Error, Result};
 use webml_core::shape::Shape;
-use webml_webgl_sim::context::{ContextConfig, GpgpuContext, TexHandle};
+use webml_webgl_sim::context::{ContextConfig, GlError, GpgpuContext, TexHandle};
 use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::fault::FaultPlan;
 use webml_webgl_sim::pager::PagingPolicy;
 use webml_webgl_sim::shader::Program;
 
 /// Re-exported configuration of the underlying GPGPU context.
 pub type WebGlConfig = ContextConfig;
 
+/// Where a data container's values currently live.
+enum Residency {
+    /// On the (simulated) device, behind a texture handle.
+    Device(TexHandle),
+    /// On the host only: the device refused the upload (context lost,
+    /// allocation OOM). Reads are served directly; the next kernel use, or
+    /// [`WebGlBackend::recover_context`], re-acquires a texture.
+    Host(Vec<f32>),
+}
+
 struct Entry {
-    tex: TexHandle,
+    res: Residency,
     dtype: DType,
+}
+
+/// Map a substrate error to the engine's classified error surface, so the
+/// engine can tell transient faults (retry / degrade) from logic errors.
+fn map_gl(name: &str, e: GlError) -> Error {
+    match e {
+        GlError::ContextLost => Error::context_lost(name),
+        GlError::Oom { .. } | GlError::TransientReadback { .. } => {
+            Error::resource_exhausted(name, e.to_string())
+        }
+        GlError::ShaderCompile { ref program } => Error::kernel_unsupported(name, program.clone()),
+        other => Error::backend(name, other.to_string()),
+    }
 }
 
 /// The WebGL backend over a simulated device.
@@ -66,8 +90,34 @@ impl WebGlBackend {
         profile: DeviceProfile,
         config: WebGlConfig,
     ) -> Result<WebGlBackend> {
+        Self::with_faults_named(name, profile, config, FaultPlan::none())
+    }
+
+    /// Create a backend named `"webgl"` whose context injects faults
+    /// according to `plan` — the entry point of the fault suite.
+    ///
+    /// # Errors
+    /// Same as [`WebGlBackend::new`].
+    pub fn with_faults(
+        profile: DeviceProfile,
+        config: WebGlConfig,
+        plan: FaultPlan,
+    ) -> Result<WebGlBackend> {
+        Self::with_faults_named("webgl", profile, config, plan)
+    }
+
+    /// [`WebGlBackend::with_faults`] with a custom registry name.
+    ///
+    /// # Errors
+    /// Same as [`WebGlBackend::new`].
+    pub fn with_faults_named(
+        name: impl Into<String>,
+        profile: DeviceProfile,
+        config: WebGlConfig,
+        plan: FaultPlan,
+    ) -> Result<WebGlBackend> {
         let name = name.into();
-        let ctx = GpgpuContext::new(profile, config)
+        let ctx = GpgpuContext::with_faults(profile, config, plan)
             .map_err(|e| Error::backend(&name, e.to_string()))?;
         Ok(WebGlBackend { name, ctx, store: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) })
     }
@@ -77,12 +127,47 @@ impl WebGlBackend {
         &self.ctx
     }
 
+    /// After a context loss: attempt restoration and re-acquire textures
+    /// for host-resident entries. Returns whether the context is usable
+    /// again. The substrate's program cache was cleared at loss time, so
+    /// shaders recompile on next use; textures the device still shadows
+    /// page back in lazily.
+    pub fn recover_context(&self) -> bool {
+        if !self.ctx.restore_context() {
+            return false;
+        }
+        let mut store = self.store.lock();
+        for e in store.values_mut() {
+            let data = match &e.res {
+                Residency::Host(d) => d.clone(),
+                Residency::Device(_) => continue,
+            };
+            let n = data.len();
+            if let Ok(h) = self.ctx.try_upload(data, &[n]) {
+                e.res = Residency::Device(h);
+            }
+        }
+        true
+    }
+
+    /// Fetch the texture handle for `id`, re-acquiring a device texture
+    /// for host-resident entries (the lazy half of context-loss recovery).
     fn handle(&self, id: DataId) -> Result<TexHandle> {
-        self.store
-            .lock()
-            .get(&id)
-            .map(|e| e.tex.clone())
-            .ok_or_else(|| Error::backend(&self.name, format!("unknown data id {id:?}")))
+        let mut store = self.store.lock();
+        let e = store
+            .get_mut(&id)
+            .ok_or_else(|| Error::backend(&self.name, format!("unknown data id {id:?}")))?;
+        match &e.res {
+            Residency::Device(h) => Ok(h.clone()),
+            Residency::Host(data) => {
+                let h = self
+                    .ctx
+                    .try_upload(data.clone(), &[data.len()])
+                    .map_err(|(g, _)| map_gl(&self.name, g))?;
+                e.res = Residency::Device(h.clone());
+                Ok(h)
+            }
+        }
     }
 
     /// Handle re-viewed under the kernel's logical shape. Tensors share
@@ -90,31 +175,23 @@ impl WebGlBackend {
     /// match the shape the op sees; the accessor math must.
     fn view(&self, id: DataId, shape: &Shape) -> Result<TexHandle> {
         let h = self.handle(id)?;
-        self.ctx
-            .relayout(&h, shape.dims())
-            .map_err(|e| Error::backend(&self.name, e.to_string()))
+        self.ctx.relayout(&h, shape.dims()).map_err(|e| map_gl(&self.name, e))
     }
 
-    fn insert(&self, tex: TexHandle, dtype: DType) -> DataId {
+    fn insert(&self, res: Residency, dtype: DType) -> DataId {
         let id = DataId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.store.lock().insert(id, Entry { tex, dtype });
+        self.store.lock().insert(id, Entry { res, dtype });
         id
     }
 
     fn run1(&self, program: Program, a: &TexHandle, dtype: DType) -> Result<DataId> {
-        let out = self
-            .ctx
-            .run(program, &[a])
-            .map_err(|e| Error::backend(&self.name, e.to_string()))?;
-        Ok(self.insert(out, dtype))
+        let out = self.ctx.run(program, &[a]).map_err(|e| map_gl(&self.name, e))?;
+        Ok(self.insert(Residency::Device(out), dtype))
     }
 
     fn run_n(&self, program: Program, inputs: &[&TexHandle], dtype: DType) -> Result<DataId> {
-        let out = self
-            .ctx
-            .run(program, inputs)
-            .map_err(|e| Error::backend(&self.name, e.to_string()))?;
-        Ok(self.insert(out, dtype))
+        let out = self.ctx.run(program, inputs).map_err(|e| map_gl(&self.name, e))?;
+        Ok(self.insert(Residency::Device(out), dtype))
     }
 
     fn packing(&self) -> bool {
@@ -134,11 +211,15 @@ impl Backend for WebGlBackend {
     fn register(&self, data: TensorData, dtype: DType) -> DataId {
         let vals = data.to_f32_vec();
         let n = vals.len();
-        let tex = self
-            .ctx
-            .upload(vals, &[n])
-            .expect("rank-1 upload always fits the texture limit checks");
-        self.insert(tex, dtype)
+        let res = match self.ctx.try_upload(vals, &[n]) {
+            Ok(tex) => Residency::Device(tex),
+            // The device refused the upload (context lost, OOM): keep the
+            // values host-side rather than fail an infallible registration.
+            // Reads serve the host copy; kernel use or `recover_context`
+            // re-acquires a texture when the device allows it again.
+            Err((_, vals)) => Residency::Host(vals),
+        };
+        self.insert(res, dtype)
     }
 
     fn read_sync(&self, id: DataId) -> Result<TensorData> {
@@ -147,9 +228,12 @@ impl Backend for WebGlBackend {
             let e = store
                 .get(&id)
                 .ok_or_else(|| Error::backend(&self.name, format!("unknown data id {id:?}")))?;
-            (e.tex.clone(), e.dtype)
+            match &e.res {
+                Residency::Device(h) => (h.clone(), e.dtype),
+                Residency::Host(data) => return Ok(to_tensor_data(data.clone(), e.dtype)),
+            }
         };
-        let vals = self.ctx.read_sync(&tex).map_err(|e| Error::backend(&self.name, e.to_string()))?;
+        let vals = self.ctx.read_sync(&tex).map_err(|e| map_gl(&self.name, e))?;
         Ok(to_tensor_data(vals, dtype))
     }
 
@@ -157,7 +241,12 @@ impl Backend for WebGlBackend {
         let (tex, dtype) = {
             let store = self.store.lock();
             match store.get(&id) {
-                Some(e) => (e.tex.clone(), e.dtype),
+                Some(e) => match &e.res {
+                    Residency::Device(h) => (h.clone(), e.dtype),
+                    Residency::Host(data) => {
+                        return DataFuture::ready(Ok(to_tensor_data(data.clone(), e.dtype)))
+                    }
+                },
                 None => {
                     return DataFuture::ready(Err(Error::backend(
                         &self.name,
@@ -166,7 +255,13 @@ impl Backend for WebGlBackend {
                 }
             }
         };
-        let inner = self.ctx.read_async(&tex);
+        // Transient faults surface synchronously and classified, so the
+        // engine's retry policy sees them; only device-side failures
+        // (nonexistent texture) travel through the future as strings.
+        let inner = match self.ctx.read_async_checked(&tex) {
+            Ok(f) => f,
+            Err(e) => return DataFuture::ready(Err(map_gl(&self.name, e))),
+        };
         let (future, promise) = DataFuture::pending();
         let backend_name = self.name.clone();
         // Bridge the substrate future onto the engine future; the waiting
@@ -183,13 +278,20 @@ impl Backend for WebGlBackend {
 
     fn dispose_data(&self, id: DataId) {
         if let Some(entry) = self.store.lock().remove(&id) {
-            self.ctx.dispose(&entry.tex);
+            if let Residency::Device(tex) = entry.res {
+                self.ctx.dispose(&tex);
+            }
         }
     }
 
     fn memory(&self) -> BackendMemory {
         let m = self.ctx.memory();
+        let faults = self.ctx.fault_stats();
         let store = self.store.lock();
+        let host_resident = store
+            .values()
+            .filter(|e| matches!(e.res, Residency::Host(_)))
+            .count();
         BackendMemory {
             num_buffers: store.len(),
             num_bytes: m.bytes_in_gpu + m.pager.bytes_paged,
@@ -201,6 +303,11 @@ impl Backend for WebGlBackend {
                 ("recycler_hits".to_string(), m.recycler.hits as f64),
                 ("recycler_misses".to_string(), m.recycler.misses as f64),
                 ("programs_run".to_string(), m.programs_run as f64),
+                ("host_resident_buffers".to_string(), host_resident as f64),
+                ("context_losses".to_string(), faults.context_losses as f64),
+                ("oom_failures".to_string(), faults.oom_failures as f64),
+                ("compile_failures".to_string(), faults.compile_failures as f64),
+                ("transient_read_failures".to_string(), faults.transient_read_failures as f64),
             ],
         }
     }

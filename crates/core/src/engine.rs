@@ -44,6 +44,38 @@ pub struct MemoryInfo {
     pub num_bytes: usize,
     /// Backend-specific gauges.
     pub backend: BackendMemory,
+    /// Times the engine abandoned a failing backend for a lower-priority
+    /// one (graceful degradation).
+    pub degradations: u64,
+    /// Name of the backend currently serving kernels.
+    pub current_backend: String,
+}
+
+/// One graceful-degradation event: a kernel abandoned a failing backend and
+/// the engine fell back to the next backend in the priority chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationEvent {
+    /// Kernel that was executing when the backend failed.
+    pub kernel: &'static str,
+    /// Backend that failed.
+    pub from_backend: String,
+    /// Backend the engine fell back to.
+    pub to_backend: String,
+    /// Display form of the error that triggered the fallback.
+    pub reason: String,
+}
+
+/// Bounded in-place retries of a transient kernel failure before the engine
+/// degrades to the next backend.
+const MAX_TRANSIENT_ATTEMPTS: u32 = 3;
+
+/// Bounded retries of a transient data read (migration or `dataSync`).
+const MAX_READ_ATTEMPTS: u32 = 4;
+
+/// Exponential backoff schedule for transient retries (bounded; the last
+/// attempt waits under a millisecond, keeping kernels responsive).
+fn backoff_delay(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_micros(100u64 << attempt.min(4))
 }
 
 /// Per-kernel profile entry (paper Sec 3.8: "users can profile every kernel
@@ -128,6 +160,8 @@ struct EngineState {
     profile: Option<ProfileState>,
     debug: bool,
     num_bytes: usize,
+    degradations: u64,
+    degradation_log: Vec<DegradationEvent>,
 }
 
 /// The eager execution engine. Cheap to clone (`Arc` internally); usually
@@ -190,6 +224,8 @@ impl Engine {
                     profile: None,
                     debug: false,
                     num_bytes: 0,
+                    degradations: 0,
+                    degradation_log: Vec::new(),
                 }),
                 garbage: Mutex::new(Vec::new()),
                 next_data_handle: AtomicU64::new(1),
@@ -367,12 +403,18 @@ impl Engine {
             ));
         }
         let data = data.cast(dtype);
-        let backend = self.backend();
-        let backend_name = backend.name().to_string();
         let bytes = shape.size() * dtype.byte_size();
-        let id = backend.register(data, dtype);
         let mut state = self.inner.state.lock();
         self.collect_garbage(&mut state);
+        // Record the *registry* name, not `backend.name()`: the same backend
+        // implementation can be registered under several names (and the data
+        // must follow the registration it actually lives on).
+        let i = state
+            .current_backend
+            .ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
+        let backend = state.backends[i].2.clone();
+        let backend_name = state.backends[i].0.clone();
+        let id = backend.register(data, dtype);
         let handle = self.register_data_locked(&mut state, backend_name, id, bytes, dtype);
         Ok(self.register_tensor_locked(&mut state, handle, shape, dtype))
     }
@@ -446,11 +488,21 @@ impl Engine {
     /// backend, register outputs, and record a tape node when differentiable
     /// and a gradient scope is active.
     ///
-    /// This is the single funnel every op goes through; profiling and the
-    /// NaN-debug mode (paper Sec 3.8) hook in here.
+    /// This is the single funnel every op goes through; profiling, the
+    /// NaN-debug mode (paper Sec 3.8), and the fault-recovery policy hook
+    /// in here. On a transient backend failure the kernel is retried in
+    /// place with bounded exponential backoff; on context loss — or when
+    /// retries are exhausted, or the backend cannot run the kernel at all —
+    /// the engine *degrades*: it switches to the next backend in the
+    /// priority chain and re-dispatches. The input-migration step at the
+    /// top of the funnel then re-uploads the tensors' data from the failing
+    /// backend's host-side copies, so no data is lost and callers only
+    /// observe a [`DegradationEvent`] instead of an error.
     ///
     /// # Errors
-    /// Propagates disposed-tensor, backend, and NaN-debug errors.
+    /// Propagates disposed-tensor, NaN-debug, and non-degradable backend
+    /// errors, plus degradable errors once no lower-priority backend is
+    /// left to fall back to.
     #[allow(clippy::type_complexity)] // the documented kernel funnel signature
     pub fn run_kernel(
         &self,
@@ -459,96 +511,191 @@ impl Engine {
         forward: &mut dyn FnMut(&dyn Backend, &[KTensor<'_>]) -> Result<Vec<(DataId, Shape, DType)>>,
         grad: Option<GradFn>,
     ) -> Result<Vec<Tensor>> {
-        // Phase 1 (locked): validate inputs, migrate cross-backend data,
-        // pin input data so a concurrent dispose cannot free it mid-kernel.
-        let (backend, backend_name, input_data, debug, profiling) = {
-            let mut state = self.inner.state.lock();
-            self.collect_garbage(&mut state);
-            let i = state.current_backend.ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
-            let backend = state.backends[i].2.clone();
-            let backend_name = state.backends[i].0.clone();
-            let mut input_data = Vec::with_capacity(inputs.len());
-            for t in inputs {
-                let data_handle = state
-                    .tensors
-                    .get(&t.id())
-                    .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
-                    .data;
-                // Migrate data living on another backend (lazy movement on
-                // first use, like tfjs `moveData`).
-                let needs_move = state.data[&data_handle].backend_name != backend_name;
-                if needs_move {
-                    let (old_backend, old_id, dtype) = {
-                        let rec = &state.data[&data_handle];
-                        (Self::backend_by_name(&state, &rec.backend_name), rec.id, rec.dtype)
-                    };
-                    let host = old_backend.read_sync(old_id)?;
-                    old_backend.dispose_data(old_id);
-                    let new_id = backend.register(host, dtype);
+        // Transient in-place retries against the current backend; reset on
+        // every degradation so a fresh backend gets its full budget.
+        let mut attempts: u32 = 0;
+        loop {
+            // Phase 1 (locked): validate inputs, migrate cross-backend data,
+            // pin input data so a concurrent dispose cannot free it
+            // mid-kernel.
+            let (backend, backend_name, input_data, debug, profiling) = {
+                let mut state = self.inner.state.lock();
+                self.collect_garbage(&mut state);
+                let i = state
+                    .current_backend
+                    .ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
+                let backend = state.backends[i].2.clone();
+                let backend_name = state.backends[i].0.clone();
+                let mut input_data = Vec::with_capacity(inputs.len());
+                for t in inputs {
+                    let data_handle = state
+                        .tensors
+                        .get(&t.id())
+                        .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
+                        .data;
+                    // Migrate data living on another backend (lazy movement
+                    // on first use, like tfjs `moveData`). After a
+                    // degradation this is the recovery path: the read serves
+                    // the failed backend's host-side copies.
+                    let needs_move = state.data[&data_handle].backend_name != backend_name;
+                    if needs_move {
+                        let (old_backend, old_id, dtype) = {
+                            let rec = &state.data[&data_handle];
+                            (Self::backend_by_name(&state, &rec.backend_name), rec.id, rec.dtype)
+                        };
+                        let host = Self::read_sync_with_retry(old_backend.as_ref(), old_id)?;
+                        old_backend.dispose_data(old_id);
+                        let new_id = backend.register(host, dtype);
+                        let rec = state.data.get_mut(&data_handle).expect("live data");
+                        rec.backend_name = backend_name.clone();
+                        rec.id = new_id;
+                    }
                     let rec = state.data.get_mut(&data_handle).expect("live data");
-                    rec.backend_name = backend_name.clone();
-                    rec.id = new_id;
+                    rec.refcount += 1; // pin
+                    input_data.push((data_handle, rec.id));
                 }
-                let rec = state.data.get_mut(&data_handle).expect("live data");
-                rec.refcount += 1; // pin
-                input_data.push((data_handle, rec.id));
-            }
-            (backend, backend_name, input_data, state.debug, state.profile.is_some())
-        };
+                (backend, backend_name, input_data, state.debug, state.profile.is_some())
+            };
 
-        // Phase 2 (unlocked): run the kernel.
-        let ktensors: Vec<KTensor<'_>> = inputs
-            .iter()
-            .zip(&input_data)
-            .map(|(t, (_, id))| KTensor { data: *id, shape: t.shape_ref(), dtype: t.dtype() })
-            .collect();
-        let t0 = Instant::now();
-        let result = forward(backend.as_ref(), &ktensors);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            // Phase 2 (unlocked): run the kernel.
+            let ktensors: Vec<KTensor<'_>> = inputs
+                .iter()
+                .zip(&input_data)
+                .map(|(t, (_, id))| KTensor { data: *id, shape: t.shape_ref(), dtype: t.dtype() })
+                .collect();
+            let t0 = Instant::now();
+            let result = forward(backend.as_ref(), &ktensors);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        // NaN-debug mode: download every output and fail at the first NaN,
-        // naming the kernel (paper Sec 3.8).
-        if debug {
-            if let Ok(outs) = &result {
-                for (id, _, dtype) in outs {
-                    if dtype.is_float() && backend.read_sync(*id)?.has_nan() {
-                        // Clean up the outputs we won't register.
-                        for (oid, _, _) in outs {
-                            backend.dispose_data(*oid);
+            // NaN-debug mode: download every output and fail at the first
+            // NaN, naming the kernel (paper Sec 3.8).
+            if debug {
+                if let Ok(outs) = &result {
+                    for (id, _, dtype) in outs {
+                        if dtype.is_float() && backend.read_sync(*id)?.has_nan() {
+                            // Clean up the outputs we won't register.
+                            for (oid, _, _) in outs {
+                                backend.dispose_data(*oid);
+                            }
+                            self.unpin(&input_data);
+                            return Err(Error::NanDetected { kernel });
                         }
-                        self.unpin(&input_data);
-                        return Err(Error::NanDetected { kernel });
                     }
                 }
             }
-        }
 
-        // Phase 3 (locked): unpin inputs, register outputs, record tape.
+            // Phase 3 (locked): unpin inputs, register outputs, record tape.
+            let mut state = self.inner.state.lock();
+            for (handle, _) in &input_data {
+                Self::release_data_locked(&mut state, *handle);
+            }
+            let outs = match result {
+                Ok(outs) => outs,
+                Err(e) => {
+                    drop(state);
+                    // Context loss cannot heal by itself, so it skips the
+                    // in-place retries and degrades immediately.
+                    let retryable = e.is_transient() && !matches!(e, Error::ContextLost { .. });
+                    if retryable && attempts + 1 < MAX_TRANSIENT_ATTEMPTS {
+                        attempts += 1;
+                        std::thread::sleep(backoff_delay(attempts));
+                        continue;
+                    }
+                    if e.is_degradable() && self.try_degrade(kernel, &backend_name, &e) {
+                        attempts = 0;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            let mut outputs = Vec::with_capacity(outs.len());
+            let mut bytes_added = 0;
+            let mut output_shapes = Vec::with_capacity(outs.len());
+            for (id, shape, dtype) in outs {
+                let bytes = shape.size() * dtype.byte_size();
+                bytes_added += bytes;
+                output_shapes.push(shape.clone());
+                let handle =
+                    self.register_data_locked(&mut state, backend_name.clone(), id, bytes, dtype);
+                outputs.push(self.register_tensor_locked(&mut state, handle, shape, dtype));
+            }
+            if profiling {
+                if let Some(p) = state.profile.as_mut() {
+                    p.kernels.push(KernelProfile { name: kernel, wall_ms, output_shapes, bytes_added });
+                }
+            }
+            if let Some(grad_fn) = grad {
+                Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad_fn);
+            }
+            drop(state);
+            return Ok(outputs);
+        }
+    }
+
+    /// Switch `current_backend` to the highest-priority backend strictly
+    /// below the failing one, recording a [`DegradationEvent`]. Returns
+    /// whether a fallback target exists. When another thread already
+    /// degraded away from `failed_backend`, no event is recorded and the
+    /// caller simply retries on the new backend.
+    fn try_degrade(&self, kernel: &'static str, failed_backend: &str, err: &Error) -> bool {
         let mut state = self.inner.state.lock();
-        for (handle, _) in &input_data {
-            Self::release_data_locked(&mut state, *handle);
+        let cur = match state.current_backend {
+            Some(i) => i,
+            None => return false,
+        };
+        if state.backends[cur].0 != failed_backend {
+            return true;
         }
-        let outs = result?;
-        let mut outputs = Vec::with_capacity(outs.len());
-        let mut bytes_added = 0;
-        let mut output_shapes = Vec::with_capacity(outs.len());
-        for (id, shape, dtype) in outs {
-            let bytes = shape.size() * dtype.byte_size();
-            bytes_added += bytes;
-            output_shapes.push(shape.clone());
-            let handle = self.register_data_locked(&mut state, backend_name.clone(), id, bytes, dtype);
-            outputs.push(self.register_tensor_locked(&mut state, handle, shape, dtype));
+        let cur_priority = state.backends[cur].1;
+        let next = state
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, p, _))| *p < cur_priority && n != failed_backend)
+            .max_by_key(|(_, (_, p, _))| *p)
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => {
+                let event = DegradationEvent {
+                    kernel,
+                    from_backend: failed_backend.to_string(),
+                    to_backend: state.backends[i].0.clone(),
+                    reason: err.to_string(),
+                };
+                state.current_backend = Some(i);
+                state.degradations += 1;
+                state.degradation_log.push(event);
+                true
+            }
+            None => false,
         }
-        if profiling {
-            if let Some(p) = state.profile.as_mut() {
-                p.kernels.push(KernelProfile { name: kernel, wall_ms, output_shapes, bytes_added });
+    }
+
+    /// Read from a backend, retrying transient failures (e.g. an injected
+    /// readback fault) with bounded backoff. Context loss is not retried:
+    /// backends keep host-side copies readable across a loss.
+    fn read_sync_with_retry(backend: &dyn Backend, id: DataId) -> Result<TensorData> {
+        let mut attempt = 0;
+        loop {
+            match backend.read_sync(id) {
+                Err(ref e) if e.is_transient() && attempt + 1 < MAX_READ_ATTEMPTS => {
+                    attempt += 1;
+                    std::thread::sleep(backoff_delay(attempt));
+                }
+                other => return other,
             }
         }
-        if let Some(grad_fn) = grad {
-            Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad_fn);
-        }
-        drop(state);
-        Ok(outputs)
+    }
+
+    /// Times the engine abandoned a failing backend for a lower-priority
+    /// one (graceful degradation) over its lifetime.
+    pub fn degradations(&self) -> u64 {
+        self.inner.state.lock().degradations
+    }
+
+    /// The full degradation event log, oldest first.
+    pub fn degradation_events(&self) -> Vec<DegradationEvent> {
+        self.inner.state.lock().degradation_log.clone()
     }
 
     /// Run a *composite* op with a user-supplied gradient (`tf.customGrad`):
@@ -608,7 +755,7 @@ impl Engine {
             let data = &state.data[&rec.data];
             (Self::backend_by_name(&state, &data.backend_name), data.id)
         };
-        backend.read_sync(id)
+        Self::read_sync_with_retry(backend.as_ref(), id)
     }
 
     pub(crate) fn read(&self, tensor_id: usize) -> Result<crate::backend::DataFuture> {
@@ -773,6 +920,11 @@ impl Engine {
             num_data_buffers: state.data.len(),
             num_bytes: state.num_bytes,
             backend: backend.memory(),
+            degradations: state.degradations,
+            current_backend: state
+                .current_backend
+                .map(|i| state.backends[i].0.clone())
+                .unwrap_or_default(),
         }
     }
 
@@ -927,5 +1079,190 @@ impl TidyOutput for String {
 impl TidyOutput for f64 {
     fn tensor_ids(&self) -> Vec<usize> {
         Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuBackend;
+    use crate::ops;
+
+    /// An engine with two CPU-identical tiers: "gpu" (priority 2, default)
+    /// and "cpu" (priority 1, the degradation target).
+    fn two_tier_engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("gpu", Arc::new(CpuBackend::new()), 2);
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    fn emit_scalar(backend: &dyn Backend, value: f32) -> Result<Vec<(DataId, Shape, DType)>> {
+        let id = backend.register(TensorData::F32(vec![value]), DType::F32);
+        Ok(vec![(id, Shape::new(vec![1]), DType::F32)])
+    }
+
+    #[test]
+    fn transient_failure_retries_in_place_without_degrading() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let out = e
+            .run_kernel(
+                "Flaky",
+                &[],
+                &mut |b, _| {
+                    calls += 1;
+                    if calls < MAX_TRANSIENT_ATTEMPTS {
+                        Err(Error::resource_exhausted("gpu", "simulated pressure"))
+                    } else {
+                        emit_scalar(b, 7.0)
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(calls, MAX_TRANSIENT_ATTEMPTS);
+        assert_eq!(e.degradations(), 0, "in-place retry must not degrade");
+        assert_eq!(e.backend_name(), "gpu");
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn context_loss_degrades_immediately_with_event() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let out = e
+            .run_kernel(
+                "MatMul",
+                &[],
+                &mut |b, _| {
+                    calls += 1;
+                    if calls == 1 {
+                        Err(Error::context_lost("gpu"))
+                    } else {
+                        emit_scalar(b, 1.0)
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(calls, 2, "context loss must skip in-place retries");
+        assert_eq!(e.degradations(), 1);
+        assert_eq!(e.backend_name(), "cpu");
+        let events = e.degradation_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kernel, "MatMul");
+        assert_eq!(events[0].from_backend, "gpu");
+        assert_eq!(events[0].to_backend, "cpu");
+        assert!(events[0].reason.contains("lost"), "reason: {}", events[0].reason);
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![1.0]);
+        let mem = e.memory();
+        assert_eq!(mem.degradations, 1);
+        assert_eq!(mem.current_backend, "cpu");
+    }
+
+    #[test]
+    fn exhausted_transient_retries_fall_back_to_next_backend() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let out = e
+            .run_kernel(
+                "Oom",
+                &[],
+                &mut |b, _| {
+                    calls += 1;
+                    if calls <= MAX_TRANSIENT_ATTEMPTS {
+                        Err(Error::resource_exhausted("gpu", "texture pool exhausted"))
+                    } else {
+                        emit_scalar(b, 2.0)
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(calls, MAX_TRANSIENT_ATTEMPTS + 1);
+        assert_eq!(e.degradations(), 1);
+        assert_eq!(e.backend_name(), "cpu");
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn kernel_unsupported_degrades_without_retrying() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let out = e
+            .run_kernel(
+                "Conv2D",
+                &[],
+                &mut |b, _| {
+                    calls += 1;
+                    if calls == 1 {
+                        Err(Error::kernel_unsupported("gpu", "Conv2D"))
+                    } else {
+                        emit_scalar(b, 3.0)
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(calls, 2, "unsupported kernels are not transient");
+        assert_eq!(e.degradations(), 1);
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn non_degradable_error_propagates_untouched() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let err = e
+            .run_kernel(
+                "Bad",
+                &[],
+                &mut |_, _| {
+                    calls += 1;
+                    Err(Error::backend("gpu", "driver bug"))
+                },
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(e.degradations(), 0);
+        assert_eq!(e.backend_name(), "gpu", "fatal errors must not switch backends");
+        assert!(matches!(err, Error::Backend { .. }));
+    }
+
+    #[test]
+    fn degradation_stops_when_no_fallback_is_left() {
+        let e = two_tier_engine();
+        let mut calls = 0u32;
+        let err = e
+            .run_kernel(
+                "Doomed",
+                &[],
+                &mut |_, _| {
+                    calls += 1;
+                    Err(Error::context_lost("everything"))
+                },
+                None,
+            )
+            .unwrap_err();
+        // One failure per tier: gpu degrades to cpu, cpu has nowhere to go.
+        assert_eq!(calls, 2);
+        assert_eq!(e.degradations(), 1);
+        assert!(matches!(err, Error::ContextLost { .. }));
+    }
+
+    #[test]
+    fn inputs_migrate_to_fallback_backend_after_degradation() {
+        let e = two_tier_engine();
+        let x = e.tensor_1d(&[1.0, 2.0]).unwrap(); // lives on "gpu"
+        // Burn the gpu tier: the kernel fails on both tiers, but the
+        // degradation it causes sticks.
+        let _ = e.run_kernel("Burn", &[], &mut |_, _| Err(Error::context_lost("gpu")), None);
+        assert_eq!(e.backend_name(), "cpu");
+        // First use on the cpu tier migrates x's data across backends.
+        let y = ops::add(&x, &x).unwrap();
+        assert_eq!(y.to_f32_vec().unwrap(), vec![2.0, 4.0]);
+        assert_eq!(e.degradations(), 1);
     }
 }

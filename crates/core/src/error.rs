@@ -65,6 +65,32 @@ pub enum Error {
         /// Human-readable description.
         message: String,
     },
+    /// The backend's device context was lost (the browser's
+    /// `webglcontextlost` event): every device resource is invalidated. The
+    /// engine treats this as degradable — live tensors are re-uploaded from
+    /// host-side copies on the next backend in the priority chain.
+    ContextLost {
+        /// Backend whose context was lost.
+        backend: String,
+    },
+    /// The backend ran out of a device resource (texture memory, readback
+    /// slots). Transient: a bounded retry, possibly after paging or frees,
+    /// can succeed; repeated failure degrades to the next backend.
+    ResourceExhausted {
+        /// Backend that exhausted a resource.
+        backend: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The backend cannot run this kernel at all (e.g. the driver rejected
+    /// the shader at compile time). Degradable but not retryable on the
+    /// same backend.
+    KernelUnsupported {
+        /// Backend that rejected the kernel.
+        backend: String,
+        /// The rejected kernel or program name.
+        kernel: String,
+    },
 }
 
 impl Error {
@@ -86,6 +112,37 @@ impl Error {
     /// Convenience constructor for [`Error::Backend`].
     pub fn backend(backend: impl Into<String>, message: impl Into<String>) -> Self {
         Error::Backend { backend: backend.into(), message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::ContextLost`].
+    pub fn context_lost(backend: impl Into<String>) -> Self {
+        Error::ContextLost { backend: backend.into() }
+    }
+
+    /// Convenience constructor for [`Error::ResourceExhausted`].
+    pub fn resource_exhausted(backend: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::ResourceExhausted { backend: backend.into(), message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::KernelUnsupported`].
+    pub fn kernel_unsupported(backend: impl Into<String>, kernel: impl Into<String>) -> Self {
+        Error::KernelUnsupported { backend: backend.into(), kernel: kernel.into() }
+    }
+
+    /// Whether retrying the failed operation can succeed without code
+    /// changes: the fault is in the environment (a lost context, exhausted
+    /// device memory), not in the request itself.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::ContextLost { .. } | Error::ResourceExhausted { .. })
+    }
+
+    /// Whether the engine may recover by re-dispatching the kernel on the
+    /// next backend in the priority chain (graceful degradation) instead of
+    /// surfacing the error. Transient faults qualify, as does a kernel the
+    /// backend cannot run at all; logic errors (shapes, dtypes, disposed
+    /// tensors) do not — they would fail identically everywhere.
+    pub fn is_degradable(&self) -> bool {
+        self.is_transient() || matches!(self, Error::KernelUnsupported { .. })
     }
 }
 
@@ -119,6 +176,15 @@ impl fmt::Display for Error {
             Error::Serialization { message } => {
                 write!(f, "serialization error: {message}")
             }
+            Error::ContextLost { backend } => {
+                write!(f, "backend {backend} lost its device context")
+            }
+            Error::ResourceExhausted { backend, message } => {
+                write!(f, "backend {backend} exhausted a device resource: {message}")
+            }
+            Error::KernelUnsupported { backend, kernel } => {
+                write!(f, "backend {backend} cannot run kernel {kernel}")
+            }
         }
     }
 }
@@ -147,5 +213,45 @@ mod tests {
     fn nan_error_names_kernel() {
         let e = Error::NanDetected { kernel: "log" };
         assert!(e.to_string().contains("log"));
+    }
+
+    #[test]
+    fn transient_and_degradable_classification() {
+        let lost = Error::context_lost("webgl");
+        let oom = Error::resource_exhausted("webgl", "texture allocation failed");
+        let unsupported = Error::kernel_unsupported("webgl", "MatMul");
+        let shape = Error::shape("matMul", "inner dims 3 vs 4");
+        let backend = Error::backend("webgl", "texture 7 does not exist");
+
+        assert!(lost.is_transient() && lost.is_degradable());
+        assert!(oom.is_transient() && oom.is_degradable());
+        assert!(!unsupported.is_transient() && unsupported.is_degradable());
+        assert!(!shape.is_transient() && !shape.is_degradable());
+        assert!(!backend.is_transient() && !backend.is_degradable());
+    }
+
+    #[test]
+    fn every_variant_displays_lowercase_with_context() {
+        let cases: Vec<Error> = vec![
+            Error::shape("matMul", "bad"),
+            Error::TensorDisposed { tensor_id: 3 },
+            Error::dtype("cast", "bad"),
+            Error::invalid("slice", "bad"),
+            Error::backend("webgl", "bad"),
+            Error::NanDetected { kernel: "log" },
+            Error::GradientNotDefined { op: "argMax" },
+            Error::UnknownBackend { name: "tpu".into() },
+            Error::Serialization { message: "bad".into() },
+            Error::context_lost("webgl"),
+            Error::resource_exhausted("webgl", "oom"),
+            Error::kernel_unsupported("webgl", "MatMul"),
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "display starts lowercase: {s}");
+            // std::error::Error is implemented for every variant.
+            let _: &dyn std::error::Error = &e;
+        }
     }
 }

@@ -7,6 +7,13 @@
 //! the webgl backend re-expresses the element-wise ones as data-parallel
 //! shader programs whose per-texel math routes through the same
 //! [`UnaryOp::apply`]/[`BinaryOp::apply`] scalar semantics.
+//!
+//! Backends must also preserve these loops' *accumulation order* (e.g. the
+//! inner-dimension order of [`matmul`], the row-major reduction order of
+//! [`reduce`]): with every backend bit-identical on `f32` devices, the
+//! engine's graceful degradation — re-dispatching a kernel on the next
+//! backend after a device fault — is numerically transparent, and the fault
+//! suite can assert exact equality between faulted and fault-free runs.
 
 use crate::backend::{ArgReduceOp, BinaryOp, PoolOp, ReduceOp, UnaryOp};
 use crate::conv_util::Conv2dInfo;

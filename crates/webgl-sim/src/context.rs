@@ -3,6 +3,7 @@
 //! fences, disjoint timer queries, recycling and paging.
 
 use crate::devices::DeviceProfile;
+use crate::fault::{ContextLossEvent, FaultPlan, FaultState, FaultStats};
 use crate::future::ReadFuture;
 use crate::layout::{LayoutError, TextureLayout};
 use crate::pager::{PagerStats, PagingPolicy};
@@ -11,6 +12,8 @@ use crate::recycler::RecyclerStats;
 use crate::shader::Program;
 use crate::texture::TextureFormat;
 use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,6 +69,37 @@ pub enum GlError {
     Layout(LayoutError),
     /// Readback failed.
     Read(String),
+    /// The WebGL context was lost (`webglcontextlost`). All device textures
+    /// are invalidated; uploads and draws fail until the context is
+    /// restored, but host-side shadow copies remain readable.
+    ContextLost,
+    /// Texture allocation failed: the driver refused `requested` bytes
+    /// against a `limit`-byte budget.
+    Oom {
+        /// Bytes the allocation asked for.
+        requested: usize,
+        /// The device's byte budget.
+        limit: usize,
+    },
+    /// The driver rejected a shader at compile time.
+    ShaderCompile {
+        /// Name of the rejected program.
+        program: String,
+    },
+    /// A readback failed transiently; retrying is expected to succeed.
+    TransientReadback {
+        /// 1-based count of injected readback failures so far.
+        attempt: u32,
+    },
+}
+
+impl GlError {
+    /// Whether retrying the same operation on the same context can succeed
+    /// without intervention (only transient readbacks qualify; context loss
+    /// needs a restore, OOM needs frees, compile failures are permanent).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GlError::TransientReadback { .. })
+    }
 }
 
 impl std::fmt::Display for GlError {
@@ -76,6 +110,16 @@ impl std::fmt::Display for GlError {
             }
             GlError::Layout(e) => write!(f, "{e}"),
             GlError::Read(e) => write!(f, "readback failed: {e}"),
+            GlError::ContextLost => write!(f, "webgl context lost"),
+            GlError::Oom { requested, limit } => {
+                write!(f, "texture allocation of {requested} bytes failed (limit {limit} bytes)")
+            }
+            GlError::ShaderCompile { program } => {
+                write!(f, "shader compilation failed for program {program}")
+            }
+            GlError::TransientReadback { attempt } => {
+                write!(f, "transient readback failure (injected failure #{attempt})")
+            }
         }
     }
 }
@@ -89,7 +133,7 @@ impl From<LayoutError> for GlError {
 }
 
 /// A handle to a device texture holding one logical tensor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TexHandle {
     /// Device texture id.
     pub id: TexId,
@@ -117,6 +161,12 @@ pub struct GpgpuContext {
     next_tex: AtomicU64,
     next_fence: AtomicU64,
     timing_mark: AtomicU64,
+    faults: FaultState,
+    /// Compiled-program cache, keyed by (name, packed). Compilation is
+    /// attempted on first use of each program variant and the result cached
+    /// — like a real GL program cache — so an injected compile failure
+    /// repeats deterministically and a context loss forces recompilation.
+    compiled: Mutex<HashSet<(&'static str, bool)>>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -127,6 +177,18 @@ impl GpgpuContext {
     /// [`GlError::Unsupported`] when the device lacks float-texture support
     /// — callers should fall back to the CPU backend, as TensorFlow.js does.
     pub fn new(profile: DeviceProfile, config: ContextConfig) -> Result<GpgpuContext, GlError> {
+        GpgpuContext::with_faults(profile, config, FaultPlan::none())
+    }
+
+    /// Create a context that injects faults according to `plan`.
+    ///
+    /// # Errors
+    /// [`GlError::Unsupported`] when the device lacks float-texture support.
+    pub fn with_faults(
+        profile: DeviceProfile,
+        config: ContextConfig,
+        plan: FaultPlan,
+    ) -> Result<GpgpuContext, GlError> {
         if !profile.supports_float_textures() {
             return Err(GlError::Unsupported { device: profile.name.clone() });
         }
@@ -148,6 +210,8 @@ impl GpgpuContext {
             next_tex: AtomicU64::new(1),
             next_fence: AtomicU64::new(1),
             timing_mark: AtomicU64::new(0),
+            faults: FaultState::new(plan),
+            compiled: Mutex::new(HashSet::new()),
             worker: Some(worker),
         })
     }
@@ -184,9 +248,33 @@ impl GpgpuContext {
     /// Upload host values as a new texture-backed tensor.
     ///
     /// # Errors
-    /// [`GlError::Layout`] when the tensor exceeds texture limits.
+    /// [`GlError::Layout`] when the tensor exceeds texture limits;
+    /// [`GlError::ContextLost`] / [`GlError::Oom`] under injected faults.
     pub fn upload(&self, data: Vec<f32>, shape: &[usize]) -> Result<TexHandle, GlError> {
-        let layout = self.compile_layout(shape, false)?;
+        self.try_upload(data, shape).map_err(|(e, _)| e)
+    }
+
+    /// Like [`upload`](Self::upload), but returns the data on failure so
+    /// callers can keep a host-side copy instead of losing the values —
+    /// the basis of graceful degradation in the WebGL backend.
+    ///
+    /// # Errors
+    /// As [`upload`](Self::upload), with the rejected data attached.
+    pub fn try_upload(
+        &self,
+        data: Vec<f32>,
+        shape: &[usize],
+    ) -> Result<TexHandle, (GlError, Vec<f32>)> {
+        if self.faults.is_lost() {
+            return Err((GlError::ContextLost, data));
+        }
+        let layout = match self.compile_layout(shape, false) {
+            Ok(l) => l,
+            Err(e) => return Err((e, data)),
+        };
+        if let Err(e) = self.check_alloc(&layout) {
+            return Err((e, data));
+        }
         let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
         self.sender
             .send(Command::Upload {
@@ -200,6 +288,23 @@ impl GpgpuContext {
         Ok(TexHandle { id, layout })
     }
 
+    /// Host-side allocation gate for the injected OOM fault: a real driver
+    /// reports `gl.OUT_OF_MEMORY` synchronously at texture creation. Only
+    /// runs (and only drains the queue, for an accurate residency figure)
+    /// when the fault plan sets a byte limit.
+    fn check_alloc(&self, layout: &TextureLayout) -> Result<(), GlError> {
+        if self.faults.plan().texture_byte_limit.is_none() {
+            return Ok(());
+        }
+        self.flush();
+        let requested = layout.byte_size();
+        let resident = self.shared.bytes_gpu.load(Ordering::Relaxed);
+        match self.faults.alloc_blocked(requested, resident, self.config.paging.enabled) {
+            Some(limit) => Err(GlError::Oom { requested, limit }),
+            None => Ok(()),
+        }
+    }
+
     /// Enqueue a program over `inputs`, returning the output handle
     /// immediately (sub-millisecond) while the device computes.
     ///
@@ -208,10 +313,26 @@ impl GpgpuContext {
     /// caller (programs carry a single body).
     ///
     /// # Errors
-    /// [`GlError::Layout`] when the output exceeds texture limits.
+    /// [`GlError::Layout`] when the output exceeds texture limits;
+    /// [`GlError::ContextLost`], [`GlError::ShaderCompile`] or
+    /// [`GlError::Oom`] under injected faults.
     pub fn run(&self, program: Program, inputs: &[&TexHandle]) -> Result<TexHandle, GlError> {
+        if self.faults.is_lost() {
+            return Err(GlError::ContextLost);
+        }
         let packed = program.is_packed() && self.config.packing;
+        self.compile_program(&program)?;
         let out_layout = self.compile_layout(&program.out_shape.clone(), packed)?;
+        self.check_alloc(&out_layout)?;
+        if let Some(event) = self.faults.before_draw() {
+            // The draw itself loses the context: invalidate every device
+            // texture (the device converts them to host-side shadows) and
+            // fire the `webglcontextlost` observers.
+            self.sender.send(Command::LoseContext).expect("device thread alive");
+            self.compiled.lock().clear();
+            self.faults.notify_loss(&event);
+            return Err(GlError::ContextLost);
+        }
         let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
         let in_layouts: Vec<TextureLayout> = inputs.iter().map(|h| h.layout.clone()).collect();
         self.sender
@@ -246,24 +367,102 @@ impl GpgpuContext {
         Ok(TexHandle { id: h.id, layout })
     }
 
+    /// Attempt to compile (or fetch from the program cache) a shader.
+    fn compile_program(&self, program: &Program) -> Result<(), GlError> {
+        let key = program.compile_key(self.config.packing);
+        let mut cache = self.compiled.lock();
+        if cache.contains(&key) {
+            return Ok(());
+        }
+        if self.faults.compile_blocked(program.name, self.profile.half_precision_only) {
+            return Err(GlError::ShaderCompile { program: program.name.to_string() });
+        }
+        cache.insert(key);
+        Ok(())
+    }
+
     /// Blocking readback (`gl.readPixels` after an implicit flush) — the
     /// `dataSync()` path of Figure 2.
     ///
+    /// Readback keeps working after a context loss: the device preserves
+    /// host-side shadows of invalidated textures, exactly the copies a
+    /// recovery path re-uploads elsewhere.
+    ///
     /// # Errors
-    /// [`GlError::Read`] when the texture does not exist.
+    /// [`GlError::Read`] when the texture does not exist;
+    /// [`GlError::TransientReadback`] under injected faults.
     pub fn read_sync(&self, h: &TexHandle) -> Result<Vec<f32>, GlError> {
-        self.read_async(h).wait().map_err(GlError::Read)
+        self.read_async_checked(h)?.wait().map_err(GlError::Read)
     }
 
     /// Asynchronous readback — the `data()` path of Figure 3. The future
     /// resolves once the device has executed all prior commands and copied
     /// the values out.
     pub fn read_async(&self, h: &TexHandle) -> ReadFuture {
+        match self.read_async_checked(h) {
+            Ok(f) => f,
+            Err(e) => {
+                let (future, promise) = ReadFuture::pending();
+                promise.complete(Err(e.to_string()));
+                future
+            }
+        }
+    }
+
+    /// Fallible asynchronous readback: transient faults are reported
+    /// synchronously as structured errors instead of through the future, so
+    /// callers can classify and retry.
+    ///
+    /// # Errors
+    /// [`GlError::TransientReadback`] under injected faults.
+    pub fn read_async_checked(&self, h: &TexHandle) -> Result<ReadFuture, GlError> {
+        if let Some(attempt) = self.faults.readback_blocked() {
+            return Err(GlError::TransientReadback { attempt });
+        }
         let (future, promise) = ReadFuture::pending();
         self.sender
             .send(Command::ReadPixels { tex: h.id, len: h.size(), promise })
             .expect("device thread alive");
-        future
+        Ok(future)
+    }
+
+    /// Whether the context is currently lost.
+    pub fn is_context_lost(&self) -> bool {
+        self.faults.is_lost()
+    }
+
+    /// Attempt to restore a lost context, like the browser's
+    /// `webglcontextrestored` flow. Returns whether the context is usable:
+    /// `true` when it was not lost, or when the fault plan allows
+    /// restoration. The program cache stays cleared after a loss, so
+    /// shaders recompile on next use; invalidated textures page back onto
+    /// the device lazily from their host shadows.
+    pub fn restore_context(&self) -> bool {
+        if !self.faults.is_lost() {
+            return true;
+        }
+        self.faults.try_restore()
+    }
+
+    /// Register an observer for context-loss events — the simulator's
+    /// `webglcontextlost` listener.
+    pub fn on_context_lost(&self, f: impl Fn(&ContextLossEvent) + Send + Sync + 'static) {
+        self.faults.add_observer(Box::new(f));
+    }
+
+    /// The fault plan this context was created with.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Counters of injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Number of program variants in the compiled-shader cache.
+    pub fn programs_compiled(&self) -> usize {
+        self.compiled.lock().len()
     }
 
     /// Release a texture back to the recycler.
@@ -455,6 +654,135 @@ mod tests {
         // Paged textures are still readable and correct.
         assert_eq!(c.read_sync(&handles[0]).unwrap()[0], 0.0);
         assert_eq!(c.read_sync(&handles[5]).unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn context_loss_invalidates_textures_but_preserves_shadows() {
+        use crate::fault::FaultPlan;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().lose_context_at(2),
+        )
+        .unwrap();
+        let events = Arc::new(AtomicU64::new(0));
+        let ev = events.clone();
+        c.on_context_lost(move |e| {
+            assert_eq!(e.draws_completed, 1);
+            assert!(e.restorable);
+            ev.fetch_add(1, Ordering::SeqCst);
+        });
+        let a = c.upload(vec![1.0, 2.0], &[2]).unwrap();
+        let double = || Program::per_element("Double", vec![2], |s, i, _| s.get_flat(0, i) * 2.0);
+        let out = c.run(double(), &[&a]).unwrap();
+        // Second draw loses the context.
+        assert_eq!(c.run(double(), &[&out]), Err(GlError::ContextLost));
+        assert!(c.is_context_lost());
+        assert_eq!(events.load(Ordering::SeqCst), 1);
+        // Uploads and draws fail while lost; reads serve host shadows.
+        assert!(matches!(c.upload(vec![0.0], &[1]), Err(GlError::ContextLost)));
+        assert_eq!(c.read_sync(&a).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(c.read_sync(&out).unwrap(), vec![2.0, 4.0]);
+        assert_eq!(c.memory().bytes_in_gpu, 0, "all textures invalidated");
+        // Restore: programs recompile, old textures page back in lazily.
+        assert_eq!(c.programs_compiled(), 0, "program cache cleared on loss");
+        assert!(c.restore_context());
+        let out2 = c.run(double(), &[&out]).unwrap();
+        assert_eq!(c.read_sync(&out2).unwrap(), vec![4.0, 8.0]);
+        assert_eq!(c.fault_stats().context_losses, 1);
+    }
+
+    #[test]
+    fn unrestorable_loss_stays_lost() {
+        use crate::fault::FaultPlan;
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().lose_context_at(1).unrestorable(),
+        )
+        .unwrap();
+        let a = c.upload(vec![1.0], &[1]).unwrap();
+        let prog = Program::per_element("Id", vec![1], |s, i, _| s.get_flat(0, i));
+        assert_eq!(c.run(prog, &[&a]), Err(GlError::ContextLost));
+        assert!(!c.restore_context());
+        assert!(c.is_context_lost());
+    }
+
+    #[test]
+    fn blocked_shader_fails_compile_deterministically() {
+        use crate::fault::FaultPlan;
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().block_shader("Square"),
+        )
+        .unwrap();
+        let a = c.upload(vec![3.0], &[1]).unwrap();
+        let square = || Program::per_element("Square", vec![1], |s, i, _| s.get_flat(0, i).powi(2));
+        let ok = Program::per_element("Cube", vec![1], |s, i, _| s.get_flat(0, i).powi(3));
+        for _ in 0..3 {
+            assert!(matches!(
+                c.run(square(), &[&a]),
+                Err(GlError::ShaderCompile { ref program }) if program == "Square"
+            ));
+        }
+        assert_eq!(c.read_sync(&c.run(ok, &[&a]).unwrap()).unwrap(), vec![27.0]);
+        assert_eq!(c.fault_stats().compile_failures, 3);
+        assert_eq!(c.programs_compiled(), 1);
+    }
+
+    #[test]
+    fn texture_byte_limit_injects_oom() {
+        use crate::fault::FaultPlan;
+        // No paging: cumulative pressure hits the limit.
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().with_texture_byte_limit(32 * 1024),
+        )
+        .unwrap();
+        let _a = c.upload(vec![0.0; 4096], &[4096]).unwrap(); // 16 KB
+        let _b = c.upload(vec![0.0; 4096], &[4096]).unwrap(); // 32 KB
+        let err = c.upload(vec![0.0; 4096], &[4096]).unwrap_err();
+        assert!(matches!(err, GlError::Oom { limit, .. } if limit == 32 * 1024));
+        assert_eq!(c.fault_stats().oom_failures, 1);
+
+        // With paging enabled, the same pressure is absorbed by page-outs.
+        let config = ContextConfig {
+            paging: PagingPolicy { enabled: true, threshold_bytes: 24 * 1024 },
+            ..Default::default()
+        };
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            config,
+            FaultPlan::none().with_texture_byte_limit(32 * 1024),
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(c.upload(vec![i as f32; 4096], &[4096]).unwrap());
+        }
+        assert!(c.memory().pager.page_outs > 0);
+        assert_eq!(c.read_sync(&handles[0]).unwrap()[0], 0.0);
+        // A single allocation beyond the limit still fails.
+        assert!(matches!(c.upload(vec![0.0; 16384], &[16384]), Err(GlError::Oom { .. })));
+    }
+
+    #[test]
+    fn transient_readback_errors_then_succeeds() {
+        use crate::fault::FaultPlan;
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().with_readback_failures(1.0, 2),
+        )
+        .unwrap();
+        let h = c.upload(vec![5.0], &[1]).unwrap();
+        assert!(matches!(c.read_sync(&h), Err(GlError::TransientReadback { attempt: 1 })));
+        assert!(c.read_sync(&h).unwrap_err().is_transient());
+        assert_eq!(c.read_sync(&h).unwrap(), vec![5.0]);
+        assert_eq!(c.fault_stats().transient_read_failures, 2);
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the simulated WebGL device.
+//!
+//! Real browsers take the GPU away: tabs are backgrounded and the context is
+//! lost, drivers reject shaders on restrictive devices, texture allocation
+//! fails under memory pressure, and readbacks occasionally fail transiently.
+//! TensorFlow.js survives these by construction — this module reproduces
+//! them on the simulator so the engine's degradation ladder can be tested
+//! deterministically.
+//!
+//! A [`FaultPlan`] is a seedable schedule of injected faults. All fault
+//! decisions are made host-side, synchronously, at enqueue time, so callers
+//! observe failures exactly where a real WebGL binding reports them
+//! (`gl.getError`, `webglcontextlost`, shader compile status) and can react
+//! at kernel granularity. The same plan with the same call sequence always
+//! injects the same faults.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// A deterministic schedule of faults to inject into a context.
+///
+/// The default plan injects nothing. Use the builder-style methods for
+/// targeted scenarios, or [`FaultPlan::from_seed`] for a randomized-but-
+/// reproducible mixture (the fault-soak configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (probabilistic faults draw from a splitmix64
+    /// stream seeded here; two contexts with equal plans fault identically).
+    pub seed: u64,
+    /// Lose the context at the N-th draw call (1-based), like a browser
+    /// reclaiming the GPU mid-inference.
+    pub context_loss_at_draw: Option<u64>,
+    /// Additionally lose the context at any draw with this probability.
+    pub context_loss_probability: f64,
+    /// Whether [`restore_context`](crate::GpgpuContext::restore_context)
+    /// succeeds after a loss (browsers may or may not restore).
+    pub restorable: bool,
+    /// Programs whose compilation fails, by name prefix: blocking
+    /// `"MatMul"` rejects both `MatMul` and `MatMulPacked`, modeling a
+    /// driver that cannot compile that shader family.
+    pub shader_compile_blocklist: Vec<String>,
+    /// Fail every shader compile on half-precision-only devices, modeling
+    /// mobile drivers whose compilers reject highp-dependent sources.
+    pub compile_fails_on_half_precision: bool,
+    /// Texture allocation fails once GPU residency would exceed this many
+    /// bytes (and any single allocation above it fails outright), modeling
+    /// driver OOM. Paging, when enabled, absorbs pressure below the limit.
+    pub texture_byte_limit: Option<usize>,
+    /// Probability that a readback fails transiently.
+    pub readback_failure_rate: f64,
+    /// Upper bound on injected transient readback failures (total), so a
+    /// bounded retry policy is guaranteed to eventually succeed.
+    pub max_transient_readbacks: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            context_loss_at_draw: None,
+            context_loss_probability: 0.0,
+            restorable: true,
+            shader_compile_blocklist: Vec::new(),
+            compile_fails_on_half_precision: false,
+            texture_byte_limit: None,
+            readback_failure_rate: 0.0,
+            max_transient_readbacks: 0,
+        }
+    }
+
+    /// A reproducible fault mixture derived from `seed` — the fault-soak
+    /// configuration. Every seed yields some combination of context loss
+    /// (within the first few draws), transient readback failures, and a
+    /// restorability bit; numerics must survive all of them.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        let r0 = splitmix64(&mut s);
+        let r1 = splitmix64(&mut s);
+        let r2 = splitmix64(&mut s);
+        FaultPlan {
+            seed,
+            // Lose the context early (draws 1..=8) on three seeds out of
+            // four; the remaining quarter exercises readback faults alone.
+            context_loss_at_draw: if r0 % 4 != 3 { Some(1 + r1 % 8) } else { None },
+            context_loss_probability: 0.0,
+            restorable: r0 & 1 == 0,
+            shader_compile_blocklist: Vec::new(),
+            compile_fails_on_half_precision: false,
+            texture_byte_limit: None,
+            // A modest transient-readback rate, capped so any bounded
+            // retry (>= 3 attempts) is guaranteed to make progress.
+            readback_failure_rate: 0.1 + (r2 % 100) as f64 / 500.0,
+            max_transient_readbacks: 2,
+        }
+    }
+
+    /// Lose the context at the given 1-based draw call.
+    pub fn lose_context_at(mut self, draw: u64) -> FaultPlan {
+        self.context_loss_at_draw = Some(draw);
+        self
+    }
+
+    /// Mark the context as unrestorable after a loss.
+    pub fn unrestorable(mut self) -> FaultPlan {
+        self.restorable = false;
+        self
+    }
+
+    /// Fail compilation of programs whose name starts with `name`.
+    pub fn block_shader(mut self, name: impl Into<String>) -> FaultPlan {
+        self.shader_compile_blocklist.push(name.into());
+        self
+    }
+
+    /// Inject allocation OOM above `bytes` of GPU residency.
+    pub fn with_texture_byte_limit(mut self, bytes: usize) -> FaultPlan {
+        self.texture_byte_limit = Some(bytes);
+        self
+    }
+
+    /// Inject transient readback failures at `rate`, at most `max` total.
+    pub fn with_readback_failures(mut self, rate: f64, max: u32) -> FaultPlan {
+        self.readback_failure_rate = rate;
+        self.max_transient_readbacks = max;
+        self
+    }
+
+    /// Whether this plan can inject any fault at all.
+    pub fn is_faulty(&self) -> bool {
+        self.context_loss_at_draw.is_some()
+            || self.context_loss_probability > 0.0
+            || !self.shader_compile_blocklist.is_empty()
+            || self.compile_fails_on_half_precision
+            || self.texture_byte_limit.is_some()
+            || self.readback_failure_rate > 0.0
+    }
+}
+
+/// Notification payload delivered to context-loss observers — the
+/// simulator's `webglcontextlost` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextLossEvent {
+    /// Draw calls completed before the loss (the failing draw excluded).
+    pub draws_completed: u64,
+    /// Whether `restore_context` can bring the context back.
+    pub restorable: bool,
+}
+
+/// Counters for injected faults, exposed via
+/// [`fault_stats`](crate::GpgpuContext::fault_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Context losses triggered.
+    pub context_losses: u64,
+    /// Allocation failures injected.
+    pub oom_failures: u64,
+    /// Shader compilations rejected.
+    pub compile_failures: u64,
+    /// Transient readback failures injected.
+    pub transient_read_failures: u64,
+}
+
+/// Host-side runtime state evaluating a [`FaultPlan`]. All checks happen at
+/// enqueue time on the host thread, never on the device thread, so fault
+/// decisions are synchronous and deterministic.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<u64>,
+    draws: AtomicU64,
+    lost: AtomicBool,
+    transient_reads: AtomicU32,
+    stats: Mutex<FaultStats>,
+    #[allow(clippy::type_complexity)]
+    observers: Mutex<Vec<Box<dyn Fn(&ContextLossEvent) + Send + Sync>>>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> FaultState {
+        let rng_seed = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        FaultState {
+            plan,
+            rng: Mutex::new(rng_seed),
+            draws: AtomicU64::new(0),
+            lost: AtomicBool::new(false),
+            transient_reads: AtomicU32::new(0),
+            stats: Mutex::new(FaultStats::default()),
+            observers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock()
+    }
+
+    pub fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Clear the lost flag; `true` when the plan allows restoration.
+    pub fn try_restore(&self) -> bool {
+        if !self.plan.restorable {
+            return false;
+        }
+        self.lost.store(false, Ordering::SeqCst);
+        true
+    }
+
+    pub fn add_observer(&self, f: Box<dyn Fn(&ContextLossEvent) + Send + Sync>) {
+        self.observers.lock().push(f);
+    }
+
+    pub fn notify_loss(&self, event: &ContextLossEvent) {
+        for obs in self.observers.lock().iter() {
+            obs(event);
+        }
+    }
+
+    /// Account a draw call; `Some(event)` when this draw loses the context.
+    pub fn before_draw(&self) -> Option<ContextLossEvent> {
+        let draw = self.draws.fetch_add(1, Ordering::SeqCst) + 1;
+        let scheduled = self.plan.context_loss_at_draw == Some(draw);
+        let random = self.plan.context_loss_probability > 0.0
+            && self.next_f64() < self.plan.context_loss_probability;
+        if !(scheduled || random) || self.lost.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        self.stats.lock().context_losses += 1;
+        Some(ContextLossEvent { draws_completed: draw - 1, restorable: self.plan.restorable })
+    }
+
+    /// Whether compiling `program` must fail under this plan.
+    pub fn compile_blocked(&self, program: &str, half_precision_device: bool) -> bool {
+        let blocked = (self.plan.compile_fails_on_half_precision && half_precision_device)
+            || self.plan.shader_compile_blocklist.iter().any(|b| program.starts_with(b.as_str()));
+        if blocked {
+            self.stats.lock().compile_failures += 1;
+        }
+        blocked
+    }
+
+    /// Check an allocation of `requested` bytes against the byte limit,
+    /// given current residency; `Some(limit)` when it must fail. Paging,
+    /// when enabled, keeps residency under the limit on its own, so only
+    /// single allocations above the limit fail.
+    pub fn alloc_blocked(
+        &self,
+        requested: usize,
+        resident: usize,
+        paging_enabled: bool,
+    ) -> Option<usize> {
+        let limit = self.plan.texture_byte_limit?;
+        let oom = requested > limit || (!paging_enabled && resident + requested > limit);
+        if oom {
+            self.stats.lock().oom_failures += 1;
+            Some(limit)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this readback fails transiently; `Some(attempt)` carries the
+    /// 1-based injected-failure count. Bounded by the plan's maximum, so
+    /// retries always make progress.
+    pub fn readback_blocked(&self) -> Option<u32> {
+        if self.plan.readback_failure_rate <= 0.0 {
+            return None;
+        }
+        if self.transient_reads.load(Ordering::SeqCst) >= self.plan.max_transient_readbacks {
+            return None;
+        }
+        if self.next_f64() >= self.plan.readback_failure_rate {
+            return None;
+        }
+        let n = self.transient_reads.fetch_add(1, Ordering::SeqCst) + 1;
+        if n > self.plan.max_transient_readbacks {
+            return None;
+        }
+        self.stats.lock().transient_read_failures += 1;
+        Some(n)
+    }
+
+    fn next_f64(&self) -> f64 {
+        let mut s = self.rng.lock();
+        let r = splitmix64(&mut s);
+        (r >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// splitmix64 step — the same tiny generator the rest of the workspace uses
+/// for reproducible pseudo-randomness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let s = FaultState::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(s.before_draw().is_none());
+            assert!(s.readback_blocked().is_none());
+        }
+        assert!(!s.compile_blocked("MatMul", false));
+        assert!(s.alloc_blocked(usize::MAX / 2, 0, false).is_none());
+        assert!(!FaultPlan::none().is_faulty());
+    }
+
+    #[test]
+    fn scheduled_loss_fires_exactly_once() {
+        let s = FaultState::new(FaultPlan::none().lose_context_at(3));
+        assert!(s.before_draw().is_none());
+        assert!(s.before_draw().is_none());
+        let e = s.before_draw().expect("third draw loses the context");
+        assert_eq!(e.draws_completed, 2);
+        assert!(e.restorable);
+        assert!(s.is_lost());
+        assert_eq!(s.stats().context_losses, 1);
+    }
+
+    #[test]
+    fn blocklist_matches_by_prefix() {
+        let s = FaultState::new(FaultPlan::none().block_shader("MatMul"));
+        assert!(s.compile_blocked("MatMul", false));
+        assert!(s.compile_blocked("MatMulPacked", false));
+        assert!(!s.compile_blocked("Binary", false));
+    }
+
+    #[test]
+    fn alloc_limit_interacts_with_paging() {
+        let s = FaultState::new(FaultPlan::none().with_texture_byte_limit(1000));
+        // Single allocation above the limit always fails.
+        assert_eq!(s.alloc_blocked(2000, 0, true), Some(1000));
+        // Cumulative pressure fails only without paging.
+        assert_eq!(s.alloc_blocked(600, 600, false), Some(1000));
+        assert!(s.alloc_blocked(600, 600, true).is_none());
+    }
+
+    #[test]
+    fn transient_readbacks_are_bounded() {
+        let plan = FaultPlan::none().with_readback_failures(1.0, 2);
+        let s = FaultState::new(plan);
+        assert_eq!(s.readback_blocked(), Some(1));
+        assert_eq!(s.readback_blocked(), Some(2));
+        for _ in 0..50 {
+            assert!(s.readback_blocked().is_none());
+        }
+        assert_eq!(s.stats().transient_read_failures, 2);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_bounded() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            if let Some(d) = a.context_loss_at_draw {
+                assert!((1..=8).contains(&d));
+            }
+            assert!(a.readback_failure_rate < 0.31);
+            assert!(a.max_transient_readbacks <= 2);
+        }
+        assert!(FaultPlan::from_seed(1).is_faulty());
+    }
+
+    #[test]
+    fn restore_respects_restorable_bit() {
+        let s = FaultState::new(FaultPlan::none().lose_context_at(1).unrestorable());
+        s.before_draw();
+        assert!(s.is_lost());
+        assert!(!s.try_restore());
+        assert!(s.is_lost());
+
+        let s = FaultState::new(FaultPlan::none().lose_context_at(1));
+        s.before_draw();
+        assert!(s.try_restore());
+        assert!(!s.is_lost());
+    }
+
+    #[test]
+    fn observers_receive_loss_events() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let s = FaultState::new(FaultPlan::none().lose_context_at(1));
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        s.add_observer(Box::new(move |e| {
+            assert_eq!(e.draws_completed, 0);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let e = s.before_draw().unwrap();
+        s.notify_loss(&e);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -12,7 +12,7 @@
 use crate::texture::TextureFormat;
 
 /// A compiled logical→physical mapping for one tensor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TextureLayout {
     /// Logical shape.
     pub logical: Vec<usize>,
@@ -127,6 +127,12 @@ impl TextureLayout {
     /// Texel count of the physical texture.
     pub fn texels(&self) -> usize {
         self.tex_rows * self.tex_cols
+    }
+
+    /// Bytes of device memory an allocation with this layout occupies —
+    /// what the driver's allocator (and the injected OOM fault) sees.
+    pub fn byte_size(&self) -> usize {
+        self.texels() * self.format.channels() * self.format.bytes_per_channel()
     }
 
     /// Map logical N-D coordinates to the flat channel slot.

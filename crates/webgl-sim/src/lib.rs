@@ -26,12 +26,17 @@
 //! - A **device capability database** ([`devices`]) models the WebGL
 //!   support landscape of Sec 4.1.3 (OES_texture_float availability,
 //!   16-bit-only mobile GPUs, market shares).
+//! - **Deterministic fault injection** ([`fault`]): seedable plans for
+//!   context loss, shader-compile failure, allocation OOM and transient
+//!   readback errors, so the engine's graceful-degradation ladder can be
+//!   exercised reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod context;
 pub mod devices;
 pub mod f16;
+pub mod fault;
 pub mod future;
 pub mod layout;
 pub mod pager;
@@ -42,6 +47,7 @@ pub mod shader;
 pub mod texture;
 
 pub use context::{ContextConfig, GpgpuContext, GpuMemoryStats, TexHandle};
+pub use fault::{ContextLossEvent, FaultPlan, FaultStats};
 pub use devices::{DeviceClass, DeviceProfile, GlVersion};
 pub use future::ReadFuture;
 pub use layout::TextureLayout;

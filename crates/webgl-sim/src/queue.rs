@@ -101,6 +101,10 @@ pub enum Command {
         /// Completion promise.
         promise: ReadPromise,
     },
+    /// The context was lost: invalidate every device texture. GPU residency
+    /// drops to zero; contents are preserved as host-side shadows (the
+    /// copies a recovery path re-uploads), so readback keeps working.
+    LoseContext,
     /// Stop the device thread.
     Shutdown,
 }
@@ -223,6 +227,36 @@ pub fn device_loop(
             }
             Command::Flush { promise } => {
                 promise.complete(Ok(Vec::new()));
+            }
+            Command::LoseContext => {
+                // All GPU-resident textures are gone. Keep each texture's
+                // values as a host shadow in the paged state so readback
+                // (and later lazy re-upload) still works; drop the
+                // recycler's free pool outright.
+                shared.recycler.lock().clear();
+                let mut textures = shared.textures.lock();
+                let mut freed = 0usize;
+                let mut shadow_bytes = 0usize;
+                for slot in textures.values_mut() {
+                    if matches!(slot.state, SlotState::Gpu(_)) {
+                        let placeholder = SlotState::Paged {
+                            rows: 0,
+                            cols: 0,
+                            format: TextureFormat::R32F,
+                            data: Vec::new(),
+                        };
+                        if let SlotState::Gpu(t) = std::mem::replace(&mut slot.state, placeholder)
+                        {
+                            freed += t.byte_size();
+                            let (rows, cols, format, data) = t.into_shadow();
+                            shadow_bytes += data.len() * 4;
+                            slot.state = SlotState::Paged { rows, cols, format, data };
+                        }
+                    }
+                }
+                drop(textures);
+                shared.bytes_gpu.fetch_sub(freed, Ordering::Relaxed);
+                shared.pager.lock().bytes_paged += shadow_bytes;
             }
             Command::Shutdown => break,
         }

@@ -122,6 +122,14 @@ impl Program {
     pub fn is_packed(&self) -> bool {
         matches!(self.body, ProgramBody::Packed(_))
     }
+
+    /// Identity under which a context caches this program's compiled
+    /// shader: the name plus which body variant actually runs (a packed
+    /// body compiles to different GLSL than a per-element body, so the two
+    /// are distinct cache entries and fail compilation independently).
+    pub fn compile_key(&self, packing_enabled: bool) -> (&'static str, bool) {
+        (self.name, self.is_packed() && packing_enabled)
+    }
 }
 
 impl std::fmt::Debug for Program {

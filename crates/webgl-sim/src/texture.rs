@@ -115,6 +115,13 @@ impl Texture {
     pub fn fetch(&self, slot: usize) -> f32 {
         self.data[slot]
     }
+
+    /// Decompose into the host-side shadow a context loss (or page-out)
+    /// leaves behind: physical geometry plus the values, with the device
+    /// allocation given up.
+    pub fn into_shadow(self) -> (usize, usize, TextureFormat, Vec<f32>) {
+        (self.rows, self.cols, self.format, self.data)
+    }
 }
 
 #[cfg(test)]

@@ -54,8 +54,10 @@ pub use webml_models as models;
 pub use webml_webgl_sim as webgl_sim;
 
 pub use webml_core::{
-    ops, DType, Engine, Error, MemoryPolicy, Result, Shape, Tensor, TensorData, Variable,
+    ops, DType, DegradationEvent, Engine, Error, MemoryPolicy, Result, Shape, Tensor, TensorData,
+    Variable,
 };
+pub use webml_webgl_sim::{ContextLossEvent, FaultPlan};
 
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -88,6 +90,23 @@ pub fn new_engine() -> Engine {
         engine.register_backend("webgl", Arc::new(webgl), 2);
     }
     engine.register_backend("native", Arc::new(NativeBackend::new()), 3);
+    engine
+}
+
+/// Create a fresh, private engine whose `webgl` backend injects faults
+/// according to `plan`, with the reference `cpu` backend registered below
+/// it as the degradation target. The `webgl` backend is the default, so
+/// kernels hit the faulty device first and the engine's graceful
+/// degradation (retry, then fall back down the priority chain) can be
+/// observed via [`Engine::degradations`] and `Engine::memory()`.
+pub fn new_engine_with_faults(plan: FaultPlan) -> Engine {
+    let engine = Engine::new();
+    engine.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+    if let Ok(webgl) =
+        WebGlBackend::with_faults(DeviceProfile::intel_iris_pro(), WebGlConfig::default(), plan)
+    {
+        engine.register_backend("webgl", Arc::new(webgl), 2);
+    }
     engine
 }
 

@@ -146,3 +146,33 @@ fn batchnorm_model_trains_and_switches_modes() {
     let p2 = model.predict(&xs).unwrap().to_f32_vec().unwrap();
     assert_eq!(p1, p2);
 }
+
+#[test]
+fn mlp_survives_context_loss_with_single_degradation() {
+    // A scheduled WebGL context loss mid-training must be invisible except
+    // for exactly one degradation event: the fit completes on the cpu
+    // fallback and predictions match a fault-free CPU-only run.
+    let run = |engine: &webml::Engine| -> Vec<f32> {
+        let mut model = Sequential::new(engine).with_seed(7);
+        model.add(Dense::new(8).with_input_dim(2).with_activation(Activation::Tanh));
+        model.add(Dense::new(1).with_activation(Activation::Sigmoid));
+        model.compile(Loss::MeanSquaredError, Box::new(Sgd::new(0.5)));
+        let data = synthetic::xor(1, 1);
+        let (xs, ys) = data.to_tensors(engine).unwrap();
+        model
+            .fit(&xs, &ys, FitConfig { epochs: 20, batch_size: 4, seed: 2, ..Default::default() })
+            .unwrap();
+        model.predict(&xs).unwrap().to_f32_vec().unwrap()
+    };
+
+    let faulty = webml::new_engine_with_faults(webml::FaultPlan::none().lose_context_at(5));
+    assert_eq!(faulty.backend_name(), "webgl");
+    let preds = run(&faulty);
+    assert_eq!(faulty.degradations(), 1, "exactly one webgl→cpu fallback");
+    assert_eq!(faulty.backend_name(), "cpu");
+    assert_eq!(faulty.degradation_events()[0].from_backend, "webgl");
+
+    let reference = webml::new_engine();
+    reference.set_backend("cpu").unwrap();
+    assert_eq!(preds, run(&reference), "degraded training must match the CPU run");
+}

@@ -1,0 +1,255 @@
+//! Offline drop-in subset of `criterion`, vendored for the air-gapped build.
+//!
+//! Provides the group/bench_function/iter API the workspace's benches use,
+//! backed by a simple mean-of-N wall-clock timer instead of criterion's
+//! statistical machinery. Prints one line per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // First non-flag CLI argument acts as a name filter, like criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        run_one(&filter, &id.to_string(), 10, Duration::from_secs(1), Duration::from_millis(300), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.filter, &full, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the measured closure; drives iteration batches.
+pub struct Bencher {
+    batch_nanos: Vec<u128>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; the harness averages over batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(f());
+        }
+        self.batch_nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+fn run_one<F>(
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // Warm-up: discover a per-batch iteration count that fits the budget.
+    let mut bencher = Bencher { batch_nanos: Vec::new(), iters_per_batch: 1 };
+    let warm_start = Instant::now();
+    let mut batches = 0u64;
+    while warm_start.elapsed() < warm_up_time || batches == 0 {
+        f(&mut bencher);
+        batches += 1;
+        if batches > 1_000_000 {
+            break;
+        }
+    }
+    let warm_mean = bencher
+        .batch_nanos
+        .iter()
+        .copied()
+        .sum::<u128>()
+        .checked_div(bencher.batch_nanos.len() as u128)
+        .unwrap_or(1)
+        .max(1);
+    let budget_per_sample =
+        (measurement_time.as_nanos() / sample_size.max(1) as u128).max(1);
+    let iters = (budget_per_sample / warm_mean).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher { batch_nanos: Vec::new(), iters_per_batch: iters };
+    for _ in 0..sample_size.max(1) {
+        f(&mut bencher);
+    }
+    let per_iter: Vec<f64> = bencher
+        .batch_nanos
+        .iter()
+        .map(|&n| n as f64 / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("{id:<60} time: [{} {} {}]", fmt_nanos(min), fmt_nanos(mean), fmt_nanos(max));
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        group.bench_function("count", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".to_string()) };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

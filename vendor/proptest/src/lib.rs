@@ -1,0 +1,291 @@
+//! Offline drop-in subset of `proptest`, vendored for the air-gapped build.
+//!
+//! Implements the surface the workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]`, `name in strategy`
+//! arguments, numeric `Range` strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros. Sampling is deterministic
+//! (SplitMix64 seeded per test) rather than truly random, and there is no
+//! shrinking — on failure the panic message reports the failing inputs via
+//! `Debug` instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic generator used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction (each generated test derives its own seed).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0xA076_1D64_78BD_642F }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The produced value type.
+    type Value: fmt::Debug;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy namespace (mirrors `proptest::prelude::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<T>` with a size drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `vec(element, len_range)` — as in proptest.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.clone().sample(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Runner configuration and failure plumbing.
+pub mod test_runner {
+    /// Per-block configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` sampled inputs per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Error carried out of a failing property body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure from any message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError { message: message.into() }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Deterministic per-test seed derived from the test name (FNV-1a).
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Define property tests: `proptest! { #![proptest_config(...)] fn ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    { ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )* } => {$(
+        $(#[$meta])*
+        #[allow(unused_mut)]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::TestRng::seed_from_u64($crate::__seed_for(stringify!($name)));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                // Describe inputs before the body, which may consume them.
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        e.message,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property body, failing the case (not panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(values in prop::collection::vec(-1.0f32..1.0, 1..16)) {
+            prop_assert!(!values.is_empty());
+            prop_assert!(values.len() < 16);
+            for v in &values {
+                prop_assert!((-1.0..1.0).contains(v), "{} out of range", v);
+            }
+        }
+
+        #[test]
+        fn int_ranges_sample_uniformly_enough(n in 1usize..8, seed in 0u64..1000) {
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline drop-in subset of `serde`, vendored for the air-gapped build.
+//!
+//! Instead of the real crate's visitor-based data model, this shim uses a
+//! direct value model: [`Serialize`] converts to a JSON-like [`Value`],
+//! [`Deserialize`] converts back. The `serde_json` shim re-exports [`Value`]
+//! and supplies text parsing/printing on top. The derive macros (from the
+//! vendored `serde_derive`) generate impls against these traits, covering the
+//! shapes this workspace uses: named-field structs, newtype structs, and
+//! enums with unit or tuple variants (with optional
+//! `#[serde(rename_all = "snake_case")]`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-like dynamically-typed value (shared data model for the shim).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: unsigned/signed integer or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays; `None` for non-arrays or out of range.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object entries view (insertion-ordered key/value pairs).
+    pub fn as_object_entries(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view (integers only, like serde_json).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            Value::Number(Number::NegInt(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Float view (any number coerces).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Types convertible into the shared [`Value`] model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from the shared [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns a [`de::Error`] when the value's shape does not match.
+    fn deserialize_value(value: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization error support.
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization error with a human-readable message.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom<T: fmt::Display>(message: T) -> Error {
+            Error { message: message.to_string() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Support helpers referenced by derive-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, Deserialize, Value};
+
+    /// Fetch and deserialize a named struct field.
+    pub fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, de::Error> {
+        match value.get(name) {
+            Some(v) => T::deserialize_value(v),
+            None => Err(de::Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+// --- Serialize impls for std types -----------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+// --- Deserialize impls for std types ---------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Value, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<bool, de::Error> {
+        value.as_bool().ok_or_else(|| de::Error::custom("expected bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<String, de::Error> {
+        value.as_str().map(str::to_string).ok_or_else(|| de::Error::custom("expected string"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<f64, de::Error> {
+        value.as_f64().ok_or_else(|| de::Error::custom("expected number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<f32, de::Error> {
+        value.as_f64().map(|f| f as f32).ok_or_else(|| de::Error::custom("expected number"))
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<$t, de::Error> {
+                value
+                    .as_u64()
+                    .ok_or_else(|| de::Error::custom("expected unsigned integer"))
+                    .map(|v| v as $t)
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<$t, de::Error> {
+                value
+                    .as_i64()
+                    .ok_or_else(|| de::Error::custom("expected integer"))
+                    .map(|v| v as $t)
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Option<T>, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Vec<T>, de::Error> {
+        value
+            .as_array()
+            .ok_or_else(|| de::Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    // Ensure floats keep a decimal point so they reparse as
+                    // floats when they happen to be whole numbers.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serialize as null like serde_json's
+                    // lossy modes.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Number(Number::PosInt(3))),
+            ("b".to_string(), Value::String("hi".to_string())),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v["b"], "hi");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn round_trip_primitives() {
+        assert_eq!(usize::deserialize_value(&5usize.serialize_value()).unwrap(), 5);
+        assert_eq!(f32::deserialize_value(&1.5f32.serialize_value()).unwrap(), 1.5);
+        assert_eq!(
+            Vec::<usize>::deserialize_value(&vec![1usize, 2].serialize_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+    }
+}

@@ -1,0 +1,449 @@
+//! Offline drop-in subset of `serde_derive`, vendored for the air-gapped
+//! build. Parses the input token stream directly (no `syn`/`quote`) and
+//! emits impls of the shim's value-model `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - structs with named fields
+//! - newtype structs (`struct Shape(Vec<usize>)`) — transparent
+//! - enums whose variants are unit or tuple style, honoring
+//!   `#[serde(rename_all = "snake_case")]`; externally tagged like serde:
+//!   unit => `"name"`, 1-tuple => `{"name": payload}`,
+//!   n-tuple => `{"name": [payloads...]}`
+//!
+//! Anything else (generics, named-field variants, other serde attributes)
+//! produces a `compile_error!` so misuse fails loudly rather than silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Enum of unit/tuple variants: `(ident, arity)`.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Input {
+    name: String,
+    snake_case: bool,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&parsed),
+                Mode::Deserialize => gen_deserialize(&parsed),
+            };
+            code.parse().expect("serde_derive shim generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("compile_error parse"),
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut snake_case = false;
+
+    // Leading attributes (doc comments, #[serde(...)], #[repr(...)], ...).
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_snake_case_rename(&g.stream()) {
+                        snake_case = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1; // pub(crate) etc.
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        _ => return Err("serde shim derive: expected `struct` or `enum`".to_string()),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            let n = id.to_string();
+            i += 1;
+            n
+        }
+        _ => return Err("serde shim derive: expected type name".to_string()),
+    };
+
+    // Reject generics: none of the workspace's derived types are generic, and
+    // supporting them without syn is not worth the complexity.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive: generic type `{name}` is not supported"));
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::TupleStruct(0),
+            _ => return Err("serde shim derive: malformed struct body".to_string()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(&g.stream())?)
+            }
+            _ => return Err("serde shim derive: malformed enum body".to_string()),
+        }
+    };
+
+    Ok(Input { name, snake_case, body })
+}
+
+/// Does this attribute body look like `serde(rename_all = "snake_case")`?
+fn attr_is_snake_case_rename(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(g)) => {
+            let inner = g.stream().to_string();
+            inner.contains("rename_all") && inner.contains("snake_case")
+        }
+        _ => false,
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes on the field.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim derive: expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma (angle-bracket aware).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple body: number of top-level comma-separated fields.
+fn count_top_level_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// `(name, arity)` for each enum variant; named-field variants are rejected.
+fn parse_variants(stream: &TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(&g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde shim derive: named-field variant `{name}` is not supported"
+                ));
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+// --- codegen ---------------------------------------------------------------
+
+/// CamelCase -> snake_case (serde's `rename_all = "snake_case"` rule).
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(input: &Input, variant: &str) -> String {
+    if input.snake_case {
+        to_snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(entries)"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    let key = variant_key(input, v);
+                    match arity {
+                        0 => format!(
+                            "{name}::{v} => ::serde::Value::String({key:?}.to_string()),\n"
+                        ),
+                        1 => format!(
+                            "{name}::{v}(f0) => ::serde::Value::Object(vec![({key:?}.to_string(), \
+                             ::serde::Serialize::serialize_value(f0))]),\n"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({}) => ::serde::Value::Object(vec![({key:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::get_field(value, {f:?})?,\n"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(value)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for tuple struct\"))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple struct arity\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| {
+                    let key = variant_key(input, v);
+                    format!("{key:?} => return ::std::result::Result::Ok({name}::{v}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    let key = variant_key(input, v);
+                    if *arity == 1 {
+                        format!(
+                            "{key:?} => return ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(payload)?)),\n"
+                        )
+                    } else {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        format!(
+                            "{key:?} => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"expected array payload\"))?;\n\
+                             if items.len() != {arity} {{ return ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(\"wrong variant arity\")); }}\n\
+                             return ::std::result::Result::Ok({name}::{v}({}));\n}}\n",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+                 match s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(entries) = value.as_object_entries() {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"invalid value for enum {name}: {{value:?}}\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

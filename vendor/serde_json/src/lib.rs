@@ -1,0 +1,505 @@
+//! Offline drop-in subset of `serde_json`, vendored for the air-gapped build.
+//!
+//! Re-exports the shared [`Value`] model from the vendored `serde` shim and
+//! adds a JSON text parser, compact and pretty printers, `to_value`, and a
+//! `json!` macro (tt-muncher, like the real one) covering the literal shapes
+//! this workspace constructs.
+
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by JSON (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Error {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// --- conversions ------------------------------------------------------------
+
+/// Convert any `Serialize` type into a [`Value`].
+///
+/// # Errors
+/// Infallible in this shim; `Result` is kept for API parity.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuild a `Deserialize` type from a [`Value`].
+///
+/// # Errors
+/// Fails when the value's shape does not match `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+// --- printing ---------------------------------------------------------------
+
+/// Serialize to a compact JSON string.
+///
+/// # Errors
+/// Infallible in this shim; `Result` is kept for API parity.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string.
+///
+/// # Errors
+/// Infallible in this shim; `Result` is kept for API parity.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+///
+/// # Errors
+/// Infallible in this shim; `Result` is kept for API parity.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty-printed JSON bytes.
+///
+/// # Errors
+/// Infallible in this shim; `Result` is kept for API parity.
+pub fn to_vec_pretty<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parsing ----------------------------------------------------------------
+
+/// Parse JSON text into any `Deserialize` type.
+///
+/// # Errors
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {}", parser.pos)));
+    }
+    T::deserialize_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parse JSON bytes into any `Deserialize` type.
+///
+/// # Errors
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!("unexpected input {other:?} at offset {}", self.pos))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|e| Error::new(e.to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| Error::new(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (may be multi-byte).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::new(e.to_string()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!("expected `,` or `]`, got {other:?}")));
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::new(format!("expected `,` or `}}`, got {other:?}")));
+                }
+            }
+        }
+    }
+}
+
+// --- json! macro ------------------------------------------------------------
+
+/// Macro internals: convert an interpolated expression to a [`Value`].
+#[doc(hidden)]
+pub fn __value_of<T: Serialize>(value: T) -> Value {
+    value.serialize_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax (subset of serde_json's `json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::__json_array!(@acc [] @cur [] $($tt)+) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::__json_object!(@acc [] @key [] @cur [] $($tt)+) };
+    ($other:expr) => { $crate::__value_of(&$other) };
+}
+
+/// Tt-muncher for `json!` array bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    // Terminal: flush a pending element.
+    (@acc [$($out:expr,)*] @cur [$($cur:tt)+]) => {
+        $crate::Value::Array(vec![$($out,)* $crate::json!($($cur)+)])
+    };
+    // Terminal: trailing comma left nothing pending.
+    (@acc [$($out:expr,)*] @cur []) => {
+        $crate::Value::Array(vec![$($out,)*])
+    };
+    // Top-level comma finishes the current element.
+    (@acc [$($out:expr,)*] @cur [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($out,)* $crate::json!($($cur)+),] @cur [] $($rest)*)
+    };
+    // Otherwise munch one token into the current element.
+    (@acc [$($out:expr,)*] @cur [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($out,)*] @cur [$($cur)* $next] $($rest)*)
+    };
+}
+
+/// Tt-muncher for `json!` object bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    // Terminal: flush a pending pair.
+    (@acc [$($out:expr,)*] @key [$k:tt] @cur [$($cur:tt)+]) => {
+        $crate::Value::Object(vec![$($out,)* (($k).to_string(), $crate::json!($($cur)+))])
+    };
+    // Terminal: trailing comma left nothing pending.
+    (@acc [$($out:expr,)*] @key [] @cur []) => {
+        $crate::Value::Object(vec![$($out,)*])
+    };
+    // Top-level comma finishes the current pair.
+    (@acc [$($out:expr,)*] @key [$k:tt] @cur [$($cur:tt)+] , $($rest:tt)*) => {
+        $crate::__json_object!(
+            @acc [$($out,)* (($k).to_string(), $crate::json!($($cur)+)),] @key [] @cur [] $($rest)*
+        )
+    };
+    // Start of a pair: `"key" : ...`.
+    (@acc [$($out:expr,)*] @key [] @cur [] $k:tt : $($rest:tt)*) => {
+        $crate::__json_object!(@acc [$($out,)*] @key [$k] @cur [] $($rest)*)
+    };
+    // Otherwise munch one token into the current value.
+    (@acc [$($out:expr,)*] @key [$k:tt] @cur [$($cur:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_object!(@acc [$($out,)*] @key [$k] @cur [$($cur)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let v = json!({
+            "format": "test",
+            "count": 2,
+            "nested": { "items": names, "flag": true },
+            "list": [1, 2, 3],
+            "pi": 3.25,
+            "none": null,
+        });
+        assert_eq!(v["format"], "test");
+        assert_eq!(v["count"].as_u64(), Some(2));
+        assert_eq!(v["nested"]["items"][1], "b");
+        assert_eq!(v["list"].as_array().map(Vec::len), Some(3));
+        assert_eq!(v["pi"].as_f64(), Some(3.25));
+        assert!(v["none"].is_null());
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let v = json!({
+            "s": "he said \"hi\"\n",
+            "neg": -4,
+            "big": 4294967296u64,
+            "f": 0.5,
+            "arr": [[], {}, null, false],
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let v: Value = from_slice(br#"{"a": [1, 2.5, "x"], "b": null}"#).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2], "x");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": ").is_err());
+        assert!(from_str::<Value>("[1 2]").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+}
