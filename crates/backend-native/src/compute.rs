@@ -4,7 +4,24 @@
 //! (paper Sec 4.2).
 
 use crate::parallel::parallel_for_slices;
+use webml_core::backend::{BinaryOp, FusedStep, UnaryOp};
 use webml_core::conv_util::Conv2dInfo;
+
+/// The fused epilogue: optional per-channel bias add, then optional
+/// activation. Uses the same `BinaryOp::apply`/`UnaryOp::apply` scalar math
+/// as the unfused kernels so fused output is bit-identical to the
+/// matmul→add→activation composition.
+#[inline]
+fn apply_epilogue(v: f32, channel: usize, bias: Option<&[f32]>, act: Option<UnaryOp>) -> f32 {
+    let v = match bias {
+        Some(b) => BinaryOp::Add.apply(v, b[channel]),
+        None => v,
+    };
+    match act {
+        Some(a) => a.apply(v),
+        None => v,
+    }
+}
 
 /// Batched matmul `[b, m, k] x [b, k, n]` with transposes, parallel over
 /// output rows, ikj loop order for contiguous vectorizable inner loops.
@@ -20,7 +37,45 @@ pub fn matmul(
     transpose_b: bool,
     threads: usize,
 ) -> Vec<f32> {
+    matmul_impl(a, b, batch, m, k, n, transpose_a, transpose_b, None, None, threads)
+}
+
+/// Matmul with a fused epilogue: the bias add and activation run on each
+/// output row while it is still hot in cache, in the same parallel pass as
+/// the accumulation (no extra buffer, no second sweep over memory).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul(
+    a: &[f32],
+    b: &[f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    matmul_impl(a, b, batch, m, k, n, transpose_a, transpose_b, bias, activation, threads)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matmul_impl(
+    a: &[f32],
+    b: &[f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; batch * m * n];
+    let fused = bias.is_some() || activation.is_some();
     for bi in 0..batch {
         // Materialize row-major A [m,k] and B [k,n] so the inner loops are
         // contiguous (the copies are O(mk + kn), negligible vs O(mkn)).
@@ -38,6 +93,11 @@ pub fn matmul(
                     let b_row = &b_mat[p * n..(p + 1) * n];
                     for (o, &bv) in out_row.iter_mut().zip(b_row) {
                         *o += av * bv;
+                    }
+                }
+                if fused {
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = apply_epilogue(*o, j, bias, activation);
                     }
                 }
             }
@@ -62,6 +122,29 @@ fn gather_matrix(src: &[f32], rows: usize, cols: usize, transposed: bool) -> Vec
 
 /// conv2d via im2col + blocked matmul.
 pub fn conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    conv2d_impl(x, w, info, None, None, threads)
+}
+
+/// conv2d with the bias/activation epilogue fused into the im2col matmul.
+pub fn fused_conv2d(
+    x: &[f32],
+    w: &[f32],
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    conv2d_impl(x, w, info, bias, activation, threads)
+}
+
+fn conv2d_impl(
+    x: &[f32],
+    w: &[f32],
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
     let c = info;
     let patch = c.filter_height * c.filter_width * c.in_channels;
     let rows = c.batch * c.out_height * c.out_width;
@@ -92,13 +175,39 @@ pub fn conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f3
             }
         }
     });
-    // [rows, patch] x [patch, out_c].
-    matmul(&cols, w, 1, rows, patch, c.out_channels, false, false, threads)
+    // [rows, patch] x [patch, out_c]; the epilogue channel is the output
+    // column, i.e. the conv output channel.
+    matmul_impl(&cols, w, 1, rows, patch, c.out_channels, false, false, bias, activation, threads)
 }
 
 /// Depthwise conv2d, parallel over output pixels.
 pub fn depthwise_conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    depthwise_conv2d_impl(x, w, info, None, None, threads)
+}
+
+/// Depthwise conv2d with the bias/activation epilogue applied to each output
+/// pixel's channel slice right after its accumulation completes.
+pub fn fused_depthwise_conv2d(
+    x: &[f32],
+    w: &[f32],
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    depthwise_conv2d_impl(x, w, info, bias, activation, threads)
+}
+
+fn depthwise_conv2d_impl(
+    x: &[f32],
+    w: &[f32],
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
     let c = info.clone();
+    let fused = bias.is_some() || activation.is_some();
     let mul = c.channel_mul;
     let pixels = c.batch * c.out_height * c.out_width;
     let stride = c.out_channels;
@@ -139,6 +248,11 @@ pub fn depthwise_conv2d(x: &[f32], w: &[f32], info: &Conv2dInfo, threads: usize)
                             }
                         }
                     }
+                }
+            }
+            if fused {
+                for (och, d) in dst.iter_mut().enumerate() {
+                    *d = apply_epilogue(*d, och, bias, activation);
                 }
             }
         }
@@ -279,6 +393,77 @@ pub fn binary_map_suffix(
         for (k, (o, &u)) in chunk.iter_mut().zip(&a[range.clone()]).enumerate() {
             let i = range.start + k;
             *o = f(u, b[i % bl]);
+        }
+    });
+    out
+}
+
+/// Per-output-dimension element strides for sampling an input of shape
+/// `in_dims` at coordinates of the (right-aligned broadcast) output shape
+/// `out_dims`; broadcast dimensions get stride 0.
+fn broadcast_strides(in_dims: &[usize], out_dims: &[usize]) -> Vec<usize> {
+    let offset = out_dims.len() - in_dims.len();
+    let mut in_strides = vec![0usize; in_dims.len()];
+    let mut s = 1usize;
+    for d in (0..in_dims.len()).rev() {
+        in_strides[d] = s;
+        s *= in_dims[d];
+    }
+    let mut out = vec![0usize; out_dims.len()];
+    for (d, o) in out.iter_mut().enumerate() {
+        if d >= offset && in_dims[d - offset] != 1 {
+            *o = in_strides[d - offset];
+        }
+    }
+    out
+}
+
+/// A whole elementwise chain — `x` followed by `steps`, where binary steps
+/// pull their right-hand side from `extras` — evaluated in a single parallel
+/// pass with no intermediate buffers. Sampling every operand right-aligned
+/// against the *final* output coordinates is equivalent to the progressive
+/// per-step broadcast of the unfused chain because elementwise ops are
+/// pointwise, so fused output is bit-identical.
+pub fn fused_elementwise(
+    x: &[f32],
+    x_dims: &[usize],
+    extras: &[(&[f32], &[usize])],
+    steps: &[FusedStep],
+    out_dims: &[usize],
+    threads: usize,
+) -> Vec<f32> {
+    let size: usize = out_dims.iter().product::<usize>().max(1);
+    let rank = out_dims.len();
+    let mut out_strides = vec![1usize; rank];
+    for d in (0..rank.saturating_sub(1)).rev() {
+        out_strides[d] = out_strides[d + 1] * out_dims[d + 1];
+    }
+    let x_strides = broadcast_strides(x_dims, out_dims);
+    let extra_strides: Vec<Vec<usize>> =
+        extras.iter().map(|(_, dims)| broadcast_strides(dims, out_dims)).collect();
+    let sample = |strides: &[usize], flat: usize| -> usize {
+        let mut rem = flat;
+        let mut idx = 0usize;
+        for d in 0..rank {
+            idx += (rem / out_strides[d]) * strides[d];
+            rem %= out_strides[d];
+        }
+        idx
+    };
+    let mut out = vec![0.0f32; size];
+    parallel_for_slices(&mut out, size, 1, threads, |range, chunk| {
+        for (local, o) in chunk.iter_mut().enumerate() {
+            let flat = range.start + local;
+            let mut v = x[sample(&x_strides, flat)];
+            for step in steps {
+                v = match *step {
+                    FusedStep::Unary(op) => op.apply(v),
+                    FusedStep::Binary(op, i) => {
+                        op.apply(v, extras[i].0[sample(&extra_strides[i], flat)])
+                    }
+                };
+            }
+            *o = v;
         }
     });
     out

@@ -23,8 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use webml_core::backend::{
-    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, KTensor, KernelTiming,
-    PoolOp, ReduceOp, UnaryOp,
+    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, FusedStep, KTensor,
+    KernelTiming, PoolOp, ReduceOp, UnaryOp,
 };
 use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::{DType, TensorData};
@@ -477,6 +477,121 @@ impl Backend for NativeBackend {
             reference::resize_bilinear(xv.as_slice(), x.shape, new_h, new_w, align_corners),
             DType::F32,
         ))
+    }
+
+    fn fused_matmul(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        let _t = self.timer();
+        let x = self.fetch_f32(a.data)?;
+        let y = self.fetch_f32(b.data)?;
+        let bv = match bias {
+            Some(bt) => Some(self.fetch_f32(bt.data)?),
+            None => None,
+        };
+        let batch = a.shape.dim(0);
+        let (m, k) = if transpose_a {
+            (a.shape.dim(2), a.shape.dim(1))
+        } else {
+            (a.shape.dim(1), a.shape.dim(2))
+        };
+        let n = if transpose_b { b.shape.dim(1) } else { b.shape.dim(2) };
+        let out = compute::fused_matmul(
+            x.as_slice(),
+            y.as_slice(),
+            batch,
+            m,
+            k,
+            n,
+            transpose_a,
+            transpose_b,
+            bv.as_ref().map(|v| v.as_slice()),
+            activation,
+            self.threads,
+        );
+        Ok(self.put_f32(out, DType::F32))
+    }
+
+    fn fused_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let _t = self.timer();
+        let xv = self.fetch_f32(x.data)?;
+        let wv = self.fetch_f32(filter.data)?;
+        let bv = match bias {
+            Some(bt) => Some(self.fetch_f32(bt.data)?),
+            None => None,
+        };
+        let out = compute::fused_conv2d(
+            xv.as_slice(),
+            wv.as_slice(),
+            info,
+            bv.as_ref().map(|v| v.as_slice()),
+            activation,
+            self.threads,
+        );
+        Ok(self.put_f32(out, DType::F32))
+    }
+
+    fn fused_depthwise_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let _t = self.timer();
+        let xv = self.fetch_f32(x.data)?;
+        let wv = self.fetch_f32(filter.data)?;
+        let bv = match bias {
+            Some(bt) => Some(self.fetch_f32(bt.data)?),
+            None => None,
+        };
+        let out = compute::fused_depthwise_conv2d(
+            xv.as_slice(),
+            wv.as_slice(),
+            info,
+            bv.as_ref().map(|v| v.as_slice()),
+            activation,
+            self.threads,
+        );
+        Ok(self.put_f32(out, DType::F32))
+    }
+
+    fn fused_elementwise(
+        &self,
+        x: &KTensor<'_>,
+        extras: &[KTensor<'_>],
+        steps: &[FusedStep],
+        out_shape: &Shape,
+    ) -> Result<DataId> {
+        let _t = self.timer();
+        let xv = self.fetch_f32(x.data)?;
+        let views: Vec<FloatView> =
+            extras.iter().map(|t| self.fetch_f32(t.data)).collect::<Result<_>>()?;
+        let pairs: Vec<(&[f32], &[usize])> =
+            views.iter().zip(extras).map(|(v, t)| (v.as_slice(), t.shape.dims())).collect();
+        let out = compute::fused_elementwise(
+            xv.as_slice(),
+            x.shape.dims(),
+            &pairs,
+            steps,
+            out_shape.dims(),
+            self.threads,
+        );
+        Ok(self.put_f32(out, DType::F32))
     }
 }
 

@@ -17,8 +17,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use webml_core::backend::{
-    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, KTensor, KernelTiming,
-    PoolOp, ReduceOp, UnaryOp,
+    fused_conv2d_fallback, fused_depthwise_conv2d_fallback, fused_elementwise_fallback,
+    fused_matmul_fallback,
+    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, FusedStep, KTensor,
+    KernelTiming, PoolOp, ReduceOp, UnaryOp,
 };
 use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::{DType, TensorData};
@@ -574,6 +576,132 @@ impl Backend for WebGlBackend {
             &tx,
             DType::F32,
         )
+    }
+
+    // Fused kernels: one draw call each, epilogue applied in-register. When
+    // the fused shader is rejected at compile time (an injected fault or a
+    // driver quirk), fall back to the unfused composition on this same
+    // backend instead of surfacing the error — fusion must never make the
+    // degradation ladder worse than the unfused path.
+
+    fn fused_matmul(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        let ta = self.view(a.data, a.shape)?;
+        let tb = self.view(b.data, b.shape)?;
+        let batch = a.shape.dim(0);
+        let (m, k) = if transpose_a {
+            (a.shape.dim(2), a.shape.dim(1))
+        } else {
+            (a.shape.dim(1), a.shape.dim(2))
+        };
+        let n = if transpose_b { b.shape.dim(1) } else { b.shape.dim(2) };
+        let program = programs::fused_matmul(
+            batch,
+            m,
+            k,
+            n,
+            transpose_a,
+            transpose_b,
+            self.packing(),
+            bias.is_some(),
+            activation,
+        );
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&ta, &tb];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                fused_matmul_fallback(self, a, b, bias, activation, transpose_a, transpose_b)
+            }
+            r => r,
+        }
+    }
+
+    fn fused_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        let program =
+            programs::fused_conv2d(info.clone(), self.packing(), bias.is_some(), activation);
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&tx, &tw];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                fused_conv2d_fallback(self, x, filter, bias, activation, info)
+            }
+            r => r,
+        }
+    }
+
+    fn fused_depthwise_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        let program = programs::fused_depthwise_conv2d(info.clone(), bias.is_some(), activation);
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&tx, &tw];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                fused_depthwise_conv2d_fallback(self, x, filter, bias, activation, info)
+            }
+            r => r,
+        }
+    }
+
+    fn fused_elementwise(
+        &self,
+        x: &KTensor<'_>,
+        extras: &[KTensor<'_>],
+        steps: &[FusedStep],
+        out_shape: &Shape,
+    ) -> Result<DataId> {
+        if steps.is_empty() {
+            return Err(Error::invalid("FusedElementwise", "steps must be non-empty"));
+        }
+        let tx = self.view(x.data, x.shape)?;
+        let textras: Vec<TexHandle> =
+            extras.iter().map(|e| self.view(e.data, e.shape)).collect::<Result<_>>()?;
+        let mut inputs: Vec<&TexHandle> = vec![&tx];
+        inputs.extend(textras.iter());
+        let mut in_dims = vec![x.shape.0.clone()];
+        in_dims.extend(extras.iter().map(|e| e.shape.0.clone()));
+        let program = programs::fused_elementwise(in_dims, steps.to_vec(), out_shape.0.clone());
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                fused_elementwise_fallback(self, x, extras, steps, out_shape)
+            }
+            r => r,
+        }
     }
 }
 

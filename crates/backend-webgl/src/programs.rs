@@ -2,13 +2,35 @@
 //! gather computation (fragment shaders cannot scatter), in the style of
 //! the paper's Figure 4 (element-wise add) and Listing 2 (matmul).
 
-use webml_core::backend::{ArgReduceOp, BinaryOp, PoolOp, ReduceOp, UnaryOp};
+use webml_core::backend::{ArgReduceOp, BinaryOp, FusedStep, PoolOp, ReduceOp, UnaryOp};
 use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::DType;
-use webml_webgl_sim::shader::Program;
+use webml_webgl_sim::shader::{Program, Samplers};
 
 /// Maximum tensor rank supported by the shader address math.
 pub const MAX_RANK: usize = 8;
+
+/// Fused bias+activation epilogue applied to a finished accumulator
+/// in-register. Float order matches the unfused `Add`-then-activation
+/// kernel composition exactly, so fused and unfused agree bit-for-bit on
+/// f32 devices.
+#[inline]
+fn apply_epilogue(
+    s: &Samplers<'_>,
+    bias_input: Option<usize>,
+    activation: Option<UnaryOp>,
+    channel: usize,
+    acc: f32,
+) -> f32 {
+    let v = match bias_input {
+        Some(i) => BinaryOp::Add.apply(acc, s.get_flat(i, channel)),
+        None => acc,
+    };
+    match activation {
+        Some(act) => act.apply(v),
+        None => v,
+    }
+}
 
 /// Element-wise unary kernel. Uses a packed (RGBA texel) body when
 /// requested: one invocation computes 4 consecutive outputs.
@@ -172,11 +194,58 @@ pub fn matmul(
     transpose_b: bool,
     packed: bool,
 ) -> Program {
+    matmul_impl(("MatMul", "MatMulPacked"), batch, m, k, n, transpose_a, transpose_b, packed, false, None)
+}
+
+/// Matmul with the bias+activation epilogue fused in-register: the whole
+/// `matmul → add → activation` chain in one draw call, no intermediate
+/// textures. Bias (when present) is sampler input 2, indexed by output
+/// column.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    packed: bool,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    matmul_impl(
+        ("FusedMatMul", "FusedMatMulPacked"),
+        batch,
+        m,
+        k,
+        n,
+        transpose_a,
+        transpose_b,
+        packed,
+        has_bias,
+        activation,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matmul_impl(
+    names: (&'static str, &'static str),
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    packed: bool,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
     let out_shape = vec![batch, m, n];
     let cost = (k * 2).max(1);
+    let bias_input = if has_bias { Some(2) } else { None };
     if packed {
         let total = batch * m * n;
-        return Program::packed("MatMulPacked", out_shape, move |s, base| {
+        return Program::packed(names.1, out_shape, move |s, base| {
             // base indexes the flattened [batch, m, n] output.
             let j0 = base % n;
             let rest = base / n;
@@ -201,6 +270,9 @@ pub fn matmul(
                         *a += av * bv;
                     }
                 }
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a = apply_epilogue(s, bias_input, activation, j0 + q, *a);
+                }
             } else {
                 // Row-straddling texel: compute each output independently.
                 for (q, a) in acc.iter_mut().enumerate() {
@@ -218,14 +290,14 @@ pub fn matmul(
                         let bv = if transpose_b { s.get(1, &[b, j, p]) } else { s.get(1, &[b, p, j]) };
                         dot += av * bv;
                     }
-                    *a = dot;
+                    *a = apply_epilogue(s, bias_input, activation, j, dot);
                 }
             }
             acc
         })
         .with_cost(cost);
     }
-    Program::per_element("MatMul", out_shape, move |s, _, coords| {
+    Program::per_element(names.0, out_shape, move |s, _, coords| {
         let (b, i, j) = (coords[0], coords[1], coords[2]);
         let a_off = b * m * k;
         let b_off = b * k * n;
@@ -235,7 +307,7 @@ pub fn matmul(
             let bv = if transpose_b { s.get_flat(1, b_off + j * k + p) } else { s.get_flat(1, b_off + p * n + j) };
             acc += av * bv;
         }
-        acc
+        apply_epilogue(s, bias_input, activation, j, acc)
     })
     .with_cost(cost)
 }
@@ -248,12 +320,34 @@ pub fn matmul(
 /// invocation, loading every input activation once for all four filters —
 /// the packed-conv win behind the paper's 1.3-1.4x PoseNet speedup.
 pub fn conv2d(info: Conv2dInfo, packed: bool) -> Program {
+    conv2d_impl(("Conv2D", "Conv2DPacked"), info, packed, false, None)
+}
+
+/// conv2d with the bias+activation epilogue fused in-register. Bias (when
+/// present) is sampler input 2, indexed by output channel.
+pub fn fused_conv2d(
+    info: Conv2dInfo,
+    packed: bool,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    conv2d_impl(("FusedConv2D", "FusedConv2DPacked"), info, packed, has_bias, activation)
+}
+
+fn conv2d_impl(
+    names: (&'static str, &'static str),
+    info: Conv2dInfo,
+    packed: bool,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
     let out_shape = vec![info.batch, info.out_height, info.out_width, info.out_channels];
     let cost = info.filter_height * info.filter_width * info.in_channels * 2;
+    let bias_input = if has_bias { Some(2) } else { None };
     if packed {
         let c = info.clone();
         let total = out_shape.iter().product::<usize>();
-        return Program::packed("Conv2DPacked", out_shape, move |s, base| {
+        return Program::packed(names.1, out_shape, move |s, base| {
             let mut acc = [0.0f32; 4];
             let oc0 = base % c.out_channels;
             let pix = base / c.out_channels;
@@ -290,6 +384,9 @@ pub fn conv2d(info: Conv2dInfo, packed: bool) -> Program {
                             acc[3] += xv * s.get_flat(1, w_at + 3);
                         }
                     }
+                }
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a = apply_epilogue(s, bias_input, activation, oc0 + q, *a);
                 }
             } else {
                 // Channel-straddling texel: per-output fallback.
@@ -328,14 +425,14 @@ pub fn conv2d(info: Conv2dInfo, packed: bool) -> Program {
                             }
                         }
                     }
-                    *a = dot;
+                    *a = apply_epilogue(s, bias_input, activation, oc, dot);
                 }
             }
             acc
         })
         .with_cost(cost);
     }
-    Program::per_element("Conv2D", out_shape, move |s, _, coords| {
+    Program::per_element(names.0, out_shape, move |s, _, coords| {
         let (b, oh, ow, oc) = (coords[0], coords[1], coords[2], coords[3]);
         let c = &info;
         let row_stride = c.in_width * c.in_channels;
@@ -359,7 +456,7 @@ pub fn conv2d(info: Conv2dInfo, packed: bool) -> Program {
                 }
             }
         }
-        acc
+        apply_epilogue(s, bias_input, activation, oc, acc)
     })
     .with_cost(cost)
 }
@@ -427,9 +524,29 @@ pub fn conv2d_backprop_filter(info: Conv2dInfo) -> Program {
 
 /// Depthwise conv2d, with pre-resolved flat index math.
 pub fn depthwise_conv2d(info: Conv2dInfo) -> Program {
+    depthwise_conv2d_impl("DepthwiseConv2D", info, false, None)
+}
+
+/// Depthwise conv2d with the bias+activation epilogue fused in-register.
+/// Bias (when present) is sampler input 2, indexed by output channel.
+pub fn fused_depthwise_conv2d(
+    info: Conv2dInfo,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    depthwise_conv2d_impl("FusedDepthwiseConv2D", info, has_bias, activation)
+}
+
+fn depthwise_conv2d_impl(
+    name: &'static str,
+    info: Conv2dInfo,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
     let out_shape = vec![info.batch, info.out_height, info.out_width, info.out_channels];
     let cost = info.filter_height * info.filter_width * 2;
-    Program::per_element("DepthwiseConv2D", out_shape, move |s, _, coords| {
+    let bias_input = if has_bias { Some(2) } else { None };
+    Program::per_element(name, out_shape, move |s, _, coords| {
         let (b, oh, ow, och) = (coords[0], coords[1], coords[2], coords[3]);
         let c = &info;
         let ic = och / c.channel_mul;
@@ -452,7 +569,34 @@ pub fn depthwise_conv2d(info: Conv2dInfo) -> Program {
                 acc += s.get_flat(0, x_idx) * s.get_flat(1, w_idx);
             }
         }
-        acc
+        apply_epilogue(s, bias_input, activation, och, acc)
+    })
+    .with_cost(cost)
+}
+
+/// A chain of elementwise steps executed as one program: input 0 is the
+/// chain head, inputs 1.. are the extras referenced by binary steps, each
+/// sampled with right-aligned broadcast against the output coordinates.
+pub fn fused_elementwise(
+    in_dims: Vec<Vec<usize>>,
+    steps: Vec<FusedStep>,
+    out_shape: Vec<usize>,
+) -> Program {
+    let cost = (steps.len() * 2).max(1);
+    Program::per_element("FusedElementwise", out_shape, move |s, _, coords| {
+        let mut buf = [0usize; MAX_RANK];
+        let l = broadcast_coords(coords, &in_dims[0], &mut buf);
+        let mut v = s.get(0, &buf[..l]);
+        for step in &steps {
+            v = match *step {
+                FusedStep::Unary(op) => op.apply(v),
+                FusedStep::Binary(op, i) => {
+                    let l = broadcast_coords(coords, &in_dims[i + 1], &mut buf);
+                    op.apply(v, s.get(i + 1, &buf[..l]))
+                }
+            };
+        }
+        v
     })
     .with_cost(cost)
 }

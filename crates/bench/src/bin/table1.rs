@@ -2,19 +2,30 @@
 //! latency per backend, with speedups over the plain-JS baseline.
 //!
 //! ```text
-//! cargo run --release -p webml-bench --bin table1 [-- --full] [-- --runs N]
+//! cargo run --release -p webml-bench --bin table1 [-- --full] [-- --tiny]
+//!     [-- --runs N] [-- --json]
 //! ```
 //!
 //! The default workload is MobileNet α=0.25 at 96x96 (see
 //! `harness::bench_mobilenet_config`); `--full` runs the paper's exact
-//! α=1.0 224x224 configuration (slow on the interpreter-style baseline).
+//! α=1.0 224x224 configuration (slow on the interpreter-style baseline) and
+//! `--tiny` the 48x48 CI-smoke configuration. `--json` additionally measures
+//! every row with kernel fusion disabled and writes `BENCH_TABLE1.json`
+//! (per-row ms, speedups, and device program counts, fused vs unfused) to
+//! the current directory.
 
-use webml_bench::harness::{bench_mobilenet_config, print_speedup_table, TableBackend};
+use serde_json::{json, Value};
+use webml_bench::harness::{
+    bench_mobilenet_config, measure_row_detailed, print_speedup_table, tiny_mobilenet_config,
+    TableBackend,
+};
 use webml_models::MobileNetConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_mode = args.iter().any(|a| a == "--json");
     let runs: usize = args
         .iter()
         .position(|a| a == "--runs")
@@ -22,19 +33,57 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if full { 3 } else { 10 });
 
-    let config = if full { MobileNetConfig::paper_table1() } else { bench_mobilenet_config() };
+    let config = if full {
+        MobileNetConfig::paper_table1()
+    } else if tiny {
+        tiny_mobilenet_config()
+    } else {
+        bench_mobilenet_config()
+    };
     println!(
         "MobileNet v1 alpha={} input={}x{}x3, single inference averaged over {} runs",
         config.alpha, config.input_size, config.input_size, runs
     );
 
     let mut rows = Vec::new();
+    let mut json_rows: Vec<Value> = Vec::new();
+    let mut base_ms = None;
     for backend in TableBackend::all() {
-        let (ms, method) = webml_bench::harness::measure_row(backend, config, runs);
-        println!("  {:<40} {ms:>10.2} ms  [{method}]", backend.label());
-        rows.push((format!("{} ({method})", backend.label()), ms));
+        let fused = measure_row_detailed(backend, config, runs, true);
+        println!("  {:<40} {:>10.2} ms  [{}]", backend.label(), fused.ms, fused.method);
+        rows.push((format!("{} ({})", backend.label(), fused.method), fused.ms));
+        let base = *base_ms.get_or_insert(fused.ms);
+        if json_mode {
+            let unfused = measure_row_detailed(backend, config, runs, false);
+            let programs = |p: Option<u64>| p.map(|v| json!(v)).unwrap_or(Value::Null);
+            json_rows.push(json!({
+                "backend": backend.label(),
+                "method": fused.method,
+                "fused_ms": fused.ms,
+                "unfused_ms": unfused.ms,
+                "speedup_vs_baseline": base / fused.ms,
+                "fusion_time_ratio": unfused.ms / fused.ms,
+                "fused_programs": programs(fused.programs),
+                "unfused_programs": programs(unfused.programs),
+            }));
+        }
     }
     print_speedup_table("Table 1: backend speedups over the plain-JS baseline", &rows);
+    if json_mode {
+        let doc = json!({
+            "table": "Table 1: MobileNet v1 single-inference latency",
+            "workload": {
+                "alpha": config.alpha,
+                "input_size": config.input_size,
+                "classes": config.classes,
+                "runs": runs,
+            },
+            "rows": json_rows,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        std::fs::write("BENCH_TABLE1.json", text).expect("write BENCH_TABLE1.json");
+        println!("\nwrote BENCH_TABLE1.json");
+    }
     println!(
         "\npaper (MacBook Pro / GTX 1080): Plain JS 3426 ms (1x), WebGL Iris Pro 49 ms (71x),\n\
          WebGL GTX 1080 5 ms (685x), Node CPU AVX2 87 ms (39x), Node CUDA 3 ms (1105x)"

@@ -151,9 +151,74 @@ pub fn measure_row(
     config: MobileNetConfig,
     runs: usize,
 ) -> (f64, &'static str) {
-    let engine = backend.engine();
+    let m = measure_row_detailed(backend, config, runs, true);
+    (m.ms, m.method)
+}
+
+/// One Table 1 row measured with full diagnostics (see
+/// [`measure_row_detailed`]).
+#[derive(Debug, Clone)]
+pub struct RowMeasurement {
+    /// Mean per-inference milliseconds (method-dependent, see `method`).
+    pub ms: f64,
+    /// How `ms` was obtained ("measured wall" / "simulated device" /
+    /// "modeled offload").
+    pub method: &'static str,
+    /// Device programs issued by one warm inference — `Some` only on the
+    /// WebGL rows, where the simulator counts draw calls.
+    pub programs: Option<u64>,
+}
+
+/// [`measure_row`] plus a per-inference device-program count, with kernel
+/// fusion switched on or off via `fusion` — the fused-vs-unfused comparison
+/// behind the `--json` bench output.
+pub fn measure_row_detailed(
+    backend: TableBackend,
+    config: MobileNetConfig,
+    runs: usize,
+    fusion: bool,
+) -> RowMeasurement {
+    // Build the engine here (not via `TableBackend::engine`) so the WebGL
+    // rows keep a handle on the backend for program-count readout.
+    let engine = Engine::new();
+    let gl_backend = match backend {
+        TableBackend::PlainJs => {
+            engine.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 1);
+            None
+        }
+        TableBackend::WebGlIntegrated | TableBackend::WebGlDiscrete => {
+            let profile = if backend == TableBackend::WebGlIntegrated {
+                DeviceProfile::intel_iris_pro()
+            } else {
+                DeviceProfile::gtx_1080()
+            };
+            let b = Arc::new(
+                WebGlBackend::new(profile, WebGlConfig::default())
+                    .expect("profile supports float textures"),
+            );
+            engine.register_backend("webgl", b.clone(), 1);
+            Some(b)
+        }
+        TableBackend::NativeSingleThread => {
+            engine
+                .register_backend("native1", Arc::new(NativeBackend::with_threads("native1", 1)), 1);
+            None
+        }
+        TableBackend::NativeCudaClass => {
+            engine.register_backend("native", Arc::new(NativeBackend::new()), 1);
+            None
+        }
+    };
+    engine.set_fusion_enabled(fusion);
     let (mut net, input) = mobilenet_workload(&engine, config);
-    match backend {
+    // Program count: one warm inference after one warmup.
+    let programs = gl_backend.map(|b| {
+        let _ = time_inference(&mut net, &input);
+        let before = b.context().memory().programs_run;
+        let _ = time_inference(&mut net, &input);
+        b.context().memory().programs_run - before
+    });
+    let (ms, method) = match backend {
         TableBackend::PlainJs | TableBackend::NativeSingleThread => {
             (mean_inference_ms(&mut net, &input, runs), "measured wall")
         }
@@ -164,7 +229,8 @@ pub fn measure_row(
             mean_kernel_ms(&engine, &mut net, &input, runs) / CUDA_CLASS_MODEL_FACTOR,
             "modeled offload",
         ),
-    }
+    };
+    RowMeasurement { ms, method, programs }
 }
 
 /// Print a Table 1-style markdown table of `(label, ms)` rows; speedups are

@@ -1,0 +1,295 @@
+//! Cross-backend fusion integration tests: bitwise equivalence of fused and
+//! unfused execution, the MobileNet program-count win, and graceful fallback
+//! to unfused kernels under injected shader-compile faults.
+
+use std::sync::Arc;
+use webml_backend_cpu::PlainJsBackend;
+use webml_backend_native::NativeBackend;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_bench::harness::{mobilenet_workload, tiny_mobilenet_config};
+use webml_core::backend::{BinaryOp, UnaryOp};
+use webml_core::conv_util::Padding;
+use webml_core::{ops, Engine, FusedStep, Tensor};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::FaultPlan;
+
+/// Deterministic pseudo-random values in roughly [-2, 2] (xorshift).
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0) as f32
+        })
+        .collect()
+}
+
+/// One engine per registered backend family. The webgl profile must be an
+/// f32 one (Intel Iris Pro): half-precision-only devices round per texture
+/// write, so fused-vs-unfused is only bitwise on float32 textures.
+fn engines() -> Vec<(&'static str, Engine)> {
+    let cpu = Engine::new();
+    cpu.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 1);
+    let native = Engine::new();
+    native.register_backend("native", Arc::new(NativeBackend::new()), 1);
+    let webgl = Engine::new();
+    let b = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default())
+        .expect("f32 profile");
+    webgl.register_backend("webgl", Arc::new(b), 1);
+    vec![("plainjs", cpu), ("native", native), ("webgl", webgl)]
+}
+
+const ACTIVATIONS: [Option<UnaryOp>; 6] = [
+    None,
+    Some(UnaryOp::Relu),
+    Some(UnaryOp::Relu6),
+    Some(UnaryOp::Sigmoid),
+    Some(UnaryOp::Tanh),
+    Some(UnaryOp::LeakyRelu(0.2)),
+];
+
+/// Run `f` twice on `e` — fused, then with fusion disabled — and assert the
+/// two results are bit-identical.
+fn assert_fused_bitwise(e: &Engine, label: &str, f: &dyn Fn() -> Tensor) {
+    e.set_fusion_enabled(true);
+    let fused = f();
+    e.set_fusion_enabled(false);
+    let unfused = f();
+    e.set_fusion_enabled(true);
+    assert_eq!(fused.shape(), unfused.shape(), "{label}: shape");
+    assert_eq!(
+        fused.to_f32_vec().unwrap(),
+        unfused.to_f32_vec().unwrap(),
+        "{label}: fused output must be bit-identical to the unfused composition"
+    );
+    fused.dispose();
+    unfused.dispose();
+}
+
+#[test]
+fn fused_matmul_bitwise_across_backends_shapes_activations() {
+    for (name, e) in engines() {
+        for (ti, &(m, k, n)) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8)].iter().enumerate() {
+            let a = e.tensor(data(m * k, 11 + ti as u64), vec![m, k]).unwrap();
+            let b = e.tensor(data(k * n, 23 + ti as u64), vec![k, n]).unwrap();
+            let bias = e.tensor_1d(&data(n, 37 + ti as u64)).unwrap();
+            for (ai, act) in ACTIVATIONS.iter().enumerate() {
+                for with_bias in [false, true] {
+                    let bias_opt = with_bias.then_some(&bias);
+                    let label = format!("{name} matmul {m}x{k}x{n} act#{ai} bias={with_bias}");
+                    assert_fused_bitwise(&e, &label, &|| {
+                        ops::fused_matmul(&a, &b, bias_opt, *act, false, false).unwrap()
+                    });
+                }
+            }
+        }
+        // Batched rank-3 and transposed operands take distinct shader paths.
+        let a = e.tensor(data(2 * 3 * 4, 41), vec![2, 3, 4]).unwrap();
+        let b = e.tensor(data(2 * 4 * 5, 43), vec![2, 4, 5]).unwrap();
+        let bias = e.tensor_1d(&data(5, 47)).unwrap();
+        assert_fused_bitwise(&e, &format!("{name} batched matmul"), &|| {
+            ops::fused_matmul(&a, &b, Some(&bias), Some(UnaryOp::Relu6), false, false).unwrap()
+        });
+        let at = e.tensor(data(4 * 3, 53), vec![4, 3]).unwrap();
+        let bt = e.tensor(data(5 * 4, 59), vec![5, 4]).unwrap();
+        let bias = e.tensor_1d(&data(5, 61)).unwrap();
+        assert_fused_bitwise(&e, &format!("{name} transposed matmul"), &|| {
+            ops::fused_matmul(&at, &bt, Some(&bias), Some(UnaryOp::Sigmoid), true, true).unwrap()
+        });
+    }
+}
+
+#[test]
+fn fused_conv2d_bitwise_across_backends() {
+    for (name, e) in engines() {
+        let x = e.tensor(data(5 * 5 * 3, 71), vec![1, 5, 5, 3]).unwrap();
+        let w = e.tensor(data(3 * 3 * 3 * 4, 73), vec![3, 3, 3, 4]).unwrap();
+        let bias = e.tensor_1d(&data(4, 79)).unwrap();
+        for padding in [Padding::Same, Padding::Valid] {
+            for strides in [(1, 1), (2, 2)] {
+                for act in ACTIVATIONS {
+                    for with_bias in [false, true] {
+                        let bias_opt = with_bias.then_some(&bias);
+                        let label = format!(
+                            "{name} conv2d {padding:?} strides={strides:?} bias={with_bias}"
+                        );
+                        assert_fused_bitwise(&e, &label, &|| {
+                            ops::fused_conv2d(&x, &w, bias_opt, act, strides, padding, (1, 1))
+                                .unwrap()
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_depthwise_conv2d_bitwise_across_backends() {
+    for (name, e) in engines() {
+        let x = e.tensor(data(5 * 5 * 2, 83), vec![1, 5, 5, 2]).unwrap();
+        let w = e.tensor(data(3 * 3 * 2 * 2, 89), vec![3, 3, 2, 2]).unwrap();
+        let bias = e.tensor_1d(&data(4, 97)).unwrap();
+        for padding in [Padding::Same, Padding::Valid] {
+            for strides in [(1, 1), (2, 2)] {
+                for act in ACTIVATIONS {
+                    let label = format!("{name} dwconv {padding:?} strides={strides:?}");
+                    assert_fused_bitwise(&e, &label, &|| {
+                        ops::fused_depthwise_conv2d(
+                            &x,
+                            &w,
+                            Some(&bias),
+                            act,
+                            strides,
+                            padding,
+                            (1, 1),
+                        )
+                        .unwrap()
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_elementwise_bitwise_across_backends() {
+    for (name, e) in engines() {
+        let x = e.tensor(data(2 * 3 * 4, 101), vec![2, 3, 4]).unwrap();
+        let row = e.tensor(data(4, 103), vec![4]).unwrap();
+        let col = e.tensor(data(3, 107), vec![1, 3, 1]).unwrap();
+        let chains: Vec<(&str, Vec<FusedStep>)> = vec![
+            ("scale-shift-relu", vec![
+                FusedStep::Binary(BinaryOp::Mul, 0),
+                FusedStep::Binary(BinaryOp::Add, 1),
+                FusedStep::Unary(UnaryOp::Relu),
+            ]),
+            ("long-unary", vec![
+                FusedStep::Unary(UnaryOp::Square),
+                FusedStep::Unary(UnaryOp::Sqrt),
+                FusedStep::Unary(UnaryOp::Tanh),
+                FusedStep::Unary(UnaryOp::Neg),
+            ]),
+            ("broadcast-mix", vec![
+                FusedStep::Binary(BinaryOp::Sub, 1),
+                FusedStep::Unary(UnaryOp::Abs),
+                FusedStep::Binary(BinaryOp::Maximum, 0),
+                FusedStep::Binary(BinaryOp::Mul, 0),
+                FusedStep::Unary(UnaryOp::Sigmoid),
+            ]),
+        ];
+        for (cname, steps) in &chains {
+            assert_fused_bitwise(&e, &format!("{name} elementwise {cname}"), &|| {
+                ops::fused_elementwise(&x, &[&row, &col], steps).unwrap()
+            });
+        }
+    }
+}
+
+/// The headline fusion claim: a fused MobileNet inference on the webgl
+/// backend issues at least 25% fewer device programs than the unfused
+/// composition, with a bit-identical result.
+#[test]
+fn fused_mobilenet_issues_fewer_webgl_programs() {
+    let e = Engine::new();
+    let backend = Arc::new(
+        WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default())
+            .expect("f32 profile"),
+    );
+    e.register_backend("webgl", backend.clone(), 1);
+    let (mut net, input) = mobilenet_workload(&e, tiny_mobilenet_config());
+
+    // Warm inference + program-count delta on a second run, per mode.
+    let mut run = |fused: bool| -> (Vec<f32>, u64) {
+        e.set_fusion_enabled(fused);
+        let warm = net.infer(&input).unwrap();
+        let vals = warm.to_f32_vec().unwrap();
+        warm.dispose();
+        let before = backend.context().memory().programs_run;
+        let out = net.infer(&input).unwrap();
+        let _ = out.data_sync().unwrap();
+        out.dispose();
+        (vals, backend.context().memory().programs_run - before)
+    };
+    let (unfused_vals, unfused_programs) = run(false);
+    let (fused_vals, fused_programs) = run(true);
+
+    assert!(
+        fused_programs * 4 <= unfused_programs * 3,
+        "fused MobileNet must issue >=25% fewer programs: fused={fused_programs} \
+         unfused={unfused_programs}"
+    );
+    assert_eq!(
+        fused_vals, unfused_vals,
+        "fused MobileNet output must be bit-identical to unfused"
+    );
+}
+
+/// Blocked fused-shader compilation must degrade to the unfused composition
+/// on the same backend — correct results, no surfaced error, and no entry in
+/// the engine's degradation ledger (this is a kernel-level fallback, not a
+/// backend-level one).
+#[test]
+fn fused_kernels_fall_back_when_shader_compile_is_blocked() {
+    let plan = FaultPlan::none()
+        .block_shader("FusedMatMul")
+        .block_shader("FusedConv2D")
+        .block_shader("FusedDepthwiseConv2D")
+        .block_shader("FusedElementwise");
+    let e = Engine::new();
+    let b = WebGlBackend::with_faults(DeviceProfile::intel_iris_pro(), WebGlConfig::default(), plan)
+        .expect("f32 profile");
+    e.register_backend("webgl", Arc::new(b), 1);
+
+    let a = e.tensor(data(4 * 6, 211), vec![4, 6]).unwrap();
+    let w = e.tensor(data(6 * 5, 223), vec![6, 5]).unwrap();
+    let bias = e.tensor_1d(&data(5, 227)).unwrap();
+    assert_fused_bitwise(&e, "faulted matmul", &|| {
+        ops::fused_matmul(&a, &w, Some(&bias), Some(UnaryOp::Relu), false, false).unwrap()
+    });
+
+    let x = e.tensor(data(6 * 6 * 3, 229), vec![1, 6, 6, 3]).unwrap();
+    let f = e.tensor(data(3 * 3 * 3 * 4, 233), vec![3, 3, 3, 4]).unwrap();
+    let cbias = e.tensor_1d(&data(4, 239)).unwrap();
+    assert_fused_bitwise(&e, "faulted conv2d", &|| {
+        ops::fused_conv2d(&x, &f, Some(&cbias), Some(UnaryOp::Relu6), (1, 1), Padding::Same, (1, 1))
+            .unwrap()
+    });
+
+    let dw = e.tensor(data(3 * 3 * 3, 241), vec![3, 3, 3, 1]).unwrap();
+    let dbias = e.tensor_1d(&data(3, 251)).unwrap();
+    assert_fused_bitwise(&e, "faulted depthwise", &|| {
+        ops::fused_depthwise_conv2d(
+            &x,
+            &dw,
+            Some(&dbias),
+            Some(UnaryOp::Relu),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap()
+    });
+
+    let scale = e.tensor_1d(&data(3, 257)).unwrap();
+    assert_fused_bitwise(&e, "faulted elementwise", &|| {
+        ops::fused_elementwise(
+            &x,
+            &[&scale],
+            &[FusedStep::Binary(BinaryOp::Mul, 0), FusedStep::Unary(UnaryOp::Relu)],
+        )
+        .unwrap()
+    });
+
+    // A whole model still runs correctly on the faulted device.
+    let (mut net, input) = mobilenet_workload(&e, tiny_mobilenet_config());
+    let out = net.infer(&input).unwrap();
+    e.set_fusion_enabled(false);
+    let reference = net.infer(&input).unwrap();
+    e.set_fusion_enabled(true);
+    assert_eq!(out.to_f32_vec().unwrap(), reference.to_f32_vec().unwrap());
+
+    assert_eq!(e.degradations(), 0, "kernel-level fallback must not log a degradation");
+}

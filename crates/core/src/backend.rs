@@ -7,8 +7,8 @@
 
 use crate::conv_util::Conv2dInfo;
 use crate::dtype::{DType, TensorData};
-use crate::error::Result;
-use crate::shape::Shape;
+use crate::error::{Error, Result};
+use crate::shape::{broadcast_shapes, Shape};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -366,6 +366,21 @@ impl BinaryOp {
             BinaryOp::LogicalXor => "LogicalXor",
         }
     }
+}
+
+/// One step of a fused elementwise chain (see [`Backend::fused_elementwise`]).
+///
+/// The chain threads a single running value through each step: a `Unary`
+/// step maps it, a `Binary` step combines it (as the left operand) with one
+/// of the extra inputs. This is the kernel-level form of fusing e.g.
+/// `relu(x * scale + shift)` into one device program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedStep {
+    /// Apply a unary op to the running chain value.
+    Unary(UnaryOp),
+    /// Combine the running chain value (left operand) with `extras[i]`
+    /// (right operand), where `i` is the payload index.
+    Binary(BinaryOp, usize),
 }
 
 /// Reduction kernels. Output shape never keeps reduced dims — the op layer
@@ -804,6 +819,214 @@ pub trait Backend: Send + Sync {
         new_w: usize,
         align_corners: bool,
     ) -> Result<DataId>;
+
+    // --- fused kernels (paper Sec 3.9/4.1: draw-call overhead) -------------
+    //
+    // Each fused kernel has a default implementation that composes the
+    // unfused kernels above, so backends stay correct with zero changes.
+    // Backends that override these with a real single-pass kernel must keep
+    // the epilogue order bit-identical to the composition: finish the full
+    // accumulation, then `acc + bias[channel]`, then `activation(acc)` —
+    // every scalar routed through [`BinaryOp::apply`] / [`UnaryOp::apply`].
+    // An override that cannot run its fused program (e.g. the driver rejects
+    // the shader) must fall back to the matching `fused_*_fallback` helper
+    // on the SAME backend instead of surfacing the error.
+
+    /// Batched matmul `[b, m, k] x [b, k, n]` with an optional rank-1 bias
+    /// `[n]` added to every output row and an optional activation applied
+    /// in the same kernel.
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    fn fused_matmul(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        fused_matmul_fallback(self, a, b, bias, activation, transpose_a, transpose_b)
+    }
+
+    /// 2-D convolution with an optional rank-1 bias `[out_channels]` and an
+    /// optional activation applied in the same kernel.
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    fn fused_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        fused_conv2d_fallback(self, x, filter, bias, activation, info)
+    }
+
+    /// Depthwise 2-D convolution with an optional rank-1 bias
+    /// `[out_channels]` and an optional activation applied in the same
+    /// kernel.
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    fn fused_depthwise_conv2d(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        fused_depthwise_conv2d_fallback(self, x, filter, bias, activation, info)
+    }
+
+    /// Execute a chain of elementwise steps over `x` as one kernel. Binary
+    /// steps broadcast the extra input against the running chain shape; the
+    /// final shape must equal `out_shape` (validated by the op layer).
+    ///
+    /// # Errors
+    /// Backend-specific execution failure, or an empty `steps` list.
+    fn fused_elementwise(
+        &self,
+        x: &KTensor<'_>,
+        extras: &[KTensor<'_>],
+        steps: &[FusedStep],
+        out_shape: &Shape,
+    ) -> Result<DataId> {
+        fused_elementwise_fallback(self, x, extras, steps, out_shape)
+    }
+}
+
+/// Apply the shared bias+activation epilogue with unfused kernels, disposing
+/// the intermediate containers. Takes ownership of `id` (disposes it if a
+/// later stage replaces it, even on error).
+fn epilogue_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    mut id: DataId,
+    out_shape: &Shape,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+) -> Result<DataId> {
+    if let Some(bias) = bias {
+        let cur = KTensor { data: id, shape: out_shape, dtype: DType::F32 };
+        let next = backend.binary(BinaryOp::Add, &cur, bias, out_shape, DType::F32);
+        backend.dispose_data(id);
+        id = next?;
+    }
+    if let Some(act) = activation {
+        let cur = KTensor { data: id, shape: out_shape, dtype: DType::F32 };
+        let next = backend.unary(act, &cur);
+        backend.dispose_data(id);
+        id = next?;
+    }
+    Ok(id)
+}
+
+/// Reference composition for [`Backend::fused_matmul`]: unfused matmul, then
+/// bias add, then activation. Also the fallback a fused-kernel override uses
+/// when its program fails to compile on a faulted device.
+///
+/// # Errors
+/// Propagates the first failing unfused kernel.
+pub fn fused_matmul_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    a: &KTensor<'_>,
+    b: &KTensor<'_>,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<DataId> {
+    let batch = a.shape.dim(0);
+    let m = if transpose_a { a.shape.dim(2) } else { a.shape.dim(1) };
+    let n = if transpose_b { b.shape.dim(1) } else { b.shape.dim(2) };
+    let out_shape = Shape::new(vec![batch, m, n]);
+    let id = backend.matmul(a, b, transpose_a, transpose_b)?;
+    epilogue_fallback(backend, id, &out_shape, bias, activation)
+}
+
+/// Reference composition for [`Backend::fused_conv2d`] (see
+/// [`fused_matmul_fallback`]).
+///
+/// # Errors
+/// Propagates the first failing unfused kernel.
+pub fn fused_conv2d_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    x: &KTensor<'_>,
+    filter: &KTensor<'_>,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Result<DataId> {
+    let out_shape = info.out_shape();
+    let id = backend.conv2d(x, filter, info)?;
+    epilogue_fallback(backend, id, &out_shape, bias, activation)
+}
+
+/// Reference composition for [`Backend::fused_depthwise_conv2d`] (see
+/// [`fused_matmul_fallback`]).
+///
+/// # Errors
+/// Propagates the first failing unfused kernel.
+pub fn fused_depthwise_conv2d_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    x: &KTensor<'_>,
+    filter: &KTensor<'_>,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Result<DataId> {
+    let out_shape = info.out_shape();
+    let id = backend.depthwise_conv2d(x, filter, info)?;
+    epilogue_fallback(backend, id, &out_shape, bias, activation)
+}
+
+/// Reference composition for [`Backend::fused_elementwise`]: one unfused
+/// unary/binary kernel per step, disposing every intermediate.
+///
+/// # Errors
+/// Propagates the first failing unfused kernel; rejects empty `steps` and
+/// out-of-range extra indices.
+pub fn fused_elementwise_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    x: &KTensor<'_>,
+    extras: &[KTensor<'_>],
+    steps: &[FusedStep],
+    _out_shape: &Shape,
+) -> Result<DataId> {
+    if steps.is_empty() {
+        return Err(Error::invalid("FusedElementwise", "steps must be non-empty"));
+    }
+    let mut shape = x.shape.clone();
+    let mut id = x.data;
+    let mut owned = false; // the incoming x is never disposed
+    for step in steps {
+        let cur = KTensor { data: id, shape: &shape, dtype: DType::F32 };
+        let res: Result<(DataId, Shape)> = (|| match *step {
+            FusedStep::Unary(op) => Ok((backend.unary(op, &cur)?, shape.clone())),
+            FusedStep::Binary(op, i) => {
+                let e = extras.get(i).ok_or_else(|| {
+                    Error::invalid(
+                        "FusedElementwise",
+                        format!("binary step references extra {i} of {}", extras.len()),
+                    )
+                })?;
+                let s = broadcast_shapes("FusedElementwise", &shape, e.shape)?;
+                Ok((backend.binary(op, &cur, e, &s, DType::F32)?, s))
+            }
+        })();
+        if owned {
+            backend.dispose_data(id);
+        }
+        let (next, next_shape) = res?;
+        id = next;
+        shape = next_shape;
+        owned = true;
+    }
+    Ok(id)
 }
 
 #[cfg(test)]

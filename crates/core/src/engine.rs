@@ -12,7 +12,7 @@ use crate::tape::{GradFn, Tape, TapeNode};
 use crate::tensor::Tensor;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -178,6 +178,7 @@ struct EngineInner {
     next_data_handle: AtomicU64,
     next_tensor_id: AtomicUsize,
     policy: AtomicU8,
+    fusion_enabled: AtomicBool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -231,8 +232,21 @@ impl Engine {
                 next_data_handle: AtomicU64::new(1),
                 next_tensor_id: AtomicUsize::new(1),
                 policy: AtomicU8::new(0), // Manual
+                fusion_enabled: AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Enable or disable kernel fusion. When disabled, the `ops::fused_*`
+    /// family always runs the unfused kernel composition — useful for
+    /// fused-vs-unfused benchmark comparisons and bitwise-equality tests.
+    pub fn set_fusion_enabled(&self, enabled: bool) {
+        self.inner.fusion_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether fused kernels are dispatched (default true).
+    pub fn fusion_enabled(&self) -> bool {
+        self.inner.fusion_enabled.load(Ordering::Relaxed)
     }
 
     // --- backends ----------------------------------------------------------

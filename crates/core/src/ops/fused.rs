@@ -1,0 +1,515 @@
+//! Fused ops (the `tf.fused.*` namespace of TensorFlow.js, paper Sec 3.9):
+//! matmul/conv with a bias+activation epilogue and elementwise chains, each
+//! dispatched to the backend as one kernel.
+//!
+//! Fusion is a pure dispatch optimization — results are bit-identical to the
+//! unfused composition on f32 backends because every backend routes scalar
+//! math through [`UnaryOp::apply`] / [`BinaryOp::apply`] and fused kernels
+//! apply the epilogue in the same order (full accumulation, then bias add,
+//! then activation). On f16-only devices fused kernels round once instead of
+//! once per intermediate, so they are *more* accurate there, not identical.
+//!
+//! Gradients: when a gradient tape is recording, these ops run the unfused
+//! composition instead, so the tape records exactly the entries the unfused
+//! ops would — fusion never changes training behavior, it only accelerates
+//! inference.
+
+use super::{reshape, same_engine, tile};
+use crate::backend::{BinaryOp, FusedStep, UnaryOp};
+use crate::conv_util::{conv2d_info, depthwise_conv2d_info, Conv2dInfo, Padding};
+use crate::dtype::DType;
+use crate::error::{Error, Result};
+use crate::shape::{broadcast_shapes, Shape};
+use crate::tensor::Tensor;
+
+/// Dispatch a unary op to its tape-recording tensor-level op.
+fn unary_tensor_op(op: UnaryOp, x: &Tensor) -> Result<Tensor> {
+    match op {
+        UnaryOp::Neg => super::neg(x),
+        UnaryOp::Abs => super::abs(x),
+        UnaryOp::Exp => super::exp(x),
+        UnaryOp::Expm1 => super::expm1(x),
+        UnaryOp::Log => super::log(x),
+        UnaryOp::Log1p => super::log1p(x),
+        UnaryOp::Sqrt => super::sqrt(x),
+        UnaryOp::Rsqrt => super::rsqrt(x),
+        UnaryOp::Square => super::square(x),
+        UnaryOp::Relu => super::relu(x),
+        UnaryOp::Relu6 => super::relu6(x),
+        UnaryOp::Sigmoid => super::sigmoid(x),
+        UnaryOp::Tanh => super::tanh(x),
+        UnaryOp::Elu => super::elu(x),
+        UnaryOp::Selu => super::selu(x),
+        UnaryOp::Softplus => super::softplus(x),
+        UnaryOp::Sin => super::sin(x),
+        UnaryOp::Cos => super::cos(x),
+        UnaryOp::Tan => super::tan(x),
+        UnaryOp::Asin => super::asin(x),
+        UnaryOp::Acos => super::acos(x),
+        UnaryOp::Atan => super::atan(x),
+        UnaryOp::Floor => super::floor(x),
+        UnaryOp::Ceil => super::ceil(x),
+        UnaryOp::Round => super::round(x),
+        UnaryOp::Sign => super::sign(x),
+        UnaryOp::Reciprocal => super::reciprocal(x),
+        UnaryOp::LeakyRelu(alpha) => super::leaky_relu(x, alpha),
+        UnaryOp::ClipByValue(lo, hi) => super::clip_by_value(x, lo, hi),
+        UnaryOp::Step(alpha) => super::step(x, alpha),
+        UnaryOp::Erf => super::erf(x),
+        UnaryOp::LogicalNot | UnaryOp::IsNan | UnaryOp::IsInf | UnaryOp::IsFinite => Err(
+            Error::invalid("Fused", format!("{} produces a bool output and cannot be fused", op.name())),
+        ),
+    }
+}
+
+/// Dispatch a binary op to its tape-recording tensor-level op.
+fn binary_tensor_op(op: BinaryOp, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    match op {
+        BinaryOp::Add => super::add(a, b),
+        BinaryOp::Sub => super::sub(a, b),
+        BinaryOp::Mul => super::mul(a, b),
+        BinaryOp::Div => super::div(a, b),
+        BinaryOp::FloorDiv => super::floor_div(a, b),
+        BinaryOp::Pow => super::pow(a, b),
+        BinaryOp::Maximum => super::maximum(a, b),
+        BinaryOp::Minimum => super::minimum(a, b),
+        BinaryOp::Mod => super::modulo(a, b),
+        BinaryOp::SquaredDifference => super::squared_difference(a, b),
+        BinaryOp::Atan2 => super::atan2(a, b),
+        _ => Err(Error::invalid(
+            "Fused",
+            format!("{} produces a bool output and cannot be fused", op.name()),
+        )),
+    }
+}
+
+/// Reject epilogue activations whose output dtype is not float.
+fn check_activation(op: &'static str, activation: Option<UnaryOp>) -> Result<()> {
+    if let Some(act) = activation {
+        if act.out_dtype(DType::F32) != DType::F32 {
+            return Err(Error::invalid(
+                op,
+                format!("activation {} produces a bool output and cannot be fused", act.name()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a fused bias: rank 1 of the output's channel/column extent.
+fn check_bias(op: &'static str, bias: Option<&Tensor>, channels: usize) -> Result<()> {
+    if let Some(b) = bias {
+        if b.rank() != 1 || b.shape_ref().dim(0) != channels {
+            return Err(Error::shape(
+                op,
+                format!("bias must be rank-1 [{channels}], got {}", b.shape()),
+            ));
+        }
+        if b.dtype() != DType::F32 {
+            return Err(Error::dtype(op, format!("bias must be f32, got {:?}", b.dtype())));
+        }
+    }
+    Ok(())
+}
+
+/// `activation(a x b + bias)` as one kernel (`tf.fused.matMul`).
+///
+/// Accepts rank-2 or rank-3 operands like [`super::matmul`]; `bias` must be
+/// rank-1 `[n]` and is added to every output row. When a gradient tape is
+/// recording, this runs the unfused `matmul → add → activation` composition
+/// so the tape sees the standard entries.
+///
+/// # Errors
+/// Fails on rank/inner-dimension/bias-shape mismatches or backend errors.
+pub fn fused_matmul(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<Tensor> {
+    same_engine("FusedMatMul", a, b)?;
+    if let Some(bias) = bias {
+        same_engine("FusedMatMul", a, bias)?;
+    }
+    check_activation("FusedMatMul", activation)?;
+    if a.rank() < 2 || b.rank() < 2 || a.rank() > 3 || b.rank() > 3 {
+        return Err(Error::shape(
+            "FusedMatMul",
+            format!("expected rank 2 or 3 tensors, got {} and {}", a.shape(), b.shape()),
+        ));
+    }
+    if a.engine().tape_active() || !a.engine().fusion_enabled() {
+        let mut y = super::matmul(a, b, transpose_a, transpose_b)?;
+        if let Some(bias) = bias {
+            y = super::add(&y, bias)?;
+        }
+        if let Some(act) = activation {
+            y = unary_tensor_op(act, &y)?;
+        }
+        return Ok(y);
+    }
+    let out_rank2 = a.rank() == 2 && b.rank() == 2;
+    let a3 = if a.rank() == 2 { reshape(a, prepend_batch(a.shape_ref()))? } else { a.clone() };
+    let b3 = if b.rank() == 2 { reshape(b, prepend_batch(b.shape_ref()))? } else { b.clone() };
+    let (a3, b3) = match (a3.shape_ref().dim(0), b3.shape_ref().dim(0)) {
+        (x, y) if x == y => (a3, b3),
+        (1, y) => (tile(&a3, &[y, 1, 1])?, b3),
+        (x, 1) => (a3, tile(&b3, &[x, 1, 1])?),
+        (x, y) => {
+            return Err(Error::shape("FusedMatMul", format!("batch dims {x} vs {y} incompatible")))
+        }
+    };
+    let batch = a3.shape_ref().dim(0);
+    let (m, k_a) = if transpose_a {
+        (a3.shape_ref().dim(2), a3.shape_ref().dim(1))
+    } else {
+        (a3.shape_ref().dim(1), a3.shape_ref().dim(2))
+    };
+    let (k_b, n) = if transpose_b {
+        (b3.shape_ref().dim(2), b3.shape_ref().dim(1))
+    } else {
+        (b3.shape_ref().dim(1), b3.shape_ref().dim(2))
+    };
+    if k_a != k_b {
+        return Err(Error::shape(
+            "FusedMatMul",
+            format!("inner dimensions must match: {k_a} vs {k_b} ({} x {})", a.shape(), b.shape()),
+        ));
+    }
+    check_bias("FusedMatMul", bias, n)?;
+    let out_shape = Shape::new(vec![batch, m, n]);
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![&a3, &b3];
+    if let Some(bias) = bias {
+        inputs.push(bias);
+    }
+    let outs = a.engine().run_kernel(
+        "FusedMatMul",
+        &inputs,
+        &mut |backend, ins| {
+            let id = backend.fused_matmul(
+                &ins[0],
+                &ins[1],
+                ins.get(2),
+                activation,
+                transpose_a,
+                transpose_b,
+            )?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    let out = outs.into_iter().next().expect("one output");
+    if out_rank2 {
+        reshape(&out, vec![m, n])
+    } else {
+        Ok(out)
+    }
+}
+
+fn prepend_batch(s: &Shape) -> Vec<usize> {
+    let mut dims = vec![1];
+    dims.extend_from_slice(s.dims());
+    dims
+}
+
+/// Shared body of the two fused conv ops.
+fn fused_conv_impl(
+    kernel: &'static str,
+    x: &Tensor,
+    filter: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    info: Conv2dInfo,
+    depthwise: bool,
+) -> Result<Tensor> {
+    check_bias(kernel, bias, info.out_channels)?;
+    let out_shape = info.out_shape();
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![x, filter];
+    if let Some(bias) = bias {
+        inputs.push(bias);
+    }
+    let outs = x.engine().run_kernel(
+        kernel,
+        &inputs,
+        &mut |backend, ins| {
+            let id = if depthwise {
+                backend.fused_depthwise_conv2d(&ins[0], &ins[1], ins.get(2), activation, &info)?
+            } else {
+                backend.fused_conv2d(&ins[0], &ins[1], ins.get(2), activation, &info)?
+            };
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// `activation(conv2d(x, filter) + bias)` as one kernel (`tf.fused.conv2d`).
+///
+/// `bias` must be rank-1 `[out_channels]`. When a gradient tape is recording
+/// this runs the unfused composition (see [`fused_matmul`]).
+///
+/// # Errors
+/// Fails on rank/channel/bias-shape mismatches or backend errors.
+pub fn fused_conv2d(
+    x: &Tensor,
+    filter: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    strides: (usize, usize),
+    padding: Padding,
+    dilations: (usize, usize),
+) -> Result<Tensor> {
+    same_engine("FusedConv2D", x, filter)?;
+    if let Some(bias) = bias {
+        same_engine("FusedConv2D", x, bias)?;
+    }
+    check_activation("FusedConv2D", activation)?;
+    if x.engine().tape_active() || !x.engine().fusion_enabled() {
+        let mut y = super::conv2d(x, filter, strides, padding, dilations)?;
+        if let Some(bias) = bias {
+            y = super::add(&y, bias)?;
+        }
+        if let Some(act) = activation {
+            y = unary_tensor_op(act, &y)?;
+        }
+        return Ok(y);
+    }
+    let info =
+        conv2d_info("FusedConv2D", x.shape_ref(), filter.shape_ref(), strides, padding, dilations)?;
+    fused_conv_impl("FusedConv2D", x, filter, bias, activation, info, false)
+}
+
+/// `activation(depthwise_conv2d(x, filter) + bias)` as one kernel
+/// (`tf.fused.depthwiseConv2d`).
+///
+/// # Errors
+/// See [`fused_conv2d`].
+pub fn fused_depthwise_conv2d(
+    x: &Tensor,
+    filter: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    strides: (usize, usize),
+    padding: Padding,
+    dilations: (usize, usize),
+) -> Result<Tensor> {
+    same_engine("FusedDepthwiseConv2D", x, filter)?;
+    if let Some(bias) = bias {
+        same_engine("FusedDepthwiseConv2D", x, bias)?;
+    }
+    check_activation("FusedDepthwiseConv2D", activation)?;
+    if x.engine().tape_active() || !x.engine().fusion_enabled() {
+        let mut y = super::depthwise_conv2d(x, filter, strides, padding, dilations)?;
+        if let Some(bias) = bias {
+            y = super::add(&y, bias)?;
+        }
+        if let Some(act) = activation {
+            y = unary_tensor_op(act, &y)?;
+        }
+        return Ok(y);
+    }
+    let info = depthwise_conv2d_info(
+        "FusedDepthwiseConv2D",
+        x.shape_ref(),
+        filter.shape_ref(),
+        strides,
+        padding,
+        dilations,
+    )?;
+    fused_conv_impl("FusedDepthwiseConv2D", x, filter, bias, activation, info, true)
+}
+
+/// Execute a chain of elementwise steps over `x` as one kernel. Each
+/// [`FusedStep::Binary`] combines the running value (left operand) with
+/// `extras[i]` under NumPy broadcasting. When a gradient tape is recording
+/// this runs one unfused op per step instead.
+///
+/// # Errors
+/// Fails on an empty chain, an out-of-range extra index, bool-producing
+/// steps, incompatible broadcast shapes, or backend errors.
+pub fn fused_elementwise(x: &Tensor, extras: &[&Tensor], steps: &[FusedStep]) -> Result<Tensor> {
+    if steps.is_empty() {
+        return Err(Error::invalid("FusedElementwise", "steps must be non-empty"));
+    }
+    for e in extras {
+        same_engine("FusedElementwise", x, e)?;
+    }
+    // Validate steps and derive the output shape by walking the chain.
+    let mut out_shape = x.shape_ref().clone();
+    for step in steps {
+        match *step {
+            FusedStep::Unary(op) => {
+                if op.out_dtype(DType::F32) != DType::F32 {
+                    return Err(Error::invalid(
+                        "FusedElementwise",
+                        format!("{} produces a bool output and cannot be fused", op.name()),
+                    ));
+                }
+            }
+            FusedStep::Binary(op, i) => {
+                if op.is_comparison() {
+                    return Err(Error::invalid(
+                        "FusedElementwise",
+                        format!("{} produces a bool output and cannot be fused", op.name()),
+                    ));
+                }
+                let e = extras.get(i).ok_or_else(|| {
+                    Error::invalid(
+                        "FusedElementwise",
+                        format!("binary step references extra {i} of {}", extras.len()),
+                    )
+                })?;
+                out_shape = broadcast_shapes("FusedElementwise", &out_shape, e.shape_ref())?;
+            }
+        }
+    }
+    if x.engine().tape_active() || !x.engine().fusion_enabled() {
+        let mut y = x.clone();
+        for step in steps {
+            y = match *step {
+                FusedStep::Unary(op) => unary_tensor_op(op, &y)?,
+                FusedStep::Binary(op, i) => binary_tensor_op(op, &y, extras[i])?,
+            };
+        }
+        return Ok(y);
+    }
+    let steps = steps.to_vec();
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![x];
+    inputs.extend_from_slice(extras);
+    let outs = x.engine().run_kernel(
+        "FusedElementwise",
+        &inputs,
+        &mut |backend, ins| {
+            let id = backend.fused_elementwise(&ins[0], &ins[1..], &steps, &shape_for_fwd)?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, test_engine};
+    use super::*;
+
+    #[test]
+    fn fused_matmul_matches_unfused() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let b = e.tensor_2d(&[0.5, -1.0, 2.0, 0.25, -0.5, 1.5], 3, 2).unwrap();
+        let bias = e.tensor_1d(&[0.1, -0.2]).unwrap();
+        let fused =
+            fused_matmul(&a, &b, Some(&bias), Some(UnaryOp::Relu), false, false).unwrap();
+        let unfused = super::super::relu(
+            &super::super::add(&super::super::matmul(&a, &b, false, false).unwrap(), &bias)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fused.to_f32_vec().unwrap(), unfused.to_f32_vec().unwrap());
+        assert_eq!(fused.shape(), unfused.shape());
+    }
+
+    #[test]
+    fn fused_matmul_without_epilogue_is_plain_matmul() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = e.tensor_2d(&[5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        let fused = fused_matmul(&a, &b, None, None, false, false).unwrap();
+        assert_eq!(fused.to_f32_vec().unwrap(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn fused_matmul_rejects_bad_bias() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0; 4], 2, 2).unwrap();
+        let b = e.tensor_2d(&[1.0; 4], 2, 2).unwrap();
+        let bias = e.tensor_1d(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(fused_matmul(&a, &b, Some(&bias), None, false, false).is_err());
+    }
+
+    #[test]
+    fn fused_matmul_records_unfused_tape_entries() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, -2.0, 3.0, -4.0], 2, 2).unwrap();
+        let b = e.tensor_2d(&[1.0, 0.0, 0.0, 1.0], 2, 2).unwrap();
+        let bias = e.tensor_1d(&[0.5, -0.5]).unwrap();
+        // d/da sum(relu(a·I + bias)) — the tape must thread through the
+        // unfused matmul/add/relu gradients.
+        let g = e
+            .grad(&a, || {
+                let y = fused_matmul(&a, &b, Some(&bias), Some(UnaryOp::Relu), false, false)?;
+                super::super::sum(&y, None, false)
+            })
+            .unwrap();
+        // relu' = 1 where a + bias > 0: entries 1.5, -2.5, 3.5, -4.5.
+        assert_eq!(g.to_f32_vec().unwrap(), vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_conv2d_matches_unfused() {
+        let e = test_engine();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32) * 0.25 - 4.0).collect();
+        let x = e.tensor(x, vec![1, 4, 4, 2]).unwrap();
+        let w: Vec<f32> = (0..36).map(|i| ((i % 7) as f32) * 0.5 - 1.5).collect();
+        let w = e.tensor(w, vec![3, 3, 2, 2]).unwrap();
+        let bias = e.tensor_1d(&[0.25, -0.75]).unwrap();
+        let fused = fused_conv2d(
+            &x,
+            &w,
+            Some(&bias),
+            Some(UnaryOp::Relu6),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        let unfused = super::super::relu6(
+            &super::super::add(
+                &super::super::conv2d(&x, &w, (1, 1), Padding::Same, (1, 1)).unwrap(),
+                &bias,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fused.to_f32_vec().unwrap(), unfused.to_f32_vec().unwrap());
+    }
+
+    #[test]
+    fn fused_elementwise_chain() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[-2.0, -1.0, 0.0, 1.0, 2.0]).unwrap();
+        let scale = e.tensor_1d(&[2.0]).unwrap();
+        let shift = e.tensor_1d(&[0.5]).unwrap();
+        // relu(x * 2 + 0.5)
+        let y = fused_elementwise(
+            &x,
+            &[&scale, &shift],
+            &[
+                FusedStep::Binary(BinaryOp::Mul, 0),
+                FusedStep::Binary(BinaryOp::Add, 1),
+                FusedStep::Unary(UnaryOp::Relu),
+            ],
+        )
+        .unwrap();
+        assert_close(&y.to_f32_vec().unwrap(), &[0.0, 0.0, 0.5, 2.5, 4.5], 1e-6);
+    }
+
+    #[test]
+    fn fused_elementwise_rejects_empty_and_bool() {
+        let e = test_engine();
+        let x = e.tensor_1d(&[1.0]).unwrap();
+        assert!(fused_elementwise(&x, &[], &[]).is_err());
+        assert!(fused_elementwise(&x, &[], &[FusedStep::Unary(UnaryOp::IsNan)]).is_err());
+        assert!(
+            fused_elementwise(&x, &[], &[FusedStep::Binary(BinaryOp::Add, 0)]).is_err(),
+            "out-of-range extra index"
+        );
+    }
+}

@@ -10,6 +10,7 @@ mod binary;
 mod compare;
 mod conv;
 mod creation;
+mod fused;
 mod image;
 mod matmul;
 mod misc;
@@ -22,6 +23,7 @@ mod unary;
 pub use binary::*;
 pub use compare::*;
 pub use conv::*;
+pub use fused::*;
 pub use image::*;
 pub use matmul::*;
 pub use misc::*;

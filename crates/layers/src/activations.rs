@@ -1,6 +1,7 @@
 //! Activation functions, by Keras name.
 
 use serde::{Deserialize, Serialize};
+use webml_core::backend::UnaryOp;
 use webml_core::{ops, Result, Tensor};
 
 /// An activation function applied element-wise (softmax: over the last
@@ -48,6 +49,26 @@ impl Activation {
             Activation::Selu => ops::selu(x),
             Activation::Softplus => ops::softplus(x),
             Activation::LeakyRelu => ops::leaky_relu(x, 0.2),
+        }
+    }
+
+    /// How this activation participates in a fused kernel epilogue:
+    /// `Some(None)` means fusable with no activation step (identity),
+    /// `Some(Some(op))` means fusable as the element-wise `op`, and `None`
+    /// means not expressible as an element-wise epilogue (softmax normalizes
+    /// across an axis, so only the bias add can fuse).
+    pub fn as_epilogue(self) -> Option<Option<UnaryOp>> {
+        match self {
+            Activation::Linear => Some(None),
+            Activation::Relu => Some(Some(UnaryOp::Relu)),
+            Activation::Relu6 => Some(Some(UnaryOp::Relu6)),
+            Activation::Sigmoid => Some(Some(UnaryOp::Sigmoid)),
+            Activation::Tanh => Some(Some(UnaryOp::Tanh)),
+            Activation::Softmax => None,
+            Activation::Elu => Some(Some(UnaryOp::Elu)),
+            Activation::Selu => Some(Some(UnaryOp::Selu)),
+            Activation::Softplus => Some(Some(UnaryOp::Softplus)),
+            Activation::LeakyRelu => Some(Some(UnaryOp::LeakyRelu(0.2))),
         }
     }
 

@@ -180,11 +180,19 @@ impl Layer for Dense {
 
     fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
         let kernel = require_built(&self.kernel, &self.name)?;
-        let mut y = ops::matmul(input, &kernel.value(), false, false)?;
-        if let Some(bias) = &self.bias {
-            y = ops::add(&y, &bias.value())?;
+        let bias = self.bias.as_ref().map(Variable::value);
+        match self.activation.as_epilogue() {
+            Some(act) => {
+                ops::fused_matmul(input, &kernel.value(), bias.as_ref(), act, false, false)
+            }
+            None => {
+                // Softmax can't run as an element-wise epilogue: fuse only
+                // the bias add, then normalize.
+                let y =
+                    ops::fused_matmul(input, &kernel.value(), bias.as_ref(), None, false, false)?;
+                self.activation.apply(&y)
+            }
         }
-        self.activation.apply(&y)
     }
 
     fn output_shape(&self, _input_shape: &Shape) -> Result<Shape> {
@@ -325,11 +333,30 @@ impl Layer for Conv2D {
 
     fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
         let kernel = require_built(&self.kernel, &self.name)?;
-        let mut y = ops::conv2d(input, &kernel.value(), self.strides, self.padding, (1, 1))?;
-        if let Some(bias) = &self.bias {
-            y = ops::add(&y, &bias.value())?;
+        let bias = self.bias.as_ref().map(Variable::value);
+        match self.activation.as_epilogue() {
+            Some(act) => ops::fused_conv2d(
+                input,
+                &kernel.value(),
+                bias.as_ref(),
+                act,
+                self.strides,
+                self.padding,
+                (1, 1),
+            ),
+            None => {
+                let y = ops::fused_conv2d(
+                    input,
+                    &kernel.value(),
+                    bias.as_ref(),
+                    None,
+                    self.strides,
+                    self.padding,
+                    (1, 1),
+                )?;
+                self.activation.apply(&y)
+            }
         }
-        self.activation.apply(&y)
     }
 
     fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {
@@ -478,12 +505,30 @@ impl Layer for DepthwiseConv2D {
 
     fn call(&self, input: &Tensor, _training: bool) -> Result<Tensor> {
         let kernel = require_built(&self.kernel, &self.name)?;
-        let mut y =
-            ops::depthwise_conv2d(input, &kernel.value(), self.strides, self.padding, (1, 1))?;
-        if let Some(bias) = &self.bias {
-            y = ops::add(&y, &bias.value())?;
+        let bias = self.bias.as_ref().map(Variable::value);
+        match self.activation.as_epilogue() {
+            Some(act) => ops::fused_depthwise_conv2d(
+                input,
+                &kernel.value(),
+                bias.as_ref(),
+                act,
+                self.strides,
+                self.padding,
+                (1, 1),
+            ),
+            None => {
+                let y = ops::fused_depthwise_conv2d(
+                    input,
+                    &kernel.value(),
+                    bias.as_ref(),
+                    None,
+                    self.strides,
+                    self.padding,
+                    (1, 1),
+                )?;
+                self.activation.apply(&y)
+            }
         }
-        self.activation.apply(&y)
     }
 
     fn output_shape(&self, input_shape: &Shape) -> Result<Shape> {

@@ -175,9 +175,11 @@ pub fn device_loop(
                 if !recycled {
                     shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
                 }
-                // Recycled textures may be dirty; uploads overwrite the
-                // prefix and must zero the rest.
-                t.data.iter_mut().for_each(|v| *v = 0.0);
+                // Recycled textures may be dirty; the upload overwrites the
+                // prefix, so only the tail beyond the uploaded data needs
+                // zeroing.
+                let tail = data.len().min(t.data.len());
+                t.data[tail..].fill(0.0);
                 t.upload(&data);
                 shared.bytes_gpu.fetch_add(t.byte_size(), Ordering::Relaxed);
                 let last_use = shared.touch();
@@ -310,7 +312,8 @@ fn run_program(
                     if !recycled {
                         shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
                     }
-                    t.data.iter_mut().for_each(|v| *v = 0.0);
+                    let tail = data.len().min(t.data.len());
+                    t.data[tail..].fill(0.0);
                     t.upload(&data);
                     shared.bytes_gpu.fetch_add(t.byte_size(), Ordering::Relaxed);
                     t
@@ -329,11 +332,15 @@ fn run_program(
     }
 
     let stats = {
+        // Index the taken textures once so each sampler binding is an O(1)
+        // map hit instead of an O(n) scan per input.
+        let taken_index: HashMap<TexId, &Texture> =
+            taken.iter().map(|(tid, tex)| (*tid, tex)).collect();
         let sampler_inputs: Vec<(&[f32], &TextureLayout)> = inputs
             .iter()
             .zip(in_layouts)
             .map(|(id, layout)| {
-                let tex = &taken.iter().find(|(tid, _)| tid == id).expect("taken above").1;
+                let tex = taken_index.get(id).expect("taken above");
                 (tex.data.as_slice(), layout)
             })
             .collect();
