@@ -14,12 +14,12 @@ fn bench_converter(c: &mut Criterion) {
     let weights: Vec<f32> = (0..470_000).map(|i| ((i as f32) * 0.137).sin()).collect();
 
     group.bench_function("quantize_u8", |b| {
-        b.iter(|| Quantization::U8.quantize(&weights).0.len())
+        b.iter(|| Quantization::U8.quantize("bench", &weights).unwrap().0.len())
     });
     group.bench_function("quantize_u16", |b| {
-        b.iter(|| Quantization::U16.quantize(&weights).0.len())
+        b.iter(|| Quantization::U16.quantize("bench", &weights).unwrap().0.len())
     });
-    let (q8, scale, min) = Quantization::U8.quantize(&weights);
+    let (q8, scale, min) = Quantization::U8.quantize("bench", &weights).unwrap();
     group.bench_function("dequantize_u8", |b| {
         b.iter(|| Quantization::U8.dequantize(&q8, scale, min).len())
     });

@@ -1,0 +1,177 @@
+//! Serving throughput/latency harness: dynamic micro-batching vs
+//! per-request execution on the simulated WebGL backend.
+//!
+//! ```text
+//! cargo run --release -p webml-bench --bin serve_bench
+//!     [-- --tiny] [-- --requests N] [-- --json] [-- --assert-speedup X]
+//! ```
+//!
+//! Each scenario runs 1, 4, and 16 concurrent closed-loop clients (one
+//! outstanding request each) against a `ModelServer` over a WebGL-simulated
+//! engine, in two configurations: **batched** (`max_batch` 16) and
+//! **unbatched** (`max_batch` 1). Reports req/s and p50/p99 latency per
+//! cell; `--json` writes `BENCH_SERVE.json` to the current directory, and
+//! `--assert-speedup X` exits non-zero unless batched req/s at 16 clients
+//! is ≥ X× unbatched (the CI serve-smoke gate uses 1.5).
+
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::Engine;
+use webml_models::serving::{classifier_artifacts, synthetic_example};
+use webml_serve::{ModelServer, ModelSource, ServeConfig};
+use webml_webgl_sim::devices::DeviceProfile;
+
+const IN_DIM: usize = 32;
+const HIDDEN: usize = 64;
+const CLASSES: usize = 10;
+
+fn webgl_engine() -> Engine {
+    let e = Engine::new();
+    let b = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default())
+        .expect("profile supports float textures");
+    e.register_backend("webgl", Arc::new(b), 2);
+    e
+}
+
+struct Cell {
+    clients: usize,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One scenario cell: `clients` closed-loop threads, `requests` per client.
+fn run_cell(batched: bool, clients: usize, requests: usize) -> Cell {
+    let engine = webgl_engine();
+    let config = if batched {
+        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(2), cache_capacity: 4 }
+    } else {
+        ServeConfig { max_batch: 1, max_wait: Duration::from_micros(100), cache_capacity: 4 }
+    };
+    let artifacts = classifier_artifacts(&engine, IN_DIM, HIDDEN, CLASSES, 11)
+        .expect("build serving model");
+    let server = Arc::new(ModelServer::new(&engine, config));
+    let key = server.register(ModelSource::Artifacts(artifacts));
+    // Warm the model cache so every cell measures steady-state serving.
+    server.infer(key, synthetic_example(IN_DIM, 0), vec![IN_DIM]).expect("warmup inference");
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    let example = synthetic_example(IN_DIM, c * requests + r);
+                    let t = Instant::now();
+                    let resp = server.infer(key, example, vec![IN_DIM]).expect("inference");
+                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(resp.dims, vec![CLASSES]);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let stats = server.stats();
+    Cell {
+        clients,
+        req_per_s: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        batches: stats.batches,
+        batched_requests: stats.batched_requests,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_mode = args.iter().any(|a| a == "--json");
+    let requests: usize = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if tiny { 24 } else { 96 });
+    let assert_speedup: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-speedup")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    println!(
+        "serving benchmark: MLP {IN_DIM}->{HIDDEN}->{HIDDEN}->{CLASSES} on simulated WebGL, \
+         {requests} requests/client"
+    );
+    let client_counts = [1usize, 4, 16];
+    let mut json_rows = Vec::new();
+    let mut speedup_at_16 = 0.0;
+    for &clients in &client_counts {
+        let unbatched = run_cell(false, clients, requests);
+        let batched = run_cell(true, clients, requests);
+        let speedup = batched.req_per_s / unbatched.req_per_s;
+        if clients == 16 {
+            speedup_at_16 = speedup;
+        }
+        println!(
+            "  {clients:>2} clients | unbatched {:>7.1} req/s (p50 {:.2} ms, p99 {:.2} ms) | \
+             batched {:>7.1} req/s (p50 {:.2} ms, p99 {:.2} ms) | {:.2}x",
+            unbatched.req_per_s,
+            unbatched.p50_ms,
+            unbatched.p99_ms,
+            batched.req_per_s,
+            batched.p50_ms,
+            batched.p99_ms,
+            speedup,
+        );
+        for (mode, cell) in [("unbatched", &unbatched), ("batched", &batched)] {
+            json_rows.push(json!({
+                "mode": mode,
+                "clients": cell.clients,
+                "req_per_s": cell.req_per_s,
+                "p50_ms": cell.p50_ms,
+                "p99_ms": cell.p99_ms,
+                "batches": cell.batches,
+                "batched_requests": cell.batched_requests,
+            }));
+        }
+    }
+    if json_mode {
+        let doc = json!({
+            "bench": "serving throughput: dynamic micro-batching vs per-request",
+            "backend": "webgl (integrated-GPU profile, simulated)",
+            "model": { "in_dim": IN_DIM, "hidden": HIDDEN, "classes": CLASSES },
+            "requests_per_client": requests,
+            "rows": json_rows,
+            "speedup_at_16_clients": speedup_at_16,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        std::fs::write("BENCH_SERVE.json", text).expect("write BENCH_SERVE.json");
+        println!("\nwrote BENCH_SERVE.json");
+    }
+    if let Some(want) = assert_speedup {
+        assert!(
+            speedup_at_16 >= want,
+            "batched serving speedup at 16 clients was {speedup_at_16:.2}x, expected >= {want}x"
+        );
+        println!("speedup gate passed: {speedup_at_16:.2}x >= {want}x at 16 clients");
+    }
+}

@@ -135,6 +135,36 @@ impl ModelArtifacts {
     pub fn weight_bytes(&self) -> usize {
         self.weight_data.len()
     }
+
+    /// Stable content hash over topology, weight specs, and weight bytes
+    /// (FNV-1a). Two artifacts hash equal iff they describe the same model
+    /// with the same weights — the key used by serving-layer model caches.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(serde_json::to_string(&self.topology).unwrap_or_default().as_bytes());
+        for spec in &self.weight_specs {
+            eat(spec.name.as_bytes());
+            eat(&[0]);
+            for &d in &spec.shape {
+                eat(&(d as u64).to_le_bytes());
+            }
+            if let Some(q) = &spec.quantization {
+                eat(q.kind.name().as_bytes());
+                eat(&q.scale.to_le_bytes());
+                eat(&q.min.to_le_bytes());
+            }
+        }
+        eat(&self.weight_data);
+        h
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +193,19 @@ mod tests {
     fn malformed_spec_errors() {
         assert!(WeightSpec::from_json(&json!({"shape": [1]})).is_err());
         assert!(WeightSpec::from_json(&json!({"name": "w"})).is_err());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_weights_and_is_stable() {
+        let make = |byte: u8| ModelArtifacts {
+            topology: json!({"layers": ["dense"]}),
+            weight_specs: vec![WeightSpec::full("w".into(), vec![2])],
+            weight_data: bytes::Bytes::from(vec![byte; 8]),
+        };
+        assert_eq!(make(1).content_hash(), make(1).content_hash());
+        assert_ne!(make(1).content_hash(), make(2).content_hash());
+        let mut other_topology = make(1);
+        other_topology.topology = json!({"layers": ["conv"]});
+        assert_ne!(make(1).content_hash(), other_topology.content_hash());
     }
 }

@@ -388,6 +388,53 @@ impl GraphModel {
         self.graph.nodes.len()
     }
 
+    /// The engine this model executes on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Names of the graph's `Placeholder` nodes — the feeds a serving layer
+    /// must bind.
+    pub fn placeholder_names(&self) -> Vec<&str> {
+        self.graph
+            .nodes
+            .iter()
+            .filter(|n| n.op == "Placeholder")
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Names of the graph's terminal nodes (no consumers) — the natural
+    /// fetches for inference.
+    pub fn output_names(&self) -> Vec<&str> {
+        let consumed: HashSet<&str> = self
+            .graph
+            .nodes
+            .iter()
+            .flat_map(|n| n.inputs.iter().map(|i| i.trim_start_matches('^')))
+            .collect();
+        self.graph
+            .nodes
+            .iter()
+            .filter(|n| !consumed.contains(n.name.as_str()) && n.op != "Placeholder")
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Bytes resident in this model's uploaded weight tensors.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.values().map(Tensor::bytes).sum()
+    }
+
+    /// Dispose every uploaded weight tensor. The model is unusable
+    /// afterwards — this is the serving-cache eviction path, which releases
+    /// the weights' device memory back to `Engine::memory()` accounting.
+    pub fn dispose_weights(&self) {
+        for t in self.weights.values() {
+            t.dispose();
+        }
+    }
+
     /// Execute the graph: bind `feeds` to placeholders, return the tensors
     /// of `fetches`. All intermediates are disposed. Runs the fused graph
     /// unless a fetch names a node the fusion pass eliminated, in which case

@@ -53,7 +53,7 @@ pub fn to_artifacts(model: &Sequential, quantization: Option<Quantization>) -> R
                 WeightSpec::full(name, tensor.shape().0)
             }
             Some(q) => {
-                let (bytes, scale, min) = q.quantize(&values);
+                let (bytes, scale, min) = q.quantize(&name, &values)?;
                 data.extend_from_slice(&bytes);
                 WeightSpec::quantized(name, tensor.shape().0, q, scale, min)
             }

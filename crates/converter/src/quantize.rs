@@ -1,6 +1,8 @@
 //! Affine weight quantization (paper Sec 5.1: "the user can also quantize
 //! the weights, reducing the model size by 4X").
 
+use webml_core::{Error, Result};
+
 /// Integer width for quantized storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Quantization {
@@ -46,7 +48,21 @@ impl Quantization {
 
     /// Quantize values to bytes plus `(scale, min)` for dequantization:
     /// `value ≈ q * scale + min`.
-    pub fn quantize(self, values: &[f32]) -> (Vec<u8>, f32, f32) {
+    ///
+    /// `tensor_name` identifies the weight in error messages.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when any value is NaN or ±infinity: NaN
+    /// would otherwise silently encode as level 0 (dequantizing to the
+    /// range minimum) and any non-finite value corrupts the min/max fold,
+    /// so the whole tensor's scale would be garbage.
+    pub fn quantize(self, tensor_name: &str, values: &[f32]) -> Result<(Vec<u8>, f32, f32)> {
+        if let Some((i, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(Error::invalid(
+                "quantize",
+                format!("weight tensor '{tensor_name}' has non-finite value {v} at index {i}; refusing to quantize (NaN would decode as the range minimum)"),
+            ));
+        }
         let min = values.iter().copied().fold(f32::INFINITY, f32::min);
         let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
@@ -67,7 +83,7 @@ impl Quantization {
                 Quantization::U16 => out.extend_from_slice(&(q as u16).to_le_bytes()),
             }
         }
-        (out, scale as f32, min)
+        Ok((out, scale as f32, min))
     }
 
     /// Dequantize bytes back to f32 values.
@@ -94,7 +110,7 @@ mod tests {
     #[test]
     fn u8_gives_4x_reduction() {
         let values: Vec<f32> = (0..100).map(|i| i as f32 / 10.0).collect();
-        let (bytes, _, _) = Quantization::U8.quantize(&values);
+        let (bytes, _, _) = Quantization::U8.quantize("w", &values).unwrap();
         assert_eq!(bytes.len() * 4, values.len() * 4);
         assert_eq!(bytes.len(), 100);
     }
@@ -102,7 +118,7 @@ mod tests {
     #[test]
     fn u16_gives_2x_reduction() {
         let values = vec![1.0f32; 50];
-        let (bytes, _, _) = Quantization::U16.quantize(&values);
+        let (bytes, _, _) = Quantization::U16.quantize("w", &values).unwrap();
         assert_eq!(bytes.len(), 100);
     }
 
@@ -110,7 +126,7 @@ mod tests {
     fn round_trip_error_is_bounded() {
         let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
         for q in [Quantization::U8, Quantization::U16] {
-            let (bytes, scale, min) = q.quantize(&values);
+            let (bytes, scale, min) = q.quantize("w", &values).unwrap();
             let back = q.dequantize(&bytes, scale, min);
             let bound = q.max_error(-3.0, 3.0) * 1.01;
             for (a, b) in values.iter().zip(&back) {
@@ -122,7 +138,7 @@ mod tests {
     #[test]
     fn endpoints_are_exact() {
         let values = vec![-2.0f32, 0.0, 2.0];
-        let (bytes, scale, min) = Quantization::U8.quantize(&values);
+        let (bytes, scale, min) = Quantization::U8.quantize("w", &values).unwrap();
         let back = Quantization::U8.dequantize(&bytes, scale, min);
         assert_eq!(back[0], -2.0);
         assert!((back[2] - 2.0).abs() < 1e-5);
@@ -131,14 +147,47 @@ mod tests {
     #[test]
     fn constant_tensor_survives() {
         let values = vec![0.7f32; 8];
-        let (bytes, scale, min) = Quantization::U8.quantize(&values);
+        let (bytes, scale, min) = Quantization::U8.quantize("w", &values).unwrap();
         let back = Quantization::U8.dequantize(&bytes, scale, min);
         assert_eq!(back, values);
     }
 
     #[test]
     fn empty_input() {
-        let (bytes, _, _) = Quantization::U8.quantize(&[]);
+        let (bytes, _, _) = Quantization::U8.quantize("w", &[]).unwrap();
         assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn nan_is_rejected_naming_the_tensor() {
+        for q in [Quantization::U8, Quantization::U16] {
+            let err = q.quantize("conv1/kernel", &[0.5, f32::NAN, 1.0]).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("conv1/kernel"), "{msg}");
+            assert!(msg.contains("index 1"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn infinities_are_rejected() {
+        for bad in [f32::INFINITY, f32::NEG_INFINITY] {
+            let err = Quantization::U8.quantize("dense/bias", &[bad, 0.0]).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("dense/bias"), "{msg}");
+            assert!(msg.contains("index 0"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn finite_values_after_fix_still_round_trip() {
+        // Regression guard: the finiteness check must not change the
+        // encoding of healthy tensors.
+        let values = vec![-1.5f32, -0.25, 0.0, 0.75, 3.0];
+        let (bytes, scale, min) = Quantization::U16.quantize("w", &values).unwrap();
+        let back = Quantization::U16.dequantize(&bytes, scale, min);
+        let bound = Quantization::U16.max_error(-1.5, 3.0) * 1.01;
+        for (a, b) in values.iter().zip(&back) {
+            assert!((a - b).abs() <= bound);
+        }
     }
 }

@@ -3,6 +3,26 @@
 //! The engine owns backend registration, the tensor/data registries with
 //! reference counting (paper Sec 3.4), memory scopes for `tidy()` (Sec 3.7),
 //! the gradient tape (Sec 3.5), and the profiling/debugging hooks (Sec 3.8).
+//!
+//! ## Concurrency model (sharded registries)
+//!
+//! The registries are *sharded*: tensor records and data records live in
+//! `SHARD_COUNT` independently locked maps keyed by tensor id / data
+//! handle, and the engine-wide gauges (`num_tensors`, `num_bytes`,
+//! degradation count) are atomics. A kernel dispatch therefore touches only
+//! the shards its inputs and outputs hash to, so independent inferences on
+//! different threads overlap instead of serializing behind one mutex.
+//! Kernel execution itself, profiling appends, and degradation logging all
+//! happen off the registry locks.
+//!
+//! Lock ordering (outermost first): `meta` (scopes/tape) → tensor shard →
+//! data shard → backend table → profile/degradation log. No code path may
+//! acquire an earlier lock while holding a later one, and no path holds two
+//! shards of the same registry at once.
+//!
+//! `tidy` scopes are tracked **per thread**: a scope opened on one thread
+//! only collects tensors created on that thread, so concurrent inference
+//! requests cannot dispose each other's intermediates.
 
 use crate::backend::{Backend, BackendMemory, DataId, KTensor, KernelTiming};
 use crate::dtype::{DType, TensorData};
@@ -10,11 +30,15 @@ use crate::error::{Error, Result};
 use crate::shape::Shape;
 use crate::tape::{GradFn, Tape, TapeNode};
 use crate::tensor::Tensor;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 use std::time::Instant;
+
+/// Number of independently locked registry shards (power of two).
+const SHARD_COUNT: usize = 16;
 
 /// How tensor memory is reclaimed.
 ///
@@ -147,21 +171,21 @@ struct Scope {
     tensors: Vec<usize>,
 }
 
-struct EngineState {
-    backends: Vec<(String, i32, Arc<dyn Backend>)>,
-    current_backend: Option<usize>,
-    tensors: HashMap<usize, TensorRecord>,
-    data: HashMap<u64, DataRecord>,
-    scopes: Vec<Scope>,
-    next_scope_id: usize,
+/// Registered backends and the index of the active one (read-mostly; only
+/// `register_backend`/`set_backend`/degradation take the write lock).
+struct BackendTable {
+    entries: Vec<(String, i32, Arc<dyn Backend>)>,
+    current: Option<usize>,
+}
+
+/// Cold bookkeeping: per-thread `tidy` scope stacks and the gradient tape.
+/// Held only for scope membership pushes and tape recording — never across
+/// kernel execution, data migration, or backend calls.
+struct MetaState {
+    scopes: HashMap<ThreadId, Vec<Scope>>,
     tape_stack: Vec<Tape>,
     recording_paused: bool,
     kept_by_tape: HashSet<usize>,
-    profile: Option<ProfileState>,
-    debug: bool,
-    num_bytes: usize,
-    degradations: u64,
-    degradation_log: Vec<DegradationEvent>,
 }
 
 /// The eager execution engine. Cheap to clone (`Arc` internally); usually
@@ -173,24 +197,43 @@ pub struct Engine {
 }
 
 struct EngineInner {
-    state: Mutex<EngineState>,
+    /// Sharded tensor registry, keyed by tensor id.
+    tensor_shards: Vec<Mutex<HashMap<usize, TensorRecord>>>,
+    /// Sharded data-container registry, keyed by data handle.
+    data_shards: Vec<Mutex<HashMap<u64, DataRecord>>>,
+    /// Live tensor count (exact: mutated adjacent to every shard mutation).
+    num_tensors: AtomicUsize,
+    /// Live data-container count.
+    num_data: AtomicUsize,
+    /// Total live bytes.
+    num_bytes: AtomicUsize,
+    backends: RwLock<BackendTable>,
+    meta: Mutex<MetaState>,
+    /// Whether any tape is active (fast-path skip of `meta` in kernels).
+    tape_active: AtomicBool,
+    profile: Mutex<Option<ProfileState>>,
+    /// Whether profiling is active (fast-path skip of the profile lock).
+    profiling: AtomicBool,
+    debug: AtomicBool,
+    degradations: AtomicU64,
+    degradation_log: Mutex<Vec<DegradationEvent>>,
     garbage: Mutex<Vec<usize>>,
+    /// Whether `garbage` may be non-empty (skip the lock when clean).
+    garbage_pending: AtomicBool,
     next_data_handle: AtomicU64,
     next_tensor_id: AtomicUsize,
+    next_scope_id: AtomicUsize,
     policy: AtomicU8,
     fusion_enabled: AtomicBool,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.inner.state.lock();
+        let table = self.inner.backends.read();
         f.debug_struct("Engine")
-            .field("num_tensors", &state.tensors.len())
-            .field("num_bytes", &state.num_bytes)
-            .field(
-                "backend",
-                &state.current_backend.map(|i| state.backends[i].0.clone()),
-            )
+            .field("num_tensors", &self.inner.num_tensors.load(Ordering::Relaxed))
+            .field("num_bytes", &self.inner.num_bytes.load(Ordering::Relaxed))
+            .field("backend", &table.current.map(|i| table.entries[i].0.clone()))
             .finish()
     }
 }
@@ -212,29 +255,41 @@ impl Engine {
     pub fn new() -> Engine {
         Engine {
             inner: Arc::new(EngineInner {
-                state: Mutex::new(EngineState {
-                    backends: Vec::new(),
-                    current_backend: None,
-                    tensors: HashMap::new(),
-                    data: HashMap::new(),
-                    scopes: Vec::new(),
-                    next_scope_id: 0,
+                tensor_shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+                data_shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+                num_tensors: AtomicUsize::new(0),
+                num_data: AtomicUsize::new(0),
+                num_bytes: AtomicUsize::new(0),
+                backends: RwLock::new(BackendTable { entries: Vec::new(), current: None }),
+                meta: Mutex::new(MetaState {
+                    scopes: HashMap::new(),
                     tape_stack: Vec::new(),
                     recording_paused: false,
                     kept_by_tape: HashSet::new(),
-                    profile: None,
-                    debug: false,
-                    num_bytes: 0,
-                    degradations: 0,
-                    degradation_log: Vec::new(),
                 }),
+                tape_active: AtomicBool::new(false),
+                profile: Mutex::new(None),
+                profiling: AtomicBool::new(false),
+                debug: AtomicBool::new(false),
+                degradations: AtomicU64::new(0),
+                degradation_log: Mutex::new(Vec::new()),
                 garbage: Mutex::new(Vec::new()),
+                garbage_pending: AtomicBool::new(false),
                 next_data_handle: AtomicU64::new(1),
                 next_tensor_id: AtomicUsize::new(1),
+                next_scope_id: AtomicUsize::new(0),
                 policy: AtomicU8::new(0), // Manual
                 fusion_enabled: AtomicBool::new(true),
             }),
         }
+    }
+
+    fn tensor_shard(&self, id: usize) -> &Mutex<HashMap<usize, TensorRecord>> {
+        &self.inner.tensor_shards[id & (SHARD_COUNT - 1)]
+    }
+
+    fn data_shard(&self, handle: u64) -> &Mutex<HashMap<u64, DataRecord>> {
+        &self.inner.data_shards[(handle as usize) & (SHARD_COUNT - 1)]
     }
 
     /// Enable or disable kernel fusion. When disabled, the `ops::fused_*`
@@ -255,17 +310,17 @@ impl Engine {
     /// the default, mirroring `tf.registerBackend` semantics.
     pub fn register_backend(&self, name: impl Into<String>, backend: Arc<dyn Backend>, priority: i32) {
         let name = name.into();
-        let mut state = self.inner.state.lock();
-        state.backends.retain(|(n, _, _)| n != &name);
-        state.backends.push((name, priority, backend));
+        let mut table = self.inner.backends.write();
+        table.entries.retain(|(n, _, _)| n != &name);
+        table.entries.push((name, priority, backend));
         // Default to the highest priority backend.
-        let best = state
-            .backends
+        let best = table
+            .entries
             .iter()
             .enumerate()
             .max_by_key(|(_, (_, p, _))| *p)
             .map(|(i, _)| i);
-        state.current_backend = best;
+        table.current = best;
     }
 
     /// Switch the active backend by name.
@@ -273,10 +328,10 @@ impl Engine {
     /// # Errors
     /// [`Error::UnknownBackend`] when no backend has that name.
     pub fn set_backend(&self, name: &str) -> Result<()> {
-        let mut state = self.inner.state.lock();
-        match state.backends.iter().position(|(n, _, _)| n == name) {
+        let mut table = self.inner.backends.write();
+        match table.entries.iter().position(|(n, _, _)| n == name) {
             Some(i) => {
-                state.current_backend = Some(i);
+                table.current = Some(i);
                 Ok(())
             }
             None => Err(Error::UnknownBackend { name: name.to_string() }),
@@ -288,15 +343,15 @@ impl Engine {
     /// # Panics
     /// Panics if no backend is registered.
     pub fn backend_name(&self) -> String {
-        let state = self.inner.state.lock();
-        let i = state.current_backend.expect("no backend registered");
-        state.backends[i].0.clone()
+        let table = self.inner.backends.read();
+        let i = table.current.expect("no backend registered");
+        table.entries[i].0.clone()
     }
 
     /// Names of all registered backends.
     pub fn backend_names(&self) -> Vec<String> {
-        let state = self.inner.state.lock();
-        state.backends.iter().map(|(n, _, _)| n.clone()).collect()
+        let table = self.inner.backends.read();
+        table.entries.iter().map(|(n, _, _)| n.clone()).collect()
     }
 
     /// Handle to the active backend.
@@ -304,14 +359,24 @@ impl Engine {
     /// # Panics
     /// Panics if no backend is registered.
     pub fn backend(&self) -> Arc<dyn Backend> {
-        let state = self.inner.state.lock();
-        let i = state.current_backend.expect("no backend registered");
-        state.backends[i].2.clone()
+        let table = self.inner.backends.read();
+        let i = table.current.expect("no backend registered");
+        table.entries[i].2.clone()
     }
 
-    fn backend_by_name(state: &EngineState, name: &str) -> Arc<dyn Backend> {
-        state
+    /// The active backend together with its *registry* name (the same
+    /// backend implementation can be registered under several names).
+    fn current_backend(&self) -> Result<(Arc<dyn Backend>, String)> {
+        let table = self.inner.backends.read();
+        let i = table.current.ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
+        Ok((table.entries[i].2.clone(), table.entries[i].0.clone()))
+    }
+
+    fn backend_by_name(&self, name: &str) -> Arc<dyn Backend> {
+        self.inner
             .backends
+            .read()
+            .entries
             .iter()
             .find(|(n, _, _)| n == name)
             .map(|(_, _, b)| b.clone())
@@ -345,12 +410,16 @@ impl Engine {
 
     pub(crate) fn enqueue_garbage(&self, tensor_id: usize) {
         self.inner.garbage.lock().push(tensor_id);
+        self.inner.garbage_pending.store(true, Ordering::Release);
     }
 
-    fn collect_garbage(&self, state: &mut EngineState) {
+    fn collect_garbage(&self) {
+        if !self.inner.garbage_pending.swap(false, Ordering::AcqRel) {
+            return;
+        }
         let ids: Vec<usize> = std::mem::take(&mut *self.inner.garbage.lock());
         for id in ids {
-            Self::dispose_tensor_locked(state, id);
+            self.dispose_tensor(id);
         }
     }
 
@@ -364,43 +433,43 @@ impl Engine {
         self.inner.next_data_handle.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn register_tensor_locked(
-        &self,
-        state: &mut EngineState,
-        data_handle: u64,
-        shape: Shape,
-        dtype: DType,
-    ) -> Tensor {
+    fn register_tensor(&self, data_handle: u64, shape: Shape, dtype: DType) -> Tensor {
         let id = self.fresh_tensor_id();
-        let scope = state.scopes.last().map(|s| s.id);
-        if let Some(s) = state.scopes.last_mut() {
-            s.tensors.push(id);
-        }
-        state.tensors.insert(
-            id,
-            TensorRecord { data: data_handle, kept: false, variable: false, scope },
-        );
-        if let Some(p) = state.profile.as_mut() {
-            p.new_tensors += 1;
-            p.peak_tensors = p.peak_tensors.max(state.tensors.len());
+        let scope = {
+            let mut meta = self.inner.meta.lock();
+            match meta.scopes.get_mut(&std::thread::current().id()).and_then(|s| s.last_mut()) {
+                Some(s) => {
+                    s.tensors.push(id);
+                    Some(s.id)
+                }
+                None => None,
+            }
+        };
+        self.tensor_shard(id)
+            .lock()
+            .insert(id, TensorRecord { data: data_handle, kept: false, variable: false, scope });
+        let live = self.inner.num_tensors.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.inner.profiling.load(Ordering::Relaxed) {
+            if let Some(p) = self.inner.profile.lock().as_mut() {
+                p.new_tensors += 1;
+                p.peak_tensors = p.peak_tensors.max(live);
+            }
         }
         Tensor::from_parts(self.clone(), id, shape, dtype)
     }
 
-    fn register_data_locked(
-        &self,
-        state: &mut EngineState,
-        backend_name: String,
-        id: DataId,
-        bytes: usize,
-        dtype: DType,
-    ) -> u64 {
+    fn register_data(&self, backend_name: String, id: DataId, bytes: usize, dtype: DType) -> u64 {
         let handle = self.fresh_data_handle();
-        state.data.insert(handle, DataRecord { backend_name, id, refcount: 1, bytes, dtype });
-        state.num_bytes += bytes;
-        if let Some(p) = state.profile.as_mut() {
-            p.new_bytes += bytes;
-            p.peak_bytes = p.peak_bytes.max(state.num_bytes);
+        self.data_shard(handle)
+            .lock()
+            .insert(handle, DataRecord { backend_name, id, refcount: 1, bytes, dtype });
+        self.inner.num_data.fetch_add(1, Ordering::Relaxed);
+        let live_bytes = self.inner.num_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if self.inner.profiling.load(Ordering::Relaxed) {
+            if let Some(p) = self.inner.profile.lock().as_mut() {
+                p.new_bytes += bytes;
+                p.peak_bytes = p.peak_bytes.max(live_bytes);
+            }
         }
         handle
     }
@@ -418,19 +487,14 @@ impl Engine {
         }
         let data = data.cast(dtype);
         let bytes = shape.size() * dtype.byte_size();
-        let mut state = self.inner.state.lock();
-        self.collect_garbage(&mut state);
+        self.collect_garbage();
         // Record the *registry* name, not `backend.name()`: the same backend
         // implementation can be registered under several names (and the data
         // must follow the registration it actually lives on).
-        let i = state
-            .current_backend
-            .ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
-        let backend = state.backends[i].2.clone();
-        let backend_name = state.backends[i].0.clone();
+        let (backend, backend_name) = self.current_backend()?;
         let id = backend.register(data, dtype);
-        let handle = self.register_data_locked(&mut state, backend_name, id, bytes, dtype);
-        Ok(self.register_tensor_locked(&mut state, handle, shape, dtype))
+        let handle = self.register_data(backend_name, id, bytes, dtype);
+        Ok(self.register_tensor(handle, shape, dtype))
     }
 
     /// Create a new tensor that shares the data of `t` under a new shape —
@@ -452,33 +516,39 @@ impl Engine {
                 format!("cannot view {} as {} (different sizes)", t.shape(), new_shape),
             ));
         }
-        let mut state = self.inner.state.lock();
-        self.collect_garbage(&mut state);
-        let data_handle = {
-            let rec = state
-                .tensors
-                .get(&t.id())
+        self.collect_garbage();
+        let data_handle = self
+            .tensor_shard(t.id())
+            .lock()
+            .get(&t.id())
+            .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
+            .data;
+        {
+            let mut shard = self.data_shard(data_handle).lock();
+            let rec = shard
+                .get_mut(&data_handle)
                 .ok_or(Error::TensorDisposed { tensor_id: t.id() })?;
-            rec.data
-        };
-        state.data.get_mut(&data_handle).expect("live tensor has data").refcount += 1;
-        let dtype = t.dtype();
-        let out = self.register_tensor_locked(&mut state, data_handle, new_shape, dtype);
-        if let Some(grad_fn) = grad {
-            Self::maybe_record_locked(&mut state, kernel, &[t], std::slice::from_ref(&out), grad_fn);
+            rec.refcount += 1;
         }
-        drop(state);
+        let out = self.register_tensor(data_handle, new_shape, t.dtype());
+        if let Some(grad_fn) = grad {
+            self.maybe_record(kernel, &[t], std::slice::from_ref(&out), grad_fn);
+        }
         Ok(out)
     }
 
-    fn maybe_record_locked(
-        state: &mut EngineState,
+    fn maybe_record(
+        &self,
         kernel: &'static str,
         inputs: &[&Tensor],
         outputs: &[Tensor],
         grad_fn: GradFn,
     ) {
-        if state.tape_stack.is_empty() || state.recording_paused {
+        if !self.inner.tape_active.load(Ordering::Acquire) {
+            return;
+        }
+        let mut meta = self.inner.meta.lock();
+        if meta.tape_stack.is_empty() || meta.recording_paused {
             return;
         }
         let node = TapeNode {
@@ -490,12 +560,48 @@ impl Engine {
             grad_fn,
         };
         for t in inputs {
-            state.kept_by_tape.insert(t.id());
+            meta.kept_by_tape.insert(t.id());
         }
         for t in outputs {
-            state.kept_by_tape.insert(t.id());
+            meta.kept_by_tape.insert(t.id());
         }
-        state.tape_stack.last_mut().expect("tape active").record(node);
+        meta.tape_stack.last_mut().expect("tape active").record(node);
+    }
+
+    /// Resolve `t`'s data record, migrate it to the active backend when it
+    /// lives elsewhere, and pin it (refcount) so a concurrent dispose cannot
+    /// free it mid-kernel. The migration happens while this data shard's
+    /// lock is held, so the same container is never migrated twice.
+    fn pin_input(
+        &self,
+        t: &Tensor,
+        backend: &dyn Backend,
+        backend_name: &str,
+    ) -> Result<(u64, DataId)> {
+        let data_handle = self
+            .tensor_shard(t.id())
+            .lock()
+            .get(&t.id())
+            .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
+            .data;
+        let mut shard = self.data_shard(data_handle).lock();
+        let rec = shard
+            .get_mut(&data_handle)
+            .ok_or(Error::TensorDisposed { tensor_id: t.id() })?;
+        // Migrate data living on another backend (lazy movement on first
+        // use, like tfjs `moveData`). After a degradation this is the
+        // recovery path: the read serves the failed backend's host-side
+        // copies.
+        if rec.backend_name != backend_name {
+            let old_backend = self.backend_by_name(&rec.backend_name);
+            let host = Self::read_sync_with_retry(old_backend.as_ref(), rec.id)?;
+            old_backend.dispose_data(rec.id);
+            let new_id = backend.register(host, rec.dtype);
+            rec.backend_name = backend_name.to_string();
+            rec.id = new_id;
+        }
+        rec.refcount += 1; // pin
+        Ok((data_handle, rec.id))
     }
 
     /// Run a kernel: validate inputs, execute `forward` on the active
@@ -513,6 +619,10 @@ impl Engine {
     /// backend's host-side copies, so no data is lost and callers only
     /// observe a [`DegradationEvent`] instead of an error.
     ///
+    /// Only the registry shards holding the kernel's inputs/outputs are
+    /// locked, and never across the `forward` call itself — concurrent
+    /// kernels on disjoint tensors proceed in parallel.
+    ///
     /// # Errors
     /// Propagates disposed-tensor, NaN-debug, and non-degradable backend
     /// errors, plus degradable errors once no lower-priority backend is
@@ -529,49 +639,27 @@ impl Engine {
         // every degradation so a fresh backend gets its full budget.
         let mut attempts: u32 = 0;
         loop {
-            // Phase 1 (locked): validate inputs, migrate cross-backend data,
-            // pin input data so a concurrent dispose cannot free it
-            // mid-kernel.
-            let (backend, backend_name, input_data, debug, profiling) = {
-                let mut state = self.inner.state.lock();
-                self.collect_garbage(&mut state);
-                let i = state
-                    .current_backend
-                    .ok_or_else(|| Error::UnknownBackend { name: "<none>".into() })?;
-                let backend = state.backends[i].2.clone();
-                let backend_name = state.backends[i].0.clone();
-                let mut input_data = Vec::with_capacity(inputs.len());
-                for t in inputs {
-                    let data_handle = state
-                        .tensors
-                        .get(&t.id())
-                        .ok_or(Error::TensorDisposed { tensor_id: t.id() })?
-                        .data;
-                    // Migrate data living on another backend (lazy movement
-                    // on first use, like tfjs `moveData`). After a
-                    // degradation this is the recovery path: the read serves
-                    // the failed backend's host-side copies.
-                    let needs_move = state.data[&data_handle].backend_name != backend_name;
-                    if needs_move {
-                        let (old_backend, old_id, dtype) = {
-                            let rec = &state.data[&data_handle];
-                            (Self::backend_by_name(&state, &rec.backend_name), rec.id, rec.dtype)
-                        };
-                        let host = Self::read_sync_with_retry(old_backend.as_ref(), old_id)?;
-                        old_backend.dispose_data(old_id);
-                        let new_id = backend.register(host, dtype);
-                        let rec = state.data.get_mut(&data_handle).expect("live data");
-                        rec.backend_name = backend_name.clone();
-                        rec.id = new_id;
+            self.collect_garbage();
+            // Phase 1: resolve the backend, then validate/migrate/pin each
+            // input under its own shard locks.
+            let (backend, backend_name) = self.current_backend()?;
+            let mut input_data: Vec<(u64, DataId)> = Vec::with_capacity(inputs.len());
+            let mut pin_failure: Option<Error> = None;
+            for t in inputs {
+                match self.pin_input(t, backend.as_ref(), &backend_name) {
+                    Ok(pinned) => input_data.push(pinned),
+                    Err(e) => {
+                        pin_failure = Some(e);
+                        break;
                     }
-                    let rec = state.data.get_mut(&data_handle).expect("live data");
-                    rec.refcount += 1; // pin
-                    input_data.push((data_handle, rec.id));
                 }
-                (backend, backend_name, input_data, state.debug, state.profile.is_some())
-            };
+            }
+            if let Some(e) = pin_failure {
+                self.unpin(&input_data);
+                return Err(e);
+            }
 
-            // Phase 2 (unlocked): run the kernel.
+            // Phase 2 (no registry locks held): run the kernel.
             let ktensors: Vec<KTensor<'_>> = inputs
                 .iter()
                 .zip(&input_data)
@@ -583,7 +671,7 @@ impl Engine {
 
             // NaN-debug mode: download every output and fail at the first
             // NaN, naming the kernel (paper Sec 3.8).
-            if debug {
+            if self.inner.debug.load(Ordering::Relaxed) {
                 if let Ok(outs) = &result {
                     for (id, _, dtype) in outs {
                         if dtype.is_float() && backend.read_sync(*id)?.has_nan() {
@@ -598,15 +686,11 @@ impl Engine {
                 }
             }
 
-            // Phase 3 (locked): unpin inputs, register outputs, record tape.
-            let mut state = self.inner.state.lock();
-            for (handle, _) in &input_data {
-                Self::release_data_locked(&mut state, *handle);
-            }
+            // Phase 3: unpin inputs, then register outputs / handle failure.
+            self.unpin(&input_data);
             let outs = match result {
                 Ok(outs) => outs,
                 Err(e) => {
-                    drop(state);
                     // Context loss cannot heal by itself, so it skips the
                     // in-place retries and degrades immediately.
                     let retryable = e.is_transient() && !matches!(e, Error::ContextLost { .. });
@@ -629,40 +713,38 @@ impl Engine {
                 let bytes = shape.size() * dtype.byte_size();
                 bytes_added += bytes;
                 output_shapes.push(shape.clone());
-                let handle =
-                    self.register_data_locked(&mut state, backend_name.clone(), id, bytes, dtype);
-                outputs.push(self.register_tensor_locked(&mut state, handle, shape, dtype));
+                let handle = self.register_data(backend_name.clone(), id, bytes, dtype);
+                outputs.push(self.register_tensor(handle, shape, dtype));
             }
-            if profiling {
-                if let Some(p) = state.profile.as_mut() {
+            if self.inner.profiling.load(Ordering::Relaxed) {
+                if let Some(p) = self.inner.profile.lock().as_mut() {
                     p.kernels.push(KernelProfile { name: kernel, wall_ms, output_shapes, bytes_added });
                 }
             }
             if let Some(grad_fn) = grad {
-                Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad_fn);
+                self.maybe_record(kernel, inputs, &outputs, grad_fn);
             }
-            drop(state);
             return Ok(outputs);
         }
     }
 
-    /// Switch `current_backend` to the highest-priority backend strictly
+    /// Switch the active backend to the highest-priority backend strictly
     /// below the failing one, recording a [`DegradationEvent`]. Returns
     /// whether a fallback target exists. When another thread already
     /// degraded away from `failed_backend`, no event is recorded and the
     /// caller simply retries on the new backend.
     fn try_degrade(&self, kernel: &'static str, failed_backend: &str, err: &Error) -> bool {
-        let mut state = self.inner.state.lock();
-        let cur = match state.current_backend {
+        let mut table = self.inner.backends.write();
+        let cur = match table.current {
             Some(i) => i,
             None => return false,
         };
-        if state.backends[cur].0 != failed_backend {
+        if table.entries[cur].0 != failed_backend {
             return true;
         }
-        let cur_priority = state.backends[cur].1;
-        let next = state
-            .backends
+        let cur_priority = table.entries[cur].1;
+        let next = table
+            .entries
             .iter()
             .enumerate()
             .filter(|(_, (n, p, _))| *p < cur_priority && n != failed_backend)
@@ -673,12 +755,12 @@ impl Engine {
                 let event = DegradationEvent {
                     kernel,
                     from_backend: failed_backend.to_string(),
-                    to_backend: state.backends[i].0.clone(),
+                    to_backend: table.entries[i].0.clone(),
                     reason: err.to_string(),
                 };
-                state.current_backend = Some(i);
-                state.degradations += 1;
-                state.degradation_log.push(event);
+                table.current = Some(i);
+                self.inner.degradations.fetch_add(1, Ordering::Relaxed);
+                self.inner.degradation_log.lock().push(event);
                 true
             }
             None => false,
@@ -704,12 +786,12 @@ impl Engine {
     /// Times the engine abandoned a failing backend for a lower-priority
     /// one (graceful degradation) over its lifetime.
     pub fn degradations(&self) -> u64 {
-        self.inner.state.lock().degradations
+        self.inner.degradations.load(Ordering::SeqCst)
     }
 
     /// The full degradation event log, oldest first.
     pub fn degradation_events(&self) -> Vec<DegradationEvent> {
-        self.inner.state.lock().degradation_log.clone()
+        self.inner.degradation_log.lock().clone()
     }
 
     /// Run a *composite* op with a user-supplied gradient (`tf.customGrad`):
@@ -730,29 +812,31 @@ impl Engine {
         grad: GradFn,
     ) -> Result<Vec<Tensor>> {
         let outputs = self.pause_recording(forward)?;
-        let mut state = self.inner.state.lock();
-        Self::maybe_record_locked(&mut state, kernel, inputs, &outputs, grad);
-        drop(state);
+        self.maybe_record(kernel, inputs, &outputs, grad);
         Ok(outputs)
     }
 
     fn unpin(&self, input_data: &[(u64, DataId)]) {
-        let mut state = self.inner.state.lock();
         for (handle, _) in input_data {
-            Self::release_data_locked(&mut state, *handle);
+            self.release_data(*handle);
         }
     }
 
-    fn release_data_locked(state: &mut EngineState, handle: u64) {
-        let dispose = {
-            let rec = state.data.get_mut(&handle).expect("pinned data exists");
+    fn release_data(&self, handle: u64) {
+        let removed = {
+            let mut shard = self.data_shard(handle).lock();
+            let rec = shard.get_mut(&handle).expect("pinned data exists");
             rec.refcount -= 1;
-            rec.refcount == 0
+            if rec.refcount == 0 {
+                shard.remove(&handle)
+            } else {
+                None
+            }
         };
-        if dispose {
-            let rec = state.data.remove(&handle).expect("checked above");
-            state.num_bytes -= rec.bytes;
-            let backend = Self::backend_by_name(state, &rec.backend_name);
+        if let Some(rec) = removed {
+            self.inner.num_data.fetch_sub(1, Ordering::Relaxed);
+            self.inner.num_bytes.fetch_sub(rec.bytes, Ordering::Relaxed);
+            let backend = self.backend_by_name(&rec.backend_name);
             backend.dispose_data(rec.id);
         }
     }
@@ -760,89 +844,106 @@ impl Engine {
     // --- reads -------------------------------------------------------------
 
     pub(crate) fn read_sync(&self, tensor_id: usize) -> Result<TensorData> {
-        let (backend, id) = {
-            let state = self.inner.state.lock();
-            let rec = state
-                .tensors
-                .get(&tensor_id)
-                .ok_or(Error::TensorDisposed { tensor_id })?;
-            let data = &state.data[&rec.data];
-            (Self::backend_by_name(&state, &data.backend_name), data.id)
-        };
+        let (backend, id) = self.locate_data(tensor_id)?;
         Self::read_sync_with_retry(backend.as_ref(), id)
     }
 
     pub(crate) fn read(&self, tensor_id: usize) -> Result<crate::backend::DataFuture> {
-        let (backend, id) = {
-            let state = self.inner.state.lock();
-            let rec = state
-                .tensors
-                .get(&tensor_id)
-                .ok_or(Error::TensorDisposed { tensor_id })?;
-            let data = &state.data[&rec.data];
-            (Self::backend_by_name(&state, &data.backend_name), data.id)
-        };
+        let (backend, id) = self.locate_data(tensor_id)?;
         Ok(backend.read(id))
     }
 
+    fn locate_data(&self, tensor_id: usize) -> Result<(Arc<dyn Backend>, DataId)> {
+        let handle = self
+            .tensor_shard(tensor_id)
+            .lock()
+            .get(&tensor_id)
+            .ok_or(Error::TensorDisposed { tensor_id })?
+            .data;
+        let (backend_name, id) = {
+            let shard = self.data_shard(handle).lock();
+            let rec = shard.get(&handle).ok_or(Error::TensorDisposed { tensor_id })?;
+            (rec.backend_name.clone(), rec.id)
+        };
+        Ok((self.backend_by_name(&backend_name), id))
+    }
+
     pub(crate) fn is_disposed(&self, tensor_id: usize) -> bool {
-        !self.inner.state.lock().tensors.contains_key(&tensor_id)
+        !self.tensor_shard(tensor_id).lock().contains_key(&tensor_id)
+    }
+
+    /// Bytes held by a live tensor's data container (0 when disposed).
+    pub(crate) fn tensor_bytes(&self, tensor_id: usize) -> usize {
+        let handle = match self.tensor_shard(tensor_id).lock().get(&tensor_id) {
+            Some(rec) => rec.data,
+            None => return 0,
+        };
+        self.data_shard(handle).lock().get(&handle).map(|rec| rec.bytes).unwrap_or(0)
     }
 
     // --- disposal, keep, scopes ---------------------------------------------
 
-    fn dispose_tensor_locked(state: &mut EngineState, tensor_id: usize) {
-        if let Some(rec) = state.tensors.remove(&tensor_id) {
-            Self::release_data_locked(state, rec.data);
-        }
-    }
-
     /// Dispose a tensor explicitly (`tensor.dispose()`). Idempotent.
     pub fn dispose_tensor(&self, tensor_id: usize) {
-        let mut state = self.inner.state.lock();
-        Self::dispose_tensor_locked(&mut state, tensor_id);
+        let removed = self.tensor_shard(tensor_id).lock().remove(&tensor_id);
+        if let Some(rec) = removed {
+            self.inner.num_tensors.fetch_sub(1, Ordering::Relaxed);
+            self.release_data(rec.data);
+        }
     }
 
     /// Mark a tensor as kept: it survives all enclosing `tidy` scopes
     /// (`tf.keep`).
     pub fn keep(&self, tensor_id: usize) {
-        let mut state = self.inner.state.lock();
-        if let Some(rec) = state.tensors.get_mut(&tensor_id) {
+        if let Some(rec) = self.tensor_shard(tensor_id).lock().get_mut(&tensor_id) {
             rec.kept = true;
         }
     }
 
     pub(crate) fn mark_variable(&self, tensor_id: usize) {
-        let mut state = self.inner.state.lock();
-        if let Some(rec) = state.tensors.get_mut(&tensor_id) {
+        if let Some(rec) = self.tensor_shard(tensor_id).lock().get_mut(&tensor_id) {
             rec.variable = true;
             rec.kept = true;
         }
     }
 
-    /// Push a named memory scope. Prefer [`Engine::tidy`].
+    /// Push a named memory scope onto the *calling thread's* scope stack.
+    /// Prefer [`Engine::tidy`].
     pub fn start_scope(&self, name: &'static str) {
-        let mut state = self.inner.state.lock();
-        let id = state.next_scope_id;
-        state.next_scope_id += 1;
-        state.scopes.push(Scope { id, name, tensors: Vec::new() });
+        let id = self.inner.next_scope_id.fetch_add(1, Ordering::Relaxed);
+        let mut meta = self.inner.meta.lock();
+        meta.scopes
+            .entry(std::thread::current().id())
+            .or_default()
+            .push(Scope { id, name, tensors: Vec::new() });
     }
 
-    /// Pop the current scope, disposing every tensor allocated inside it
-    /// except kept tensors, variables, tape-referenced tensors, and the ids
-    /// in `keep_ids` (which move to the parent scope).
+    /// Pop the calling thread's current scope, disposing every tensor
+    /// allocated inside it except kept tensors, variables, tape-referenced
+    /// tensors, and the ids in `keep_ids` (which move to the parent scope).
     pub fn end_scope(&self, keep_ids: &[usize]) {
-        let mut state = self.inner.state.lock();
-        self.collect_garbage(&mut state);
-        let scope = match state.scopes.pop() {
-            Some(s) => s,
-            None => return,
+        self.collect_garbage();
+        let tid = std::thread::current().id();
+        let mut meta = self.inner.meta.lock();
+        let scope = {
+            let stack = match meta.scopes.get_mut(&tid) {
+                Some(s) => s,
+                None => return,
+            };
+            match stack.pop() {
+                Some(s) => s,
+                None => return,
+            }
         };
-        let parent = state.scopes.last().map(|s| s.id);
+        if meta.scopes.get(&tid).is_some_and(|s| s.is_empty()) {
+            meta.scopes.remove(&tid);
+        }
+        let parent = meta.scopes.get(&tid).and_then(|s| s.last()).map(|s| s.id);
         let mut to_dispose = Vec::new();
         let mut to_parent = Vec::new();
-        for id in scope.tensors {
-            let rec = match state.tensors.get(&id) {
+        for id in &scope.tensors {
+            let shard = self.tensor_shard(*id).lock();
+            let rec = match shard.get(id) {
                 Some(r) => r,
                 None => continue, // already disposed
             };
@@ -850,31 +951,35 @@ impl Engine {
             if rec.scope != Some(scope.id) {
                 continue;
             }
-            let survive =
-                rec.kept || rec.variable || keep_ids.contains(&id) || state.kept_by_tape.contains(&id);
+            let survive = rec.kept
+                || rec.variable
+                || keep_ids.contains(id)
+                || meta.kept_by_tape.contains(id);
             if survive {
-                to_parent.push(id);
+                to_parent.push(*id);
             } else {
-                to_dispose.push(id);
+                to_dispose.push(*id);
             }
         }
         for id in to_parent {
-            if let Some(rec) = state.tensors.get_mut(&id) {
+            if let Some(rec) = self.tensor_shard(id).lock().get_mut(&id) {
                 rec.scope = parent;
             }
-            if let Some(p) = state.scopes.last_mut() {
+            if let Some(p) = meta.scopes.get_mut(&tid).and_then(|s| s.last_mut()) {
                 p.tensors.push(id);
             }
         }
+        drop(meta);
         for id in to_dispose {
-            Self::dispose_tensor_locked(&mut state, id);
+            self.dispose_tensor(id);
         }
         let _ = scope.name;
     }
 
     /// Execute `f` inside a memory scope and dispose every intermediate
     /// tensor it allocated, except those referenced by the return value —
-    /// `tf.tidy()` (paper Sec 3.7).
+    /// `tf.tidy()` (paper Sec 3.7). Scopes are per-thread: concurrent
+    /// `tidy` calls on different threads are fully independent.
     pub fn tidy<R: TidyOutput>(&self, f: impl FnOnce() -> R) -> R {
         self.start_scope("tidy");
         let out = f();
@@ -885,41 +990,44 @@ impl Engine {
     // --- tape --------------------------------------------------------------
 
     pub(crate) fn push_tape(&self) {
-        self.inner.state.lock().tape_stack.push(Tape::new());
+        let mut meta = self.inner.meta.lock();
+        meta.tape_stack.push(Tape::new());
+        self.inner.tape_active.store(true, Ordering::Release);
     }
 
     /// Pop the active tape. Clears the tape-keep set when the stack empties.
     pub(crate) fn pop_tape(&self) -> Tape {
         let (tape, _leftover): (Tape, Vec<usize>) = {
-            let mut state = self.inner.state.lock();
-            let tape = state.tape_stack.pop().expect("tape stack underflow");
-            let leftover = if state.tape_stack.is_empty() {
-                state.kept_by_tape.drain().collect()
+            let mut meta = self.inner.meta.lock();
+            let tape = meta.tape_stack.pop().expect("tape stack underflow");
+            let leftover = if meta.tape_stack.is_empty() {
+                self.inner.tape_active.store(false, Ordering::Release);
+                meta.kept_by_tape.drain().collect()
             } else {
                 Vec::new()
             };
             (tape, leftover)
         };
         // Tape node drops (and the saved tensor handle drops inside) happen
-        // here, outside the state lock, via the caller dropping `tape`.
+        // here, outside the meta lock, via the caller dropping `tape`.
         tape
     }
 
     pub(crate) fn pause_recording<R>(&self, f: impl FnOnce() -> R) -> R {
         {
-            self.inner.state.lock().recording_paused = true;
+            self.inner.meta.lock().recording_paused = true;
         }
         let r = f();
         {
-            self.inner.state.lock().recording_paused = false;
+            self.inner.meta.lock().recording_paused = false;
         }
         r
     }
 
     #[allow(dead_code)] // diagnostic helper for composite ops
     pub(crate) fn tape_active(&self) -> bool {
-        let state = self.inner.state.lock();
-        !state.tape_stack.is_empty() && !state.recording_paused
+        let meta = self.inner.meta.lock();
+        !meta.tape_stack.is_empty() && !meta.recording_paused
     }
 
     // --- diagnostics ---------------------------------------------------------
@@ -927,54 +1035,54 @@ impl Engine {
     /// Engine-plus-backend memory snapshot (`tf.memory()`).
     pub fn memory(&self) -> MemoryInfo {
         let backend = self.backend();
-        let mut state = self.inner.state.lock();
-        self.collect_garbage(&mut state);
+        self.collect_garbage();
+        let table = self.inner.backends.read();
         MemoryInfo {
-            num_tensors: state.tensors.len(),
-            num_data_buffers: state.data.len(),
-            num_bytes: state.num_bytes,
+            num_tensors: self.inner.num_tensors.load(Ordering::SeqCst),
+            num_data_buffers: self.inner.num_data.load(Ordering::SeqCst),
+            num_bytes: self.inner.num_bytes.load(Ordering::SeqCst),
             backend: backend.memory(),
-            degradations: state.degradations,
-            current_backend: state
-                .current_backend
-                .map(|i| state.backends[i].0.clone())
+            degradations: self.inner.degradations.load(Ordering::SeqCst),
+            current_backend: table
+                .current
+                .map(|i| table.entries[i].0.clone())
                 .unwrap_or_default(),
         }
     }
 
     /// Count of live tensors (`tf.memory().numTensors`).
     pub fn num_tensors(&self) -> usize {
-        let mut state = self.inner.state.lock();
-        self.collect_garbage(&mut state);
-        state.tensors.len()
+        self.collect_garbage();
+        self.inner.num_tensors.load(Ordering::SeqCst)
     }
 
     /// Enable or disable NaN-checking debug mode (paper Sec 3.8).
     pub fn set_debug(&self, on: bool) {
-        self.inner.state.lock().debug = on;
+        self.inner.debug.store(on, Ordering::Relaxed);
     }
 
     /// Whether NaN-checking debug mode is on.
     pub fn debug(&self) -> bool {
-        self.inner.state.lock().debug
+        self.inner.debug.load(Ordering::Relaxed)
     }
 
     /// Profile the memory and kernel behaviour of `f` (`tf.profile`).
     pub fn profile<R>(&self, f: impl FnOnce() -> R) -> (R, ProfileInfo) {
         {
-            let mut state = self.inner.state.lock();
-            state.profile = Some(ProfileState {
+            let mut profile = self.inner.profile.lock();
+            *profile = Some(ProfileState {
                 new_tensors: 0,
                 new_bytes: 0,
-                peak_tensors: state.tensors.len(),
-                peak_bytes: state.num_bytes,
+                peak_tensors: self.inner.num_tensors.load(Ordering::SeqCst),
+                peak_bytes: self.inner.num_bytes.load(Ordering::SeqCst),
                 kernels: Vec::new(),
             });
+            self.inner.profiling.store(true, Ordering::Release);
         }
         let r = f();
         let p = {
-            let mut state = self.inner.state.lock();
-            state.profile.take().expect("profile state set above")
+            self.inner.profiling.store(false, Ordering::Release);
+            self.inner.profile.lock().take().expect("profile state set above")
         };
         (
             r,
@@ -1278,5 +1386,50 @@ mod tests {
         let y = ops::add(&x, &x).unwrap();
         assert_eq!(y.to_f32_vec().unwrap(), vec![2.0, 4.0]);
         assert_eq!(e.degradations(), 1);
+    }
+
+    #[test]
+    fn disposed_input_mid_list_unpins_earlier_inputs() {
+        // A kernel whose second input is disposed must release the pin it
+        // took on the first input (no refcount leak).
+        let e = two_tier_engine();
+        let a = e.tensor_1d(&[1.0]).unwrap();
+        let b = e.tensor_1d(&[2.0]).unwrap();
+        b.dispose();
+        let err = e
+            .run_kernel("Pinned", &[&a, &b], &mut |bk, _| emit_scalar(bk, 0.0), None)
+            .unwrap_err();
+        assert!(matches!(err, Error::TensorDisposed { .. }));
+        // The pin on `a` was released: disposing it now frees its bytes.
+        let before = e.memory().num_bytes;
+        a.dispose();
+        assert_eq!(e.memory().num_bytes, before - 4);
+        assert_eq!(e.num_tensors(), 0);
+    }
+
+    #[test]
+    fn tidy_scopes_are_per_thread() {
+        let e = two_tier_engine();
+        let e2 = e.clone();
+        // A scope left open on a worker thread must not capture tensors
+        // created later on the main thread.
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            e2.start_scope("worker");
+            let t = e2.tensor_1d(&[1.0]).unwrap();
+            started_tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+            e2.end_scope(&[]);
+            assert!(t.is_disposed(), "worker scope disposes its own tensor");
+        });
+        started_rx.recv().unwrap();
+        let mine = e.tensor_1d(&[5.0]).unwrap();
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
+        assert!(!mine.is_disposed(), "main-thread tensor survives the worker's scope");
+        assert_eq!(mine.to_f32_vec().unwrap(), vec![5.0]);
+        mine.dispose();
+        assert_eq!(e.num_tensors(), 0);
     }
 }

@@ -79,6 +79,13 @@ impl Tensor {
         self.inner.dtype
     }
 
+    /// Bytes held by this tensor's data container (0 once disposed). Shallow
+    /// copies share one container, so summing `bytes()` over aliases
+    /// over-counts relative to `Engine::memory().num_bytes`.
+    pub fn bytes(&self) -> usize {
+        self.inner.engine.tensor_bytes(self.inner.id)
+    }
+
     /// The engine that owns this tensor.
     pub fn engine(&self) -> &Engine {
         &self.inner.engine

@@ -93,24 +93,38 @@ impl Dataset {
     /// # Errors
     /// Fails when the range exceeds the dataset.
     pub fn batch(&self, engine: &Engine, start: usize, size: usize) -> Result<(Tensor, Tensor)> {
-        if start + size > self.len {
-            return Err(Error::invalid("Dataset.batch", "batch exceeds dataset length"));
-        }
+        // checked: `start + size` (and the element offsets below) can wrap
+        // on adversarial inputs, turning the bounds check into a slice panic.
+        let end = start
+            .checked_add(size)
+            .filter(|&end| end <= self.len)
+            .ok_or_else(|| Error::invalid("Dataset.batch", "batch exceeds dataset length"))?;
         let x_size: usize = self.x_shape.iter().product();
         let y_size: usize = self.y_shape.iter().product();
+        let (x_lo, x_hi, y_lo, y_hi) = (|| {
+            Some((
+                start.checked_mul(x_size)?,
+                end.checked_mul(x_size)?,
+                start.checked_mul(y_size)?,
+                end.checked_mul(y_size)?,
+            ))
+        })()
+        .ok_or_else(|| Error::invalid("Dataset.batch", "batch element range overflows"))?;
         let mut xd = vec![size];
         xd.extend_from_slice(&self.x_shape);
         let mut yd = vec![size];
         yd.extend_from_slice(&self.y_shape);
         Ok((
-            engine.tensor(self.xs[start * x_size..(start + size) * x_size].to_vec(), Shape::new(xd))?,
-            engine.tensor(self.ys[start * y_size..(start + size) * y_size].to_vec(), Shape::new(yd))?,
+            engine.tensor(self.xs[x_lo..x_hi].to_vec(), Shape::new(xd))?,
+            engine.tensor(self.ys[y_lo..y_hi].to_vec(), Shape::new(yd))?,
         ))
     }
 
     /// Split off the last `fraction` of examples as a validation set.
+    /// `fraction` is clamped to `[0, 1]` (NaN behaves as 0).
     pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
-        let n_val = ((self.len as f64) * fraction).round() as usize;
+        let fraction = if fraction.is_nan() { 0.0 } else { fraction.clamp(0.0, 1.0) };
+        let n_val = (((self.len as f64) * fraction).round() as usize).min(self.len);
         let n_train = self.len - n_val;
         let x_size: usize = self.x_shape.iter().product();
         let y_size: usize = self.y_shape.iter().product();
@@ -193,5 +207,44 @@ mod tests {
         assert_eq!(train.len(), 2);
         assert_eq!(val.len(), 1);
         assert_eq!(val.xs, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn split_zero_and_one() {
+        let (train, val) = tiny().split(0.0);
+        assert_eq!((train.len(), val.len()), (3, 0));
+        let (train, val) = tiny().split(1.0);
+        assert_eq!((train.len(), val.len()), (0, 3));
+        assert_eq!(val.xs.len(), 6);
+    }
+
+    #[test]
+    fn split_out_of_range_fractions_clamp_instead_of_panicking() {
+        let (train, val) = tiny().split(2.5);
+        assert_eq!((train.len(), val.len()), (0, 3));
+        let (train, val) = tiny().split(-0.5);
+        assert_eq!((train.len(), val.len()), (3, 0));
+        let (train, val) = tiny().split(f64::INFINITY);
+        assert_eq!((train.len(), val.len()), (0, 3));
+    }
+
+    #[test]
+    fn split_nan_fraction_keeps_everything_in_train() {
+        let (train, val) = tiny().split(f64::NAN);
+        assert_eq!((train.len(), val.len()), (3, 0));
+        assert_eq!(train.xs.len(), 6);
+    }
+
+    #[test]
+    fn batch_adversarial_bounds_error_instead_of_panicking() {
+        let e = engine();
+        let d = tiny();
+        // start + size wraps usize: must be an error, not a slice panic.
+        assert!(d.batch(&e, usize::MAX, 2).is_err());
+        assert!(d.batch(&e, 2, usize::MAX).is_err());
+        assert!(d.batch(&e, usize::MAX / 2 + 1, usize::MAX / 2 + 1).is_err());
+        // Healthy full-range batch still works.
+        let (x, _) = d.batch(&e, 0, 3).unwrap();
+        assert_eq!(x.to_f32_vec().unwrap().len(), 6);
     }
 }

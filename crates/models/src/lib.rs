@@ -17,6 +17,7 @@ pub mod knn;
 pub mod mobilenet;
 pub mod posenet;
 pub mod repo;
+pub mod serving;
 pub mod speech;
 pub mod tsne;
 
@@ -24,5 +25,6 @@ pub use image::Image;
 pub use knn::KnnClassifier;
 pub use mobilenet::{MobileNet, MobileNetConfig};
 pub use posenet::{Keypoint, Pose, PoseNet};
+pub use serving::{classifier_artifacts, synthetic_example};
 pub use speech::SpeechCommands;
 pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,633 @@
+//! # webml-serve
+//!
+//! Concurrent inference serving on top of the eager engine: a dynamic
+//! micro-batcher plus a warm-model LRU cache.
+//!
+//! The paper positions TensorFlow.js as a *deployment* vehicle — models
+//! shipped to many clients with inference interleaved into a live event
+//! loop (Sec 3.7, Sec 5). This crate reproduces the server-side shape of
+//! that story: many concurrent clients submit single-example requests, a
+//! dispatcher coalesces same-model same-shape requests into one batched
+//! forward pass (amortizing per-kernel dispatch overhead, the dominant
+//! cost for small models), splits the batch output back per request, and
+//! keeps recently used models warm so repeat traffic skips weight upload.
+//!
+//! ## Batching semantics
+//!
+//! - Requests carry host-side example data (`values` + per-example `dims`).
+//! - The dispatcher drains the queue once `max_batch` requests are pending
+//!   or `max_wait` has elapsed since it saw the first one.
+//! - Drained requests group by `(model, example dims)`; each group runs as
+//!   one `[n, dims...]` forward pass, chunked to `max_batch`.
+//! - Groups of one — and any group whose batched pass fails — degrade to
+//!   per-request execution, so shape-incompatible or failing traffic is
+//!   served correctly, just without the batching win.
+//!
+//! ## Degradation interaction (PR 1 ladder)
+//!
+//! The cache snapshots `Engine::degradations()`; when a backend fallback
+//! happens (e.g. simulated WebGL context loss) the whole cache is
+//! invalidated and models rebuild on the fallback backend on next use.
+//! In-flight requests are transparently retried per-request — callers see
+//! answers, not errors.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+pub use cache::{Loaded, ModelCache, ModelKey, ModelSource};
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use webml_core::{Engine, Error, Result, Shape};
+
+/// Micro-batcher and cache tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest coalesced batch per forward pass (1 disables batching).
+    pub max_batch: usize,
+    /// How long the dispatcher holds the first queued request open for
+    /// batch-mates before running a partial batch.
+    pub max_wait: Duration,
+    /// Warm models kept resident in the LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(2), cache_capacity: 4 }
+    }
+}
+
+/// One served inference result: flattened output values plus per-example
+/// output dims (no batch dimension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Flattened output values for this request's example.
+    pub values: Vec<f32>,
+    /// Per-example output shape.
+    pub dims: Vec<usize>,
+}
+
+/// Lifetime serving counters (monotonic snapshots from
+/// [`ModelServer::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered (successfully or with an error reply).
+    pub served: u64,
+    /// Batched forward passes executed (size ≥ 2).
+    pub batches: u64,
+    /// Requests answered from inside a batched pass.
+    pub batched_requests: u64,
+    /// Requests executed singly (group of one, `max_batch` 1, or fallback).
+    pub single_requests: u64,
+    /// Batched passes that failed and degraded to per-request execution.
+    pub batch_fallbacks: u64,
+    /// Warm-cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (model built and uploaded).
+    pub cache_misses: u64,
+    /// LRU evictions.
+    pub cache_evictions: u64,
+    /// Whole-cache invalidations after an engine backend degradation.
+    pub cache_invalidations: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    served: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    single_requests: AtomicU64,
+    batch_fallbacks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_invalidations: AtomicU64,
+}
+
+struct Request {
+    key: ModelKey,
+    values: Vec<f32>,
+    dims: Vec<usize>,
+    reply: mpsc::Sender<Result<InferResponse>>,
+}
+
+struct QueueState {
+    requests: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    engine: Engine,
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    sources: Mutex<HashMap<ModelKey, Arc<ModelSource>>>,
+    stats: StatsCells,
+}
+
+/// A handle to an in-flight [`ModelServer::submit`] request.
+pub struct PendingInference {
+    rx: mpsc::Receiver<Result<InferResponse>>,
+}
+
+impl PendingInference {
+    /// Block until the response arrives.
+    ///
+    /// # Errors
+    /// Propagates serving errors; fails if the server shut down first.
+    pub fn wait(self) -> Result<InferResponse> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(Error::invalid("serve", "server shut down before replying")))
+    }
+}
+
+/// The serving front end: owns the dispatcher thread; clone-free, share via
+/// `Arc` (all methods take `&self`).
+pub struct ModelServer {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ModelServer {
+    /// Start a server (and its dispatcher thread) over `engine`.
+    pub fn new(engine: &Engine, config: ServeConfig) -> ModelServer {
+        let shared = Arc::new(Shared {
+            engine: engine.clone(),
+            config,
+            queue: Mutex::new(QueueState { requests: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            sources: Mutex::new(HashMap::new()),
+            stats: StatsCells::default(),
+        });
+        let worker = shared.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("webml-serve-dispatcher".into())
+            .spawn(move || dispatch_loop(&worker))
+            .expect("spawn dispatcher thread");
+        ModelServer { shared, dispatcher: Some(dispatcher) }
+    }
+
+    /// Register a model for serving; returns the key clients submit against.
+    /// Re-registering identical content returns the same key (dedup by
+    /// content hash).
+    pub fn register(&self, source: ModelSource) -> ModelKey {
+        let key = source.key();
+        self.shared.sources.lock().entry(key).or_insert_with(|| Arc::new(source));
+        key
+    }
+
+    /// Enqueue one inference: `values` is one example with shape `dims`
+    /// (no batch dimension). Returns immediately with a pending handle.
+    pub fn submit(&self, key: ModelKey, values: Vec<f32>, dims: Vec<usize>) -> PendingInference {
+        let (tx, rx) = mpsc::channel();
+        let expected: usize = dims.iter().product();
+        if expected != values.len() || dims.is_empty() {
+            let _ = tx.send(Err(Error::invalid(
+                "serve",
+                format!("example of {} values does not match dims {dims:?}", values.len()),
+            )));
+            return PendingInference { rx };
+        }
+        if !self.shared.sources.lock().contains_key(&key) {
+            let _ = tx.send(Err(Error::invalid("serve", format!("unknown model key {key:#x}"))));
+            return PendingInference { rx };
+        }
+        {
+            let mut q = self.shared.queue.lock();
+            if q.shutdown {
+                let _ = tx.send(Err(Error::invalid("serve", "server is shutting down")));
+                return PendingInference { rx };
+            }
+            q.requests.push_back(Request { key, values, dims, reply: tx });
+        }
+        self.shared.available.notify_all();
+        PendingInference { rx }
+    }
+
+    /// Blocking inference: [`ModelServer::submit`] + wait.
+    ///
+    /// # Errors
+    /// Propagates serving errors.
+    pub fn infer(&self, key: ModelKey, values: Vec<f32>, dims: Vec<usize>) -> Result<InferResponse> {
+        self.submit(key, values, dims).wait()
+    }
+
+    /// Snapshot of the lifetime serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        ServeStats {
+            served: s.served.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            single_requests: s.single_requests.load(Ordering::Relaxed),
+            batch_fallbacks: s.batch_fallbacks.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
+            cache_invalidations: s.cache_invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The engine this server executes on.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Stop accepting requests, finish the queue, and join the dispatcher.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ModelServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The dispatcher: single consumer of the queue, sole owner of the model
+/// cache (so cached models never cross threads).
+fn dispatch_loop(shared: &Shared) {
+    let mut cache = ModelCache::new(shared.config.cache_capacity, &shared.engine);
+    loop {
+        let drained: Vec<Request> = {
+            let mut q = shared.queue.lock();
+            while q.requests.is_empty() && !q.shutdown {
+                shared.available.wait(&mut q);
+            }
+            if q.requests.is_empty() && q.shutdown {
+                break;
+            }
+            // Batch window: hold the first request open for batch-mates.
+            let deadline = Instant::now() + shared.config.max_wait;
+            while q.requests.len() < shared.config.max_batch && !q.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                if shared.available.wait_for(&mut q, deadline - now).timed_out() {
+                    break;
+                }
+            }
+            q.requests.drain(..).collect()
+        };
+        process_drained(shared, &mut cache, drained);
+    }
+    // Shut down: release the warm models' weights.
+    cache.invalidate_all();
+    sync_cache_stats(shared, &cache);
+}
+
+fn sync_cache_stats(shared: &Shared, cache: &ModelCache) {
+    shared.stats.cache_hits.store(cache.hits, Ordering::Relaxed);
+    shared.stats.cache_misses.store(cache.misses, Ordering::Relaxed);
+    shared.stats.cache_evictions.store(cache.evictions, Ordering::Relaxed);
+    shared.stats.cache_invalidations.store(cache.invalidations, Ordering::Relaxed);
+}
+
+fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request>) {
+    if cache.check_degradation(&shared.engine) {
+        // Backend fell back (e.g. context loss): models rebuild below on
+        // the fallback backend; requests in this drain retry transparently.
+        // Sync eagerly so the invalidation is visible to any caller whose
+        // reply arrives from this drain onward.
+        sync_cache_stats(shared, cache);
+    }
+    // Group by (model, example dims): only identical shapes batch.
+    type GroupKey = (ModelKey, Vec<usize>);
+    let mut groups: Vec<(GroupKey, Vec<Request>)> = Vec::new();
+    for req in drained {
+        let group_key = (req.key, req.dims.clone());
+        match groups.iter_mut().find(|(k, _)| *k == group_key) {
+            Some((_, members)) => members.push(req),
+            None => groups.push((group_key, vec![req])),
+        }
+    }
+    for ((key, dims), members) in groups {
+        let source = shared.sources.lock().get(&key).cloned();
+        let source = match source {
+            Some(s) => s,
+            None => {
+                for req in members {
+                    // Count before replying: a caller that sees its reply
+                    // must also see it reflected in the stats.
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = req
+                        .reply
+                        .send(Err(Error::invalid("serve", format!("unknown model key {key:#x}"))));
+                }
+                continue;
+            }
+        };
+        for chunk in chunked(members, shared.config.max_batch) {
+            run_chunk(shared, cache, key, &source, &dims, chunk);
+        }
+    }
+    sync_cache_stats(shared, cache);
+}
+
+fn chunked(mut members: Vec<Request>, size: usize) -> Vec<Vec<Request>> {
+    let size = size.max(1);
+    let mut chunks = Vec::new();
+    while members.len() > size {
+        let rest = members.split_off(size);
+        chunks.push(members);
+        members = rest;
+    }
+    if !members.is_empty() {
+        chunks.push(members);
+    }
+    chunks
+}
+
+fn run_chunk(
+    shared: &Shared,
+    cache: &mut ModelCache,
+    key: ModelKey,
+    source: &ModelSource,
+    dims: &[usize],
+    chunk: Vec<Request>,
+) {
+    let n = chunk.len();
+    if n >= 2 {
+        match run_batched(shared, cache, key, source, dims, &chunk) {
+            Ok(responses) => {
+                // Count before replying: a caller that sees its reply must
+                // also see it reflected in the stats.
+                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                for (req, resp) in chunk.into_iter().zip(responses) {
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Ok(resp));
+                }
+                return;
+            }
+            Err(_) => {
+                // Degrade to per-request execution; a stale model (e.g.
+                // dead backend) is rebuilt on the retry.
+                cache.invalidate(key);
+                shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    for req in chunk {
+        let result = run_single(shared, cache, key, source, &req);
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = req.reply.send(result);
+    }
+}
+
+/// One coalesced forward pass: concat examples host-side into `[n, dims..]`,
+/// run, split the `[n, out..]` output back per request.
+fn run_batched(
+    shared: &Shared,
+    cache: &mut ModelCache,
+    key: ModelKey,
+    source: &ModelSource,
+    dims: &[usize],
+    chunk: &[Request],
+) -> Result<Vec<InferResponse>> {
+    let n = chunk.len();
+    let per_len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n * per_len);
+    for req in chunk {
+        data.extend_from_slice(&req.values);
+    }
+    let mut batch_dims = vec![n];
+    batch_dims.extend_from_slice(dims);
+    let engine = &shared.engine;
+    let model = cache.get_or_load(engine, key, source)?;
+    let x = engine.tensor(data, Shape::new(batch_dims))?;
+    let y = match model.forward(engine, &x) {
+        Ok(y) => y,
+        Err(e) => {
+            x.dispose();
+            return Err(e);
+        }
+    };
+    let out = split_rows(&y, n);
+    x.dispose();
+    y.dispose();
+    out
+}
+
+fn run_single(
+    shared: &Shared,
+    cache: &mut ModelCache,
+    key: ModelKey,
+    source: &ModelSource,
+    req: &Request,
+) -> Result<InferResponse> {
+    let engine = &shared.engine;
+    let mut batch_dims = vec![1];
+    batch_dims.extend_from_slice(&req.dims);
+    let model = cache.get_or_load(engine, key, source)?;
+    let x = engine.tensor(req.values.clone(), Shape::new(batch_dims))?;
+    let y = match model.forward(engine, &x) {
+        Ok(y) => y,
+        Err(e) => {
+            x.dispose();
+            return Err(e);
+        }
+    };
+    let rows = split_rows(&y, 1);
+    x.dispose();
+    y.dispose();
+    Ok(rows?.remove(0))
+}
+
+/// Split a `[n, out..]` batch output into per-request responses.
+fn split_rows(y: &webml_core::Tensor, n: usize) -> Result<Vec<InferResponse>> {
+    let out_shape = y.shape().0;
+    if out_shape.first() != Some(&n) {
+        return Err(Error::invalid(
+            "serve",
+            format!("model output shape {out_shape:?} does not preserve batch size {n}"),
+        ));
+    }
+    let per_dims: Vec<usize> = out_shape[1..].to_vec();
+    let per_len: usize = per_dims.iter().product();
+    let values = y.to_f32_vec()?;
+    Ok(values
+        .chunks(per_len.max(1))
+        .take(n)
+        .map(|row| InferResponse { values: row.to_vec(), dims: per_dims.clone() })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webml_core::cpu::CpuBackend;
+    use webml_converter::prune::GraphDef;
+    use webml_converter::to_artifacts;
+    use webml_layers::{Activation, Dense, Sequential};
+
+    fn engine() -> Engine {
+        let e = Engine::new();
+        e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+        e
+    }
+
+    fn mlp_artifacts(e: &Engine) -> webml_converter::ModelArtifacts {
+        let mut model = Sequential::new(e).with_seed(7);
+        model.add(Dense::new(8).with_input_dim(4).with_activation(Activation::Relu));
+        model.add(Dense::new(3).with_activation(Activation::Softmax));
+        model.build([4]).unwrap();
+        let artifacts = to_artifacts(&model, None).unwrap();
+        for (_, v) in model.named_weights() {
+            v.dispose();
+        }
+        artifacts
+    }
+
+    fn mlp_source(e: &Engine) -> ModelSource {
+        ModelSource::Artifacts(mlp_artifacts(e))
+    }
+
+    fn graph_source(e: &Engine) -> ModelSource {
+        let _ = e;
+        let graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("mm", "MatMul", &["x", "w"]),
+            ("probs", "Softmax", &["mm"]),
+        ]);
+        ModelSource::Graph {
+            graph,
+            weights: vec![("w".into(), vec![1.0, 0.0, 0.0, 1.0], vec![2, 2])],
+        }
+    }
+
+    #[test]
+    fn serves_a_sequential_model() {
+        let e = engine();
+        let server = ModelServer::new(&e, ServeConfig::default());
+        let key = server.register(mlp_source(&e));
+        let resp = server.infer(key, vec![0.5, -0.5, 1.0, 0.0], vec![4]).unwrap();
+        assert_eq!(resp.dims, vec![3]);
+        assert!((resp.values.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn serves_a_graph_model() {
+        let e = engine();
+        let server = ModelServer::new(&e, ServeConfig::default());
+        let key = server.register(graph_source(&e));
+        let resp = server.infer(key, vec![3.0, 1.0], vec![2]).unwrap();
+        assert_eq!(resp.dims, vec![2]);
+        assert!(resp.values[0] > resp.values[1]);
+    }
+
+    #[test]
+    fn batched_and_single_answers_match() {
+        let e = engine();
+        let artifacts = mlp_artifacts(&e);
+        // Force per-request execution for the reference answers.
+        let single = ModelServer::new(&e, ServeConfig { max_batch: 1, ..Default::default() });
+        let key1 = single.register(ModelSource::Artifacts(artifacts.clone()));
+        let examples: Vec<Vec<f32>> =
+            (0..12).map(|i| (0..4).map(|j| ((i * 4 + j) as f32 * 0.3).sin()).collect()).collect();
+        let reference: Vec<InferResponse> = examples
+            .iter()
+            .map(|ex| single.infer(key1, ex.clone(), vec![4]).unwrap())
+            .collect();
+        drop(single);
+
+        let batched = ModelServer::new(
+            &e,
+            ServeConfig { max_batch: 8, max_wait: Duration::from_millis(20), ..Default::default() },
+        );
+        let key2 = batched.register(ModelSource::Artifacts(artifacts));
+        assert_eq!(key1, key2, "same content hashes to the same key");
+        let pending: Vec<PendingInference> =
+            examples.iter().map(|ex| batched.submit(key2, ex.clone(), vec![4])).collect();
+        let got: Vec<InferResponse> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(a.dims, b.dims);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert!((x - y).abs() < 1e-5, "batched must match single: {x} vs {y}");
+            }
+        }
+        let stats = batched.stats();
+        assert!(stats.batches >= 1, "at least one coalesced pass: {stats:?}");
+        assert_eq!(stats.served, 12);
+    }
+
+    #[test]
+    fn mixed_shapes_degrade_to_separate_groups() {
+        let e = engine();
+        let server = ModelServer::new(
+            &e,
+            ServeConfig { max_batch: 8, max_wait: Duration::from_millis(20), ..Default::default() },
+        );
+        let mlp = server.register(mlp_source(&e));
+        let graph = server.register(graph_source(&e));
+        let a = server.submit(mlp, vec![1.0, 2.0, 3.0, 4.0], vec![4]);
+        let b = server.submit(graph, vec![1.0, 0.0], vec![2]);
+        let c = server.submit(mlp, vec![0.0; 4], vec![4]);
+        assert_eq!(a.wait().unwrap().dims, vec![3]);
+        assert_eq!(b.wait().unwrap().dims, vec![2]);
+        assert_eq!(c.wait().unwrap().dims, vec![3]);
+    }
+
+    #[test]
+    fn bad_requests_error_without_wedging_the_server() {
+        let e = engine();
+        let server = ModelServer::new(&e, ServeConfig::default());
+        let key = server.register(mlp_source(&e));
+        assert!(server.infer(key, vec![1.0], vec![4]).is_err(), "length/dims mismatch");
+        assert!(server.infer(0xdead, vec![1.0; 4], vec![4]).is_err(), "unknown key");
+        // Server still serves.
+        assert!(server.infer(key, vec![0.0; 4], vec![4]).is_ok());
+    }
+
+    #[test]
+    fn lru_eviction_releases_weight_bytes() {
+        let e = engine();
+        let mut server = ModelServer::new(
+            &e,
+            ServeConfig { cache_capacity: 1, ..Default::default() },
+        );
+        let mlp = server.register(mlp_source(&e));
+        let graph = server.register(graph_source(&e));
+        let baseline = e.memory().num_bytes;
+        server.infer(mlp, vec![0.0; 4], vec![4]).unwrap();
+        let with_mlp = e.memory().num_bytes;
+        assert!(with_mlp > baseline, "warm model holds weight bytes");
+        // Loading the second model evicts the first: its weights go away.
+        server.infer(graph, vec![1.0, 0.0], vec![2]).unwrap();
+        let with_graph = e.memory().num_bytes;
+        assert!(with_graph < with_mlp, "eviction released the MLP weights");
+        let stats_bytes = with_graph - baseline;
+        assert_eq!(stats_bytes, 16, "graph model keeps exactly its 2x2 f32 weight");
+        server.shutdown();
+        assert_eq!(e.memory().num_bytes, baseline, "shutdown releases the cache");
+        assert!(server.stats().cache_evictions >= 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let e = engine();
+        let mut server = ModelServer::new(&e, ServeConfig::default());
+        let key = server.register(mlp_source(&e));
+        server.shutdown();
+        assert!(server.infer(key, vec![0.0; 4], vec![4]).is_err());
+    }
+}

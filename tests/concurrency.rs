@@ -94,6 +94,79 @@ fn concurrent_dispose_does_not_corrupt_in_flight_kernels() {
 }
 
 #[test]
+fn stress_mixed_ops_keep_exact_accounting_across_8_threads() {
+    // The sharded-registry stress test: 8 threads hammer one engine with a
+    // mix of creation, kernel execution, readback, tidy scopes, disposal
+    // and memory()/num_tensors() polling. The final accounting must be
+    // *exact* — every kept tensor visible, every disposed byte reclaimed —
+    // and the whole thing must finish (no lock-order deadlock).
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 24;
+    const ELEMS: usize = 128;
+
+    let e = Arc::new(engine_on("webgl"));
+    let base = e.memory();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let e = e.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut kept = Vec::new();
+            for i in 0..ITERS {
+                let v = (t * 31 + i) as f32;
+                let a = e.fill([ELEMS], v, webml::DType::F32).unwrap();
+                let b = ops::add(&a, &a).unwrap();
+                let c = ops::relu(&b).unwrap();
+                match i % 4 {
+                    0 => {
+                        let vals = c.to_f32_vec().unwrap();
+                        assert!(vals.iter().all(|&x| x == v * 2.0), "thread {t} iter {i}");
+                    }
+                    1 => {
+                        // Accounting calls race the other threads' kernels;
+                        // they must never panic, deadlock, or undercount
+                        // below this thread's own live handles.
+                        let m = e.memory();
+                        assert!(m.num_tensors >= kept.len(), "thread {t} iter {i}");
+                        assert!(e.num_tensors() >= kept.len(), "thread {t} iter {i}");
+                    }
+                    2 => {
+                        // Tidy scopes are per-thread: this must only sweep
+                        // this thread's intermediates.
+                        let d = e.tidy(|| ops::square(&c)).unwrap();
+                        assert_eq!(d.to_f32_vec().unwrap()[0], (v * 2.0) * (v * 2.0));
+                        d.dispose();
+                    }
+                    _ => {}
+                }
+                a.dispose();
+                b.dispose();
+                if i % 6 == 0 {
+                    kept.push(c);
+                } else {
+                    c.dispose();
+                }
+            }
+            kept
+        }));
+    }
+    let mut kept_all = Vec::new();
+    for h in handles {
+        kept_all.extend(h.join().unwrap());
+    }
+
+    // Exact accounting: every surviving tensor is [ELEMS] f32.
+    let m = e.memory();
+    assert_eq!(m.num_tensors, base.num_tensors + kept_all.len());
+    assert_eq!(m.num_bytes, base.num_bytes + kept_all.len() * ELEMS * 4);
+    for t in kept_all {
+        t.dispose();
+    }
+    let end = e.memory();
+    assert_eq!(end.num_tensors, base.num_tensors);
+    assert_eq!(end.num_bytes, base.num_bytes);
+}
+
+#[test]
 fn memory_accounting_is_consistent_under_parallel_tidy() {
     let e = Arc::new(engine_on("cpu"));
     let baseline = e.num_tensors();

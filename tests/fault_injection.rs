@@ -183,6 +183,142 @@ fn fault_soak_seeded_plan_is_numerically_invisible() {
     assert!(e.degradations() <= 1, "at most one webgl→cpu fallback exists");
 }
 
+/// Concurrent stress under the same seeded fault schedule the `fault-soak`
+/// CI matrix replays: 8 threads share one faulty engine, mixing creation,
+/// kernels, readback, disposal and accounting calls. Whatever the seed
+/// injects (transient readbacks, OOM, context loss), every value must stay
+/// correct and the final memory accounting must be exact.
+#[test]
+fn concurrent_stress_under_seeded_faults_keeps_exact_accounting() {
+    let seed: u64 = std::env::var("WEBML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let e = Arc::new(new_engine_with_faults(FaultPlan::from_seed(seed)));
+    let base = e.memory();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let e = e.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut kept = Vec::new();
+            for i in 0..16u64 {
+                let v = (t * 17 + i) as f32;
+                let a = e.fill([64], v, webml::DType::F32).unwrap();
+                let b = ops::add(&a, &a).unwrap();
+                let vals = b.to_f32_vec().unwrap();
+                assert!(
+                    vals.iter().all(|&x| x == v * 2.0),
+                    "seed {seed} thread {t} iter {i}"
+                );
+                a.dispose();
+                if i % 5 == 0 {
+                    kept.push(b);
+                } else {
+                    b.dispose();
+                }
+                if i % 4 == 1 {
+                    let _ = e.memory();
+                }
+            }
+            kept
+        }));
+    }
+    let mut kept_all = Vec::new();
+    for h in handles {
+        kept_all.extend(h.join().unwrap());
+    }
+    let m = e.memory();
+    assert_eq!(m.num_tensors, base.num_tensors + kept_all.len(), "seed {seed}");
+    assert_eq!(m.num_bytes, base.num_bytes + kept_all.len() * 64 * 4, "seed {seed}");
+    for t in kept_all {
+        t.dispose();
+    }
+    let end = e.memory();
+    assert_eq!(end.num_tensors, base.num_tensors, "seed {seed}");
+    assert_eq!(end.num_bytes, base.num_bytes, "seed {seed}");
+    assert!(e.degradations() <= 1, "at most one webgl→cpu fallback exists");
+}
+
+/// The serving layer over a faulty engine: a scheduled context loss lands
+/// mid-traffic, the engine degrades webgl→cpu, the warm-model cache
+/// invalidates (the lost context's uploads are gone), models rebuild on
+/// the fallback — and every client still gets a correct answer. Run by the
+/// `serve-smoke` CI job (`--test fault_injection serve`).
+#[test]
+fn serve_survives_context_loss_and_reloads_on_fallback() {
+    use std::time::Duration;
+    use webml::models::serving::{classifier_artifacts, synthetic_example};
+    use webml::serve::{ModelServer, ModelSource, ServeConfig};
+
+    const IN_DIM: usize = 16;
+    const CLASSES: usize = 5;
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 8;
+
+    // Build the artifacts once on a clean engine; both servers rebuild from
+    // the same host-side weights, so their answers are comparable.
+    let builder = new_engine();
+    builder.set_backend("cpu").unwrap();
+    let artifacts = classifier_artifacts(&builder, IN_DIM, 24, CLASSES, 9).unwrap();
+
+    // Reference answers from a fault-free CPU server.
+    let r = new_engine();
+    r.set_backend("cpu").unwrap();
+    let ref_server = ModelServer::new(&r, ServeConfig::default());
+    let ref_key = ref_server.register(ModelSource::Artifacts(artifacts.clone()));
+    let examples: Vec<Vec<f32>> =
+        (0..CLIENTS * PER_CLIENT).map(|i| synthetic_example(IN_DIM, i)).collect();
+    let want: Vec<Vec<f32>> = examples
+        .iter()
+        .map(|ex| ref_server.infer(ref_key, ex.clone(), vec![IN_DIM]).unwrap().values)
+        .collect();
+
+    // The faulty server: context loss scheduled a few forward passes in.
+    let e = new_engine_with_faults(FaultPlan::none().lose_context_at(40));
+    assert_eq!(e.backend_name(), "webgl");
+    let server = Arc::new(ModelServer::new(
+        &e,
+        ServeConfig { max_batch: 4, max_wait: Duration::from_millis(2), cache_capacity: 2 },
+    ));
+    let key = server.register(ModelSource::Artifacts(artifacts));
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = server.clone();
+            let examples = examples.clone();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                for r in 0..PER_CLIENT {
+                    let idx = c * PER_CLIENT + r;
+                    let resp = server
+                        .infer(key, examples[idx].clone(), vec![IN_DIM])
+                        .expect("requests keep succeeding across the context loss");
+                    assert_eq!(resp.dims, vec![CLASSES]);
+                    for (got, want) in resp.values.iter().zip(&want[idx]) {
+                        assert!(
+                            (got - want).abs() < 1e-5,
+                            "client {c} request {r}: {got} vs {want}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The loss degraded the engine exactly once and stranded the cache,
+    // which invalidated and rebuilt on the fallback backend. Stats are read
+    // *before* shutdown: the shutdown path counts one more invalidation for
+    // releasing the warm models.
+    assert_eq!(e.degradations(), 1, "exactly one webgl→cpu fallback");
+    assert_eq!(e.backend_name(), "cpu");
+    let stats = server.stats();
+    assert_eq!(stats.served, (CLIENTS * PER_CLIENT) as u64);
+    assert!(stats.cache_invalidations >= 1, "context loss invalidated the cache: {stats:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

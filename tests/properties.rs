@@ -83,7 +83,7 @@ proptest! {
         values in prop::collection::vec(-100.0f32..100.0, 1..256),
     ) {
         for q in [Quantization::U8, Quantization::U16] {
-            let (bytes, scale, min) = q.quantize(&values);
+            let (bytes, scale, min) = q.quantize("w", &values).unwrap();
             let back = q.dequantize(&bytes, scale, min);
             let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
