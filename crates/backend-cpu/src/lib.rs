@@ -109,6 +109,10 @@ impl Backend for PlainJsBackend {
         self.inner.end_timing()
     }
 
+    fn device_timer_ns(&self) -> Option<u64> {
+        self.inner.device_timer_ns()
+    }
+
     fn unary(&self, op: UnaryOp, a: &KTensor<'_>) -> Result<DataId> {
         let x = self.fetch(a.data)?;
         let f: ScalarFn = std::hint::black_box(Box::new(move |v| op.apply(v as f32) as f64));

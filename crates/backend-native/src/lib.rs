@@ -190,6 +190,10 @@ impl Backend for NativeBackend {
         }
     }
 
+    fn device_timer_ns(&self) -> Option<u64> {
+        Some(self.kernel_nanos.load(Ordering::Relaxed))
+    }
+
     fn unary(&self, op: UnaryOp, a: &KTensor<'_>) -> Result<DataId> {
         let _t = self.timer();
         let x = self.fetch_f32(a.data)?;

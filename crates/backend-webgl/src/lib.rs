@@ -334,6 +334,16 @@ impl Backend for WebGlBackend {
         KernelTiming { kernel_ms: self.ctx.end_timing() }
     }
 
+    fn device_timer_ns(&self) -> Option<u64> {
+        if !self.ctx.profile().has_disjoint_timer_query {
+            return None;
+        }
+        // Like real EXT_disjoint_timer_query reads, sampling the counter
+        // serializes the pipeline: flush so it covers enqueued programs.
+        self.ctx.flush();
+        Some(self.ctx.device_nanos())
+    }
+
     fn unary(&self, op: UnaryOp, a: &KTensor<'_>) -> Result<DataId> {
         let tex = self.view(a.data, a.shape)?;
         let program = programs::unary(op, a.shape.0.clone(), self.packing());
@@ -621,6 +631,7 @@ impl Backend for WebGlBackend {
         }
         match self.run_n(program, &inputs, DType::F32) {
             Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedMatMul");
                 fused_matmul_fallback(self, a, b, bias, activation, transpose_a, transpose_b)
             }
             r => r,
@@ -647,6 +658,7 @@ impl Backend for WebGlBackend {
         }
         match self.run_n(program, &inputs, DType::F32) {
             Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedConv2D");
                 fused_conv2d_fallback(self, x, filter, bias, activation, info)
             }
             r => r,
@@ -672,6 +684,7 @@ impl Backend for WebGlBackend {
         }
         match self.run_n(program, &inputs, DType::F32) {
             Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedDepthwiseConv2D");
                 fused_depthwise_conv2d_fallback(self, x, filter, bias, activation, info)
             }
             r => r,
@@ -698,11 +711,22 @@ impl Backend for WebGlBackend {
         let program = programs::fused_elementwise(in_dims, steps.to_vec(), out_shape.0.clone());
         match self.run_n(program, &inputs, DType::F32) {
             Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedElementwise");
                 fused_elementwise_fallback(self, x, extras, steps, out_shape)
             }
             r => r,
         }
     }
+}
+
+/// Record a fused-kernel shader rejection (telemetry instant + counter)
+/// just before composing the unfused fallback. Rare by construction, so
+/// the registry `OnceLock` resolution here is off any hot path.
+fn note_fused_fallback(kernel: &'static str) {
+    static FALLBACKS: std::sync::OnceLock<std::sync::Arc<webml_telemetry::Counter>> =
+        std::sync::OnceLock::new();
+    FALLBACKS.get_or_init(|| webml_telemetry::counter("webgl.fused_fallbacks_total")).inc();
+    webml_telemetry::instant(kernel, "fused-fallback");
 }
 
 /// Convenience: a webgl backend on the integrated-GPU profile with default

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p webml-bench --bin serve_bench
 //!     [-- --tiny] [-- --requests N] [-- --json] [-- --assert-speedup X]
+//!     [-- --trace out.json]
 //! ```
 //!
 //! Each scenario runs 1, 4, and 16 concurrent closed-loop clients (one
@@ -12,7 +13,9 @@
 //! **unbatched** (`max_batch` 1). Reports req/s and p50/p99 latency per
 //! cell; `--json` writes `BENCH_SERVE.json` to the current directory, and
 //! `--assert-speedup X` exits non-zero unless batched req/s at 16 clients
-//! is ≥ X× unbatched (the CI serve-smoke gate uses 1.5).
+//! is ≥ X× unbatched (the CI serve-smoke gate uses 1.5). `--trace PATH`
+//! enables telemetry for the whole run and writes a Chrome trace-event
+//! JSON timeline (load it in `chrome://tracing` or Perfetto).
 
 use serde_json::json;
 use std::sync::Arc;
@@ -42,6 +45,8 @@ struct Cell {
     p99_ms: f64,
     batches: u64,
     batched_requests: u64,
+    queue_wait_ms: webml_telemetry::HistogramSummary,
+    batch_size: webml_telemetry::HistogramSummary,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -98,6 +103,8 @@ fn run_cell(batched: bool, clients: usize, requests: usize) -> Cell {
         p99_ms: percentile(&latencies, 0.99),
         batches: stats.batches,
         batched_requests: stats.batched_requests,
+        queue_wait_ms: stats.queue_wait_ms,
+        batch_size: stats.batch_size,
     }
 }
 
@@ -116,6 +123,11 @@ fn main() {
         .position(|a| a == "--assert-speedup")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let trace_path: Option<String> =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    if trace_path.is_some() {
+        webml_telemetry::set_enabled(true);
+    }
 
     println!(
         "serving benchmark: MLP {IN_DIM}->{HIDDEN}->{HIDDEN}->{CLASSES} on simulated WebGL, \
@@ -151,6 +163,20 @@ fn main() {
                 "p99_ms": cell.p99_ms,
                 "batches": cell.batches,
                 "batched_requests": cell.batched_requests,
+                "queue_wait_ms": {
+                    "count": cell.queue_wait_ms.count,
+                    "mean": cell.queue_wait_ms.mean,
+                    "p50": cell.queue_wait_ms.p50,
+                    "p95": cell.queue_wait_ms.p95,
+                    "p99": cell.queue_wait_ms.p99,
+                },
+                "batch_size": {
+                    "count": cell.batch_size.count,
+                    "mean": cell.batch_size.mean,
+                    "p50": cell.batch_size.p50,
+                    "p95": cell.batch_size.p95,
+                    "p99": cell.batch_size.p99,
+                },
             }));
         }
     }
@@ -166,6 +192,13 @@ fn main() {
         let text = serde_json::to_string_pretty(&doc).expect("serialize");
         std::fs::write("BENCH_SERVE.json", text).expect("write BENCH_SERVE.json");
         println!("\nwrote BENCH_SERVE.json");
+    }
+    if let Some(path) = trace_path {
+        webml_telemetry::set_enabled(false);
+        let dropped = webml_telemetry::dropped_events();
+        webml_telemetry::write_chrome_trace(std::path::Path::new(&path))
+            .expect("write Chrome trace");
+        println!("wrote Chrome trace to {path} ({dropped} events dropped to ring overflow)");
     }
     if let Some(want) = assert_speedup {
         assert!(

@@ -1,0 +1,131 @@
+//! Validate a Chrome trace-event JSON file produced by
+//! `serve_bench --trace` (the CI `trace-smoke` gate).
+//!
+//! ```text
+//! cargo run --release -p webml-bench --bin trace_validate -- trace.json
+//! ```
+//!
+//! Checks the trace-event schema (every event has `name`/`ph`/`pid`/`tid`,
+//! spans carry microsecond `ts`+`dur`) and asserts the timeline actually
+//! observes the stack end to end: engine kernel spans, serve batch spans,
+//! and a virtual GPU track whose spans carry the disjoint-timer-query
+//! (`modeled_device_ns`) argument. Exits non-zero on any violation.
+
+use serde_json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace validation FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        fail("usage: trace_validate <trace.json>");
+    });
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
+
+    let events = match doc.get("traceEvents").and_then(Value::as_array) {
+        Some(events) if !events.is_empty() => events,
+        _ => fail("traceEvents missing or empty"),
+    };
+
+    let mut spans = 0usize;
+    let mut kernel_spans = 0usize;
+    let mut serve_batch_spans = 0usize;
+    let mut gpu_spans = 0usize;
+    let mut gpu_timer_ns = 0.0f64;
+    let mut gpu_tid: Option<&Value> = None;
+    let mut named_threads = 0usize;
+
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or_else(|| {
+            fail(&format!("event without string ph: {ev:?}"));
+        });
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            fail(&format!("event without string name: {ev:?}"));
+        }
+        if ev.get("pid").is_none() || ev.get("tid").is_none() {
+            fail(&format!("event without pid/tid: {ev:?}"));
+        }
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    named_threads += 1;
+                    let is_gpu = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .is_some_and(|n| n.contains("GPU"));
+                    if is_gpu {
+                        gpu_tid = ev.get("tid");
+                    }
+                }
+            }
+            "X" => {
+                let ts = ev.get("ts").and_then(Value::as_f64);
+                let dur = ev.get("dur").and_then(Value::as_f64);
+                if ts.is_none() || dur.is_none() {
+                    fail(&format!("span without numeric ts/dur: {ev:?}"));
+                }
+                spans += 1;
+                let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("");
+                let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+                if cat == "kernel" {
+                    kernel_spans += 1;
+                }
+                if name == "serve.batch" {
+                    serve_batch_spans += 1;
+                }
+                if cat == "gpu" {
+                    gpu_spans += 1;
+                    gpu_timer_ns += ev
+                        .get("args")
+                        .and_then(|a| a.get("modeled_device_ns"))
+                        .and_then(Value::as_f64)
+                        .unwrap_or_else(|| {
+                            fail(&format!("gpu span without modeled_device_ns: {ev:?}"));
+                        });
+                    match gpu_tid {
+                        Some(tid) if ev.get("tid") == Some(tid) => {}
+                        _ => fail("gpu span not on the declared GPU track"),
+                    }
+                }
+            }
+            "i" => {
+                if ev.get("ts").and_then(Value::as_f64).is_none() {
+                    fail(&format!("instant without numeric ts: {ev:?}"));
+                }
+            }
+            other => fail(&format!("unexpected event phase {other:?}")),
+        }
+    }
+
+    if gpu_tid.is_none() {
+        fail("no GPU thread_name metadata event");
+    }
+    if named_threads < 2 {
+        fail("expected at least the GPU track plus one CPU thread track");
+    }
+    if kernel_spans == 0 {
+        fail("no engine kernel spans (cat=kernel)");
+    }
+    if serve_batch_spans == 0 {
+        fail("no serve.batch spans");
+    }
+    if gpu_spans == 0 {
+        fail("no spans on the GPU track");
+    }
+    if gpu_timer_ns <= 0.0 {
+        fail("GPU track carries no positive disjoint-timer-query time");
+    }
+
+    println!(
+        "trace OK: {} events, {spans} spans ({kernel_spans} kernel, {serve_batch_spans} \
+         serve.batch, {gpu_spans} gpu; device timer total {:.3} ms), {named_threads} tracks",
+        events.len(),
+        gpu_timer_ns / 1e6,
+    );
+}

@@ -617,6 +617,19 @@ pub trait Backend: Send + Sync {
         KernelTiming::default()
     }
 
+    /// Cumulative device-side kernel nanoseconds since backend creation,
+    /// as measured by the device's own timer — the disjoint-timer-query
+    /// counter on the webgl backend. `None` when the device exposes no
+    /// timer (e.g. `EXT_disjoint_timer_query` absent), in which case
+    /// profiles degrade gracefully to wall-clock only.
+    ///
+    /// Implementations may flush pending device work so the counter
+    /// covers every kernel enqueued so far; callers should only sample it
+    /// while profiling (the engine brackets each kernel with two samples).
+    fn device_timer_ns(&self) -> Option<u64> {
+        None
+    }
+
     // --- kernels -----------------------------------------------------------
 
     /// Element-wise unary kernel.

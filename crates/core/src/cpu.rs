@@ -146,6 +146,10 @@ impl Backend for CpuBackend {
         KernelTiming { kernel_ms: (now - mark) as f64 / 1e6 }
     }
 
+    fn device_timer_ns(&self) -> Option<u64> {
+        Some(self.kernel_nanos.load(Ordering::Relaxed))
+    }
+
     fn unary(&self, op: UnaryOp, a: &KTensor<'_>) -> Result<DataId> {
         let _t = self.timer();
         let x = self.get_f32(a.data)?;

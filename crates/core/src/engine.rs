@@ -89,6 +89,27 @@ pub struct DegradationEvent {
     pub reason: String,
 }
 
+/// Cached handles to the engine's registered telemetry metrics, resolved
+/// once so the kernel hot path never touches the registry lock.
+struct KernelMetrics {
+    kernels: Arc<webml_telemetry::Counter>,
+    wall_ms: Arc<webml_telemetry::Histogram>,
+    device_ms: Arc<webml_telemetry::Histogram>,
+    retries: Arc<webml_telemetry::Counter>,
+    degradations: Arc<webml_telemetry::Counter>,
+}
+
+fn kernel_metrics() -> &'static KernelMetrics {
+    static METRICS: std::sync::OnceLock<KernelMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| KernelMetrics {
+        kernels: webml_telemetry::counter("engine.kernels_total"),
+        wall_ms: webml_telemetry::histogram("engine.kernel_wall_ms"),
+        device_ms: webml_telemetry::histogram("engine.kernel_device_ms"),
+        retries: webml_telemetry::counter("engine.kernel_retries_total"),
+        degradations: webml_telemetry::counter("engine.degradations_total"),
+    })
+}
+
 /// Bounded in-place retries of a transient kernel failure before the engine
 /// degrades to the next backend.
 const MAX_TRANSIENT_ATTEMPTS: u32 = 3;
@@ -111,6 +132,11 @@ pub struct KernelProfile {
     pub name: &'static str,
     /// Wall-clock milliseconds spent in the kernel call.
     pub wall_ms: f64,
+    /// Device-side milliseconds for the kernel, as measured by the
+    /// backend's device timer (the disjoint-timer-query counter on the
+    /// webgl backend). `None` when the device exposes no timer — e.g. a
+    /// simulated device profile without `EXT_disjoint_timer_query`.
+    pub kernel_ms: Option<f64>,
     /// Shapes of the outputs.
     pub output_shapes: Vec<Shape>,
     /// Bytes allocated for the outputs.
@@ -142,12 +168,43 @@ pub struct TimeInfo {
     pub kernel_ms: f64,
 }
 
-struct ProfileState {
-    new_tensors: usize,
-    new_bytes: usize,
-    peak_tensors: usize,
-    peak_bytes: usize,
-    kernels: Vec<KernelProfile>,
+/// Number of lock-striped kernel buffers in the profile collector.
+/// Threads hash onto stripes by [`webml_telemetry::thread_index`], so with
+/// typical thread counts each stripe is effectively thread-private and its
+/// mutex is uncontended — this is what keeps `run_kernel` off a shared
+/// profile lock while profiling (the counters are plain atomics).
+const PROFILE_STRIPES: usize = 16;
+
+/// Concurrent profile collector for [`Engine::profile`]: atomic counters
+/// plus per-thread-striped kernel logs, folded into a [`ProfileInfo`] at
+/// scope exit. One profiling window at a time (like the old
+/// `Mutex<Option<ProfileState>>` it replaces).
+struct ProfileCollector {
+    new_tensors: AtomicUsize,
+    new_bytes: AtomicUsize,
+    peak_tensors: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    /// Global kernel sequence number, so the folded log preserves
+    /// cross-thread dispatch order.
+    seq: AtomicU64,
+    kernels: Vec<Mutex<Vec<(u64, KernelProfile)>>>,
+}
+
+impl ProfileCollector {
+    fn new() -> ProfileCollector {
+        ProfileCollector {
+            new_tensors: AtomicUsize::new(0),
+            new_bytes: AtomicUsize::new(0),
+            peak_tensors: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            kernels: (0..PROFILE_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn stripe(&self) -> &Mutex<Vec<(u64, KernelProfile)>> {
+        &self.kernels[webml_telemetry::thread_index() & (PROFILE_STRIPES - 1)]
+    }
 }
 
 pub(crate) struct DataRecord {
@@ -211,8 +268,8 @@ struct EngineInner {
     meta: Mutex<MetaState>,
     /// Whether any tape is active (fast-path skip of `meta` in kernels).
     tape_active: AtomicBool,
-    profile: Mutex<Option<ProfileState>>,
-    /// Whether profiling is active (fast-path skip of the profile lock).
+    profile: ProfileCollector,
+    /// Whether profiling is active (fast-path skip of the collector).
     profiling: AtomicBool,
     debug: AtomicBool,
     degradations: AtomicU64,
@@ -268,7 +325,7 @@ impl Engine {
                     kept_by_tape: HashSet::new(),
                 }),
                 tape_active: AtomicBool::new(false),
-                profile: Mutex::new(None),
+                profile: ProfileCollector::new(),
                 profiling: AtomicBool::new(false),
                 debug: AtomicBool::new(false),
                 degradations: AtomicU64::new(0),
@@ -450,10 +507,9 @@ impl Engine {
             .insert(id, TensorRecord { data: data_handle, kept: false, variable: false, scope });
         let live = self.inner.num_tensors.fetch_add(1, Ordering::Relaxed) + 1;
         if self.inner.profiling.load(Ordering::Relaxed) {
-            if let Some(p) = self.inner.profile.lock().as_mut() {
-                p.new_tensors += 1;
-                p.peak_tensors = p.peak_tensors.max(live);
-            }
+            let p = &self.inner.profile;
+            p.new_tensors.fetch_add(1, Ordering::Relaxed);
+            p.peak_tensors.fetch_max(live, Ordering::Relaxed);
         }
         Tensor::from_parts(self.clone(), id, shape, dtype)
     }
@@ -466,10 +522,9 @@ impl Engine {
         self.inner.num_data.fetch_add(1, Ordering::Relaxed);
         let live_bytes = self.inner.num_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         if self.inner.profiling.load(Ordering::Relaxed) {
-            if let Some(p) = self.inner.profile.lock().as_mut() {
-                p.new_bytes += bytes;
-                p.peak_bytes = p.peak_bytes.max(live_bytes);
-            }
+            let p = &self.inner.profile;
+            p.new_bytes.fetch_add(bytes, Ordering::Relaxed);
+            p.peak_bytes.fetch_max(live_bytes, Ordering::Relaxed);
         }
         handle
     }
@@ -665,9 +720,29 @@ impl Engine {
                 .zip(&input_data)
                 .map(|(t, (_, id))| KTensor { data: *id, shape: t.shape_ref(), dtype: t.dtype() })
                 .collect();
+            let profiling = self.inner.profiling.load(Ordering::Relaxed);
+            let tracing = webml_telemetry::enabled();
+            // Device-timer bracket: sampling may flush the device queue
+            // (disjoint timer queries serialize the pipeline), so it is
+            // only done while a profile window is open.
+            let dev0 = if profiling { backend.device_timer_ns() } else { None };
+            let trace_t0 = if tracing { webml_telemetry::now_ns() } else { 0 };
             let t0 = Instant::now();
             let result = forward(backend.as_ref(), &ktensors);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let kernel_ms = match (profiling, dev0, if profiling { backend.device_timer_ns() } else { None }) {
+                (true, Some(a), Some(b)) => Some(b.saturating_sub(a) as f64 / 1e6),
+                _ => None,
+            };
+            if tracing {
+                webml_telemetry::record_span(kernel, "kernel", trace_t0, webml_telemetry::now_ns());
+                let tele = kernel_metrics();
+                tele.kernels.inc();
+                tele.wall_ms.observe(wall_ms);
+                if let Some(d) = kernel_ms {
+                    tele.device_ms.observe(d);
+                }
+            }
 
             // NaN-debug mode: download every output and fail at the first
             // NaN, naming the kernel (paper Sec 3.8).
@@ -696,6 +771,10 @@ impl Engine {
                     let retryable = e.is_transient() && !matches!(e, Error::ContextLost { .. });
                     if retryable && attempts + 1 < MAX_TRANSIENT_ATTEMPTS {
                         attempts += 1;
+                        if tracing {
+                            webml_telemetry::instant_arg(kernel, "retry", "attempt", attempts as f64);
+                        }
+                        kernel_metrics().retries.inc();
                         std::thread::sleep(backoff_delay(attempts));
                         continue;
                     }
@@ -716,10 +795,13 @@ impl Engine {
                 let handle = self.register_data(backend_name.clone(), id, bytes, dtype);
                 outputs.push(self.register_tensor(handle, shape, dtype));
             }
-            if self.inner.profiling.load(Ordering::Relaxed) {
-                if let Some(p) = self.inner.profile.lock().as_mut() {
-                    p.kernels.push(KernelProfile { name: kernel, wall_ms, output_shapes, bytes_added });
-                }
+            if profiling {
+                let p = &self.inner.profile;
+                let seq = p.seq.fetch_add(1, Ordering::Relaxed);
+                p.stripe().lock().push((
+                    seq,
+                    KernelProfile { name: kernel, wall_ms, kernel_ms, output_shapes, bytes_added },
+                ));
             }
             if let Some(grad_fn) = grad {
                 self.maybe_record(kernel, inputs, &outputs, grad_fn);
@@ -761,6 +843,8 @@ impl Engine {
                 table.current = Some(i);
                 self.inner.degradations.fetch_add(1, Ordering::Relaxed);
                 self.inner.degradation_log.lock().push(event);
+                kernel_metrics().degradations.inc();
+                webml_telemetry::instant(kernel, "degrade");
                 true
             }
             None => false,
@@ -792,6 +876,14 @@ impl Engine {
     /// The full degradation event log, oldest first.
     pub fn degradation_events(&self) -> Vec<DegradationEvent> {
         self.inner.degradation_log.lock().clone()
+    }
+
+    /// A generation counter that changes whenever the engine degrades to a
+    /// fallback backend. One relaxed atomic load — the cheap way for
+    /// caches (e.g. the serve-side warm-model cache) to poll "did the
+    /// world change since I last looked?" without touching the event log.
+    pub fn degradation_generation(&self) -> u64 {
+        self.inner.degradations.load(Ordering::Relaxed)
     }
 
     /// Run a *composite* op with a user-supplied gradient (`tf.customGrad`):
@@ -1067,31 +1159,37 @@ impl Engine {
     }
 
     /// Profile the memory and kernel behaviour of `f` (`tf.profile`).
+    ///
+    /// Kernels run by *any* thread while the window is open are recorded
+    /// (into per-thread-striped buffers, folded here in dispatch order),
+    /// so `f` may fan work out across threads as long as it joins them
+    /// before returning. One profile window at a time per engine.
     pub fn profile<R>(&self, f: impl FnOnce() -> R) -> (R, ProfileInfo) {
-        {
-            let mut profile = self.inner.profile.lock();
-            *profile = Some(ProfileState {
-                new_tensors: 0,
-                new_bytes: 0,
-                peak_tensors: self.inner.num_tensors.load(Ordering::SeqCst),
-                peak_bytes: self.inner.num_bytes.load(Ordering::SeqCst),
-                kernels: Vec::new(),
-            });
-            self.inner.profiling.store(true, Ordering::Release);
+        let p = &self.inner.profile;
+        for stripe in &p.kernels {
+            stripe.lock().clear();
         }
+        p.new_tensors.store(0, Ordering::Relaxed);
+        p.new_bytes.store(0, Ordering::Relaxed);
+        p.peak_tensors.store(self.inner.num_tensors.load(Ordering::SeqCst), Ordering::Relaxed);
+        p.peak_bytes.store(self.inner.num_bytes.load(Ordering::SeqCst), Ordering::Relaxed);
+        p.seq.store(0, Ordering::Relaxed);
+        self.inner.profiling.store(true, Ordering::Release);
         let r = f();
-        let p = {
-            self.inner.profiling.store(false, Ordering::Release);
-            self.inner.profile.lock().take().expect("profile state set above")
-        };
+        self.inner.profiling.store(false, Ordering::Release);
+        let mut ordered: Vec<(u64, KernelProfile)> = Vec::new();
+        for stripe in &p.kernels {
+            ordered.append(&mut stripe.lock());
+        }
+        ordered.sort_by_key(|(seq, _)| *seq);
         (
             r,
             ProfileInfo {
-                new_tensors: p.new_tensors,
-                new_bytes: p.new_bytes,
-                peak_tensors: p.peak_tensors,
-                peak_bytes: p.peak_bytes,
-                kernels: p.kernels,
+                new_tensors: p.new_tensors.load(Ordering::Relaxed),
+                new_bytes: p.new_bytes.load(Ordering::Relaxed),
+                peak_tensors: p.peak_tensors.load(Ordering::Relaxed),
+                peak_bytes: p.peak_bytes.load(Ordering::Relaxed),
+                kernels: ordered.into_iter().map(|(_, k)| k).collect(),
             },
         )
     }

@@ -178,7 +178,7 @@ impl ModelCache {
             capacity: capacity.max(1),
             tick: 0,
             entries: HashMap::new(),
-            degradation_epoch: engine.degradations(),
+            degradation_epoch: engine.degradation_generation(),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -199,9 +199,10 @@ impl ModelCache {
     /// Invalidate everything when the engine degraded since the last check
     /// (context loss → the old backend's programs/textures are gone; the
     /// rebuilt models upload onto the fallback backend). Returns whether an
-    /// invalidation happened.
+    /// invalidation happened. Polled per drain, so it reads the engine's
+    /// atomic degradation *generation* — never the event log.
     pub fn check_degradation(&mut self, engine: &Engine) -> bool {
-        let epoch = engine.degradations();
+        let epoch = engine.degradation_generation();
         if epoch == self.degradation_epoch {
             return false;
         }
@@ -247,7 +248,10 @@ impl ModelCache {
                 entry.model.dispose_weights();
                 self.evictions += 1;
             }
-            let model = Loaded::build(engine, source)?;
+            let model = {
+                let _span = webml_telemetry::span("serve.model_build", "serve");
+                Loaded::build(engine, source)?
+            };
             self.misses += 1;
             self.entries.insert(key, Entry { model, last_used: tick });
         }

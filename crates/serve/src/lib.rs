@@ -43,6 +43,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use webml_core::{Engine, Error, Result, Shape};
+use webml_telemetry as telemetry;
+use webml_telemetry::{Histogram, HistogramSummary};
 
 /// Micro-batcher and cache tuning.
 #[derive(Debug, Clone)]
@@ -74,7 +76,7 @@ pub struct InferResponse {
 
 /// Lifetime serving counters (monotonic snapshots from
 /// [`ModelServer::stats`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
     /// Requests answered (successfully or with an error reply).
     pub served: u64,
@@ -94,6 +96,12 @@ pub struct ServeStats {
     pub cache_evictions: u64,
     /// Whole-cache invalidations after an engine backend degradation.
     pub cache_invalidations: u64,
+    /// Distribution of per-request queue wait (submit → dispatcher drain),
+    /// in milliseconds.
+    pub queue_wait_ms: HistogramSummary,
+    /// Distribution of executed forward-pass batch sizes (singles count
+    /// as size 1).
+    pub batch_size: HistogramSummary,
 }
 
 #[derive(Default)]
@@ -114,6 +122,7 @@ struct Request {
     values: Vec<f32>,
     dims: Vec<usize>,
     reply: mpsc::Sender<Result<InferResponse>>,
+    enqueued: Instant,
 }
 
 struct QueueState {
@@ -128,6 +137,10 @@ struct Shared {
     available: Condvar,
     sources: Mutex<HashMap<ModelKey, Arc<ModelSource>>>,
     stats: StatsCells,
+    /// Per-server (not registry-global) histograms, so concurrent servers
+    /// and repeated benchmark cells don't pollute each other's quantiles.
+    queue_wait_ms: Histogram,
+    batch_size: Histogram,
 }
 
 /// A handle to an in-flight [`ModelServer::submit`] request.
@@ -164,6 +177,8 @@ impl ModelServer {
             available: Condvar::new(),
             sources: Mutex::new(HashMap::new()),
             stats: StatsCells::default(),
+            queue_wait_ms: Histogram::new(),
+            batch_size: Histogram::new(),
         });
         let worker = shared.clone();
         let dispatcher = std::thread::Builder::new()
@@ -204,8 +219,9 @@ impl ModelServer {
                 let _ = tx.send(Err(Error::invalid("serve", "server is shutting down")));
                 return PendingInference { rx };
             }
-            q.requests.push_back(Request { key, values, dims, reply: tx });
+            q.requests.push_back(Request { key, values, dims, reply: tx, enqueued: Instant::now() });
         }
+        telemetry::instant("serve.enqueue", "serve");
         self.shared.available.notify_all();
         PendingInference { rx }
     }
@@ -231,6 +247,8 @@ impl ModelServer {
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
             cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
             cache_invalidations: s.cache_invalidations.load(Ordering::Relaxed),
+            queue_wait_ms: self.shared.queue_wait_ms.summary(),
+            batch_size: self.shared.batch_size.summary(),
         }
     }
 
@@ -300,6 +318,11 @@ fn sync_cache_stats(shared: &Shared, cache: &ModelCache) {
 }
 
 fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request>) {
+    let _dispatch =
+        telemetry::span("serve.dispatch", "serve").with_arg("drained", drained.len() as f64);
+    for req in &drained {
+        shared.queue_wait_ms.observe(req.enqueued.elapsed().as_secs_f64() * 1e3);
+    }
     if cache.check_degradation(&shared.engine) {
         // Backend fell back (e.g. context loss): models rebuild below on
         // the fallback backend; requests in this drain retry transparently.
@@ -364,7 +387,13 @@ fn run_chunk(
 ) {
     let n = chunk.len();
     if n >= 2 {
-        match run_batched(shared, cache, key, source, dims, &chunk) {
+        shared.batch_size.observe(n as f64);
+        let batched = {
+            let _span =
+                telemetry::span("serve.batch", "serve").with_arg("batch_size", n as f64);
+            run_batched(shared, cache, key, source, dims, &chunk)
+        };
+        match batched {
             Ok(responses) => {
                 // Count before replying: a caller that sees its reply must
                 // also see it reflected in the stats.
@@ -373,6 +402,7 @@ fn run_chunk(
                     shared.stats.served.fetch_add(1, Ordering::Relaxed);
                     shared.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
                     let _ = req.reply.send(Ok(resp));
+                    telemetry::instant("serve.reply", "serve");
                 }
                 return;
             }
@@ -381,14 +411,20 @@ fn run_chunk(
                 // dead backend) is rebuilt on the retry.
                 cache.invalidate(key);
                 shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                telemetry::instant("serve.batch_fallback", "serve");
             }
         }
     }
     for req in chunk {
-        let result = run_single(shared, cache, key, source, &req);
+        shared.batch_size.observe(1.0);
+        let result = {
+            let _span = telemetry::span("serve.single", "serve");
+            run_single(shared, cache, key, source, &req)
+        };
         shared.stats.served.fetch_add(1, Ordering::Relaxed);
         shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
         let _ = req.reply.send(result);
+        telemetry::instant("serve.reply", "serve");
     }
 }
 

@@ -1,0 +1,347 @@
+//! Metrics: counters, gauges and log-bucketed histograms, plus a global
+//! name-keyed registry exportable as Prometheus-style text.
+//!
+//! All metric types are plain atomics — updates are lock-free and safe
+//! from any thread, independent of whether tracing is enabled. Callers on
+//! hot paths should resolve a metric once ([`counter`]/[`histogram`]
+//! return `Arc`s) and cache the handle; the registry lock is only taken
+//! at resolution and export time.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (standalone, not registered).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge (standalone, not registered).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 4 per octave over 2^-16 .. 2^16, giving
+/// ~19% relative resolution across nine decades — plenty for latency
+/// quantiles.
+const BUCKETS: usize = 128;
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+const BUCKET_BIAS: i64 = 64;
+
+/// A lock-free log-bucketed histogram. `observe` is two relaxed
+/// `fetch_add`s plus one `log2`; quantiles are approximate to one bucket
+/// (~19% relative error bound).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    /// Sum scaled by 2^20 so fractional observations accumulate without
+    /// floating-point atomics.
+    sum_scaled: AtomicU64,
+}
+
+const SUM_SCALE: f64 = (1u64 << 20) as f64;
+
+impl Histogram {
+    /// An empty histogram (standalone, not registered — useful for
+    /// per-instance stats like a server's queue-wait distribution).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([(); BUCKETS].map(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum_scaled: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_index(v: f64) -> usize {
+        // NaN fails `is_finite`, so non-positive and non-finite values
+        // (including NaN) all land in the underflow bucket.
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        ((v.log2() * BUCKETS_PER_OCTAVE).floor() as i64 + BUCKET_BIAS).clamp(0, BUCKETS as i64 - 1)
+            as usize
+    }
+
+    /// The representative (geometric-center) value of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        2f64.powf((i as f64 + 0.5 - BUCKET_BIAS as f64) / BUCKETS_PER_OCTAVE)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let idx = Histogram::bucket_index(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let scaled = (v.max(0.0) * SUM_SCALE) as u64;
+        self.sum_scaled.fetch_add(scaled, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_scaled.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (bucket representative
+    /// value). Returns 0.0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Histogram::bucket_value(i);
+            }
+        }
+        Histogram::bucket_value(BUCKETS - 1)
+    }
+
+    /// A point-in-time summary (count, mean, p50/p95/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            mean: if count == 0 { 0.0 } else { self.sum() / count as f64 },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A snapshot of a [`Histogram`]: count, mean and headline quantiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (approximate, log-bucketed).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Get or create the registered counter `name`. Cache the returned `Arc`
+/// on hot paths.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = registry().lock();
+    match reg.entry(name.to_owned()).or_insert_with(|| Metric::Counter(Arc::new(Counter::new()))) {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} already registered as a non-counter"),
+    }
+}
+
+/// Get or create the registered gauge `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = registry().lock();
+    match reg.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered as a non-gauge"),
+    }
+}
+
+/// Get or create the registered histogram `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = registry().lock();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} already registered as a non-histogram"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Render every registered metric as Prometheus-style exposition text.
+/// Histograms are rendered as summaries (`{quantile="..."}` series plus
+/// `_sum`/`_count`).
+pub fn prometheus_text() -> String {
+    let reg = registry().lock();
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        let pname = sanitize(name);
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {pname} summary\n"));
+                for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "{pname}{{quantile=\"{label}\"}} {}\n",
+                        h.quantile(q)
+                    ));
+                }
+                out.push_str(&format!("{pname}_sum {}\n", h.sum()));
+                out.push_str(&format!("{pname}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = counter("test.metrics.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter("test.metrics.counter").get(), 5, "registry returns same instance");
+        let g = gauge("test.metrics.gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_correct() {
+        let h = Histogram::new();
+        // 90 fast observations at ~1ms, 10 slow at ~100ms.
+        for _ in 0..90 {
+            h.observe(1.0);
+        }
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - 1090.0).abs() < 1.0, "sum ~1090, got {}", h.sum());
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 0.5 && p50 < 2.0, "p50 near 1.0, got {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 50.0 && p99 < 200.0, "p99 near 100, got {p99}");
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 10.9).abs() < 0.1);
+        assert!(s.p95 > 50.0, "p95 lands in the slow mode, got {}", s.p95);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_values() {
+        let h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        h.observe(1e-30);
+        h.observe(1e30);
+        assert_eq!(h.count(), 5);
+        assert!(h.quantile(0.5) > 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_includes_all_kinds() {
+        counter("test.prom.requests").add(3);
+        gauge("test.prom.depth").set(2);
+        histogram("test.prom.latency_ms").observe(5.0);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_prom_requests counter"));
+        assert!(text.contains("test_prom_requests 3"));
+        assert!(text.contains("# TYPE test_prom_depth gauge"));
+        assert!(text.contains("# TYPE test_prom_latency_ms summary"));
+        assert!(text.contains("test_prom_latency_ms_count 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.kind_clash");
+        gauge("test.metrics.kind_clash");
+    }
+}

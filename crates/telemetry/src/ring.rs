@@ -1,0 +1,159 @@
+//! A fixed-capacity single-producer single-consumer event ring.
+//!
+//! The producer is always the owning thread (via the crate's
+//! thread-local handle); the consumer is whoever drains the trace, which
+//! the crate serializes by holding the thread-registry lock while
+//! draining. Overflow drops the new event and bumps a counter — the hot
+//! path never blocks and never allocates.
+
+use crate::Event;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-thread ring capacity (events). At 80 bytes/event this is ~1.3 MiB
+/// per *recording* thread — rings are only allocated on first use.
+pub const RING_CAPACITY: usize = 1 << 14;
+
+/// SPSC ring of [`Event`]s. See module docs for the producer/consumer
+/// contract.
+pub struct EventRing {
+    slots: Box<[UnsafeCell<MaybeUninit<Event>>]>,
+    /// Next slot to read (owned by the consumer).
+    head: AtomicUsize,
+    /// Next slot to write (owned by the producer).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only written by the owner thread at indices in
+// [head, tail) exclusion — the producer writes at `tail` before
+// publishing it with a release store, the consumer reads only below the
+// acquired `tail`. Events are `Copy`, so no slot ever needs dropping.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// An empty ring with [`RING_CAPACITY`] slots.
+    pub fn new() -> EventRing {
+        let slots: Vec<UnsafeCell<MaybeUninit<Event>>> =
+            (0..RING_CAPACITY).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        EventRing {
+            slots: slots.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer-side push. Must only be called from the owning thread.
+    /// Drops the event (counting it) when the ring is full.
+    #[inline]
+    pub fn push(&self, ev: Event) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= RING_CAPACITY {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: this slot is outside [head, tail), so the consumer is
+        // not reading it; we are the only producer.
+        unsafe {
+            (*self.slots[tail % RING_CAPACITY].get()).write(ev);
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer-side drain of everything currently published. The caller
+    /// must guarantee a single consumer at a time (the crate drains under
+    /// the thread-registry lock).
+    pub fn drain_into(&self, out: &mut Vec<Event>) {
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut head = self.head.load(Ordering::Relaxed);
+        while head != tail {
+            // SAFETY: slots in [head, tail) were initialized by the
+            // producer before the release store of `tail`.
+            out.push(unsafe { (*self.slots[head % RING_CAPACITY].get()).assume_init() });
+            head = head.wrapping_add(1);
+        }
+        self.head.store(head, Ordering::Release);
+    }
+
+    /// Events lost to overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, Track};
+
+    fn ev(i: u64) -> Event {
+        Event {
+            name: "t",
+            cat: "t",
+            track: Track::Thread,
+            phase: Phase::Instant,
+            start_ns: i,
+            dur_ns: 0,
+            tid: 0,
+            arg_name: "",
+            arg: 0.0,
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let ring = EventRing::new();
+        for i in 0..100 {
+            ring.push(ev(i));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().enumerate().all(|(i, e)| e.start_ns == i as u64));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let ring = EventRing::new();
+        for i in 0..(RING_CAPACITY as u64 + 37) {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.dropped(), 37);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        // After draining, capacity is available again.
+        ring.push(ev(9999));
+        out.clear();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].start_ns, 9999);
+    }
+
+    #[test]
+    fn wraparound_across_many_cycles() {
+        let ring = EventRing::new();
+        let mut out = Vec::new();
+        for cycle in 0..5u64 {
+            for i in 0..(RING_CAPACITY as u64 / 2) {
+                ring.push(ev(cycle * 1_000_000 + i));
+            }
+            out.clear();
+            ring.drain_into(&mut out);
+            assert_eq!(out.len(), RING_CAPACITY / 2);
+            assert_eq!(out[0].start_ns, cycle * 1_000_000);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+}

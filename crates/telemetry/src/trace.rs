@@ -1,0 +1,118 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON Object Format" understood by `chrome://tracing`
+//! and Perfetto: a `traceEvents` array of complete spans (`ph: "X"`,
+//! microsecond `ts`/`dur`) and instants (`ph: "i"`), with `ph: "M"`
+//! metadata events naming one track per recording thread plus a virtual
+//! **GPU** track for simulated-device work.
+
+use crate::{drain, dropped_events, thread_names, Phase, Track};
+use serde_json::json;
+use std::path::Path;
+
+/// The `tid` used for the virtual GPU track. Real thread ids start at 1,
+/// so 0 is free; chrome://tracing sorts it to the top.
+pub const GPU_TID: u64 = 0;
+
+/// Drain all buffered events and render them as a Chrome trace-event
+/// JSON document (see module docs). Consumes the buffered events.
+pub fn chrome_trace_json() -> String {
+    let events = drain();
+    let mut out: Vec<serde_json::Value> = Vec::with_capacity(events.len() + 16);
+
+    // Track-naming metadata. The GPU track is always declared so an
+    // empty-GPU trace still shows where device work would land.
+    out.push(json!({
+        "name": "thread_name", "ph": "M", "pid": 1, "tid": GPU_TID,
+        "args": {"name": "GPU (simulated device)"},
+    }));
+    for (tid, name) in thread_names() {
+        out.push(json!({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": name},
+        }));
+    }
+
+    for ev in &events {
+        let tid = match ev.track {
+            Track::Gpu => GPU_TID,
+            Track::Thread => ev.tid,
+        };
+        let ts = ev.start_ns as f64 / 1e3;
+        let mut arg_entries: Vec<(String, serde_json::Value)> = Vec::new();
+        if !ev.arg_name.is_empty() {
+            arg_entries.push((ev.arg_name.to_owned(), json!(ev.arg)));
+        }
+        let args = serde_json::Value::Object(arg_entries);
+        out.push(match ev.phase {
+            Phase::Span => json!({
+                "name": ev.name, "cat": ev.cat, "ph": "X",
+                "ts": ts, "dur": ev.dur_ns as f64 / 1e3,
+                "pid": 1, "tid": tid, "args": args,
+            }),
+            Phase::Instant => json!({
+                "name": ev.name, "cat": ev.cat, "ph": "i", "s": "t",
+                "ts": ts, "pid": 1, "tid": tid, "args": args,
+            }),
+        });
+    }
+
+    let doc = json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "webml-telemetry",
+            "dropped_events": dropped_events(),
+        },
+    });
+    serde_json::to_string_pretty(&doc).expect("trace JSON serializes")
+}
+
+/// [`chrome_trace_json`] written to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clear, gpu_span, now_ns, set_enabled, span};
+
+    #[test]
+    fn exported_json_has_tracks_and_spans() {
+        let _g = crate::test_lock();
+        clear();
+        set_enabled(true);
+        {
+            let _s = span("trace.unit_span", "test").with_arg("k", 2.0);
+            let t0 = now_ns();
+            gpu_span("trace.unit_gpu", t0, t0 + 5_000, "modeled_device_ns", 4_000.0);
+        }
+        set_enabled(false);
+        let text = chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let gpu_meta = events.iter().any(|e| {
+            e["ph"] == "M" && e["tid"] == json!(GPU_TID)
+                && e["args"]["name"].as_str().unwrap_or("").contains("GPU")
+        });
+        assert!(gpu_meta, "GPU track metadata present");
+        let gpu_ev = events
+            .iter()
+            .find(|e| e["name"] == "trace.unit_gpu")
+            .expect("gpu span exported");
+        assert_eq!(gpu_ev["tid"], json!(GPU_TID));
+        assert_eq!(gpu_ev["ph"], "X");
+        assert_eq!(gpu_ev["args"]["modeled_device_ns"], json!(4_000.0));
+        let sp = events
+            .iter()
+            .find(|e| e["name"] == "trace.unit_span")
+            .expect("thread span exported");
+        assert_ne!(sp["tid"], json!(GPU_TID), "thread spans stay off the GPU track");
+        assert!(sp["dur"].as_f64().unwrap() >= 0.0);
+        assert_eq!(sp["args"]["k"], json!(2.0));
+    }
+}

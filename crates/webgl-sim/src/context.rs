@@ -504,6 +504,14 @@ impl GpgpuContext {
         (now - self.timing_mark.load(Ordering::SeqCst)) as f64 / 1e6
     }
 
+    /// The cumulative disjoint-timer-query counter: modeled device
+    /// nanoseconds spent executing programs since context creation. Does
+    /// *not* flush — pair with [`GpgpuContext::flush`] when the sample
+    /// must cover already-enqueued work.
+    pub fn device_nanos(&self) -> u64 {
+        self.shared.gpu_nanos.load(Ordering::Relaxed)
+    }
+
     /// Memory and diagnostics snapshot (flushes first for stable numbers).
     pub fn memory(&self) -> GpuMemoryStats {
         self.flush();

@@ -288,6 +288,9 @@ fn run_program(
     half_precision: bool,
 ) {
     let t0 = Instant::now();
+    let tracing = webml_telemetry::enabled();
+    let program_name = program.name;
+    let trace_t0 = if tracing { webml_telemetry::now_ns() } else { 0 };
     // Page in any evicted inputs and temporarily take them out of the
     // registry so the executor can borrow them while the lock is released.
     let mut taken: Vec<(TexId, Texture)> = Vec::new();
@@ -308,6 +311,14 @@ fn run_program(
                     stats.page_ins += 1;
                     stats.bytes_paged -= data.len() * 4;
                     drop(stats);
+                    if tracing {
+                        webml_telemetry::instant_arg(
+                            "page_in",
+                            "texture-pool",
+                            "bytes",
+                            (data.len() * 4) as f64,
+                        );
+                    }
                     let (mut t, recycled) = shared.recycler.lock().acquire(rows, cols, format);
                     if !recycled {
                         shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
@@ -329,6 +340,12 @@ fn run_program(
         shared.recycler.lock().acquire(out_layout.tex_rows, out_layout.tex_cols, out_format);
     if !recycled {
         shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
+    }
+    if tracing {
+        webml_telemetry::instant(
+            if recycled { "texture_recycle" } else { "texture_alloc" },
+            "texture-pool",
+        );
     }
 
     let stats = {
@@ -369,9 +386,19 @@ fn run_program(
     let elapsed = t0.elapsed().as_nanos() as u64;
     let modeled =
         elapsed.saturating_mul(stats.real_engaged as u64) / stats.occupancy.max(1) as u64;
-    shared
-        .gpu_nanos
-        .fetch_add(modeled + DRAW_CALL_OVERHEAD_NANOS, Ordering::Relaxed);
+    let device_ns = modeled + DRAW_CALL_OVERHEAD_NANOS;
+    shared.gpu_nanos.fetch_add(device_ns, Ordering::Relaxed);
+    if tracing {
+        // The virtual GPU track: wall-clock extent of the draw call on the
+        // device thread, annotated with the modeled (timer-query) time.
+        webml_telemetry::gpu_span(
+            program_name,
+            trace_t0,
+            webml_telemetry::now_ns(),
+            "modeled_device_ns",
+            device_ns as f64,
+        );
+    }
 }
 
 fn maybe_page_out(shared: &Arc<DeviceShared>, paging: &PagingPolicy) {
@@ -404,6 +431,12 @@ fn maybe_page_out(shared: &Arc<DeviceShared>, paging: &PagingPolicy) {
                 stats.page_outs += 1;
                 stats.bytes_paged += data.len() * 4;
                 drop(stats);
+                webml_telemetry::instant_arg(
+                    "page_out",
+                    "texture-pool",
+                    "bytes",
+                    (data.len() * 4) as f64,
+                );
                 slot.state = SlotState::Paged { rows, cols, format, data };
             }
         }

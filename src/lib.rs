@@ -52,6 +52,7 @@ pub use webml_data as data;
 pub use webml_layers as layers;
 pub use webml_models as models;
 pub use webml_serve as serve;
+pub use webml_telemetry as telemetry;
 pub use webml_webgl_sim as webgl_sim;
 
 pub use webml_core::{

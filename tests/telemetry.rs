@@ -1,0 +1,186 @@
+//! End-to-end telemetry: concurrent profiling correctness, Chrome trace
+//! round-trip over a served webgl workload, and device-timer fallback on
+//! simulated devices without `EXT_disjoint_timer_query`.
+
+use std::sync::Arc;
+use webml::backend_webgl::{WebGlBackend, WebGlConfig};
+use webml::models::serving::{classifier_artifacts, synthetic_example};
+use webml::serve::{ModelServer, ModelSource, ServeConfig};
+use webml::webgl_sim::devices::DeviceProfile;
+use webml::{ops, Engine};
+
+fn webgl_engine(profile: DeviceProfile) -> Engine {
+    let e = Engine::new();
+    let b = WebGlBackend::new(profile, WebGlConfig::default())
+        .expect("profile supports float textures");
+    e.register_backend("webgl", Arc::new(b), 2);
+    e
+}
+
+/// Satellite: `Engine::profile` must stay exact under concurrent kernel
+/// traffic — the per-thread-striped collector may not lose or duplicate a
+/// single kernel. 8 threads × 10 iterations × (Add, Mul, Relu).
+#[test]
+fn concurrent_profiling_counts_every_kernel_exactly() {
+    let e = webml::new_engine();
+    e.set_backend("cpu").unwrap();
+    const THREADS: usize = 8;
+    const ITERS: usize = 10;
+    let (_, info) = e.profile(|| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    for i in 0..ITERS {
+                        let a = e.fill([32], (t * ITERS + i) as f32, webml::DType::F32).unwrap();
+                        let b = ops::add(&a, &a).unwrap();
+                        let c = ops::mul(&b, &a).unwrap();
+                        let d = ops::relu(&c).unwrap();
+                        for t in [a, b, c, d] {
+                            t.dispose();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    let count = |name: &str| info.kernels.iter().filter(|k| k.name == name).count();
+    assert_eq!(count("Add"), THREADS * ITERS, "every Add recorded exactly once");
+    assert_eq!(count("Mul"), THREADS * ITERS);
+    assert_eq!(count("Relu"), THREADS * ITERS);
+    // `fill` registers data without a kernel dispatch, so the log holds
+    // exactly the three op kernels per iteration — no loss, no duplicates.
+    assert_eq!(info.kernels.len(), 3 * THREADS * ITERS, "kernel log is exact");
+    assert!(info.new_tensors >= 4 * THREADS * ITERS, "every output tensor counted");
+    assert!(info.kernels.iter().all(|k| k.wall_ms >= 0.0));
+}
+
+/// Tentpole: a served webgl workload exports a Chrome trace that parses
+/// back with per-thread tracks, kernel spans nested inside the serve
+/// span that dispatched them, and a virtual GPU track.
+#[test]
+fn chrome_trace_roundtrip_from_served_traffic() {
+    let engine = webgl_engine(DeviceProfile::intel_iris_pro());
+    let artifacts = classifier_artifacts(&engine, 16, 32, 4, 3).expect("build model");
+    let mut server = ModelServer::new(
+        &engine,
+        ServeConfig {
+            max_batch: 8,
+            max_wait: std::time::Duration::from_millis(50),
+            cache_capacity: 2,
+        },
+    );
+    let key = server.register(ModelSource::Artifacts(artifacts));
+    // Warm up untraced so the trace captures steady-state serving.
+    server.infer(key, synthetic_example(16, 0), vec![16]).expect("warmup");
+
+    webml::telemetry::clear();
+    webml::telemetry::set_enabled(true);
+    let pending: Vec<_> =
+        (0..8).map(|i| server.submit(key, synthetic_example(16, i), vec![16])).collect();
+    for p in pending {
+        p.wait().expect("served inference");
+    }
+    server.shutdown();
+    webml::telemetry::set_enabled(false);
+
+    let text = webml::telemetry::chrome_trace_json();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace parses back");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+
+    // Thread tracks: metadata for the GPU track plus at least the
+    // dispatcher and device threads.
+    let thread_names: Vec<(&serde_json::Value, &str)> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+        })
+        .map(|e| {
+            (
+                e.get("tid").expect("meta tid"),
+                e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()).unwrap_or(""),
+            )
+        })
+        .collect();
+    assert!(thread_names.len() >= 3, "GPU + dispatcher + device tracks: {thread_names:?}");
+    assert!(thread_names.iter().any(|(_, n)| n.contains("GPU")), "virtual GPU track declared");
+    assert!(
+        thread_names.iter().any(|(_, n)| n.contains("webml-serve-dispatcher")),
+        "dispatcher thread named: {thread_names:?}"
+    );
+    let gpu_tid = thread_names.iter().find(|(_, n)| n.contains("GPU")).map(|(t, _)| *t).unwrap();
+
+    let spans: Vec<&serde_json::Value> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    let field = |e: &serde_json::Value, k: &str| e.get(k).and_then(|v| v.as_f64()).unwrap();
+
+    // The batch the dispatcher coalesced, with the engine kernel spans it
+    // dispatched nested inside (same track, contained interval).
+    let batch = spans
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("serve.batch"))
+        .expect("a serve.batch span (8 submits, max_batch 8)");
+    let batch_tid = batch.get("tid").expect("span tid");
+    let (b0, b1) = (field(batch, "ts"), field(batch, "ts") + field(batch, "dur"));
+    let nested_kernels = spans
+        .iter()
+        .filter(|e| {
+            e.get("cat").and_then(|c| c.as_str()) == Some("kernel")
+                && e.get("tid") == Some(batch_tid)
+                && field(e, "ts") >= b0
+                && field(e, "ts") + field(e, "dur") <= b1 + 1.0
+        })
+        .count();
+    assert!(nested_kernels >= 3, "MLP kernels nest inside the batch span, got {nested_kernels}");
+
+    // The GPU track carries device spans annotated with timer-query time.
+    let gpu_spans: Vec<_> = spans.iter().filter(|e| e.get("tid") == Some(gpu_tid)).collect();
+    assert!(!gpu_spans.is_empty(), "device work appears on the GPU track");
+    assert!(gpu_spans.iter().all(|e| {
+        e.get("args").and_then(|a| a.get("modeled_device_ns")).and_then(|v| v.as_f64()).unwrap_or(-1.0)
+            > 0.0
+    }));
+}
+
+/// Device-timer plumbing: profiles report device `kernel_ms` when the
+/// simulated device has `EXT_disjoint_timer_query`, and degrade to `None`
+/// (never garbage) when it does not.
+#[test]
+fn profile_device_time_degrades_without_timer_extension() {
+    // intel_iris_pro advertises the extension → Some(kernel_ms).
+    let with_timer = webgl_engine(DeviceProfile::intel_iris_pro());
+    let (_, info) = with_timer.profile(|| {
+        let a = with_timer.fill([64, 64], 1.5, webml::DType::F32).unwrap();
+        let b = ops::matmul(&a, &a, false, false).unwrap();
+        b.to_f32_vec().unwrap();
+        a.dispose();
+        b.dispose();
+    });
+    assert!(!info.kernels.is_empty());
+    assert!(
+        info.kernels.iter().all(|k| k.kernel_ms.is_some()),
+        "every kernel carries device time on a timer-query device"
+    );
+    let device_total: f64 = info.kernels.iter().filter_map(|k| k.kernel_ms).sum();
+    assert!(device_total > 0.0, "draw-call overhead alone makes device time positive");
+
+    // android_modern lacks the extension → graceful None, wall time intact.
+    let no_timer = webgl_engine(DeviceProfile::android_modern());
+    let (_, info) = no_timer.profile(|| {
+        let a = no_timer.fill([64, 64], 1.5, webml::DType::F32).unwrap();
+        let b = ops::matmul(&a, &a, false, false).unwrap();
+        b.to_f32_vec().unwrap();
+        a.dispose();
+        b.dispose();
+    });
+    assert!(!info.kernels.is_empty());
+    assert!(
+        info.kernels.iter().all(|k| k.kernel_ms.is_none()),
+        "no disjoint-timer-query extension → kernel_ms must be None"
+    );
+    assert!(info.kernels.iter().all(|k| k.wall_ms >= 0.0), "wall timing still reported");
+}
