@@ -1,0 +1,325 @@
+//! Execution-plan benchmark: ahead-of-time planned vs per-call interpreted
+//! `GraphModel` inference.
+//!
+//! ```text
+//! cargo run --release -p webml-bench --bin plan_bench
+//!     [-- --tiny] [-- --iters N] [-- --json] [-- --assert-speedup X]
+//!     [-- --assert-peak-reduction Y] [-- --trace out.json]
+//! ```
+//!
+//! Two scenarios, both comparing `GraphModel::execute` (plan-compiled:
+//! typed ops, dense value slots, liveness-driven eager disposal) against
+//! `GraphModel::execute_interpreted` (per-call graph walk, intermediates
+//! live until scope end):
+//!
+//! - **MLP on cpu** — a dense classifier with no memory pressure: a
+//!   sanity cell showing walltime parity (the interpreter is already
+//!   cheap on cpu — it too borrows weights in place) while eager disposal
+//!   cuts the activation working set to exactly the planner's
+//!   `predicted_peak_bytes`.
+//! - **MobileNet on simulated WebGL under a texture byte budget** — the
+//!   memory-planning story. The budget sits between the planned peak and
+//!   the interpreted peak, so interpreted execution trips the automatic
+//!   texture pager (paper Sec 4.1.2) every pass — page-outs, re-uploads
+//!   and fresh-texture allocations — while planned execution stays
+//!   resident under the budget.
+//!
+//! `--json` writes `BENCH_PLAN.json`; `--assert-speedup X` and
+//! `--assert-peak-reduction Y` exit non-zero unless the MobileNet cell
+//! shows planned ≥ X× interpreted walltime and ≥ Y lower peak engine
+//! bytes (the CI plan-smoke gate uses 1.5 / 0.30).
+
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Instant;
+use webml_core::cpu::CpuBackend;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::Engine;
+use webml_models::{graph_mlp, graph_mobilenet, GraphSpec, MobileNetConfig};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::fault::FaultPlan;
+use webml_webgl_sim::pager::PagingPolicy;
+
+struct Cell {
+    interpreted_ms: f64,
+    planned_ms: f64,
+    /// Modeled device milliseconds (disjoint-timer-query clock), when the
+    /// backend has one. This clock charges the simulated driver costs —
+    /// draw calls, fresh-texture allocation, page-ins — that dominate the
+    /// memory-pressure story but are only counters on the host clock.
+    interpreted_device_ms: Option<f64>,
+    planned_device_ms: Option<f64>,
+    interpreted_peak_bytes: usize,
+    planned_peak_bytes: usize,
+    predicted_peak_bytes: usize,
+    page_outs: (f64, f64),
+}
+
+impl Cell {
+    /// Device-clock speedup when available (webgl), walltime otherwise.
+    fn speedup(&self) -> f64 {
+        match (self.interpreted_device_ms, self.planned_device_ms) {
+            (Some(i), Some(p)) => i / p,
+            _ => self.interpreted_ms / self.planned_ms,
+        }
+    }
+
+    fn peak_reduction(&self) -> f64 {
+        1.0 - self.planned_peak_bytes as f64 / self.interpreted_peak_bytes as f64
+    }
+}
+
+fn page_outs(engine: &Engine) -> f64 {
+    engine
+        .memory()
+        .backend
+        .details
+        .iter()
+        .find(|(k, _)| k == "page_outs")
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0)
+}
+
+/// Run `iters` forward passes in `mode`, returning
+/// (ms/iter, device-ms/iter, peak bytes).
+fn run_mode(
+    engine: &Engine,
+    spec: &GraphSpec,
+    model: &webml_converter::GraphModel,
+    planned: bool,
+    iters: usize,
+) -> (f64, Option<f64>, usize, usize) {
+    let (vals, shape) = spec.example(1, 0);
+    let x = engine.tensor(vals, webml_core::Shape::new(shape)).expect("input upload");
+    x.keep();
+    let run = || {
+        let outs = if planned {
+            model.execute(&[(&spec.input, &x)], &[&spec.output]).expect("planned pass")
+        } else {
+            model
+                .execute_interpreted(&[(&spec.input, &x)], &[&spec.output])
+                .expect("interpreted pass")
+        };
+        for t in outs {
+            // Read the fetch back: synchronizes the (asynchronous) device
+            // queue so walltime covers the whole pass, like a real client.
+            let _ = t.to_f32_vec().expect("readback");
+            t.dispose();
+        }
+    };
+    // Warm up: compile the plan (planned mode) and fill texture pools.
+    run();
+    engine.reset_peak_bytes();
+    // Bytes resident before the timed loop (weights + the kept input):
+    // identical in both modes, so peaks are reported relative to it — the
+    // working set the two execution strategies actually contest.
+    let baseline = engine.memory().num_bytes;
+    let dev0 = engine.backend().device_timer_ns();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        run();
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    let device_ms = match (dev0, engine.backend().device_timer_ns()) {
+        (Some(a), Some(b)) => Some((b - a) as f64 / 1e6 / iters as f64),
+        _ => None,
+    };
+    let peak = engine.peak_bytes().saturating_sub(baseline);
+    x.dispose();
+    (ms, device_ms, peak, baseline)
+}
+
+fn run_cell(make_engine: &dyn Fn() -> Engine, spec: &GraphSpec, iters: usize) -> Cell {
+    // Separate engines per mode so texture pools, pager state and peak
+    // counters never bleed between the two measurements.
+    let interp_engine = make_engine();
+    let interp_model = spec.build(&interp_engine).expect("build model");
+    let (interpreted_ms, interpreted_device_ms, interpreted_peak, _) =
+        run_mode(&interp_engine, spec, &interp_model, false, iters);
+    let interp_pages = page_outs(&interp_engine);
+
+    let plan_engine = make_engine();
+    let plan_model = spec.build(&plan_engine).expect("build model");
+    let (planned_ms, planned_device_ms, planned_peak, _) =
+        run_mode(&plan_engine, spec, &plan_model, true, iters);
+    let plan_pages = page_outs(&plan_engine);
+    let stats = plan_model.plan_stats();
+    assert!(stats.hits >= iters as u64, "planned passes must ride the plan cache: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "no interpreter fallbacks in the planned cell: {stats:?}");
+    let predicted = plan_model
+        .plan_for_shapes(
+            &[(spec.input.clone(), {
+                let mut d = spec.input_shape.clone();
+                d[0] = 1;
+                d
+            })],
+            &[&spec.output],
+        )
+        .map(|p| p.predicted_peak_bytes())
+        .unwrap_or(0);
+
+    Cell {
+        interpreted_ms,
+        planned_ms,
+        interpreted_device_ms,
+        planned_device_ms,
+        interpreted_peak_bytes: interpreted_peak,
+        planned_peak_bytes: planned_peak,
+        predicted_peak_bytes: predicted,
+        page_outs: (interp_pages, plan_pages),
+    }
+}
+
+fn cpu_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    e
+}
+
+fn webgl_engine(budget_bytes: usize) -> Engine {
+    let e = Engine::new();
+    let config = WebGlConfig {
+        paging: PagingPolicy { enabled: true, threshold_bytes: budget_bytes },
+        ..Default::default()
+    };
+    let b = WebGlBackend::with_faults(DeviceProfile::intel_iris_pro(), config, FaultPlan::none())
+        .expect("profile supports float textures");
+    e.register_backend("webgl", Arc::new(b), 2);
+    e
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_mode = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| -> Option<f64> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    };
+    let iters = flag("--iters").map(|v| v as usize).unwrap_or(if tiny { 10 } else { 40 });
+    let assert_speedup = flag("--assert-speedup");
+    let assert_peak_reduction = flag("--assert-peak-reduction");
+    let trace_path: Option<String> =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    if trace_path.is_some() {
+        webml_telemetry::set_enabled(true);
+    }
+
+    println!("execution-plan benchmark: planned vs interpreted, {iters} passes per mode");
+
+    // MLP: walltime-parity + exact-liveness sanity cell on the cpu backend.
+    let mlp = graph_mlp(32, &[64, 64, 64, 64, 64, 64], 10, 11);
+    let mlp_cell = run_cell(&cpu_engine, &mlp, iters * 4);
+    println!(
+        "  MLP/cpu        | interpreted {:>8.3} ms | planned {:>8.3} ms | {:.2}x | \
+         peak {} -> {} bytes ({:.0}% lower)",
+        mlp_cell.interpreted_ms,
+        mlp_cell.planned_ms,
+        mlp_cell.speedup(),
+        mlp_cell.interpreted_peak_bytes,
+        mlp_cell.planned_peak_bytes,
+        mlp_cell.peak_reduction() * 100.0,
+    );
+
+    // MobileNet: memory-planning story on simulated WebGL under a byte
+    // budget. A small classifier head keeps weights from dominating the
+    // peak — the contested resource is activation memory.
+    let config = MobileNetConfig {
+        input_size: 128,
+        classes: 10,
+        ..MobileNetConfig::small()
+    };
+    let mobilenet = graph_mobilenet(&config);
+    // Calibrate the texture budget empirically: measure both modes' peak
+    // resident bytes on an unconstrained engine, then set the budget
+    // between them (with slack for texture-packing overhead) so planned
+    // execution fits and interpreted execution pages every pass.
+    let budget = {
+        let probe = webgl_engine(usize::MAX);
+        let model = mobilenet.build(&probe).expect("build model");
+        let (_, _, interp_peak, base) = run_mode(&probe, &mobilenet, &model, false, 1);
+        let (_, _, plan_peak, _) = run_mode(&probe, &mobilenet, &model, true, 1);
+        assert!(
+            interp_peak as f64 >= plan_peak as f64 * 1.55,
+            "calibration expects a clear gap: planned {plan_peak} vs interpreted {interp_peak}"
+        );
+        // The pager threshold is absolute resident bytes, so add the
+        // weight/input baseline back onto the working-set peaks.
+        base + plan_peak + (interp_peak - plan_peak) / 8
+    };
+    let mobilenet_cell = run_cell(&|| webgl_engine(budget), &mobilenet, iters);
+    println!(
+        "  MobileNet/webgl| interpreted {:>8.3} device-ms (wall {:.3}) | planned {:>8.3} \
+         device-ms (wall {:.3}) | {:.2}x | peak {} -> {} bytes ({:.0}% lower) | \
+         page-outs {} -> {}",
+        mobilenet_cell.interpreted_device_ms.unwrap_or(f64::NAN),
+        mobilenet_cell.interpreted_ms,
+        mobilenet_cell.planned_device_ms.unwrap_or(f64::NAN),
+        mobilenet_cell.planned_ms,
+        mobilenet_cell.speedup(),
+        mobilenet_cell.interpreted_peak_bytes,
+        mobilenet_cell.planned_peak_bytes,
+        mobilenet_cell.peak_reduction() * 100.0,
+        mobilenet_cell.page_outs.0,
+        mobilenet_cell.page_outs.1,
+    );
+
+    if json_mode {
+        let row = |name: &str, backend: &str, cell: &Cell| {
+            json!({
+                "scenario": name,
+                "backend": backend,
+                "iters": if name == "mlp" { iters * 4 } else { iters },
+                "interpreted_ms_per_pass": cell.interpreted_ms,
+                "planned_ms_per_pass": cell.planned_ms,
+                "interpreted_device_ms_per_pass": cell.interpreted_device_ms,
+                "planned_device_ms_per_pass": cell.planned_device_ms,
+                "speedup": cell.speedup(),
+                "interpreted_peak_bytes": cell.interpreted_peak_bytes,
+                "planned_peak_bytes": cell.planned_peak_bytes,
+                "predicted_peak_bytes": cell.predicted_peak_bytes,
+                "peak_reduction": cell.peak_reduction(),
+                "page_outs_interpreted": cell.page_outs.0,
+                "page_outs_planned": cell.page_outs.1,
+            })
+        };
+        let doc = json!({
+            "bench": "planned vs interpreted GraphModel inference",
+            "rows": [
+                row("mlp", "cpu", &mlp_cell),
+                row("mobilenet", "webgl (integrated-GPU profile, simulated)", &mobilenet_cell),
+            ],
+            "mobilenet_texture_budget_bytes": budget,
+            "speedup": mobilenet_cell.speedup(),
+            "peak_reduction": mobilenet_cell.peak_reduction(),
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        std::fs::write("BENCH_PLAN.json", text).expect("write BENCH_PLAN.json");
+        println!("\nwrote BENCH_PLAN.json");
+    }
+    if let Some(path) = trace_path {
+        webml_telemetry::set_enabled(false);
+        webml_telemetry::write_chrome_trace(std::path::Path::new(&path))
+            .expect("write Chrome trace");
+        println!("wrote Chrome trace to {path}");
+    }
+    if let Some(want) = assert_speedup {
+        let got = mobilenet_cell.speedup();
+        assert!(got >= want, "planned MobileNet speedup was {got:.2}x, expected >= {want}x");
+        println!("speedup gate passed: {got:.2}x >= {want}x");
+    }
+    if let Some(want) = assert_peak_reduction {
+        let got = mobilenet_cell.peak_reduction();
+        assert!(
+            got >= want,
+            "planned MobileNet peak-bytes reduction was {:.0}%, expected >= {:.0}%",
+            got * 100.0,
+            want * 100.0
+        );
+        println!(
+            "peak-reduction gate passed: {:.0}% >= {:.0}%",
+            got * 100.0,
+            want * 100.0
+        );
+    }
+}
+

@@ -14,12 +14,64 @@
 //! kernel at execution time. Fetching a node that fusion swallowed
 //! transparently falls back to the unfused graph.
 
+use crate::plan::Plan;
 use crate::prune::{GraphDef, NodeDef};
+use parking_lot::Mutex;
 use serde_json::{json, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use webml_core::backend::{BinaryOp, UnaryOp};
 use webml_core::conv_util::Padding;
 use webml_core::{ops, Engine, Error, FusedStep, Result, Shape, Tensor};
+
+/// Key of a cached plan: the sorted `(placeholder, dims)` feed signature
+/// plus the fetch list.
+type PlanKey = (Vec<(String, Vec<usize>)>, Vec<String>);
+
+/// Shape-keyed plan cache; cleared whenever the engine's degradation
+/// generation moves (context loss → plans rebuild on the fallback backend).
+struct PlanCache {
+    generation: u64,
+    entries: HashMap<PlanKey, Arc<Plan>>,
+}
+
+/// Plan-cache counters for one model (see [`GraphModel::plan_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Executions served by a cached plan.
+    pub hits: u64,
+    /// Plans compiled (cold signature or post-invalidation).
+    pub misses: u64,
+    /// Whole-cache invalidations after a backend degradation.
+    pub invalidations: u64,
+    /// Executions that fell back to the interpreter (plan build failed or
+    /// a gradient tape was recording).
+    pub fallbacks: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// Cached handles to the process-wide plan telemetry metrics, resolved once
+/// so the per-call path never touches the registry lock.
+struct PlanMetrics {
+    hits: Arc<webml_telemetry::Counter>,
+    misses: Arc<webml_telemetry::Counter>,
+    invalidations: Arc<webml_telemetry::Counter>,
+    fallbacks: Arc<webml_telemetry::Counter>,
+    peak_bytes: Arc<webml_telemetry::Gauge>,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics {
+        hits: webml_telemetry::counter("plan.cache_hits_total"),
+        misses: webml_telemetry::counter("plan.cache_misses_total"),
+        invalidations: webml_telemetry::counter("plan.invalidations_total"),
+        fallbacks: webml_telemetry::counter("plan.fallbacks_total"),
+        peak_bytes: webml_telemetry::gauge("plan.predicted_peak_bytes"),
+    })
+}
 
 /// A loaded, executable inference graph.
 pub struct GraphModel {
@@ -32,13 +84,23 @@ pub struct GraphModel {
     weights: HashMap<String, Tensor>,
     order: Vec<usize>,
     fused_order: Vec<usize>,
+    /// Names surviving fusion, precomputed once — the per-call
+    /// "can the fused graph serve these fetches?" check is O(fetches)
+    /// instead of O(fetches × nodes).
+    fused_names: HashSet<String>,
+    plans: Mutex<PlanCache>,
+    planning: AtomicBool,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_invalidations: AtomicU64,
+    plan_fallbacks: AtomicU64,
 }
 
-fn attr_str<'a>(node: &'a NodeDef, key: &str) -> Option<&'a str> {
+pub(crate) fn attr_str<'a>(node: &'a NodeDef, key: &str) -> Option<&'a str> {
     node.attrs.get(key).and_then(Value::as_str)
 }
 
-fn attr_pair(node: &NodeDef, key: &str, default: (usize, usize)) -> (usize, usize) {
+pub(crate) fn attr_pair(node: &NodeDef, key: &str, default: (usize, usize)) -> (usize, usize) {
     node.attrs
         .get(key)
         .and_then(Value::as_array)
@@ -51,7 +113,7 @@ fn attr_pair(node: &NodeDef, key: &str, default: (usize, usize)) -> (usize, usiz
         .unwrap_or(default)
 }
 
-fn attr_padding(node: &NodeDef) -> Result<Padding> {
+pub(crate) fn attr_padding(node: &NodeDef) -> Result<Padding> {
     match attr_str(node, "padding").unwrap_or("SAME") {
         "SAME" | "same" => Ok(Padding::Same),
         "VALID" | "valid" => Ok(Padding::Valid),
@@ -76,7 +138,7 @@ fn fused_epilogue_args<'a>(
 }
 
 /// Decode the `steps` attr of a `_FusedElementwise` node.
-fn parse_steps(node: &NodeDef) -> Result<Vec<FusedStep>> {
+pub(crate) fn parse_steps(node: &NodeDef) -> Result<Vec<FusedStep>> {
     let malformed = || Error::Serialization {
         message: format!("_FusedElementwise {} has a malformed steps attr", node.name),
     };
@@ -130,7 +192,66 @@ fn toposort(graph: &GraphDef) -> Result<Vec<usize>> {
     Ok(order)
 }
 
-fn fusable_unary(op: &str) -> Option<UnaryOp> {
+/// Resolve a `Reshape` node's `shape` attr against its input shape:
+/// a leading `0` keeps the batch dim and a single `-1` wildcard is inferred
+/// from the input element count (TensorFlow semantics).
+///
+/// # Errors
+/// Fails on a missing/non-integer attr, more than one `-1`, other negative
+/// dims, or a wildcard the element count cannot divide into.
+pub(crate) fn resolve_reshape_dims(node: &NodeDef, input: &Shape) -> Result<Vec<usize>> {
+    let attr = node.attrs.get("shape").and_then(Value::as_array).ok_or_else(|| {
+        Error::Serialization { message: format!("Reshape {} missing shape attr", node.name) }
+    })?;
+    let raw: Vec<i64> = attr.iter().filter_map(Value::as_i64).collect();
+    if raw.len() != attr.len() {
+        return Err(Error::Serialization {
+            message: format!("Reshape {} has a non-integer dim in its shape attr", node.name),
+        });
+    }
+    let mut dims: Vec<usize> = Vec::with_capacity(raw.len());
+    let mut wildcard: Option<usize> = None;
+    for (i, &d) in raw.iter().enumerate() {
+        if d == -1 {
+            if wildcard.is_some() {
+                return Err(Error::shape(
+                    "Reshape",
+                    format!("{} has more than one -1 wildcard dim", node.name),
+                ));
+            }
+            wildcard = Some(i);
+            dims.push(1);
+        } else if d == 0 && i == 0 {
+            // A leading 0 means "keep the batch dim".
+            dims.push(input.dim(0));
+        } else if d < 0 {
+            return Err(Error::shape(
+                "Reshape",
+                format!("{} has a negative dim {d} (only -1 is allowed)", node.name),
+            ));
+        } else {
+            dims.push(d as usize);
+        }
+    }
+    if let Some(w) = wildcard {
+        let known: usize =
+            dims.iter().enumerate().filter(|&(i, _)| i != w).map(|(_, &d)| d).product();
+        let total = input.size();
+        if known == 0 || !total.is_multiple_of(known) {
+            return Err(Error::shape(
+                "Reshape",
+                format!(
+                    "{}: cannot infer -1 dim ({} elements do not divide into {:?})",
+                    node.name, total, raw
+                ),
+            ));
+        }
+        dims[w] = total / known;
+    }
+    Ok(dims)
+}
+
+pub(crate) fn fusable_unary(op: &str) -> Option<UnaryOp> {
     match op {
         "Relu" => Some(UnaryOp::Relu),
         "Relu6" => Some(UnaryOp::Relu6),
@@ -375,7 +496,131 @@ impl GraphModel {
         }
         let fused = fuse_graph(&graph, &weights);
         let fused_order = toposort(&fused)?;
-        Ok(GraphModel { engine: engine.clone(), graph, fused, weights, order, fused_order })
+        let fused_names: HashSet<String> =
+            fused.nodes.iter().map(|n| n.name.clone()).collect();
+        let model = GraphModel {
+            engine: engine.clone(),
+            graph,
+            fused,
+            weights,
+            order,
+            fused_order,
+            fused_names,
+            plans: Mutex::new(PlanCache {
+                generation: engine.degradation_generation(),
+                entries: HashMap::new(),
+            }),
+            planning: AtomicBool::new(true),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plan_invalidations: AtomicU64::new(0),
+            plan_fallbacks: AtomicU64::new(0),
+        };
+        // Load-time compile: when every placeholder declares its shape we
+        // can plan the default (terminal-fetch) signature right away, so
+        // the first request already hits a warm plan. Other signatures
+        // compile on first use. Failures here are non-fatal — execution
+        // falls back to the interpreter.
+        if let Some(sig) = model.placeholder_shape_attrs() {
+            let fetches: Vec<String> =
+                model.output_names().iter().map(|s| s.to_string()).collect();
+            if !fetches.is_empty() {
+                let fetch_refs: Vec<&str> = fetches.iter().map(String::as_str).collect();
+                let _ = model.plan_for_shapes(&sig, &fetch_refs);
+            }
+        }
+        Ok(model)
+    }
+
+    /// The `(placeholder, dims)` signature declared by `shape` attrs, when
+    /// every placeholder carries one. Callers (e.g. a serving layer) can
+    /// rewrite the batch dim and pre-warm plans for other batch sizes via
+    /// [`GraphModel::plan_for_shapes`].
+    pub fn placeholder_shape_attrs(&self) -> Option<Vec<(String, Vec<usize>)>> {
+        let mut sig = Vec::new();
+        for node in self.graph.nodes.iter().filter(|n| n.op == "Placeholder") {
+            let dims: Vec<usize> = node
+                .attrs
+                .get("shape")
+                .and_then(Value::as_array)?
+                .iter()
+                .map(|d| d.as_u64().map(|d| d as usize))
+                .collect::<Option<_>>()?;
+            sig.push((node.name.clone(), dims));
+        }
+        if sig.is_empty() {
+            None
+        } else {
+            Some(sig)
+        }
+    }
+
+    /// Compile (or fetch from cache) the execution plan for an explicit
+    /// feed-shape signature. The cache is keyed by `(sorted feed shapes,
+    /// fetches)` and cleared whenever [`Engine::degradation_generation`]
+    /// has moved since the last lookup — a context loss invalidates every
+    /// plan so the next call rebuilds against the fallback backend.
+    ///
+    /// # Errors
+    /// Propagates plan-build failures (unsupported ops, missing feeds,
+    /// shape mismatches).
+    pub fn plan_for_shapes(
+        &self,
+        feed_shapes: &[(String, Vec<usize>)],
+        fetches: &[&str],
+    ) -> Result<Arc<Plan>> {
+        let generation = self.engine.degradation_generation();
+        let mut sig = feed_shapes.to_vec();
+        sig.sort_by(|a, b| a.0.cmp(&b.0));
+        let key: PlanKey = (sig.clone(), fetches.iter().map(|s| s.to_string()).collect());
+        let mut cache = self.plans.lock();
+        if cache.generation != generation {
+            cache.entries.clear();
+            cache.generation = generation;
+            self.plan_invalidations.fetch_add(1, Ordering::Relaxed);
+            plan_metrics().invalidations.add(1);
+        }
+        if let Some(plan) = cache.entries.get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            plan_metrics().hits.add(1);
+            return Ok(plan.clone());
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        plan_metrics().misses.add(1);
+        let use_fused = fetches.iter().all(|f| self.fused_names.contains(*f));
+        let (graph, order) = if use_fused {
+            (&self.fused, &self.fused_order)
+        } else {
+            (&self.graph, &self.order)
+        };
+        let plan =
+            Arc::new(Plan::build(graph, order, &self.weights, &sig, fetches, use_fused)?);
+        plan_metrics().peak_bytes.set(plan.predicted_peak_bytes() as i64);
+        cache.entries.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Enable or disable planned execution (on by default). With planning
+    /// off, [`GraphModel::execute`] always interprets — the comparison
+    /// baseline the plan benchmark measures against.
+    pub fn set_planning(&self, on: bool) {
+        self.planning.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether planned execution is enabled.
+    pub fn planning_enabled(&self) -> bool {
+        self.planning.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache counters for this model.
+    pub fn plan_stats(&self) -> PlanStats {
+        PlanStats {
+            hits: self.plan_hits.load(Ordering::Relaxed),
+            misses: self.plan_misses.load(Ordering::Relaxed),
+            invalidations: self.plan_invalidations.load(Ordering::Relaxed),
+            fallbacks: self.plan_fallbacks.load(Ordering::Relaxed),
+            entries: self.plans.lock().entries.len(),
+        }
     }
 
     /// Node count of the fused graph (< the original when patterns matched).
@@ -436,16 +681,48 @@ impl GraphModel {
     }
 
     /// Execute the graph: bind `feeds` to placeholders, return the tensors
-    /// of `fetches`. All intermediates are disposed. Runs the fused graph
-    /// unless a fetch names a node the fusion pass eliminated, in which case
-    /// the original graph runs instead.
+    /// of `fetches`. Runs the compiled [`Plan`] for this feed-shape
+    /// signature (building and caching it on first use), which disposes
+    /// each intermediate at its final consumer. Falls back to the
+    /// interpreter when planning is disabled, a gradient tape is recording
+    /// (eager disposal would free tensors the tape needs), or the plan
+    /// cannot be built. Either path runs the fused graph unless a fetch
+    /// names a node the fusion pass eliminated.
     ///
     /// # Errors
     /// Fails on missing feeds/fetches or unsupported ops.
     pub fn execute(&self, feeds: &[(&str, &Tensor)], fetches: &[&str]) -> Result<Vec<Tensor>> {
-        let fused_has_all = fetches
-            .iter()
-            .all(|f| self.fused.nodes.iter().any(|n| n.name == *f));
+        if self.planning.load(Ordering::Relaxed) && !self.engine.is_recording() {
+            let sig: Vec<(String, Vec<usize>)> = feeds
+                .iter()
+                .map(|(n, t)| (n.to_string(), t.shape_ref().dims().to_vec()))
+                .collect();
+            match self.plan_for_shapes(&sig, fetches) {
+                Ok(plan) => return plan.run(&self.engine, feeds),
+                Err(_) => {
+                    // Unplannable (e.g. unsupported op, missing feed): let
+                    // the interpreter run it — or produce the real error.
+                    self.plan_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    plan_metrics().fallbacks.add(1);
+                }
+            }
+        }
+        self.execute_interpreted(feeds, fetches)
+    }
+
+    /// Execute via the per-call interpreter, bypassing plans entirely: op
+    /// names are string-matched, attrs re-parsed, and every intermediate
+    /// lives until the tidy scope closes. Kept public as the comparison
+    /// baseline for the plan benchmark and tests.
+    ///
+    /// # Errors
+    /// Fails on missing feeds/fetches or unsupported ops.
+    pub fn execute_interpreted(
+        &self,
+        feeds: &[(&str, &Tensor)],
+        fetches: &[&str],
+    ) -> Result<Vec<Tensor>> {
+        let fused_has_all = fetches.iter().all(|f| self.fused_names.contains(*f));
         let (graph, order) = if fused_has_all {
             (&self.fused, &self.fused_order)
         } else {
@@ -462,6 +739,10 @@ impl GraphModel {
         fetches: &[&str],
     ) -> Result<Vec<Tensor>> {
         let mut values: HashMap<&str, Tensor> = HashMap::new();
+        // Tensor ids the values map merely borrows (weights and feeds):
+        // fetching one returns an identity alias instead of the borrowed
+        // handle, so a caller disposing the result cannot destroy it.
+        let mut borrowed: HashSet<usize> = HashSet::new();
         for &i in order {
             let node = &graph.nodes[i];
             let get = |k: usize| -> Result<&Tensor> {
@@ -475,10 +756,16 @@ impl GraphModel {
                     let fed = feeds.iter().find(|(n, _)| *n == node.name).ok_or_else(|| {
                         Error::invalid("GraphModel", format!("no feed for placeholder {}", node.name))
                     })?;
-                    ops::identity(fed.1)?
+                    let t = fed.1.clone();
+                    borrowed.insert(t.id());
+                    t
                 }
                 "Const" | "VariableV2" => {
-                    ops::identity(&self.weights[&node.name])?
+                    // Borrow the resident weight handle directly — no
+                    // identity kernel dispatch per weight per call.
+                    let t = self.weights[&node.name].clone();
+                    borrowed.insert(t.id());
+                    t
                 }
                 "MatMul" => ops::matmul(get(0)?, get(1)?, false, false)?,
                 "Add" | "AddV2" | "BiasAdd" => ops::add(get(0)?, get(1)?)?,
@@ -492,21 +779,8 @@ impl GraphModel {
                 "Softmax" => ops::softmax(get(0)?)?,
                 "Identity" => ops::identity(get(0)?)?,
                 "Reshape" => {
-                    let target: Vec<usize> = node
-                        .attrs
-                        .get("shape")
-                        .and_then(Value::as_array)
-                        .map(|a| a.iter().filter_map(Value::as_u64).map(|d| d as usize).collect())
-                        .ok_or_else(|| Error::Serialization {
-                            message: format!("Reshape {} missing shape attr", node.name),
-                        })?;
                     let x = get(0)?;
-                    // A leading 0 means "keep the batch dim".
-                    let dims: Vec<usize> = target
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &d)| if d == 0 && i == 0 { x.shape_ref().dim(0) } else { d })
-                        .collect();
+                    let dims = resolve_reshape_dims(node, x.shape_ref())?;
                     ops::reshape(x, Shape::new(dims))?
                 }
                 "Conv2D" => {
@@ -585,10 +859,15 @@ impl GraphModel {
         fetches
             .iter()
             .map(|&f| {
-                values
+                let t = values
                     .get(f)
-                    .cloned()
-                    .ok_or_else(|| Error::invalid("GraphModel", format!("unknown fetch {f}")))
+                    .ok_or_else(|| Error::invalid("GraphModel", format!("unknown fetch {f}")))?;
+                if borrowed.contains(&t.id()) {
+                    // Alias, don't hand out the weight/feed handle itself.
+                    ops::identity(t)
+                } else {
+                    Ok(t.clone())
+                }
             })
             .collect()
     }
@@ -784,6 +1063,198 @@ mod tests {
         let out = model.execute(&[("x", &x)], &["sum"]).unwrap();
         // z = [4, 3]; h = [4, 3]; sum = [8, 6].
         assert_eq!(out[0].to_f32_vec().unwrap(), vec![8.0, 6.0]);
+    }
+
+    #[test]
+    fn planned_execution_matches_interpreted_bitwise() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        let x = e.tensor_2d(&[1.0, 2.0, -0.5, 3.0], 2, 2).unwrap();
+        let planned = model.execute(&[("x", &x)], &["probs"]).unwrap();
+        let interpreted = model.execute_interpreted(&[("x", &x)], &["probs"]).unwrap();
+        assert_eq!(
+            planned[0].to_f32_vec().unwrap(),
+            interpreted[0].to_f32_vec().unwrap()
+        );
+        // The swallowed-fetch fallback path plans against the unfused graph.
+        let planned = model.execute(&[("x", &x)], &["probs", "z1"]).unwrap();
+        let interpreted = model.execute_interpreted(&[("x", &x)], &["probs", "z1"]).unwrap();
+        for (p, i) in planned.iter().zip(&interpreted) {
+            assert_eq!(p.to_f32_vec().unwrap(), i.to_f32_vec().unwrap());
+        }
+    }
+
+    #[test]
+    fn plan_cache_keyed_by_feed_shape() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        let x1 = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        model.execute(&[("x", &x1)], &["probs"]).unwrap();
+        model.execute(&[("x", &x1)], &["probs"]).unwrap();
+        let stats = model.plan_stats();
+        assert_eq!(stats.misses, 1, "one compile for the cold signature");
+        assert_eq!(stats.hits, 1, "second call reuses the cached plan");
+        // A new batch size is a new signature → a second plan.
+        let x2 = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        model.execute(&[("x", &x2)], &["probs"]).unwrap();
+        let stats = model.plan_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn plan_references_weights_in_place() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        let plan = model
+            .plan_for_shapes(&[("x".to_string(), vec![1, 2])], &["probs"])
+            .unwrap();
+        // Fused graph: _FusedMatMul + MatMul + Softmax. Weight and
+        // placeholder nodes become in-place references, not ops.
+        assert!(plan.uses_fused_graph());
+        assert_eq!(plan.op_count(), 3);
+        assert!(plan.ops().iter().all(|op| !matches!(op.kind, crate::plan::OpKind::Identity)));
+    }
+
+    #[test]
+    fn plan_prunes_to_fetch_ancestors() {
+        let e = engine();
+        // "side" does not feed "out": the plan for "out" must skip it.
+        let graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("out", "MatMul", &["x", "w"]),
+            ("side", "Softmax", &["out"]),
+        ]);
+        let mut weights = HashMap::new();
+        weights.insert("w".to_string(), e.eye(2).unwrap());
+        let model = GraphModel::new(&e, graph, weights).unwrap();
+        let plan = model
+            .plan_for_shapes(&[("x".to_string(), vec![1, 2])], &["out"])
+            .unwrap();
+        assert_eq!(plan.op_count(), 1, "softmax consumer pruned");
+    }
+
+    #[test]
+    fn plan_eager_disposal_bounds_peak_bytes() {
+        let e = engine();
+        // A matmul chain (does not fuse): interpreted execution keeps all
+        // N intermediates until scope end; the plan keeps at most two.
+        let graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("m1", "MatMul", &["x", "w"]),
+            ("m2", "MatMul", &["m1", "w"]),
+            ("m3", "MatMul", &["m2", "w"]),
+            ("m4", "MatMul", &["m3", "w"]),
+            ("m5", "MatMul", &["m4", "w"]),
+            ("m6", "MatMul", &["m5", "w"]),
+        ]);
+        let mut weights = HashMap::new();
+        weights.insert("w".to_string(), e.eye(16).unwrap());
+        let model = GraphModel::new(&e, graph, weights).unwrap();
+        let x = e.tensor(vec![1.0; 16], Shape::new(vec![1, 16])).unwrap();
+        let row = 16 * 4; // one [1, 16] f32 intermediate
+
+        let plan = model
+            .plan_for_shapes(&[("x".to_string(), vec![1, 16])], &["m6"])
+            .unwrap();
+        assert_eq!(plan.predicted_peak_bytes(), 2 * row);
+
+        let baseline = e.memory().num_bytes;
+        e.reset_peak_bytes();
+        let out = model.execute(&[("x", &x)], &["m6"]).unwrap();
+        let planned_peak = e.peak_bytes() - baseline;
+        out[0].dispose();
+        assert_eq!(planned_peak, plan.predicted_peak_bytes());
+
+        e.reset_peak_bytes();
+        let out = model.execute_interpreted(&[("x", &x)], &["m6"]).unwrap();
+        let interpreted_peak = e.peak_bytes() - baseline;
+        out[0].dispose();
+        assert_eq!(interpreted_peak, 6 * row, "all six intermediates live at once");
+    }
+
+    #[test]
+    fn reshape_wildcard_inferred_from_element_count() {
+        let e = engine();
+        let mut graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("flat", "Reshape", &["x"]),
+        ]);
+        graph.nodes[1].attrs = serde_json::json!({ "shape": [0, -1] });
+        let model = GraphModel::new(&e, graph, HashMap::new()).unwrap();
+        let x = e.tensor(vec![1.0; 24], Shape::new(vec![2, 3, 4])).unwrap();
+        let planned = model.execute(&[("x", &x)], &["flat"]).unwrap();
+        assert_eq!(planned[0].shape_ref().dims(), &[2, 12]);
+        let interpreted = model.execute_interpreted(&[("x", &x)], &["flat"]).unwrap();
+        assert_eq!(interpreted[0].shape_ref().dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn reshape_multiple_wildcards_error() {
+        let e = engine();
+        let mut graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("bad", "Reshape", &["x"]),
+        ]);
+        graph.nodes[1].attrs = serde_json::json!({ "shape": [-1, -1] });
+        let model = GraphModel::new(&e, graph, HashMap::new()).unwrap();
+        let x = e.tensor(vec![1.0; 4], Shape::new(vec![2, 2])).unwrap();
+        assert!(model.execute(&[("x", &x)], &["bad"]).is_err());
+        assert!(model.execute_interpreted(&[("x", &x)], &["bad"]).is_err());
+    }
+
+    #[test]
+    fn fetched_weight_is_an_alias_not_the_resident_handle() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        for exec in [true, false] {
+            let out = if exec {
+                model.execute(&[("x", &x)], &["w1", "probs"]).unwrap()
+            } else {
+                model.execute_interpreted(&[("x", &x)], &["w1", "probs"]).unwrap()
+            };
+            // Disposing the fetched weight must not destroy the model's
+            // resident copy.
+            out[0].dispose();
+            out[1].dispose();
+            let again = model.execute(&[("x", &x)], &["probs"]).unwrap();
+            assert_eq!(again[0].to_f32_vec().unwrap().len(), 2);
+            again[0].dispose();
+        }
+    }
+
+    #[test]
+    fn planning_can_be_disabled() {
+        let e = engine();
+        let model = GraphModel::new(&e, mlp_graph(), mlp_weights(&e)).unwrap();
+        model.set_planning(false);
+        assert!(!model.planning_enabled());
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        model.execute(&[("x", &x)], &["probs"]).unwrap();
+        let stats = model.plan_stats();
+        assert_eq!(stats.hits + stats.misses, 0, "no plan activity while disabled");
+    }
+
+    #[test]
+    fn load_time_precompile_from_placeholder_shape_attrs() {
+        let e = engine();
+        let mut graph = mlp_graph();
+        // mlp_graph reverses its nodes, so find the placeholder by name.
+        let x_node =
+            graph.nodes.iter_mut().find(|n| n.name == "x").expect("placeholder present");
+        x_node.attrs = serde_json::json!({ "shape": [1, 2] });
+        let model = GraphModel::new(&e, graph, mlp_weights(&e)).unwrap();
+        let stats = model.plan_stats();
+        assert_eq!(stats.misses, 1, "plan compiled at load");
+        assert_eq!(stats.entries, 1);
+        // First request at the declared shape hits the warm plan.
+        let x = e.tensor_2d(&[1.0, 2.0], 1, 2).unwrap();
+        model.execute(&[("x", &x)], &["probs"]).unwrap();
+        assert_eq!(model.plan_stats().hits, 1);
     }
 
     #[test]

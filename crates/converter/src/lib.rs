@@ -19,13 +19,15 @@
 pub mod artifacts;
 pub mod fetch;
 pub mod graph_exec;
+pub mod plan;
 pub mod prune;
 pub mod quantize;
 pub mod shard;
 
 pub use artifacts::{ModelArtifacts, WeightSpec};
 pub use fetch::{FetchStats, SimulatedNetwork};
-pub use graph_exec::GraphModel;
+pub use graph_exec::{GraphModel, PlanStats};
+pub use plan::{Arg, OpKind, Plan, PlannedOp};
 pub use prune::{GraphDef, NodeDef};
 pub use quantize::Quantization;
 

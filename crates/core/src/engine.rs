@@ -264,6 +264,10 @@ struct EngineInner {
     num_data: AtomicUsize,
     /// Total live bytes.
     num_bytes: AtomicUsize,
+    /// High-water mark of `num_bytes` since creation (or the last
+    /// [`Engine::reset_peak_bytes`]). Always on, unlike the profile
+    /// collector's windowed peak — one relaxed `fetch_max` per allocation.
+    peak_bytes: AtomicUsize,
     backends: RwLock<BackendTable>,
     meta: Mutex<MetaState>,
     /// Whether any tape is active (fast-path skip of `meta` in kernels).
@@ -317,6 +321,7 @@ impl Engine {
                 num_tensors: AtomicUsize::new(0),
                 num_data: AtomicUsize::new(0),
                 num_bytes: AtomicUsize::new(0),
+                peak_bytes: AtomicUsize::new(0),
                 backends: RwLock::new(BackendTable { entries: Vec::new(), current: None }),
                 meta: Mutex::new(MetaState {
                     scopes: HashMap::new(),
@@ -521,6 +526,7 @@ impl Engine {
             .insert(handle, DataRecord { backend_name, id, refcount: 1, bytes, dtype });
         self.inner.num_data.fetch_add(1, Ordering::Relaxed);
         let live_bytes = self.inner.num_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak_bytes.fetch_max(live_bytes, Ordering::Relaxed);
         if self.inner.profiling.load(Ordering::Relaxed) {
             let p = &self.inner.profile;
             p.new_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -1148,6 +1154,35 @@ impl Engine {
         self.inner.num_tensors.load(Ordering::SeqCst)
     }
 
+    /// High-water mark of live bytes since engine creation or the last
+    /// [`Engine::reset_peak_bytes`]. Always maintained (one relaxed
+    /// `fetch_max` per allocation), unlike [`Engine::profile`]'s peak which
+    /// only tracks inside a profiling window — memory planners and benches
+    /// read this without paying for kernel-log collection.
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reset the peak-bytes high-water mark to the current live bytes, so a
+    /// subsequent [`Engine::peak_bytes`] measures only the window after this
+    /// call.
+    pub fn reset_peak_bytes(&self) {
+        self.inner
+            .peak_bytes
+            .store(self.inner.num_bytes.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Whether a gradient tape is currently recording on this thread's
+    /// engine (and not paused). Execution planners use this to fall back to
+    /// tape-safe paths: eager intermediate disposal would destroy tensors
+    /// the tape still references.
+    pub fn is_recording(&self) -> bool {
+        if !self.inner.tape_active.load(Ordering::Acquire) {
+            return false;
+        }
+        self.tape_active()
+    }
+
     /// Enable or disable NaN-checking debug mode (paper Sec 3.8).
     pub fn set_debug(&self, on: bool) {
         self.inner.debug.store(on, Ordering::Relaxed);
@@ -1529,5 +1564,24 @@ mod tests {
         assert_eq!(mine.to_f32_vec().unwrap(), vec![5.0]);
         mine.dispose();
         assert_eq!(e.num_tensors(), 0);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_and_resets() {
+        let e = two_tier_engine();
+        e.reset_peak_bytes();
+        let a = e.tensor_1d(&[1.0, 2.0]).unwrap(); // 8 bytes
+        let b = e.tensor_1d(&[3.0, 4.0]).unwrap(); // 8 bytes
+        assert_eq!(e.peak_bytes(), 16);
+        a.dispose();
+        b.dispose();
+        // The high-water mark survives disposals...
+        assert_eq!(e.peak_bytes(), 16);
+        // ...until explicitly reset to the (now zero) live bytes.
+        e.reset_peak_bytes();
+        assert_eq!(e.peak_bytes(), 0);
+        let c = e.tensor_1d(&[5.0]).unwrap();
+        assert_eq!(e.peak_bytes(), 4);
+        c.dispose();
     }
 }

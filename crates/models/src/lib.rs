@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod graphdef;
 pub mod image;
 pub mod knn;
 pub mod mobilenet;
@@ -21,6 +22,7 @@ pub mod serving;
 pub mod speech;
 pub mod tsne;
 
+pub use graphdef::{graph_mlp, graph_mobilenet, GraphSpec};
 pub use image::Image;
 pub use knn::KnnClassifier;
 pub use mobilenet::{MobileNet, MobileNetConfig};

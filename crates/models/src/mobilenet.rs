@@ -67,13 +67,13 @@ pub struct MobileNet {
 
 /// Round a scaled filter count to the nearest multiple of 8 (the MobileNet
 /// width-multiplier rule), never below 8.
-fn scaled(filters: usize, alpha: f32) -> usize {
+pub(crate) fn scaled(filters: usize, alpha: f32) -> usize {
     let f = (filters as f32 * alpha).round() as usize;
     ((f + 4) / 8 * 8).max(8)
 }
 
 /// `(pointwise_filters, stride)` of the 13 separable blocks.
-const BLOCKS: [(usize, usize); 13] = [
+pub(crate) const BLOCKS: [(usize, usize); 13] = [
     (64, 1),
     (128, 2),
     (128, 1),

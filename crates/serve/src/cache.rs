@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use webml_converter::prune::GraphDef;
-use webml_converter::{from_artifacts, GraphModel, ModelArtifacts};
+use webml_converter::{from_artifacts, GraphModel, ModelArtifacts, PlanStats};
 use webml_core::{Engine, Error, Result, Tensor};
 use webml_layers::Sequential;
 
@@ -77,6 +77,7 @@ impl ModelSource {
 }
 
 /// A built, servable model with its weights uploaded to the engine.
+#[allow(clippy::large_enum_variant)] // a handful of cache entries, never moved in bulk
 pub enum Loaded {
     /// A layers model (forward pass on the whole batch).
     Seq(Sequential),
@@ -116,6 +117,37 @@ impl Loaded {
                     .ok_or_else(|| Error::invalid("serve", "graph has no output node"))?;
                 Ok(Loaded::Graph { model, feed, fetch })
             }
+        }
+    }
+
+    /// Pre-warm execution plans for the micro-batcher's shapes: when the
+    /// graph's placeholders declare their per-example shape, compile plans
+    /// for batch sizes 1 and `max_batch` so neither a single request nor a
+    /// full batch pays plan compilation on its first forward. Failures are
+    /// non-fatal — execution falls back to the interpreter.
+    pub fn warm_plans(&self, max_batch: usize) {
+        let Loaded::Graph { model, fetch, .. } = self else { return };
+        let Some(sig) = model.placeholder_shape_attrs() else { return };
+        for batch in [1, max_batch.max(1)] {
+            let batched: Vec<(String, Vec<usize>)> = sig
+                .iter()
+                .map(|(name, dims)| {
+                    let mut dims = dims.clone();
+                    if !dims.is_empty() {
+                        dims[0] = batch;
+                    }
+                    (name.clone(), dims)
+                })
+                .collect();
+            let _ = model.plan_for_shapes(&batched, &[fetch.as_str()]);
+        }
+    }
+
+    /// This model's plan-cache counters (zero for layers models).
+    pub fn plan_stats(&self) -> PlanStats {
+        match self {
+            Loaded::Seq(_) => PlanStats::default(),
+            Loaded::Graph { model, .. } => model.plan_stats(),
         }
     }
 
@@ -161,6 +193,11 @@ pub struct ModelCache {
     tick: u64,
     entries: HashMap<ModelKey, Entry>,
     degradation_epoch: u64,
+    /// Batch size (in addition to 1) to pre-warm execution plans for.
+    warm_batch: usize,
+    /// Plan counters carried over from evicted/invalidated models, so the
+    /// aggregate in [`ModelCache::plan_stats`] stays monotonic.
+    retired_plans: PlanStats,
     /// Lifetime counters, drained by the server's stats.
     pub hits: u64,
     /// Cache misses (model built from source).
@@ -172,18 +209,46 @@ pub struct ModelCache {
 }
 
 impl ModelCache {
-    /// A cache holding at most `capacity` warm models (min 1).
-    pub fn new(capacity: usize, engine: &Engine) -> ModelCache {
+    /// A cache holding at most `capacity` warm models (min 1), pre-warming
+    /// execution plans for batch sizes 1 and `warm_batch` on each build.
+    pub fn new(capacity: usize, warm_batch: usize, engine: &Engine) -> ModelCache {
         ModelCache {
             capacity: capacity.max(1),
             tick: 0,
             entries: HashMap::new(),
             degradation_epoch: engine.degradation_generation(),
+            warm_batch: warm_batch.max(1),
+            retired_plans: PlanStats::default(),
             hits: 0,
             misses: 0,
             evictions: 0,
             invalidations: 0,
         }
+    }
+
+    /// Aggregate plan-cache counters across the warm models, including
+    /// counts accumulated by models that have since been evicted or
+    /// invalidated. `entries` counts only currently-resident plans.
+    pub fn plan_stats(&self) -> PlanStats {
+        let mut total = self.retired_plans;
+        total.entries = 0;
+        for entry in self.entries.values() {
+            let s = entry.model.plan_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+            total.fallbacks += s.fallbacks;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    fn retire(&mut self, model: &Loaded) {
+        let s = model.plan_stats();
+        self.retired_plans.hits += s.hits;
+        self.retired_plans.misses += s.misses;
+        self.retired_plans.invalidations += s.invalidations;
+        self.retired_plans.fallbacks += s.fallbacks;
     }
 
     /// Number of warm models currently resident.
@@ -213,7 +278,9 @@ impl ModelCache {
 
     /// Drop every cached model, disposing their weights.
     pub fn invalidate_all(&mut self) {
-        for (_, entry) in self.entries.drain() {
+        let drained: Vec<Entry> = self.entries.drain().map(|(_, e)| e).collect();
+        for entry in drained {
+            self.retire(&entry.model);
             entry.model.dispose_weights();
         }
         self.invalidations += 1;
@@ -222,6 +289,7 @@ impl ModelCache {
     /// Drop one model (e.g. after a forward error), disposing its weights.
     pub fn invalidate(&mut self, key: ModelKey) {
         if let Some(entry) = self.entries.remove(&key) {
+            self.retire(&entry.model);
             entry.model.dispose_weights();
         }
     }
@@ -245,12 +313,15 @@ impl ModelCache {
                     .map(|(k, _)| *k)
                     .expect("non-empty cache");
                 let entry = self.entries.remove(&lru).expect("lru key present");
+                self.retire(&entry.model);
                 entry.model.dispose_weights();
                 self.evictions += 1;
             }
             let model = {
                 let _span = webml_telemetry::span("serve.model_build", "serve");
-                Loaded::build(engine, source)?
+                let model = Loaded::build(engine, source)?;
+                model.warm_plans(self.warm_batch);
+                model
             };
             self.misses += 1;
             self.entries.insert(key, Entry { model, last_used: tick });

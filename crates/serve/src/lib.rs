@@ -96,6 +96,16 @@ pub struct ServeStats {
     pub cache_evictions: u64,
     /// Whole-cache invalidations after an engine backend degradation.
     pub cache_invalidations: u64,
+    /// Forward passes served by a precompiled execution plan (aggregated
+    /// over warm graph models, including since-evicted ones).
+    pub plan_hits: u64,
+    /// Execution plans compiled (cold feed-shape signature or rebuild
+    /// after a backend degradation).
+    pub plan_misses: u64,
+    /// Plan-cache invalidations after a backend degradation.
+    pub plan_invalidations: u64,
+    /// Forward passes that fell back to the graph interpreter.
+    pub plan_fallbacks: u64,
     /// Distribution of per-request queue wait (submit → dispatcher drain),
     /// in milliseconds.
     pub queue_wait_ms: HistogramSummary,
@@ -115,6 +125,10 @@ struct StatsCells {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_invalidations: AtomicU64,
+    plan_fallbacks: AtomicU64,
 }
 
 struct Request {
@@ -247,6 +261,10 @@ impl ModelServer {
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
             cache_evictions: s.cache_evictions.load(Ordering::Relaxed),
             cache_invalidations: s.cache_invalidations.load(Ordering::Relaxed),
+            plan_hits: s.plan_hits.load(Ordering::Relaxed),
+            plan_misses: s.plan_misses.load(Ordering::Relaxed),
+            plan_invalidations: s.plan_invalidations.load(Ordering::Relaxed),
+            plan_fallbacks: s.plan_fallbacks.load(Ordering::Relaxed),
             queue_wait_ms: self.shared.queue_wait_ms.summary(),
             batch_size: self.shared.batch_size.summary(),
         }
@@ -280,7 +298,8 @@ impl Drop for ModelServer {
 /// The dispatcher: single consumer of the queue, sole owner of the model
 /// cache (so cached models never cross threads).
 fn dispatch_loop(shared: &Shared) {
-    let mut cache = ModelCache::new(shared.config.cache_capacity, &shared.engine);
+    let mut cache =
+        ModelCache::new(shared.config.cache_capacity, shared.config.max_batch, &shared.engine);
     loop {
         let drained: Vec<Request> = {
             let mut q = shared.queue.lock();
@@ -315,6 +334,11 @@ fn sync_cache_stats(shared: &Shared, cache: &ModelCache) {
     shared.stats.cache_misses.store(cache.misses, Ordering::Relaxed);
     shared.stats.cache_evictions.store(cache.evictions, Ordering::Relaxed);
     shared.stats.cache_invalidations.store(cache.invalidations, Ordering::Relaxed);
+    let plans = cache.plan_stats();
+    shared.stats.plan_hits.store(plans.hits, Ordering::Relaxed);
+    shared.stats.plan_misses.store(plans.misses, Ordering::Relaxed);
+    shared.stats.plan_invalidations.store(plans.invalidations, Ordering::Relaxed);
+    shared.stats.plan_fallbacks.store(plans.fallbacks, Ordering::Relaxed);
 }
 
 fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request>) {
@@ -656,6 +680,33 @@ mod tests {
         server.shutdown();
         assert_eq!(e.memory().num_bytes, baseline, "shutdown releases the cache");
         assert!(server.stats().cache_evictions >= 1);
+    }
+
+    #[test]
+    fn graph_requests_hit_warm_plans() {
+        let e = engine();
+        let mut server = ModelServer::new(&e, ServeConfig::default());
+        // The placeholder declares its per-example shape, so the cache
+        // pre-warms execution plans for batch 1 and `max_batch` at build
+        // time — the first request should already ride a warm plan.
+        let mut graph = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w", "VariableV2", &[]),
+            ("mm", "MatMul", &["x", "w"]),
+            ("probs", "Softmax", &["mm"]),
+        ]);
+        graph.nodes[0].attrs = serde_json::json!({ "shape": [1, 2] });
+        let key = server.register(ModelSource::Graph {
+            graph,
+            weights: vec![("w".into(), vec![1.0, 0.0, 0.0, 1.0], vec![2, 2])],
+        });
+        let resp = server.infer(key, vec![3.0, 1.0], vec![2]).unwrap();
+        assert!(resp.values[0] > resp.values[1]);
+        server.shutdown();
+        let stats = server.stats();
+        assert!(stats.plan_hits >= 1, "request rides a pre-warmed plan: {stats:?}");
+        assert!(stats.plan_misses >= 2, "batch-1 and max-batch plans compiled: {stats:?}");
+        assert_eq!(stats.plan_fallbacks, 0, "no interpreter fallbacks: {stats:?}");
     }
 
     #[test]

@@ -319,6 +319,51 @@ fn serve_survives_context_loss_and_reloads_on_fallback() {
     assert!(stats.cache_invalidations >= 1, "context loss invalidated the cache: {stats:?}");
 }
 
+/// Execution plans are keyed to the engine's degradation generation: a
+/// seeded context loss mid-soak must invalidate every cached plan, and the
+/// next request recompiles on the fallback backend with results bitwise
+/// identical to a pristine CPU run. The `fault-soak` CI matrix exports
+/// `WEBML_FAULT_SEED` to move the loss point between runs.
+#[test]
+fn context_loss_invalidates_and_rebuilds_execution_plans() {
+    use webml::models::graph_mlp;
+    use webml::Shape;
+    let seed: u64 = std::env::var("WEBML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let spec = graph_mlp(8, &[16, 16], 4, 33);
+    // Reference: the same model on a pristine CPU engine.
+    let r = new_engine();
+    r.set_backend("cpu").unwrap();
+    let ref_model = spec.build(&r).unwrap();
+    let (vals, shape) = spec.example(1, 0);
+    let xr = r.tensor(vals.clone(), Shape::new(shape.clone())).unwrap();
+    let want =
+        ref_model.execute(&[(&spec.input, &xr)], &[&spec.output]).unwrap()[0].to_f32_vec().unwrap();
+
+    // Lose the context partway through a 6-pass soak (each planned pass is
+    // a handful of draws), at a seed-dependent draw.
+    let e = new_engine_with_faults(FaultPlan::none().lose_context_at(3 + seed % 13));
+    let model = spec.build(&e).unwrap();
+    let x = e.tensor(vals, Shape::new(shape)).unwrap();
+    x.keep();
+    for pass in 0..6 {
+        let got =
+            model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap()[0].to_f32_vec().unwrap();
+        assert_eq!(got, want, "seed {seed}, pass {pass}");
+    }
+    assert_eq!(e.degradations(), 1, "the scheduled loss fired mid-soak");
+    assert_eq!(e.backend_name(), "cpu");
+    let stats = model.plan_stats();
+    assert!(stats.invalidations >= 1, "loss invalidated the plan cache: {stats:?}");
+    assert!(
+        stats.misses >= 2,
+        "a plan was recompiled on the fallback backend: {stats:?}"
+    );
+    assert!(stats.hits >= 1, "post-rebuild passes ride the new plan: {stats:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -1,0 +1,139 @@
+//! Execution-plan correctness: ahead-of-time planned `GraphModel`
+//! inference must be bitwise identical to the per-call interpreter on
+//! every backend, and liveness-driven eager disposal must bound peak
+//! memory to exactly the planner's prediction.
+
+use std::collections::HashMap;
+use webml::converter::{GraphDef, GraphModel};
+use webml::models::{graph_mlp, graph_mobilenet, GraphSpec, MobileNetConfig};
+use webml::{Engine, Shape};
+
+const BACKENDS: [&str; 3] = ["cpu", "webgl", "native"];
+
+fn build(e: &Engine, spec: &GraphSpec) -> GraphModel {
+    spec.build(e).expect("build graph model")
+}
+
+/// Planned and interpreted fetches must agree bitwise: the plan runs the
+/// same kernels in the same order, so on an f32 backend even accumulation
+/// order is identical.
+fn assert_planned_matches_interpreted(spec: &GraphSpec, backend: &str) {
+    let e = webml::new_engine();
+    e.set_backend(backend).expect("backend registered");
+    let model = build(&e, spec);
+    let (vals, shape) = spec.example(2, 1);
+    let x = e.tensor(vals, Shape::new(shape)).unwrap();
+    let planned = model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+    let interpreted =
+        model.execute_interpreted(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+    assert_eq!(
+        planned[0].to_f32_vec().unwrap(),
+        interpreted[0].to_f32_vec().unwrap(),
+        "planned vs interpreted on {backend}"
+    );
+    let stats = model.plan_stats();
+    assert!(stats.misses >= 1, "planned pass compiled a plan on {backend}: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "no interpreter fallback on {backend}: {stats:?}");
+}
+
+#[test]
+fn mlp_planned_matches_interpreted_on_all_backends() {
+    let spec = graph_mlp(12, &[24, 24], 5, 42);
+    for backend in BACKENDS {
+        assert_planned_matches_interpreted(&spec, backend);
+    }
+}
+
+#[test]
+fn mobilenet_planned_matches_interpreted_on_all_backends() {
+    let config =
+        MobileNetConfig { input_size: 32, classes: 7, ..MobileNetConfig::small() };
+    let spec = graph_mobilenet(&config);
+    for backend in BACKENDS {
+        assert_planned_matches_interpreted(&spec, backend);
+    }
+}
+
+/// A deep matmul chain where the interpreter keeps every intermediate
+/// until scope end but the plan disposes each at its last use: the planned
+/// peak must equal the predicted peak *exactly* (two live rows), and the
+/// interpreted peak must be exactly the whole chain.
+#[test]
+fn eager_disposal_bounds_peak_bytes_exactly() {
+    const LAYERS: usize = 6;
+    const DIM: usize = 16;
+    let e = webml::new_engine();
+    e.set_backend("cpu").unwrap();
+    let mut nodes = vec![GraphDef::from_triples(&[("x", "Placeholder", &[])]).nodes[0].clone()];
+    let mut weights: HashMap<String, webml::Tensor> = HashMap::new();
+    let mut prev = "x".to_string();
+    for i in 0..LAYERS {
+        let w = format!("w{i}");
+        let mm = format!("mm{i}");
+        let t = e.tensor(vec![0.5; DIM * DIM], Shape::new(vec![DIM, DIM])).unwrap();
+        t.keep();
+        weights.insert(w.clone(), t);
+        let mut g = GraphDef::from_triples(&[
+            (&w, "VariableV2", &[]),
+            (&mm, "MatMul", &[&prev, &w]),
+        ]);
+        nodes.append(&mut g.nodes);
+        prev = mm;
+    }
+    let fetch = prev.clone();
+    let model = GraphModel::new(&e, GraphDef { nodes }, weights).unwrap();
+    let x = e.tensor(vec![1.0; DIM], Shape::new(vec![1, DIM])).unwrap();
+    x.keep();
+    let row_bytes = DIM * 4;
+
+    let plan = model
+        .plan_for_shapes(&[("x".into(), vec![1, DIM])], &[&fetch])
+        .expect("plan compiles");
+    assert_eq!(
+        plan.predicted_peak_bytes(),
+        2 * row_bytes,
+        "liveness predicts two live rows (current op output + its input)"
+    );
+
+    e.reset_peak_bytes();
+    let baseline = e.memory().num_bytes;
+    let out = model.execute(&[("x", &x)], &[&fetch]).unwrap();
+    out[0].dispose();
+    assert_eq!(
+        e.peak_bytes() - baseline,
+        plan.predicted_peak_bytes(),
+        "planned peak is exactly the prediction"
+    );
+
+    e.reset_peak_bytes();
+    let out = model.execute_interpreted(&[("x", &x)], &[&fetch]).unwrap();
+    out[0].dispose();
+    assert_eq!(
+        e.peak_bytes() - baseline,
+        LAYERS * row_bytes,
+        "interpreted keeps the whole chain until scope end"
+    );
+}
+
+/// The plan cache is keyed by feed-shape signature: new batch sizes
+/// compile new plans, repeats hit.
+#[test]
+fn plan_cache_hits_across_batch_sizes() {
+    let spec = graph_mlp(8, &[16], 4, 9);
+    let e = webml::new_engine();
+    e.set_backend("cpu").unwrap();
+    let model = build(&e, &spec);
+    // Load-time precompile (the placeholder declares batch 1).
+    let after_load = model.plan_stats();
+    assert_eq!(after_load.entries, 1);
+    for batch in [1usize, 3, 3, 1, 8] {
+        let (vals, shape) = spec.example(batch, 0);
+        let x = e.tensor(vals, Shape::new(shape)).unwrap();
+        let outs = model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        assert_eq!(outs[0].shape().0, vec![batch, 4]);
+    }
+    let stats = model.plan_stats();
+    assert_eq!(stats.entries, 3, "three distinct batch signatures: {stats:?}");
+    assert_eq!(stats.misses, 3, "one compile per signature: {stats:?}");
+    assert_eq!(stats.hits, 3, "repeat shapes hit: {stats:?}");
+}
