@@ -4,16 +4,20 @@
 //! ```text
 //! cargo run --release -p webml-bench --bin serve_bench
 //!     [-- --tiny] [-- --requests N] [-- --json] [-- --assert-speedup X]
-//!     [-- --trace out.json]
+//!     [-- --assert-parity X] [-- --trace out.json]
 //! ```
 //!
 //! Each scenario runs 1, 4, and 16 concurrent closed-loop clients (one
 //! outstanding request each) against a `ModelServer` over a WebGL-simulated
-//! engine, in two configurations: **batched** (`max_batch` 16) and
-//! **unbatched** (`max_batch` 1). Reports req/s and p50/p99 latency per
-//! cell; `--json` writes `BENCH_SERVE.json` to the current directory, and
-//! `--assert-speedup X` exits non-zero unless batched req/s at 16 clients
-//! is ≥ X× unbatched (the CI serve-smoke gate uses 1.5). `--trace PATH`
+//! engine, in two configurations: **batched** (`max_batch` 16, adaptive
+//! batch window) and **unbatched** (`max_batch` 1). Reports req/s and
+//! p50/p99 latency per cell; `--json` writes `BENCH_SERVE.json` to the
+//! current directory, and `--assert-speedup X` exits non-zero unless
+//! batched req/s at 16 clients is ≥ X× unbatched (the CI serve-smoke gate
+//! uses 1.5). `--assert-parity X` exits non-zero unless batched req/s is
+//! ≥ X× unbatched at *every* concurrency level — the adaptive batch window
+//! must make batching free when there is nothing to batch (a single
+//! closed-loop client), not just profitable under load. `--trace PATH`
 //! enables telemetry for the whole run and writes a Chrome trace-event
 //! JSON timeline (load it in `chrome://tracing` or Perfetto).
 
@@ -61,9 +65,9 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn run_cell(batched: bool, clients: usize, requests: usize) -> Cell {
     let engine = webgl_engine();
     let config = if batched {
-        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(2), cache_capacity: 4 }
+        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(2), ..Default::default() }
     } else {
-        ServeConfig { max_batch: 1, max_wait: Duration::from_micros(100), cache_capacity: 4 }
+        ServeConfig { max_batch: 1, max_wait: Duration::from_micros(100), ..Default::default() }
     };
     let artifacts = classifier_artifacts(&engine, IN_DIM, HIDDEN, CLASSES, 11)
         .expect("build serving model");
@@ -123,6 +127,11 @@ fn main() {
         .position(|a| a == "--assert-speedup")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
+    let assert_parity: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-parity")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let trace_path: Option<String> =
         args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
     if trace_path.is_some() {
@@ -136,10 +145,12 @@ fn main() {
     let client_counts = [1usize, 4, 16];
     let mut json_rows = Vec::new();
     let mut speedup_at_16 = 0.0;
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
     for &clients in &client_counts {
         let unbatched = run_cell(false, clients, requests);
         let batched = run_cell(true, clients, requests);
         let speedup = batched.req_per_s / unbatched.req_per_s;
+        speedups.push((clients, speedup));
         if clients == 16 {
             speedup_at_16 = speedup;
         }
@@ -188,6 +199,10 @@ fn main() {
             "requests_per_client": requests,
             "rows": json_rows,
             "speedup_at_16_clients": speedup_at_16,
+            "speedup_by_clients": speedups
+                .iter()
+                .map(|&(clients, s)| json!({ "clients": clients, "speedup": s }))
+                .collect::<Vec<_>>(),
         });
         let text = serde_json::to_string_pretty(&doc).expect("serialize");
         std::fs::write("BENCH_SERVE.json", text).expect("write BENCH_SERVE.json");
@@ -206,5 +221,17 @@ fn main() {
             "batched serving speedup at 16 clients was {speedup_at_16:.2}x, expected >= {want}x"
         );
         println!("speedup gate passed: {speedup_at_16:.2}x >= {want}x at 16 clients");
+    }
+    if let Some(want) = assert_parity {
+        for &(clients, speedup) in &speedups {
+            assert!(
+                speedup >= want,
+                "batched serving was {speedup:.2}x unbatched at {clients} clients, \
+                 expected >= {want}x at every level (adaptive batch window regression)"
+            );
+        }
+        let worst =
+            speedups.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        println!("parity gate passed: batched >= {want}x unbatched at every level (worst {worst:.2}x)");
     }
 }

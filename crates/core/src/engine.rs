@@ -75,6 +75,23 @@ pub struct MemoryInfo {
     pub current_backend: String,
 }
 
+/// Health snapshot of the engine's backend stack — the surface a serving
+/// router's circuit breaker watches. Cheap to take: one read lock plus one
+/// relaxed atomic load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendHealth {
+    /// Backend currently serving kernels.
+    pub current_backend: String,
+    /// Highest-priority registered backend (where the engine *wants* to be).
+    pub preferred_backend: String,
+    /// Whether the engine is running on its preferred backend — `false`
+    /// means a degradation ladder step is still in effect and the engine is
+    /// serving slower than its device allows.
+    pub at_preferred: bool,
+    /// The degradation generation (see [`Engine::degradation_generation`]).
+    pub degradation_generation: u64,
+}
+
 /// One graceful-degradation event: a kernel abandoned a failing backend and
 /// the engine fell back to the next backend in the priority chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -892,6 +909,52 @@ impl Engine {
         self.inner.degradations.load(Ordering::Relaxed)
     }
 
+    /// Health snapshot of the backend stack: which backend is serving,
+    /// which one the engine would prefer, and the degradation generation.
+    /// A serving router's circuit breaker polls this to decide whether an
+    /// engine is degraded (running below its preferred backend) and whether
+    /// anything changed since it last looked.
+    pub fn backend_health(&self) -> BackendHealth {
+        let table = self.inner.backends.read();
+        let current = table
+            .current
+            .map(|i| table.entries[i].0.clone())
+            .unwrap_or_else(|| "<none>".to_string());
+        let preferred = table
+            .entries
+            .iter()
+            .max_by_key(|(_, p, _)| *p)
+            .map(|(n, _, _)| n.clone())
+            .unwrap_or_else(|| "<none>".to_string());
+        BackendHealth {
+            at_preferred: current == preferred,
+            current_backend: current,
+            preferred_backend: preferred,
+            degradation_generation: self.inner.degradations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Re-select the highest-priority registered backend after external
+    /// recovery (e.g. a restored WebGL context) — the re-admission half of
+    /// the degradation ladder. Returns the name of the backend promoted to,
+    /// or `None` when the engine is already on its preferred backend (or no
+    /// backend is registered). Safe to call optimistically: if the promoted
+    /// backend is still broken, the next kernel simply degrades again.
+    pub fn promote_backend(&self) -> Option<String> {
+        let mut table = self.inner.backends.write();
+        let best = table
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, p, _))| *p)
+            .map(|(i, _)| i)?;
+        if table.current == Some(best) {
+            return None;
+        }
+        table.current = Some(best);
+        Some(table.entries[best].0.clone())
+    }
+
     /// Run a *composite* op with a user-supplied gradient (`tf.customGrad`):
     /// `forward` computes the outputs using ordinary ops, but those inner
     /// ops are not recorded — instead a single tape node with `grad_fn` is,
@@ -1564,6 +1627,46 @@ mod tests {
         assert_eq!(mine.to_f32_vec().unwrap(), vec![5.0]);
         mine.dispose();
         assert_eq!(e.num_tensors(), 0);
+    }
+
+    #[test]
+    fn backend_health_tracks_degradation_and_promotion() {
+        let e = two_tier_engine();
+        let h = e.backend_health();
+        assert_eq!(h.current_backend, "gpu");
+        assert_eq!(h.preferred_backend, "gpu");
+        assert!(h.at_preferred);
+        assert_eq!(h.degradation_generation, 0);
+        assert!(e.promote_backend().is_none(), "already at the preferred backend");
+
+        // A context loss degrades to the cpu tier.
+        let out = e
+            .run_kernel(
+                "Doomed",
+                &[],
+                &mut |b, _| {
+                    if e.backend_health().at_preferred {
+                        Err(Error::context_lost("gpu"))
+                    } else {
+                        emit_scalar(b, 3.0)
+                    }
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(out[0].to_scalar().unwrap(), 3.0);
+        let h = e.backend_health();
+        assert_eq!(h.current_backend, "cpu");
+        assert_eq!(h.preferred_backend, "gpu");
+        assert!(!h.at_preferred);
+        assert_eq!(h.degradation_generation, 1);
+
+        // Promotion (post-recovery) returns the engine to the fast tier.
+        assert_eq!(e.promote_backend().as_deref(), Some("gpu"));
+        assert!(e.backend_health().at_preferred);
+        // The generation only counts degradations, not promotions.
+        assert_eq!(e.degradation_generation(), 1);
+        out[0].dispose();
     }
 
     #[test]

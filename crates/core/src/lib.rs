@@ -57,7 +57,9 @@ pub mod variable;
 pub use backend::{Backend, DataFuture, DataId, FusedStep};
 pub use buffer::TensorBuffer;
 pub use dtype::{DType, TensorData};
-pub use engine::{DegradationEvent, Engine, MemoryInfo, MemoryPolicy, ProfileInfo, TimeInfo};
+pub use engine::{
+    BackendHealth, DegradationEvent, Engine, MemoryInfo, MemoryPolicy, ProfileInfo, TimeInfo,
+};
 pub use error::{Error, Result};
 pub use shape::Shape;
 pub use tensor::Tensor;

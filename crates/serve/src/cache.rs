@@ -74,6 +74,19 @@ impl ModelSource {
             }
         }
     }
+
+    /// Host-side weight bytes this source would upload — the placement
+    /// cost signal used by the fleet router (heavy models prefer engines
+    /// with a high device-parallelism class). Computable without building
+    /// the model.
+    pub fn cost_bytes(&self) -> usize {
+        match self {
+            ModelSource::Artifacts(a) => a.weight_bytes(),
+            ModelSource::Graph { weights, .. } => {
+                weights.iter().map(|(_, values, _)| values.len() * 4).sum()
+            }
+        }
+    }
 }
 
 /// A built, servable model with its weights uploaded to the engine.

@@ -34,8 +34,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
+pub mod health;
+pub mod router;
 
 pub use cache::{Loaded, ModelCache, ModelKey, ModelSource};
+pub use error::ServeError;
+pub use health::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, EngineHealth};
+pub use router::{
+    EngineSpec, EngineStatus, FleetConfig, FleetPending, FleetResult, FleetServer, FleetStats,
+    ModelSlo, RecoverHook,
+};
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -54,13 +63,77 @@ pub struct ServeConfig {
     /// How long the dispatcher holds the first queued request open for
     /// batch-mates before running a partial batch.
     pub max_wait: Duration,
+    /// Adaptively shrink the batch window toward zero when the queue is
+    /// shallow: with a single closed-loop client there are never
+    /// batch-mates to wait for, and holding the window only adds `max_wait`
+    /// of dead latency per request. The dispatcher skips the window
+    /// entirely unless the queue suggests batching will pay (more than one
+    /// request already queued, or recent drains averaged ≥ 1.5 requests).
+    pub adaptive_window: bool,
     /// Warm models kept resident in the LRU cache.
     pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(2), cache_capacity: 4 }
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            adaptive_window: true,
+            cache_capacity: 4,
+        }
+    }
+}
+
+/// The adaptive batch-window policy shared by the single-engine dispatcher
+/// and the fleet workers: hold the window open for batch-mates only when
+/// the queue is likely to produce them, and only for as many as recent
+/// traffic actually delivers.
+///
+/// Two pathologies bound the design. A single closed-loop client never has
+/// batch-mates: holding the window adds `max_wait` of dead latency per
+/// request for nothing. And `k` closed-loop clients (`k < max_batch`) can
+/// never fill a `max_batch` window: waiting for requests that cannot
+/// arrive stalls *every* batch for the full `max_wait`. So the policy
+/// tracks an EWMA of drain sizes (the observed concurrency) and (a) skips
+/// the window entirely when the queue is shallow and recent drains
+/// averaged < 1.5 requests, (b) otherwise waits only until the drain-size
+/// EWMA's worth of requests are queued. The drain itself still scoops
+/// everything pending, so rising concurrency grows the EWMA — and the
+/// batches — on its own.
+pub(crate) struct WindowPolicy {
+    adaptive: bool,
+    /// EWMA of recent drain sizes — the observed degree of concurrency.
+    ewma_drain: f64,
+}
+
+impl WindowPolicy {
+    pub(crate) fn new(adaptive: bool) -> WindowPolicy {
+        WindowPolicy { adaptive, ewma_drain: 0.0 }
+    }
+
+    /// Whether the dispatcher should hold the batch window open, given the
+    /// queue length at drain start.
+    pub(crate) fn should_wait(&self, queued: usize) -> bool {
+        if !self.adaptive {
+            return true;
+        }
+        queued > 1 || self.ewma_drain >= 1.5
+    }
+
+    /// How many queued requests end the window early: the observed
+    /// concurrency (floored, so jitter undershoots rather than stalls),
+    /// clamped to `[2, max_batch]`. Without the adaptive policy this is
+    /// always `max_batch` (the fixed-window behavior).
+    pub(crate) fn target_batch(&self, max_batch: usize) -> usize {
+        if !self.adaptive {
+            return max_batch;
+        }
+        (self.ewma_drain as usize).max(2).min(max_batch.max(1))
+    }
+
+    pub(crate) fn observe_drain(&mut self, drained: usize) {
+        self.ewma_drain = self.ewma_drain * 0.7 + drained as f64 * 0.3;
     }
 }
 
@@ -300,6 +373,7 @@ impl Drop for ModelServer {
 fn dispatch_loop(shared: &Shared) {
     let mut cache =
         ModelCache::new(shared.config.cache_capacity, shared.config.max_batch, &shared.engine);
+    let mut window = WindowPolicy::new(shared.config.adaptive_window);
     loop {
         let drained: Vec<Request> = {
             let mut q = shared.queue.lock();
@@ -309,19 +383,29 @@ fn dispatch_loop(shared: &Shared) {
             if q.requests.is_empty() && q.shutdown {
                 break;
             }
-            // Batch window: hold the first request open for batch-mates.
-            let deadline = Instant::now() + shared.config.max_wait;
-            while q.requests.len() < shared.config.max_batch && !q.shutdown {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                if shared.available.wait_for(&mut q, deadline - now).timed_out() {
-                    break;
+            // Batch window: hold the first request open for batch-mates —
+            // unless the adaptive policy says the queue is too shallow for
+            // batching to pay, in which case drain immediately.
+            if window.should_wait(q.requests.len()) {
+                // Wait only for as many batch-mates as recent traffic
+                // actually produced — k closed-loop clients can never fill
+                // a max_batch window, and waiting for them stalls every
+                // batch for the full max_wait.
+                let target = window.target_batch(shared.config.max_batch);
+                let deadline = Instant::now() + shared.config.max_wait;
+                while q.requests.len() < target && !q.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    if shared.available.wait_for(&mut q, deadline - now).timed_out() {
+                        break;
+                    }
                 }
             }
             q.requests.drain(..).collect()
         };
+        window.observe_drain(drained.len());
         process_drained(shared, &mut cache, drained);
     }
     // Shut down: release the warm models' weights.
@@ -387,7 +471,7 @@ fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request
     sync_cache_stats(shared, cache);
 }
 
-fn chunked(mut members: Vec<Request>, size: usize) -> Vec<Vec<Request>> {
+pub(crate) fn chunked<T>(mut members: Vec<T>, size: usize) -> Vec<Vec<T>> {
     let size = size.max(1);
     let mut chunks = Vec::new();
     while members.len() > size {
@@ -512,7 +596,7 @@ fn run_single(
 }
 
 /// Split a `[n, out..]` batch output into per-request responses.
-fn split_rows(y: &webml_core::Tensor, n: usize) -> Result<Vec<InferResponse>> {
+pub(crate) fn split_rows(y: &webml_core::Tensor, n: usize) -> Result<Vec<InferResponse>> {
     let out_shape = y.shape().0;
     if out_shape.first() != Some(&n) {
         return Err(Error::invalid(

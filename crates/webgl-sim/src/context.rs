@@ -335,6 +335,10 @@ impl GpgpuContext {
         }
         let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
         let in_layouts: Vec<TextureLayout> = inputs.iter().map(|h| h.layout.clone()).collect();
+        // Straggler injection: decided host-side (seeded, synchronous, like
+        // every other fault decision) but paid on the device thread, where a
+        // real throttled GPU would pay it.
+        let stall_ns = self.faults.draw_stall().unwrap_or(0);
         self.sender
             .send(Command::Run {
                 program,
@@ -342,6 +346,7 @@ impl GpgpuContext {
                 in_layouts,
                 output: id,
                 out_layout: out_layout.clone(),
+                stall_ns,
             })
             .expect("device thread alive");
         Ok(TexHandle { id, layout: out_layout })
@@ -775,6 +780,31 @@ mod tests {
         assert_eq!(c.read_sync(&handles[0]).unwrap()[0], 0.0);
         // A single allocation beyond the limit still fails.
         assert!(matches!(c.upload(vec![0.0; 16384], &[16384]), Err(GlError::Oom { .. })));
+    }
+
+    #[test]
+    fn draw_stalls_hit_the_device_clock_and_stay_correct() {
+        use crate::fault::FaultPlan;
+        let stall_ns = 2_000_000; // 2 ms
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan { seed: 7, ..FaultPlan::none() }.with_draw_stall(1.0, stall_ns),
+        )
+        .unwrap();
+        let a = c.upload(vec![1.0, 2.0], &[2]).unwrap();
+        let double = || Program::per_element("Double", vec![2], |s, i, _| s.get_flat(0, i) * 2.0);
+        c.begin_timing();
+        let t0 = std::time::Instant::now();
+        let out = c.run(double(), &[&a]).unwrap();
+        // Stalled draws still compute the right answer.
+        assert_eq!(c.read_sync(&out).unwrap(), vec![2.0, 4.0]);
+        let device_ms = c.end_timing();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stall_ms = stall_ns as f64 / 1e6;
+        assert!(device_ms >= stall_ms, "stall on the device clock: {device_ms} ms");
+        assert!(wall_ms >= stall_ms, "stall visible in wall latency: {wall_ms} ms");
+        assert_eq!(c.fault_stats().draw_stalls, 1);
     }
 
     #[test]

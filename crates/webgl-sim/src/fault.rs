@@ -51,6 +51,15 @@ pub struct FaultPlan {
     /// Upper bound on injected transient readback failures (total), so a
     /// bounded retry policy is guaranteed to eventually succeed.
     pub max_transient_readbacks: u32,
+    /// Probability that a draw call stalls — a latency spike, not an error.
+    /// Models a straggling device (thermal throttling, a contended GPU,
+    /// a driver hiccup); the draw still completes correctly.
+    pub draw_stall_rate: f64,
+    /// Duration of an injected stall: added to the device clock
+    /// (`device_nanos`) and slept on the device thread, so stragglers are
+    /// visible both to the modeled-time accounting and to real wall-clock
+    /// latency observers (e.g. a serving router's health tracker).
+    pub draw_stall_ns: u64,
 }
 
 impl Default for FaultPlan {
@@ -72,6 +81,8 @@ impl FaultPlan {
             texture_byte_limit: None,
             readback_failure_rate: 0.0,
             max_transient_readbacks: 0,
+            draw_stall_rate: 0.0,
+            draw_stall_ns: 0,
         }
     }
 
@@ -98,6 +109,8 @@ impl FaultPlan {
             // retry (>= 3 attempts) is guaranteed to make progress.
             readback_failure_rate: 0.1 + (r2 % 100) as f64 / 500.0,
             max_transient_readbacks: 2,
+            draw_stall_rate: 0.0,
+            draw_stall_ns: 0,
         }
     }
 
@@ -132,6 +145,17 @@ impl FaultPlan {
         self
     }
 
+    /// Inject seeded latency spikes: each draw stalls with probability
+    /// `rate` for `modeled_ns` of device time (also slept wall-clock on the
+    /// device thread). The draw completes correctly — this models a
+    /// straggling engine, not a failing one, so slow-device behavior is
+    /// reproducible by seed just like hard faults.
+    pub fn with_draw_stall(mut self, rate: f64, modeled_ns: u64) -> FaultPlan {
+        self.draw_stall_rate = rate;
+        self.draw_stall_ns = modeled_ns;
+        self
+    }
+
     /// Whether this plan can inject any fault at all.
     pub fn is_faulty(&self) -> bool {
         self.context_loss_at_draw.is_some()
@@ -140,6 +164,7 @@ impl FaultPlan {
             || self.compile_fails_on_half_precision
             || self.texture_byte_limit.is_some()
             || self.readback_failure_rate > 0.0
+            || (self.draw_stall_rate > 0.0 && self.draw_stall_ns > 0)
     }
 }
 
@@ -165,6 +190,8 @@ pub struct FaultStats {
     pub compile_failures: u64,
     /// Transient readback failures injected.
     pub transient_read_failures: u64,
+    /// Draw-call latency stalls injected (stragglers).
+    pub draw_stalls: u64,
 }
 
 /// Host-side runtime state evaluating a [`FaultPlan`]. All checks happen at
@@ -267,6 +294,20 @@ impl FaultState {
         } else {
             None
         }
+    }
+
+    /// Whether this draw call stalls; `Some(ns)` carries the injected
+    /// stall duration. Drawn from the same seeded RNG stream as the other
+    /// probabilistic faults, so a plan's stall schedule is reproducible.
+    pub fn draw_stall(&self) -> Option<u64> {
+        if self.plan.draw_stall_rate <= 0.0 || self.plan.draw_stall_ns == 0 {
+            return None;
+        }
+        if self.next_f64() >= self.plan.draw_stall_rate {
+            return None;
+        }
+        self.stats.lock().draw_stalls += 1;
+        Some(self.plan.draw_stall_ns)
     }
 
     /// Whether this readback fails transiently; `Some(attempt)` carries the
@@ -378,6 +419,27 @@ mod tests {
             assert!(a.max_transient_readbacks <= 2);
         }
         assert!(FaultPlan::from_seed(1).is_faulty());
+    }
+
+    #[test]
+    fn draw_stalls_are_seeded_and_reproducible() {
+        let plan = FaultPlan { seed: 42, ..FaultPlan::none() }.with_draw_stall(0.5, 1_000_000);
+        assert!(plan.is_faulty());
+        let draws = |p: &FaultPlan| -> Vec<Option<u64>> {
+            let s = FaultState::new(p.clone());
+            (0..32).map(|_| s.draw_stall()).collect()
+        };
+        let a = draws(&plan);
+        let b = draws(&plan);
+        assert_eq!(a, b, "same seed, same stall schedule");
+        let stalled = a.iter().flatten().count();
+        assert!(stalled > 0 && stalled < 32, "rate 0.5 stalls some but not all draws");
+        assert!(a.iter().flatten().all(|&ns| ns == 1_000_000));
+        let s = FaultState::new(plan);
+        let n = (0..32).filter_map(|_| s.draw_stall()).count() as u64;
+        assert_eq!(s.stats().draw_stalls, n);
+        // A rate-0 plan never stalls.
+        assert!(FaultState::new(FaultPlan::none()).draw_stall().is_none());
     }
 
     #[test]

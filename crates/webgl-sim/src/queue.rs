@@ -48,6 +48,9 @@ pub struct Slot {
 }
 
 /// Commands accepted by the device thread, executed strictly in order.
+// Run dominates real queues anyway, and boxing its fields would cost an
+// allocation per draw call on the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Command {
     /// Upload host data into a new texture.
     Upload {
@@ -74,6 +77,9 @@ pub enum Command {
         output: TexId,
         /// Output layout.
         out_layout: TextureLayout,
+        /// Injected straggler stall: device nanoseconds added to the clock
+        /// (and slept wall-clock) before the program runs. 0 = no stall.
+        stall_ns: u64,
     },
     /// Read a texture back to the host (`gl.readPixels`), resolving the
     /// promise with the first `len` values.
@@ -186,7 +192,16 @@ pub fn device_loop(
                 shared.textures.lock().insert(tex, Slot { state: SlotState::Gpu(t), last_use });
                 maybe_page_out(&shared, &paging);
             }
-            Command::Run { program, inputs, in_layouts, output, out_layout } => {
+            Command::Run { program, inputs, in_layouts, output, out_layout, stall_ns } => {
+                if stall_ns > 0 {
+                    // An injected straggler: the device clock advances and
+                    // the device thread really stalls, so the spike is
+                    // observable both in modeled time and in wall-clock
+                    // latency (the signal a serving router's health tracker
+                    // reacts to).
+                    shared.gpu_nanos.fetch_add(stall_ns, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_nanos(stall_ns));
+                }
                 run_program(
                     &shared, program, &inputs, &in_layouts, output, &out_layout, &pool,
                     parallelism, half_precision,

@@ -278,7 +278,7 @@ fn serve_survives_context_loss_and_reloads_on_fallback() {
     assert_eq!(e.backend_name(), "webgl");
     let server = Arc::new(ModelServer::new(
         &e,
-        ServeConfig { max_batch: 4, max_wait: Duration::from_millis(2), cache_capacity: 2 },
+        ServeConfig { max_batch: 4, max_wait: Duration::from_millis(2), cache_capacity: 2, ..Default::default() },
     ));
     let key = server.register(ModelSource::Artifacts(artifacts));
 
@@ -374,5 +374,181 @@ proptest! {
         let e = new_engine_with_faults(FaultPlan::from_seed(seed));
         let got = two_layer_chain(&e);
         prop_assert_eq!(got, cpu_reference());
+    }
+}
+
+/// A 4-engine SLO fleet under simultaneous overload, a scheduled context
+/// loss, and seeded draw stragglers. The serving contract under faults:
+/// shed requests fail with *explicit* refusals (never a hang or a silent
+/// drop), admitted requests return answers bitwise-identical to a
+/// fault-free CPU reference (the degradation ladder and re-routing are
+/// numerically invisible), and every submitted request lands in exactly
+/// one outcome bucket of the fleet's accounting.
+fn fleet_soak(seed: u64, clients: usize, requests: usize, burst: usize) {
+    use std::time::Duration;
+    use webml::models::serving::{classifier_artifacts, synthetic_example};
+    use webml::serve::{
+        EngineSpec, FleetConfig, FleetServer, ModelServer, ModelSlo, ModelSource, ServeConfig,
+        ServeError,
+    };
+
+    const IN_DIM: usize = 16;
+    const CLASSES: usize = 5;
+
+    // Reference oracle: the same artifacts served unbatched on a pristine
+    // CPU engine.
+    let builder = new_engine();
+    builder.set_backend("cpu").unwrap();
+    let artifacts = classifier_artifacts(&builder, IN_DIM, 24, CLASSES, 9).unwrap();
+    let r = new_engine();
+    r.set_backend("cpu").unwrap();
+    let ref_server = ModelServer::new(&r, ServeConfig { max_batch: 1, ..Default::default() });
+    let ref_key = ref_server.register(ModelSource::Artifacts(artifacts.clone()));
+    let total = clients * requests + burst;
+    let examples: Vec<Vec<f32>> = (0..total).map(|i| synthetic_example(IN_DIM, i)).collect();
+    let want: Vec<Vec<f32>> = examples
+        .iter()
+        .map(|ex| ref_server.infer(ref_key, ex.clone(), vec![IN_DIM]).unwrap().values)
+        .collect();
+
+    // The fleet: one engine loses its WebGL context at a seed-scheduled
+    // draw, one straggles with seeded stalls (slow, never wrong), one is a
+    // clean WebGL engine, one is CPU-only. All full-precision profiles, so
+    // a mid-traffic backend switch is bitwise-invisible.
+    let loss_engine = engine_with_faults_and_config(
+        FaultPlan::none().lose_context_at(1 + seed % 60),
+        WebGlConfig::default(),
+    );
+    let stall_engine = engine_with_faults_and_config(
+        FaultPlan { seed, ..FaultPlan::none() }.with_draw_stall(0.1, 200_000),
+        WebGlConfig::default(),
+    );
+    let clean_engine = new_engine();
+    let cpu_only = Engine::new();
+    cpu_only.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    let fleet = FleetServer::new(
+        vec![
+            EngineSpec::new("loss", &loss_engine, 8),
+            EngineSpec::new("stall", &stall_engine, 4),
+            EngineSpec::new("clean", &clean_engine, 4),
+            EngineSpec::new("cpu", &cpu_only, 1),
+        ],
+        FleetConfig {
+            max_batch: 4,
+            queue_capacity: 16,
+            ..Default::default()
+        },
+    );
+    // Generous SLO: the closed-loop phase gates correctness, not latency.
+    let key = fleet.register(
+        ModelSource::Artifacts(artifacts),
+        ModelSlo::new(1_000.0, Duration::from_secs(10)),
+    );
+
+    // Phase 1: closed-loop clients — every request is admitted and must be
+    // answered bitwise-identically to the reference, across the context
+    // loss, re-routes, and stragglers.
+    let fleet = Arc::new(fleet);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let fleet = fleet.clone();
+            let examples = examples.clone();
+            let want = want.clone();
+            std::thread::spawn(move || {
+                for r in 0..requests {
+                    let idx = c * requests + r;
+                    let resp = fleet
+                        .infer(key, examples[idx].clone(), vec![IN_DIM])
+                        .expect("closed-loop requests keep succeeding under faults");
+                    assert_eq!(resp.dims, vec![CLASSES]);
+                    assert_eq!(
+                        resp.values, want[idx],
+                        "client {c} request {r}: fleet answer must be bitwise-identical"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Phase 2: an overload burst with a 1 ms deadline. Every outcome must
+    // be either a correct answer or an explicit refusal — never an engine
+    // error surfaced to the caller.
+    let base = clients * requests;
+    let pending: Vec<_> = (0..burst)
+        .map(|i| {
+            fleet.submit_with_deadline(
+                key,
+                examples[base + i].clone(),
+                vec![IN_DIM],
+                Duration::from_millis(1),
+            )
+        })
+        .collect();
+    let mut refused = 0u64;
+    for (i, p) in pending.into_iter().enumerate() {
+        match p.wait() {
+            Ok(resp) => assert_eq!(
+                resp.values,
+                want[base + i],
+                "burst request {i}: admitted answers stay bitwise-identical"
+            ),
+            Err(ServeError::DeadlineExceeded { .. }) => refused += 1,
+            Err(ref e) if e.is_shed() => refused += 1,
+            Err(e) => panic!("burst request {i}: non-explicit failure {e}"),
+        }
+    }
+    assert!(
+        refused > 0,
+        "a {burst}-request burst with a 1 ms deadline must shed explicitly (seed {seed})"
+    );
+
+    // The scheduled loss draw may land after the measured traffic, and a
+    // trip is only *observed* at the tripped engine's next drain — so kick
+    // the fleet with sequential requests until the breaker registers it.
+    // While the fleet is idle every predicted wait is zero and min-wait
+    // routing resolves the tie to the first-listed engine (the loss
+    // engine), so each kick deterministically advances its draw count
+    // toward the scheduled loss.
+    let mut kicks = 0u64;
+    while fleet.stats().breaker_trips == 0 && kicks < 200 {
+        let _ = fleet.infer(key, examples[kicks as usize % total].clone(), vec![IN_DIM]);
+        kicks += 1;
+    }
+
+    // The contract ledger: exact accounting, zero caller-visible engine
+    // errors, and the scheduled context loss actually tripped a breaker.
+    let stats = fleet.stats();
+    assert_eq!(
+        stats.accounted(),
+        stats.submitted,
+        "every submitted request lands in exactly one outcome bucket: {stats:?}"
+    );
+    assert_eq!(stats.submitted, total as u64 + kicks);
+    assert_eq!(stats.engine_errors, 0, "faults must never surface as engine errors");
+    assert!(stats.breaker_trips >= 1, "the scheduled context loss trips a breaker");
+    assert!(loss_engine.degradations() >= 1, "the loss engine degraded to its CPU rung");
+}
+
+/// The fleet soak at CI scale, driven by the `fault-soak` matrix seed.
+#[test]
+fn fleet_soak_sheds_explicitly_and_stays_bit_identical() {
+    let seed: u64 = std::env::var("WEBML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    fleet_soak(seed, 12, 20, 400);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: the fleet serving contract (explicit sheds, bitwise
+    /// answers, exact accounting) holds for any fault seed.
+    #[test]
+    fn fleet_soak_contract_holds_for_any_seed(seed in 0u64..1_000) {
+        fleet_soak(seed, 6, 6, 120);
     }
 }

@@ -71,6 +71,7 @@ fn chrome_trace_roundtrip_from_served_traffic() {
             max_batch: 8,
             max_wait: std::time::Duration::from_millis(50),
             cache_capacity: 2,
+            ..Default::default()
         },
     );
     let key = server.register(ModelSource::Artifacts(artifacts));
