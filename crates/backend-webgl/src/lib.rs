@@ -19,14 +19,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use webml_core::backend::{
     fused_conv2d_fallback, fused_depthwise_conv2d_fallback, fused_elementwise_fallback,
     fused_matmul_fallback,
-    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, FusedStep, KTensor,
-    KernelTiming, PoolOp, ReduceOp, UnaryOp,
+    ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, FenceToken, FusedStep,
+    KTensor, KernelTiming, PoolOp, ReduceOp, UnaryOp,
 };
 use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::{DType, TensorData};
 use webml_core::error::{Error, Result};
 use webml_core::shape::Shape;
-use webml_webgl_sim::context::{ContextConfig, GlError, GpgpuContext, TexHandle};
+use webml_webgl_sim::context::{ContextConfig, FenceHandle, GlError, GpgpuContext, TexHandle};
 use webml_webgl_sim::devices::DeviceProfile;
 use webml_webgl_sim::fault::FaultPlan;
 use webml_webgl_sim::pager::PagingPolicy;
@@ -127,6 +127,12 @@ impl WebGlBackend {
     /// The underlying GPGPU context (for diagnostics and benchmarks).
     pub fn context(&self) -> &GpgpuContext {
         &self.ctx
+    }
+
+    /// Device-queue counters (busy time, fence waits, pipeline drains,
+    /// pending commands). Does not flush.
+    pub fn queue_stats(&self) -> webml_webgl_sim::QueueStats {
+        self.ctx.queue_stats()
     }
 
     /// After a context loss: attempt restoration and re-acquire textures
@@ -332,6 +338,18 @@ impl Backend for WebGlBackend {
 
     fn end_timing(&self) -> KernelTiming {
         KernelTiming { kernel_ms: self.ctx.end_timing() }
+    }
+
+    fn submit_fence(&self) -> Option<FenceToken> {
+        Some(FenceToken(self.ctx.fence().raw()))
+    }
+
+    fn fence_passed(&self, token: FenceToken) -> bool {
+        self.ctx.fence_passed(FenceHandle::from_raw(token.0))
+    }
+
+    fn wait_fence(&self, token: FenceToken) {
+        self.ctx.wait_fence(FenceHandle::from_raw(token.0));
     }
 
     fn device_timer_ns(&self) -> Option<u64> {

@@ -1,0 +1,292 @@
+//! Pipelined-executor benchmark: synchronous execute-then-read inference
+//! vs the async pipelined path (paper Sec 4.1.1, Figs 2–3).
+//!
+//! ```text
+//! cargo run --release -p webml-bench --bin pipeline_bench
+//!     [-- --tiny] [-- --iters N] [-- --depth D] [-- --json]
+//!     [-- --assert-utilization X] [-- --assert-speedup Y] [-- --trace out.json]
+//! ```
+//!
+//! Two rows on the simulated WebGL backend (integrated-GPU profile), both
+//! streaming a cycle of distinct inputs through a planned `GraphModel`:
+//!
+//! - **sync** — `execute` then a blocking `to_f32_vec` per request, the
+//!   paper's `dataSync()` shape: every readback stalls the host *and*
+//!   drains the device pipeline (simulated `readPixels` penalty), so
+//!   upload, compute and readback serialize.
+//! - **pipelined** — `execute_pipelined` with a depth-`D` window of
+//!   [`webml_converter::PendingFetches`]: readbacks are enqueued with the
+//!   ops (Fig 3's `data()` path, no drain), a fence marks each submission,
+//!   and the host prepares request `n+1` while the device crunches `n`.
+//!
+//! Reported per row: wall ms/pass for both modes, the speedup, and
+//! device-thread utilization (busy-ns / wall-ns from the device queue's
+//! counters) for both modes. Outputs are asserted bitwise-equal between
+//! modes before any timing is trusted. `--json` writes
+//! `BENCH_PIPELINE.json`; `--assert-utilization X` gates pipelined
+//! MobileNet utilization, `--assert-speedup Y` gates the speedup of every
+//! row (the CI pipeline-smoke gate uses 0.8 / 1.2).
+
+use serde_json::json;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::{Engine, Shape, Tensor};
+use webml_models::{graph_mlp, graph_mobilenet, GraphSpec, MobileNetConfig};
+use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgl_sim::fault::FaultPlan;
+
+/// Distinct inputs cycled through each mode (and compared between them).
+const INPUT_CYCLE: usize = 4;
+
+struct Row {
+    name: &'static str,
+    sync_ms: f64,
+    pipelined_ms: f64,
+    sync_utilization: f64,
+    pipelined_utilization: f64,
+    busy_ms_per_pass: f64,
+    fence_waits: u64,
+    drains_sync: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.sync_ms / self.pipelined_ms
+    }
+}
+
+fn webgl_engine() -> (Engine, Arc<WebGlBackend>) {
+    let e = Engine::new();
+    let b = Arc::new(
+        WebGlBackend::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            WebGlConfig::default(),
+            FaultPlan::none(),
+        )
+        .expect("profile supports float textures"),
+    );
+    e.register_backend("webgl", b.clone(), 2);
+    (e, b)
+}
+
+fn make_inputs(engine: &Engine, spec: &GraphSpec) -> Vec<Tensor> {
+    (0..INPUT_CYCLE)
+        .map(|k| {
+            let (vals, shape) = spec.example(1, k);
+            let x = engine.tensor(vals, Shape::new(shape)).expect("input upload");
+            x.keep();
+            x
+        })
+        .collect()
+}
+
+/// Synchronous baseline: execute, then block on the fetch readback.
+/// Returns (wall ms/pass, utilization, outputs of the first cycle, drains).
+fn run_sync(
+    spec: &GraphSpec,
+    iters: usize,
+) -> (f64, f64, Vec<Vec<f32>>, u64, f64) {
+    let (engine, backend) = webgl_engine();
+    let model = spec.build(&engine).expect("build model");
+    let inputs = make_inputs(&engine, spec);
+    let pass = |x: &Tensor| -> Vec<f32> {
+        let outs = model.execute(&[(&spec.input, x)], &[&spec.output]).expect("sync pass");
+        let vals = outs[0].to_f32_vec().expect("sync readback");
+        for t in outs {
+            t.dispose();
+        }
+        vals
+    };
+    let mut first_cycle = Vec::with_capacity(INPUT_CYCLE);
+    for x in &inputs {
+        first_cycle.push(pass(x)); // also warms the plan cache
+    }
+    let stats0 = backend.queue_stats();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        pass(&inputs[i % INPUT_CYCLE]);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    let stats1 = backend.queue_stats();
+    let busy = (stats1.busy_ns - stats0.busy_ns) as f64;
+    let util = (busy / wall_ns).clamp(0.0, 1.0);
+    let drains = stats1.drains - stats0.drains;
+    (wall_ns / 1e6 / iters as f64, util, first_cycle, drains, busy / 1e6 / iters as f64)
+}
+
+/// Pipelined mode: keep `depth` submissions in flight, completing the
+/// oldest only when the window is full.
+/// Returns (wall ms/pass, utilization, outputs of the first cycle, waits, busy ms/pass).
+fn run_pipelined(
+    spec: &GraphSpec,
+    iters: usize,
+    depth: usize,
+) -> (f64, f64, Vec<Vec<f32>>, u64, f64) {
+    let (engine, backend) = webgl_engine();
+    let model = spec.build(&engine).expect("build model");
+    let inputs = make_inputs(&engine, spec);
+    let mut first_cycle: Vec<Vec<f32>> = Vec::with_capacity(INPUT_CYCLE);
+
+    // Warm the plan cache and capture the comparison outputs through the
+    // pipelined path itself.
+    {
+        let mut window: VecDeque<webml_converter::PendingFetches> = VecDeque::new();
+        for x in &inputs {
+            window.push_back(
+                model
+                    .execute_pipelined(&[(&spec.input, x)], &[&spec.output])
+                    .expect("pipelined pass"),
+            );
+        }
+        for pending in window {
+            let data = pending.wait().expect("pipelined readback");
+            first_cycle.push(data[0].to_f32_vec());
+        }
+    }
+
+    let stats0 = backend.queue_stats();
+    let t0 = Instant::now();
+    let mut window: VecDeque<webml_converter::PendingFetches> = VecDeque::new();
+    for i in 0..iters {
+        window.push_back(
+            model
+                .execute_pipelined(&[(&spec.input, &inputs[i % INPUT_CYCLE])], &[&spec.output])
+                .expect("pipelined pass"),
+        );
+        if window.len() >= depth {
+            let pending = window.pop_front().expect("window non-empty");
+            pending.wait().expect("pipelined readback");
+        }
+    }
+    for pending in window {
+        pending.wait().expect("pipelined drain");
+    }
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    let stats1 = backend.queue_stats();
+    let busy = (stats1.busy_ns - stats0.busy_ns) as f64;
+    let util = (busy / wall_ns).clamp(0.0, 1.0);
+    let waits = stats1.fence_waits - stats0.fence_waits;
+    (wall_ns / 1e6 / iters as f64, util, first_cycle, waits, busy / 1e6 / iters as f64)
+}
+
+fn run_row(name: &'static str, spec: &GraphSpec, iters: usize, depth: usize) -> Row {
+    let (sync_ms, sync_util, sync_outs, drains_sync, _) = run_sync(spec, iters);
+    let (pipelined_ms, pipe_util, pipe_outs, fence_waits, busy_ms) =
+        run_pipelined(spec, iters, depth);
+    // Bitwise equality between the two modes — same plan, same kernels,
+    // only the readback mechanism differs. Compared before any speedup is
+    // reported so a fast-but-wrong pipeline can never pass.
+    assert_eq!(sync_outs, pipe_outs, "{name}: pipelined outputs must match sync bitwise");
+    Row {
+        name,
+        sync_ms,
+        pipelined_ms,
+        sync_utilization: sync_util,
+        pipelined_utilization: pipe_util,
+        busy_ms_per_pass: busy_ms,
+        fence_waits,
+        drains_sync,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_mode = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| -> Option<f64> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    };
+    let iters = flag("--iters").map(|v| v as usize).unwrap_or(if tiny { 40 } else { 120 });
+    let depth = flag("--depth").map(|v| v as usize).unwrap_or(2).max(1);
+    let assert_utilization = flag("--assert-utilization");
+    let assert_speedup = flag("--assert-speedup");
+    let trace_path: Option<String> =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    if trace_path.is_some() {
+        webml_telemetry::set_enabled(true);
+    }
+
+    println!(
+        "pipelined-executor benchmark: sync vs depth-{depth} pipelined, {iters} passes per mode"
+    );
+
+    let mlp = graph_mlp(32, &[64, 64, 64, 64, 64, 64], 10, 11);
+    let config = MobileNetConfig { input_size: 64, classes: 10, ..MobileNetConfig::small() };
+    let mobilenet = graph_mobilenet(&config);
+
+    let rows =
+        [run_row("mlp", &mlp, iters, depth), run_row("mobilenet", &mobilenet, iters, depth)];
+    for row in &rows {
+        println!(
+            "  {:<10}/webgl | sync {:>8.3} ms (util {:>4.1}%, {} drains) | pipelined {:>8.3} ms \
+             (util {:>5.1}%, {} fence waits) | {:.2}x | device busy {:.3} ms/pass",
+            row.name,
+            row.sync_ms,
+            row.sync_utilization * 100.0,
+            row.drains_sync,
+            row.pipelined_ms,
+            row.pipelined_utilization * 100.0,
+            row.fence_waits,
+            row.speedup(),
+            row.busy_ms_per_pass,
+        );
+    }
+
+    if json_mode {
+        let doc = json!({
+            "bench": "synchronous vs pipelined GraphModel inference",
+            "depth": depth,
+            "rows": rows.iter().map(|row| json!({
+                "scenario": row.name,
+                "backend": "webgl (integrated-GPU profile, simulated)",
+                "iters": iters,
+                "sync_ms_per_pass": row.sync_ms,
+                "pipelined_ms_per_pass": row.pipelined_ms,
+                "speedup": row.speedup(),
+                "sync_device_utilization": row.sync_utilization,
+                "pipelined_device_utilization": row.pipelined_utilization,
+                "device_busy_ms_per_pass": row.busy_ms_per_pass,
+                "pipelined_fence_waits": row.fence_waits,
+                "sync_drains": row.drains_sync,
+                "outputs_bitwise_equal": true,
+            })).collect::<Vec<_>>(),
+            "speedup": rows.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min),
+            "utilization": rows[1].pipelined_utilization,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        std::fs::write("BENCH_PIPELINE.json", text).expect("write BENCH_PIPELINE.json");
+        println!("\nwrote BENCH_PIPELINE.json");
+    }
+    if let Some(path) = trace_path {
+        webml_telemetry::set_enabled(false);
+        webml_telemetry::write_chrome_trace(std::path::Path::new(&path))
+            .expect("write Chrome trace");
+        println!("wrote Chrome trace to {path}");
+    }
+    if let Some(want) = assert_utilization {
+        let got = rows[1].pipelined_utilization;
+        assert!(
+            got >= want,
+            "pipelined MobileNet device utilization was {:.1}%, expected >= {:.1}%",
+            got * 100.0,
+            want * 100.0
+        );
+        println!("utilization gate passed: {:.1}% >= {:.1}%", got * 100.0, want * 100.0);
+    }
+    if let Some(want) = assert_speedup {
+        for row in &rows {
+            let got = row.speedup();
+            assert!(
+                got >= want,
+                "pipelined {} speedup was {got:.2}x, expected >= {want}x",
+                row.name
+            );
+        }
+        println!(
+            "speedup gate passed: {} on both rows",
+            rows.iter().map(|r| format!("{:.2}x", r.speedup())).collect::<Vec<_>>().join(" / ")
+        );
+    }
+}

@@ -64,6 +64,12 @@ impl Cell {
         }
     }
 
+    /// Host walltime ratio — the right clock for plan-overhead questions
+    /// (the device clock only sees kernel time, not dispatch bookkeeping).
+    fn wall_speedup(&self) -> f64 {
+        self.interpreted_ms / self.planned_ms
+    }
+
     fn peak_reduction(&self) -> f64 {
         1.0 - self.planned_peak_bytes as f64 / self.interpreted_peak_bytes as f64
     }
@@ -80,6 +86,26 @@ fn page_outs(engine: &Engine) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// One forward pass including a blocking readback of every fetch, so
+/// walltime covers the whole pass — enqueue through pipeline drain — like
+/// a real synchronous client.
+fn one_pass(
+    spec: &GraphSpec,
+    model: &webml_converter::GraphModel,
+    x: &webml_core::Tensor,
+    planned: bool,
+) {
+    let outs = if planned {
+        model.execute(&[(&spec.input, x)], &[&spec.output]).expect("planned pass")
+    } else {
+        model.execute_interpreted(&[(&spec.input, x)], &[&spec.output]).expect("interpreted pass")
+    };
+    for t in outs {
+        let _ = t.to_f32_vec().expect("readback");
+        t.dispose();
+    }
+}
+
 /// Run `iters` forward passes in `mode`, returning
 /// (ms/iter, device-ms/iter, peak bytes).
 fn run_mode(
@@ -92,23 +118,8 @@ fn run_mode(
     let (vals, shape) = spec.example(1, 0);
     let x = engine.tensor(vals, webml_core::Shape::new(shape)).expect("input upload");
     x.keep();
-    let run = || {
-        let outs = if planned {
-            model.execute(&[(&spec.input, &x)], &[&spec.output]).expect("planned pass")
-        } else {
-            model
-                .execute_interpreted(&[(&spec.input, &x)], &[&spec.output])
-                .expect("interpreted pass")
-        };
-        for t in outs {
-            // Read the fetch back: synchronizes the (asynchronous) device
-            // queue so walltime covers the whole pass, like a real client.
-            let _ = t.to_f32_vec().expect("readback");
-            t.dispose();
-        }
-    };
     // Warm up: compile the plan (planned mode) and fill texture pools.
-    run();
+    one_pass(spec, model, &x, planned);
     engine.reset_peak_bytes();
     // Bytes resident before the timed loop (weights + the kept input):
     // identical in both modes, so peaks are reported relative to it — the
@@ -117,7 +128,7 @@ fn run_mode(
     let dev0 = engine.backend().device_timer_ns();
     let t0 = Instant::now();
     for _ in 0..iters {
-        run();
+        one_pass(spec, model, &x, planned);
     }
     let ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
     let device_ms = match (dev0, engine.backend().device_timer_ns()) {
@@ -129,23 +140,79 @@ fn run_mode(
     (ms, device_ms, peak, baseline)
 }
 
-fn run_cell(make_engine: &dyn Fn() -> Engine, spec: &GraphSpec, iters: usize) -> Cell {
-    // Separate engines per mode so texture pools, pager state and peak
-    // counters never bleed between the two measurements.
-    let interp_engine = make_engine();
-    let interp_model = spec.build(&interp_engine).expect("build model");
-    let (interpreted_ms, interpreted_device_ms, interpreted_peak, _) =
-        run_mode(&interp_engine, spec, &interp_model, false, iters);
-    let interp_pages = page_outs(&interp_engine);
+/// Per-mode benchmark state: its own engine so texture pools, pager state
+/// and peak counters never bleed into the other mode's measurement.
+struct ModeState {
+    engine: Engine,
+    model: webml_converter::GraphModel,
+    x: webml_core::Tensor,
+    planned: bool,
+    best_ms: f64,
+    dev0: Option<u64>,
+}
 
-    let plan_engine = make_engine();
-    let plan_model = spec.build(&plan_engine).expect("build model");
-    let (planned_ms, planned_device_ms, planned_peak, _) =
-        run_mode(&plan_engine, spec, &plan_model, true, iters);
-    let plan_pages = page_outs(&plan_engine);
-    let stats = plan_model.plan_stats();
-    assert!(stats.hits >= iters as u64, "planned passes must ride the plan cache: {stats:?}");
+impl ModeState {
+    fn new(make_engine: &dyn Fn() -> Engine, spec: &GraphSpec, planned: bool) -> ModeState {
+        let engine = make_engine();
+        let model = spec.build(&engine).expect("build model");
+        let (vals, shape) = spec.example(1, 0);
+        let x = engine.tensor(vals, webml_core::Shape::new(shape)).expect("input upload");
+        x.keep();
+        ModeState { engine, model, x, planned, best_ms: f64::INFINITY, dev0: None }
+    }
+}
+
+fn run_cell(make_engine: &dyn Fn() -> Engine, spec: &GraphSpec, iters: usize) -> Cell {
+    let mut modes = [
+        ModeState::new(make_engine, spec, false),
+        ModeState::new(make_engine, spec, true),
+    ];
+    // Warm up both: compile the plan, fill texture pools.
+    for m in &modes {
+        one_pass(spec, &m.model, &m.x, m.planned);
+    }
+    for m in &mut modes {
+        m.engine.reset_peak_bytes();
+        m.dev0 = m.engine.backend().device_timer_ns();
+    }
+    // Weights + kept input resident before the timed loop: identical in
+    // both modes, so peaks are reported relative to it.
+    let baselines: Vec<usize> = modes.iter().map(|m| m.engine.memory().num_bytes).collect();
+
+    // Time the two modes in *interleaved* chunks and keep each mode's
+    // fastest chunk. Interleaving makes both modes sample the same
+    // frequency-scaling / scheduler conditions so slow drift cancels out
+    // of the ratio, and the minimum discards jitter (noise only ever adds
+    // time) — both essential for the sub-0.1ms MLP parity gate.
+    let chunks = 8usize.min(iters);
+    let per_chunk = (iters / chunks).max(1);
+    for _ in 0..chunks {
+        for m in &mut modes {
+            let t0 = Instant::now();
+            for _ in 0..per_chunk {
+                one_pass(spec, &m.model, &m.x, m.planned);
+            }
+            m.best_ms = m.best_ms.min(t0.elapsed().as_secs_f64() * 1e3 / per_chunk as f64);
+        }
+    }
+    let timed = chunks * per_chunk;
+    let device_ms = |m: &ModeState| match (m.dev0, m.engine.backend().device_timer_ns()) {
+        (Some(a), Some(b)) => Some((b - a) as f64 / 1e6 / timed as f64),
+        _ => None,
+    };
+    let interpreted_ms = modes[0].best_ms;
+    let planned_ms = modes[1].best_ms;
+    let interpreted_device_ms = device_ms(&modes[0]);
+    let planned_device_ms = device_ms(&modes[1]);
+    let interpreted_peak = modes[0].engine.peak_bytes().saturating_sub(baselines[0]);
+    let planned_peak = modes[1].engine.peak_bytes().saturating_sub(baselines[1]);
+    let interp_pages = page_outs(&modes[0].engine);
+    let plan_pages = page_outs(&modes[1].engine);
+
+    let stats = modes[1].model.plan_stats();
+    assert!(stats.hits >= timed as u64, "planned passes must ride the plan cache: {stats:?}");
     assert_eq!(stats.fallbacks, 0, "no interpreter fallbacks in the planned cell: {stats:?}");
+    let plan_model = &modes[1].model;
     let predicted = plan_model
         .plan_for_shapes(
             &[(spec.input.clone(), {
@@ -198,6 +265,7 @@ fn main() {
     let iters = flag("--iters").map(|v| v as usize).unwrap_or(if tiny { 10 } else { 40 });
     let assert_speedup = flag("--assert-speedup");
     let assert_peak_reduction = flag("--assert-peak-reduction");
+    let assert_mlp_parity = flag("--assert-mlp-parity");
     let trace_path: Option<String> =
         args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
     if trace_path.is_some() {
@@ -208,13 +276,17 @@ fn main() {
 
     // MLP: walltime-parity + exact-liveness sanity cell on the cpu backend.
     let mlp = graph_mlp(32, &[64, 64, 64, 64, 64, 64], 10, 11);
-    let mlp_cell = run_cell(&cpu_engine, &mlp, iters * 4);
+    // Sub-0.1ms passes need a long loop for a stable ratio — the parity
+    // gate below compares two ~70µs medians, so give it thousands of
+    // samples rather than dozens.
+    let mlp_iters = (iters * 4).max(2000);
+    let mlp_cell = run_cell(&cpu_engine, &mlp, mlp_iters);
     println!(
         "  MLP/cpu        | interpreted {:>8.3} ms | planned {:>8.3} ms | {:.2}x | \
          peak {} -> {} bytes ({:.0}% lower)",
         mlp_cell.interpreted_ms,
         mlp_cell.planned_ms,
-        mlp_cell.speedup(),
+        mlp_cell.wall_speedup(),
         mlp_cell.interpreted_peak_bytes,
         mlp_cell.planned_peak_bytes,
         mlp_cell.peak_reduction() * 100.0,
@@ -268,7 +340,7 @@ fn main() {
             json!({
                 "scenario": name,
                 "backend": backend,
-                "iters": if name == "mlp" { iters * 4 } else { iters },
+                "iters": if name == "mlp" { mlp_iters } else { iters },
                 "interpreted_ms_per_pass": cell.interpreted_ms,
                 "planned_ms_per_pass": cell.planned_ms,
                 "interpreted_device_ms_per_pass": cell.interpreted_device_ms,
@@ -306,6 +378,18 @@ fn main() {
         let got = mobilenet_cell.speedup();
         assert!(got >= want, "planned MobileNet speedup was {got:.2}x, expected >= {want}x");
         println!("speedup gate passed: {got:.2}x >= {want}x");
+    }
+    if let Some(want) = assert_mlp_parity {
+        // Plan overhead must never regress a tiny model below the
+        // interpreter: the executor's hot loop recycles its slot table and
+        // skips per-op scopes for single-kernel ops precisely so that
+        // dispatch bookkeeping stays under the interpreter's.
+        let got = mlp_cell.wall_speedup();
+        assert!(
+            got >= want,
+            "planned tiny-MLP walltime was {got:.2}x interpreted, expected >= {want}x"
+        );
+        println!("mlp-parity gate passed: {got:.2}x >= {want}x");
     }
     if let Some(want) = assert_peak_reduction {
         let got = mobilenet_cell.peak_reduction();

@@ -7,9 +7,11 @@
 //!
 //! Checks the trace-event schema (every event has `name`/`ph`/`pid`/`tid`,
 //! spans carry microsecond `ts`+`dur`) and asserts the timeline actually
-//! observes the stack end to end: engine kernel spans, serve batch spans,
-//! and a virtual GPU track whose spans carry the disjoint-timer-query
-//! (`modeled_device_ns`) argument. Exits non-zero on any violation.
+//! observes the stack end to end: engine kernel spans, the serve
+//! dispatcher's two-phase `serve.submit`/`serve.complete` spans, and a
+//! virtual GPU track whose spans carry the disjoint-timer-query
+//! (`modeled_device_ns`) argument and whose `device_utilization` instants
+//! carry a busy/wall gauge in `[0, 1]`. Exits non-zero on any violation.
 
 use serde_json::Value;
 
@@ -34,11 +36,13 @@ fn main() {
 
     let mut spans = 0usize;
     let mut kernel_spans = 0usize;
-    let mut serve_batch_spans = 0usize;
+    let mut serve_submit_spans = 0usize;
+    let mut serve_complete_spans = 0usize;
     let mut gpu_spans = 0usize;
     let mut gpu_timer_ns = 0.0f64;
     let mut gpu_tid: Option<&Value> = None;
     let mut named_threads = 0usize;
+    let mut utilization_instants = 0usize;
 
     for ev in events {
         let ph = ev.get("ph").and_then(Value::as_str).unwrap_or_else(|| {
@@ -76,8 +80,11 @@ fn main() {
                 if cat == "kernel" {
                     kernel_spans += 1;
                 }
-                if name == "serve.batch" {
-                    serve_batch_spans += 1;
+                if name == "serve.submit" {
+                    serve_submit_spans += 1;
+                }
+                if name == "serve.complete" {
+                    serve_complete_spans += 1;
                 }
                 if cat == "gpu" {
                     gpu_spans += 1;
@@ -98,6 +105,25 @@ fn main() {
                 if ev.get("ts").and_then(Value::as_f64).is_none() {
                     fail(&format!("instant without numeric ts: {ev:?}"));
                 }
+                if ev.get("name").and_then(Value::as_str) == Some("device_utilization") {
+                    utilization_instants += 1;
+                    let util = ev
+                        .get("args")
+                        .and_then(|a| a.get("utilization"))
+                        .and_then(Value::as_f64)
+                        .unwrap_or_else(|| {
+                            fail(&format!(
+                                "device_utilization instant without numeric utilization: {ev:?}"
+                            ));
+                        });
+                    if !(0.0..=1.0).contains(&util) {
+                        fail(&format!("device utilization {util} outside [0, 1]"));
+                    }
+                    match gpu_tid {
+                        Some(tid) if ev.get("tid") == Some(tid) => {}
+                        _ => fail("device_utilization instant not on the declared GPU track"),
+                    }
+                }
             }
             other => fail(&format!("unexpected event phase {other:?}")),
         }
@@ -112,8 +138,11 @@ fn main() {
     if kernel_spans == 0 {
         fail("no engine kernel spans (cat=kernel)");
     }
-    if serve_batch_spans == 0 {
-        fail("no serve.batch spans");
+    if serve_submit_spans == 0 {
+        fail("no serve.submit spans");
+    }
+    if serve_complete_spans == 0 {
+        fail("no serve.complete spans (pipelined completion phase missing)");
     }
     if gpu_spans == 0 {
         fail("no spans on the GPU track");
@@ -121,10 +150,15 @@ fn main() {
     if gpu_timer_ns <= 0.0 {
         fail("GPU track carries no positive disjoint-timer-query time");
     }
+    if utilization_instants == 0 {
+        fail("no device_utilization instants on the GPU track");
+    }
 
     println!(
-        "trace OK: {} events, {spans} spans ({kernel_spans} kernel, {serve_batch_spans} \
-         serve.batch, {gpu_spans} gpu; device timer total {:.3} ms), {named_threads} tracks",
+        "trace OK: {} events, {spans} spans ({kernel_spans} kernel, {serve_submit_spans} \
+         serve.submit, {serve_complete_spans} serve.complete, {gpu_spans} gpu; device timer \
+         total {:.3} ms), {utilization_instants} device_utilization instants, \
+         {named_threads} tracks",
         events.len(),
         gpu_timer_ns / 1e6,
     );

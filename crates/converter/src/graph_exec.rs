@@ -14,7 +14,7 @@
 //! kernel at execution time. Fetching a node that fusion swallowed
 //! transparently falls back to the unfused graph.
 
-use crate::plan::Plan;
+use crate::plan::{PendingFetches, Plan};
 use crate::prune::{GraphDef, NodeDef};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
@@ -708,6 +708,46 @@ impl GraphModel {
             }
         }
         self.execute_interpreted(feeds, fetches)
+    }
+
+    /// Execute the graph **without synchronizing** (paper Sec 4.1.1,
+    /// Fig 3): ops are enqueued, asynchronous readbacks are issued for
+    /// every fetch, and a fence marks the end of the submission. Returns a
+    /// [`PendingFetches`] immediately so the caller can overlap the next
+    /// request's upload and enqueue with this one's device compute —
+    /// double-buffered, this keeps the device thread busy end-to-end.
+    ///
+    /// Falls back exactly like [`GraphModel::execute`]: when planning is
+    /// off, a tape is recording, or the plan cannot be built (including a
+    /// context loss mid-pipeline — the plan cache is invalidated by the
+    /// degradation generation and the interpreter replays on the fallback
+    /// backend), the interpreted result is wrapped in the same
+    /// [`PendingFetches`] surface, with the fence reflecting whatever
+    /// backend ended up running the work.
+    ///
+    /// # Errors
+    /// Fails on missing feeds/fetches, unsupported ops, or readback
+    /// submission failures.
+    pub fn execute_pipelined(
+        &self,
+        feeds: &[(&str, &Tensor)],
+        fetches: &[&str],
+    ) -> Result<PendingFetches> {
+        if self.planning.load(Ordering::Relaxed) && !self.engine.is_recording() {
+            let sig: Vec<(String, Vec<usize>)> = feeds
+                .iter()
+                .map(|(n, t)| (n.to_string(), t.shape_ref().dims().to_vec()))
+                .collect();
+            match self.plan_for_shapes(&sig, fetches) {
+                Ok(plan) => return plan.begin_run(&self.engine, feeds),
+                Err(_) => {
+                    self.plan_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    plan_metrics().fallbacks.add(1);
+                }
+            }
+        }
+        let tensors = self.execute_interpreted(feeds, fetches)?;
+        PendingFetches::capture(&self.engine, tensors)
     }
 
     /// Execute via the per-call interpreter, bypassing plans entirely: op

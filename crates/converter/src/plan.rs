@@ -35,7 +35,11 @@ use std::collections::{HashMap, HashSet};
 use webml_core::backend::{BinaryOp, UnaryOp};
 use webml_core::conv_util::{conv2d_info, depthwise_conv2d_info, pool2d_info, Padding};
 use webml_core::shape::{broadcast_shapes, normalize_axes, reduced_shape};
-use webml_core::{ops, Engine, Error, FusedStep, Result, Shape, Tensor};
+use std::sync::Mutex;
+use webml_core::backend::DataFuture;
+use webml_core::{
+    ops, DType, Engine, Error, FenceToken, FusedStep, Result, Shape, Tensor, TensorData,
+};
 
 /// Where a planned op (or a fetch) reads a value from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,8 +157,71 @@ pub struct PlannedOp {
     /// Slots whose final consumer is this op — disposed immediately after
     /// it runs. Fetched slots are exempt.
     pub dispose_after: Vec<usize>,
+    /// Whether dispatch must run inside its own `tidy` scope: composite
+    /// ops (matmul's rank-3 normalization, softmax's chain, the fused ops'
+    /// unfused fallbacks) allocate internal handles that would otherwise
+    /// pin data containers until the run's outer scope closed. Single-kernel
+    /// ops skip the scope entirely — computed once at build so the hot loop
+    /// pays no scope bookkeeping for them.
+    pub scoped: bool,
+    /// Precomputed kernel-view shapes for direct dispatch: when set, the
+    /// executor calls the backend kernel through
+    /// [`Engine::run_kernel_shaped`] with these per-input shapes instead of
+    /// going through the composite op layer — no rank-normalization alias
+    /// tensors, no per-op scope. Only populated where the reinterpretation
+    /// is a pure build-time fact (rank-2 `FusedMatMul` presented as its
+    /// batch-1 rank-3 kernel view).
+    pub kernel_shapes: Option<Vec<Shape>>,
     /// Source node name (error messages only).
     pub name: String,
+}
+
+/// Kernel-view shapes for ops the executor can dispatch directly, skipping
+/// the composite op layer and its rank-normalization alias tensors: a
+/// rank-2 `FusedMatMul` is presented to the (batched rank-3) kernel as the
+/// batch-1 view `[1, m, k] x [1, k, n]` — the same reinterpretation
+/// `ops::fused_matmul`'s reshapes express, resolved once at build. Bias
+/// shape validation moves here too (the op layer would have done it per
+/// call); a shape the kernel contract rejects simply stays on the
+/// composite path.
+fn direct_kernel_shapes(kind: &OpKind, arg_shapes: &[Shape]) -> Option<Vec<Shape>> {
+    match kind {
+        OpKind::FusedMatMul { has_bias, .. } => {
+            let a = arg_shapes.first()?;
+            let b = arg_shapes.get(1)?;
+            if a.rank() != 2 || b.rank() != 2 {
+                return None;
+            }
+            let mut shapes = vec![
+                Shape::new(vec![1, a.dim(0), a.dim(1)]),
+                Shape::new(vec![1, b.dim(0), b.dim(1)]),
+            ];
+            if *has_bias {
+                let bias = arg_shapes.get(2)?;
+                if bias.rank() != 1 || bias.dim(0) != b.dim(1) {
+                    return None;
+                }
+                shapes.push(bias.clone());
+            }
+            Some(shapes)
+        }
+        _ => None,
+    }
+}
+
+/// Ops whose dispatch may create intermediate tensor handles beyond the
+/// output (and therefore need a per-op tidy scope for eager disposal to
+/// stay exact). Everything else is a single `run_kernel` call.
+fn needs_scope(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::MatMul
+            | OpKind::Softmax
+            | OpKind::FusedMatMul { .. }
+            | OpKind::FusedConv2d { .. }
+            | OpKind::FusedDepthwiseConv2d { .. }
+            | OpKind::FusedElementwise { .. }
+    )
 }
 
 /// A compiled execution plan for one (feed-shape signature, fetch set).
@@ -170,6 +237,11 @@ pub struct Plan {
     fetch_sources: Vec<Arg>,
     predicted_peak_bytes: usize,
     fused: bool,
+    /// Recycled slot table: `run` would otherwise allocate a
+    /// `Vec<Option<Tensor>>` per call, which dominates tiny-model plan
+    /// overhead. Concurrent runs fall back to a fresh allocation (the pool
+    /// holds at most one table; `Mutex::lock` is held only to swap).
+    scratch: Mutex<Vec<Option<Tensor>>>,
 }
 
 /// Shape of a value as known during plan construction.
@@ -300,12 +372,16 @@ impl Plan {
                     let (kind, out_shape) = lower_node(node, &arg_shapes)?;
                     let out_slot = ops_list.len();
                     vals.insert(node.name.as_str(), (Arg::Slot(out_slot), out_shape.clone()));
+                    let kernel_shapes = direct_kernel_shapes(&kind, &arg_shapes);
+                    let scoped = needs_scope(&kind) && kernel_shapes.is_none();
                     ops_list.push(PlannedOp {
                         kind,
                         args,
                         out_slot,
                         out_shape,
                         dispose_after: Vec::new(),
+                        scoped,
+                        kernel_shapes,
                         name: node.name.clone(),
                     });
                 }
@@ -334,6 +410,7 @@ impl Plan {
             fetch_sources,
             predicted_peak_bytes,
             fused,
+            scratch: Mutex::new(Vec::new()),
         })
     }
 
@@ -436,8 +513,44 @@ impl Plan {
         engine.tidy(|| self.run_inner(engine, &feed_tensors))
     }
 
+    /// Execute the plan **without synchronizing**: every op is enqueued,
+    /// asynchronous readbacks are issued for each fetch, and a fence marks
+    /// the end of the submission (paper Fig 3's `data()` path). The caller
+    /// gets a [`PendingFetches`] immediately and may submit further work —
+    /// on an async backend the device crunches this run while the host
+    /// prepares the next one.
+    ///
+    /// # Errors
+    /// Same conditions as [`Plan::run`], plus readback submission failures.
+    pub fn begin_run(&self, engine: &Engine, feeds: &[(&str, &Tensor)]) -> Result<PendingFetches> {
+        let tensors = self.run(engine, feeds)?;
+        PendingFetches::capture(engine, tensors)
+    }
+
     fn run_inner(&self, engine: &Engine, feed_tensors: &[&Tensor]) -> Result<Vec<Tensor>> {
-        let mut slots: Vec<Option<Tensor>> = vec![None; self.num_slots];
+        // Recycle the slot table across runs; a poisoned or contended pool
+        // just means one fresh allocation.
+        let mut slots: Vec<Option<Tensor>> =
+            self.scratch.lock().map(|mut p| std::mem::take(&mut *p)).unwrap_or_default();
+        slots.clear();
+        slots.resize_with(self.num_slots, || None);
+        let result = self.run_ops(engine, feed_tensors, &mut slots);
+        // Drop any handles still parked in the table (fetched slots keep
+        // clones; the surrounding tidy scope owns actual disposal) and park
+        // the empty table for the next run.
+        slots.clear();
+        if let Ok(mut p) = self.scratch.lock() {
+            *p = slots;
+        }
+        result
+    }
+
+    fn run_ops(
+        &self,
+        engine: &Engine,
+        feed_tensors: &[&Tensor],
+        slots: &mut [Option<Tensor>],
+    ) -> Result<Vec<Tensor>> {
         for op in &self.ops {
             let out = {
                 let mut args: Vec<&Tensor> = Vec::with_capacity(op.args.len());
@@ -453,11 +566,21 @@ impl Plan {
                         Arg::Feed(f) => feed_tensors[*f],
                     });
                 }
-                // Per-op scope: composite ops (e.g. matmul's rank-3
-                // normalization) register internal alias handles that would
-                // otherwise pin the output's data container until the whole
-                // run's scope closed — defeating eager slot disposal.
-                engine.tidy(|| self.dispatch(op, &args))?
+                // Per-op cleanup only where dispatch allocates internal
+                // handles (see `needs_scope`): composite ops register
+                // aliases that would otherwise pin the output's data
+                // container until the whole run's scope closed — defeating
+                // eager slot disposal. `trim_scope` disposes exactly those
+                // registrations without a nested scope's push/pop cost;
+                // single-kernel ops go straight through.
+                if op.scoped {
+                    let mark = engine.scope_mark();
+                    let out = self.dispatch(op, &args)?;
+                    engine.trim_scope(mark, out.id());
+                    out
+                } else {
+                    self.dispatch(op, &args)?
+                }
             };
             slots[op.out_slot] = Some(out);
             for &s in &op.dispose_after {
@@ -505,6 +628,16 @@ impl Plan {
                 ops::avg_pool(args[0], *window, *strides, *padding)
             }
             OpKind::FusedMatMul { has_bias, activation } => {
+                if let Some(shapes) = &op.kernel_shapes {
+                    let engine = args[0].engine();
+                    // The composite path exists for tape recording (unfused
+                    // entries) and fusion-disabled debugging; neither holds
+                    // on a planned inference pass, where this dispatches
+                    // the kernel with zero alias tensors.
+                    if !engine.is_recording() && engine.fusion_enabled() {
+                        return fused_matmul_direct(engine, op, args, shapes, *activation);
+                    }
+                }
                 let bias = if *has_bias { Some(args[2]) } else { None };
                 ops::fused_matmul(args[0], args[1], bias, *activation, false, false)
             }
@@ -528,6 +661,117 @@ impl Plan {
                 ops::fused_elementwise(args[0], &args[1..], steps)
             }
             OpKind::Mean { axes } => ops::mean(args[0], Some(axes), false),
+        }
+    }
+}
+
+/// Dispatch a fused matmul straight to the backend kernel using the plan's
+/// precomputed batch-1 rank-3 input views ([`PlannedOp::kernel_shapes`]).
+/// Bitwise identical to `ops::fused_matmul`: the kernel sees the same data
+/// ids under the same shapes the op layer's reshape aliases would present,
+/// and the output is registered under the rank-2 result shape directly —
+/// the layout the rank-3 result aliases to anyway.
+fn fused_matmul_direct(
+    engine: &Engine,
+    op: &PlannedOp,
+    args: &[&Tensor],
+    shapes: &[Shape],
+    activation: Option<UnaryOp>,
+) -> Result<Tensor> {
+    let outs = engine.run_kernel_shaped(
+        "FusedMatMul",
+        args,
+        shapes,
+        &mut |backend, ins| {
+            let id =
+                backend.fused_matmul(&ins[0], &ins[1], ins.get(2), activation, false, false)?;
+            Ok(vec![(id, op.out_shape.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// In-flight results of a pipelined run (paper Sec 4.1.1, Fig 3).
+///
+/// Holds the fetch tensors, one asynchronous readback future per fetch
+/// (enqueued at submission time, so the device copies results out as soon
+/// as they are produced — never a pipeline-draining synchronous read), and
+/// the fence submitted *after* the readbacks. When the fence has passed,
+/// every future has resolved. On synchronous backends the fence is `None`
+/// ("everything already done") and the futures are already resolved.
+#[derive(Debug)]
+pub struct PendingFetches {
+    tensors: Vec<Tensor>,
+    futures: Vec<DataFuture>,
+    fence: Option<FenceToken>,
+}
+
+impl PendingFetches {
+    /// Issue async readbacks for `tensors` and fence the submission.
+    pub(crate) fn capture(engine: &Engine, tensors: Vec<Tensor>) -> Result<PendingFetches> {
+        let futures: Vec<DataFuture> =
+            tensors.iter().map(Tensor::data).collect::<Result<Vec<_>>>()?;
+        let fence = engine.submit_fence();
+        Ok(PendingFetches { tensors, futures, fence })
+    }
+
+    /// Number of in-flight fetches.
+    pub fn len(&self) -> usize {
+        self.futures.len()
+    }
+
+    /// Whether there are no fetches at all.
+    pub fn is_empty(&self) -> bool {
+        self.futures.is_empty()
+    }
+
+    /// The fence marking the end of this run's submission, if the backend
+    /// is asynchronous.
+    pub fn fence(&self) -> Option<FenceToken> {
+        self.fence
+    }
+
+    /// Non-blocking completion probe: true once the device has executed
+    /// everything submitted for this run (fence passed ⇒ the readbacks,
+    /// enqueued before the fence, have completed).
+    pub fn is_done(&self, engine: &Engine) -> bool {
+        engine.fence_passed(self.fence)
+    }
+
+    /// Block until every fetch value is resident on the host and return
+    /// them in fetch order. Disposes the fetch tensors — after `wait` the
+    /// engine's memory accounting is exactly as before the run (feeds
+    /// excluded; they stay caller-owned).
+    ///
+    /// # Errors
+    /// Surfaces readback failures (e.g. a transient fault injected on the
+    /// read path).
+    pub fn wait(self) -> Result<Vec<TensorData>> {
+        let mut out = Vec::with_capacity(self.futures.len());
+        let mut err = None;
+        for (fut, t) in self.futures.iter().zip(&self.tensors) {
+            match fut.wait() {
+                Ok(d) => out.push(d),
+                // The async read path has no transient-retry machinery; the
+                // sync path does, and also re-locates the data if the
+                // backend degraded after submission (host-side shadows stay
+                // readable across a context loss).
+                Err(_) => match t.data_sync() {
+                    Ok(d) => out.push(d),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                },
+            }
+        }
+        for t in &self.tensors {
+            t.dispose();
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 }

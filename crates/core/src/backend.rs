@@ -570,6 +570,13 @@ impl DataFuture {
     }
 }
 
+/// A backend-neutral fence token (`gl.fenceSync`, paper Sec 4.1.1):
+/// covers all device work submitted before it was issued. Obtained from
+/// [`Backend::submit_fence`]; awaited with [`Backend::wait_fence`] or
+/// polled with [`Backend::fence_passed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FenceToken(pub u64);
+
 /// A device-specific kernel implementation set (paper Sec 3.3/3.4).
 ///
 /// Implementations must be thread-safe: the engine may be shared across
@@ -629,6 +636,30 @@ pub trait Backend: Send + Sync {
     fn device_timer_ns(&self) -> Option<u64> {
         None
     }
+
+    // --- async submission (paper Sec 4.1.1, Figs 2-3) ----------------------
+
+    /// Insert a fence into the device command stream and return a token
+    /// covering all work submitted so far (`gl.fenceSync`).
+    ///
+    /// Synchronous backends (cpu, native) return `None`: every kernel has
+    /// already completed by the time it returned, so there is nothing to
+    /// wait for — `None` means "all prior work is done". Queued backends
+    /// override this to return a real token.
+    fn submit_fence(&self) -> Option<FenceToken> {
+        None
+    }
+
+    /// Poll whether `token`'s fence has passed (all work submitted before
+    /// it has executed). Non-blocking.
+    fn fence_passed(&self, _token: FenceToken) -> bool {
+        true
+    }
+
+    /// Block until `token`'s fence passes (`gl.clientWaitSync`). Queued
+    /// backends implement this as a condvar sleep on the device queue, not
+    /// a spin.
+    fn wait_fence(&self, _token: FenceToken) {}
 
     // --- kernels -----------------------------------------------------------
 

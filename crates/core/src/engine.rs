@@ -468,6 +468,33 @@ impl Engine {
         self.backend().epsilon()
     }
 
+    /// Insert a fence covering all work submitted to the active backend so
+    /// far (`gl.fenceSync`, Sec 4.1.1). `None` on synchronous backends,
+    /// meaning everything already completed.
+    pub fn submit_fence(&self) -> Option<crate::backend::FenceToken> {
+        self.backend().submit_fence()
+    }
+
+    /// Poll whether a fence has passed. `None` tokens (synchronous
+    /// backends) have trivially passed.
+    pub fn fence_passed(&self, token: Option<crate::backend::FenceToken>) -> bool {
+        match token {
+            Some(t) => self.backend().fence_passed(t),
+            None => true,
+        }
+    }
+
+    /// Block until a fence passes (`gl.clientWaitSync`); a no-op for
+    /// `None` tokens. Waiting on a token after a degradation switched the
+    /// active backend is safe: the new backend's defaults treat foreign
+    /// tokens as passed, and the failed device's queue keeps executing
+    /// fences independently.
+    pub fn wait_fence(&self, token: Option<crate::backend::FenceToken>) {
+        if let Some(t) = token {
+            self.backend().wait_fence(t);
+        }
+    }
+
     // --- memory policy -----------------------------------------------------
 
     /// Set how memory is reclaimed (browser-manual vs node-finalized).
@@ -713,6 +740,29 @@ impl Engine {
         forward: &mut dyn FnMut(&dyn Backend, &[KTensor<'_>]) -> Result<Vec<(DataId, Shape, DType)>>,
         grad: Option<GradFn>,
     ) -> Result<Vec<Tensor>> {
+        self.run_kernel_shaped(kernel, inputs, &[], forward, grad)
+    }
+
+    /// [`Engine::run_kernel`] with per-input *shape overrides*: input `i`
+    /// is presented to the kernel as `shapes[i]` instead of its own shape
+    /// (inputs beyond `shapes.len()` keep theirs). The override must
+    /// describe the same element count over the same data layout — it is a
+    /// zero-cost reinterpretation, exactly what a `reshape` alias would
+    /// express, minus the alias tensor. Callers that dispatch the same
+    /// kernel repeatedly (the plan executor) precompute these shapes once
+    /// and skip per-call alias registration/disposal entirely.
+    ///
+    /// # Errors
+    /// Same conditions as [`Engine::run_kernel`].
+    #[allow(clippy::type_complexity)] // the documented kernel funnel signature
+    pub fn run_kernel_shaped(
+        &self,
+        kernel: &'static str,
+        inputs: &[&Tensor],
+        shapes: &[Shape],
+        forward: &mut dyn FnMut(&dyn Backend, &[KTensor<'_>]) -> Result<Vec<(DataId, Shape, DType)>>,
+        grad: Option<GradFn>,
+    ) -> Result<Vec<Tensor>> {
         // Transient in-place retries against the current backend; reset on
         // every degradation so a fresh backend gets its full budget.
         let mut attempts: u32 = 0;
@@ -741,7 +791,12 @@ impl Engine {
             let ktensors: Vec<KTensor<'_>> = inputs
                 .iter()
                 .zip(&input_data)
-                .map(|(t, (_, id))| KTensor { data: *id, shape: t.shape_ref(), dtype: t.dtype() })
+                .enumerate()
+                .map(|(i, (t, (_, id)))| KTensor {
+                    data: *id,
+                    shape: shapes.get(i).unwrap_or_else(|| t.shape_ref()),
+                    dtype: t.dtype(),
+                })
                 .collect();
             let profiling = self.inner.profiling.load(Ordering::Relaxed);
             let tracing = webml_telemetry::enabled();
@@ -1146,6 +1201,69 @@ impl Engine {
         let out = f();
         self.end_scope(&out.tensor_ids());
         out
+    }
+
+    /// Number of tensors registered so far in the calling thread's current
+    /// scope (0 without a scope). Pair with [`Engine::trim_scope`] for
+    /// cheap composite-op cleanup on a hot path.
+    pub fn scope_mark(&self) -> usize {
+        let meta = self.inner.meta.lock();
+        meta.scopes
+            .get(&std::thread::current().id())
+            .and_then(|s| s.last())
+            .map(|s| s.tensors.len())
+            .unwrap_or(0)
+    }
+
+    /// Dispose every tensor registered in the current scope from index
+    /// `mark` onward, except `keep_id` and kept/variable/tape-referenced
+    /// tensors. Semantically a `tidy` wrapped around just those
+    /// registrations, but without the scope push/pop, parent re-homing, or
+    /// garbage pass — the plan executor uses this to clean up a composite
+    /// op's internal alias handles at a fraction of a nested scope's cost.
+    pub fn trim_scope(&self, mark: usize, keep_id: usize) {
+        let mut to_dispose = Vec::new();
+        {
+            let mut meta = self.inner.meta.lock();
+            let tid = std::thread::current().id();
+            let tail = {
+                let scope = match meta.scopes.get_mut(&tid).and_then(|s| s.last_mut()) {
+                    Some(s) => s,
+                    None => return,
+                };
+                if mark >= scope.tensors.len() {
+                    return;
+                }
+                scope.tensors.split_off(mark)
+            };
+            let mut survivors = Vec::new();
+            for id in tail {
+                if id == keep_id {
+                    survivors.push(id);
+                    continue;
+                }
+                let survive = {
+                    let shard = self.tensor_shard(id).lock();
+                    match shard.get(&id) {
+                        None => continue, // already disposed
+                        Some(rec) => rec.kept || rec.variable,
+                    }
+                } || meta.kept_by_tape.contains(&id);
+                if survive {
+                    survivors.push(id);
+                } else {
+                    to_dispose.push(id);
+                }
+            }
+            if !survivors.is_empty() {
+                if let Some(scope) = meta.scopes.get_mut(&tid).and_then(|s| s.last_mut()) {
+                    scope.tensors.extend(survivors);
+                }
+            }
+        }
+        for id in to_dispose {
+            self.dispose_tensor(id);
+        }
     }
 
     // --- tape --------------------------------------------------------------

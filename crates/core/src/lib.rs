@@ -54,7 +54,7 @@ pub mod tape;
 pub mod tensor;
 pub mod variable;
 
-pub use backend::{Backend, DataFuture, DataId, FusedStep};
+pub use backend::{Backend, DataFuture, DataId, FenceToken, FusedStep};
 pub use buffer::TensorBuffer;
 pub use dtype::{DType, TensorData};
 pub use engine::{

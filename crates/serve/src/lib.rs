@@ -51,7 +51,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
-use webml_core::{Engine, Error, Result, Shape};
+use webml_core::backend::DataFuture;
+use webml_core::{Engine, Error, FenceToken, Result, Shape, Tensor};
 use webml_telemetry as telemetry;
 use webml_telemetry::{Histogram, HistogramSummary};
 
@@ -448,6 +449,14 @@ fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request
             None => groups.push((group_key, vec![req])),
         }
     }
+    // Two-phase pipelined dispatch (paper Sec 4.1.1, Fig 3): phase 1
+    // enqueues every chunk's forward pass plus an async readback and a
+    // fence without ever blocking, so on an async backend chunk i+1's
+    // host-side concat/upload overlaps chunk i's device compute and the
+    // device queue stays non-empty across the whole drain. Phase 2 collects
+    // results in submission order — by then the early chunks' readbacks
+    // have usually completed, so the waits are cheap.
+    let mut in_flight: Vec<InFlightChunk> = Vec::new();
     for ((key, dims), members) in groups {
         let source = shared.sources.lock().get(&key).cloned();
         let source = match source {
@@ -465,10 +474,36 @@ fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request
             }
         };
         for chunk in chunked(members, shared.config.max_batch) {
-            run_chunk(shared, cache, key, &source, &dims, chunk);
+            if let Some(fl) = submit_chunk(shared, cache, key, &source, &dims, chunk) {
+                in_flight.push(fl);
+            }
         }
     }
+    for fl in in_flight {
+        complete_chunk(shared, cache, fl);
+    }
     sync_cache_stats(shared, cache);
+}
+
+/// A coalesced chunk whose forward pass is enqueued but not yet collected.
+struct InFlightChunk {
+    key: ModelKey,
+    source: Arc<ModelSource>,
+    chunk: Vec<Request>,
+    /// `None` ⇒ submission failed; the completion phase serves the chunk
+    /// per-request against the (already invalidated) rebuilt model.
+    run: Option<SubmittedRun>,
+}
+
+/// The device-side half of an in-flight chunk: input and output handles,
+/// the asynchronous readback future for the output (issued at submission,
+/// so the device copies results out the moment they exist — never a
+/// pipeline-draining synchronous read), and the submission-end fence.
+struct SubmittedRun {
+    x: Tensor,
+    y: Tensor,
+    fut: DataFuture,
+    fence: Option<FenceToken>,
 }
 
 pub(crate) fn chunked<T>(mut members: Vec<T>, size: usize) -> Vec<Vec<T>> {
@@ -485,67 +520,59 @@ pub(crate) fn chunked<T>(mut members: Vec<T>, size: usize) -> Vec<Vec<T>> {
     chunks
 }
 
-fn run_chunk(
+/// Phase 1 for one chunk: enqueue the coalesced forward pass, the async
+/// readback, and a fence — without blocking. Returns `None` when the chunk
+/// was fully handled here (single-request submission errors reply
+/// directly, mirroring the synchronous single path).
+fn submit_chunk(
     shared: &Shared,
     cache: &mut ModelCache,
     key: ModelKey,
-    source: &ModelSource,
+    source: &Arc<ModelSource>,
     dims: &[usize],
     chunk: Vec<Request>,
-) {
+) -> Option<InFlightChunk> {
     let n = chunk.len();
-    if n >= 2 {
-        shared.batch_size.observe(n as f64);
-        let batched = {
-            let _span =
-                telemetry::span("serve.batch", "serve").with_arg("batch_size", n as f64);
-            run_batched(shared, cache, key, source, dims, &chunk)
-        };
-        match batched {
-            Ok(responses) => {
-                // Count before replying: a caller that sees its reply must
-                // also see it reflected in the stats.
-                shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-                for (req, resp) in chunk.into_iter().zip(responses) {
-                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-                    let _ = req.reply.send(Ok(resp));
-                    telemetry::instant("serve.reply", "serve");
-                }
-                return;
-            }
-            Err(_) => {
-                // Degrade to per-request execution; a stale model (e.g.
-                // dead backend) is rebuilt on the retry.
-                cache.invalidate(key);
-                shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
-                telemetry::instant("serve.batch_fallback", "serve");
-            }
+    shared.batch_size.observe(n as f64);
+    let submitted = {
+        let _span = telemetry::span("serve.submit", "serve").with_arg("batch_size", n as f64);
+        try_submit(shared, cache, key, source, dims, &chunk)
+    };
+    match submitted {
+        Ok(run) => {
+            Some(InFlightChunk { key, source: source.clone(), chunk, run: Some(run) })
         }
-    }
-    for req in chunk {
-        shared.batch_size.observe(1.0);
-        let result = {
-            let _span = telemetry::span("serve.single", "serve");
-            run_single(shared, cache, key, source, &req)
-        };
-        shared.stats.served.fetch_add(1, Ordering::Relaxed);
-        shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
-        let _ = req.reply.send(result);
-        telemetry::instant("serve.reply", "serve");
+        Err(e) if n == 1 => {
+            // Count before replying: a caller that sees its reply must also
+            // see it reflected in the stats.
+            let req = chunk.into_iter().next().expect("n == 1");
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = req.reply.send(Err(e));
+            telemetry::instant("serve.reply", "serve");
+            None
+        }
+        Err(_) => {
+            // Degrade to per-request execution in the completion phase; a
+            // stale model (e.g. dead backend) is rebuilt on the retry.
+            cache.invalidate(key);
+            shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            telemetry::instant("serve.batch_fallback", "serve");
+            Some(InFlightChunk { key, source: source.clone(), chunk, run: None })
+        }
     }
 }
 
-/// One coalesced forward pass: concat examples host-side into `[n, dims..]`,
-/// run, split the `[n, out..]` output back per request.
-fn run_batched(
+/// Concat examples host-side into `[n, dims..]`, enqueue the forward pass,
+/// issue the asynchronous output readback, and fence the submission.
+fn try_submit(
     shared: &Shared,
     cache: &mut ModelCache,
     key: ModelKey,
     source: &ModelSource,
     dims: &[usize],
     chunk: &[Request],
-) -> Result<Vec<InferResponse>> {
+) -> Result<SubmittedRun> {
     let n = chunk.len();
     let per_len: usize = dims.iter().product();
     let mut data = Vec::with_capacity(n * per_len);
@@ -564,9 +591,93 @@ fn run_batched(
             return Err(e);
         }
     };
-    let out = split_rows(&y, n);
-    x.dispose();
-    y.dispose();
+    let fut = match y.data() {
+        Ok(f) => f,
+        Err(e) => {
+            x.dispose();
+            y.dispose();
+            return Err(e);
+        }
+    };
+    let fence = engine.submit_fence();
+    Ok(SubmittedRun { x, y, fut, fence })
+}
+
+/// Phase 2 for one chunk: wait for the in-flight run (cheap when the
+/// device already finished behind later submissions), split rows, reply.
+/// Failed chunks degrade to per-request synchronous execution exactly like
+/// the pre-pipelining dispatcher.
+fn complete_chunk(shared: &Shared, cache: &mut ModelCache, fl: InFlightChunk) {
+    let InFlightChunk { key, source, chunk, run } = fl;
+    let n = chunk.len();
+    if let Some(run) = run {
+        let completed = {
+            let _span =
+                telemetry::span("serve.complete", "serve").with_arg("batch_size", n as f64);
+            complete_run(shared, run, n)
+        };
+        match completed {
+            Ok(responses) => {
+                // Count before replying: a caller that sees its reply must
+                // also see it reflected in the stats.
+                if n >= 2 {
+                    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                }
+                for (req, resp) in chunk.into_iter().zip(responses) {
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    if n >= 2 {
+                        shared.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = req.reply.send(Ok(resp));
+                    telemetry::instant("serve.reply", "serve");
+                }
+                return;
+            }
+            Err(e) if n == 1 => {
+                // Mirrors the synchronous single path: the error is the
+                // answer, not a reason to retry.
+                let req = chunk.into_iter().next().expect("n == 1");
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(Err(e));
+                telemetry::instant("serve.reply", "serve");
+                return;
+            }
+            Err(_) => {
+                // Degrade to per-request execution; a stale model (e.g.
+                // dead backend) is rebuilt on the retry.
+                cache.invalidate(key);
+                shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                telemetry::instant("serve.batch_fallback", "serve");
+            }
+        }
+    }
+    for req in chunk {
+        shared.batch_size.observe(1.0);
+        let result = {
+            let _span = telemetry::span("serve.single", "serve");
+            run_single(shared, cache, key, &source, &req)
+        };
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = req.reply.send(result);
+        telemetry::instant("serve.reply", "serve");
+    }
+}
+
+/// Wait out an in-flight run and split its `[n, out..]` output per request.
+/// The fence wait parks on the device queue's condvar (no spinning); the
+/// readback future then resolves immediately. A failed future retries
+/// through the synchronous path, which has transient-retry machinery and
+/// re-locates data after a mid-pipeline degradation.
+fn complete_run(shared: &Shared, run: SubmittedRun, n: usize) -> Result<Vec<InferResponse>> {
+    shared.engine.wait_fence(run.fence);
+    let read = run.fut.wait().or_else(|_| run.y.data_sync());
+    let out = read.and_then(|d| split_values(d.to_f32_vec(), &run.y.shape().0, n));
+    run.x.dispose();
+    run.y.dispose();
     out
 }
 
@@ -589,15 +700,36 @@ fn run_single(
             return Err(e);
         }
     };
-    let rows = split_rows(&y, 1);
+    let rows = read_rows(&y, 1);
     x.dispose();
     y.dispose();
     Ok(rows?.remove(0))
 }
 
-/// Split a `[n, out..]` batch output into per-request responses.
-pub(crate) fn split_rows(y: &webml_core::Tensor, n: usize) -> Result<Vec<InferResponse>> {
+/// Download a `[n, out..]` batch output through the asynchronous readback
+/// path (paper Fig 3) and split it into per-request responses: the read is
+/// enqueued behind the producing ops, so the device copies results out in
+/// stream order instead of servicing a pipeline-draining synchronous
+/// `readPixels`. Falls back to the sync path (which has transient-retry
+/// machinery) if the future fails.
+pub(crate) fn read_rows(y: &Tensor, n: usize) -> Result<Vec<InferResponse>> {
     let out_shape = y.shape().0;
+    let data = match y.data() {
+        Ok(fut) => match fut.wait() {
+            Ok(d) => d,
+            Err(_) => y.data_sync()?,
+        },
+        Err(_) => y.data_sync()?,
+    };
+    split_values(data.to_f32_vec(), &out_shape, n)
+}
+
+/// Split already-downloaded `[n, out..]` values into per-request responses.
+pub(crate) fn split_values(
+    values: Vec<f32>,
+    out_shape: &[usize],
+    n: usize,
+) -> Result<Vec<InferResponse>> {
     if out_shape.first() != Some(&n) {
         return Err(Error::invalid(
             "serve",
@@ -606,7 +738,6 @@ pub(crate) fn split_rows(y: &webml_core::Tensor, n: usize) -> Result<Vec<InferRe
     }
     let per_dims: Vec<usize> = out_shape[1..].to_vec();
     let per_len: usize = per_dims.iter().product();
-    let values = y.to_f32_vec()?;
     Ok(values
         .chunks(per_len.max(1))
         .take(n)

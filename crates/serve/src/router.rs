@@ -49,7 +49,7 @@ use webml_telemetry::{Histogram, HistogramSummary};
 use crate::cache::{ModelCache, ModelKey, ModelSource};
 use crate::error::ServeError;
 use crate::health::{BreakerConfig, BreakerSnapshot, CircuitBreaker, EngineHealth};
-use crate::{chunked, split_rows, InferResponse, WindowPolicy};
+use crate::{chunked, read_rows, InferResponse, WindowPolicy};
 
 /// Result type for fleet requests: an inference response or an explicit,
 /// typed refusal.
@@ -1053,7 +1053,7 @@ fn exec_batched(
             return Err(e);
         }
     };
-    let out = split_rows(&y, n);
+    let out = read_rows(&y, n);
     x.dispose();
     y.dispose();
     out
@@ -1078,7 +1078,7 @@ fn exec_single(
             return Err(e);
         }
     };
-    let rows = split_rows(&y, 1);
+    let rows = read_rows(&y, 1);
     x.dispose();
     y.dispose();
     Ok(rows?.remove(0))

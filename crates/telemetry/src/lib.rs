@@ -42,7 +42,10 @@ pub mod metrics;
 pub mod ring;
 pub mod trace;
 
-pub use metrics::{counter, gauge, histogram, prometheus_text, Counter, Gauge, Histogram, HistogramSummary};
+pub use metrics::{
+    counter, fgauge, gauge, histogram, prometheus_text, Counter, FGauge, Gauge, Histogram,
+    HistogramSummary,
+};
 pub use trace::{chrome_trace_json, write_chrome_trace};
 
 use parking_lot::Mutex;
@@ -257,6 +260,26 @@ pub fn gpu_span(
         phase: Phase::Span,
         start_ns,
         dur_ns: end_ns.saturating_sub(start_ns),
+        tid: 0,
+        arg_name,
+        arg,
+    });
+}
+
+/// Record an instant event on the virtual GPU track (e.g. the device
+/// thread's per-window utilization samples).
+#[inline]
+pub fn gpu_instant(name: &'static str, arg_name: &'static str, arg: f64) {
+    if !enabled() {
+        return;
+    }
+    push(Event {
+        name,
+        cat: "gpu",
+        track: Track::Gpu,
+        phase: Phase::Instant,
+        start_ns: now_ns(),
+        dur_ns: 0,
         tid: 0,
         arg_name,
         arg,

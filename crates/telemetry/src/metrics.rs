@@ -68,6 +68,29 @@ impl Gauge {
     }
 }
 
+/// A floating-point gauge (e.g. a utilization ratio in `[0, 1]`), stored
+/// as f64 bits in an atomic so updates stay lock-free.
+#[derive(Default)]
+pub struct FGauge(AtomicU64);
+
+impl FGauge {
+    /// A zeroed gauge (standalone, not registered).
+    pub fn new() -> FGauge {
+        FGauge::default()
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// Number of histogram buckets: 4 per octave over 2^-16 .. 2^16, giving
 /// ~19% relative resolution across nine decades — plenty for latency
 /// quantiles.
@@ -190,6 +213,7 @@ pub struct HistogramSummary {
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    FGauge(Arc<FGauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -220,6 +244,18 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
     match reg.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
         Metric::Gauge(g) => g.clone(),
         _ => panic!("metric {name:?} already registered as a non-gauge"),
+    }
+}
+
+/// Get or create the registered floating-point gauge `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn fgauge(name: &str) -> Arc<FGauge> {
+    let mut reg = registry().lock();
+    match reg.entry(name.to_owned()).or_insert_with(|| Metric::FGauge(Arc::new(FGauge::new()))) {
+        Metric::FGauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered as a non-fgauge"),
     }
 }
 
@@ -257,6 +293,9 @@ pub fn prometheus_text() -> String {
             Metric::Gauge(g) => {
                 out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
             }
+            Metric::FGauge(g) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+            }
             Metric::Histogram(h) => {
                 out.push_str(&format!("# TYPE {pname} summary\n"));
                 for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
@@ -288,6 +327,17 @@ mod tests {
         g.set(7);
         g.add(-3);
         assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn fgauge_stores_floats_and_renders_as_gauge() {
+        let g = fgauge("test.metrics.utilization");
+        g.set(0.837);
+        assert!((g.get() - 0.837).abs() < 1e-12);
+        assert!((fgauge("test.metrics.utilization").get() - 0.837).abs() < 1e-12);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_metrics_utilization gauge"));
+        assert!(text.contains("test_metrics_utilization 0.837"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::fault::{ContextLossEvent, FaultPlan, FaultState, FaultStats};
 use crate::future::ReadFuture;
 use crate::layout::{LayoutError, TextureLayout};
 use crate::pager::{PagerStats, PagingPolicy};
-use crate::queue::{device_loop, Command, DeviceShared, TexId};
+use crate::queue::{device_loop, Command, DeviceShared, QueueStats, TexId};
 use crate::recycler::RecyclerStats;
 use crate::shader::Program;
 use crate::texture::TextureFormat;
@@ -152,6 +152,20 @@ impl TexHandle {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FenceHandle(u64);
 
+impl FenceHandle {
+    /// The raw fence id, for embedding in backend-neutral tokens.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`FenceHandle::raw`]. Ids are monotone per
+    /// context; a stale or foreign id simply compares against
+    /// `last_fence` like any other.
+    pub fn from_raw(id: u64) -> FenceHandle {
+        FenceHandle(id)
+    }
+}
+
 /// The host-side GPGPU context over a simulated WebGL device.
 pub struct GpgpuContext {
     profile: DeviceProfile,
@@ -276,6 +290,7 @@ impl GpgpuContext {
             return Err((e, data));
         }
         let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
         self.sender
             .send(Command::Upload {
                 tex: id,
@@ -339,6 +354,7 @@ impl GpgpuContext {
         // every other fault decision) but paid on the device thread, where a
         // real throttled GPU would pay it.
         let stall_ns = self.faults.draw_stall().unwrap_or(0);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
         self.sender
             .send(Command::Run {
                 program,
@@ -387,7 +403,11 @@ impl GpgpuContext {
     }
 
     /// Blocking readback (`gl.readPixels` after an implicit flush) — the
-    /// `dataSync()` path of Figure 2.
+    /// `dataSync()` path of Figure 2. When the command queue still has
+    /// unexecuted uploads or draws, the simulated driver charges the
+    /// profile's pipeline-drain penalty as wall-clock latency; synchronize
+    /// with [`GpgpuContext::wait_fence`] first (the Figure 3 discipline) to
+    /// read for free.
     ///
     /// Readback keeps working after a context loss: the device preserves
     /// host-side shadows of invalidated textures, exactly the copies a
@@ -397,7 +417,12 @@ impl GpgpuContext {
     /// [`GlError::Read`] when the texture does not exist;
     /// [`GlError::TransientReadback`] under injected faults.
     pub fn read_sync(&self, h: &TexHandle) -> Result<Vec<f32>, GlError> {
-        self.read_async_checked(h)?.wait().map_err(GlError::Read)
+        let drain_ns = if self.shared.pending.load(Ordering::SeqCst) > 0 {
+            self.profile.readback_sync_penalty_ns
+        } else {
+            0
+        };
+        self.enqueue_read(h, drain_ns)?.wait().map_err(GlError::Read)
     }
 
     /// Asynchronous readback — the `data()` path of Figure 3. The future
@@ -416,17 +441,23 @@ impl GpgpuContext {
 
     /// Fallible asynchronous readback: transient faults are reported
     /// synchronously as structured errors instead of through the future, so
-    /// callers can classify and retry.
+    /// callers can classify and retry. Asynchronous reads model the
+    /// fence-synchronized `gl.fenceSync` path and never pay the pipeline
+    /// drain — the host is not blocked while the queue executes.
     ///
     /// # Errors
     /// [`GlError::TransientReadback`] under injected faults.
     pub fn read_async_checked(&self, h: &TexHandle) -> Result<ReadFuture, GlError> {
+        self.enqueue_read(h, 0)
+    }
+
+    fn enqueue_read(&self, h: &TexHandle, drain_ns: u64) -> Result<ReadFuture, GlError> {
         if let Some(attempt) = self.faults.readback_blocked() {
             return Err(GlError::TransientReadback { attempt });
         }
         let (future, promise) = ReadFuture::pending();
         self.sender
-            .send(Command::ReadPixels { tex: h.id, len: h.size(), promise })
+            .send(Command::ReadPixels { tex: h.id, len: h.size(), drain_ns, promise })
             .expect("device thread alive");
         Ok(future)
     }
@@ -487,11 +518,37 @@ impl GpgpuContext {
         self.shared.last_fence.load(Ordering::SeqCst) >= f.0
     }
 
-    /// Block until every queued command has executed.
+    /// Block until a fence passes — `gl.clientWaitSync`. A condvar sleep,
+    /// not a spin: the device thread notifies as each fence command
+    /// executes. Fast-path returns without locking when the fence already
+    /// passed; only genuine sleeps count in
+    /// [`QueueStats::fence_waits`]/[`QueueStats::fence_wait_ns`].
+    pub fn wait_fence(&self, f: FenceHandle) {
+        if self.fence_passed(f) {
+            return;
+        }
+        let t0 = webml_telemetry::now_ns();
+        let mut guard = self.shared.fence_lock.lock();
+        while self.shared.last_fence.load(Ordering::SeqCst) < f.0 {
+            self.shared.fence_cond.wait(&mut guard);
+        }
+        drop(guard);
+        self.shared.fence_waits.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .fence_wait_ns
+            .fetch_add(webml_telemetry::now_ns().saturating_sub(t0), Ordering::Relaxed);
+    }
+
+    /// Block until every queued command has executed: insert a fence and
+    /// wait for it.
     pub fn flush(&self) {
-        let (future, promise) = ReadFuture::pending();
-        self.sender.send(Command::Flush { promise }).expect("device thread alive");
-        let _ = future.wait();
+        self.wait_fence(self.fence());
+    }
+
+    /// Snapshot of device-queue counters (busy time, fence waits, pipeline
+    /// drains, pending commands). Does not flush.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.shared.queue_stats()
     }
 
     /// Begin a disjoint-timer-query window measuring pure device time.

@@ -52,6 +52,12 @@ pub struct DeviceProfile {
     pub has_fence_sync: bool,
     /// `EXT_disjoint_timer_query` availability (WebGL 1.0 path).
     pub has_disjoint_timer_query: bool,
+    /// Driver pipeline-drain cost of a *synchronous* `readPixels` issued
+    /// while the command queue still has unfinished work (paper Fig 2: a
+    /// blocking `dataSync()` stalls the main thread until the whole
+    /// pipeline drains). Fence-synchronized readback (Fig 3) pays nothing.
+    /// Charged as wall-clock host latency, not device compute time.
+    pub readback_sync_penalty_ns: u64,
 }
 
 impl DeviceProfile {
@@ -87,6 +93,7 @@ impl DeviceProfile {
             parallelism: 8,
             has_fence_sync: true,
             has_disjoint_timer_query: true,
+            readback_sync_penalty_ns: 1_500_000,
         }
     }
 
@@ -102,6 +109,7 @@ impl DeviceProfile {
             parallelism: 64,
             has_fence_sync: true,
             has_disjoint_timer_query: true,
+            readback_sync_penalty_ns: 1_200_000,
         }
     }
 
@@ -117,6 +125,7 @@ impl DeviceProfile {
             parallelism: 2,
             has_fence_sync: false,
             has_disjoint_timer_query: true,
+            readback_sync_penalty_ns: 3_000_000,
         }
     }
 
@@ -132,6 +141,7 @@ impl DeviceProfile {
             parallelism: 4,
             has_fence_sync: true,
             has_disjoint_timer_query: false,
+            readback_sync_penalty_ns: 2_500_000,
         }
     }
 
@@ -148,6 +158,7 @@ impl DeviceProfile {
             parallelism: 1,
             has_fence_sync: false,
             has_disjoint_timer_query: false,
+            readback_sync_penalty_ns: 4_000_000,
         }
     }
 }

@@ -46,10 +46,11 @@ pub mod recycler;
 pub mod shader;
 pub mod texture;
 
-pub use context::{ContextConfig, GpgpuContext, GpuMemoryStats, TexHandle};
+pub use context::{ContextConfig, FenceHandle, GpgpuContext, GpuMemoryStats, TexHandle};
 pub use fault::{ContextLossEvent, FaultPlan, FaultStats};
 pub use devices::{DeviceClass, DeviceProfile, GlVersion};
 pub use future::ReadFuture;
+pub use queue::QueueStats;
 pub use layout::TextureLayout;
 pub use shader::{Program, ProgramBody, Samplers};
 pub use texture::{TextureFormat, MAX_TEXTURE_SIZE_DEFAULT};

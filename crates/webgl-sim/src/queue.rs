@@ -13,7 +13,7 @@ use crate::pager::{select_victims, PagerStats, PagingPolicy};
 use crate::recycler::{RecyclerStats, TextureRecycler};
 use crate::shader::{execute, Program};
 use crate::texture::{Texture, TextureFormat};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -88,6 +88,11 @@ pub enum Command {
         tex: TexId,
         /// Number of logical values wanted.
         len: usize,
+        /// Simulated driver pipeline-drain cost (paper Fig 2): non-zero
+        /// only for a *synchronous* read issued while the queue still had
+        /// unfinished work. Slept as wall-clock before the copy-out; never
+        /// added to the device compute clock and never counted busy.
+        drain_ns: u64,
         /// Completion promise.
         promise: ReadPromise,
     },
@@ -102,11 +107,6 @@ pub enum Command {
         /// Texture to release.
         tex: TexId,
     },
-    /// Resolve the promise once the queue has drained up to this point.
-    Flush {
-        /// Completion promise.
-        promise: ReadPromise,
-    },
     /// The context was lost: invalidate every device texture. GPU residency
     /// drops to zero; contents are preserved as host-side shadows (the
     /// copies a recovery path re-uploads), so readback keeps working.
@@ -119,10 +119,34 @@ pub enum Command {
 pub struct DeviceShared {
     /// Texture registry.
     pub textures: Mutex<HashMap<TexId, Slot>>,
-    /// Highest fence id that has passed.
+    /// Highest fence id that has passed. Kept atomic so `fence_passed`
+    /// stays a lock-free poll; the device thread additionally stores it
+    /// under `fence_lock` and notifies `fence_cond`, so a blocking
+    /// `wait_fence` can sleep instead of spinning.
     pub last_fence: AtomicU64,
+    /// Guards fence-passing notification (pairs with `fence_cond`).
+    pub fence_lock: Mutex<()>,
+    /// Signalled by the device thread each time a fence passes.
+    pub fence_cond: Condvar,
     /// Total device-side execution time (the disjoint-timer-query counter).
     pub gpu_nanos: AtomicU64,
+    /// Wall-clock nanoseconds the device thread spent executing commands
+    /// (uploads, draws, readbacks, disposals) — the numerator of the
+    /// device-thread utilization gauge. Injected drain sleeps are idle,
+    /// not busy.
+    pub busy_ns: AtomicU64,
+    /// Number of blocking `wait_fence` calls that actually slept.
+    pub fence_waits: AtomicU64,
+    /// Total nanoseconds hosts spent blocked in `wait_fence`.
+    pub fence_wait_ns: AtomicU64,
+    /// Synchronous readbacks that forced a driver pipeline drain.
+    pub drains: AtomicU64,
+    /// Total wall-clock nanoseconds lost to those drains.
+    pub drain_ns: AtomicU64,
+    /// Upload/draw commands enqueued by the host but not yet executed by
+    /// the device thread. `read_sync` uses this to decide whether a
+    /// blocking read stalls the pipeline.
+    pub pending: AtomicU64,
     /// Number of programs executed.
     pub program_count: AtomicU64,
     /// Bytes resident in GPU memory.
@@ -135,13 +159,38 @@ pub struct DeviceShared {
     pub use_counter: AtomicU64,
 }
 
+/// Counters of device-queue behaviour, snapshotted without flushing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Wall-clock ns the device thread spent executing commands.
+    pub busy_ns: u64,
+    /// Blocking `wait_fence` calls that actually slept.
+    pub fence_waits: u64,
+    /// Total ns hosts spent blocked in `wait_fence`.
+    pub fence_wait_ns: u64,
+    /// Synchronous readbacks that forced a pipeline drain.
+    pub drains: u64,
+    /// Total ns lost to those drains.
+    pub drain_ns: u64,
+    /// Upload/draw commands enqueued but not yet executed.
+    pub pending: u64,
+}
+
 impl DeviceShared {
     /// Fresh shared state.
     pub fn new(recycling_enabled: bool) -> DeviceShared {
         DeviceShared {
             textures: Mutex::new(HashMap::new()),
             last_fence: AtomicU64::new(0),
+            fence_lock: Mutex::new(()),
+            fence_cond: Condvar::new(),
             gpu_nanos: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            fence_waits: AtomicU64::new(0),
+            fence_wait_ns: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            drain_ns: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
             program_count: AtomicU64::new(0),
             bytes_gpu: AtomicUsize::new(0),
             pager: Mutex::new(PagerStats::default()),
@@ -153,6 +202,18 @@ impl DeviceShared {
     /// Snapshot of recycler statistics.
     pub fn recycler_stats(&self) -> RecyclerStats {
         self.recycler.lock().stats()
+    }
+
+    /// Snapshot of queue counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        QueueStats {
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            fence_waits: self.fence_waits.load(Ordering::Relaxed),
+            fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            drain_ns: self.drain_ns.load(Ordering::Relaxed),
+            pending: self.pending.load(Ordering::SeqCst),
+        }
     }
 
     fn touch(&self) -> u64 {
@@ -174,9 +235,16 @@ pub fn device_loop(
     // the simulated-time accounting below.
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let pool = crate::pool::WorkerPool::new(parallelism.min(host));
+    // Device-thread utilization window: busy nanoseconds accumulated since
+    // the last fence over the wall-clock extent of the window. Fences are
+    // exactly the points a pipelined executor punctuates its schedule with,
+    // so each window covers one submit→fence interval.
+    let mut window_wall = webml_telemetry::now_ns();
+    let mut window_busy = 0u64;
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Upload { tex, data, rows, cols, format } => {
+                let t0 = webml_telemetry::now_ns();
                 let (mut t, recycled) = shared.recycler.lock().acquire(rows, cols, format);
                 if !recycled {
                     shared.gpu_nanos.fetch_add(TEXTURE_ALLOC_OVERHEAD_NANOS, Ordering::Relaxed);
@@ -191,8 +259,13 @@ pub fn device_loop(
                 let last_use = shared.touch();
                 shared.textures.lock().insert(tex, Slot { state: SlotState::Gpu(t), last_use });
                 maybe_page_out(&shared, &paging);
+                shared
+                    .busy_ns
+                    .fetch_add(webml_telemetry::now_ns().saturating_sub(t0), Ordering::Relaxed);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
             Command::Run { program, inputs, in_layouts, output, out_layout, stall_ns } => {
+                let t0 = webml_telemetry::now_ns();
                 if stall_ns > 0 {
                     // An injected straggler: the device clock advances and
                     // the device thread really stalls, so the spike is
@@ -207,8 +280,22 @@ pub fn device_loop(
                     parallelism, half_precision,
                 );
                 maybe_page_out(&shared, &paging);
+                shared
+                    .busy_ns
+                    .fetch_add(webml_telemetry::now_ns().saturating_sub(t0), Ordering::Relaxed);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
-            Command::ReadPixels { tex, len, promise } => {
+            Command::ReadPixels { tex, len, drain_ns, promise } => {
+                if drain_ns > 0 {
+                    // Fig 2: a blocking readPixels issued against a busy
+                    // pipeline stalls until the driver drains. The host is
+                    // already blocked on the promise, so the sleep lands as
+                    // caller-visible latency — and as device *idle* time.
+                    shared.drains.fetch_add(1, Ordering::Relaxed);
+                    shared.drain_ns.fetch_add(drain_ns, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_nanos(drain_ns));
+                }
+                let t0 = webml_telemetry::now_ns();
                 let textures = shared.textures.lock();
                 match textures.get(&tex) {
                     Some(slot) => {
@@ -224,11 +311,37 @@ pub fn device_loop(
                         promise.complete(Err(format!("texture {tex} does not exist")));
                     }
                 }
+                shared
+                    .busy_ns
+                    .fetch_add(webml_telemetry::now_ns().saturating_sub(t0), Ordering::Relaxed);
             }
             Command::Fence { id } => {
+                // Close the utilization window first so the gauge reflects
+                // the interval this fence terminates.
+                let now = webml_telemetry::now_ns();
+                let busy_total = shared.busy_ns.load(Ordering::Relaxed);
+                let wall = now.saturating_sub(window_wall);
+                if wall > 0 {
+                    let util = ((busy_total.saturating_sub(window_busy)) as f64 / wall as f64)
+                        .clamp(0.0, 1.0);
+                    webml_telemetry::fgauge("webml_device_utilization").set(util);
+                    if webml_telemetry::enabled() {
+                        webml_telemetry::gpu_instant("device_utilization", "utilization", util);
+                    }
+                }
+                window_wall = now;
+                window_busy = busy_total;
+                // Publish under the lock so a host blocked in `wait_fence`
+                // cannot check the atomic, miss this store, and then sleep
+                // past the notification.
+                let _guard = shared.fence_lock.lock();
                 shared.last_fence.store(id, Ordering::SeqCst);
+                shared.fence_cond.notify_all();
             }
             Command::Dispose { tex } => {
+                // Queue order makes disposal fence-safe: every consumer of
+                // this texture was enqueued (and therefore executes) before
+                // the Dispose, so recycling here can never race a use.
                 let slot = shared.textures.lock().remove(&tex);
                 if let Some(slot) = slot {
                     match slot.state {
@@ -241,9 +354,6 @@ pub fn device_loop(
                         }
                     }
                 }
-            }
-            Command::Flush { promise } => {
-                promise.complete(Ok(Vec::new()));
             }
             Command::LoseContext => {
                 // All GPU-resident textures are gone. Keep each texture's

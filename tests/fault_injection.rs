@@ -375,6 +375,69 @@ proptest! {
         let got = two_layer_chain(&e);
         prop_assert_eq!(got, cpu_reference());
     }
+
+    /// Property: a context loss landing anywhere inside a pipelined window
+    /// (ops enqueued, async readbacks and fences in flight, up to three
+    /// submissions deep) must drain cleanly — every `PendingFetches`
+    /// resolves with answers bitwise-identical to a pristine CPU run and
+    /// zero caller-visible errors, the degradation ladder replaying
+    /// whatever the lost context swallowed on the fallback backend.
+    #[test]
+    fn context_loss_mid_pipeline_drains_bit_identical(seed in 0u64..10_000) {
+        use std::collections::VecDeque;
+        use webml::converter::PendingFetches;
+        use webml::models::graph_mlp;
+        use webml::Shape;
+        const DEPTH: usize = 3;
+        const PASSES: usize = 8;
+        const CYCLE: usize = 4;
+
+        let spec = graph_mlp(8, &[16, 16], 4, 33);
+        // Reference answers for each input in the cycle, from a pristine
+        // CPU engine.
+        let r = new_engine();
+        r.set_backend("cpu").unwrap();
+        let ref_model = spec.build(&r).unwrap();
+        let mut want = Vec::with_capacity(CYCLE);
+        for k in 0..CYCLE {
+            let (vals, shape) = spec.example(1, k);
+            let x = r.tensor(vals, Shape::new(shape)).unwrap();
+            let outs = ref_model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+            want.push(outs[0].to_f32_vec().unwrap());
+        }
+
+        // Context loss at a seed-scheduled draw: early losses land during
+        // the first submissions, late ones mid-window or during drains.
+        let e = new_engine_with_faults(FaultPlan::none().lose_context_at(1 + seed % 60));
+        let model = spec.build(&e).unwrap();
+        let inputs: Vec<webml::Tensor> = (0..CYCLE)
+            .map(|k| {
+                let (vals, shape) = spec.example(1, k);
+                let x = e.tensor(vals, Shape::new(shape)).unwrap();
+                x.keep();
+                x
+            })
+            .collect();
+
+        let mut window: VecDeque<(usize, PendingFetches)> = VecDeque::new();
+        for pass in 0..PASSES {
+            let k = pass % CYCLE;
+            let pending = model
+                .execute_pipelined(&[(&spec.input, &inputs[k])], &[&spec.output])
+                .expect("submission never surfaces an error");
+            window.push_back((k, pending));
+            if window.len() == DEPTH {
+                let (k, pending) = window.pop_front().expect("window non-empty");
+                let got = pending.wait().expect("in-flight fetches drain cleanly");
+                prop_assert!(got[0].to_f32_vec() == want[k], "output diverged: seed {} pass {}", seed, pass);
+            }
+        }
+        for (k, pending) in window {
+            let got = pending.wait().expect("final drain completes");
+            prop_assert!(got[0].to_f32_vec() == want[k], "output diverged: seed {} drain", seed);
+        }
+        prop_assert!(e.degradations() <= 1, "at most one webgl→cpu fallback");
+    }
 }
 
 /// A 4-engine SLO fleet under simultaneous overload, a scheduled context

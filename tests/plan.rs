@@ -115,6 +115,87 @@ fn eager_disposal_bounds_peak_bytes_exactly() {
     );
 }
 
+/// Pipelined execution (enqueue + async readback behind a fence) must be
+/// bitwise identical to the synchronous path on every backend: the same
+/// plan runs the same kernels; only the readback mechanism differs.
+#[test]
+fn pipelined_matches_synchronous_on_all_backends() {
+    let spec = graph_mlp(12, &[24, 24], 5, 42);
+    for backend in BACKENDS {
+        let e = webml::new_engine();
+        e.set_backend(backend).expect("backend registered");
+        let model = build(&e, &spec);
+        let (vals, shape) = spec.example(3, 2);
+        let x = e.tensor(vals, Shape::new(shape)).unwrap();
+        let sync_out = model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        let expect = sync_out[0].to_f32_vec().unwrap();
+        sync_out[0].dispose();
+        let pending = model.execute_pipelined(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        let got = pending.wait().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].to_f32_vec(), expect, "pipelined vs sync on {backend}");
+    }
+}
+
+/// Several plan runs can be in flight at once; completing them in
+/// submission order must still return each run's own answer, bitwise.
+#[test]
+fn overlapping_pipelined_runs_keep_their_answers() {
+    let spec = graph_mlp(12, &[24, 24], 5, 42);
+    for backend in BACKENDS {
+        let e = webml::new_engine();
+        e.set_backend(backend).expect("backend registered");
+        let model = build(&e, &spec);
+        let mut expects = Vec::new();
+        let mut pendings = Vec::new();
+        for seed in 0..4usize {
+            let (vals, shape) = spec.example(2, seed);
+            let x = e.tensor(vals, Shape::new(shape)).unwrap();
+            let sync_out = model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+            expects.push(sync_out[0].to_f32_vec().unwrap());
+            sync_out[0].dispose();
+            pendings
+                .push(model.execute_pipelined(&[(&spec.input, &x)], &[&spec.output]).unwrap());
+            x.dispose();
+        }
+        for (pending, expect) in pendings.into_iter().zip(expects) {
+            let got = pending.wait().unwrap();
+            assert_eq!(got[0].to_f32_vec(), expect, "in-flight run on {backend}");
+        }
+    }
+}
+
+/// Fence-deferred disposal must be exact: after a pipelined run completes,
+/// every intermediate and fetch tensor is released and engine memory
+/// accounting returns to the pre-run baseline. Repeated runs must not
+/// accumulate state (tensors, bytes, or scope entries).
+#[test]
+fn pipelined_disposal_closes_memory_accounting() {
+    let spec = graph_mlp(12, &[24, 24], 5, 42);
+    for backend in BACKENDS {
+        let e = webml::new_engine();
+        e.set_backend(backend).expect("backend registered");
+        let model = build(&e, &spec);
+        let (vals, shape) = spec.example(2, 1);
+        let x = e.tensor(vals, Shape::new(shape)).unwrap();
+        x.keep();
+        // Warm the plan cache so the baseline excludes compile-time state.
+        model.execute_pipelined(&[(&spec.input, &x)], &[&spec.output]).unwrap().wait().unwrap();
+        let baseline = e.memory();
+        for _ in 0..50 {
+            let pending =
+                model.execute_pipelined(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+            pending.wait().unwrap();
+        }
+        let after = e.memory();
+        assert_eq!(
+            (after.num_tensors, after.num_bytes),
+            (baseline.num_tensors, baseline.num_bytes),
+            "pipelined runs leak state on {backend}"
+        );
+    }
+}
+
 /// The plan cache is keyed by feed-shape signature: new batch sizes
 /// compile new plans, repeats hit.
 #[test]

@@ -119,12 +119,18 @@ fn chrome_trace_roundtrip_from_served_traffic() {
         events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
     let field = |e: &serde_json::Value, k: &str| e.get(k).and_then(|v| v.as_f64()).unwrap();
 
-    // The batch the dispatcher coalesced, with the engine kernel spans it
-    // dispatched nested inside (same track, contained interval).
+    // The batch the dispatcher coalesced: the pipelined dispatcher is
+    // two-phase, so the submit span carries the engine kernel spans it
+    // enqueued nested inside (same track, contained interval) and a
+    // matching completion span replies after the fence.
+    assert!(
+        spans.iter().any(|e| e.get("name").and_then(|n| n.as_str()) == Some("serve.complete")),
+        "a serve.complete span (pipelined completion phase)"
+    );
     let batch = spans
         .iter()
-        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("serve.batch"))
-        .expect("a serve.batch span (8 submits, max_batch 8)");
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("serve.submit"))
+        .expect("a serve.submit span (8 submits, max_batch 8)");
     let batch_tid = batch.get("tid").expect("span tid");
     let (b0, b1) = (field(batch, "ts"), field(batch, "ts") + field(batch, "dur"));
     let nested_kernels = spans
