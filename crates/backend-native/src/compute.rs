@@ -6,6 +6,7 @@
 use crate::parallel::parallel_for_slices;
 use webml_core::backend::{BinaryOp, FusedStep, UnaryOp};
 use webml_core::conv_util::Conv2dInfo;
+use webml_core::quant::QuantParams;
 
 /// The fused epilogue: optional per-channel bias add, then optional
 /// activation. Uses the same `BinaryOp::apply`/`UnaryOp::apply` scalar math
@@ -148,8 +149,18 @@ fn conv2d_impl(
     let c = info;
     let patch = c.filter_height * c.filter_width * c.in_channels;
     let rows = c.batch * c.out_height * c.out_width;
+    let cols = im2col(x, c, threads);
+    // [rows, patch] x [patch, out_c]; the epilogue channel is the output
+    // column, i.e. the conv output channel.
+    matmul_impl(&cols, w, 1, rows, patch, c.out_channels, false, false, bias, activation, threads)
+}
+
+/// Build the im2col patch matrix `[batch*oh*ow, fh*fw*ic]` in parallel over
+/// output rows; out-of-bounds taps are zero-filled.
+fn im2col(x: &[f32], c: &Conv2dInfo, threads: usize) -> Vec<f32> {
+    let patch = c.filter_height * c.filter_width * c.in_channels;
+    let rows = c.batch * c.out_height * c.out_width;
     let mut cols = vec![0.0f32; rows * patch];
-    // Build the patch matrix in parallel over output rows.
     parallel_for_slices(&mut cols, rows, patch, threads, |range, chunk| {
         for (local, row) in range.enumerate() {
             let oc_spatial = c.out_height * c.out_width;
@@ -175,9 +186,7 @@ fn conv2d_impl(
             }
         }
     });
-    // [rows, patch] x [patch, out_c]; the epilogue channel is the output
-    // column, i.e. the conv output channel.
-    matmul_impl(&cols, w, 1, rows, patch, c.out_channels, false, false, bias, activation, threads)
+    cols
 }
 
 /// Depthwise conv2d, parallel over output pixels.
@@ -254,6 +263,188 @@ fn depthwise_conv2d_impl(
                 for (och, d) in dst.iter_mut().enumerate() {
                     *d = apply_epilogue(*d, och, bias, activation);
                 }
+            }
+        }
+    });
+    out
+}
+
+/// Quantized-weight fused matmul: f32 `a` against raw u8 codes `b_q`
+/// (`value = code*scale + min`), parallel over output rows. The codes are
+/// never expanded into an f32 weight buffer — the gathered code matrix stays
+/// one byte per element and the affine factoring
+/// `Σ a·(q·s + m) = s·Σ a·q + m·Σ a` moves scale/min into the per-output
+/// epilogue, before bias and activation. A rank-2 `b_q` of `k*n` codes is
+/// broadcast across the batch.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul_quant(
+    a: &[f32],
+    b_q: &[u8],
+    params: &QuantParams,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; batch * m * n];
+    let shared_b = if b_q.len() == k * n {
+        Some(gather_codes(b_q, k, n, transpose_b))
+    } else {
+        None
+    };
+    for bi in 0..batch {
+        let a_mat = gather_matrix(&a[bi * m * k..(bi + 1) * m * k], m, k, transpose_a);
+        let batch_b;
+        let b_mat: &[u8] = match &shared_b {
+            Some(sb) => sb,
+            None => {
+                batch_b = gather_codes(&b_q[bi * k * n..(bi + 1) * k * n], k, n, transpose_b);
+                &batch_b
+            }
+        };
+        let out_b = &mut out[bi * m * n..(bi + 1) * m * n];
+        parallel_for_slices(out_b, m, n, threads, |rows, chunk| {
+            for (local_i, i) in rows.enumerate() {
+                let out_row = &mut chunk[local_i * n..(local_i + 1) * n];
+                let a_row = &a_mat[i * k..(i + 1) * k];
+                let mut acc_a = 0.0f32;
+                for (p, &av) in a_row.iter().enumerate() {
+                    acc_a += av;
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_mat[p * n..(p + 1) * n];
+                    for (o, &qv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * qv as f32;
+                    }
+                }
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let (s, mn) = params.scale_min(j);
+                    *o = apply_epilogue(s * *o + mn * acc_a, j, bias, activation);
+                }
+            }
+        });
+    }
+    out
+}
+
+fn gather_codes(src: &[u8], rows: usize, cols: usize, transposed: bool) -> Vec<u8> {
+    if !transposed {
+        return src.to_vec();
+    }
+    // src is [cols, rows] and we want row-major [rows, cols].
+    let mut out = vec![0u8; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[r * cols + c] = src[c * rows + r];
+        }
+    }
+    out
+}
+
+/// Quantized-filter fused conv2d: im2col on the f32 input only, then the
+/// dequant-free quant matmul against the HWIO codes `[patch, out_c]`.
+/// Per-channel `params` index the output-channel axis (matmul column).
+pub fn fused_conv2d_quant(
+    x: &[f32],
+    w_q: &[u8],
+    params: &QuantParams,
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    let patch = info.filter_height * info.filter_width * info.in_channels;
+    let rows = info.batch * info.out_height * info.out_width;
+    let cols = im2col(x, info, threads);
+    fused_matmul_quant(
+        &cols,
+        w_q,
+        params,
+        1,
+        rows,
+        patch,
+        info.out_channels,
+        false,
+        false,
+        bias,
+        activation,
+        threads,
+    )
+}
+
+/// Quantized-filter fused depthwise conv2d, parallel over output pixels.
+/// Output channel `oc = ic*mul + m` reads one input channel, so the factored
+/// form needs the valid-tap input sum per `ic`; per-channel scales index
+/// filter axis 2 (`ic`) or axis 3 (`m`).
+pub fn fused_depthwise_conv2d_quant(
+    x: &[f32],
+    w_q: &[u8],
+    params: &QuantParams,
+    info: &Conv2dInfo,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    threads: usize,
+) -> Vec<f32> {
+    let c = info.clone();
+    let mul = c.channel_mul;
+    let pixels = c.batch * c.out_height * c.out_width;
+    let stride = c.out_channels;
+    let mut out = vec![0.0f32; pixels * stride];
+    parallel_for_slices(&mut out, pixels, stride, threads, |range, chunk| {
+        let mut acc_x = vec![0.0f32; c.in_channels];
+        for (local, pix) in range.enumerate() {
+            let spatial = c.out_height * c.out_width;
+            let b = pix / spatial;
+            let rem = pix % spatial;
+            let oh = rem / c.out_width;
+            let ow = rem % c.out_width;
+            let dst = &mut chunk[local * stride..(local + 1) * stride];
+            acc_x.fill(0.0);
+            for fh in 0..c.filter_height {
+                let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+                if ih < 0 || ih >= c.in_height as isize {
+                    continue;
+                }
+                for fw in 0..c.filter_width {
+                    let iw = (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                    if iw < 0 || iw >= c.in_width as isize {
+                        continue;
+                    }
+                    let x_base =
+                        ((b * c.in_height + ih as usize) * c.in_width + iw as usize) * c.in_channels;
+                    let w_base = (fh * c.filter_width + fw) * c.in_channels * mul;
+                    for ic in 0..c.in_channels {
+                        let xv = x[x_base + ic];
+                        acc_x[ic] += xv;
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        for m in 0..mul {
+                            dst[ic * mul + m] += xv * w_q[w_base + ic * mul + m] as f32;
+                        }
+                    }
+                }
+            }
+            for (och, d) in dst.iter_mut().enumerate() {
+                let ic = och / mul;
+                let ch = match params {
+                    QuantParams::PerTensor { .. } => 0,
+                    QuantParams::PerChannel { axis, .. } => {
+                        if *axis == 2 {
+                            ic
+                        } else {
+                            och % mul
+                        }
+                    }
+                };
+                let (s, mn) = params.scale_min(ch);
+                *d = apply_epilogue(s * *d + mn * acc_x[ic], och, bias, activation);
             }
         }
     });
@@ -562,6 +753,79 @@ mod tests {
             &reference::conv2d_backprop_filter(&x, &dy, &info),
             1e-4,
         );
+    }
+
+    #[test]
+    fn fused_matmul_quant_matches_reference_all_flags() {
+        let a: Vec<f32> = (0..2 * 5 * 7).map(|i| (i as f32 * 0.13).sin()).collect();
+        let b_q: Vec<u8> = (0..2 * 7 * 3).map(|i| (i * 37 % 251) as u8).collect();
+        let params = QuantParams::per_tensor(0.05, -3.1);
+        let bias = vec![0.25f32, -0.5, 1.0];
+        for ta in [false, true] {
+            for tb in [false, true] {
+                let got = fused_matmul_quant(
+                    &a, &b_q, &params, 2, 5, 7, 3, ta, tb,
+                    Some(&bias), Some(UnaryOp::Relu), 4,
+                );
+                let want = reference::fused_matmul_quant(
+                    &a, &b_q, &params, Some(&bias), Some(UnaryOp::Relu), 2, 5, 7, 3, ta, tb,
+                );
+                close(&got, &want, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmul_quant_broadcasts_rank2_codes() {
+        // One shared [k,n] code matrix across batch=3, per-channel columns.
+        let a: Vec<f32> = (0..3 * 4 * 6).map(|i| (i as f32 * 0.21).cos()).collect();
+        let b_q: Vec<u8> = (0..6 * 2).map(|i| (i * 19 % 256) as u8).collect();
+        let params = QuantParams::per_channel(2, vec![0.1, 0.02], vec![-1.0, 2.0]);
+        let got = fused_matmul_quant(&a, &b_q, &params, 3, 4, 6, 2, false, false, None, None, 2);
+        let want = reference::fused_matmul_quant(
+            &a, &b_q, &params, None, None, 3, 4, 6, 2, false, false,
+        );
+        close(&got, &want, 1e-4);
+    }
+
+    #[test]
+    fn fused_conv2d_quant_matches_reference() {
+        let xs = Shape::new(vec![2, 9, 9, 4]);
+        let ws = Shape::new(vec![3, 3, 4, 8]);
+        let info = conv2d_info("t", &xs, &ws, (2, 2), Padding::Same, (1, 1)).unwrap();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.17).sin()).collect();
+        let w_q: Vec<u8> = (0..ws.size()).map(|i| (i * 53 % 256) as u8).collect();
+        let params = QuantParams::per_channel(
+            3,
+            (0..8).map(|i| 0.01 + i as f32 * 0.005).collect(),
+            (0..8).map(|i| -1.0 + i as f32 * 0.1).collect(),
+        );
+        let bias: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let got = fused_conv2d_quant(&x, &w_q, &params, &info, Some(&bias), Some(UnaryOp::Relu), 4);
+        let want = reference::fused_conv2d_quant(
+            &x, &w_q, &params, Some(&bias), Some(UnaryOp::Relu), &info,
+        );
+        close(&got, &want, 1e-3);
+    }
+
+    #[test]
+    fn fused_depthwise_conv2d_quant_matches_reference() {
+        use webml_core::conv_util::depthwise_conv2d_info;
+        let xs = Shape::new(vec![2, 8, 8, 6]);
+        let ws = Shape::new(vec![3, 3, 6, 2]);
+        let info = depthwise_conv2d_info("t", &xs, &ws, (1, 1), Padding::Same, (1, 1)).unwrap();
+        let x: Vec<f32> = (0..xs.size()).map(|i| (i as f32 * 0.19).sin()).collect();
+        let w_q: Vec<u8> = (0..ws.size()).map(|i| (i * 71 % 256) as u8).collect();
+        for params in [
+            QuantParams::per_tensor(0.04, -5.0),
+            QuantParams::per_channel(2, (0..6).map(|i| 0.01 * (i + 1) as f32).collect(), vec![-0.5; 6]),
+            QuantParams::per_channel(3, vec![0.03, 0.07], vec![-2.0, 1.0]),
+        ] {
+            let got = fused_depthwise_conv2d_quant(&x, &w_q, &params, &info, None, None, 4);
+            let want =
+                reference::fused_depthwise_conv2d_quant(&x, &w_q, &params, None, None, &info);
+            close(&got, &want, 1e-3);
+        }
     }
 
     #[test]

@@ -17,8 +17,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use webml_core::backend::{
-    fused_conv2d_fallback, fused_depthwise_conv2d_fallback, fused_elementwise_fallback,
-    fused_matmul_fallback,
+    fused_conv2d_fallback, fused_conv2d_quant_fallback, fused_depthwise_conv2d_fallback,
+    fused_depthwise_conv2d_quant_fallback, fused_elementwise_fallback, fused_matmul_fallback,
+    fused_matmul_quant_fallback,
     ArgReduceOp, Backend, BackendMemory, BinaryOp, DataFuture, DataId, FenceToken, FusedStep,
     KTensor, KernelTiming, PoolOp, ReduceOp, UnaryOp,
 };
@@ -150,8 +151,15 @@ impl WebGlBackend {
                 Residency::Host(d) => d.clone(),
                 Residency::Device(_) => continue,
             };
-            let n = data.len();
-            if let Ok(h) = self.ctx.try_upload(data, &[n]) {
+            let uploaded = if e.dtype == DType::U8 {
+                let codes: Vec<u8> =
+                    data.iter().map(|&x| x.round().clamp(0.0, 255.0) as u8).collect();
+                self.ctx.upload_quantized(&codes, &[codes.len()]).ok()
+            } else {
+                let n = data.len();
+                self.ctx.try_upload(data, &[n]).ok()
+            };
+            if let Some(h) = uploaded {
                 e.res = Residency::Device(h);
             }
         }
@@ -168,10 +176,17 @@ impl WebGlBackend {
         match &e.res {
             Residency::Device(h) => Ok(h.clone()),
             Residency::Host(data) => {
-                let h = self
-                    .ctx
-                    .try_upload(data.clone(), &[data.len()])
-                    .map_err(|(g, _)| map_gl(&self.name, g))?;
+                let h = if e.dtype == DType::U8 {
+                    let codes: Vec<u8> =
+                        data.iter().map(|&x| x.round().clamp(0.0, 255.0) as u8).collect();
+                    self.ctx
+                        .upload_quantized(&codes, &[codes.len()])
+                        .map_err(|g| map_gl(&self.name, g))?
+                } else {
+                    self.ctx
+                        .try_upload(data.clone(), &[data.len()])
+                        .map_err(|(g, _)| map_gl(&self.name, g))?
+                };
                 e.res = Residency::Device(h.clone());
                 Ok(h)
             }
@@ -217,6 +232,25 @@ impl Backend for WebGlBackend {
     }
 
     fn register(&self, data: TensorData, dtype: DType) -> DataId {
+        // U8 containers (quantized weight codes) land in 1-byte `R8`
+        // textures — the whole point of quantization is that codes never
+        // widen to f32 on the device. Sampling still yields the code as a
+        // float, so every program addresses them like any other texture.
+        if dtype == DType::U8 {
+            let codes: Vec<u8> = match data {
+                TensorData::U8(v) => v,
+                other => other
+                    .to_f32_vec()
+                    .iter()
+                    .map(|&x| x.round().clamp(0.0, 255.0) as u8)
+                    .collect(),
+            };
+            let res = match self.ctx.upload_quantized(&codes, &[codes.len()]) {
+                Ok(tex) => Residency::Device(tex),
+                Err(_) => Residency::Host(codes.iter().map(|&c| c as f32).collect()),
+            };
+            return self.insert(res, dtype);
+        }
         let vals = data.to_f32_vec();
         let n = vals.len();
         let res = match self.ctx.try_upload(vals, &[n]) {
@@ -709,6 +743,141 @@ impl Backend for WebGlBackend {
         }
     }
 
+    fn fused_matmul_quant(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        b_params: &webml_core::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        let n = if transpose_b { b.shape.dim(1) } else { b.shape.dim(2) };
+        // The factored epilogue needs the scale constant over the inner
+        // product: per-channel params must index the output-column axis.
+        let col_axis = if transpose_b { 1 } else { 2 };
+        if !webml_core::kernels::quant_axis_ok(b_params, col_axis, n) {
+            note_fused_fallback("FusedMatMulQuant");
+            return fused_matmul_quant_fallback(
+                self, a, b, b_params, bias, activation, transpose_a, transpose_b,
+            );
+        }
+        let ta = self.view(a.data, a.shape)?;
+        let tb = self.view(b.data, b.shape)?;
+        let batch = a.shape.dim(0);
+        let (m, k) = if transpose_a {
+            (a.shape.dim(2), a.shape.dim(1))
+        } else {
+            (a.shape.dim(1), a.shape.dim(2))
+        };
+        let program = programs::fused_matmul_quant(
+            batch,
+            m,
+            k,
+            n,
+            b.shape.dim(0),
+            transpose_a,
+            transpose_b,
+            b_params.clone(),
+            bias.is_some(),
+            activation,
+        );
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&ta, &tb];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedMatMulQuant");
+                fused_matmul_quant_fallback(
+                    self, a, b, b_params, bias, activation, transpose_a, transpose_b,
+                )
+            }
+            r => r,
+        }
+    }
+
+    fn fused_conv2d_quant(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        filter_params: &webml_core::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        if !webml_core::kernels::quant_axis_ok(filter_params, 3, info.out_channels) {
+            note_fused_fallback("FusedConv2DQuant");
+            return fused_conv2d_quant_fallback(self, x, filter, filter_params, bias, activation, info);
+        }
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        let program = programs::fused_conv2d_quant(
+            info.clone(),
+            filter_params.clone(),
+            bias.is_some(),
+            activation,
+        );
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&tx, &tw];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedConv2DQuant");
+                fused_conv2d_quant_fallback(self, x, filter, filter_params, bias, activation, info)
+            }
+            r => r,
+        }
+    }
+
+    fn fused_depthwise_conv2d_quant(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        filter_params: &webml_core::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        let axis_ok = webml_core::kernels::quant_axis_ok(filter_params, 2, info.in_channels)
+            || webml_core::kernels::quant_axis_ok(filter_params, 3, info.channel_mul);
+        if !axis_ok {
+            note_fused_fallback("FusedDepthwiseConv2DQuant");
+            return fused_depthwise_conv2d_quant_fallback(
+                self, x, filter, filter_params, bias, activation, info,
+            );
+        }
+        let tx = self.view(x.data, x.shape)?;
+        let tw = self.view(filter.data, filter.shape)?;
+        let program = programs::fused_depthwise_conv2d_quant(
+            info.clone(),
+            filter_params.clone(),
+            bias.is_some(),
+            activation,
+        );
+        let tbias;
+        let mut inputs: Vec<&TexHandle> = vec![&tx, &tw];
+        if let Some(bias) = bias {
+            tbias = self.view(bias.data, bias.shape)?;
+            inputs.push(&tbias);
+        }
+        match self.run_n(program, &inputs, DType::F32) {
+            Err(Error::KernelUnsupported { .. }) => {
+                note_fused_fallback("FusedDepthwiseConv2DQuant");
+                fused_depthwise_conv2d_quant_fallback(
+                    self, x, filter, filter_params, bias, activation, info,
+                )
+            }
+            r => r,
+        }
+    }
+
     fn fused_elementwise(
         &self,
         x: &KTensor<'_>,
@@ -831,6 +1000,163 @@ mod tests {
         let eps = e.scalar(e.epsilon()).unwrap();
         let z = ops::log(&ops::add(&x, &eps).unwrap()).unwrap();
         assert!(z.to_f32_vec().unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn quantized_matmul_on_webgl() {
+        let e = engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let w = e
+            .quantized_tensor(
+                vec![5, 6, 7, 8],
+                vec![2, 2],
+                webml_core::quant::QuantParams::per_tensor(1.0, 0.0),
+            )
+            .unwrap();
+        let c = ops::fused_matmul_quant(&a, &w, None, None, false, false).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn quantized_fused_ops_match_cpu_reference() {
+        let cpu = Engine::new();
+        cpu.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+        let gl = engine();
+        let n_w = 3 * 3 * 3 * 4;
+        let codes: Vec<u8> = (0..n_w).map(|i| ((i * 37) % 256) as u8).collect();
+        let scales: Vec<f32> = (0..4).map(|c| 0.01 + c as f32 * 0.003).collect();
+        let mins: Vec<f32> = (0..4).map(|c| -1.2 + c as f32 * 0.1).collect();
+        let xvals: Vec<f32> = (0..8 * 8 * 3).map(|i| (i as f32 * 0.37).sin()).collect();
+        let bvals = [0.05f32, -0.1, 0.2, 0.0];
+        let run = |e: &Engine| -> Vec<f32> {
+            let x = e.tensor_4d(&xvals, 1, 8, 8, 3).unwrap();
+            let w = e
+                .quantized_tensor(
+                    codes.clone(),
+                    vec![3, 3, 3, 4],
+                    webml_core::quant::QuantParams::per_channel(3, scales.clone(), mins.clone()),
+                )
+                .unwrap();
+            let bias = e.tensor_1d(&bvals).unwrap();
+            let y = ops::fused_conv2d_quant(
+                &x,
+                &w,
+                Some(&bias),
+                Some(UnaryOp::Relu),
+                (2, 2),
+                webml_core::conv_util::Padding::Same,
+                (1, 1),
+            )
+            .unwrap();
+            y.to_f32_vec().unwrap()
+        };
+        let want = run(&cpu);
+        let got = run(&gl);
+        assert_eq!(want.len(), got.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "webgl {g} vs cpu {w}");
+        }
+    }
+
+    #[test]
+    fn quantized_depthwise_matches_cpu_reference() {
+        let cpu = Engine::new();
+        cpu.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+        let gl = engine();
+        let codes: Vec<u8> = (0..3 * 3 * 3 * 2).map(|i| ((i * 91) % 256) as u8).collect();
+        let xvals: Vec<f32> = (0..6 * 6 * 3).map(|i| (i as f32 * 0.23).cos()).collect();
+        let run = |e: &Engine| -> Vec<f32> {
+            let x = e.tensor_4d(&xvals, 1, 6, 6, 3).unwrap();
+            let w = e
+                .quantized_tensor(
+                    codes.clone(),
+                    vec![3, 3, 3, 2],
+                    webml_core::quant::QuantParams::per_channel(
+                        2,
+                        vec![0.02, 0.015, 0.03],
+                        vec![-2.0, -1.5, -2.5],
+                    ),
+                )
+                .unwrap();
+            let y = ops::fused_depthwise_conv2d_quant(
+                &x,
+                &w,
+                None,
+                Some(UnaryOp::Relu),
+                (1, 1),
+                webml_core::conv_util::Padding::Same,
+                (1, 1),
+            )
+            .unwrap();
+            y.to_f32_vec().unwrap()
+        };
+        let want = run(&cpu);
+        let got = run(&gl);
+        assert_eq!(want.len(), got.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "webgl {g} vs cpu {w}");
+        }
+    }
+
+    #[test]
+    fn quantized_weights_hold_one_byte_per_code_on_device() {
+        let byte_count = |dtype: DType, data: TensorData| -> usize {
+            let b =
+                WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()).unwrap();
+            let id = b.register(data, dtype);
+            b.read_sync(id).unwrap(); // flush the upload through the queue
+            b.context().memory().bytes_in_gpu
+        };
+        let q = byte_count(DType::U8, TensorData::U8(vec![7u8; 1024]));
+        let f = byte_count(DType::F32, TensorData::F32(vec![7.0f32; 1024]));
+        assert!(q * 3 <= f, "quantized residency {q} B should be ~4x below f32 {f} B");
+    }
+
+    #[test]
+    fn quantized_codes_survive_round_trip() {
+        let b = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()).unwrap();
+        let codes: Vec<u8> = (0..=255).collect();
+        let id = b.register(TensorData::U8(codes.clone()), DType::U8);
+        match b.read_sync(id).unwrap() {
+            TensorData::U8(v) => assert_eq!(v, codes),
+            other => panic!("expected U8 readback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantized_weights_rebuild_after_seeded_context_loss() {
+        use webml_core::quant::QuantParams;
+        use webml_core::Shape;
+        let b = WebGlBackend::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            WebGlConfig::default(),
+            FaultPlan { seed: 42, ..FaultPlan::none() }.lose_context_at(2),
+        )
+        .unwrap();
+        let a_shape = Shape::new(vec![1, 2, 2]);
+        let w_shape = Shape::new(vec![1, 2, 2]);
+        let a_id = b.register(TensorData::F32(vec![1.0, 2.0, 3.0, 4.0]), DType::F32);
+        let w_id = b.register(TensorData::U8(vec![5, 6, 7, 8]), DType::U8);
+        let a = KTensor { data: a_id, shape: &a_shape, dtype: DType::F32 };
+        let w = KTensor { data: w_id, shape: &w_shape, dtype: DType::U8 };
+        let params = QuantParams::per_tensor(1.0, 0.0);
+        let first = b.fused_matmul_quant(&a, &w, &params, None, None, false, false).unwrap();
+        let expect = b.read_sync(first).unwrap().to_f32_vec();
+        assert_eq!(expect, vec![19.0, 22.0, 43.0, 50.0]);
+        // The second draw hits the injected context loss.
+        assert!(
+            b.fused_matmul_quant(&a, &w, &params, None, None, false, false).is_err(),
+            "draw 2 must observe the lost context"
+        );
+        assert!(b.recover_context(), "context restores");
+        // The weight pages back into an R8 texture from its shadow: the
+        // rebuilt kernel result and the raw codes are both intact.
+        let again = b.fused_matmul_quant(&a, &w, &params, None, None, false, false).unwrap();
+        assert_eq!(b.read_sync(again).unwrap().to_f32_vec(), expect);
+        match b.read_sync(w_id).unwrap() {
+            TensorData::U8(v) => assert_eq!(v, vec![5, 6, 7, 8]),
+            other => panic!("expected U8 codes after recovery, got {other:?}"),
+        }
     }
 
     #[test]

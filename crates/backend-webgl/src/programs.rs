@@ -5,6 +5,7 @@
 use webml_core::backend::{ArgReduceOp, BinaryOp, FusedStep, PoolOp, ReduceOp, UnaryOp};
 use webml_core::conv_util::Conv2dInfo;
 use webml_core::dtype::DType;
+use webml_core::quant::QuantParams;
 use webml_webgl_sim::shader::{Program, Samplers};
 
 /// Maximum tensor rank supported by the shader address math.
@@ -308,6 +309,155 @@ fn matmul_impl(
             acc += av * bv;
         }
         apply_epilogue(s, bias_input, activation, j, acc)
+    })
+    .with_cost(cost)
+}
+
+/// Quantized-weight fused matmul: input 1 is an `R8` codes texture
+/// (sampling yields the integer code widened to f32, never a dequantized
+/// weight buffer). The accumulation is factored as
+/// `Σ a·(q·s + m) = s·Σ a·q + m·Σ a`, with the affine scale/min applied
+/// in-register before the shared bias+activation epilogue — one draw call,
+/// 1-byte-per-weight device residency. `b_batch == 1` broadcasts the single
+/// code matrix across the batch.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul_quant(
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    b_batch: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    let out_shape = vec![batch, m, n];
+    let cost = (k * 3).max(1);
+    let bias_input = if has_bias { Some(2) } else { None };
+    Program::per_element("FusedMatMulQuant", out_shape, move |s, _, coords| {
+        let (b, i, j) = (coords[0], coords[1], coords[2]);
+        let a_off = b * m * k;
+        let b_off = if b_batch == 1 { 0 } else { b * k * n };
+        let mut acc_q = 0.0f32;
+        let mut acc_a = 0.0f32;
+        for p in 0..k {
+            let av = if transpose_a {
+                s.get_flat(0, a_off + p * m + i)
+            } else {
+                s.get_flat(0, a_off + i * k + p)
+            };
+            let qv = if transpose_b {
+                s.get_flat(1, b_off + j * k + p)
+            } else {
+                s.get_flat(1, b_off + p * n + j)
+            };
+            acc_q += av * qv;
+            acc_a += av;
+        }
+        let (sc, mn) = params.scale_min(j);
+        apply_epilogue(s, bias_input, activation, j, sc * acc_q + mn * acc_a)
+    })
+    .with_cost(cost)
+}
+
+/// Quantized-filter fused conv2d: input 1 holds `R8` HWIO codes. The
+/// valid-tap input sum is shared across the factored epilogue; per-channel
+/// `params` index the output-channel axis (the caller guarantees this via
+/// `quant_axis_ok`).
+pub fn fused_conv2d_quant(
+    info: Conv2dInfo,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    let out_shape = vec![info.batch, info.out_height, info.out_width, info.out_channels];
+    let cost = info.filter_height * info.filter_width * info.in_channels * 3;
+    let bias_input = if has_bias { Some(2) } else { None };
+    Program::per_element("FusedConv2DQuant", out_shape, move |s, _, coords| {
+        let (b, oh, ow, oc) = (coords[0], coords[1], coords[2], coords[3]);
+        let c = &info;
+        let row_stride = c.in_width * c.in_channels;
+        let img_stride = c.in_height * row_stride;
+        let w_oc_stride = c.out_channels;
+        let mut acc_q = 0.0f32;
+        let mut acc_x = 0.0f32;
+        for fh in 0..c.filter_height {
+            let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+            if ih < 0 || ih >= c.in_height as isize {
+                continue;
+            }
+            for fw in 0..c.filter_width {
+                let iw = (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                if iw < 0 || iw >= c.in_width as isize {
+                    continue;
+                }
+                let x_base = b * img_stride + ih as usize * row_stride + iw as usize * c.in_channels;
+                let w_base = ((fh * c.filter_width + fw) * c.in_channels) * w_oc_stride + oc;
+                for ic in 0..c.in_channels {
+                    let xv = s.get_flat(0, x_base + ic);
+                    acc_q += xv * s.get_flat(1, w_base + ic * w_oc_stride);
+                    acc_x += xv;
+                }
+            }
+        }
+        let (sc, mn) = params.scale_min(oc);
+        apply_epilogue(s, bias_input, activation, oc, sc * acc_q + mn * acc_x)
+    })
+    .with_cost(cost)
+}
+
+/// Quantized-filter fused depthwise conv2d over `R8` codes. Per-channel
+/// scales index filter axis 2 (input channel) or 3 (channel multiplier).
+pub fn fused_depthwise_conv2d_quant(
+    info: Conv2dInfo,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> Program {
+    let out_shape = vec![info.batch, info.out_height, info.out_width, info.out_channels];
+    let cost = info.filter_height * info.filter_width * 3;
+    let bias_input = if has_bias { Some(2) } else { None };
+    Program::per_element("FusedDepthwiseConv2DQuant", out_shape, move |s, _, coords| {
+        let (b, oh, ow, och) = (coords[0], coords[1], coords[2], coords[3]);
+        let c = &info;
+        let ic = och / c.channel_mul;
+        let m = och % c.channel_mul;
+        let row_stride = c.in_width * c.in_channels;
+        let img_stride = c.in_height * row_stride;
+        let mut acc_q = 0.0f32;
+        let mut acc_x = 0.0f32;
+        for fh in 0..c.filter_height {
+            let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+            if ih < 0 || ih >= c.in_height as isize {
+                continue;
+            }
+            for fw in 0..c.filter_width {
+                let iw = (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                if iw < 0 || iw >= c.in_width as isize {
+                    continue;
+                }
+                let x_idx =
+                    b * img_stride + ih as usize * row_stride + iw as usize * c.in_channels + ic;
+                let w_idx = ((fh * c.filter_width + fw) * c.in_channels + ic) * c.channel_mul + m;
+                let xv = s.get_flat(0, x_idx);
+                acc_q += xv * s.get_flat(1, w_idx);
+                acc_x += xv;
+            }
+        }
+        let ch = match &params {
+            QuantParams::PerTensor { .. } => 0,
+            QuantParams::PerChannel { axis, .. } => {
+                if *axis == 2 {
+                    ic
+                } else {
+                    m
+                }
+            }
+        };
+        let (sc, mn) = params.scale_min(ch);
+        apply_epilogue(s, bias_input, activation, och, sc * acc_q + mn * acc_x)
     })
     .with_cost(cost)
 }

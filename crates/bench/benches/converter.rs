@@ -21,7 +21,7 @@ fn bench_converter(c: &mut Criterion) {
     });
     let (q8, scale, min) = Quantization::U8.quantize("bench", &weights).unwrap();
     group.bench_function("dequantize_u8", |b| {
-        b.iter(|| Quantization::U8.dequantize(&q8, scale, min).len())
+        b.iter(|| Quantization::U8.dequantize(&q8, scale, min).unwrap().len())
     });
 
     // Sharding a full-precision MobileNet-1.0-scale buffer (~17 MB).

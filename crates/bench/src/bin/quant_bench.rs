@@ -1,0 +1,239 @@
+//! Quantized-inference benchmark: U8 weights end-to-end without an f32
+//! decode (paper Sec 5.1: "quantization ... reduces the model size 4x").
+//!
+//! ```text
+//! cargo run --release -p webml-bench --bin quant_bench
+//!     [-- --tiny] [-- --json] [-- --assert-wire-ratio R]
+//!     [-- --assert-resident-ratio R] [-- --assert-drift D]
+//! ```
+//!
+//! A seeded MobileNet GraphSpec is measured three ways against its f32
+//! twin:
+//!
+//! - **bytes on the wire** — the serialized web-format weight payload,
+//!   per-channel U8 for every weight whose consumers are all matmul/conv
+//!   kernels (`quantizable_weights`), f32 for the rest (biases);
+//! - **resident bytes** — weights as uploaded (`GraphModel::weight_bytes`,
+//!   one byte per code) plus the plan compiler's dtype-aware prediction
+//!   (`Plan::predicted_resident_bytes`), which shrinks ~4x because the
+//!   dominant weight residency shrinks 4x;
+//! - **accuracy drift** — max |quantized - f32| over the softmax outputs
+//!   on cpu, simulated webgl, and native, with the per-weight bound
+//!   `Quantization::max_error` reported alongside.
+//!
+//! `--json` writes `BENCH_QUANT.json`; the `--assert-*` flags exit
+//! non-zero when a gate fails (the CI quant-smoke gate uses
+//! 0.30 / 0.35 / 0.05).
+
+use serde_json::json;
+use std::sync::Arc;
+use webml_backend_native::NativeBackend;
+use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_core::cpu::CpuBackend;
+use webml_core::{Engine, Shape};
+use webml_converter::{quantizable_weights, Quantization, WeightSpec};
+use webml_models::{graph_mobilenet, GraphSpec, MobileNetConfig};
+use webml_webgl_sim::devices::DeviceProfile;
+
+/// Serialize the spec's weights into web-format bytes: per-channel U8 for
+/// eligible weights, f32 for the rest. Returns (shard payload bytes,
+/// manifest bytes, max per-element quantization error over all quantized
+/// weights). The two byte counts are separate wire artifacts — the binary
+/// shards dominate and cache independently of the (JSON) manifest, whose
+/// per-channel scale/min arrays grow with channel count, not param count.
+fn wire_bytes(spec: &GraphSpec, quantized: bool) -> (usize, usize, f32) {
+    let eligible = quantizable_weights(&spec.graph);
+    let mut data_len = 0usize;
+    let mut specs: Vec<WeightSpec> = Vec::new();
+    let mut worst_err = 0.0f32;
+    for (name, values, shape) in &spec.weights {
+        match eligible.get(name).filter(|_| quantized) {
+            Some(&axis) => {
+                let (codes, scales, mins) = Quantization::U8
+                    .quantize_per_channel(name, values, shape, axis)
+                    .expect("quantize weight");
+                data_len += codes.len();
+                for (s, m) in scales.iter().zip(&mins) {
+                    worst_err =
+                        worst_err.max(Quantization::U8.max_error(*m, m + s * 255.0));
+                }
+                specs.push(WeightSpec::quantized_per_channel(
+                    name.clone(),
+                    shape.clone(),
+                    Quantization::U8,
+                    axis,
+                    scales,
+                    mins,
+                ));
+            }
+            None => {
+                data_len += values.len() * 4;
+                specs.push(WeightSpec::full(name.clone(), shape.clone()));
+            }
+        }
+    }
+    let manifest: usize = specs
+        .iter()
+        .map(|s| serde_json::to_string(&s.to_json()).map(|j| j.len()).unwrap_or(0))
+        .sum();
+    (data_len, manifest, worst_err)
+}
+
+fn cpu_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    e
+}
+
+fn native_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("native", Arc::new(NativeBackend::with_threads("native", 2)), 1);
+    e
+}
+
+fn webgl_engine() -> Engine {
+    let e = Engine::new();
+    let b = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default())
+        .expect("profile supports float textures");
+    e.register_backend("webgl", Arc::new(b), 2);
+    e
+}
+
+/// One forward pass on a fresh model; returns the softmax output.
+fn forward(spec: &GraphSpec, engine: &Engine, quantized: bool) -> Vec<f32> {
+    let model = if quantized {
+        spec.build_quantized(engine).expect("build quantized model")
+    } else {
+        spec.build(engine).expect("build f32 model")
+    };
+    let (vals, shape) = spec.example(1, 3);
+    let x = engine.tensor(vals, Shape::new(shape)).expect("input upload");
+    let outs = model.execute(&[(&spec.input, &x)], &[&spec.output]).expect("forward pass");
+    let v = outs[0].to_f32_vec().expect("readback");
+    for t in outs {
+        t.dispose();
+    }
+    x.dispose();
+    model.dispose_weights();
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json_mode = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| -> Option<f64> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    };
+
+    let config = MobileNetConfig {
+        input_size: if tiny { 32 } else { 96 },
+        classes: 10,
+        ..MobileNetConfig::small()
+    };
+    let spec = graph_mobilenet(&config);
+    println!(
+        "quantized-inference benchmark: MobileNet {}x{}, {} params",
+        config.input_size,
+        config.input_size,
+        spec.param_count()
+    );
+
+    // Bytes on the wire (binary shard payload; manifest reported alongside).
+    let (f32_wire, f32_manifest, _) = wire_bytes(&spec, false);
+    let (quant_wire, quant_manifest, weight_err_bound) = wire_bytes(&spec, true);
+    let wire_ratio = quant_wire as f64 / f32_wire as f64;
+    println!(
+        "  wire bytes     | f32 {f32_wire} (+{f32_manifest} manifest) | \
+         quantized {quant_wire} (+{quant_manifest} manifest) | payload ratio {wire_ratio:.3}"
+    );
+
+    // Resident bytes + dtype-aware plan prediction (cpu engine).
+    let e = cpu_engine();
+    let fm = spec.build(&e).expect("build f32 model");
+    let qm = spec.build_quantized(&e).expect("build quantized model");
+    let resident_ratio = qm.weight_bytes() as f64 / fm.weight_bytes() as f64;
+    let sig = vec![(spec.input.clone(), {
+        let mut d = spec.input_shape.clone();
+        d[0] = 1;
+        d
+    })];
+    let f32_plan = fm.plan_for_shapes(&sig, &[&spec.output]).expect("f32 plan");
+    let quant_plan = qm.plan_for_shapes(&sig, &[&spec.output]).expect("quantized plan");
+    let predicted_ratio =
+        quant_plan.predicted_resident_bytes() as f64 / f32_plan.predicted_resident_bytes() as f64;
+    println!(
+        "  resident bytes | f32 {} | quantized {} | ratio {resident_ratio:.3} | \
+         planned {} -> {} ({predicted_ratio:.3})",
+        fm.weight_bytes(),
+        qm.weight_bytes(),
+        f32_plan.predicted_resident_bytes(),
+        quant_plan.predicted_resident_bytes(),
+    );
+
+    // Accuracy drift per backend: max |quantized - f32| over the softmax.
+    let mut drifts: Vec<(String, f64)> = Vec::new();
+    for (name, engine) in
+        [("cpu", cpu_engine()), ("webgl", webgl_engine()), ("native", native_engine())]
+    {
+        let f = forward(&spec, &engine, false);
+        let q = forward(&spec, &engine, true);
+        let drift = f
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0f64, f64::max);
+        println!("  drift/{name:<7} | max |quantized - f32| = {drift:.5}");
+        drifts.push((name.to_string(), drift));
+    }
+    let worst_drift = drifts.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
+
+    if json_mode {
+        let doc = json!({
+            "bench": "quantized vs f32 MobileNet inference",
+            "input_size": config.input_size,
+            "param_count": spec.param_count(),
+            "wire_bytes_f32": f32_wire,
+            "wire_bytes_quantized": quant_wire,
+            "manifest_bytes_f32": f32_manifest,
+            "manifest_bytes_quantized": quant_manifest,
+            "wire_ratio": wire_ratio,
+            "resident_weight_bytes_f32": fm.weight_bytes(),
+            "resident_weight_bytes_quantized": qm.weight_bytes(),
+            "resident_ratio": resident_ratio,
+            "predicted_resident_bytes_f32": f32_plan.predicted_resident_bytes(),
+            "predicted_resident_bytes_quantized": quant_plan.predicted_resident_bytes(),
+            "predicted_resident_ratio": predicted_ratio,
+            "weight_max_error_bound": weight_err_bound,
+            "drift": drifts.iter().map(|(n, d)| json!({"backend": n, "max_abs_drift": d})).collect::<Vec<_>>(),
+            "worst_drift": worst_drift,
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        std::fs::write("BENCH_QUANT.json", text).expect("write BENCH_QUANT.json");
+        println!("\nwrote BENCH_QUANT.json");
+    }
+
+    if let Some(want) = flag("--assert-wire-ratio") {
+        assert!(
+            wire_ratio <= want,
+            "quantized wire bytes were {wire_ratio:.3}x f32, expected <= {want}"
+        );
+        println!("wire-ratio gate passed: {wire_ratio:.3} <= {want}");
+    }
+    if let Some(want) = flag("--assert-resident-ratio") {
+        let got = resident_ratio.max(predicted_ratio);
+        assert!(
+            got <= want,
+            "quantized residency was {got:.3}x f32 (weights {resident_ratio:.3}, \
+             planned {predicted_ratio:.3}), expected <= {want}"
+        );
+        println!("resident-ratio gate passed: {got:.3} <= {want}");
+    }
+    if let Some(want) = flag("--assert-drift") {
+        assert!(
+            worst_drift <= want,
+            "quantized output drift was {worst_drift:.5}, expected <= {want}"
+        );
+        println!("drift gate passed: {worst_drift:.5} <= {want}");
+    }
+}

@@ -4,15 +4,29 @@ use crate::quantize::Quantization;
 use serde_json::{json, Value};
 use webml_core::Error;
 
+/// Per-channel quantization parameters along one axis (conv filters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelQuant {
+    /// The channel axis (output channels: last axis for HWIO filters).
+    pub axis: usize,
+    /// One dequantization scale per channel.
+    pub scales: Vec<f32>,
+    /// One dequantization minimum per channel.
+    pub mins: Vec<f32>,
+}
+
 /// Quantization metadata attached to a weight spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantInfo {
     /// Integer width used.
     pub kind: Quantization,
-    /// Dequantization scale.
+    /// Dequantization scale (per-tensor; envelope scale when per-channel).
     pub scale: f32,
-    /// Dequantization minimum.
+    /// Dequantization minimum (per-tensor; envelope min when per-channel).
     pub min: f32,
+    /// Per-channel parameters, when quantized per channel. `scale`/`min`
+    /// then hold a whole-tensor envelope for error-bound reporting only.
+    pub per_channel: Option<ChannelQuant>,
 }
 
 /// Description of one weight inside the flattened weight-data buffer.
@@ -32,7 +46,7 @@ impl WeightSpec {
         WeightSpec { name, shape, quantization: None }
     }
 
-    /// A quantized weight.
+    /// A quantized weight with per-tensor scale/min.
     pub fn quantized(
         name: String,
         shape: Vec<usize>,
@@ -40,7 +54,36 @@ impl WeightSpec {
         scale: f32,
         min: f32,
     ) -> WeightSpec {
-        WeightSpec { name, shape, quantization: Some(QuantInfo { kind, scale, min }) }
+        WeightSpec {
+            name,
+            shape,
+            quantization: Some(QuantInfo { kind, scale, min, per_channel: None }),
+        }
+    }
+
+    /// A weight quantized per channel along `axis`. The envelope
+    /// `scale`/`min` are derived from the channel extremes.
+    pub fn quantized_per_channel(
+        name: String,
+        shape: Vec<usize>,
+        kind: Quantization,
+        axis: usize,
+        scales: Vec<f32>,
+        mins: Vec<f32>,
+    ) -> WeightSpec {
+        let scale = scales.iter().copied().fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
+        let min = mins.iter().copied().fold(f32::INFINITY, f32::min);
+        let min = if min.is_finite() { min } else { 0.0 };
+        WeightSpec {
+            name,
+            shape,
+            quantization: Some(QuantInfo {
+                kind,
+                scale,
+                min,
+                per_channel: Some(ChannelQuant { axis, scales, mins }),
+            }),
+        }
     }
 
     /// Bytes this weight occupies in the data buffer.
@@ -56,16 +99,24 @@ impl WeightSpec {
     pub fn to_json(&self) -> Value {
         match &self.quantization {
             None => json!({ "name": self.name, "shape": self.shape, "dtype": "float32" }),
-            Some(q) => json!({
-                "name": self.name,
-                "shape": self.shape,
-                "dtype": "float32",
-                "quantization": {
-                    "dtype": q.kind.name(),
-                    "scale": q.scale,
-                    "min": q.min,
-                },
-            }),
+            Some(q) => {
+                let mut quant = vec![
+                    ("dtype".to_string(), json!(q.kind.name())),
+                    ("scale".to_string(), json!(q.scale)),
+                    ("min".to_string(), json!(q.min)),
+                ];
+                if let Some(pc) = &q.per_channel {
+                    quant.push(("axis".to_string(), json!(pc.axis)));
+                    quant.push(("scales".to_string(), json!(pc.scales)));
+                    quant.push(("mins".to_string(), json!(pc.mins)));
+                }
+                json!({
+                    "name": self.name,
+                    "shape": self.shape,
+                    "dtype": "float32",
+                    "quantization": Value::Object(quant),
+                })
+            }
         }
     }
 
@@ -90,15 +141,57 @@ impl WeightSpec {
         let quantization = match v.get("quantization") {
             None => None,
             Some(q) => {
-                let kind = q
-                    .get("dtype")
-                    .and_then(Value::as_str)
-                    .and_then(Quantization::from_name)
-                    .ok_or_else(|| Error::Serialization { message: "bad quantization dtype".into() })?;
+                let dtype_str = q.get("dtype").and_then(Value::as_str).ok_or_else(|| {
+                    Error::Serialization {
+                        message: format!("weight '{name}': quantization entry is missing a dtype"),
+                    }
+                })?;
+                // An unrecognized dtype (e.g. "int8") must be a hard error:
+                // treating it as unquantized would reinterpret the raw
+                // quantized bytes as f32 garbage.
+                let kind = Quantization::from_name(dtype_str).ok_or_else(|| {
+                    Error::invalid(
+                        "weight_spec",
+                        format!(
+                            "weight '{name}': unsupported quantization dtype '{dtype_str}' (supported: uint8, uint16); refusing to reinterpret quantized bytes as float32"
+                        ),
+                    )
+                })?;
+                let per_channel = match q.get("scales").and_then(Value::as_array) {
+                    None => None,
+                    Some(scales_json) => {
+                        let axis = q.get("axis").and_then(Value::as_u64).ok_or_else(|| {
+                            Error::Serialization {
+                                message: format!(
+                                    "weight '{name}': per-channel quantization is missing its axis"
+                                ),
+                            }
+                        })? as usize;
+                        let scales: Vec<f32> = scales_json
+                            .iter()
+                            .filter_map(Value::as_f64)
+                            .map(|s| s as f32)
+                            .collect();
+                        let mins: Vec<f32> = q
+                            .get("mins")
+                            .and_then(Value::as_array)
+                            .map(|a| a.iter().filter_map(Value::as_f64).map(|m| m as f32).collect())
+                            .unwrap_or_default();
+                        if scales.len() != mins.len() || scales.len() != shape.get(axis).copied().unwrap_or(0) {
+                            return Err(Error::Serialization {
+                                message: format!(
+                                    "weight '{name}': per-channel scales/mins do not match axis {axis} of shape {shape:?}"
+                                ),
+                            });
+                        }
+                        Some(ChannelQuant { axis, scales, mins })
+                    }
+                };
                 Some(QuantInfo {
                     kind,
                     scale: q.get("scale").and_then(Value::as_f64).unwrap_or(1.0) as f32,
                     min: q.get("min").and_then(Value::as_f64).unwrap_or(0.0) as f32,
+                    per_channel,
                 })
             }
         };
@@ -160,6 +253,15 @@ impl ModelArtifacts {
                 eat(q.kind.name().as_bytes());
                 eat(&q.scale.to_le_bytes());
                 eat(&q.min.to_le_bytes());
+                if let Some(pc) = &q.per_channel {
+                    eat(&(pc.axis as u64).to_le_bytes());
+                    for s in &pc.scales {
+                        eat(&s.to_le_bytes());
+                    }
+                    for m in &pc.mins {
+                        eat(&m.to_le_bytes());
+                    }
+                }
             }
         }
         eat(&self.weight_data);
@@ -193,6 +295,53 @@ mod tests {
     fn malformed_spec_errors() {
         assert!(WeightSpec::from_json(&json!({"shape": [1]})).is_err());
         assert!(WeightSpec::from_json(&json!({"name": "w"})).is_err());
+    }
+
+    #[test]
+    fn unknown_quantization_dtype_is_rejected_naming_dtype_and_tensor() {
+        // Regression: an unrecognized quantization dtype used to produce a
+        // generic "bad quantization dtype" serialization error; anything
+        // weaker (e.g. ignoring the entry) would reinterpret quantized
+        // bytes as f32 garbage. The error must be InvalidArgument and name
+        // both the offending dtype and the tensor.
+        let v = json!({
+            "name": "conv1/kernel",
+            "shape": [3, 3, 8, 16],
+            "dtype": "float32",
+            "quantization": {"dtype": "int8", "scale": 0.1, "min": -1.0},
+        });
+        let err = WeightSpec::from_json(&v).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("int8"), "{msg}");
+        assert!(msg.contains("conv1/kernel"), "{msg}");
+    }
+
+    #[test]
+    fn per_channel_spec_round_trips() {
+        let s = WeightSpec::quantized_per_channel(
+            "conv/kernel".into(),
+            vec![1, 1, 2, 3],
+            Quantization::U8,
+            3,
+            vec![0.1, 0.2, 0.3],
+            vec![-1.0, 0.0, 1.0],
+        );
+        let parsed = WeightSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(s.byte_len(), 6);
+    }
+
+    #[test]
+    fn per_channel_spec_mismatched_lengths_error() {
+        let v = json!({
+            "name": "w", "shape": [4], "dtype": "float32",
+            "quantization": {
+                "dtype": "uint8", "scale": 1.0, "min": 0.0,
+                "axis": 0, "scales": [1.0, 2.0], "mins": [0.0, 0.0],
+            },
+        });
+        assert!(WeightSpec::from_json(&v).is_err());
     }
 
     #[test]

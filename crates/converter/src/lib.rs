@@ -85,6 +85,32 @@ pub fn decode_weights(
     specs: &[WeightSpec],
     data: &[u8],
 ) -> Result<Vec<(String, Tensor)>> {
+    decode_weights_impl(engine, specs, data, false)
+}
+
+/// [`decode_weights`], but U8-quantized weights stay resident as raw codes
+/// (`DType::U8` tensors carrying their [`webml_core::QuantParams`]) instead
+/// of being decoded to f32 — load time never materializes an f32 copy, and
+/// the weight holds one byte per element until a dequant-free fused kernel
+/// consumes it. U16 and full-precision weights decode exactly as
+/// [`decode_weights`] does.
+///
+/// # Errors
+/// Fails when byte counts do not line up with the specs.
+pub fn decode_weights_quantized(
+    engine: &Engine,
+    specs: &[WeightSpec],
+    data: &[u8],
+) -> Result<Vec<(String, Tensor)>> {
+    decode_weights_impl(engine, specs, data, true)
+}
+
+fn decode_weights_impl(
+    engine: &Engine,
+    specs: &[WeightSpec],
+    data: &[u8],
+    keep_u8: bool,
+) -> Result<Vec<(String, Tensor)>> {
     let mut offset = 0usize;
     let mut out = Vec::with_capacity(specs.len());
     for spec in specs {
@@ -97,12 +123,47 @@ pub fn decode_weights(
         }
         let slice = &data[offset..offset + byte_len];
         offset += byte_len;
+        if keep_u8 {
+            if let Some(q) = &spec.quantization {
+                if q.kind == Quantization::U8 {
+                    q.kind.check_buffer(&spec.name, slice.len(), &spec.shape)?;
+                    let params = match &q.per_channel {
+                        Some(pc) => webml_core::QuantParams::per_channel(
+                            pc.axis,
+                            pc.scales.clone(),
+                            pc.mins.clone(),
+                        ),
+                        None => webml_core::QuantParams::per_tensor(q.scale, q.min),
+                    };
+                    let tensor =
+                        engine.quantized_tensor(slice.to_vec(), spec.shape.clone(), params)?;
+                    out.push((spec.name.clone(), tensor));
+                    continue;
+                }
+            }
+        }
         let values: Vec<f32> = match &spec.quantization {
             None => slice
                 .chunks_exact(4)
                 .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
                 .collect(),
-            Some(q) => q.kind.dequantize(slice, q.scale, q.min),
+            Some(q) => {
+                q.kind.check_buffer(&spec.name, slice.len(), &spec.shape)?;
+                match &q.per_channel {
+                    None => q.kind.dequantize(slice, q.scale, q.min)?,
+                    Some(pc) => {
+                        // Per-channel dequantization via the core reference
+                        // semantics (U8 only; per-channel U16 is not
+                        // emitted by the converter).
+                        webml_core::QuantParams::per_channel(
+                            pc.axis,
+                            pc.scales.clone(),
+                            pc.mins.clone(),
+                        )
+                        .dequantize(slice, &spec.shape)
+                    }
+                }
+            }
         };
         if values.len() != count {
             return Err(Error::Serialization {
@@ -206,6 +267,48 @@ pub fn artifacts_from_manifest(
     Ok(ModelArtifacts { topology, weight_specs: specs, weight_data: bytes::Bytes::from(data) })
 }
 
+/// Which weights of `graph` can be stored quantized for dequant-free
+/// inference, mapped to the per-channel quantization axis of their filter
+/// layout. A weight qualifies only when **every** consumer uses it as the
+/// weight operand (`inputs[1]`) of a matmul / conv2d / depthwise-conv2d
+/// node (fused or not) — a weight also fed to any other op would force a
+/// runtime dequantize there, so it stays f32. Axes follow the kernels'
+/// channel layouts: matmul `[k, n]` → 1 (output columns), conv2d HWIO → 3
+/// (output channels), depthwise HWIM → 2 (input channels).
+pub fn quantizable_weights(graph: &GraphDef) -> std::collections::HashMap<String, usize> {
+    let weight_names: std::collections::HashSet<&str> = graph
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.op.as_str(), "Const" | "VariableV2"))
+        .map(|n| n.name.as_str())
+        .collect();
+    // `None` = disqualified; `Some(axis)` = consistent so far.
+    let mut verdict: std::collections::HashMap<&str, Option<usize>> =
+        std::collections::HashMap::new();
+    for node in &graph.nodes {
+        for (k, input) in node.inputs.iter().enumerate() {
+            let name = input.trim_start_matches('^');
+            if !weight_names.contains(name) {
+                continue;
+            }
+            let axis = match (node.op.as_str(), k) {
+                ("MatMul" | "_FusedMatMul", 1) => Some(1),
+                ("Conv2D" | "_FusedConv2D", 1) => Some(3),
+                ("DepthwiseConv2dNative" | "_FusedDepthwiseConv2dNative", 1) => Some(2),
+                _ => None,
+            };
+            let entry = verdict.entry(name).or_insert(axis);
+            if *entry != axis {
+                *entry = None;
+            }
+        }
+    }
+    verdict
+        .into_iter()
+        .filter_map(|(name, axis)| axis.map(|a| (name.to_string(), a)))
+        .collect()
+}
+
 fn io_err(e: std::io::Error) -> Error {
     Error::Serialization { message: format!("io error: {e}") }
 }
@@ -262,6 +365,87 @@ mod tests {
         for (g, w) in got.iter().zip(&expect) {
             assert!((g - w).abs() < 0.1, "quantized {g} vs {w}");
         }
+    }
+
+    #[test]
+    fn decode_quantized_keeps_codes_resident() {
+        let e = engine();
+        let model = small_model(&e);
+        let artifacts = to_artifacts(&model, Some(Quantization::U8)).unwrap();
+        let full = decode_weights(&e, &artifacts.weight_specs, &artifacts.weight_data).unwrap();
+        let kept =
+            decode_weights_quantized(&e, &artifacts.weight_specs, &artifacts.weight_data)
+                .unwrap();
+        for ((_, f), (name, q)) in full.iter().zip(&kept) {
+            assert!(q.is_quantized(), "{name} must stay resident as U8 codes");
+            assert_eq!(q.bytes() * 4, f.bytes(), "{name} holds one byte per code");
+            // Dequantizing the resident codes reproduces the f32 decode.
+            let qv = webml_core::ops::dequantize(q).unwrap().to_f32_vec().unwrap();
+            let fv = f.to_f32_vec().unwrap();
+            for (a, b) in qv.iter().zip(&fv) {
+                assert!((a - b).abs() < 1e-6, "{name}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_weights_survive_shard_boundaries() {
+        // A single quantized weight larger than one 4 MB shard: its codes
+        // span a shard boundary and must reassemble bitwise.
+        let count = shard::SHARD_BYTES + 4096;
+        let codes: Vec<u8> = (0..count).map(|i| (i % 251) as u8).collect();
+        let spec = WeightSpec::quantized("big".to_string(), vec![count], Quantization::U8, 0.5, -1.0);
+        let artifacts = ModelArtifacts {
+            topology: serde_json::json!({}),
+            weight_specs: vec![spec],
+            weight_data: bytes::Bytes::from(codes.clone()),
+        };
+        let shards = shard::split(&artifacts.weight_data, shard::SHARD_BYTES);
+        assert!(shards.len() >= 2, "weight must cross a shard boundary");
+        let paths: Vec<String> = (0..shards.len())
+            .map(|i| format!("group1-shard{}of{}.bin", i + 1, shards.len()))
+            .collect();
+        let manifest = artifacts.manifest_json(&paths);
+        let reloaded = artifacts_from_manifest(&manifest, |path| {
+            let i = paths.iter().position(|p| p == path).expect("known shard");
+            Ok(shards[i].clone())
+        })
+        .unwrap();
+        let e = engine();
+        let ws =
+            decode_weights_quantized(&e, &reloaded.weight_specs, &reloaded.weight_data).unwrap();
+        assert_eq!(ws.len(), 1);
+        let t = &ws[0].1;
+        assert!(t.is_quantized());
+        match t.data_sync().unwrap() {
+            webml_core::TensorData::U8(v) => assert_eq!(v, codes, "codes reassemble bitwise"),
+            other => panic!("expected U8 codes, got {other:?}"),
+        }
+        let params = t.quant_params().expect("params survive the manifest");
+        assert_eq!(*params, webml_core::QuantParams::per_tensor(0.5, -1.0));
+    }
+
+    #[test]
+    fn quantizable_weights_requires_kernel_only_consumers() {
+        let g = GraphDef::from_triples(&[
+            ("x", "Placeholder", &[]),
+            ("w_mm", "Const", &[]),
+            ("w_conv", "Const", &[]),
+            ("b", "Const", &[]),
+            ("w_shared", "Const", &[]),
+            ("mm", "MatMul", &["x", "w_mm"]),
+            ("biased", "BiasAdd", &["mm", "b"]),
+            ("conv", "Conv2D", &["biased", "w_conv"]),
+            // Used both as a matmul weight and as a binary operand:
+            // disqualified (the Add would need a runtime dequantize).
+            ("mm2", "MatMul", &["biased", "w_shared"]),
+            ("sum", "Add", &["mm2", "w_shared"]),
+        ]);
+        let eligible = quantizable_weights(&g);
+        assert_eq!(eligible.get("w_mm"), Some(&1), "matmul weight quantizes on axis 1");
+        assert_eq!(eligible.get("w_conv"), Some(&3), "conv weight quantizes on axis 3");
+        assert!(!eligible.contains_key("b"), "bias is not a kernel weight operand");
+        assert!(!eligible.contains_key("w_shared"), "mixed consumers disqualify");
     }
 
     #[test]

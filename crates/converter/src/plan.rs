@@ -172,6 +172,15 @@ pub struct PlannedOp {
     /// is a pure build-time fact (rank-2 `FusedMatMul` presented as its
     /// batch-1 rank-3 kernel view).
     pub kernel_shapes: Option<Vec<Shape>>,
+    /// Output dtype, propagated at build: aliases keep their input's dtype
+    /// (a reshaped quantized weight stays U8), compute ops emit f32. Feeds
+    /// the dtype-aware peak-memory simulation.
+    pub out_dtype: DType,
+    /// Whether the weight operand (`args[1]`) is a resident quantized
+    /// tensor: dispatch routes to the dequant-free `fused_*_quant` op
+    /// instead of the f32 kernel. Resolved once at build — the hot loop
+    /// never inspects tensor dtypes.
+    pub quant_rhs: bool,
     /// Source node name (error messages only).
     pub name: String,
 }
@@ -244,8 +253,8 @@ pub struct Plan {
     scratch: Mutex<Vec<Option<Tensor>>>,
 }
 
-/// Shape of a value as known during plan construction.
-type BuildVal = (Arg, Shape);
+/// Shape and dtype of a value as known during plan construction.
+type BuildVal = (Arg, Shape, DType);
 
 impl Plan {
     /// Number of executable ops in the plan (≤ graph nodes: weights and
@@ -270,6 +279,19 @@ impl Plan {
     /// Whether the plan was compiled from the fused graph.
     pub fn uses_fused_graph(&self) -> bool {
         self.fused
+    }
+
+    /// Bytes held by the resident weight tensors the plan references,
+    /// dtype-aware: a U8 quantized weight counts one byte per code, so a
+    /// quantized model reports ~4x less than its f32 twin.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_tensors.iter().map(Tensor::bytes).sum()
+    }
+
+    /// Build-time prediction of total resident bytes at the run's peak:
+    /// weights (resident throughout) plus peak live intermediates.
+    pub fn predicted_resident_bytes(&self) -> usize {
+        self.weight_bytes() + self.predicted_peak_bytes
     }
 
     /// Placeholder names the plan binds, in feed-index order.
@@ -345,7 +367,7 @@ impl Plan {
                         )
                     })?;
                     let shape = Shape::new(feed_shapes[fi].1.clone());
-                    vals.insert(node.name.as_str(), (Arg::Feed(fi), shape));
+                    vals.insert(node.name.as_str(), (Arg::Feed(fi), shape, DType::F32));
                 }
                 "Const" | "VariableV2" => {
                     let t = weights.get(&node.name).ok_or_else(|| Error::Serialization {
@@ -354,13 +376,17 @@ impl Plan {
                     let wi = weight_tensors.len();
                     weight_names.push(node.name.clone());
                     weight_tensors.push(t.clone());
-                    vals.insert(node.name.as_str(), (Arg::Weight(wi), t.shape_ref().clone()));
+                    vals.insert(
+                        node.name.as_str(),
+                        (Arg::Weight(wi), t.shape_ref().clone(), t.dtype()),
+                    );
                 }
                 _ => {
                     let mut args: Vec<Arg> = Vec::new();
                     let mut arg_shapes: Vec<Shape> = Vec::new();
+                    let mut arg_dtypes: Vec<DType> = Vec::new();
                     for input in node.inputs.iter().filter(|s| !s.starts_with('^')) {
-                        let (arg, shape) = vals.get(input.as_str()).ok_or_else(|| {
+                        let (arg, shape, dtype) = vals.get(input.as_str()).ok_or_else(|| {
                             Error::invalid(
                                 "plan",
                                 format!("input {input} of {} not computed", node.name),
@@ -368,12 +394,43 @@ impl Plan {
                         })?;
                         args.push(*arg);
                         arg_shapes.push(shape.clone());
+                        arg_dtypes.push(*dtype);
                     }
                     let (kind, out_shape) = lower_node(node, &arg_shapes)?;
+                    // Aliases carry their input's dtype (a reshaped U8
+                    // weight stays one byte per code); compute ops emit f32.
+                    let out_dtype = match kind {
+                        OpKind::Identity | OpKind::Reshape => {
+                            arg_dtypes.first().copied().unwrap_or(DType::F32)
+                        }
+                        _ => DType::F32,
+                    };
+                    // A quantized weight operand routes to the dequant-free
+                    // fused quant kernels: no direct f32 kernel dispatch,
+                    // and the composite quant op needs a scope.
+                    let quant_rhs = matches!(
+                        kind,
+                        OpKind::MatMul
+                            | OpKind::Conv2d { .. }
+                            | OpKind::DepthwiseConv2d { .. }
+                            | OpKind::FusedMatMul { .. }
+                            | OpKind::FusedConv2d { .. }
+                            | OpKind::FusedDepthwiseConv2d { .. }
+                    ) && matches!(
+                        args.get(1),
+                        Some(Arg::Weight(w)) if weight_tensors[*w].is_quantized()
+                    );
                     let out_slot = ops_list.len();
-                    vals.insert(node.name.as_str(), (Arg::Slot(out_slot), out_shape.clone()));
-                    let kernel_shapes = direct_kernel_shapes(&kind, &arg_shapes);
-                    let scoped = needs_scope(&kind) && kernel_shapes.is_none();
+                    vals.insert(
+                        node.name.as_str(),
+                        (Arg::Slot(out_slot), out_shape.clone(), out_dtype),
+                    );
+                    let kernel_shapes = if quant_rhs {
+                        None
+                    } else {
+                        direct_kernel_shapes(&kind, &arg_shapes)
+                    };
+                    let scoped = quant_rhs || (needs_scope(&kind) && kernel_shapes.is_none());
                     ops_list.push(PlannedOp {
                         kind,
                         args,
@@ -382,6 +439,8 @@ impl Plan {
                         dispose_after: Vec::new(),
                         scoped,
                         kernel_shapes,
+                        out_dtype,
+                        quant_rhs,
                         name: node.name.clone(),
                     });
                 }
@@ -390,7 +449,7 @@ impl Plan {
 
         let fetch_sources: Vec<Arg> = fetches
             .iter()
-            .map(|&f| vals.get(f).map(|(a, _)| *a).expect("fetch resolved above"))
+            .map(|&f| vals.get(f).map(|(a, _, _)| *a).expect("fetch resolved above"))
             .collect();
         let feeds: Vec<(String, Shape)> = feed_shapes
             .iter()
@@ -443,9 +502,11 @@ impl Plan {
     }
 
     /// Replay the plan against the engine's accounting rules: every
-    /// non-alias op allocates `size * 4` bytes (f32 data containers);
-    /// aliases join their producer's container and free nothing until the
-    /// whole alias group is disposed; `dispose_after` releases eagerly.
+    /// non-alias op allocates `size * dtype_bytes` bytes (f32 data
+    /// containers for compute ops; U8 containers — one byte per code — for
+    /// quantized values); aliases join their producer's container and free
+    /// nothing until the whole alias group is disposed; `dispose_after`
+    /// releases eagerly.
     fn simulate_peak_bytes(ops: &[PlannedOp], num_slots: usize) -> usize {
         let mut slot_group: Vec<Option<usize>> = vec![None; num_slots];
         let mut group_bytes: Vec<usize> = Vec::new();
@@ -462,7 +523,7 @@ impl Plan {
                 }
             } else {
                 let g = group_bytes.len();
-                let bytes = op.out_shape.size() * 4;
+                let bytes = op.out_shape.size() * op.out_dtype.byte_size();
                 group_bytes.push(bytes);
                 group_refs.push(0);
                 live += bytes;
@@ -603,7 +664,13 @@ impl Plan {
 
     fn dispatch(&self, op: &PlannedOp, args: &[&Tensor]) -> Result<Tensor> {
         match &op.kind {
-            OpKind::MatMul => ops::matmul(args[0], args[1], false, false),
+            OpKind::MatMul => {
+                if op.quant_rhs {
+                    ops::fused_matmul_quant(args[0], args[1], None, None, false, false)
+                } else {
+                    ops::matmul(args[0], args[1], false, false)
+                }
+            }
             OpKind::Binary(b) => match b {
                 BinaryOp::Add => ops::add(args[0], args[1]),
                 BinaryOp::Sub => ops::sub(args[0], args[1]),
@@ -616,10 +683,26 @@ impl Plan {
             OpKind::Identity => ops::identity(args[0]),
             OpKind::Reshape => ops::reshape(args[0], op.out_shape.clone()),
             OpKind::Conv2d { strides, padding } => {
-                ops::conv2d(args[0], args[1], *strides, *padding, (1, 1))
+                if op.quant_rhs {
+                    ops::fused_conv2d_quant(args[0], args[1], None, None, *strides, *padding, (1, 1))
+                } else {
+                    ops::conv2d(args[0], args[1], *strides, *padding, (1, 1))
+                }
             }
             OpKind::DepthwiseConv2d { strides, padding } => {
-                ops::depthwise_conv2d(args[0], args[1], *strides, *padding, (1, 1))
+                if op.quant_rhs {
+                    ops::fused_depthwise_conv2d_quant(
+                        args[0],
+                        args[1],
+                        None,
+                        None,
+                        *strides,
+                        *padding,
+                        (1, 1),
+                    )
+                } else {
+                    ops::depthwise_conv2d(args[0], args[1], *strides, *padding, (1, 1))
+                }
             }
             OpKind::MaxPool { window, strides, padding } => {
                 ops::max_pool(args[0], *window, *strides, *padding)
@@ -639,23 +722,59 @@ impl Plan {
                     }
                 }
                 let bias = if *has_bias { Some(args[2]) } else { None };
-                ops::fused_matmul(args[0], args[1], bias, *activation, false, false)
+                if op.quant_rhs {
+                    ops::fused_matmul_quant(args[0], args[1], bias, *activation, false, false)
+                } else {
+                    ops::fused_matmul(args[0], args[1], bias, *activation, false, false)
+                }
             }
             OpKind::FusedConv2d { strides, padding, has_bias, activation } => {
                 let bias = if *has_bias { Some(args[2]) } else { None };
-                ops::fused_conv2d(args[0], args[1], bias, *activation, *strides, *padding, (1, 1))
+                if op.quant_rhs {
+                    ops::fused_conv2d_quant(
+                        args[0],
+                        args[1],
+                        bias,
+                        *activation,
+                        *strides,
+                        *padding,
+                        (1, 1),
+                    )
+                } else {
+                    ops::fused_conv2d(
+                        args[0],
+                        args[1],
+                        bias,
+                        *activation,
+                        *strides,
+                        *padding,
+                        (1, 1),
+                    )
+                }
             }
             OpKind::FusedDepthwiseConv2d { strides, padding, has_bias, activation } => {
                 let bias = if *has_bias { Some(args[2]) } else { None };
-                ops::fused_depthwise_conv2d(
-                    args[0],
-                    args[1],
-                    bias,
-                    *activation,
-                    *strides,
-                    *padding,
-                    (1, 1),
-                )
+                if op.quant_rhs {
+                    ops::fused_depthwise_conv2d_quant(
+                        args[0],
+                        args[1],
+                        bias,
+                        *activation,
+                        *strides,
+                        *padding,
+                        (1, 1),
+                    )
+                } else {
+                    ops::fused_depthwise_conv2d(
+                        args[0],
+                        args[1],
+                        bias,
+                        *activation,
+                        *strides,
+                        *padding,
+                        (1, 1),
+                    )
+                }
             }
             OpKind::FusedElementwise { steps } => {
                 ops::fused_elementwise(args[0], &args[1..], steps)

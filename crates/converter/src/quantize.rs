@@ -86,15 +86,129 @@ impl Quantization {
         Ok((out, scale as f32, min))
     }
 
+    /// Quantize values with one `(scale, min)` pair **per channel** along
+    /// `axis` — the standard treatment for conv filters, whose per-output-
+    /// channel dynamic ranges differ by orders of magnitude. Returns the
+    /// packed bytes (same row-major layout as the input) plus parallel
+    /// `scales`/`mins` vectors of length `shape[axis]`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when `axis` is out of range, `values.len()`
+    /// does not match `shape`, or any value is non-finite (same policy as
+    /// [`Quantization::quantize`]).
+    pub fn quantize_per_channel(
+        self,
+        tensor_name: &str,
+        values: &[f32],
+        shape: &[usize],
+        axis: usize,
+    ) -> Result<(Vec<u8>, Vec<f32>, Vec<f32>)> {
+        let count: usize = shape.iter().product();
+        if values.len() != count {
+            return Err(Error::invalid(
+                "quantize_per_channel",
+                format!("weight tensor '{tensor_name}': {} values do not match shape {shape:?}", values.len()),
+            ));
+        }
+        if axis >= shape.len() {
+            return Err(Error::invalid(
+                "quantize_per_channel",
+                format!("weight tensor '{tensor_name}': axis {axis} out of range for shape {shape:?}"),
+            ));
+        }
+        if let Some((i, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(Error::invalid(
+                "quantize_per_channel",
+                format!("weight tensor '{tensor_name}' has non-finite value {v} at index {i}; refusing to quantize"),
+            ));
+        }
+        let channels = shape[axis];
+        let stride: usize = shape[axis + 1..].iter().product();
+        let channel_of = |i: usize| (i / stride) % channels;
+        let mut mins = vec![f32::INFINITY; channels];
+        let mut maxs = vec![f32::NEG_INFINITY; channels];
+        for (i, &v) in values.iter().enumerate() {
+            let c = channel_of(i);
+            mins[c] = mins[c].min(v);
+            maxs[c] = maxs[c].max(v);
+        }
+        let mut scales = vec![1.0f32; channels];
+        for c in 0..channels {
+            if !mins[c].is_finite() {
+                // Empty channel slice (zero-sized tensor): neutral params.
+                mins[c] = 0.0;
+                maxs[c] = 0.0;
+            }
+            let range = (maxs[c] - mins[c]) as f64;
+            scales[c] = if range == 0.0 { 1.0 } else { (range / self.levels()) as f32 };
+        }
+        let mut out = Vec::with_capacity(values.len() * self.byte_size());
+        for (i, &v) in values.iter().enumerate() {
+            let c = channel_of(i);
+            let range = maxs[c] - mins[c];
+            let q = if range == 0.0 {
+                0u64
+            } else {
+                (((v - mins[c]) as f64 / scales[c] as f64).round() as u64).min(self.levels() as u64)
+            };
+            match self {
+                Quantization::U8 => out.push(q as u8),
+                Quantization::U16 => out.extend_from_slice(&(q as u16).to_le_bytes()),
+            }
+        }
+        Ok((out, scales, mins))
+    }
+
     /// Dequantize bytes back to f32 values.
-    pub fn dequantize(self, bytes: &[u8], scale: f32, min: f32) -> Vec<f32> {
-        match self {
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when `bytes.len()` is not a whole number
+    /// of stored values: `chunks_exact` would otherwise silently drop the
+    /// trailing byte(s) of a truncated or corrupt shard, producing a
+    /// shorter-than-declared tensor downstream.
+    pub fn dequantize(self, bytes: &[u8], scale: f32, min: f32) -> Result<Vec<f32>> {
+        let rem = bytes.len() % self.byte_size();
+        if rem != 0 {
+            return Err(Error::invalid(
+                "dequantize",
+                format!(
+                    "{}-byte buffer is not a whole number of {} values ({} bytes each); refusing to drop {rem} trailing byte(s) from a truncated or corrupt shard",
+                    bytes.len(),
+                    self.name(),
+                    self.byte_size(),
+                ),
+            ));
+        }
+        Ok(match self {
             Quantization::U8 => bytes.iter().map(|&b| b as f32 * scale + min).collect(),
             Quantization::U16 => bytes
                 .chunks_exact(2)
                 .map(|b| u16::from_le_bytes([b[0], b[1]]) as f32 * scale + min)
                 .collect(),
+        })
+    }
+
+    /// Validate that a byte buffer holds exactly the elements a declared
+    /// shape calls for. Catches shard truncation/corruption that happens to
+    /// stay `byte_size`-aligned, which [`Quantization::dequantize`]'s
+    /// alignment check alone cannot see.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] naming the tensor on any mismatch.
+    pub fn check_buffer(self, tensor_name: &str, byte_len: usize, shape: &[usize]) -> Result<()> {
+        let count: usize = shape.iter().product();
+        if byte_len != count * self.byte_size() {
+            return Err(Error::invalid(
+                "dequantize",
+                format!(
+                    "weight tensor '{tensor_name}': {byte_len} bytes does not match declared shape {shape:?} ({count} x {}-byte {} values = {} bytes)",
+                    self.byte_size(),
+                    self.name(),
+                    count * self.byte_size(),
+                ),
+            ));
         }
+        Ok(())
     }
 
     /// Worst-case absolute reconstruction error for a value range.
@@ -127,7 +241,7 @@ mod tests {
         let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
         for q in [Quantization::U8, Quantization::U16] {
             let (bytes, scale, min) = q.quantize("w", &values).unwrap();
-            let back = q.dequantize(&bytes, scale, min);
+            let back = q.dequantize(&bytes, scale, min).unwrap();
             let bound = q.max_error(-3.0, 3.0) * 1.01;
             for (a, b) in values.iter().zip(&back) {
                 assert!((a - b).abs() <= bound, "{q:?}: {a} vs {b} (bound {bound})");
@@ -139,7 +253,7 @@ mod tests {
     fn endpoints_are_exact() {
         let values = vec![-2.0f32, 0.0, 2.0];
         let (bytes, scale, min) = Quantization::U8.quantize("w", &values).unwrap();
-        let back = Quantization::U8.dequantize(&bytes, scale, min);
+        let back = Quantization::U8.dequantize(&bytes, scale, min).unwrap();
         assert_eq!(back[0], -2.0);
         assert!((back[2] - 2.0).abs() < 1e-5);
     }
@@ -148,7 +262,7 @@ mod tests {
     fn constant_tensor_survives() {
         let values = vec![0.7f32; 8];
         let (bytes, scale, min) = Quantization::U8.quantize("w", &values).unwrap();
-        let back = Quantization::U8.dequantize(&bytes, scale, min);
+        let back = Quantization::U8.dequantize(&bytes, scale, min).unwrap();
         assert_eq!(back, values);
     }
 
@@ -184,10 +298,72 @@ mod tests {
         // encoding of healthy tensors.
         let values = vec![-1.5f32, -0.25, 0.0, 0.75, 3.0];
         let (bytes, scale, min) = Quantization::U16.quantize("w", &values).unwrap();
-        let back = Quantization::U16.dequantize(&bytes, scale, min);
+        let back = Quantization::U16.dequantize(&bytes, scale, min).unwrap();
         let bound = Quantization::U16.max_error(-1.5, 3.0) * 1.01;
         for (a, b) in values.iter().zip(&back) {
             assert!((a - b).abs() <= bound);
         }
+    }
+
+    #[test]
+    fn truncated_u16_buffer_is_rejected_not_silently_shortened() {
+        // Regression: chunks_exact(2) used to drop the trailing odd byte,
+        // so a truncated shard decoded to one fewer value than declared.
+        let (mut bytes, scale, min) = Quantization::U16.quantize("w", &[1.0, 2.0, 3.0]).unwrap();
+        bytes.pop(); // simulate a truncated shard
+        let err = Quantization::U16.dequantize(&bytes, scale, min).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("uint16"), "{msg}");
+        assert!(msg.contains("trailing"), "{msg}");
+        assert!(matches!(err, Error::InvalidArgument { .. }));
+    }
+
+    #[test]
+    fn check_buffer_catches_aligned_truncation() {
+        // A U16 buffer short by a whole value passes the alignment check
+        // but must fail shape validation.
+        assert!(Quantization::U16.check_buffer("w", 6, &[2, 2]).is_err());
+        assert!(Quantization::U16.check_buffer("w", 8, &[2, 2]).is_ok());
+        let err = Quantization::U8.check_buffer("conv/kernel", 3, &[2, 2]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("conv/kernel"), "{msg}");
+        assert!(msg.contains("[2, 2]"), "{msg}");
+    }
+
+    #[test]
+    fn per_channel_tracks_each_channel_range() {
+        // Two output channels with wildly different ranges: per-tensor
+        // quantization would burn all resolution on the large channel.
+        let shape = [4usize, 2usize];
+        // Column 0 in [0, 100], column 1 in [0, 0.1].
+        let values = vec![0.0, 0.0, 30.0, 0.03, 70.0, 0.07, 100.0, 0.1];
+        let (bytes, scales, mins) =
+            Quantization::U8.quantize_per_channel("w", &values, &shape, 1).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(scales.len(), 2);
+        assert_eq!(mins.len(), 2);
+        for (i, &v) in values.iter().enumerate() {
+            let c = i % 2;
+            let back = bytes[i] as f32 * scales[c] + mins[c];
+            let bound = if c == 0 {
+                Quantization::U8.max_error(0.0, 100.0)
+            } else {
+                Quantization::U8.max_error(0.0, 0.1)
+            } * 1.01;
+            assert!((back - v).abs() <= bound, "channel {c}: {back} vs {v}");
+        }
+        // The small channel keeps fine resolution: error way below the
+        // per-tensor bound of ~0.2.
+        assert!(scales[1] < 1e-3, "scales: {scales:?}");
+    }
+
+    #[test]
+    fn per_channel_rejects_bad_axis_and_length() {
+        assert!(Quantization::U8.quantize_per_channel("w", &[1.0; 4], &[2, 2], 2).is_err());
+        assert!(Quantization::U8.quantize_per_channel("w", &[1.0; 3], &[2, 2], 1).is_err());
+        let err = Quantization::U8
+            .quantize_per_channel("w", &[1.0, f32::NAN], &[2], 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
     }
 }

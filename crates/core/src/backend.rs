@@ -942,6 +942,170 @@ pub trait Backend: Send + Sync {
     ) -> Result<DataId> {
         fused_elementwise_fallback(self, x, extras, steps, out_shape)
     }
+
+    // --- quantized fused kernels (paper Sec 5.1: uint8 weights) ------------
+    //
+    // The quantized variants take the right-hand operand / filter as raw U8
+    // codes plus affine `QuantParams` and must be *dequant-free*: no f32
+    // weight tensor is ever materialized. Real overrides use the factored
+    // accumulation `Σ aₖ(qₖs+m) = s·Σ aₖqₖ + m·Σ aₖ` and apply scale/min in
+    // the epilogue, before bias and activation — in exactly the epilogue
+    // order documented above, every scalar through `BinaryOp::apply` /
+    // `UnaryOp::apply`. The defaults below dequantize host-side and defer
+    // to the f32 fused kernel, so every backend is correct with no changes.
+
+    /// [`Backend::fused_matmul`] with a quantized right-hand operand: `b`
+    /// holds raw U8 codes dequantizing as `code * scale + min` per
+    /// `b_params` (per-tensor, or per-channel along the output-column axis).
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    #[allow(clippy::too_many_arguments)] // mirrors fused_matmul plus params
+    fn fused_matmul_quant(
+        &self,
+        a: &KTensor<'_>,
+        b: &KTensor<'_>,
+        b_params: &crate::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        transpose_a: bool,
+        transpose_b: bool,
+    ) -> Result<DataId> {
+        fused_matmul_quant_fallback(self, a, b, b_params, bias, activation, transpose_a, transpose_b)
+    }
+
+    /// [`Backend::fused_conv2d`] with a quantized filter (U8 codes plus
+    /// `filter_params`; per-channel params index the output-channel axis).
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    fn fused_conv2d_quant(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        filter_params: &crate::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        fused_conv2d_quant_fallback(self, x, filter, filter_params, bias, activation, info)
+    }
+
+    /// [`Backend::fused_depthwise_conv2d`] with a quantized filter.
+    ///
+    /// # Errors
+    /// Backend-specific execution failure.
+    fn fused_depthwise_conv2d_quant(
+        &self,
+        x: &KTensor<'_>,
+        filter: &KTensor<'_>,
+        filter_params: &crate::quant::QuantParams,
+        bias: Option<&KTensor<'_>>,
+        activation: Option<UnaryOp>,
+        info: &Conv2dInfo,
+    ) -> Result<DataId> {
+        fused_depthwise_conv2d_quant_fallback(self, x, filter, filter_params, bias, activation, info)
+    }
+}
+
+/// Materialize a quantized operand as a temporary f32 container on the same
+/// backend, via the host-side reference dequantization. The returned id is
+/// owned by the caller (dispose after use). This is the *fallback* path
+/// only — real quantized kernels never materialize f32 weights.
+fn dequantize_to_f32<B: Backend + ?Sized>(
+    backend: &B,
+    t: &KTensor<'_>,
+    params: &crate::quant::QuantParams,
+) -> Result<DataId> {
+    let host = backend.read_sync(t.data)?;
+    // Backends that store U8 codes as floats on the device (the WebGL R8
+    // texture path) read back exact integer-valued f32s; round-trip them.
+    let codes: Vec<u8> = match host {
+        TensorData::U8(v) => v,
+        other => other.to_f32_vec().iter().map(|&x| x.round().clamp(0.0, 255.0) as u8).collect(),
+    };
+    let values = params.dequantize(&codes, t.shape.dims());
+    Ok(backend.register(TensorData::F32(values), DType::F32))
+}
+
+/// Reference composition for [`Backend::fused_matmul_quant`]: host-side
+/// dequantize, then the backend's own f32 fused matmul. Also the fallback a
+/// quantized override uses when its program cannot run.
+///
+/// # Errors
+/// Propagates the first failing kernel or read.
+#[allow(clippy::too_many_arguments)] // mirrors the trait method
+pub fn fused_matmul_quant_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    a: &KTensor<'_>,
+    b: &KTensor<'_>,
+    b_params: &crate::quant::QuantParams,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<DataId> {
+    let fid = dequantize_to_f32(backend, b, b_params)?;
+    let batch = a.shape.dim(0);
+    // Quantized weights broadcast a batch-1 `b` across the batch; the f32
+    // fused kernel expects matching batch dims, so tile the temporary.
+    if b.shape.dim(0) == 1 && batch > 1 {
+        let fb = KTensor { data: fid, shape: b.shape, dtype: DType::F32 };
+        let tiled = backend.tile(&fb, &[batch, 1, 1]);
+        backend.dispose_data(fid);
+        let tid = tiled?;
+        let tiled_shape = Shape::new(vec![batch, b.shape.dim(1), b.shape.dim(2)]);
+        let tb = KTensor { data: tid, shape: &tiled_shape, dtype: DType::F32 };
+        let out = backend.fused_matmul(a, &tb, bias, activation, transpose_a, transpose_b);
+        backend.dispose_data(tid);
+        return out;
+    }
+    let fb = KTensor { data: fid, shape: b.shape, dtype: DType::F32 };
+    let out = backend.fused_matmul(a, &fb, bias, activation, transpose_a, transpose_b);
+    backend.dispose_data(fid);
+    out
+}
+
+/// Reference composition for [`Backend::fused_conv2d_quant`] (see
+/// [`fused_matmul_quant_fallback`]).
+///
+/// # Errors
+/// Propagates the first failing kernel or read.
+pub fn fused_conv2d_quant_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    x: &KTensor<'_>,
+    filter: &KTensor<'_>,
+    filter_params: &crate::quant::QuantParams,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Result<DataId> {
+    let fid = dequantize_to_f32(backend, filter, filter_params)?;
+    let ff = KTensor { data: fid, shape: filter.shape, dtype: DType::F32 };
+    let out = backend.fused_conv2d(x, &ff, bias, activation, info);
+    backend.dispose_data(fid);
+    out
+}
+
+/// Reference composition for [`Backend::fused_depthwise_conv2d_quant`] (see
+/// [`fused_matmul_quant_fallback`]).
+///
+/// # Errors
+/// Propagates the first failing kernel or read.
+pub fn fused_depthwise_conv2d_quant_fallback<B: Backend + ?Sized>(
+    backend: &B,
+    x: &KTensor<'_>,
+    filter: &KTensor<'_>,
+    filter_params: &crate::quant::QuantParams,
+    bias: Option<&KTensor<'_>>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Result<DataId> {
+    let fid = dequantize_to_f32(backend, filter, filter_params)?;
+    let ff = KTensor { data: fid, shape: filter.shape, dtype: DType::F32 };
+    let out = backend.fused_depthwise_conv2d(x, &ff, bias, activation, info);
+    backend.dispose_data(fid);
+    out
 }
 
 /// Apply the shared bias+activation epilogue with unfused kernels, disposing

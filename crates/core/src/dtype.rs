@@ -195,6 +195,14 @@ impl TensorData {
     }
 
     /// Cast the buffer into the representation for `dtype`.
+    ///
+    /// Float→`U8` is a **saturating** cast: values clamp to `[0, 255]` and
+    /// round toward zero. NaN maps to 0 — the same policy as Rust's
+    /// `as u8` and WebGL's unsigned-normalized texture stores. Callers for
+    /// whom a silent NaN→0 would corrupt data (quantized image inputs)
+    /// must validate first; [`Engine::tensor_u8`](crate::Engine) and the
+    /// quantized-weight path reject non-finite inputs before ever reaching
+    /// this cast.
     pub fn cast(&self, dtype: DType) -> TensorData {
         match dtype {
             DType::F32 | DType::F16 => TensorData::F32(self.to_f32_vec()),
@@ -205,6 +213,20 @@ impl TensorData {
             DType::U8 => TensorData::U8(
                 self.to_f64_vec().iter().map(|&x| x.clamp(0.0, 255.0) as u8).collect(),
             ),
+        }
+    }
+
+    /// Index and value of the first non-finite element, if any. Used by
+    /// tensor-creation paths that must reject NaN/±inf before a lossy
+    /// integer cast (the float→U8 cast silently maps NaN to 0).
+    pub fn first_non_finite(&self) -> Option<(usize, f64)> {
+        match self {
+            TensorData::F32(v) => v
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !x.is_finite())
+                .map(|(i, &x)| (i, x as f64)),
+            TensorData::I32(_) | TensorData::U8(_) => None,
         }
     }
 
@@ -385,6 +407,27 @@ mod tests {
     fn tensor_data_cast_bool() {
         let d = TensorData::F32(vec![0.0, 1.5, -2.0]);
         assert_eq!(d.cast(DType::Bool), TensorData::U8(vec![0, 1, 1]));
+    }
+
+    #[test]
+    fn u8_cast_policy_saturates_and_maps_nan_to_zero() {
+        // The documented policy for the lossy float→U8 cast: clamp to
+        // [0, 255], truncate, NaN → 0. Engine-level U8 tensor creation
+        // rejects non-finite values *before* this cast; this test pins the
+        // raw-cast behaviour so the policy cannot drift silently.
+        let d = TensorData::F32(vec![-1.0, 0.0, 254.6, 300.0, f32::NAN, f32::INFINITY]);
+        assert_eq!(d.cast(DType::U8), TensorData::U8(vec![0, 0, 254, 255, 0, 255]));
+    }
+
+    #[test]
+    fn first_non_finite_finds_nan_and_inf() {
+        assert_eq!(TensorData::F32(vec![1.0, 2.0]).first_non_finite(), None);
+        let (i, v) = TensorData::F32(vec![1.0, f32::NAN]).first_non_finite().unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
+        let (i, _) = TensorData::F32(vec![f32::NEG_INFINITY]).first_non_finite().unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(TensorData::I32(vec![7]).first_non_finite(), None);
     }
 
     #[test]

@@ -237,6 +237,11 @@ pub(crate) struct TensorRecord {
     kept: bool,
     variable: bool,
     scope: Option<usize>,
+    /// Affine dequantization params for U8-stored quantized tensors.
+    /// Keyed by tensor id (not data handle), so they survive backend
+    /// migration and context-loss recovery — only raw codes move between
+    /// devices. Disposal frees them with the record.
+    quant: Option<Arc<crate::quant::QuantParams>>,
 }
 
 struct Scope {
@@ -551,9 +556,10 @@ impl Engine {
                 None => None,
             }
         };
-        self.tensor_shard(id)
-            .lock()
-            .insert(id, TensorRecord { data: data_handle, kept: false, variable: false, scope });
+        self.tensor_shard(id).lock().insert(
+            id,
+            TensorRecord { data: data_handle, kept: false, variable: false, scope, quant: None },
+        );
         let live = self.inner.num_tensors.fetch_add(1, Ordering::Relaxed) + 1;
         if self.inner.profiling.load(Ordering::Relaxed) {
             let p = &self.inner.profile;
@@ -590,6 +596,20 @@ impl Engine {
                 format!("data length {} does not match shape {} (size {})", data.len(), shape, shape.size()),
             ));
         }
+        // The float→U8 cast saturates and maps NaN to 0 (see
+        // `TensorData::cast`); a NaN pixel silently zeroing out would
+        // corrupt quantized image inputs, so the engine boundary rejects
+        // non-finite values instead.
+        if dtype == DType::U8 {
+            if let Some((i, v)) = data.first_non_finite() {
+                return Err(Error::invalid(
+                    "tensor",
+                    format!(
+                        "cannot create a uint8 tensor: non-finite value {v} at index {i} would silently cast to 0"
+                    ),
+                ));
+            }
+        }
         let data = data.cast(dtype);
         let bytes = shape.size() * dtype.byte_size();
         self.collect_garbage();
@@ -600,6 +620,42 @@ impl Engine {
         let id = backend.register(data, dtype);
         let handle = self.register_data(backend_name, id, bytes, dtype);
         Ok(self.register_tensor(handle, shape, dtype))
+    }
+
+    /// Create a **quantized** tensor from raw U8 codes plus affine
+    /// dequantization parameters (paper Sec 5.1), stored at one byte per
+    /// element with `value ≈ code * scale + min` semantics. The params live
+    /// in the tensor registry — they survive backend migration and
+    /// context-loss recovery, and fused quantized kernels read them to run
+    /// dequant-free (see [`crate::quant::QuantParams`]).
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when `codes.len() != shape.size()` or the
+    /// params fail [`crate::quant::QuantParams::validate`].
+    pub fn quantized_tensor(
+        &self,
+        codes: Vec<u8>,
+        shape: impl Into<Shape>,
+        params: crate::quant::QuantParams,
+    ) -> Result<Tensor> {
+        let shape = shape.into();
+        params.validate(&shape)?;
+        let t = self.make_tensor(TensorData::U8(codes), shape, DType::U8)?;
+        self.set_quant_params(t.id(), Arc::new(params));
+        Ok(t)
+    }
+
+    /// Attach dequantization params to an existing tensor (used by alias
+    /// propagation and the quantized-weight loader).
+    pub(crate) fn set_quant_params(&self, tensor_id: usize, params: Arc<crate::quant::QuantParams>) {
+        if let Some(rec) = self.tensor_shard(tensor_id).lock().get_mut(&tensor_id) {
+            rec.quant = Some(params);
+        }
+    }
+
+    /// The dequantization params attached to a tensor, if it is quantized.
+    pub fn quant_params(&self, tensor_id: usize) -> Option<Arc<crate::quant::QuantParams>> {
+        self.tensor_shard(tensor_id).lock().get(&tensor_id).and_then(|r| r.quant.clone())
     }
 
     /// Create a new tensor that shares the data of `t` under a new shape —
@@ -636,6 +692,13 @@ impl Engine {
             rec.refcount += 1;
         }
         let out = self.register_tensor(data_handle, new_shape, t.dtype());
+        // A view of quantized codes dequantizes with the same params
+        // (per-channel params may stop lining up after a reshape, but the
+        // codes themselves are unchanged; consumers re-validate per-channel
+        // axes against the shape they dispatch with).
+        if let Some(q) = self.quant_params(t.id()) {
+            self.set_quant_params(out.id(), q);
+        }
         if let Some(grad_fn) = grad {
             self.maybe_record(kernel, &[t], std::slice::from_ref(&out), grad_fn);
         }

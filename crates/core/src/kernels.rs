@@ -17,6 +17,7 @@
 
 use crate::backend::{ArgReduceOp, BinaryOp, PoolOp, ReduceOp, UnaryOp};
 use crate::conv_util::Conv2dInfo;
+use crate::quant::QuantParams;
 use crate::shape::{broadcast_source_index, Shape};
 
 /// Call `f(flat_index, coords)` for every coordinate of `dims` in row-major
@@ -153,6 +154,277 @@ pub fn matmul(
                     acc += av * bv;
                 }
                 out[o_off + i * n + j] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `params` can drive a factored (dequant-free) kernel whose
+/// accumulation keeps one `(scale, min)` pair per output element: per-tensor
+/// always can; per-channel only when the channel axis is `axis` with exactly
+/// `channels` entries, so scale/min are constant over the inner loop.
+pub fn quant_axis_ok(params: &QuantParams, axis: usize, channels: usize) -> bool {
+    match params {
+        QuantParams::PerTensor { .. } => true,
+        QuantParams::PerChannel { axis: a, scales, .. } => *a == axis && scales.len() == channels,
+    }
+}
+
+/// Quantized-weight fused matmul: f32 `a` times raw u8 codes `b_q` carrying
+/// affine `params` (`value = code*scale + min`), with the shared fused
+/// epilogue. Dequant-free — no f32 weight buffer is materialized; instead
+/// the inner loop keeps two accumulators and factors the affine map out of
+/// the dot product:
+///
+/// ```text
+/// Σₚ aₚ·(qₚ·s + m)  =  s·Σₚ aₚqₚ  +  m·Σₚ aₚ
+/// ```
+///
+/// Per-channel `params` index the output-column axis `j` (callers guarantee
+/// `channel_count == n` via [`quant_axis_ok`]). Epilogue order matches the
+/// fused f32 kernels: full accumulation, then `+ bias[j]`, then activation,
+/// through [`BinaryOp::apply`] / [`UnaryOp::apply`].
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul_quant(
+    a: &[f32],
+    b_q: &[u8],
+    params: &QuantParams,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; batch * m * n];
+    for bi in 0..batch {
+        let a_off = bi * m * k;
+        // A batch-1 `b` (the usual weight case) broadcasts across the batch
+        // instead of being tiled — tiling would copy the codes.
+        let b_off = if b_q.len() == k * n { 0 } else { bi * k * n };
+        let o_off = bi * m * n;
+        for i in 0..m {
+            // Σₚ aᵢₚ is shared by every output column of row i.
+            let mut acc_a = 0.0f32;
+            for p in 0..k {
+                acc_a += if transpose_a { a[a_off + p * m + i] } else { a[a_off + i * k + p] };
+            }
+            for j in 0..n {
+                let (s, mn) = params.scale_min(j);
+                let mut acc_q = 0.0f32;
+                for p in 0..k {
+                    let av = if transpose_a { a[a_off + p * m + i] } else { a[a_off + i * k + p] };
+                    let qv =
+                        if transpose_b { b_q[b_off + j * k + p] } else { b_q[b_off + p * n + j] };
+                    acc_q += av * qv as f32;
+                }
+                let mut v = s * acc_q + mn * acc_a;
+                if let Some(bias) = bias {
+                    v = BinaryOp::Add.apply(v, bias[j]);
+                }
+                if let Some(act) = activation {
+                    v = act.apply(v);
+                }
+                out[o_off + i * n + j] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Fully-integer quantized matmul `[b,m,k] x [b,k,n]`: *both* operands are
+/// u8 codes, and all three data-dependent sums accumulate in `i32`:
+///
+/// ```text
+/// Σ (qa·sa+ma)(qb·sb+mb) = sa·sb·Σqa·qb + sa·mb·Σqa + ma·sb·Σqb + k·ma·mb
+/// ```
+///
+/// The affine expansion is applied once per output in f32. Overflow bound:
+/// each product is at most `255·255`, so `k · 255·255 ≤ i32::MAX` holds for
+/// `k ≤ 33025` — far above any inner dimension in the bundled models
+/// (debug-asserted).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_q8_i32(
+    a_q: &[u8],
+    (a_scale, a_min): (f32, f32),
+    b_q: &[u8],
+    (b_scale, b_min): (f32, f32),
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    debug_assert!(k <= 33_025, "i32 accumulator would overflow: k={k} > 33025");
+    let mut out = vec![0.0f32; batch * m * n];
+    for bi in 0..batch {
+        let a_off = bi * m * k;
+        let b_off = bi * k * n;
+        let o_off = bi * m * n;
+        for i in 0..m {
+            let mut sum_a = 0i32;
+            for p in 0..k {
+                sum_a += a_q[a_off + i * k + p] as i32;
+            }
+            for j in 0..n {
+                let mut dot = 0i32;
+                let mut sum_b = 0i32;
+                for p in 0..k {
+                    let qa = a_q[a_off + i * k + p] as i32;
+                    let qb = b_q[b_off + p * n + j] as i32;
+                    dot += qa * qb;
+                    sum_b += qb;
+                }
+                out[o_off + i * n + j] = a_scale * b_scale * dot as f32
+                    + a_scale * b_min * sum_a as f32
+                    + a_min * b_scale * sum_b as f32
+                    + k as f32 * a_min * b_min;
+            }
+        }
+    }
+    out
+}
+
+/// Quantized-filter fused conv2d (see [`fused_matmul_quant`]): NHWC `x`
+/// against raw u8 HWIO codes. Per output position the valid-tap input sum
+/// `Σ x` is shared across output channels; per-channel `params` index the
+/// HWIO output-channel axis 3 (callers guarantee via [`quant_axis_ok`]).
+pub fn fused_conv2d_quant(
+    x: &[f32],
+    w_q: &[u8],
+    params: &QuantParams,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Vec<f32> {
+    let c = info;
+    let mut out = vec![0.0f32; c.batch * c.out_height * c.out_width * c.out_channels];
+    let x_strides =
+        [c.in_height * c.in_width * c.in_channels, c.in_width * c.in_channels, c.in_channels];
+    let w_strides = [
+        c.filter_width * c.in_channels * c.out_channels,
+        c.in_channels * c.out_channels,
+        c.out_channels,
+    ];
+    let mut acc_q = vec![0.0f32; c.out_channels];
+    let mut oi = 0;
+    for b in 0..c.batch {
+        for oh in 0..c.out_height {
+            for ow in 0..c.out_width {
+                acc_q.iter_mut().for_each(|v| *v = 0.0);
+                let mut acc_x = 0.0f32;
+                for fh in 0..c.filter_height {
+                    let ih = (oh * c.stride_h + fh * c.dilation_h) as isize - c.pad_top as isize;
+                    if ih < 0 || ih >= c.in_height as isize {
+                        continue;
+                    }
+                    for fw in 0..c.filter_width {
+                        let iw =
+                            (ow * c.stride_w + fw * c.dilation_w) as isize - c.pad_left as isize;
+                        if iw < 0 || iw >= c.in_width as isize {
+                            continue;
+                        }
+                        let x_base = b * x_strides[0]
+                            + ih as usize * x_strides[1]
+                            + iw as usize * x_strides[2];
+                        let w_base = fh * w_strides[0] + fw * w_strides[1];
+                        for ic in 0..c.in_channels {
+                            let xv = x[x_base + ic];
+                            acc_x += xv;
+                            let wq_base = w_base + ic * w_strides[2];
+                            for (oc, acc) in acc_q.iter_mut().enumerate() {
+                                *acc += xv * w_q[wq_base + oc] as f32;
+                            }
+                        }
+                    }
+                }
+                for (oc, &aq) in acc_q.iter().enumerate() {
+                    let (s, mn) = params.scale_min(oc);
+                    let mut v = s * aq + mn * acc_x;
+                    if let Some(bias) = bias {
+                        v = BinaryOp::Add.apply(v, bias[oc]);
+                    }
+                    if let Some(act) = activation {
+                        v = act.apply(v);
+                    }
+                    out[oi] = v;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Quantized-filter fused depthwise conv2d. Each output channel
+/// `oc = ic·mul + m` reads one input channel, so a per-channel scale along
+/// filter axis 2 (`ic`) or 3 (`m`) is constant over the accumulation and the
+/// factored form still applies; the valid-tap input sum depends on `ic`.
+pub fn fused_depthwise_conv2d_quant(
+    x: &[f32],
+    w_q: &[u8],
+    params: &QuantParams,
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    info: &Conv2dInfo,
+) -> Vec<f32> {
+    let c = info;
+    let mul = c.channel_mul;
+    let mut out = vec![0.0f32; c.batch * c.out_height * c.out_width * c.out_channels];
+    let mut oi = 0;
+    for b in 0..c.batch {
+        for oh in 0..c.out_height {
+            for ow in 0..c.out_width {
+                for ic in 0..c.in_channels {
+                    for m in 0..mul {
+                        let ch = match params {
+                            QuantParams::PerTensor { .. } => 0,
+                            QuantParams::PerChannel { axis, .. } => {
+                                if *axis == 2 {
+                                    ic
+                                } else {
+                                    m
+                                }
+                            }
+                        };
+                        let (s, mn) = params.scale_min(ch);
+                        let mut acc_q = 0.0f32;
+                        let mut acc_x = 0.0f32;
+                        for fh in 0..c.filter_height {
+                            let ih = (oh * c.stride_h + fh * c.dilation_h) as isize
+                                - c.pad_top as isize;
+                            if ih < 0 || ih >= c.in_height as isize {
+                                continue;
+                            }
+                            for fw in 0..c.filter_width {
+                                let iw = (ow * c.stride_w + fw * c.dilation_w) as isize
+                                    - c.pad_left as isize;
+                                if iw < 0 || iw >= c.in_width as isize {
+                                    continue;
+                                }
+                                let xv = x[((b * c.in_height + ih as usize) * c.in_width
+                                    + iw as usize)
+                                    * c.in_channels
+                                    + ic];
+                                let wq =
+                                    w_q[((fh * c.filter_width + fw) * c.in_channels + ic) * mul + m];
+                                acc_q += xv * wq as f32;
+                                acc_x += xv;
+                            }
+                        }
+                        let mut v = s * acc_q + mn * acc_x;
+                        if let Some(bias) = bias {
+                            v = BinaryOp::Add.apply(v, bias[ic * mul + m]);
+                        }
+                        if let Some(act) = activation {
+                            v = act.apply(v);
+                        }
+                        out[oi] = v;
+                        oi += 1;
+                    }
+                }
             }
         }
     }
@@ -764,6 +1036,139 @@ mod tests {
         assert_eq!(matmul(&a, &a, 1, 2, 2, 2, true, false), vec![10.0, 14.0, 14.0, 20.0]);
         // a x a^T = [[5,11],[11,25]].
         assert_eq!(matmul(&a, &a, 1, 2, 2, 2, false, true), vec![5.0, 11.0, 11.0, 25.0]);
+    }
+
+    /// Host-side dequantize reference used by the quant-kernel tests.
+    fn deq(q: &[u8], scale: f32, min: f32) -> Vec<f32> {
+        q.iter().map(|&c| c as f32 * scale + min).collect()
+    }
+
+    #[test]
+    fn fused_matmul_quant_matches_dequantized_reference() {
+        // a: [1,2,3], b codes: [1,3,2] with scale 0.5 min -1.
+        let a = vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5];
+        let b_q: Vec<u8> = vec![0, 100, 255, 17, 64, 200];
+        let (scale, min) = (0.5f32, -1.0f32);
+        let params = QuantParams::per_tensor(scale, min);
+        let bias = vec![0.25, -0.5];
+        let expect_pre = matmul(&a, &deq(&b_q, scale, min), 1, 2, 3, 2, false, false);
+        let got = fused_matmul_quant(
+            &a,
+            &b_q,
+            &params,
+            Some(&bias),
+            Some(UnaryOp::Relu),
+            1,
+            2,
+            3,
+            2,
+            false,
+            false,
+        );
+        for (i, g) in got.iter().enumerate() {
+            let want = UnaryOp::Relu.apply(expect_pre[i] + bias[i % 2]);
+            assert!((g - want).abs() < 1e-4, "out[{i}]: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fused_matmul_quant_per_channel_columns() {
+        // Two output columns with very different scales; per-tensor would
+        // clamp the small-scale column badly.
+        let a = vec![1.0, 1.0];
+        let b_q: Vec<u8> = vec![200, 10, 100, 20];
+        let params = QuantParams::per_channel(2, vec![0.01, 10.0], vec![0.0, -50.0]);
+        let got = fused_matmul_quant(&a, &b_q, &params, None, None, 1, 1, 2, 2, false, false);
+        let want0 = (200.0 + 100.0) * 0.01;
+        let want1 = (10.0f32 * 10.0 - 50.0) + (20.0 * 10.0 - 50.0);
+        assert!((got[0] - want0).abs() < 1e-4);
+        assert!((got[1] - want1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_q8_i32_matches_dequantized_reference() {
+        let a_q: Vec<u8> = (0..6).map(|i| (i * 40) as u8).collect();
+        let b_q: Vec<u8> = (0..6).map(|i| 255 - (i * 30) as u8).collect();
+        let (sa, ma) = (0.03f32, -2.0f32);
+        let (sb, mb) = (0.7f32, 1.0f32);
+        let got = matmul_q8_i32(&a_q, (sa, ma), &b_q, (sb, mb), 1, 2, 3, 2);
+        let want = matmul(&deq(&a_q, sa, ma), &deq(&b_q, sb, mb), 1, 2, 3, 2, false, false);
+        for (g, w) in got.iter().zip(&want) {
+            // The i32 path regroups the sums; agreement is to f32 rounding.
+            assert!((g - w).abs() < 1e-2 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn fused_conv2d_quant_matches_dequantized_reference() {
+        use crate::conv_util::{conv2d_info, Padding};
+        let info =
+            conv2d_info("t", &s(&[1, 3, 3, 2]), &s(&[2, 2, 2, 3]), (1, 1), Padding::Same, (1, 1))
+                .unwrap();
+        let x: Vec<f32> = (0..18).map(|i| (i as f32 * 0.37).sin()).collect();
+        let w_q: Vec<u8> = (0..24).map(|i| ((i * 11) % 256) as u8).collect();
+        let (scale, min) = (0.02f32, -2.5f32);
+        let params = QuantParams::per_tensor(scale, min);
+        let bias = vec![0.1, -0.2, 0.3];
+        let pre = conv2d(&x, &deq(&w_q, scale, min), &info);
+        let got = fused_conv2d_quant(&x, &w_q, &params, Some(&bias), Some(UnaryOp::Relu6), &info);
+        for (i, g) in got.iter().enumerate() {
+            let want = UnaryOp::Relu6.apply(pre[i] + bias[i % 3]);
+            assert!((g - want).abs() < 1e-3, "out[{i}]: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fused_conv2d_quant_per_channel_axis3() {
+        use crate::conv_util::{conv2d_info, Padding};
+        let info =
+            conv2d_info("t", &s(&[1, 2, 2, 1]), &s(&[1, 1, 1, 2]), (1, 1), Padding::Valid, (1, 1))
+                .unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let w_q: Vec<u8> = vec![10, 200];
+        let params = QuantParams::per_channel(3, vec![0.1, 0.001], vec![0.0, 0.5]);
+        let got = fused_conv2d_quant(&x, &w_q, &params, None, None, &info);
+        // Channel 0 weight = 1.0, channel 1 weight = 0.7.
+        for (i, &xv) in x.iter().enumerate() {
+            assert!((got[2 * i] - xv * 1.0).abs() < 1e-5);
+            assert!((got[2 * i + 1] - xv * 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fused_depthwise_conv2d_quant_matches_dequantized_reference() {
+        use crate::conv_util::{depthwise_conv2d_info, Padding};
+        let info = depthwise_conv2d_info(
+            "t",
+            &s(&[1, 3, 3, 2]),
+            &s(&[2, 2, 2, 2]),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        let x: Vec<f32> = (0..18).map(|i| (i as f32 * 0.21).cos()).collect();
+        let w_q: Vec<u8> = (0..16).map(|i| ((i * 37) % 256) as u8).collect();
+        let (scale, min) = (0.015f32, -1.9f32);
+        let pre = depthwise_conv2d(&x, &deq(&w_q, scale, min), &info);
+        // Per-channel along the input-channel axis (2): both channels get
+        // the same scale here so the f32 reference still applies.
+        let params = QuantParams::per_channel(2, vec![scale, scale], vec![min, min]);
+        let got = fused_depthwise_conv2d_quant(&x, &w_q, &params, None, Some(UnaryOp::Tanh), &info);
+        for (i, g) in got.iter().enumerate() {
+            let want = UnaryOp::Tanh.apply(pre[i]);
+            assert!((g - want).abs() < 1e-3, "out[{i}]: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn quant_axis_ok_gates_factored_kernels() {
+        let pt = QuantParams::per_tensor(1.0, 0.0);
+        assert!(quant_axis_ok(&pt, 3, 7));
+        let pc = QuantParams::per_channel(3, vec![1.0; 4], vec![0.0; 4]);
+        assert!(quant_axis_ok(&pc, 3, 4));
+        assert!(!quant_axis_ok(&pc, 2, 4), "wrong axis must fall back");
+        assert!(!quant_axis_ok(&pc, 3, 5), "wrong channel count must fall back");
     }
 
     #[test]

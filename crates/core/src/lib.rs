@@ -49,6 +49,7 @@ pub mod global;
 pub mod grads;
 pub mod kernels;
 pub mod ops;
+pub mod quant;
 pub mod shape;
 pub mod tape;
 pub mod tensor;
@@ -61,6 +62,7 @@ pub use engine::{
     BackendHealth, DegradationEvent, Engine, MemoryInfo, MemoryPolicy, ProfileInfo, TimeInfo,
 };
 pub use error::{Error, Result};
+pub use quant::QuantParams;
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use variable::Variable;

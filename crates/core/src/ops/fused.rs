@@ -324,6 +324,267 @@ pub fn fused_depthwise_conv2d(
     fused_conv_impl("FusedDepthwiseConv2D", x, filter, bias, activation, info, true)
 }
 
+/// Materialize a quantized tensor's f32 values as a new tensor by applying
+/// its attached affine params host-side. This is the explicit escape hatch
+/// for consuming quantized weights in ops that have no dequant-free kernel
+/// (and the path the quant fused ops take while a gradient tape records).
+///
+/// # Errors
+/// Fails when `t` carries no quantization params or has been disposed.
+pub fn dequantize(t: &Tensor) -> Result<Tensor> {
+    let params = t
+        .quant_params()
+        .ok_or_else(|| Error::invalid("Dequantize", "tensor has no quantization params"))?;
+    let data = t.data_sync()?;
+    let codes: Vec<u8> = match data {
+        crate::dtype::TensorData::U8(v) => v,
+        other => other.to_f32_vec().iter().map(|&x| x.round().clamp(0.0, 255.0) as u8).collect(),
+    };
+    let values = params.dequantize(&codes, t.shape_ref().dims());
+    t.engine().tensor(values, t.shape())
+}
+
+/// Fetch the quantization params of a weight operand, erroring when absent.
+fn require_quant(op: &'static str, t: &Tensor) -> Result<std::sync::Arc<crate::quant::QuantParams>> {
+    if t.dtype() != DType::U8 {
+        return Err(Error::dtype(
+            op,
+            format!("quantized operand must be uint8 codes, got {:?}", t.dtype()),
+        ));
+    }
+    t.quant_params().ok_or_else(|| {
+        Error::invalid(op, "operand has no quantization params; use the f32 fused op instead")
+    })
+}
+
+/// [`fused_matmul`] with a quantized right-hand operand: `b` holds raw U8
+/// codes created by [`crate::engine::Engine::quantized_tensor`], and the
+/// kernel folds dequantization into its epilogue — no f32 weight tensor is
+/// materialized on the fast path. While a gradient tape records (or fusion
+/// is disabled) this dequantizes once and runs the f32 composition.
+///
+/// # Errors
+/// Fails when `b` is not quantized, or on the same shape errors as
+/// [`fused_matmul`].
+pub fn fused_matmul_quant(
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<Tensor> {
+    same_engine("FusedMatMulQuant", a, b)?;
+    if let Some(bias) = bias {
+        same_engine("FusedMatMulQuant", a, bias)?;
+    }
+    check_activation("FusedMatMulQuant", activation)?;
+    let params = require_quant("FusedMatMulQuant", b)?;
+    if a.rank() < 2 || b.rank() < 2 || a.rank() > 3 || b.rank() > 3 {
+        return Err(Error::shape(
+            "FusedMatMulQuant",
+            format!("expected rank 2 or 3 tensors, got {} and {}", a.shape(), b.shape()),
+        ));
+    }
+    if a.engine().tape_active() || !a.engine().fusion_enabled() {
+        let bf = dequantize(b)?;
+        return fused_matmul(a, &bf, bias, activation, transpose_a, transpose_b);
+    }
+    let out_rank2 = a.rank() == 2 && b.rank() == 2;
+    let a3 = if a.rank() == 2 { reshape(a, prepend_batch(a.shape_ref()))? } else { a.clone() };
+    let b3 = if b.rank() == 2 { reshape(b, prepend_batch(b.shape_ref()))? } else { b.clone() };
+    // Prepending the batch dim shifts a rank-2 weight's channel axis by one:
+    // a `[k, n]` weight quantized along axis 1 is axis 2 of the `[1, k, n]`
+    // kernel view. Without the remap every rank-2 per-channel weight would
+    // silently take the dequantize fallback.
+    let params = if b.rank() == 2 {
+        match &*params {
+            crate::quant::QuantParams::PerChannel { axis, scales, mins } => {
+                std::sync::Arc::new(crate::quant::QuantParams::per_channel(
+                    axis + 1,
+                    scales.clone(),
+                    mins.clone(),
+                ))
+            }
+            _ => params,
+        }
+    } else {
+        params
+    };
+    // Weights broadcast a batch-1 `b` inside the kernel (tiling would copy
+    // the codes); a batch-1 `a` against batched codes is still tiled.
+    let a3 = match (a3.shape_ref().dim(0), b3.shape_ref().dim(0)) {
+        (x, y) if x == y => a3,
+        (_, 1) => a3,
+        (1, y) => tile(&a3, &[y, 1, 1])?,
+        (x, y) => {
+            return Err(Error::shape(
+                "FusedMatMulQuant",
+                format!("batch dims {x} vs {y} incompatible"),
+            ))
+        }
+    };
+    let batch = a3.shape_ref().dim(0);
+    let (m, k_a) = if transpose_a {
+        (a3.shape_ref().dim(2), a3.shape_ref().dim(1))
+    } else {
+        (a3.shape_ref().dim(1), a3.shape_ref().dim(2))
+    };
+    let (k_b, n) = if transpose_b {
+        (b3.shape_ref().dim(2), b3.shape_ref().dim(1))
+    } else {
+        (b3.shape_ref().dim(1), b3.shape_ref().dim(2))
+    };
+    if k_a != k_b {
+        return Err(Error::shape(
+            "FusedMatMulQuant",
+            format!("inner dimensions must match: {k_a} vs {k_b} ({} x {})", a.shape(), b.shape()),
+        ));
+    }
+    check_bias("FusedMatMulQuant", bias, n)?;
+    let out_shape = Shape::new(vec![batch, m, n]);
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![&a3, &b3];
+    if let Some(bias) = bias {
+        inputs.push(bias);
+    }
+    let outs = a.engine().run_kernel(
+        "FusedMatMulQuant",
+        &inputs,
+        &mut |backend, ins| {
+            let id = backend.fused_matmul_quant(
+                &ins[0],
+                &ins[1],
+                &params,
+                ins.get(2),
+                activation,
+                transpose_a,
+                transpose_b,
+            )?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    let out = outs.into_iter().next().expect("one output");
+    if out_rank2 {
+        reshape(&out, vec![m, n])
+    } else {
+        Ok(out)
+    }
+}
+
+/// [`fused_conv2d`] with a quantized HWIO filter (see
+/// [`fused_matmul_quant`] for dispatch semantics).
+///
+/// # Errors
+/// Fails when `filter` is not quantized, or on the same shape errors as
+/// [`fused_conv2d`].
+pub fn fused_conv2d_quant(
+    x: &Tensor,
+    filter: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    strides: (usize, usize),
+    padding: Padding,
+    dilations: (usize, usize),
+) -> Result<Tensor> {
+    same_engine("FusedConv2DQuant", x, filter)?;
+    if let Some(bias) = bias {
+        same_engine("FusedConv2DQuant", x, bias)?;
+    }
+    check_activation("FusedConv2DQuant", activation)?;
+    let params = require_quant("FusedConv2DQuant", filter)?;
+    if x.engine().tape_active() || !x.engine().fusion_enabled() {
+        let ff = dequantize(filter)?;
+        return fused_conv2d(x, &ff, bias, activation, strides, padding, dilations);
+    }
+    let info = conv2d_info(
+        "FusedConv2DQuant",
+        x.shape_ref(),
+        filter.shape_ref(),
+        strides,
+        padding,
+        dilations,
+    )?;
+    check_bias("FusedConv2DQuant", bias, info.out_channels)?;
+    let out_shape = info.out_shape();
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![x, filter];
+    if let Some(bias) = bias {
+        inputs.push(bias);
+    }
+    let outs = x.engine().run_kernel(
+        "FusedConv2DQuant",
+        &inputs,
+        &mut |backend, ins| {
+            let id = backend
+                .fused_conv2d_quant(&ins[0], &ins[1], &params, ins.get(2), activation, &info)?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
+/// [`fused_depthwise_conv2d`] with a quantized `[fh, fw, c, mul]` filter
+/// (see [`fused_matmul_quant`] for dispatch semantics).
+///
+/// # Errors
+/// Fails when `filter` is not quantized, or on the same shape errors as
+/// [`fused_depthwise_conv2d`].
+pub fn fused_depthwise_conv2d_quant(
+    x: &Tensor,
+    filter: &Tensor,
+    bias: Option<&Tensor>,
+    activation: Option<UnaryOp>,
+    strides: (usize, usize),
+    padding: Padding,
+    dilations: (usize, usize),
+) -> Result<Tensor> {
+    same_engine("FusedDepthwiseConv2DQuant", x, filter)?;
+    if let Some(bias) = bias {
+        same_engine("FusedDepthwiseConv2DQuant", x, bias)?;
+    }
+    check_activation("FusedDepthwiseConv2DQuant", activation)?;
+    let params = require_quant("FusedDepthwiseConv2DQuant", filter)?;
+    if x.engine().tape_active() || !x.engine().fusion_enabled() {
+        let ff = dequantize(filter)?;
+        return fused_depthwise_conv2d(x, &ff, bias, activation, strides, padding, dilations);
+    }
+    let info = depthwise_conv2d_info(
+        "FusedDepthwiseConv2DQuant",
+        x.shape_ref(),
+        filter.shape_ref(),
+        strides,
+        padding,
+        dilations,
+    )?;
+    check_bias("FusedDepthwiseConv2DQuant", bias, info.out_channels)?;
+    let out_shape = info.out_shape();
+    let shape_for_fwd = out_shape.clone();
+    let mut inputs: Vec<&Tensor> = vec![x, filter];
+    if let Some(bias) = bias {
+        inputs.push(bias);
+    }
+    let outs = x.engine().run_kernel(
+        "FusedDepthwiseConv2DQuant",
+        &inputs,
+        &mut |backend, ins| {
+            let id = backend.fused_depthwise_conv2d_quant(
+                &ins[0],
+                &ins[1],
+                &params,
+                ins.get(2),
+                activation,
+                &info,
+            )?;
+            Ok(vec![(id, shape_for_fwd.clone(), DType::F32)])
+        },
+        None,
+    )?;
+    Ok(outs.into_iter().next().expect("one output"))
+}
+
 /// Execute a chain of elementwise steps over `x` as one kernel. Each
 /// [`FusedStep::Binary`] combines the running value (left operand) with
 /// `extras[i]` under NumPy broadcasting. When a gradient tape is recording
@@ -479,6 +740,128 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fused.to_f32_vec().unwrap(), unfused.to_f32_vec().unwrap());
+    }
+
+    #[test]
+    fn fused_matmul_quant_matches_dequantized_f32_path() {
+        use crate::quant::QuantParams;
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let codes: Vec<u8> = vec![0, 255, 100, 17, 200, 64];
+        let w = e
+            .quantized_tensor(codes, vec![3, 2], QuantParams::per_tensor(0.01, -1.2))
+            .unwrap();
+        let bias = e.tensor_1d(&[0.1, -0.2]).unwrap();
+        let fused =
+            fused_matmul_quant(&a, &w, Some(&bias), Some(UnaryOp::Relu), false, false).unwrap();
+        let wf = dequantize(&w).unwrap();
+        let reference =
+            fused_matmul(&a, &wf, Some(&bias), Some(UnaryOp::Relu), false, false).unwrap();
+        assert_close(&fused.to_f32_vec().unwrap(), &reference.to_f32_vec().unwrap(), 1e-4);
+        assert_eq!(fused.shape(), reference.shape());
+    }
+
+    #[test]
+    fn fused_matmul_quant_broadcasts_weight_batch() {
+        use crate::quant::QuantParams;
+        let e = test_engine();
+        // Batched rank-3 activations against rank-2 quantized weights.
+        let a = e.tensor(vec![1.0; 2 * 2 * 3], vec![2, 2, 3]).unwrap();
+        let w = e
+            .quantized_tensor(vec![128; 6], vec![3, 2], QuantParams::per_tensor(0.5, -32.0))
+            .unwrap();
+        let y = fused_matmul_quant(&a, &w, None, None, false, false).unwrap();
+        assert_eq!(y.dims(), &[2, 2, 2]);
+        // Each weight dequantizes to 128*0.5 - 32 = 32; each output is 3*32.
+        for v in y.to_f32_vec().unwrap() {
+            assert!((v - 96.0).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn fused_quant_ops_reject_unquantized_operands() {
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0; 4], 2, 2).unwrap();
+        let w = e.tensor_2d(&[1.0; 4], 2, 2).unwrap();
+        assert!(fused_matmul_quant(&a, &w, None, None, false, false).is_err());
+        assert!(dequantize(&w).is_err());
+    }
+
+    #[test]
+    fn fused_conv2d_quant_matches_dequantized_f32_path() {
+        use crate::quant::QuantParams;
+        let e = test_engine();
+        let x: Vec<f32> = (0..18).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x = e.tensor(x, vec![1, 3, 3, 2]).unwrap();
+        let codes: Vec<u8> = (0..24).map(|i| ((i * 11) % 256) as u8).collect();
+        let w = e
+            .quantized_tensor(codes, vec![2, 2, 2, 3], QuantParams::per_tensor(0.02, -2.5))
+            .unwrap();
+        let bias = e.tensor_1d(&[0.1, -0.2, 0.3]).unwrap();
+        let fused = fused_conv2d_quant(
+            &x,
+            &w,
+            Some(&bias),
+            Some(UnaryOp::Relu6),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        let wf = dequantize(&w).unwrap();
+        let reference = fused_conv2d(
+            &x,
+            &wf,
+            Some(&bias),
+            Some(UnaryOp::Relu6),
+            (1, 1),
+            Padding::Same,
+            (1, 1),
+        )
+        .unwrap();
+        assert_close(&fused.to_f32_vec().unwrap(), &reference.to_f32_vec().unwrap(), 1e-3);
+    }
+
+    #[test]
+    fn fused_depthwise_conv2d_quant_per_channel() {
+        use crate::quant::QuantParams;
+        let e = test_engine();
+        let x = e.tensor(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], vec![1, 2, 2, 2]).unwrap();
+        // 1x1 depthwise; per-channel params along the input-channel axis.
+        let w = e
+            .quantized_tensor(
+                vec![100, 100],
+                vec![1, 1, 2, 1],
+                QuantParams::per_channel(2, vec![0.02, 0.03], vec![0.0, 0.0]),
+            )
+            .unwrap();
+        let y = fused_depthwise_conv2d_quant(&x, &w, None, None, (1, 1), Padding::Valid, (1, 1))
+            .unwrap();
+        // Channel 0 weight = 2.0, channel 1 weight = 3.0.
+        assert_close(
+            &y.to_f32_vec().unwrap(),
+            &[2.0, 30.0, 4.0, 60.0, 6.0, 90.0, 8.0, 120.0],
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn fused_matmul_quant_under_tape_dequantizes_and_composes() {
+        use crate::quant::QuantParams;
+        let e = test_engine();
+        let a = e.tensor_2d(&[1.0, -2.0, 3.0, -4.0], 2, 2).unwrap();
+        let w = e
+            .quantized_tensor(vec![255, 0, 0, 255], vec![2, 2], QuantParams::per_tensor(1.0 / 255.0, 0.0))
+            .unwrap();
+        // d/da sum(a · I): gradient of ones flows through the dequantized
+        // composition.
+        let g = e
+            .grad(&a, || {
+                let y = fused_matmul_quant(&a, &w, None, None, false, false)?;
+                super::super::sum(&y, None, false)
+            })
+            .unwrap();
+        assert_close(&g.to_f32_vec().unwrap(), &[1.0, 1.0, 1.0, 1.0], 1e-5);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Quantized-tensor metadata: the affine dequantization parameters carried
+//! alongside `U8`-stored tensors (paper Sec 5.1).
+//!
+//! A quantized tensor stores one byte per element (`DType::U8` codes) plus
+//! a [`QuantParams`]: `value ≈ code * scale + min`. Parameters are either
+//! per-tensor or **per-channel** along one axis — the standard treatment
+//! for conv filters whose per-output-channel dynamic ranges differ by
+//! orders of magnitude. The engine keeps the params in the tensor registry
+//! (keyed by tensor id), so they survive backend migration and context-loss
+//! recovery untouched: only the raw codes move between devices.
+//!
+//! ## Dequant-free execution
+//!
+//! Fused kernels never materialize the f32 weights. For a matmul row dot
+//! product against a quantized column `n` of `B`:
+//!
+//! ```text
+//! Σₖ aₖ·(qₖₙ·sₙ + mₙ)  =  sₙ·Σₖ aₖ·qₖₙ  +  mₙ·Σₖ aₖ
+//! ```
+//!
+//! so the inner loop accumulates the raw codes (`acc_q = Σ aₖ·qₖₙ`) and the
+//! activations (`acc_a = Σ aₖ`) and applies `sₙ·acc_q + mₙ·acc_a` once in
+//! the epilogue — followed by bias and activation, exactly like the f32
+//! fused epilogue. When *both* operands are U8 the code product is exact in
+//! i32 (`k·255·255 ≤ i32::MAX` for `k ≤ ~33 000`), giving the fully
+//! integer accumulation path.
+
+use crate::error::{Error, Result};
+use crate::shape::Shape;
+
+/// Affine dequantization parameters for a `U8`-stored quantized tensor:
+/// `value ≈ code * scale + min`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantParams {
+    /// One `(scale, min)` pair for the whole tensor.
+    PerTensor {
+        /// Dequantization scale.
+        scale: f32,
+        /// Dequantization minimum (value of code 0).
+        min: f32,
+    },
+    /// One `(scale, min)` pair per channel along `axis` (conv filters:
+    /// the output-channel axis, last for HWIO layouts).
+    PerChannel {
+        /// The channel axis within the tensor's shape.
+        axis: usize,
+        /// Per-channel scales (length = shape dim at `axis`).
+        scales: Vec<f32>,
+        /// Per-channel minima (same length as `scales`).
+        mins: Vec<f32>,
+    },
+}
+
+impl QuantParams {
+    /// Per-tensor parameters.
+    pub fn per_tensor(scale: f32, min: f32) -> QuantParams {
+        QuantParams::PerTensor { scale, min }
+    }
+
+    /// Per-channel parameters along `axis`.
+    pub fn per_channel(axis: usize, scales: Vec<f32>, mins: Vec<f32>) -> QuantParams {
+        QuantParams::PerChannel { axis, scales, mins }
+    }
+
+    /// Number of channel entries, or `None` for per-tensor params.
+    pub fn channel_count(&self) -> Option<usize> {
+        match self {
+            QuantParams::PerTensor { .. } => None,
+            QuantParams::PerChannel { scales, .. } => Some(scales.len()),
+        }
+    }
+
+    /// The `(scale, min)` pair for `channel` (ignored for per-tensor).
+    #[inline]
+    pub fn scale_min(&self, channel: usize) -> (f32, f32) {
+        match self {
+            QuantParams::PerTensor { scale, min } => (*scale, *min),
+            QuantParams::PerChannel { scales, mins, .. } => (scales[channel], mins[channel]),
+        }
+    }
+
+    /// Largest scale across channels — the worst-case step size. Half of
+    /// this is the worst-case absolute reconstruction error of any stored
+    /// value (`Quantization::max_error` equivalent at execution time).
+    pub fn max_scale(&self) -> f32 {
+        match self {
+            QuantParams::PerTensor { scale, .. } => *scale,
+            QuantParams::PerChannel { scales, .. } => {
+                scales.iter().copied().fold(0.0f32, f32::max)
+            }
+        }
+    }
+
+    /// Validate the parameters against the shape they annotate.
+    ///
+    /// # Errors
+    /// [`Error::InvalidArgument`] when the channel axis is out of range,
+    /// the per-channel vectors do not match the axis extent, or any scale
+    /// or min is non-finite.
+    pub fn validate(&self, shape: &Shape) -> Result<()> {
+        match self {
+            QuantParams::PerTensor { scale, min } => {
+                if !scale.is_finite() || !min.is_finite() {
+                    return Err(Error::invalid(
+                        "quantized_tensor",
+                        format!("non-finite quantization params (scale {scale}, min {min})"),
+                    ));
+                }
+            }
+            QuantParams::PerChannel { axis, scales, mins } => {
+                let dims = &shape.0;
+                if *axis >= dims.len() {
+                    return Err(Error::invalid(
+                        "quantized_tensor",
+                        format!("channel axis {axis} out of range for shape {shape}"),
+                    ));
+                }
+                if scales.len() != dims[*axis] || mins.len() != dims[*axis] {
+                    return Err(Error::invalid(
+                        "quantized_tensor",
+                        format!(
+                            "per-channel params ({} scales, {} mins) do not match axis {axis} extent {} of shape {shape}",
+                            scales.len(),
+                            mins.len(),
+                            dims[*axis],
+                        ),
+                    ));
+                }
+                if let Some(bad) = scales.iter().chain(mins.iter()).find(|v| !v.is_finite()) {
+                    return Err(Error::invalid(
+                        "quantized_tensor",
+                        format!("non-finite per-channel quantization param {bad}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flat-index → channel mapping for per-channel params over `dims`
+    /// (row-major layout): `(i / stride) % dims[axis]` with `stride` the
+    /// product of the dims after `axis`. Returns `(stride, channels)`;
+    /// per-tensor params get `(1, 1)` so `channel_of` is always 0-safe.
+    pub fn channel_stride(&self, dims: &[usize]) -> (usize, usize) {
+        match self {
+            QuantParams::PerTensor { .. } => (usize::MAX, 1),
+            QuantParams::PerChannel { axis, scales, .. } => {
+                let stride: usize = dims[axis + 1..].iter().product::<usize>().max(1);
+                (stride, scales.len())
+            }
+        }
+    }
+
+    /// Host-side reference dequantization of raw codes over `dims` —
+    /// the semantics every dequant-free kernel must reproduce. Used by the
+    /// universal backend fallback and by accuracy tests.
+    pub fn dequantize(&self, codes: &[u8], dims: &[usize]) -> Vec<f32> {
+        match self {
+            QuantParams::PerTensor { scale, min } => {
+                codes.iter().map(|&c| c as f32 * scale + min).collect()
+            }
+            QuantParams::PerChannel { .. } => {
+                let (stride, channels) = self.channel_stride(dims);
+                codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let ch = (i / stride) % channels;
+                        let (s, m) = self.scale_min(ch);
+                        c as f32 * s + m
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tensor_dequantizes_affinely() {
+        let p = QuantParams::per_tensor(0.5, -1.0);
+        assert_eq!(p.dequantize(&[0, 1, 4], &[3]), vec![-1.0, -0.5, 1.0]);
+        assert_eq!(p.max_scale(), 0.5);
+        assert!(p.validate(&Shape::new(vec![3])).is_ok());
+    }
+
+    #[test]
+    fn per_channel_uses_the_right_channel() {
+        // Shape [2, 3], channels along axis 1 (stride 1).
+        let p = QuantParams::per_channel(1, vec![1.0, 10.0, 100.0], vec![0.0; 3]);
+        let out = p.dequantize(&[1, 1, 1, 2, 2, 2], &[2, 3]);
+        assert_eq!(out, vec![1.0, 10.0, 100.0, 2.0, 20.0, 200.0]);
+        // Channels along axis 0 (stride 3).
+        let p0 = QuantParams::per_channel(0, vec![1.0, 10.0], vec![0.0; 2]);
+        let out0 = p0.dequantize(&[1, 1, 1, 2, 2, 2], &[2, 3]);
+        assert_eq!(out0, vec![1.0, 1.0, 1.0, 20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn validate_rejects_mismatch_and_non_finite() {
+        let shape = Shape::new(vec![2, 3]);
+        assert!(QuantParams::per_channel(2, vec![1.0], vec![0.0]).validate(&shape).is_err());
+        assert!(QuantParams::per_channel(1, vec![1.0; 2], vec![0.0; 2]).validate(&shape).is_err());
+        assert!(QuantParams::per_channel(1, vec![1.0; 3], vec![0.0; 3]).validate(&shape).is_ok());
+        assert!(QuantParams::per_tensor(f32::NAN, 0.0).validate(&shape).is_err());
+        assert!(QuantParams::per_channel(1, vec![1.0, f32::INFINITY, 1.0], vec![0.0; 3])
+            .validate(&shape)
+            .is_err());
+    }
+}

@@ -159,6 +159,17 @@ impl Tensor {
         self
     }
 
+    /// The affine dequantization parameters attached to this tensor, when
+    /// it stores quantized U8 codes (`Engine::quantized_tensor`).
+    pub fn quant_params(&self) -> Option<Arc<crate::quant::QuantParams>> {
+        self.inner.engine.quant_params(self.inner.id)
+    }
+
+    /// Whether this tensor stores quantized codes with attached params.
+    pub fn is_quantized(&self) -> bool {
+        self.dtype() == DType::U8 && self.quant_params().is_some()
+    }
+
     /// Pretty-print the tensor's values to stdout (`tensor.print()`).
     pub fn print(&self) {
         println!("{self}");

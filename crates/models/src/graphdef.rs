@@ -51,6 +51,36 @@ impl GraphSpec {
         webml_converter::GraphModel::new(engine, self.graph.clone(), weights)
     }
 
+    /// [`GraphSpec::build`], but every weight eligible for dequant-free
+    /// quantized inference (see [`webml_converter::quantizable_weights`])
+    /// is uploaded as U8 codes with per-channel affine params — no f32 copy
+    /// of those weights is ever materialized on the engine. Biases and any
+    /// weight with a non-kernel consumer stay f32.
+    ///
+    /// # Errors
+    /// Fails on invalid weight shapes or quantization errors.
+    pub fn build_quantized(&self, engine: &Engine) -> Result<webml_converter::GraphModel> {
+        let eligible = webml_converter::quantizable_weights(&self.graph);
+        let mut weights: HashMap<String, Tensor> = HashMap::new();
+        for (name, values, shape) in &self.weights {
+            let t = match eligible.get(name) {
+                Some(&axis) => {
+                    let (codes, scales, mins) = webml_converter::Quantization::U8
+                        .quantize_per_channel(name, values, shape, axis)?;
+                    engine.quantized_tensor(
+                        codes,
+                        Shape::new(shape.clone()),
+                        webml_core::QuantParams::per_channel(axis, scales, mins),
+                    )?
+                }
+                None => engine.tensor(values.clone(), Shape::new(shape.clone()))?,
+            };
+            t.keep();
+            weights.insert(name.clone(), t);
+        }
+        webml_converter::GraphModel::new(engine, self.graph.clone(), weights)
+    }
+
     /// A deterministic input batch matching [`GraphSpec::input_shape`]
     /// with the batch dim replaced by `batch`; values vary with `index`.
     pub fn example(&self, batch: usize, index: usize) -> (Vec<f32>, Vec<usize>) {
@@ -298,6 +328,51 @@ mod tests {
             "planned and interpreted MobileNet must agree bitwise"
         );
         assert!(model.plan_stats().misses >= 1);
+    }
+
+    #[test]
+    fn quantized_mobilenet_matches_f32_within_tolerance() {
+        let config = MobileNetConfig { input_size: 32, ..MobileNetConfig::small() };
+        let spec = graph_mobilenet(&config);
+        let e = engine();
+        let fm = spec.build(&e).unwrap();
+        let qm = spec.build_quantized(&e).unwrap();
+        // Every conv / depthwise / matmul weight holds one byte per code;
+        // only the (tiny, rank-1) biases stay f32.
+        assert!(
+            qm.weight_bytes() * 3 <= fm.weight_bytes(),
+            "quantized residency {} vs f32 {}",
+            qm.weight_bytes(),
+            fm.weight_bytes()
+        );
+        let (vals, shape) = spec.example(1, 5);
+        let x = e.tensor(vals, Shape::new(shape)).unwrap();
+        let fo = fm.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        let qo = qm.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        let fv = fo[0].to_f32_vec().unwrap();
+        let qv = qo[0].to_f32_vec().unwrap();
+        for (q, f) in qv.iter().zip(&fv) {
+            assert!((q - f).abs() < 0.05, "quantized prob {q} vs f32 {f}");
+        }
+    }
+
+    #[test]
+    fn quantized_planned_matches_interpreted() {
+        let config = MobileNetConfig { input_size: 32, ..MobileNetConfig::small() };
+        let spec = graph_mobilenet(&config);
+        let e = engine();
+        let qm = spec.build_quantized(&e).unwrap();
+        let (vals, shape) = spec.example(1, 2);
+        let x = e.tensor(vals, Shape::new(shape)).unwrap();
+        let planned = qm.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        let expect =
+            qm.execute_interpreted(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+        assert_eq!(
+            planned[0].to_f32_vec().unwrap(),
+            expect[0].to_f32_vec().unwrap(),
+            "planned and interpreted quantized MobileNet must agree bitwise"
+        );
+        assert!(qm.plan_stats().misses >= 1 || qm.plan_stats().hits >= 1);
     }
 
     #[test]

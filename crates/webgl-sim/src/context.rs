@@ -303,6 +303,40 @@ impl GpgpuContext {
         Ok(TexHandle { id, layout })
     }
 
+    /// Upload u8 quantization codes as an `R8` texture: one byte per code
+    /// of device memory (4x less than `R32F`), which is what the
+    /// allocator, the paging policy and the injected OOM fault all see.
+    /// Sampling the texture yields the integer code widened to f32; the
+    /// affine dequantization stays in the consuming program's epilogue.
+    ///
+    /// # Errors
+    /// [`GlError::Layout`] when the tensor exceeds texture limits;
+    /// [`GlError::ContextLost`] / [`GlError::Oom`] under injected faults.
+    pub fn upload_quantized(&self, codes: &[u8], shape: &[usize]) -> Result<TexHandle, GlError> {
+        if self.faults.is_lost() {
+            return Err(GlError::ContextLost);
+        }
+        let layout = TextureLayout::compile(
+            shape,
+            TextureFormat::R8,
+            self.profile.max_texture_size,
+            self.config.squeeze_layout,
+        )?;
+        self.check_alloc(&layout)?;
+        let id = self.next_tex.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.sender
+            .send(Command::Upload {
+                tex: id,
+                data: codes.iter().map(|&c| c as f32).collect(),
+                rows: layout.tex_rows,
+                cols: layout.tex_cols,
+                format: layout.format,
+            })
+            .expect("device thread alive");
+        Ok(TexHandle { id, layout })
+    }
+
     /// Host-side allocation gate for the injected OOM fault: a real driver
     /// reports `gl.OUT_OF_MEMORY` synchronously at texture creation. Only
     /// runs (and only drains the queue, for an accurate residency figure)
@@ -610,6 +644,49 @@ mod tests {
         let c = ctx();
         let h = c.upload(vec![1.0, 2.0, 3.0], &[3]).unwrap();
         assert_eq!(c.read_sync(&h).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn quantized_upload_is_one_byte_per_code() {
+        let c = ctx();
+        let codes: Vec<u8> = (0..=255).collect();
+        let h = c.upload_quantized(&codes, &[256]).unwrap();
+        assert_eq!(h.layout.format, TextureFormat::R8);
+        // Sampling returns the raw codes widened to f32.
+        let vals = c.read_sync(&h).unwrap();
+        assert_eq!(vals[0], 0.0);
+        assert_eq!(vals[255], 255.0);
+        // Device residency is 1 byte per texel, vs 4 for an f32 upload.
+        assert_eq!(h.layout.byte_size(), 256);
+        let f = c.upload(vec![0.0; 256], &[256]).unwrap();
+        assert_eq!(f.layout.byte_size(), 1024);
+        // A program can consume the codes like any other texture.
+        let prog = Program::per_element("Dequant", vec![256], |s, i, _| {
+            s.get_flat(0, i) * 0.5 - 4.0
+        });
+        let out = c.run(prog, &[&h]).unwrap();
+        let deq = c.read_sync(&out).unwrap();
+        assert_eq!(deq[8], 8.0 * 0.5 - 4.0);
+    }
+
+    #[test]
+    fn quantized_survives_context_loss_shadow() {
+        use crate::fault::FaultPlan;
+        let c = GpgpuContext::with_faults(
+            DeviceProfile::intel_iris_pro(),
+            ContextConfig::default(),
+            FaultPlan::none().lose_context_at(1),
+        )
+        .unwrap();
+        let h = c.upload_quantized(&[7, 19, 255], &[3]).unwrap();
+        let id = Program::per_element("Id", vec![3], |s, i, _| s.get_flat(0, i));
+        assert_eq!(c.run(id, &[&h]), Err(GlError::ContextLost));
+        // The shadow keeps the codes readable across the loss.
+        assert_eq!(c.read_sync(&h).unwrap(), vec![7.0, 19.0, 255.0]);
+        assert!(c.restore_context());
+        let id2 = Program::per_element("Id", vec![3], |s, i, _| s.get_flat(0, i));
+        let out = c.run(id2, &[&h]).unwrap();
+        assert_eq!(c.read_sync(&out).unwrap(), vec![7.0, 19.0, 255.0]);
     }
 
     #[test]

@@ -23,13 +23,17 @@ pub enum TextureFormat {
     R16F,
     /// Four 16-bit floats per texel (packed, 16-bit device).
     Rgba16F,
+    /// One 8-bit unsigned-normalized code per texel (`gl.R8`): quantized
+    /// weight storage. Sampling returns the integer code widened to f32;
+    /// stores round and clamp to `0..=255`.
+    R8,
 }
 
 impl TextureFormat {
     /// Channels per texel.
     pub fn channels(self) -> usize {
         match self {
-            TextureFormat::R32F | TextureFormat::R16F => 1,
+            TextureFormat::R32F | TextureFormat::R16F | TextureFormat::R8 => 1,
             TextureFormat::Rgba32F | TextureFormat::Rgba16F => 4,
         }
     }
@@ -39,6 +43,7 @@ impl TextureFormat {
         match self {
             TextureFormat::R32F | TextureFormat::Rgba32F => 4,
             TextureFormat::R16F | TextureFormat::Rgba16F => 2,
+            TextureFormat::R8 => 1,
         }
     }
 
@@ -47,13 +52,22 @@ impl TextureFormat {
         matches!(self, TextureFormat::R16F | TextureFormat::Rgba16F)
     }
 
+    /// Whether stored values round to integer codes in `0..=255`.
+    pub fn is_byte(self) -> bool {
+        matches!(self, TextureFormat::R8)
+    }
+
     /// Whether this is a packed (4-channel) format.
     pub fn is_packed(self) -> bool {
         self.channels() == 4
     }
 
-    /// The packed/unpacked sibling at the same precision.
+    /// The packed/unpacked sibling at the same precision. `R8` has no
+    /// packed sibling — quantized weights stay one code per texel.
     pub fn with_packing(self, packed: bool) -> TextureFormat {
+        if self.is_byte() {
+            return TextureFormat::R8;
+        }
         match (self.is_half_precision(), packed) {
             (false, false) => TextureFormat::R32F,
             (false, true) => TextureFormat::Rgba32F,
@@ -93,18 +107,29 @@ impl Texture {
         self.rows * self.cols * self.format.channels() * self.format.bytes_per_channel()
     }
 
-    /// Store a value at a flat channel slot, rounding on 16-bit formats —
-    /// the `setOutput` write path.
+    /// Store a value at a flat channel slot, rounding on 16-bit formats and
+    /// clamping to integer codes on `R8` — the `setOutput` write path.
     pub fn store(&mut self, slot: usize, value: f32) {
-        self.data[slot] = if self.format.is_half_precision() { f16::round(value) } else { value };
+        self.data[slot] = if self.format.is_half_precision() {
+            f16::round(value)
+        } else if self.format.is_byte() {
+            value.round().clamp(0.0, 255.0)
+        } else {
+            value
+        };
     }
 
-    /// Bulk-upload values (`texSubImage2D`), rounding on 16-bit formats.
-    /// Slots beyond `values.len()` stay zero.
+    /// Bulk-upload values (`texSubImage2D`), rounding on 16-bit formats and
+    /// clamping to integer codes on `R8`. Slots beyond `values.len()` stay
+    /// zero.
     pub fn upload(&mut self, values: &[f32]) {
         if self.format.is_half_precision() {
             for (slot, &v) in values.iter().enumerate() {
                 self.data[slot] = f16::round(v);
+            }
+        } else if self.format.is_byte() {
+            for (slot, &v) in values.iter().enumerate() {
+                self.data[slot] = v.round().clamp(0.0, 255.0);
             }
         } else {
             self.data[..values.len()].copy_from_slice(values);

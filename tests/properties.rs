@@ -84,7 +84,7 @@ proptest! {
     ) {
         for q in [Quantization::U8, Quantization::U16] {
             let (bytes, scale, min) = q.quantize("w", &values).unwrap();
-            let back = q.dequantize(&bytes, scale, min);
+            let back = q.dequantize(&bytes, scale, min).unwrap();
             let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let bound = q.max_error(lo, hi) * 1.02 + 1e-4;
