@@ -25,8 +25,22 @@
 //!    and breaker absorb every fault — and the tripped engine is re-admitted
 //!    (breaker re-closed) by the end of the run.
 //!
+//! `--attribution` additionally gates the PR-9 observability contract:
+//! per-model timeline completeness ≥ 99% (every completed request's six
+//! phases reconstruct from its one trace id), a non-empty dominant-p99
+//! phase per model, exact flight-recorder trigger accounting (phase-2 shed
+//! triggers equal the observed sheds; phase 3 produces a breaker-trip
+//! snapshot), and writes the attribution report into `BENCH_SLO.json` plus
+//! the flight snapshots to `FLIGHT_SNAPSHOT.json`.
+//!
+//! `--assert-overhead-pct N` measures the per-request instrumentation cost
+//! with tracing disabled (context mint + scope swap + seven timestamps +
+//! attribution fold + flight-ring push) and fails unless it is ≤ N% of the
+//! steady-phase light-model p50.
+//!
 //! `--json` writes `BENCH_SLO.json`. The CI `slo-smoke` job runs
-//! `--tiny --json` across an 8-seed fault matrix.
+//! `--tiny --json` across an 8-seed fault matrix; the `obs-smoke` job adds
+//! `--attribution --assert-overhead-pct 5`.
 
 // The nested `json!` report overflows the default macro recursion limit.
 #![recursion_limit = "256"]
@@ -34,6 +48,9 @@
 use serde_json::json;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use webml_telemetry as telemetry;
+use webml_telemetry::attribution;
+use webml_telemetry::flight;
 use webml_backend_webgl::{WebGlBackend, WebGlConfig};
 use webml_core::cpu::CpuBackend;
 use webml_core::Engine;
@@ -243,12 +260,71 @@ fn assert_accounted(stats: &FleetStats, phase: &str) {
     );
 }
 
+/// Per-request cost of the always-on observability path with tracing
+/// disabled: trace-context mint, scope swap, the seven timeline
+/// timestamps, the attribution fold, and the flight-ring push — everything
+/// a served request pays even when no trace is being recorded.
+fn instrumentation_overhead_ns(iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let ctx = telemetry::RequestCtx::mint();
+        let _scope = telemetry::trace_scope(ctx.trace_id);
+        let mut tl = telemetry::RequestTimeline::new(ctx.trace_id, ctx.parent_span, 0xbe9c);
+        tl.submitted_ns = telemetry::now_ns();
+        tl.admitted_ns = telemetry::now_ns();
+        tl.drained_ns = telemetry::now_ns();
+        tl.exec_start_ns = telemetry::now_ns();
+        tl.upload_end_ns = telemetry::now_ns();
+        tl.compute_end_ns = telemetry::now_ns();
+        tl.done_ns = telemetry::now_ns();
+        tl.outcome = telemetry::RequestOutcome::Completed;
+        tl.batch_size = 1;
+        telemetry::record_request(&tl);
+        telemetry::flight::record_timeline(&tl);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The `--attribution` gate for one model: ≥ 99% of its completed requests
+/// must reconstruct a complete six-phase timeline, and the report must
+/// name a dominant p99 phase.
+fn assert_model_attribution(report: &attribution::AttributionReport, label: &str) {
+    let m = report
+        .model(label)
+        .unwrap_or_else(|| panic!("attribution report has no model labeled {label}"));
+    assert!(m.complete > 0, "{label}: no complete timelines recorded");
+    let completeness = m.completeness();
+    assert!(
+        completeness >= 0.99,
+        "{label}: only {:.2}% of completed requests reconstruct a full timeline \
+         ({} complete, {} incomplete)",
+        completeness * 100.0,
+        m.complete,
+        m.incomplete,
+    );
+    assert!(
+        !m.dominant_p99.is_empty(),
+        "{label}: attribution report must name the dominant p99 phase"
+    );
+    println!(
+        "  attribution | {label}: {} timelines {:.2}% complete; dominant phase p50={} \
+         p95={} p99={}",
+        m.complete + m.incomplete,
+        completeness * 100.0,
+        m.dominant_p50,
+        m.dominant_p95,
+        m.dominant_p99,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
     let opt = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
     let tiny = flag("--tiny");
     let json_mode = flag("--json");
+    let attribution_mode = flag("--attribution");
+    let overhead_pct: Option<f64> = opt("--assert-overhead-pct").and_then(|v| v.parse().ok());
     let seed: u64 = opt("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
     let clients: usize = opt("--clients")
         .and_then(|v| v.parse().ok())
@@ -264,8 +340,15 @@ fn main() {
         light_slo.target_ms, heavy_slo.target_ms
     );
 
+    if attribution_mode {
+        attribution::reset_attribution();
+        flight::reset_flight();
+    }
+
     // ---- Phase 1: steady state under per-model SLOs -----------------------
     let fleet = build_fleet(None, None, light_slo.clone(), heavy_slo.clone());
+    attribution::set_model_label(fleet.light, "light");
+    attribution::set_model_label(fleet.heavy, "heavy");
     let (light_out, heavy_out, wall_s) = run_clients(&fleet, clients, requests);
     let steady = fleet.server.stats();
     assert_accounted(&steady, "steady");
@@ -302,6 +385,7 @@ fn main() {
     }
 
     // ---- Phase 2: overload burst — sheds must be explicit -----------------
+    let shed_triggers_before = flight::trigger_count("shed");
     let burst = 2 * FleetConfig::default().queue_capacity;
     let pending: Vec<_> = (0..burst)
         .map(|i| {
@@ -334,11 +418,29 @@ fn main() {
         overload.shed + overload.deadline > 0,
         "a {burst}-request burst with a 5 ms deadline must shed explicitly"
     );
+    if attribution_mode {
+        // Exact flight-recorder accounting: every explicit shed in this
+        // burst fired exactly one "shed" trigger (the fleet is otherwise
+        // idle between phases, so the delta is exact).
+        let shed_triggers = flight::trigger_count("shed") - shed_triggers_before;
+        assert_eq!(
+            shed_triggers, overload.shed,
+            "flight recorder must count one shed trigger per observed shed"
+        );
+        if overload.shed > 0 {
+            assert!(
+                flight::snapshots().iter().any(|s| s.kind == "shed"),
+                "a shed storm must capture at least one flight snapshot"
+            );
+        }
+    }
 
     // ---- Phase 3: seeded faults — absorb, trip, recover -------------------
     // One engine loses its (restorable) WebGL context mid-traffic; another
     // straggles with seeded draw stalls. Deadlines are generous: the gate is
     // fault *absorption* — zero caller-visible errors — not tail latency.
+    let trips_before = flight::trigger_count("breaker_trip");
+    let degradations_before = flight::trigger_count("degradation");
     let ctx_draw = 20 + (seed % 8) * 9;
     let iris_plan = FaultPlan::none().lose_context_at(ctx_draw);
     let android_plan = FaultPlan { seed, ..FaultPlan::none() }.with_draw_stall(0.05, 2_000_000);
@@ -386,6 +488,82 @@ fn main() {
         fault_stats.rerouted,
     );
 
+    let mut attribution_json = serde_json::Value::Null;
+    let mut overhead_json = serde_json::Value::Null;
+    if attribution_mode {
+        // Every breaker trip and degradation in the fault phase must have
+        // fired the flight recorder, and the seeded trip must have produced
+        // an inspectable snapshot.
+        let trip_triggers = flight::trigger_count("breaker_trip") - trips_before;
+        assert!(
+            trip_triggers >= fault_stats.breaker_trips,
+            "flight recorder saw {trip_triggers} breaker-trip triggers for \
+             {} observed trips",
+            fault_stats.breaker_trips,
+        );
+        let degradation_triggers = flight::trigger_count("degradation") - degradations_before;
+        assert!(
+            degradation_triggers >= 1,
+            "seeded context loss (seed {seed}) must fire a degradation trigger"
+        );
+        let snaps = flight::snapshots();
+        let trip_snap = snaps
+            .iter()
+            .find(|s| s.kind == "breaker_trip")
+            .expect("seeded breaker trip must capture a flight snapshot");
+        assert!(
+            trip_snap.context.get("engines").is_some(),
+            "breaker-trip snapshot must carry the fleet context"
+        );
+        assert!(
+            trip_snap.entries.iter().any(|e| e.kind == "request"),
+            "breaker-trip snapshot must see recent request timelines in the ring"
+        );
+        flight::write_snapshots("FLIGHT_SNAPSHOT.json").expect("write FLIGHT_SNAPSHOT.json");
+        println!(
+            "  flight   | {} shed / {} breaker-trip / {} degradation triggers, {} snapshots \
+             retained; wrote FLIGHT_SNAPSHOT.json",
+            flight::trigger_count("shed"),
+            flight::trigger_count("breaker_trip"),
+            flight::trigger_count("degradation"),
+            flight::snapshot_count(),
+        );
+
+        let report = attribution::attribution_report();
+        assert_model_attribution(&report, "light");
+        assert_model_attribution(&report, "heavy");
+        attribution_json = report.to_json();
+    }
+
+    if let Some(limit_pct) = overhead_pct {
+        // The overhead gate: per-request instrumentation cost with tracing
+        // disabled, as a fraction of the steady-phase light-model p50.
+        // Measured after the report is built so the synthetic model never
+        // appears in it.
+        let iters = 200_000u64;
+        let per_request_ns = instrumentation_overhead_ns(iters);
+        let p50_ns = light_out.percentile(0.50) * 1e6;
+        assert!(p50_ns > 0.0, "overhead gate needs a steady-phase p50");
+        let pct = per_request_ns / p50_ns * 100.0;
+        println!(
+            "  overhead | {per_request_ns:.0} ns/request instrumentation over {iters} iters \
+             = {pct:.4}% of steady light p50 ({:.3} ms) — limit {limit_pct}%",
+            p50_ns / 1e6,
+        );
+        assert!(
+            pct <= limit_pct,
+            "tracing-disabled instrumentation overhead {pct:.3}% exceeds {limit_pct}% \
+             of steady p50"
+        );
+        overhead_json = json!({
+            "iterations": iters,
+            "per_request_ns": per_request_ns,
+            "steady_light_p50_ms": p50_ns / 1e6,
+            "overhead_pct": pct,
+            "limit_pct": limit_pct,
+        });
+    }
+
     if json_mode {
         let doc = json!({
             "bench": "SLO-aware fleet serving: admission, deadlines, shedding, circuit breaking",
@@ -413,6 +591,8 @@ fn main() {
                 "models": [f_light.to_json("light"), f_heavy.to_json("heavy")],
                 "stats": stats_json(&fault_stats),
             },
+            "attribution": attribution_json,
+            "instrumentation_overhead": overhead_json,
         });
         let text = serde_json::to_string_pretty(&doc).expect("serialize");
         std::fs::write("BENCH_SLO.json", text).expect("write BENCH_SLO.json");

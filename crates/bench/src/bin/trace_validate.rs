@@ -11,9 +11,22 @@
 //! dispatcher's two-phase `serve.submit`/`serve.complete` spans, and a
 //! virtual GPU track whose spans carry the disjoint-timer-query
 //! (`modeled_device_ns`) argument and whose `device_utilization` instants
-//! carry a busy/wall gauge in `[0, 1]`. Exits non-zero on any violation.
+//! carry a busy/wall gauge in `[0, 1]`.
+//!
+//! Request-scoped tracing contract (PR-9):
+//! - every serving-layer span (`cat == "serve"`) carries a positive
+//!   `trace_id` argument — no anonymous serve work;
+//! - every trace id with an **envelope** span (`serve.request` for a
+//!   request's submit→reply extent, `serve.batch` for a batch's
+//!   exec→reply extent, `serve.dispatch` for a dispatch pass) has all of
+//!   its other spans nested inside that envelope — the property that lets
+//!   one id reconstruct a request's full causal lane;
+//! - at least one `serve.request` envelope is present.
+//!
+//! Exits non-zero on any violation.
 
 use serde_json::Value;
+use std::collections::HashMap;
 
 fn fail(msg: &str) -> ! {
     eprintln!("trace validation FAILED: {msg}");
@@ -43,6 +56,39 @@ fn main() {
     let mut gpu_tid: Option<&Value> = None;
     let mut named_threads = 0usize;
     let mut utilization_instants = 0usize;
+    // Request-scoped tracing: envelope extents per trace id, and the
+    // non-envelope spans that must nest inside them.
+    let mut envelopes: HashMap<u64, (f64, f64)> = HashMap::new();
+    let mut request_envelopes = 0usize;
+    let mut traced_spans: Vec<(u64, f64, f64, String)> = Vec::new();
+    let mut serve_spans = 0usize;
+
+    // Pass 1: collect envelope extents (a request's spans may be exported
+    // before its envelope, so containment is checked after the scan).
+    for ev in events {
+        if ev.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        if name != "serve.request" && name != "serve.batch" && name != "serve.dispatch" {
+            continue;
+        }
+        let id = ev
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail(&format!("envelope span without trace_id: {ev:?}")));
+        let ts = ev.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+        let dur = ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+        if name == "serve.request" {
+            request_envelopes += 1;
+        }
+        // A re-used id (cannot happen: ids are minted once) would widen
+        // the envelope; keep the union to stay conservative.
+        let entry = envelopes.entry(id).or_insert((ts, ts + dur));
+        entry.0 = entry.0.min(ts);
+        entry.1 = entry.1.max(ts + dur);
+    }
 
     for ev in events {
         let ph = ev.get("ph").and_then(Value::as_str).unwrap_or_else(|| {
@@ -77,6 +123,24 @@ fn main() {
                 spans += 1;
                 let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("");
                 let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+                let trace_id = ev
+                    .get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                if cat == "serve" {
+                    serve_spans += 1;
+                    if trace_id == 0 {
+                        fail(&format!("serve span without a trace_id: {ev:?}"));
+                    }
+                }
+                let is_envelope =
+                    name == "serve.request" || name == "serve.batch" || name == "serve.dispatch";
+                if trace_id != 0 && !is_envelope {
+                    let ts = ts.unwrap_or(0.0);
+                    let dur = dur.unwrap_or(0.0);
+                    traced_spans.push((trace_id, ts, ts + dur, name.to_owned()));
+                }
                 if cat == "kernel" {
                     kernel_spans += 1;
                 }
@@ -153,13 +217,36 @@ fn main() {
     if utilization_instants == 0 {
         fail("no device_utilization instants on the GPU track");
     }
+    if request_envelopes == 0 {
+        fail("no serve.request envelope spans (request-scoped tracing missing)");
+    }
+
+    // Containment: every traced span whose id has an envelope must nest
+    // inside it. Exported timestamps are microsecond floats rounded from
+    // nanosecond clocks, so allow half a tick of slack either side.
+    const EPS_US: f64 = 0.002;
+    let mut nested = 0usize;
+    for (id, start, end, name) in &traced_spans {
+        let Some((env_start, env_end)) = envelopes.get(id) else {
+            continue; // id never grew an envelope (e.g. a probe) — skip
+        };
+        if *start < env_start - EPS_US || *end > env_end + EPS_US {
+            fail(&format!(
+                "span {name} [{start:.3}, {end:.3}] us escapes envelope \
+                 [{env_start:.3}, {env_end:.3}] us of trace id {id}"
+            ));
+        }
+        nested += 1;
+    }
 
     println!(
         "trace OK: {} events, {spans} spans ({kernel_spans} kernel, {serve_submit_spans} \
-         serve.submit, {serve_complete_spans} serve.complete, {gpu_spans} gpu; device timer \
-         total {:.3} ms), {utilization_instants} device_utilization instants, \
-         {named_threads} tracks",
+         serve.submit, {serve_complete_spans} serve.complete, {serve_spans} serve — all \
+         trace-tagged, {gpu_spans} gpu; device timer total {:.3} ms), \
+         {request_envelopes} request envelopes ({} trace ids, {nested} nested spans), \
+         {utilization_instants} device_utilization instants, {named_threads} tracks",
         events.len(),
         gpu_timer_ns / 1e6,
+        envelopes.len(),
     );
 }

@@ -983,6 +983,10 @@ impl Engine {
                 };
                 table.current = Some(i);
                 self.inner.degradations.fetch_add(1, Ordering::Relaxed);
+                webml_telemetry::flight::transition(
+                    "engine.degrade",
+                    format!("{} -> {} on {kernel}: {err}", event.from_backend, event.to_backend),
+                );
                 self.inner.degradation_log.lock().push(event);
                 kernel_metrics().degradations.inc();
                 webml_telemetry::instant(kernel, "degrade");

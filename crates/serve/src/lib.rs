@@ -36,6 +36,7 @@
 pub mod cache;
 pub mod error;
 pub mod health;
+pub(crate) mod obs;
 pub mod router;
 
 pub use cache::{Loaded, ModelCache, ModelKey, ModelSource};
@@ -54,7 +55,9 @@ use std::time::{Duration, Instant};
 use webml_core::backend::DataFuture;
 use webml_core::{Engine, Error, FenceToken, Result, Shape, Tensor};
 use webml_telemetry as telemetry;
-use webml_telemetry::{Histogram, HistogramSummary};
+use webml_telemetry::{
+    Histogram, HistogramSummary, PhaseStamps, RequestCtx, RequestOutcome, RequestTimeline,
+};
 
 /// Micro-batcher and cache tuning.
 #[derive(Debug, Clone)]
@@ -211,6 +214,10 @@ struct Request {
     dims: Vec<usize>,
     reply: mpsc::Sender<Result<InferResponse>>,
     enqueued: Instant,
+    /// Request-scoped trace context + phase timeline, stamped as the
+    /// request moves submit → queue → batch → device and finalized at
+    /// reply time (see [`obs::finish_request`]).
+    tl: RequestTimeline,
 }
 
 struct QueueState {
@@ -289,8 +296,12 @@ impl ModelServer {
     /// (no batch dimension). Returns immediately with a pending handle.
     pub fn submit(&self, key: ModelKey, values: Vec<f32>, dims: Vec<usize>) -> PendingInference {
         let (tx, rx) = mpsc::channel();
+        let ctx = RequestCtx::mint();
+        let mut tl = RequestTimeline::new(ctx.trace_id, ctx.parent_span, key);
+        tl.submitted_ns = telemetry::now_ns();
         let expected: usize = dims.iter().product();
         if expected != values.len() || dims.is_empty() {
+            obs::finish_request(&mut tl, RequestOutcome::Rejected, 0, 0);
             let _ = tx.send(Err(Error::invalid(
                 "serve",
                 format!("example of {} values does not match dims {dims:?}", values.len()),
@@ -298,18 +309,34 @@ impl ModelServer {
             return PendingInference { rx };
         }
         if !self.shared.sources.lock().contains_key(&key) {
+            obs::finish_request(&mut tl, RequestOutcome::Rejected, 0, 0);
             let _ = tx.send(Err(Error::invalid("serve", format!("unknown model key {key:#x}"))));
             return PendingInference { rx };
         }
         {
             let mut q = self.shared.queue.lock();
             if q.shutdown {
+                obs::finish_request(&mut tl, RequestOutcome::Rejected, 0, 0);
                 let _ = tx.send(Err(Error::invalid("serve", "server is shutting down")));
                 return PendingInference { rx };
             }
-            q.requests.push_back(Request { key, values, dims, reply: tx, enqueued: Instant::now() });
+            tl.admitted_ns = telemetry::now_ns();
+            {
+                // Recorded before the push: once queued, the dispatcher may
+                // reply at any moment, and the enqueue marker must fall
+                // inside the request's submit→reply envelope.
+                let _scope = telemetry::trace_scope(ctx.trace_id);
+                telemetry::instant("serve.enqueue", "serve");
+            }
+            q.requests.push_back(Request {
+                key,
+                values,
+                dims,
+                reply: tx,
+                enqueued: Instant::now(),
+                tl,
+            });
         }
-        telemetry::instant("serve.enqueue", "serve");
         self.shared.available.notify_all();
         PendingInference { rx }
     }
@@ -426,10 +453,17 @@ fn sync_cache_stats(shared: &Shared, cache: &ModelCache) {
     shared.stats.plan_fallbacks.store(plans.fallbacks, Ordering::Relaxed);
 }
 
-fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request>) {
+fn process_drained(shared: &Shared, cache: &mut ModelCache, mut drained: Vec<Request>) {
+    // The dispatch pass gets its own trace context; batch contexts minted
+    // below become its children, so a trace viewer can walk request →
+    // batch → dispatch.
+    let dispatch_ctx = RequestCtx::mint();
+    let _dispatch_scope = telemetry::trace_scope(dispatch_ctx.trace_id);
     let _dispatch =
         telemetry::span("serve.dispatch", "serve").with_arg("drained", drained.len() as f64);
-    for req in &drained {
+    let drained_at = telemetry::now_ns();
+    for req in &mut drained {
+        req.tl.drained_ns = drained_at;
         shared.queue_wait_ms.observe(req.enqueued.elapsed().as_secs_f64() * 1e3);
     }
     if cache.check_degradation(&shared.engine) {
@@ -462,10 +496,11 @@ fn process_drained(shared: &Shared, cache: &mut ModelCache, drained: Vec<Request
         let source = match source {
             Some(s) => s,
             None => {
-                for req in members {
+                for mut req in members {
                     // Count before replying: a caller that sees its reply
                     // must also see it reflected in the stats.
                     shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                    obs::finish_request(&mut req.tl, RequestOutcome::Rejected, 0, 0);
                     let _ = req
                         .reply
                         .send(Err(Error::invalid("serve", format!("unknown model key {key:#x}"))));
@@ -493,6 +528,12 @@ struct InFlightChunk {
     /// `None` ⇒ submission failed; the completion phase serves the chunk
     /// per-request against the (already invalidated) rebuilt model.
     run: Option<SubmittedRun>,
+    /// Trace id of the batch context this chunk executed under (its kernel
+    /// and GPU spans carry it).
+    batch_trace: u64,
+    /// Upload/compute boundaries stamped at submission, completed (compute
+    /// end / readback end) by [`complete_run`].
+    stamps: PhaseStamps,
 }
 
 /// The device-side half of an in-flight chunk: input and output handles,
@@ -503,6 +544,9 @@ struct SubmittedRun {
     x: Tensor,
     y: Tensor,
     fut: DataFuture,
+    /// Fence enqueued between the forward pass and the readback, so the
+    /// completion phase can stamp where compute ended and readback began.
+    compute_fence: Option<FenceToken>,
     fence: Option<FenceToken>,
 }
 
@@ -534,22 +578,38 @@ fn submit_chunk(
 ) -> Option<InFlightChunk> {
     let n = chunk.len();
     shared.batch_size.observe(n as f64);
+    // Everything submitted under the batch scope — the serve.submit span,
+    // kernel spans, and the GPU commands captured at enqueue — carries the
+    // batch's trace id; members link to it via serve.batch_member.
+    let batch_ctx = obs::batch_ctx();
+    let _scope = telemetry::trace_scope(batch_ctx.trace_id);
+    let mut stamps = PhaseStamps { exec_start_ns: telemetry::now_ns(), ..Default::default() };
     let submitted = {
         let _span = telemetry::span("serve.submit", "serve").with_arg("batch_size", n as f64);
-        try_submit(shared, cache, key, source, dims, &chunk)
+        try_submit(shared, cache, key, source, dims, &chunk, &mut stamps)
     };
     match submitted {
-        Ok(run) => {
-            Some(InFlightChunk { key, source: source.clone(), chunk, run: Some(run) })
-        }
+        Ok(run) => Some(InFlightChunk {
+            key,
+            source: source.clone(),
+            chunk,
+            run: Some(run),
+            batch_trace: batch_ctx.trace_id,
+            stamps,
+        }),
         Err(e) if n == 1 => {
             // Count before replying: a caller that sees its reply must also
             // see it reflected in the stats.
-            let req = chunk.into_iter().next().expect("n == 1");
+            let mut req = chunk.into_iter().next().expect("n == 1");
             shared.stats.served.fetch_add(1, Ordering::Relaxed);
             shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+            req.tl.apply_stamps(&stamps);
+            obs::finish_request(&mut req.tl, RequestOutcome::Error, 1, batch_ctx.trace_id);
             let _ = req.reply.send(Err(e));
             telemetry::instant("serve.reply", "serve");
+            // Close the batch envelope around whatever partial work ran
+            // under the batch id before the submission failed.
+            telemetry::record_span("serve.batch", "serve", stamps.exec_start_ns, telemetry::now_ns());
             None
         }
         Err(_) => {
@@ -558,7 +618,14 @@ fn submit_chunk(
             cache.invalidate(key);
             shared.stats.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
             telemetry::instant("serve.batch_fallback", "serve");
-            Some(InFlightChunk { key, source: source.clone(), chunk, run: None })
+            Some(InFlightChunk {
+                key,
+                source: source.clone(),
+                chunk,
+                run: None,
+                batch_trace: batch_ctx.trace_id,
+                stamps,
+            })
         }
     }
 }
@@ -572,6 +639,7 @@ fn try_submit(
     source: &ModelSource,
     dims: &[usize],
     chunk: &[Request],
+    stamps: &mut PhaseStamps,
 ) -> Result<SubmittedRun> {
     let n = chunk.len();
     let per_len: usize = dims.iter().product();
@@ -584,6 +652,8 @@ fn try_submit(
     let engine = &shared.engine;
     let model = cache.get_or_load(engine, key, source)?;
     let x = engine.tensor(data, Shape::new(batch_dims))?;
+    // Host-side upload boundary: model load + input tensor submitted.
+    stamps.upload_end_ns = telemetry::now_ns();
     let y = match model.forward(engine, &x) {
         Ok(y) => y,
         Err(e) => {
@@ -591,6 +661,9 @@ fn try_submit(
             return Err(e);
         }
     };
+    // Fence between the forward pass and the readback: the completion
+    // phase waits it to stamp the compute→readback boundary.
+    let compute_fence = engine.submit_fence();
     let fut = match y.data() {
         Ok(f) => f,
         Err(e) => {
@@ -600,7 +673,7 @@ fn try_submit(
         }
     };
     let fence = engine.submit_fence();
-    Ok(SubmittedRun { x, y, fut, fence })
+    Ok(SubmittedRun { x, y, fut, compute_fence, fence })
 }
 
 /// Phase 2 for one chunk: wait for the in-flight run (cheap when the
@@ -608,13 +681,14 @@ fn try_submit(
 /// Failed chunks degrade to per-request synchronous execution exactly like
 /// the pre-pipelining dispatcher.
 fn complete_chunk(shared: &Shared, cache: &mut ModelCache, fl: InFlightChunk) {
-    let InFlightChunk { key, source, chunk, run } = fl;
+    let InFlightChunk { key, source, chunk, run, batch_trace, mut stamps } = fl;
     let n = chunk.len();
+    let batch_scope = telemetry::trace_scope(batch_trace);
     if let Some(run) = run {
         let completed = {
             let _span =
                 telemetry::span("serve.complete", "serve").with_arg("batch_size", n as f64);
-            complete_run(shared, run, n)
+            complete_run(shared, run, n, &mut stamps)
         };
         match completed {
             Ok(responses) => {
@@ -623,26 +697,46 @@ fn complete_chunk(shared: &Shared, cache: &mut ModelCache, fl: InFlightChunk) {
                 if n >= 2 {
                     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
                 }
-                for (req, resp) in chunk.into_iter().zip(responses) {
+                for (mut req, resp) in chunk.into_iter().zip(responses) {
                     shared.stats.served.fetch_add(1, Ordering::Relaxed);
                     if n >= 2 {
                         shared.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
                     } else {
                         shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
                     }
+                    req.tl.apply_stamps(&stamps);
+                    obs::finish_request(&mut req.tl, RequestOutcome::Completed, n as u32, batch_trace);
                     let _ = req.reply.send(Ok(resp));
                     telemetry::instant("serve.reply", "serve");
                 }
+                // Batch envelope: closed after the replies so every
+                // batch-scoped event nests inside it.
+                telemetry::record_span_arg(
+                    "serve.batch",
+                    "serve",
+                    stamps.exec_start_ns,
+                    telemetry::now_ns(),
+                    "batch_size",
+                    n as f64,
+                );
                 return;
             }
             Err(e) if n == 1 => {
                 // Mirrors the synchronous single path: the error is the
                 // answer, not a reason to retry.
-                let req = chunk.into_iter().next().expect("n == 1");
+                let mut req = chunk.into_iter().next().expect("n == 1");
                 shared.stats.served.fetch_add(1, Ordering::Relaxed);
                 shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+                req.tl.apply_stamps(&stamps);
+                obs::finish_request(&mut req.tl, RequestOutcome::Error, 1, batch_trace);
                 let _ = req.reply.send(Err(e));
                 telemetry::instant("serve.reply", "serve");
+                telemetry::record_span(
+                    "serve.batch",
+                    "serve",
+                    stamps.exec_start_ns,
+                    telemetry::now_ns(),
+                );
                 return;
             }
             Err(_) => {
@@ -654,16 +748,27 @@ fn complete_chunk(shared: &Shared, cache: &mut ModelCache, fl: InFlightChunk) {
             }
         }
     }
-    for req in chunk {
+    // Close the batch envelope before the per-request fallback (which runs
+    // under each member's own trace scope).
+    telemetry::record_span("serve.batch", "serve", stamps.exec_start_ns, telemetry::now_ns());
+    drop(batch_scope);
+    for mut req in chunk {
         shared.batch_size.observe(1.0);
+        let req_scope = telemetry::trace_scope(req.tl.trace_id);
+        let mut single_stamps = PhaseStamps::default();
         let result = {
             let _span = telemetry::span("serve.single", "serve");
-            run_single(shared, cache, key, &source, &req)
+            run_single(shared, cache, key, &source, &req, &mut single_stamps)
         };
         shared.stats.served.fetch_add(1, Ordering::Relaxed);
         shared.stats.single_requests.fetch_add(1, Ordering::Relaxed);
+        let outcome =
+            if result.is_ok() { RequestOutcome::Completed } else { RequestOutcome::Error };
+        req.tl.apply_stamps(&single_stamps);
+        obs::finish_request(&mut req.tl, outcome, 1, 0);
         let _ = req.reply.send(result);
         telemetry::instant("serve.reply", "serve");
+        drop(req_scope);
     }
 }
 
@@ -672,12 +777,20 @@ fn complete_chunk(shared: &Shared, cache: &mut ModelCache, fl: InFlightChunk) {
 /// readback future then resolves immediately. A failed future retries
 /// through the synchronous path, which has transient-retry machinery and
 /// re-locates data after a mid-pipeline degradation.
-fn complete_run(shared: &Shared, run: SubmittedRun, n: usize) -> Result<Vec<InferResponse>> {
+fn complete_run(
+    shared: &Shared,
+    run: SubmittedRun,
+    n: usize,
+    stamps: &mut PhaseStamps,
+) -> Result<Vec<InferResponse>> {
+    shared.engine.wait_fence(run.compute_fence);
+    stamps.compute_end_ns = telemetry::now_ns();
     shared.engine.wait_fence(run.fence);
     let read = run.fut.wait().or_else(|_| run.y.data_sync());
     let out = read.and_then(|d| split_values(d.to_f32_vec(), &run.y.shape().0, n));
     run.x.dispose();
     run.y.dispose();
+    stamps.readback_end_ns = telemetry::now_ns();
     out
 }
 
@@ -687,12 +800,15 @@ fn run_single(
     key: ModelKey,
     source: &ModelSource,
     req: &Request,
+    stamps: &mut PhaseStamps,
 ) -> Result<InferResponse> {
     let engine = &shared.engine;
     let mut batch_dims = vec![1];
     batch_dims.extend_from_slice(&req.dims);
+    stamps.exec_start_ns = telemetry::now_ns();
     let model = cache.get_or_load(engine, key, source)?;
     let x = engine.tensor(req.values.clone(), Shape::new(batch_dims))?;
+    stamps.upload_end_ns = telemetry::now_ns();
     let y = match model.forward(engine, &x) {
         Ok(y) => y,
         Err(e) => {
@@ -700,9 +816,13 @@ fn run_single(
             return Err(e);
         }
     };
+    // Synchronous path: compute and readback drain together in read_rows;
+    // the boundary is the forward submission.
+    stamps.compute_end_ns = telemetry::now_ns();
     let rows = read_rows(&y, 1);
     x.dispose();
     y.dispose();
+    stamps.readback_end_ns = telemetry::now_ns();
     Ok(rows?.remove(0))
 }
 

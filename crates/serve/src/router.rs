@@ -38,17 +38,21 @@
 //! each engine.
 
 use parking_lot::{Condvar, Mutex};
+use serde_json::json;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use webml_core::{Engine, Shape};
 use webml_telemetry as telemetry;
-use webml_telemetry::{Histogram, HistogramSummary};
+use webml_telemetry::{
+    Histogram, HistogramSummary, PhaseStamps, RequestCtx, RequestOutcome, RequestTimeline,
+};
 
 use crate::cache::{ModelCache, ModelKey, ModelSource};
 use crate::error::ServeError;
 use crate::health::{BreakerConfig, BreakerSnapshot, CircuitBreaker, EngineHealth};
+use crate::obs;
 use crate::{chunked, read_rows, InferResponse, WindowPolicy};
 
 /// Result type for fleet requests: an inference response or an explicit,
@@ -288,6 +292,8 @@ struct FleetRequest {
     deadline: Instant,
     budget: Duration,
     reroutes: u32,
+    /// Request-scoped trace context + phase timeline, minted at submit.
+    tl: RequestTimeline,
 }
 
 enum WorkItem {
@@ -456,6 +462,9 @@ impl FleetServer {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let budget_or_zero = budget.unwrap_or(Duration::ZERO);
+        let ctx = RequestCtx::mint();
+        let mut tl = RequestTimeline::new(ctx.trace_id, ctx.parent_span, key);
+        tl.submitted_ns = telemetry::now_ns();
         let req = FleetRequest {
             key,
             values,
@@ -465,6 +474,7 @@ impl FleetServer {
             deadline: now + budget_or_zero,
             budget: budget_or_zero,
             reroutes: 0,
+            tl,
         };
         let expected: usize = req.dims.iter().product();
         if budget.is_none() {
@@ -634,48 +644,134 @@ impl Drop for FleetServer {
     }
 }
 
-/// Reply with an error, counting it in exactly one outcome bucket.
-fn reply_err(shared: &FleetShared, req: FleetRequest, err: ServeError) {
+/// Reply with an error, counting it in exactly one outcome bucket. Load
+/// sheds also fire the flight recorder with a lazy fleet snapshot, so a
+/// postmortem sees queue depths, breaker states, and the recent request
+/// ring exactly as they were when the shed happened.
+fn reply_err(shared: &FleetShared, mut req: FleetRequest, err: ServeError) {
     let s = &shared.stats;
-    match &err {
-        ServeError::DeadlineExceeded { .. } => {
+    let outcome = match &err {
+        ServeError::DeadlineExceeded { waited_ms, budget_ms } => {
             s.deadline_rejected.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("fleet.deadline_exceeded").inc();
             telemetry::instant("fleet.deadline_exceeded", "serve");
+            telemetry::flight::transition(
+                "deadline_exceeded",
+                format!("waited {waited_ms:.2} ms of {budget_ms:.2} ms budget"),
+            );
+            RequestOutcome::DeadlineExceeded
         }
-        ServeError::Overloaded { .. } => {
+        ServeError::Overloaded { predicted_wait_ms, budget_ms } => {
             s.shed_overloaded.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("fleet.shed").inc();
             telemetry::instant("fleet.shed", "serve");
+            telemetry::flight::notify(
+                "shed",
+                format!(
+                    "overloaded: predicted wait {predicted_wait_ms:.2} ms exceeds budget {budget_ms:.2} ms"
+                ),
+                || fleet_snapshot_context(shared),
+            );
+            RequestOutcome::Shed
         }
-        ServeError::QueueFull { .. } => {
+        ServeError::QueueFull { capacity } => {
             s.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("fleet.shed").inc();
             telemetry::instant("fleet.shed", "serve");
+            telemetry::flight::notify(
+                "shed",
+                format!("queue full at capacity {capacity}"),
+                || fleet_snapshot_context(shared),
+            );
+            RequestOutcome::Shed
         }
         ServeError::NoHealthyEngine => {
             s.shed_no_engine.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("fleet.shed").inc();
             telemetry::instant("fleet.shed", "serve");
+            telemetry::flight::notify(
+                "shed",
+                "no healthy engine".to_owned(),
+                || fleet_snapshot_context(shared),
+            );
+            RequestOutcome::Shed
         }
         ServeError::Rejected(_) => {
             s.rejected.fetch_add(1, Ordering::Relaxed);
+            RequestOutcome::Rejected
         }
         ServeError::Engine(_) => {
             s.engine_errors.fetch_add(1, Ordering::Relaxed);
+            RequestOutcome::Error
         }
         ServeError::Shutdown => {
             s.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+            RequestOutcome::Rejected
         }
-    }
+    };
+    obs::finish_request(&mut req.tl, outcome, 0, 0);
     let _ = req.reply.send(Err(err));
 }
 
-fn reply_ok(shared: &FleetShared, req: FleetRequest, resp: InferResponse) {
+fn reply_ok(
+    shared: &FleetShared,
+    mut req: FleetRequest,
+    resp: InferResponse,
+    batch_size: u32,
+    batch_trace: u64,
+) {
     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
     shared.latency_ms.observe(req.enqueued.elapsed().as_secs_f64() * 1e3);
+    obs::finish_request(&mut req.tl, RequestOutcome::Completed, batch_size, batch_trace);
     let _ = req.reply.send(Ok(resp));
     telemetry::instant("fleet.reply", "serve");
+}
+
+/// Fleet state at a moment of trouble, serialized for a flight-recorder
+/// snapshot: per-engine queue depth, health EWMA, breaker state, and live
+/// engine memory, plus the lifetime outcome counters.
+fn fleet_snapshot_context(shared: &FleetShared) -> serde_json::Value {
+    let engines: Vec<serde_json::Value> = shared
+        .engines
+        .iter()
+        .map(|e| {
+            let b = e.breaker.snapshot();
+            let mem = e.engine.memory();
+            json!({
+                "name": e.name.clone(),
+                "parallelism": e.parallelism,
+                "queue_depth": e.health.queue_depth(),
+                "completed": e.health.completed(),
+                "ewma_ms": e.health.ewma_ms(),
+                "degradations": e.degradations.load(Ordering::Relaxed),
+                "draining": e.draining.load(Ordering::Relaxed),
+                "breaker": {
+                    "state": format!("{:?}", b.state),
+                    "trips": b.trips,
+                    "recloses": b.recloses,
+                    "last_trip_reason": b.last_trip_reason.clone().unwrap_or_default(),
+                },
+                "memory": {
+                    "num_tensors": mem.num_tensors,
+                    "num_bytes": mem.num_bytes,
+                    "current_backend": mem.current_backend.clone(),
+                    "degradations": mem.degradations,
+                },
+            })
+        })
+        .collect();
+    let s = &shared.stats;
+    json!({
+        "submitted": s.submitted.load(Ordering::Relaxed),
+        "completed": s.completed.load(Ordering::Relaxed),
+        "shed_overloaded": s.shed_overloaded.load(Ordering::Relaxed),
+        "shed_queue_full": s.shed_queue_full.load(Ordering::Relaxed),
+        "shed_no_engine": s.shed_no_engine.load(Ordering::Relaxed),
+        "deadline_rejected": s.deadline_rejected.load(Ordering::Relaxed),
+        "engine_errors": s.engine_errors.load(Ordering::Relaxed),
+        "rerouted": s.rerouted.load(Ordering::Relaxed),
+        "engines": serde_json::Value::Array(engines),
+    })
 }
 
 /// Pick an engine for a request: healthy (breaker closed, not draining),
@@ -771,6 +867,19 @@ fn route_request(
                 return;
             }
             state.health.enqueued(1);
+            // Admission is stamped once, on the first successful enqueue —
+            // re-routes keep the original admission time so queue-phase
+            // attribution includes time lost to breaker-trip ping-pong.
+            if req.tl.admitted_ns == 0 {
+                req.tl.admitted_ns = telemetry::now_ns();
+            }
+            {
+                // Inside the lock, before the push: once the request is
+                // visible the worker may drain and reply at any moment, and
+                // this marker must fall inside the request envelope.
+                let _scope = telemetry::trace_scope(req.tl.trace_id);
+                telemetry::instant("serve.enqueue", "serve");
+            }
             q.items.push_back(WorkItem::Request(req));
             drop(q);
             state.available.notify_all();
@@ -785,6 +894,16 @@ fn on_trip(shared: &FleetShared, idx: usize) {
     let state = &shared.engines[idx];
     telemetry::counter("fleet.breaker_trips").inc();
     telemetry::instant("fleet.breaker_trip", "serve");
+    let reason = state
+        .breaker
+        .snapshot()
+        .last_trip_reason
+        .unwrap_or_else(|| "breaker tripped".to_owned());
+    telemetry::flight::notify(
+        "breaker_trip",
+        format!("engine {} tripped: {reason}", state.name),
+        || fleet_snapshot_context(shared),
+    );
     let requests: Vec<FleetRequest> = {
         let mut q = state.queue.lock();
         let mut keep = VecDeque::new();
@@ -854,6 +973,11 @@ fn worker_loop(shared: &Arc<FleetShared>, idx: usize) {
             state.degradations.fetch_add(1, Ordering::Relaxed);
             cache.check_degradation(&state.engine);
             telemetry::counter("fleet.degradations").inc();
+            telemetry::flight::notify(
+                "degradation",
+                format!("engine {} fell to generation {generation}", state.name),
+                || fleet_snapshot_context(shared),
+            );
             if state
                 .breaker
                 .record_degradation(&format!("backend degradation (generation {generation})"))
@@ -876,11 +1000,21 @@ fn worker_loop(shared: &Arc<FleetShared>, idx: usize) {
         // Canaries and warm-ups run even when the breaker is open — that's
         // how a tripped engine proves it recovered.
         for (key, values, dims, reply) in probes {
+            // Probes are requests too: a minted scope keeps any spans they
+            // emit (e.g. `serve.model_build`) attributable in a trace.
+            let _scope = telemetry::trace_scope(telemetry::next_trace_id());
             let source = shared.models.lock().get(&key).map(|r| r.source.clone());
             let ok = match source {
-                Some(src) => {
-                    exec_single(&state.engine, &mut cache, key, &src, &values, &dims).is_ok()
-                }
+                Some(src) => exec_single(
+                    &state.engine,
+                    &mut cache,
+                    key,
+                    &src,
+                    &values,
+                    &dims,
+                    &mut PhaseStamps::default(),
+                )
+                .is_ok(),
                 None => false,
             };
             let _ = reply.send(ok);
@@ -892,7 +1026,7 @@ fn worker_loop(shared: &Arc<FleetShared>, idx: usize) {
         let admitting = state.breaker.admits();
         let now = Instant::now();
         let mut survivors: Vec<FleetRequest> = Vec::new();
-        for req in requests {
+        for mut req in requests {
             if now >= req.deadline {
                 let err = ServeError::DeadlineExceeded {
                     waited_ms: req.enqueued.elapsed().as_secs_f64() * 1e3,
@@ -904,6 +1038,7 @@ fn worker_loop(shared: &Arc<FleetShared>, idx: usize) {
                 state.health.drained(1, 0);
                 route_request(shared, req, Some(idx), true);
             } else {
+                req.tl.drained_ns = telemetry::now_ns();
                 survivors.push(req);
             }
         }
@@ -970,19 +1105,37 @@ fn run_chunk(
     let state = &shared.engines[idx];
     let n = chunk.len();
     if n >= 2 {
+        // Batch execution runs under its own trace context (a child of
+        // whatever scope the worker holds); members keep their own ids and
+        // link to the batch via `finish_request`'s envelope arg.
+        let batch_ctx = obs::batch_ctx();
+        let batch_scope = telemetry::trace_scope(batch_ctx.trace_id);
+        let mut stamps = PhaseStamps { exec_start_ns: telemetry::now_ns(), ..Default::default() };
         let started = Instant::now();
         let batched = {
             let _span = telemetry::span("fleet.batch", "serve").with_arg("batch_size", n as f64);
-            exec_batched(&state.engine, cache, ctx, &chunk)
+            exec_batched(&state.engine, cache, ctx, &chunk, &mut stamps)
         };
         match batched {
             Ok(responses) => {
                 let per_ns = (started.elapsed().as_nanos() as u64 / n as u64).max(1);
                 state.health.observed(ctx.key, per_ns, n);
                 note_execution(shared, idx, ctx, per_ns);
-                for (req, resp) in chunk.into_iter().zip(responses) {
-                    reply_ok(shared, req, resp);
+                for (mut req, resp) in chunk.into_iter().zip(responses) {
+                    req.tl.apply_stamps(&stamps);
+                    reply_ok(shared, req, resp, n as u32, batch_ctx.trace_id);
                 }
+                // Batch envelope: recorded after the replies so every
+                // batch-scoped event nests inside it.
+                telemetry::record_span_arg(
+                    "serve.batch",
+                    "serve",
+                    stamps.exec_start_ns,
+                    telemetry::now_ns(),
+                    "batch_size",
+                    n as f64,
+                );
+                drop(batch_scope);
                 return;
             }
             Err(_) => {
@@ -990,21 +1143,39 @@ fn run_chunk(
                 // built on a now-dead backend) rebuilds on the retry.
                 cache.invalidate(ctx.key);
                 telemetry::instant("fleet.batch_fallback", "serve");
+                telemetry::record_span(
+                    "serve.batch",
+                    "serve",
+                    stamps.exec_start_ns,
+                    telemetry::now_ns(),
+                );
+                drop(batch_scope);
             }
         }
     }
-    for req in chunk {
+    for mut req in chunk {
+        let _req_scope = telemetry::trace_scope(req.tl.trace_id);
+        let mut stamps = PhaseStamps { exec_start_ns: telemetry::now_ns(), ..Default::default() };
         let started = Instant::now();
         let result = {
             let _span = telemetry::span("fleet.single", "serve");
-            exec_single(&state.engine, cache, ctx.key, ctx.source, &req.values, &req.dims)
+            exec_single(
+                &state.engine,
+                cache,
+                ctx.key,
+                ctx.source,
+                &req.values,
+                &req.dims,
+                &mut stamps,
+            )
         };
         let ns = (started.elapsed().as_nanos() as u64).max(1);
         state.health.observed(ctx.key, ns, 1);
         match result {
             Ok(resp) => {
                 note_execution(shared, idx, ctx, ns);
-                reply_ok(shared, req, resp);
+                req.tl.apply_stamps(&stamps);
+                reply_ok(shared, req, resp, 1, 0);
             }
             Err(e) => {
                 // Device-flavored failures count toward the breaker and get
@@ -1035,6 +1206,7 @@ fn exec_batched(
     cache: &mut ModelCache,
     ctx: &GroupCtx,
     chunk: &[FleetRequest],
+    stamps: &mut PhaseStamps,
 ) -> webml_core::Result<Vec<InferResponse>> {
     let n = chunk.len();
     let per_len: usize = ctx.dims.iter().product();
@@ -1046,6 +1218,7 @@ fn exec_batched(
     batch_dims.extend_from_slice(ctx.dims);
     let model = cache.get_or_load(engine, ctx.key, ctx.source)?;
     let x = engine.tensor(data, Shape::new(batch_dims))?;
+    stamps.upload_end_ns = telemetry::now_ns();
     let y = match model.forward(engine, &x) {
         Ok(y) => y,
         Err(e) => {
@@ -1053,7 +1226,11 @@ fn exec_batched(
             return Err(e);
         }
     };
+    // Synchronous executor: compute and readback drain together inside
+    // read_rows, so the compute boundary is the forward submission.
+    stamps.compute_end_ns = telemetry::now_ns();
     let out = read_rows(&y, n);
+    stamps.readback_end_ns = telemetry::now_ns();
     x.dispose();
     y.dispose();
     out
@@ -1066,11 +1243,13 @@ fn exec_single(
     source: &ModelSource,
     values: &[f32],
     dims: &[usize],
+    stamps: &mut PhaseStamps,
 ) -> webml_core::Result<InferResponse> {
     let mut batch_dims = vec![1];
     batch_dims.extend_from_slice(dims);
     let model = cache.get_or_load(engine, key, source)?;
     let x = engine.tensor(values.to_vec(), Shape::new(batch_dims))?;
+    stamps.upload_end_ns = telemetry::now_ns();
     let y = match model.forward(engine, &x) {
         Ok(y) => y,
         Err(e) => {
@@ -1078,7 +1257,9 @@ fn exec_single(
             return Err(e);
         }
     };
+    stamps.compute_end_ns = telemetry::now_ns();
     let rows = read_rows(&y, 1);
+    stamps.readback_end_ns = telemetry::now_ns();
     x.dispose();
     y.dispose();
     Ok(rows?.remove(0))

@@ -1,0 +1,271 @@
+//! Flight recorder: a fixed-size global ring of recent request timelines
+//! and engine state transitions, snapshotted automatically when something
+//! goes wrong.
+//!
+//! The ring records continuously and cheaply (one short mutex push per
+//! entry, bounded memory). When a trigger fires — a circuit breaker trips,
+//! a request is shed, a degradation generation bumps — [`notify`] captures
+//! a **snapshot**: the trigger's reason, a caller-supplied context value
+//! (fleet stats, engine memory, breaker states), and the last-N entries of
+//! the ring. Snapshots are JSON-exportable ([`snapshots_json`],
+//! [`write_snapshots`]) for postmortems.
+//!
+//! Trigger *counting* is exact (every call to [`notify`] bumps the per-kind
+//! counter, which CI gates on); snapshot *capture* is rate-limited per
+//! kind so a shed storm produces one snapshot per window instead of
+//! thousands — the first trigger of a kind always captures.
+
+use crate::attribution::{timeline_json, RequestTimeline};
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Ring capacity: how many recent entries a snapshot can look back on.
+pub const FLIGHT_CAPACITY: usize = 1024;
+
+/// How many snapshots are retained (oldest evicted first).
+pub const MAX_SNAPSHOTS: usize = 32;
+
+/// Minimum gap between captured snapshots of the same kind (ns). Triggers
+/// inside the gap are still counted, just not snapshotted.
+pub const SNAPSHOT_GAP_NS: u64 = 50_000_000;
+
+/// One flight-ring entry: a finished request timeline or a state
+/// transition.
+#[derive(Clone, Debug)]
+pub struct FlightEntry {
+    /// When it was recorded ([`crate::now_ns`]).
+    pub at_ns: u64,
+    /// Entry kind: `"request"` for timelines, else the transition kind
+    /// (`"engine.degrade"`, `"breaker.trip"`, ...).
+    pub kind: &'static str,
+    /// Trace id when the entry belongs to a request (0 otherwise).
+    pub trace_id: u64,
+    /// Human-readable detail for transitions (empty for requests).
+    pub detail: String,
+    /// The request timeline, for `"request"` entries.
+    pub timeline: Option<RequestTimeline>,
+}
+
+/// A captured snapshot: trigger reason + context + recent ring entries.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Capture time.
+    pub at_ns: u64,
+    /// Trigger kind (`"shed"`, `"breaker_trip"`, `"degradation"`, ...).
+    pub kind: &'static str,
+    /// Trigger detail string.
+    pub reason: String,
+    /// Caller-supplied context (fleet stats, engine memory, breakers).
+    pub context: Value,
+    /// The flight ring at capture time, oldest first.
+    pub entries: Vec<FlightEntry>,
+}
+
+#[derive(Default)]
+struct FlightState {
+    ring: VecDeque<FlightEntry>,
+    snapshots: VecDeque<Snapshot>,
+    trigger_counts: HashMap<&'static str, u64>,
+    last_capture_ns: HashMap<&'static str, u64>,
+}
+
+fn state() -> &'static Mutex<FlightState> {
+    static STATE: OnceLock<Mutex<FlightState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(FlightState::default()))
+}
+
+fn push_entry(st: &mut FlightState, entry: FlightEntry) {
+    if st.ring.len() == FLIGHT_CAPACITY {
+        st.ring.pop_front();
+    }
+    st.ring.push_back(entry);
+}
+
+/// Record a finished request timeline into the flight ring.
+pub fn record_timeline(tl: &RequestTimeline) {
+    let mut st = state().lock();
+    push_entry(
+        &mut st,
+        FlightEntry {
+            at_ns: crate::now_ns(),
+            kind: "request",
+            trace_id: tl.trace_id,
+            detail: String::new(),
+            timeline: Some(*tl),
+        },
+    );
+}
+
+/// Record a state transition (engine degradation, breaker state change,
+/// backend promotion, ...) into the flight ring.
+pub fn transition(kind: &'static str, detail: String) {
+    let mut st = state().lock();
+    push_entry(
+        &mut st,
+        FlightEntry { at_ns: crate::now_ns(), kind, trace_id: 0, detail, timeline: None },
+    );
+}
+
+/// Fire a trigger: bump the exact per-kind counter and — unless inside the
+/// per-kind rate-limit window — capture a snapshot whose context is built
+/// lazily by `context` (only evaluated when a snapshot is actually taken,
+/// so shed storms don't pay for fleet-state serialization per shed).
+pub fn notify(kind: &'static str, detail: String, context: impl FnOnce() -> Value) {
+    let now = crate::now_ns();
+    let entries = {
+        let mut st = state().lock();
+        *st.trigger_counts.entry(kind).or_insert(0) += 1;
+        let capture = match st.last_capture_ns.get(kind) {
+            Some(&last) => now.saturating_sub(last) >= SNAPSHOT_GAP_NS,
+            None => true,
+        };
+        // The trigger is part of the record even when rate-limited out of
+        // its own snapshot (later snapshots will show it in the ring).
+        push_entry(
+            &mut st,
+            FlightEntry { at_ns: now, kind, trace_id: 0, detail: detail.clone(), timeline: None },
+        );
+        if !capture {
+            return;
+        }
+        st.last_capture_ns.insert(kind, now);
+        st.ring.iter().cloned().collect::<Vec<FlightEntry>>()
+    };
+    // Build the context with the flight lock released, so closures are
+    // free to read fleet/engine state that itself records transitions.
+    let snapshot = Snapshot { at_ns: now, kind, reason: detail, context: context(), entries };
+    let mut st = state().lock();
+    if st.snapshots.len() == MAX_SNAPSHOTS {
+        st.snapshots.pop_front();
+    }
+    st.snapshots.push_back(snapshot);
+}
+
+/// Exact number of [`notify`] calls for `kind` since process start (or the
+/// last [`reset_flight`]).
+pub fn trigger_count(kind: &str) -> u64 {
+    state().lock().trigger_counts.get(kind).copied().unwrap_or(0)
+}
+
+/// Number of snapshots currently retained.
+pub fn snapshot_count() -> usize {
+    state().lock().snapshots.len()
+}
+
+/// Clone the retained snapshots (oldest first).
+pub fn snapshots() -> Vec<Snapshot> {
+    state().lock().snapshots.iter().cloned().collect()
+}
+
+fn entry_json(e: &FlightEntry) -> Value {
+    let timeline = match &e.timeline {
+        Some(tl) => timeline_json(tl),
+        None => Value::Null,
+    };
+    json!({
+        "at_ns": e.at_ns,
+        "kind": e.kind,
+        "trace_id": e.trace_id,
+        "detail": e.detail.clone(),
+        "timeline": timeline,
+    })
+}
+
+fn snapshot_json(s: &Snapshot) -> Value {
+    let entries: Vec<Value> = s.entries.iter().map(entry_json).collect();
+    json!({
+        "at_ns": s.at_ns,
+        "kind": s.kind,
+        "reason": s.reason.clone(),
+        "context": s.context.clone(),
+        "entries": Value::Array(entries),
+    })
+}
+
+/// All retained snapshots plus the per-kind trigger counters, as JSON.
+pub fn snapshots_json() -> Value {
+    let st = state().lock();
+    let snapshots: Vec<Value> = st.snapshots.iter().map(snapshot_json).collect();
+    let mut kinds: Vec<&&str> = st.trigger_counts.keys().collect();
+    kinds.sort_unstable();
+    let triggers: Vec<Value> = kinds
+        .iter()
+        .map(|k| json!({ "kind": **k, "count": st.trigger_counts[**k] }))
+        .collect();
+    json!({
+        "triggers": Value::Array(triggers),
+        "snapshot_count": st.snapshots.len(),
+        "snapshots": Value::Array(snapshots),
+    })
+}
+
+/// Write [`snapshots_json`] (pretty-printed) to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_snapshots(path: &str) -> std::io::Result<()> {
+    let json = snapshots_json();
+    std::fs::write(path, serde_json::to_string_pretty(&json).unwrap_or_default())
+}
+
+/// Drop all flight-recorder state (ring, snapshots, counters).
+pub fn reset_flight() {
+    let mut st = state().lock();
+    st.ring.clear();
+    st.snapshots.clear();
+    st.trigger_counts.clear();
+    st.last_capture_ns.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::RequestOutcome;
+
+    #[test]
+    fn ring_is_bounded_and_snapshot_sees_recent_requests() {
+        let _g = crate::test_lock();
+        reset_flight();
+        for i in 0..(FLIGHT_CAPACITY + 10) as u64 {
+            let mut tl = RequestTimeline::new(i + 1, 0, 0xf11);
+            tl.outcome = RequestOutcome::Completed;
+            record_timeline(&tl);
+        }
+        assert_eq!(state().lock().ring.len(), FLIGHT_CAPACITY, "ring stays bounded");
+        transition("engine.degrade", "webgl -> cpu".to_owned());
+        notify("breaker_trip", "engine-0 tripped".to_owned(), || json!({ "queue_depth": 7 }));
+        assert_eq!(trigger_count("breaker_trip"), 1);
+        assert_eq!(snapshot_count(), 1);
+        let snaps = snapshots();
+        let snap = &snaps[0];
+        assert_eq!(snap.kind, "breaker_trip");
+        assert_eq!(snap.context.get("queue_depth").and_then(Value::as_u64), Some(7));
+        assert!(snap.entries.iter().any(|e| e.kind == "engine.degrade"));
+        assert!(snap.entries.iter().any(|e| e.kind == "request" && e.trace_id > 0));
+        let json = snapshots_json();
+        assert_eq!(json.get("snapshot_count").and_then(Value::as_u64), Some(1));
+        let rendered = serde_json::to_string(&json).unwrap();
+        assert!(rendered.contains("breaker_trip"));
+        reset_flight();
+    }
+
+    #[test]
+    fn triggers_count_exactly_even_when_rate_limited() {
+        let _g = crate::test_lock();
+        reset_flight();
+        for i in 0..100 {
+            notify("shed", format!("shed {i}"), || json!({}));
+        }
+        assert_eq!(trigger_count("shed"), 100, "every trigger counted");
+        let captured = snapshot_count();
+        assert!(captured >= 1, "first trigger always snapshots");
+        assert!(captured < 100, "storm is rate-limited, got {captured}");
+        // A different kind is not blocked by shed's window.
+        notify("degradation", "gen bump".to_owned(), || json!({}));
+        assert_eq!(trigger_count("degradation"), 1);
+        assert!(snapshots().iter().any(|s| s.kind == "degradation"));
+        reset_flight();
+    }
+}

@@ -38,13 +38,19 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
+pub mod flight;
 pub mod metrics;
 pub mod ring;
 pub mod trace;
 
+pub use attribution::{
+    attribution_report, record_request, AttributionReport, ModelAttributionReport, PhaseStamps,
+    RequestOutcome, RequestTimeline, PHASE_NAMES,
+};
 pub use metrics::{
-    counter, fgauge, gauge, histogram, prometheus_text, Counter, FGauge, Gauge, Histogram,
-    HistogramSummary,
+    counter, counter_labeled, fgauge, gauge, histogram, histogram_labeled, prometheus_text,
+    Counter, FGauge, Gauge, Histogram, HistogramSummary,
 };
 pub use trace::{chrome_trace_json, write_chrome_trace};
 
@@ -98,6 +104,78 @@ pub struct Event {
     pub arg_name: &'static str,
     /// Optional argument value.
     pub arg: f64,
+    /// Request-scoped trace id joining events across threads (0 = none).
+    /// Attached automatically from the calling thread's active
+    /// [`trace_scope`]; the Chrome exporter emits it as a `trace_id` arg.
+    pub trace_id: u64,
+}
+
+/// Request-scoped tracing context: a process-unique trace id plus the id
+/// of the span context it was minted under (0 for a root request). Minted
+/// by the serving front doors and propagated — via [`trace_scope`] thread
+/// scopes and explicit plumbing into the device queue — through router
+/// queues, micro-batches, kernel dispatch, and simulated-GPU spans, so one
+/// id joins a request's fragments across every thread it touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// Process-unique trace id (never 0).
+    pub trace_id: u64,
+    /// Trace id of the parent span context (0 = root).
+    pub parent_span: u64,
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl RequestCtx {
+    /// Mint a fresh root context (parent 0).
+    pub fn mint() -> RequestCtx {
+        RequestCtx { trace_id: next_trace_id(), parent_span: 0 }
+    }
+
+    /// Mint a child context whose `parent_span` is this context's id
+    /// (e.g. a batch context minted under a dispatch context).
+    pub fn child(&self) -> RequestCtx {
+        RequestCtx { trace_id: next_trace_id(), parent_span: self.trace_id }
+    }
+}
+
+/// Mint a process-unique trace id (a monotone counter starting at 1, so 0
+/// stays the "untraced" sentinel).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's active trace id (0 when no [`trace_scope`] is
+/// open). Recording functions attach it to every event; cross-thread
+/// propagation (the device queue) captures it at enqueue time.
+#[inline]
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard restoring the previously active trace id on drop.
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Make `trace_id` the calling thread's active trace id until the returned
+/// guard drops. Scopes nest (the guard restores the outer id). Costs two
+/// thread-local cell accesses — cheap enough to hold across a request's
+/// whole execution whether or not tracing is enabled.
+#[inline]
+pub fn trace_scope(trace_id: u64) -> TraceScope {
+    let prev = CURRENT_TRACE.with(|c| c.replace(trace_id));
+    TraceScope { prev }
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -211,6 +289,7 @@ pub fn record_span_arg(
         tid: 0,
         arg_name,
         arg,
+        trace_id: current_trace_id(),
     });
 }
 
@@ -236,6 +315,7 @@ pub fn instant_arg(name: &'static str, cat: &'static str, arg_name: &'static str
         tid: 0,
         arg_name,
         arg,
+        trace_id: current_trace_id(),
     });
 }
 
@@ -250,6 +330,22 @@ pub fn gpu_span(
     arg_name: &'static str,
     arg: f64,
 ) {
+    gpu_span_traced(name, start_ns, end_ns, arg_name, arg, current_trace_id());
+}
+
+/// [`gpu_span`] with an explicit trace id. The device thread runs commands
+/// asynchronously, long after the submitting thread's [`trace_scope`] has
+/// moved on — so the submitter's id is captured into the command at
+/// enqueue time and passed here when the span is finally recorded.
+#[inline]
+pub fn gpu_span_traced(
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    arg_name: &'static str,
+    arg: f64,
+    trace_id: u64,
+) {
     if !enabled() {
         return;
     }
@@ -263,6 +359,7 @@ pub fn gpu_span(
         tid: 0,
         arg_name,
         arg,
+        trace_id,
     });
 }
 
@@ -283,6 +380,7 @@ pub fn gpu_instant(name: &'static str, arg_name: &'static str, arg: f64) {
         tid: 0,
         arg_name,
         arg,
+        trace_id: current_trace_id(),
     });
 }
 
@@ -296,6 +394,7 @@ pub struct SpanGuard {
     armed: bool,
     arg_name: &'static str,
     arg: f64,
+    trace_id: u64,
 }
 
 impl SpanGuard {
@@ -320,6 +419,7 @@ impl Drop for SpanGuard {
                 tid: 0,
                 arg_name: self.arg_name,
                 arg: self.arg,
+                trace_id: self.trace_id,
             });
         }
     }
@@ -337,6 +437,7 @@ pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
         armed,
         arg_name: "",
         arg: 0.0,
+        trace_id: if armed { current_trace_id() } else { 0 },
     }
 }
 
@@ -437,5 +538,95 @@ mod tests {
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), 4, "each thread records on its own track");
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        let _g = test_lock();
+        assert_eq!(current_trace_id(), 0);
+        let outer = RequestCtx::mint();
+        let inner = outer.child();
+        assert_ne!(outer.trace_id, inner.trace_id);
+        assert_eq!(inner.parent_span, outer.trace_id);
+        {
+            let _outer = trace_scope(outer.trace_id);
+            assert_eq!(current_trace_id(), outer.trace_id);
+            {
+                let _inner = trace_scope(inner.trace_id);
+                assert_eq!(current_trace_id(), inner.trace_id);
+            }
+            assert_eq!(current_trace_id(), outer.trace_id);
+        }
+        assert_eq!(current_trace_id(), 0);
+    }
+
+    #[test]
+    fn events_carry_the_active_trace_id() {
+        let _g = test_lock();
+        clear();
+        set_enabled(true);
+        let ctx = RequestCtx::mint();
+        let events = {
+            let _scope = trace_scope(ctx.trace_id);
+            instant("tid.tagged", "test");
+            let _s = span("tid.tagged_span", "test");
+            drop(_s);
+            // A guard opened inside the scope keeps its id even when the
+            // scope closes before the guard drops.
+            let escaping = span("tid.escaping_span", "test");
+            drop(_scope);
+            instant("tid.untagged", "test");
+            drop(escaping);
+            set_enabled(false);
+            drain()
+        };
+        let find = |n: &str| events.iter().find(|e| e.name == n).expect("event recorded");
+        assert_eq!(find("tid.tagged").trace_id, ctx.trace_id);
+        assert_eq!(find("tid.tagged_span").trace_id, ctx.trace_id);
+        assert_eq!(find("tid.escaping_span").trace_id, ctx.trace_id);
+        assert_eq!(find("tid.untagged").trace_id, 0);
+    }
+
+    #[test]
+    fn eight_thread_churn_accounts_every_overflow() {
+        let _g = test_lock();
+        clear();
+        let dropped_before = dropped_events();
+        set_enabled(true);
+        const EXTRA: usize = 37;
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    // Overfill this thread's ring by exactly EXTRA without
+                    // draining, so the drop counter must grow by EXTRA.
+                    for i in 0..ring::RING_CAPACITY + EXTRA {
+                        instant_arg("churn.ev", "test", "seq", (t * 1_000_000 + i) as f64);
+                    }
+                    thread_index()
+                })
+            })
+            .collect();
+        let indices: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        set_enabled(false);
+        let dropped_after = dropped_events();
+        assert_eq!(
+            dropped_after - dropped_before,
+            (8 * EXTRA) as u64,
+            "drop accounting is exact under churn"
+        );
+        let events = drain();
+        for &idx in &indices {
+            let tid = idx as u64;
+            let mine: Vec<&Event> =
+                events.iter().filter(|e| e.name == "churn.ev" && e.tid == tid).collect();
+            assert_eq!(mine.len(), ring::RING_CAPACITY, "ring kept exactly its capacity");
+            // Drop-newest policy: the survivors are the first RING_CAPACITY
+            // pushes, in order, with args intact (no torn slots).
+            for (j, ev) in mine.iter().enumerate() {
+                let seq = ev.arg as usize % 1_000_000;
+                assert_eq!(seq, j, "complete in-order events after overflow");
+                assert_eq!(ev.arg_name, "seq");
+            }
+        }
     }
 }

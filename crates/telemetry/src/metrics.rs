@@ -159,21 +159,30 @@ impl Histogram {
     }
 
     /// Approximate quantile `q` in `[0, 1]` (bucket representative
-    /// value). Returns 0.0 on an empty histogram.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// value), or `None` on a never-observed histogram. The `None` makes
+    /// "no data" distinguishable from a genuine 0-valued quantile —
+    /// callers that want a number use [`Histogram::quantile`].
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         let count = self.count();
         if count == 0 {
-            return 0.0;
+            return None;
         }
         let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return Histogram::bucket_value(i);
+                return Some(Histogram::bucket_value(i));
             }
         }
-        Histogram::bucket_value(BUCKETS - 1)
+        Some(Histogram::bucket_value(BUCKETS - 1))
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` (bucket representative
+    /// value). Returns 0.0 on an empty histogram — consistently 0.0, never
+    /// a bucket-edge artifact like `bucket_value(0)` (~6.9e-5).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
     }
 
     /// A point-in-time summary (count, mean, p50/p95/p99).
@@ -217,8 +226,26 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
-fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
-    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+/// Registry key: the metric's base name plus its raw (unescaped) label
+/// pairs. Labels are stored structured — never pre-rendered into the name
+/// — so escaping happens exactly once, at exposition time.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    base: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(base: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            base: base.to_owned(),
+            labels: labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<MetricKey, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<MetricKey, Metric>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -228,10 +255,22 @@ fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
 /// # Panics
 /// If `name` is already registered as a different metric kind.
 pub fn counter(name: &str) -> Arc<Counter> {
+    counter_labeled(name, &[])
+}
+
+/// Get or create a counter series `base{labels...}`. Label values are
+/// stored raw and escaped only when rendered by [`prometheus_text`].
+///
+/// # Panics
+/// If the same series is already registered as a different metric kind.
+pub fn counter_labeled(base: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
     let mut reg = registry().lock();
-    match reg.entry(name.to_owned()).or_insert_with(|| Metric::Counter(Arc::new(Counter::new()))) {
+    match reg
+        .entry(MetricKey::new(base, labels))
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+    {
         Metric::Counter(c) => c.clone(),
-        _ => panic!("metric {name:?} already registered as a non-counter"),
+        _ => panic!("metric {base:?} already registered as a non-counter"),
     }
 }
 
@@ -241,7 +280,10 @@ pub fn counter(name: &str) -> Arc<Counter> {
 /// If `name` is already registered as a different metric kind.
 pub fn gauge(name: &str) -> Arc<Gauge> {
     let mut reg = registry().lock();
-    match reg.entry(name.to_owned()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+    match reg
+        .entry(MetricKey::new(name, &[]))
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+    {
         Metric::Gauge(g) => g.clone(),
         _ => panic!("metric {name:?} already registered as a non-gauge"),
     }
@@ -253,7 +295,10 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// If `name` is already registered as a different metric kind.
 pub fn fgauge(name: &str) -> Arc<FGauge> {
     let mut reg = registry().lock();
-    match reg.entry(name.to_owned()).or_insert_with(|| Metric::FGauge(Arc::new(FGauge::new()))) {
+    match reg
+        .entry(MetricKey::new(name, &[]))
+        .or_insert_with(|| Metric::FGauge(Arc::new(FGauge::new())))
+    {
         Metric::FGauge(g) => g.clone(),
         _ => panic!("metric {name:?} already registered as a non-fgauge"),
     }
@@ -264,13 +309,22 @@ pub fn fgauge(name: &str) -> Arc<FGauge> {
 /// # Panics
 /// If `name` is already registered as a different metric kind.
 pub fn histogram(name: &str) -> Arc<Histogram> {
+    histogram_labeled(name, &[])
+}
+
+/// Get or create a histogram series `base{labels...}` (e.g. per-model
+/// per-phase latency in the attribution layer).
+///
+/// # Panics
+/// If the same series is already registered as a different metric kind.
+pub fn histogram_labeled(base: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
     let mut reg = registry().lock();
     match reg
-        .entry(name.to_owned())
+        .entry(MetricKey::new(base, labels))
         .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
     {
         Metric::Histogram(h) => h.clone(),
-        _ => panic!("metric {name:?} already registered as a non-histogram"),
+        _ => panic!("metric {base:?} already registered as a non-histogram"),
     }
 }
 
@@ -278,36 +332,102 @@ fn sanitize(name: &str) -> String {
     name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
+/// A metric (or label) name is representable in the exposition format only
+/// if, after sanitizing, it is non-empty and does not start with a digit.
+fn valid_name(sanitized: &str) -> bool {
+    match sanitized.chars().next() {
+        Some(c) => !c.is_ascii_digit(),
+        None => false,
+    }
+}
+
+/// Escape a label *value* per the Prometheus exposition format: backslash,
+/// double-quote and newline must be escaped inside the quoted value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",...}` for a label set (plus an optional extra pair,
+/// used for histogram quantile series). Empty label sets render as "".
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
 /// Render every registered metric as Prometheus-style exposition text.
 /// Histograms are rendered as summaries (`{quantile="..."}` series plus
-/// `_sum`/`_count`).
+/// `_sum`/`_count`); a never-observed histogram renders `NaN` quantiles
+/// (the format's "no value", rather than a misleading 0). Label values
+/// are escaped; metrics whose sanitized name is still invalid (empty or
+/// digit-leading) are skipped and counted in a trailing comment instead
+/// of corrupting the output.
 pub fn prometheus_text() -> String {
     let reg = registry().lock();
     let mut out = String::new();
-    for (name, metric) in reg.iter() {
-        let pname = sanitize(name);
+    let mut skipped = 0usize;
+    let mut last_typed: Option<(String, &'static str)> = None;
+    for (key, metric) in reg.iter() {
+        let pname = sanitize(&key.base);
+        if !valid_name(&pname) {
+            skipped += 1;
+            continue;
+        }
+        let kind = match metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) | Metric::FGauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        };
+        // One # TYPE header per base name even when many label sets share
+        // it (BTreeMap ordering groups them).
+        if last_typed.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((pname.as_str(), kind)) {
+            out.push_str(&format!("# TYPE {pname} {kind}\n"));
+            last_typed = Some((pname.clone(), kind));
+        }
+        let labels = render_labels(&key.labels, None);
         match metric {
             Metric::Counter(c) => {
-                out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
+                out.push_str(&format!("{pname}{labels} {}\n", c.get()));
             }
             Metric::Gauge(g) => {
-                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                out.push_str(&format!("{pname}{labels} {}\n", g.get()));
             }
             Metric::FGauge(g) => {
-                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {}\n", g.get()));
+                out.push_str(&format!("{pname}{labels} {}\n", g.get()));
             }
             Metric::Histogram(h) => {
-                out.push_str(&format!("# TYPE {pname} summary\n"));
-                for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-                    out.push_str(&format!(
-                        "{pname}{{quantile=\"{label}\"}} {}\n",
-                        h.quantile(q)
-                    ));
+                for (q, qlabel) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    let qlabels = render_labels(&key.labels, Some(("quantile", qlabel)));
+                    match h.try_quantile(q) {
+                        Some(v) => out.push_str(&format!("{pname}{qlabels} {v}\n")),
+                        None => out.push_str(&format!("{pname}{qlabels} NaN\n")),
+                    }
                 }
-                out.push_str(&format!("{pname}_sum {}\n", h.sum()));
-                out.push_str(&format!("{pname}_count {}\n", h.count()));
+                out.push_str(&format!("{pname}_sum{labels} {}\n", h.sum()));
+                out.push_str(&format!("{pname}_count{labels} {}\n", h.count()));
             }
         }
+    }
+    if skipped > 0 {
+        out.push_str(&format!("# webml: skipped {skipped} metric(s) with invalid names\n"));
     }
     out
 }
@@ -393,5 +513,84 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.kind_clash");
         gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_consistently_absent() {
+        let h = Histogram::new();
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!(h.try_quantile(0.95), None);
+        assert_eq!(h.try_quantile(0.99), None);
+        // The f64 API returns exactly 0.0 — not bucket_value(0) (~6.9e-5)
+        // or the top bucket edge.
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.summary();
+        assert_eq!((s.count, s.mean, s.p50, s.p95, s.p99), (0, 0.0, 0.0, 0.0, 0.0));
+        // After one observation the quantiles come alive.
+        h.observe(5.0);
+        assert!(h.try_quantile(0.5).unwrap() > 0.0);
+        assert!(h.summary().p99 > 0.0);
+    }
+
+    #[test]
+    fn empty_registered_histogram_renders_nan_quantiles() {
+        histogram("test.prom.empty_hist");
+        let text = prometheus_text();
+        assert!(text.contains("test_prom_empty_hist{quantile=\"0.99\"} NaN"));
+        assert!(text.contains("test_prom_empty_hist_count 0"));
+    }
+
+    #[test]
+    fn labeled_series_escape_values_at_render() {
+        counter_labeled("test.prom.labeled", &[("model", "mlp\"v1\"\\tiny\nx")]).add(2);
+        counter_labeled("test.prom.labeled", &[("model", "plain")]).inc();
+        let text = prometheus_text();
+        assert!(
+            text.contains("test_prom_labeled{model=\"mlp\\\"v1\\\"\\\\tiny\\nx\"} 2"),
+            "backslash, quote and newline escaped: {text}"
+        );
+        assert!(text.contains("test_prom_labeled{model=\"plain\"} 1"));
+        // One TYPE header covers both series of the base name.
+        assert_eq!(text.matches("# TYPE test_prom_labeled counter").count(), 1);
+        // The raw newline in the label value must not split a sample line:
+        // every non-comment line is a complete `name{...} value` sample.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            assert!(line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(), "torn line: {line}");
+        }
+    }
+
+    #[test]
+    fn labeled_histogram_merges_quantile_label() {
+        histogram_labeled("test.prom.lat_by_model", &[("model", "m1")]).observe(4.0);
+        let text = prometheus_text();
+        assert!(text.contains("test_prom_lat_by_model{model=\"m1\",quantile=\"0.5\"}"));
+        assert!(text.contains("test_prom_lat_by_model_count{model=\"m1\"} 1"));
+    }
+
+    #[test]
+    fn invalid_metric_names_are_rejected_not_emitted() {
+        counter("9starts.with.digit").inc();
+        counter("!!!").inc();
+        counter("test.prom.valid_neighbor").inc();
+        let text = prometheus_text();
+        // `9starts...` sanitizes to a digit-leading name, `!!!` to `___`
+        // which is technically valid; so only the digit-leading one is
+        // rejected. Assert no malformed sample line survives.
+        assert!(!text.contains("9starts_with_digit"), "digit-leading name skipped: {text}");
+        assert!(text.contains("skipped 1 metric(s) with invalid names"));
+        assert!(text.contains("test_prom_valid_neighbor 1"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap_or("");
+            assert!(
+                !name.is_empty() && !name.starts_with(|c: char| c.is_ascii_digit()),
+                "every emitted sample has a valid name: {line}"
+            );
+        }
     }
 }

@@ -11,7 +11,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Per-thread ring capacity (events). At 80 bytes/event this is ~1.3 MiB
+/// Per-thread ring capacity (events). At 88 bytes/event this is ~1.4 MiB
 /// per *recording* thread — rings are only allocated on first use.
 pub const RING_CAPACITY: usize = 1 << 14;
 
@@ -107,6 +107,7 @@ mod tests {
             tid: 0,
             arg_name: "",
             arg: 0.0,
+            trace_id: 0,
         }
     }
 
@@ -139,6 +140,52 @@ mod tests {
         ring.drain_into(&mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].start_ns, 9999);
+    }
+
+    #[test]
+    fn concurrent_churn_accounts_exactly_and_yields_complete_events() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let ring = Arc::new(EventRing::new());
+        let done = Arc::new(AtomicBool::new(false));
+        const TOTAL: u64 = 200_000;
+
+        // Producer: the owning thread, pushing events whose arg mirrors
+        // start_ns so a torn slot is detectable.
+        let producer = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for i in 0..TOTAL {
+                    ring.push(Event { arg: i as f64, ..ev(i) });
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        // Consumer: drains concurrently while the producer overflows the
+        // ring, then once more after the producer finishes.
+        let mut drained: Vec<Event> = Vec::new();
+        while !done.load(Ordering::Acquire) {
+            ring.drain_into(&mut drained);
+            std::thread::yield_now();
+        }
+        ring.drain_into(&mut drained);
+        producer.join().unwrap();
+
+        // Exact accounting: every push either drained or was counted.
+        assert_eq!(drained.len() as u64 + ring.dropped(), TOTAL);
+        // Only complete events: seqs strictly increasing (a subsequence of
+        // the push order) and arg matches start_ns bit-for-bit.
+        let mut prev: Option<u64> = None;
+        for e in &drained {
+            assert_eq!(e.arg, e.start_ns as f64, "no torn slot");
+            if let Some(p) = prev {
+                assert!(e.start_ns > p, "drain preserves push order");
+            }
+            prev = Some(e.start_ns);
+        }
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub fn chrome_trace_json() -> String {
         if !ev.arg_name.is_empty() {
             arg_entries.push((ev.arg_name.to_owned(), json!(ev.arg)));
         }
+        if ev.trace_id != 0 {
+            arg_entries.push(("trace_id".to_owned(), json!(ev.trace_id)));
+        }
         let args = serde_json::Value::Object(arg_entries);
         out.push(match ev.phase {
             Phase::Span => json!({
@@ -114,5 +117,32 @@ mod tests {
         assert_ne!(sp["tid"], json!(GPU_TID), "thread spans stay off the GPU track");
         assert!(sp["dur"].as_f64().unwrap() >= 0.0);
         assert_eq!(sp["args"]["k"], json!(2.0));
+    }
+
+    #[test]
+    fn trace_id_exported_as_arg_when_present() {
+        let _g = crate::test_lock();
+        clear();
+        set_enabled(true);
+        let ctx = crate::RequestCtx::mint();
+        {
+            let _scope = crate::trace_scope(ctx.trace_id);
+            let t0 = now_ns();
+            crate::record_span("trace.traced_span", "serve", t0, t0 + 1_000);
+            let t1 = now_ns();
+            crate::gpu_span_traced("trace.traced_gpu", t1, t1 + 500, "modeled_device_ns", 400.0, ctx.trace_id);
+        }
+        crate::instant("trace.untraced", "test");
+        set_enabled(false);
+        let text = chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        let traced = events.iter().find(|e| e["name"] == "trace.traced_span").unwrap();
+        assert_eq!(traced["args"]["trace_id"], json!(ctx.trace_id));
+        let gpu = events.iter().find(|e| e["name"] == "trace.traced_gpu").unwrap();
+        assert_eq!(gpu["args"]["trace_id"], json!(ctx.trace_id), "GPU span keeps the id");
+        assert_eq!(gpu["args"]["modeled_device_ns"], json!(400.0), "both args coexist");
+        let untraced = events.iter().find(|e| e["name"] == "trace.untraced").unwrap();
+        assert!(untraced["args"].get("trace_id").is_none(), "no id arg when untraced");
     }
 }

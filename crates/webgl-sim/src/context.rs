@@ -397,6 +397,7 @@ impl GpgpuContext {
                 output: id,
                 out_layout: out_layout.clone(),
                 stall_ns,
+                trace_id: webml_telemetry::current_trace_id(),
             })
             .expect("device thread alive");
         Ok(TexHandle { id, layout: out_layout })

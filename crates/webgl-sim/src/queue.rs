@@ -80,6 +80,11 @@ pub enum Command {
         /// Injected straggler stall: device nanoseconds added to the clock
         /// (and slept wall-clock) before the program runs. 0 = no stall.
         stall_ns: u64,
+        /// Request trace id active on the submitting thread at enqueue
+        /// time (0 = untraced). Carried across the thread hop so the GPU
+        /// span lands in the same causal lane as the request that issued
+        /// the draw call.
+        trace_id: u64,
     },
     /// Read a texture back to the host (`gl.readPixels`), resolving the
     /// promise with the first `len` values.
@@ -264,7 +269,7 @@ pub fn device_loop(
                     .fetch_add(webml_telemetry::now_ns().saturating_sub(t0), Ordering::Relaxed);
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
-            Command::Run { program, inputs, in_layouts, output, out_layout, stall_ns } => {
+            Command::Run { program, inputs, in_layouts, output, out_layout, stall_ns, trace_id } => {
                 let t0 = webml_telemetry::now_ns();
                 if stall_ns > 0 {
                     // An injected straggler: the device clock advances and
@@ -277,7 +282,7 @@ pub fn device_loop(
                 }
                 run_program(
                     &shared, program, &inputs, &in_layouts, output, &out_layout, &pool,
-                    parallelism, half_precision,
+                    parallelism, half_precision, trace_id,
                 );
                 maybe_page_out(&shared, &paging);
                 shared
@@ -411,6 +416,7 @@ fn run_program(
     pool: &crate::pool::WorkerPool,
     modeled_parallelism: usize,
     half_precision: bool,
+    trace_id: u64,
 ) {
     let t0 = Instant::now();
     let tracing = webml_telemetry::enabled();
@@ -516,12 +522,13 @@ fn run_program(
     if tracing {
         // The virtual GPU track: wall-clock extent of the draw call on the
         // device thread, annotated with the modeled (timer-query) time.
-        webml_telemetry::gpu_span(
+        webml_telemetry::gpu_span_traced(
             program_name,
             trace_t0,
             webml_telemetry::now_ns(),
             "modeled_device_ns",
             device_ns as f64,
+            trace_id,
         );
     }
 }

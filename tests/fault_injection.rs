@@ -615,3 +615,156 @@ proptest! {
         fleet_soak(seed, 6, 6, 120);
     }
 }
+
+/// PR-9 observability under the fault matrix (driven by the same
+/// `WEBML_FAULT_SEED` as the soak): ≥99% of completed requests
+/// reconstruct a complete six-phase timeline from their trace id, every
+/// shed / breaker trip / degradation raises a flight-recorder trigger,
+/// and the breaker-trip snapshot captures per-engine fleet context.
+#[test]
+fn fault_matrix_attribution_stays_complete_and_flight_recorder_fires() {
+    use std::time::Duration;
+    use webml::models::serving::{classifier_artifacts, synthetic_example};
+    use webml::serve::{
+        EngineSpec, FleetConfig, FleetServer, ModelSlo, ModelSource, ServeError,
+    };
+    use webml::telemetry::{attribution, flight};
+
+    let seed: u64 = std::env::var("WEBML_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    const IN_DIM: usize = 16;
+    const CLASSES: usize = 5;
+    // Unique layer geometry: model keys are content hashes and the
+    // attribution table is process-global, so these params must differ
+    // from every other model built in this binary.
+    let builder = new_engine();
+    builder.set_backend("cpu").unwrap();
+    let artifacts = classifier_artifacts(&builder, IN_DIM, 28, CLASSES, 7).unwrap();
+
+    let loss_engine = engine_with_faults_and_config(
+        FaultPlan::none().lose_context_at(1 + seed % 40),
+        WebGlConfig::default(),
+    );
+    let stall_engine = engine_with_faults_and_config(
+        FaultPlan { seed, ..FaultPlan::none() }.with_draw_stall(0.1, 200_000),
+        WebGlConfig::default(),
+    );
+    let cpu_only = Engine::new();
+    cpu_only.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    let fleet = FleetServer::new(
+        vec![
+            EngineSpec::new("loss", &loss_engine, 8),
+            EngineSpec::new("stall", &stall_engine, 4),
+            EngineSpec::new("cpu", &cpu_only, 1),
+        ],
+        FleetConfig { max_batch: 4, queue_capacity: 16, ..Default::default() },
+    );
+    let key = fleet.register(
+        ModelSource::Artifacts(artifacts),
+        ModelSlo::new(1_000.0, Duration::from_secs(10)),
+    );
+    attribution::set_model_label(key, "fault-matrix");
+
+    // Trigger counters are process-global and monotone, so deltas from
+    // here can only be inflated by concurrent tests — `>=` stays sound.
+    let shed_before = flight::trigger_count("shed");
+    let trip_before = flight::trigger_count("breaker_trip");
+
+    // Phase 1: closed-loop traffic across the scheduled context loss and
+    // seeded stalls — every admitted request completes.
+    let fleet = Arc::new(fleet);
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let fleet = fleet.clone();
+            std::thread::spawn(move || {
+                for r in 0..15 {
+                    fleet
+                        .infer(key, synthetic_example(IN_DIM, c * 15 + r), vec![IN_DIM])
+                        .expect("closed-loop requests keep succeeding under faults");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Phase 2: an overload burst with a 1 ms deadline forces explicit
+    // sheds, each of which must raise a flight trigger.
+    let pending: Vec<_> = (0..200)
+        .map(|i| {
+            fleet.submit_with_deadline(
+                key,
+                synthetic_example(IN_DIM, 1000 + i),
+                vec![IN_DIM],
+                Duration::from_millis(1),
+            )
+        })
+        .collect();
+    for p in pending {
+        match p.wait() {
+            Ok(_) | Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(ref e) if e.is_shed() => {}
+            Err(e) => panic!("burst request: non-explicit failure {e}"),
+        }
+    }
+
+    // Kick until the scheduled context loss registers as a breaker trip
+    // (observed only at the tripped engine's next drain).
+    let mut kicks = 0u64;
+    while fleet.stats().breaker_trips == 0 && kicks < 200 {
+        let _ = fleet.infer(key, synthetic_example(IN_DIM, kicks as usize), vec![IN_DIM]);
+        kicks += 1;
+    }
+    let stats = fleet.stats();
+    assert!(stats.breaker_trips >= 1, "the scheduled context loss trips a breaker");
+
+    // Attribution: ≥99% of this model's completed requests reconstructed
+    // all six phases from one trace id (the fault matrix may not shed —
+    // completed requests are the completeness denominator).
+    let (complete, incomplete) = attribution::model_counts(key);
+    assert!(complete > 0, "completed requests were attributed");
+    let completeness = complete as f64 / (complete + incomplete) as f64;
+    assert!(
+        completeness >= 0.99,
+        "phase-timeline completeness {completeness:.4} < 0.99 \
+         ({complete} complete / {incomplete} incomplete, seed {seed})"
+    );
+
+    // Flight recorder: every shed and every trip raised a trigger.
+    let sheds = stats.total_shed() + stats.deadline_rejected;
+    if stats.total_shed() > 0 {
+        assert!(
+            flight::trigger_count("shed") - shed_before >= stats.total_shed(),
+            "every shed raises a flight trigger ({} sheds, seed {seed})",
+            sheds
+        );
+    }
+    assert!(
+        flight::trigger_count("breaker_trip") - trip_before >= stats.breaker_trips,
+        "every breaker trip raises a flight trigger (seed {seed})"
+    );
+
+    // The breaker-trip snapshot carries the fleet context: per-engine
+    // rows (breaker state, memory) for post-hoc attribution.
+    let snap = flight::snapshots()
+        .into_iter()
+        .rev()
+        .find(|s| s.kind == "breaker_trip")
+        .expect("a breaker trip captured a flight snapshot");
+    assert!(
+        snap.context.get("engines").is_some(),
+        "breaker-trip snapshot context carries per-engine rows: {:?}",
+        snap.context
+    );
+    assert!(
+        snap.entries.iter().any(|e| e.kind == "request"),
+        "flight ring at capture time holds recent request timelines"
+    );
+    // The whole snapshot set stays JSON-exportable.
+    let json = flight::snapshots_json();
+    assert!(json.get("snapshots").is_some(), "snapshots export as JSON: {json:?}");
+}

@@ -153,6 +153,135 @@ fn chrome_trace_roundtrip_from_served_traffic() {
     }));
 }
 
+/// Tentpole (PR-9): every request served with tracing on reconstructs a
+/// complete causal lane from one trace id — every `serve`-category span
+/// carries the id, a `serve.request` envelope brackets each request, all
+/// spans sharing an envelope's id nest inside it, GPU spans inherit the
+/// id across the device-thread boundary, and the attribution table holds
+/// a complete six-phase timeline for every admitted request.
+#[test]
+fn request_scoped_tracing_reconstructs_causal_lanes() {
+    let engine = webgl_engine(DeviceProfile::intel_iris_pro());
+    // Unique layer geometry: model keys are content hashes and the
+    // attribution table is process-global, so these params must differ
+    // from every other test in this binary.
+    let artifacts = classifier_artifacts(&engine, 24, 48, 5, 9).expect("build model");
+    let mut server = ModelServer::new(
+        &engine,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_millis(50),
+            cache_capacity: 2,
+            ..Default::default()
+        },
+    );
+    let key = server.register(ModelSource::Artifacts(artifacts));
+    // Warm up untraced so the model build stays out of the trace window.
+    server.infer(key, synthetic_example(24, 0), vec![24]).expect("warmup");
+
+    const REQUESTS: usize = 12;
+    webml::telemetry::clear();
+    webml::telemetry::set_enabled(true);
+    let pending: Vec<_> = (0..REQUESTS)
+        .map(|i| server.submit(key, synthetic_example(24, i + 1), vec![24]))
+        .collect();
+    for p in pending {
+        p.wait().expect("served inference");
+    }
+    server.shutdown();
+    webml::telemetry::set_enabled(false);
+
+    let text = webml::telemetry::chrome_trace_json();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace parses back");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+    let gpu_tid = events
+        .iter()
+        .find(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.contains("GPU"))
+        })
+        .and_then(|e| e.get("tid"))
+        .expect("virtual GPU track declared");
+
+    let trace_id = |e: &serde_json::Value| {
+        e.get("args").and_then(|a| a.get("trace_id")).and_then(|v| v.as_u64()).unwrap_or(0)
+    };
+    let spans: Vec<&serde_json::Value> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    let extent = |e: &serde_json::Value| {
+        let ts = e.get("ts").and_then(|v| v.as_f64()).unwrap();
+        (ts, ts + e.get("dur").and_then(|v| v.as_f64()).unwrap())
+    };
+
+    // No anonymous serve work: every serving-layer span carries its
+    // request's (or batch's / dispatch pass's) trace id.
+    let mut serve_spans = 0usize;
+    for e in &spans {
+        if e.get("cat").and_then(|c| c.as_str()) == Some("serve") {
+            serve_spans += 1;
+            assert!(trace_id(e) > 0, "serve span without a trace id: {e:?}");
+        }
+    }
+    assert!(serve_spans > 0, "trace carries serve-layer spans");
+
+    // One `serve.request` envelope per admitted request, and every span
+    // sharing an envelope's id nests inside it (half a microsecond-tick
+    // of export-rounding slack).
+    let mut envelopes = std::collections::HashMap::new();
+    let mut request_envelopes = 0usize;
+    for e in &spans {
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        if name == "serve.request" || name == "serve.batch" || name == "serve.dispatch" {
+            if name == "serve.request" {
+                request_envelopes += 1;
+            }
+            let (s, t) = extent(e);
+            let entry = envelopes.entry(trace_id(e)).or_insert((s, t));
+            entry.0 = entry.0.min(s);
+            entry.1 = entry.1.max(t);
+        }
+    }
+    assert_eq!(request_envelopes, REQUESTS, "one serve.request envelope per traced request");
+    let mut nested = 0usize;
+    for e in &spans {
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        let id = trace_id(e);
+        if id == 0 || name == "serve.request" || name == "serve.batch" || name == "serve.dispatch" {
+            continue;
+        }
+        let Some((env_start, env_end)) = envelopes.get(&id) else { continue };
+        let (s, t) = extent(e);
+        assert!(
+            s >= env_start - 0.002 && t <= env_end + 0.002,
+            "span {name} [{s:.3}, {t:.3}] us escapes envelope [{env_start:.3}, {env_end:.3}] \
+             us of trace id {id}"
+        );
+        nested += 1;
+    }
+    assert!(nested > 0, "traced spans nest inside their request/batch envelopes");
+
+    // The trace id crosses the device-thread boundary: GPU spans emitted
+    // by the simulated device loop carry the id captured at enqueue time.
+    let traced_gpu = spans
+        .iter()
+        .filter(|e| e.get("tid") == Some(gpu_tid) && trace_id(e) > 0)
+        .count();
+    assert!(traced_gpu > 0, "GPU spans inherit the submitting request's trace id");
+
+    // Attribution: every request for this model (warmup included)
+    // reconstructed a complete six-phase timeline — zero incomplete.
+    let (complete, incomplete) = webml::telemetry::attribution::model_counts(key);
+    assert_eq!(incomplete, 0, "every admitted request yields a complete phase timeline");
+    assert!(
+        complete >= REQUESTS as u64,
+        "all {REQUESTS} traced requests attributed, got {complete}"
+    );
+}
+
 /// Device-timer plumbing: profiles report device `kernel_ms` when the
 /// simulated device has `EXT_disjoint_timer_query`, and degrade to `None`
 /// (never garbage) when it does not.
