@@ -1,0 +1,577 @@
+//! Compute-pipeline builders: each kernel family becomes a
+//! [`ComputePipeline`] whose body runs on the simulated device thread and
+//! whose `shared_reuse` declaration tells the device's occupancy model how
+//! aggressively the kernel exploits workgroup shared memory.
+//!
+//! The matmul / conv families are written as *cooperative tiled* kernels: a
+//! 16×16 workgroup stages input tiles into shared-memory arrays once and
+//! every invocation reads the staged values `TILE` times — the classic
+//! shared-memory matmul that fragment shaders cannot express (no
+//! cross-invocation communication) and the core perf claim of the
+//! WebGPU-class backend. Movement and elementwise kernels stay
+//! uncooperative (`reuse 1`): they are bandwidth-bound either way.
+//!
+//! Bit-exactness contract: every body either delegates to the shared
+//! [`webml_core::kernels`] reference implementations or (for the tiled
+//! matmul) accumulates partial products in exactly the same ascending-`p`
+//! order as [`webml_core::kernels::matmul`], with the fused epilogue applied
+//! through the same [`BinaryOp::apply`] / [`UnaryOp::apply`] scalar paths
+//! the CPU backend composes. Outputs are therefore bit-identical to the CPU
+//! reference, not merely close.
+
+use webml_core::backend::{
+    ArgReduceOp, BinaryOp, FusedStep, PoolOp, ReduceOp, UnaryOp,
+};
+use webml_core::conv_util::Conv2dInfo;
+use webml_core::dtype::{DType, TensorData};
+use webml_core::kernels as k;
+use webml_core::quant::QuantParams;
+use webml_core::shape::Shape;
+use webml_webgpu_sim::ComputePipeline;
+
+/// Workgroup tile width of the cooperative matmul/conv kernels: each
+/// workgroup is `TILE`×`TILE` invocations staging `TILE`-deep input tiles.
+pub const TILE: usize = 16;
+
+/// Workgroup invocations of the cooperative kernels (`TILE`²).
+const WG: usize = TILE * TILE;
+
+/// Narrow widened storage-buffer values back to the u8 codes they were
+/// uploaded as. Codes are integers 0..=255, exact in f32, so the round trip
+/// is lossless.
+fn narrow_u8(vals: &[f32]) -> Vec<u8> {
+    vals.iter().map(|&v| v as u8).collect()
+}
+
+/// Narrow widened index values back to i32 (exact for tensor-sized indices).
+fn narrow_i32(vals: &[f32]) -> Vec<i32> {
+    vals.iter().map(|&v| v as i32).collect()
+}
+
+/// The cooperative tiled matmul body shared by the plain, fused and
+/// quantized-epilogue matmul pipelines. A `TILE`×`TILE` workgroup computes
+/// one output tile: for each `TILE`-deep slab of the inner dimension the
+/// workgroup stages `a_tile` and `b_tile` into shared memory (transpose
+/// resolved at load time), then every invocation accumulates its dot
+/// product from the staged values — each staged element is read `TILE`
+/// times, which is exactly the `shared_reuse` the pipeline declares.
+///
+/// Accumulation visits `p` in ascending order with a single register
+/// accumulator per output, so the result is bit-identical to the reference
+/// [`webml_core::kernels::matmul`] loop.
+#[allow(clippy::too_many_arguments)]
+fn tiled_matmul(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    activation: Option<UnaryOp>,
+    batch: usize,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; batch * m * n];
+    for bi in 0..batch {
+        let a_off = bi * m * kdim;
+        let b_off = bi * kdim * n;
+        let o_off = bi * m * n;
+        for i0 in (0..m).step_by(TILE) {
+            let rows = TILE.min(m - i0);
+            for j0 in (0..n).step_by(TILE) {
+                let cols = TILE.min(n - j0);
+                // Per-invocation register accumulators for this workgroup.
+                let mut acc = [[0.0f32; TILE]; TILE];
+                // Workgroup shared memory.
+                let mut a_tile = [[0.0f32; TILE]; TILE];
+                let mut b_tile = [[0.0f32; TILE]; TILE];
+                for p0 in (0..kdim).step_by(TILE) {
+                    let depth = TILE.min(kdim - p0);
+                    // Stage: each invocation loads one a and one b element.
+                    for (ti, row) in a_tile.iter_mut().enumerate().take(rows) {
+                        for (tp, slot) in row.iter_mut().enumerate().take(depth) {
+                            let (i, p) = (i0 + ti, p0 + tp);
+                            *slot = if transpose_a {
+                                a[a_off + p * m + i]
+                            } else {
+                                a[a_off + i * kdim + p]
+                            };
+                        }
+                    }
+                    for (tp, row) in b_tile.iter_mut().enumerate().take(depth) {
+                        for (tj, slot) in row.iter_mut().enumerate().take(cols) {
+                            let (p, j) = (p0 + tp, j0 + tj);
+                            *slot = if transpose_b {
+                                b[b_off + j * kdim + p]
+                            } else {
+                                b[b_off + p * n + j]
+                            };
+                        }
+                    }
+                    // workgroupBarrier(); accumulate from shared memory.
+                    for (ti, arow) in a_tile.iter().enumerate().take(rows) {
+                        for tj in 0..cols {
+                            let mut s = acc[ti][tj];
+                            for (tp, &av) in arow.iter().enumerate().take(depth) {
+                                s += av * b_tile[tp][tj];
+                            }
+                            acc[ti][tj] = s;
+                        }
+                    }
+                }
+                // Fused epilogue, in-register: + bias, then activation —
+                // the same scalar ops the unfused composition applies.
+                for (ti, arow) in acc.iter().enumerate().take(rows) {
+                    for (tj, &s) in arow.iter().enumerate().take(cols) {
+                        let mut v = s;
+                        if let Some(bias) = bias {
+                            v = BinaryOp::Add.apply(v, bias[j0 + tj]);
+                        }
+                        if let Some(act) = activation {
+                            v = act.apply(v);
+                        }
+                        out[o_off + (i0 + ti) * n + j0 + tj] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plain batched matmul as a cooperative tiled pipeline.
+pub fn matmul(
+    batch: usize,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> ComputePipeline {
+    ComputePipeline::cooperative(
+        "MatMulTiled",
+        batch * m * n,
+        WG,
+        TILE,
+        2 * kdim.max(1),
+        move |inp| tiled_matmul(inp[0], inp[1], None, None, batch, m, kdim, n, transpose_a, transpose_b),
+    )
+}
+
+/// Fused matmul (+bias +activation) as one cooperative tiled pipeline; the
+/// epilogue runs in-register before the single output write.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul(
+    batch: usize,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    ComputePipeline::cooperative(
+        "FusedMatMulTiled",
+        batch * m * n,
+        WG,
+        TILE,
+        2 * kdim.max(1),
+        move |inp| {
+            let bias = if has_bias { Some(inp[2]) } else { None };
+            tiled_matmul(inp[0], inp[1], bias, activation, batch, m, kdim, n, transpose_a, transpose_b)
+        },
+    )
+}
+
+/// Dequant-free quantized fused matmul: u8 weight codes stay codes in the
+/// storage buffer; the factored two-sum accumulation and the affine
+/// epilogue come from the shared reference kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_matmul_quant(
+    batch: usize,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    transpose_a: bool,
+    transpose_b: bool,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    ComputePipeline::cooperative(
+        "FusedMatMulQuantTiled",
+        batch * m * n,
+        WG,
+        TILE,
+        2 * kdim.max(1),
+        move |inp| {
+            let codes = narrow_u8(inp[1]);
+            let bias = if has_bias { Some(inp[2]) } else { None };
+            k::fused_matmul_quant(
+                inp[0], &codes, &params, bias, activation, batch, m, kdim, n, transpose_a,
+                transpose_b,
+            )
+        },
+    )
+}
+
+/// Conv2d as a cooperative pipeline: the workgroup stages the filter tile
+/// and an input patch in shared memory (reuse ≈ `TILE`).
+pub fn conv2d(info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.batch * info.out_height * info.out_width * info.out_channels;
+    let cost = 2 * info.filter_height * info.filter_width * info.in_channels;
+    ComputePipeline::cooperative("Conv2DTiled", out_len, WG, TILE, cost.max(1), move |inp| {
+        k::conv2d(inp[0], inp[1], &info)
+    })
+}
+
+/// Fused conv2d: convolution plus in-register `+bias` / activation epilogue,
+/// applied through the same scalar ops the unfused composition uses.
+pub fn fused_conv2d(
+    info: Conv2dInfo,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    let out_len = info.batch * info.out_height * info.out_width * info.out_channels;
+    let cost = 2 * info.filter_height * info.filter_width * info.in_channels;
+    ComputePipeline::cooperative("FusedConv2DTiled", out_len, WG, TILE, cost.max(1), move |inp| {
+        let oc = info.out_channels;
+        let mut y = k::conv2d(inp[0], inp[1], &info);
+        for (idx, v) in y.iter_mut().enumerate() {
+            if has_bias {
+                *v = BinaryOp::Add.apply(*v, inp[2][idx % oc]);
+            }
+            if let Some(act) = activation {
+                *v = act.apply(*v);
+            }
+        }
+        y
+    })
+}
+
+/// Dequant-free quantized fused conv2d (shared factored-accumulation
+/// reference kernel; codes never widen to a f32 weight buffer).
+pub fn fused_conv2d_quant(
+    info: Conv2dInfo,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    let out_len = info.batch * info.out_height * info.out_width * info.out_channels;
+    let cost = 2 * info.filter_height * info.filter_width * info.in_channels;
+    ComputePipeline::cooperative(
+        "FusedConv2DQuantTiled",
+        out_len,
+        WG,
+        TILE,
+        cost.max(1),
+        move |inp| {
+            let codes = narrow_u8(inp[1]);
+            let bias = if has_bias { Some(inp[2]) } else { None };
+            k::fused_conv2d_quant(inp[0], &codes, &params, bias, activation, &info)
+        },
+    )
+}
+
+/// Depthwise conv2d. Each output channel reads one input channel, so the
+/// shared-memory win is the filter tile only (reuse 8, not `TILE`).
+pub fn depthwise_conv2d(info: Conv2dInfo) -> ComputePipeline {
+    let out_len =
+        info.batch * info.out_height * info.out_width * info.in_channels * info.channel_mul;
+    let cost = 2 * info.filter_height * info.filter_width;
+    ComputePipeline::cooperative("DepthwiseConv2DTiled", out_len, WG, 8, cost.max(1), move |inp| {
+        k::depthwise_conv2d(inp[0], inp[1], &info)
+    })
+}
+
+/// Fused depthwise conv2d with the in-register epilogue.
+pub fn fused_depthwise_conv2d(
+    info: Conv2dInfo,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    let oc = info.in_channels * info.channel_mul;
+    let out_len = info.batch * info.out_height * info.out_width * oc;
+    let cost = 2 * info.filter_height * info.filter_width;
+    ComputePipeline::cooperative(
+        "FusedDepthwiseConv2DTiled",
+        out_len,
+        WG,
+        8,
+        cost.max(1),
+        move |inp| {
+            let mut y = k::depthwise_conv2d(inp[0], inp[1], &info);
+            for (idx, v) in y.iter_mut().enumerate() {
+                if has_bias {
+                    *v = BinaryOp::Add.apply(*v, inp[2][idx % oc]);
+                }
+                if let Some(act) = activation {
+                    *v = act.apply(*v);
+                }
+            }
+            y
+        },
+    )
+}
+
+/// Dequant-free quantized fused depthwise conv2d.
+pub fn fused_depthwise_conv2d_quant(
+    info: Conv2dInfo,
+    params: QuantParams,
+    has_bias: bool,
+    activation: Option<UnaryOp>,
+) -> ComputePipeline {
+    let out_len =
+        info.batch * info.out_height * info.out_width * info.in_channels * info.channel_mul;
+    let cost = 2 * info.filter_height * info.filter_width;
+    ComputePipeline::cooperative(
+        "FusedDepthwiseConv2DQuantTiled",
+        out_len,
+        WG,
+        8,
+        cost.max(1),
+        move |inp| {
+            let codes = narrow_u8(inp[1]);
+            let bias = if has_bias { Some(inp[2]) } else { None };
+            k::fused_depthwise_conv2d_quant(inp[0], &codes, &params, bias, activation, &info)
+        },
+    )
+}
+
+/// Conv2d input gradient (cooperative over the filter tile).
+pub fn conv2d_backprop_input(info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.batch * info.in_height * info.in_width * info.in_channels;
+    let cost = 2 * info.filter_height * info.filter_width * info.out_channels;
+    ComputePipeline::cooperative("Conv2DBackpropInput", out_len, WG, 8, cost.max(1), move |inp| {
+        k::conv2d_backprop_input(inp[0], inp[1], &info)
+    })
+}
+
+/// Conv2d filter gradient.
+pub fn conv2d_backprop_filter(info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.filter_height * info.filter_width * info.in_channels * info.out_channels;
+    let cost = 2 * info.batch * info.out_height * info.out_width;
+    ComputePipeline::cooperative("Conv2DBackpropFilter", out_len, WG, 8, cost.max(1), move |inp| {
+        k::conv2d_backprop_filter(inp[0], inp[1], &info)
+    })
+}
+
+/// Depthwise conv2d input gradient.
+pub fn depthwise_conv2d_backprop_input(info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.batch * info.in_height * info.in_width * info.in_channels;
+    let cost = 2 * info.filter_height * info.filter_width * info.channel_mul;
+    ComputePipeline::cooperative("DepthwiseBackpropInput", out_len, WG, 8, cost.max(1), move |inp| {
+        k::depthwise_conv2d_backprop_input(inp[0], inp[1], &info)
+    })
+}
+
+/// Depthwise conv2d filter gradient.
+pub fn depthwise_conv2d_backprop_filter(info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.filter_height * info.filter_width * info.in_channels * info.channel_mul;
+    let cost = 2 * info.batch * info.out_height * info.out_width;
+    ComputePipeline::cooperative(
+        "DepthwiseBackpropFilter",
+        out_len,
+        WG,
+        8,
+        cost.max(1),
+        move |inp| k::depthwise_conv2d_backprop_filter(inp[0], inp[1], &info),
+    )
+}
+
+/// Max/avg pooling (uncooperative; window reads are not shared).
+pub fn pool2d(op: PoolOp, info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.batch * info.out_height * info.out_width * info.in_channels;
+    let cost = info.filter_height * info.filter_width;
+    ComputePipeline::elementwise("Pool2D", out_len, cost.max(1), move |inp| {
+        k::pool2d(op, inp[0], &info)
+    })
+}
+
+/// Pooling gradient.
+pub fn pool2d_backprop(op: PoolOp, info: Conv2dInfo) -> ComputePipeline {
+    let out_len = info.batch * info.in_height * info.in_width * info.in_channels;
+    let cost = info.filter_height * info.filter_width;
+    ComputePipeline::elementwise("Pool2DBackprop", out_len, cost.max(1), move |inp| {
+        k::pool2d_backprop(op, inp[0], inp[1], &info)
+    })
+}
+
+/// Elementwise unary op.
+pub fn unary(op: UnaryOp, out_len: usize) -> ComputePipeline {
+    ComputePipeline::elementwise("Unary", out_len, 1, move |inp| k::unary(op, inp[0]))
+}
+
+/// Broadcasting binary op.
+pub fn binary(
+    op: BinaryOp,
+    a_dims: Vec<usize>,
+    b_dims: Vec<usize>,
+    out_dims: Vec<usize>,
+) -> ComputePipeline {
+    let (a_s, b_s, o_s) = (Shape::new(a_dims), Shape::new(b_dims), Shape::new(out_dims));
+    ComputePipeline::elementwise("Binary", o_s.size(), 1, move |inp| {
+        k::binary(op, inp[0], &a_s, inp[1], &b_s, &o_s)
+    })
+}
+
+/// Dtype cast (values re-quantized through the host dtype semantics).
+pub fn cast(out_len: usize, dtype: DType) -> ComputePipeline {
+    ComputePipeline::elementwise("Cast", out_len, 1, move |inp| {
+        TensorData::F32(inp[0].to_vec()).cast(dtype).to_f32_vec()
+    })
+}
+
+/// Axis reduction. Workgroup reductions stage partials in shared memory
+/// (tree reduction), hence the modest cooperative credit.
+pub fn reduce(op: ReduceOp, in_dims: Vec<usize>, axes: Vec<usize>, out_len: usize) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let reduced: usize =
+        axes.iter().map(|&ax| shape.dim(ax)).product::<usize>().max(1);
+    ComputePipeline::cooperative("Reduce", out_len.max(1), WG, 4, reduced, move |inp| {
+        k::reduce(op, inp[0], &shape, &axes)
+    })
+}
+
+/// Arg-reduction along one axis (indices widened to f32 on the device).
+pub fn arg_reduce(op: ArgReduceOp, in_dims: Vec<usize>, axis: usize, out_len: usize) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let cost = shape.dim(axis).max(1);
+    ComputePipeline::cooperative("ArgReduce", out_len.max(1), WG, 4, cost, move |inp| {
+        k::arg_reduce(op, inp[0], &shape, axis).iter().map(|&v| v as f32).collect()
+    })
+}
+
+/// Contiguous slice copy.
+pub fn slice(in_dims: Vec<usize>, begin: Vec<usize>, size: Vec<usize>) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let out_len: usize = size.iter().product::<usize>().max(1);
+    ComputePipeline::elementwise("Slice", out_len, 1, move |inp| {
+        k::slice(inp[0], &shape, &begin, &size)
+    })
+}
+
+/// Concatenation along one axis.
+pub fn concat(in_dims: Vec<Vec<usize>>, axis: usize, out_len: usize) -> ComputePipeline {
+    let shapes: Vec<Shape> = in_dims.into_iter().map(Shape::new).collect();
+    ComputePipeline::elementwise("Concat", out_len, 1, move |inp| {
+        let xs: Vec<(&[f32], &Shape)> =
+            inp.iter().copied().zip(shapes.iter()).collect();
+        k::concat(&xs, axis)
+    })
+}
+
+/// Axis permutation.
+pub fn transpose(in_dims: Vec<usize>, perm: Vec<usize>) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    ComputePipeline::elementwise("Transpose", shape.size(), 1, move |inp| {
+        k::transpose(inp[0], &shape, &perm)
+    })
+}
+
+/// Constant padding.
+pub fn pad(in_dims: Vec<usize>, paddings: Vec<(usize, usize)>, value: f32) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let out_len: usize = shape
+        .dims()
+        .iter()
+        .zip(&paddings)
+        .map(|(&d, &(b, a))| d + b + a)
+        .product::<usize>()
+        .max(1);
+    ComputePipeline::elementwise("Pad", out_len, 1, move |inp| {
+        k::pad(inp[0], &shape, &paddings, value)
+    })
+}
+
+/// Gather rows along one axis (index buffer narrowed back to i32).
+pub fn gather(in_dims: Vec<usize>, axis: usize, out_len: usize) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    ComputePipeline::elementwise("Gather", out_len, 1, move |inp| {
+        k::gather(inp[0], &shape, &narrow_i32(inp[1]), axis)
+    })
+}
+
+/// Tiling (repetition) along every axis.
+pub fn tile(in_dims: Vec<usize>, reps: Vec<usize>) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let out_len: usize =
+        shape.dims().iter().zip(&reps).map(|(&d, &r)| d * r).product::<usize>().max(1);
+    ComputePipeline::elementwise("Tile", out_len, 1, move |inp| k::tile(inp[0], &shape, &reps))
+}
+
+/// Axis reversal.
+pub fn reverse(in_dims: Vec<usize>, axes: Vec<usize>) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    ComputePipeline::elementwise("Reverse", shape.size(), 1, move |inp| {
+        k::reverse(inp[0], &shape, &axes)
+    })
+}
+
+/// Broadcasting ternary select.
+pub fn select(
+    cond_dims: Vec<usize>,
+    a_dims: Vec<usize>,
+    b_dims: Vec<usize>,
+    out_dims: Vec<usize>,
+) -> ComputePipeline {
+    let (c_s, a_s, b_s, o_s) =
+        (Shape::new(cond_dims), Shape::new(a_dims), Shape::new(b_dims), Shape::new(out_dims));
+    ComputePipeline::elementwise("Select", o_s.size(), 1, move |inp| {
+        k::select(inp[0], &c_s, inp[1], &a_s, inp[2], &b_s, &o_s)
+    })
+}
+
+/// One-hot encoding of an index buffer.
+pub fn one_hot(depth: usize, on: f32, off: f32, out_len: usize) -> ComputePipeline {
+    ComputePipeline::elementwise("OneHot", out_len, 1, move |inp| {
+        k::one_hot(&narrow_i32(inp[0]), depth, on, off)
+    })
+}
+
+/// Bilinear resize of an NHWC tensor.
+pub fn resize_bilinear(
+    in_dims: Vec<usize>,
+    new_h: usize,
+    new_w: usize,
+    align_corners: bool,
+) -> ComputePipeline {
+    let shape = Shape::new(in_dims);
+    let out_len = shape.dim(0) * new_h * new_w * shape.dim(3);
+    ComputePipeline::elementwise("ResizeBilinear", out_len, 4, move |inp| {
+        k::resize_bilinear(inp[0], &shape, new_h, new_w, align_corners)
+    })
+}
+
+/// Fused elementwise chain: one dispatch applies the whole step list,
+/// replaying the same broadcast/kernel sequence the unfused fallback
+/// composes (one shared-kernel call per step → bit-identical).
+/// `step_shapes[i]` is the chain's shape after step `i`, precomputed by the
+/// backend from the validated op-layer shapes.
+pub fn fused_elementwise(
+    x_dims: Vec<usize>,
+    extra_dims: Vec<Vec<usize>>,
+    steps: Vec<FusedStep>,
+    step_shapes: Vec<Shape>,
+    out_len: usize,
+) -> ComputePipeline {
+    let x_shape = Shape::new(x_dims);
+    let extra_shapes: Vec<Shape> = extra_dims.into_iter().map(Shape::new).collect();
+    let cost = steps.len().max(1);
+    ComputePipeline::elementwise("FusedElementwise", out_len, cost, move |inp| {
+        let mut vals = inp[0].to_vec();
+        let mut shape = x_shape.clone();
+        for (step, after) in steps.iter().zip(&step_shapes) {
+            match *step {
+                FusedStep::Unary(op) => vals = k::unary(op, &vals),
+                FusedStep::Binary(op, i) => {
+                    vals = k::binary(op, &vals, &shape, inp[1 + i], &extra_shapes[i], after);
+                }
+            }
+            shape = after.clone();
+        }
+        vals
+    })
+}

@@ -1,6 +1,10 @@
 //! Regenerates the **device-support statistics of Sec 4.1.3** from the
 //! simulated WebGLStats-style population: the fraction of each platform
-//! able to run the WebGL backend (float-texture support).
+//! able to run the WebGL backend (float-texture support) and, one rung
+//! above it, the WebGPU compute backend (Sec 4.3's compute-API future) —
+//! a strictly smaller slice of the same population, which is why the
+//! degradation ladder keeps webgl underneath webgpu instead of replacing
+//! it.
 //!
 //! ```text
 //! cargo run --release -p webml-bench --bin device_support
@@ -9,29 +13,41 @@
 use webml_webgl_sim::devices::{self, Platform};
 
 fn main() {
-    println!("WebGL-backend device support by platform (simulated population)\n");
-    println!("| Platform | Supported | Paper (Sec 4.1.3) |");
-    println!("|---|---|---|");
+    println!("GPU-backend device support by platform (simulated population)\n");
+    println!("| Platform | WebGL | Paper (Sec 4.1.3) | WebGPU |");
+    println!("|---|---|---|---|");
     let rows = [
         (Platform::Desktop, "Desktop", "99%"),
         (Platform::IosAndWindowsMobile, "iOS + Windows mobile", "98%"),
         (Platform::Android, "Android", "52%"),
     ];
     for (platform, name, paper) in rows {
-        println!("| {name} | {:.0}% | {paper} |", devices::coverage(platform) * 100.0);
+        println!(
+            "| {name} | {:.0}% | {paper} | {:.0}% |",
+            devices::coverage(platform) * 100.0,
+            devices::webgpu_coverage(platform) * 100.0
+        );
     }
 
     println!("\npopulation detail:");
     for entry in devices::population() {
+        let rung = if entry.supports_webgpu_backend {
+            "webgpu -> webgl -> cpu"
+        } else if entry.supports_webgl_backend {
+            "webgl -> cpu"
+        } else {
+            "cpu only"
+        };
         println!(
-            "  {:<28} share {:>5.1}%  webgl backend: {}",
+            "  {:<28} share {:>5.1}%  ladder: {rung}",
             entry.model,
             entry.share * 100.0,
-            if entry.supports_webgl_backend { "yes" } else { "no (CPU fallback)" }
         );
     }
     println!(
         "\nthe Android gap is a long tail of older devices without GPU float-texture\n\
-         support — those fall back to the plain CPU backend automatically."
+         support — those fall back to the plain CPU backend automatically. WebGPU\n\
+         coverage is a subset of WebGL coverage on every platform: fleet placement\n\
+         only offers the webgpu rung where the profile exposes a compute API."
     );
 }

@@ -1,131 +1,25 @@
 //! **Sec 4.3 (future backends)**: the paper predicts WebGPU — with work
-//! groups and shared memory — will close the WebGL↔CUDA gap. This
-//! experiment runs three kernel styles for the same matmul on one thread:
-//!
-//! 1. **WebGL fragment shader** (Listing 2): one output per invocation,
-//!    every dot product re-fetches its whole row and column — no reuse.
-//! 2. **WebGL + packing** (Sec 3.9): 4 outputs per invocation; each A
-//!    element is reused across the RGBA quad.
-//! 3. **WebGPU compute shader** (Sec 4.3): a work group computes a 16x16
-//!    output tile, staging A/B sub-tiles in shared memory — each fetched
-//!    element is reused 16 times.
+//! groups and shared memory — will close the WebGL↔CUDA gap. This bin is a
+//! thin wrapper over [`webml_bench::kernel_styles`], which runs the three
+//! kernel styles for the same matmul on one thread; `table1 --json` folds
+//! the same rows into `BENCH_TABLE1.json`, and the real WebGPU backend
+//! lives in `webml-backend-webgpu` (see the `webgpu_bench` bin).
 //!
 //! ```text
 //! cargo run --release -p webml-bench --bin webgpu_preview
 //! ```
 
-use std::time::Instant;
+use webml_bench::kernel_styles::measure_styles;
 
 const N: usize = 256;
-const TILE: usize = 16;
-
-fn time_gflops(label: &str, mut f: impl FnMut() -> f32) -> f64 {
-    f(); // warmup
-    let runs = 5;
-    let t0 = Instant::now();
-    let mut sink = 0.0;
-    for _ in 0..runs {
-        sink += f();
-    }
-    let secs = t0.elapsed().as_secs_f64() / runs as f64;
-    let flops = 2.0 * (N * N * N) as f64;
-    let gflops = flops / secs / 1e9;
-    println!("{label:<46} {:>8.2} ms   {gflops:>6.2} GFLOP/s", secs * 1e3);
-    std::hint::black_box(sink);
-    gflops
-}
-
-/// Style 1: per-output dot product, Listing 2.
-fn fragment_shader_matmul(a: &[f32], b: &[f32], out: &mut [f32]) {
-    for row in 0..N {
-        for col in 0..N {
-            let mut acc = 0.0f32;
-            for i in 0..N {
-                // Each invocation independently samples A and B: no reuse
-                // across outputs (no shared memory in WebGL).
-                acc += a[row * N + i] * b[i * N + col];
-            }
-            out[row * N + col] = acc;
-        }
-    }
-}
-
-/// Style 2: packed RGBA — 4 adjacent outputs per invocation share A loads.
-fn packed_fragment_matmul(a: &[f32], b: &[f32], out: &mut [f32]) {
-    for row in 0..N {
-        let mut col = 0;
-        while col < N {
-            let mut acc = [0.0f32; 4];
-            for i in 0..N {
-                let av = a[row * N + i];
-                for q in 0..4 {
-                    acc[q] += av * b[i * N + col + q];
-                }
-            }
-            out[row * N + col..row * N + col + 4].copy_from_slice(&acc);
-            col += 4;
-        }
-    }
-}
-
-/// Style 3: WebGPU-style work group with shared-memory tiles.
-fn compute_shader_matmul(a: &[f32], b: &[f32], out: &mut [f32]) {
-    let mut a_tile = [[0.0f32; TILE]; TILE];
-    let mut b_tile = [[0.0f32; TILE]; TILE];
-    for tile_row in (0..N).step_by(TILE) {
-        for tile_col in (0..N).step_by(TILE) {
-            let mut acc = [[0.0f32; TILE]; TILE];
-            for tile_k in (0..N).step_by(TILE) {
-                // "workgroupBarrier(): stage the sub-tiles in shared memory."
-                for r in 0..TILE {
-                    for c in 0..TILE {
-                        a_tile[r][c] = a[(tile_row + r) * N + tile_k + c];
-                        b_tile[r][c] = b[(tile_k + r) * N + tile_col + c];
-                    }
-                }
-                // Every staged element is reused TILE times.
-                for r in 0..TILE {
-                    for k in 0..TILE {
-                        let av = a_tile[r][k];
-                        for c in 0..TILE {
-                            acc[r][c] += av * b_tile[k][c];
-                        }
-                    }
-                }
-            }
-            for r in 0..TILE {
-                for c in 0..TILE {
-                    out[(tile_row + r) * N + tile_col + c] = acc[r][c];
-                }
-            }
-        }
-    }
-}
 
 fn main() {
     println!("matmul {N}x{N}, single thread — kernel styles of paper Sec 3.9 / 4.3\n");
-    let a: Vec<f32> = (0..N * N).map(|i| ((i as f32) * 0.001).sin()).collect();
-    let b: Vec<f32> = (0..N * N).map(|i| ((i as f32) * 0.002).cos()).collect();
-    let mut out = vec![0.0f32; N * N];
-
-    let gl = time_gflops("WebGL fragment shader (Listing 2, no reuse)", || {
-        fragment_shader_matmul(&a, &b, &mut out);
-        out[1]
-    });
-    let reference = out.clone();
-    let packed = time_gflops("WebGL + RGBA packing (Sec 3.9)", || {
-        packed_fragment_matmul(&a, &b, &mut out);
-        out[1]
-    });
-    assert_eq!(out, reference, "packed kernel must agree");
-    let gpu = time_gflops("WebGPU compute shader (Sec 4.3, shared memory)", || {
-        compute_shader_matmul(&a, &b, &mut out);
-        out[1]
-    });
-    for (x, y) in out.iter().zip(&reference) {
-        assert!((x - y).abs() < 1e-2, "tiled kernel must agree");
+    let rows = measure_styles(N, 5);
+    for row in &rows {
+        println!("{:<46} {:>8.2} ms   {:>6.2} GFLOP/s", row.label, row.ms, row.gflops);
     }
-
+    let (gl, packed, gpu) = (rows[0].gflops, rows[1].gflops, rows[2].gflops);
     println!("\npacking speedup over plain fragment shader: {:.2}x (paper: 1.3-1.4x)", packed / gl);
     println!("compute-shader speedup over fragment shader: {:.2}x", gpu / gl);
     println!(

@@ -6,9 +6,11 @@ use std::time::Instant;
 use webml_backend_cpu::PlainJsBackend;
 use webml_backend_native::NativeBackend;
 use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_backend_webgpu::WebGpuBackend;
 use webml_core::{Engine, Tensor};
 use webml_models::{Image, MobileNet, MobileNetConfig};
 use webml_webgl_sim::devices::DeviceProfile;
+use webml_webgpu_sim::WebGpuConfig;
 
 /// The backend rows of Table 1 and their hardware analogues.
 ///
@@ -26,6 +28,11 @@ pub enum TableBackend {
     WebGlIntegrated,
     /// "WebGL (GTX 1080)": discrete-GPU profile (simulated time).
     WebGlDiscrete,
+    /// WebGPU compute backend on the integrated-GPU profile (simulated
+    /// time): workgroup shared-memory tiles over storage buffers.
+    WebGpuIntegrated,
+    /// WebGPU compute backend on the discrete-GPU profile (simulated time).
+    WebGpuDiscrete,
     /// "Node.js CPU w/ AVX2": optimized native kernels (wall time).
     NativeSingleThread,
     /// "Node.js CUDA (GTX 1080)": native kernels with the modeled
@@ -38,12 +45,15 @@ pub enum TableBackend {
 pub const CUDA_CLASS_MODEL_FACTOR: f64 = 24.0;
 
 impl TableBackend {
-    /// All rows, in Table 1 order.
-    pub fn all() -> [TableBackend; 5] {
+    /// All rows, in Table 1 order (the two WebGPU rows extend the paper's
+    /// table with its Sec 4.3 compute-shader prediction).
+    pub fn all() -> [TableBackend; 7] {
         [
             TableBackend::PlainJs,
             TableBackend::WebGlIntegrated,
             TableBackend::WebGlDiscrete,
+            TableBackend::WebGpuIntegrated,
+            TableBackend::WebGpuDiscrete,
             TableBackend::NativeSingleThread,
             TableBackend::NativeCudaClass,
         ]
@@ -55,6 +65,8 @@ impl TableBackend {
             TableBackend::PlainJs => "Plain JS",
             TableBackend::WebGlIntegrated => "WebGL (integrated-GPU profile)",
             TableBackend::WebGlDiscrete => "WebGL (discrete-GPU profile)",
+            TableBackend::WebGpuIntegrated => "WebGPU (integrated-GPU profile)",
+            TableBackend::WebGpuDiscrete => "WebGPU (discrete-GPU profile)",
             TableBackend::NativeSingleThread => "Native CPU (Node AVX2-class)",
             TableBackend::NativeCudaClass => "Native + modeled CUDA-class offload",
         }
@@ -76,6 +88,16 @@ impl TableBackend {
                 let b = WebGlBackend::new(DeviceProfile::gtx_1080(), WebGlConfig::default())
                     .expect("profile supports float textures");
                 e.register_backend("webgl", Arc::new(b), 1);
+            }
+            TableBackend::WebGpuIntegrated => {
+                let b = WebGpuBackend::new(DeviceProfile::intel_iris_pro(), WebGpuConfig::default())
+                    .expect("profile exposes a WebGPU compute API");
+                e.register_backend("webgpu", Arc::new(b), 1);
+            }
+            TableBackend::WebGpuDiscrete => {
+                let b = WebGpuBackend::new(DeviceProfile::gtx_1080(), WebGpuConfig::default())
+                    .expect("profile exposes a WebGPU compute API");
+                e.register_backend("webgpu", Arc::new(b), 1);
             }
             TableBackend::NativeSingleThread => {
                 e.register_backend("native1", Arc::new(NativeBackend::with_threads("native1", 1)), 1);
@@ -165,7 +187,8 @@ pub struct RowMeasurement {
     /// "modeled offload").
     pub method: &'static str,
     /// Device programs issued by one warm inference — `Some` only on the
-    /// WebGL rows, where the simulator counts draw calls.
+    /// GPU rows, where the simulator counts draw calls (WebGL) or compute
+    /// dispatches (WebGPU).
     pub programs: Option<u64>,
 }
 
@@ -178,10 +201,10 @@ pub fn measure_row_detailed(
     runs: usize,
     fusion: bool,
 ) -> RowMeasurement {
-    // Build the engine here (not via `TableBackend::engine`) so the WebGL
+    // Build the engine here (not via `TableBackend::engine`) so the GPU
     // rows keep a handle on the backend for program-count readout.
     let engine = Engine::new();
-    let gl_backend = match backend {
+    let gpu_probe: Option<Box<dyn Fn() -> u64>> = match backend {
         TableBackend::PlainJs => {
             engine.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 1);
             None
@@ -197,7 +220,20 @@ pub fn measure_row_detailed(
                     .expect("profile supports float textures"),
             );
             engine.register_backend("webgl", b.clone(), 1);
-            Some(b)
+            Some(Box::new(move || b.context().memory().programs_run))
+        }
+        TableBackend::WebGpuIntegrated | TableBackend::WebGpuDiscrete => {
+            let profile = if backend == TableBackend::WebGpuIntegrated {
+                DeviceProfile::intel_iris_pro()
+            } else {
+                DeviceProfile::gtx_1080()
+            };
+            let b = Arc::new(
+                WebGpuBackend::new(profile, WebGpuConfig::default())
+                    .expect("profile exposes a WebGPU compute API"),
+            );
+            engine.register_backend("webgpu", b.clone(), 1);
+            Some(Box::new(move || b.context().memory().dispatches_run))
         }
         TableBackend::NativeSingleThread => {
             engine
@@ -212,17 +248,20 @@ pub fn measure_row_detailed(
     engine.set_fusion_enabled(fusion);
     let (mut net, input) = mobilenet_workload(&engine, config);
     // Program count: one warm inference after one warmup.
-    let programs = gl_backend.map(|b| {
+    let programs = gpu_probe.map(|count| {
         let _ = time_inference(&mut net, &input);
-        let before = b.context().memory().programs_run;
+        let before = count();
         let _ = time_inference(&mut net, &input);
-        b.context().memory().programs_run - before
+        count() - before
     });
     let (ms, method) = match backend {
         TableBackend::PlainJs | TableBackend::NativeSingleThread => {
             (mean_inference_ms(&mut net, &input, runs), "measured wall")
         }
-        TableBackend::WebGlIntegrated | TableBackend::WebGlDiscrete => {
+        TableBackend::WebGlIntegrated
+        | TableBackend::WebGlDiscrete
+        | TableBackend::WebGpuIntegrated
+        | TableBackend::WebGpuDiscrete => {
             (mean_kernel_ms(&engine, &mut net, &input, runs), "simulated device")
         }
         TableBackend::NativeCudaClass => (

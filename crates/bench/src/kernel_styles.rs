@@ -1,0 +1,156 @@
+//! The three matmul kernel styles of paper Sec 3.9 / 4.3, measured on one
+//! host thread so the ratio isolates the *algorithmic* handicap of each
+//! GPU programming model rather than device parallelism:
+//!
+//! 1. **WebGL fragment shader** (Listing 2): one output per invocation,
+//!    every dot product re-fetches its whole row and column — no reuse.
+//! 2. **WebGL + packing** (Sec 3.9): 4 outputs per invocation; each A
+//!    element is reused across the RGBA quad.
+//! 3. **WebGPU compute shader** (Sec 4.3): a work group computes a 16x16
+//!    output tile, staging A/B sub-tiles in shared memory — each fetched
+//!    element is reused 16 times.
+//!
+//! The `webgpu_preview` bin prints these rows standalone; `table1 --json`
+//! folds them into `BENCH_TABLE1.json` next to the backend gap rows.
+
+use std::time::Instant;
+
+/// Shared-memory tile edge of the compute-shader style (the workgroup
+/// computes a `TILE`x`TILE` output block).
+pub const TILE: usize = 16;
+
+/// Style 1: per-output dot product, Listing 2.
+pub fn fragment_shader_matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {
+    for row in 0..n {
+        for col in 0..n {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                // Each invocation independently samples A and B: no reuse
+                // across outputs (no shared memory in WebGL).
+                acc += a[row * n + i] * b[i * n + col];
+            }
+            out[row * n + col] = acc;
+        }
+    }
+}
+
+/// Style 2: packed RGBA — 4 adjacent outputs per invocation share A loads.
+pub fn packed_fragment_matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {
+    for row in 0..n {
+        let mut col = 0;
+        while col < n {
+            let mut acc = [0.0f32; 4];
+            for i in 0..n {
+                let av = a[row * n + i];
+                for (q, slot) in acc.iter_mut().enumerate() {
+                    *slot += av * b[i * n + col + q];
+                }
+            }
+            out[row * n + col..row * n + col + 4].copy_from_slice(&acc);
+            col += 4;
+        }
+    }
+}
+
+/// Style 3: WebGPU-style work group with shared-memory tiles.
+pub fn compute_shader_matmul(a: &[f32], b: &[f32], out: &mut [f32], n: usize) {
+    let mut a_tile = [[0.0f32; TILE]; TILE];
+    let mut b_tile = [[0.0f32; TILE]; TILE];
+    for tile_row in (0..n).step_by(TILE) {
+        for tile_col in (0..n).step_by(TILE) {
+            let mut acc = [[0.0f32; TILE]; TILE];
+            for tile_k in (0..n).step_by(TILE) {
+                // "workgroupBarrier(): stage the sub-tiles in shared memory."
+                for r in 0..TILE {
+                    for c in 0..TILE {
+                        a_tile[r][c] = a[(tile_row + r) * n + tile_k + c];
+                        b_tile[r][c] = b[(tile_k + r) * n + tile_col + c];
+                    }
+                }
+                // Every staged element is reused TILE times.
+                for r in 0..TILE {
+                    for k in 0..TILE {
+                        let av = a_tile[r][k];
+                        for c in 0..TILE {
+                            acc[r][c] += av * b_tile[k][c];
+                        }
+                    }
+                }
+            }
+            for r in 0..TILE {
+                for c in 0..TILE {
+                    out[(tile_row + r) * n + tile_col + c] = acc[r][c];
+                }
+            }
+        }
+    }
+}
+
+/// One measured kernel-style row.
+#[derive(Debug, Clone)]
+pub struct StyleMeasurement {
+    /// Stable row key (`fragment` / `packed` / `tiled_compute`).
+    pub key: &'static str,
+    /// Human-readable label with the paper section.
+    pub label: &'static str,
+    /// Mean per-pass milliseconds over the measured runs.
+    pub ms: f64,
+    /// Effective GFLOP/s of the 2·n³ matmul.
+    pub gflops: f64,
+}
+
+fn time_style(key: &'static str, label: &'static str, n: usize, runs: usize, mut f: impl FnMut()) -> StyleMeasurement {
+    f(); // warmup
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    let secs = t0.elapsed().as_secs_f64() / runs as f64;
+    let flops = 2.0 * (n * n * n) as f64;
+    StyleMeasurement { key, label, ms: secs * 1e3, gflops: flops / secs / 1e9 }
+}
+
+/// Run all three styles on an `n`x`n` matmul (requires `n` to be a multiple
+/// of [`TILE`]), checking the packed and tiled results against the fragment
+/// reference, and return the measured rows in style order.
+pub fn measure_styles(n: usize, runs: usize) -> Vec<StyleMeasurement> {
+    assert_eq!(n % TILE, 0, "n must be a multiple of the {TILE}-wide tile");
+    let a: Vec<f32> = (0..n * n).map(|i| ((i as f32) * 0.001).sin()).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| ((i as f32) * 0.002).cos()).collect();
+    let mut out = vec![0.0f32; n * n];
+
+    let fragment = time_style("fragment", "WebGL fragment shader (Listing 2, no reuse)", n, runs, || {
+        fragment_shader_matmul(&a, &b, &mut out, n);
+        std::hint::black_box(out[1]);
+    });
+    let reference = out.clone();
+    let packed = time_style("packed", "WebGL + RGBA packing (Sec 3.9)", n, runs, || {
+        packed_fragment_matmul(&a, &b, &mut out, n);
+        std::hint::black_box(out[1]);
+    });
+    assert_eq!(out, reference, "packed kernel must agree");
+    let tiled = time_style("tiled_compute", "WebGPU compute shader (Sec 4.3, shared memory)", n, runs, || {
+        compute_shader_matmul(&a, &b, &mut out, n);
+        std::hint::black_box(out[1]);
+    });
+    for (x, y) in out.iter().zip(&reference) {
+        assert!((x - y).abs() < 1e-2, "tiled kernel must agree");
+    }
+    vec![fragment, packed, tiled]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_agree_and_measure() {
+        let rows = measure_styles(64, 1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].key, "fragment");
+        assert_eq!(rows[2].key, "tiled_compute");
+        for row in rows {
+            assert!(row.ms > 0.0 && row.gflops > 0.0, "{}", row.key);
+        }
+    }
+}

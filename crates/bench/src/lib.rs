@@ -5,3 +5,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod kernel_styles;

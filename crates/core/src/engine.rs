@@ -407,6 +407,30 @@ impl Engine {
         table.current = best;
     }
 
+    /// Register an ordered backend-preference list in one call: `rungs`
+    /// lists backends most-preferred first and each rung receives a
+    /// strictly descending priority, so graceful degradation walks the
+    /// list left to right (e.g. webgpu → webgl → cpu) and
+    /// [`Engine::promote_backend`] / canary re-admission climbs back to
+    /// the head. This is the configuration surface of the degradation
+    /// ladder — any number of rungs, not a hardcoded gpu/cpu pair.
+    pub fn register_backend_ladder(&self, rungs: Vec<(String, Arc<dyn Backend>)>) {
+        let top = rungs.len() as i32;
+        for (i, (name, backend)) in rungs.into_iter().enumerate() {
+            self.register_backend(name, backend, top - i as i32);
+        }
+    }
+
+    /// The registered backend names in descending priority order — the
+    /// degradation ladder as configured, head first.
+    pub fn backend_ladder(&self) -> Vec<String> {
+        let table = self.inner.backends.read();
+        let mut entries: Vec<(String, i32)> =
+            table.entries.iter().map(|(n, p, _)| (n.clone(), *p)).collect();
+        entries.sort_by_key(|(_, p)| std::cmp::Reverse(*p));
+        entries.into_iter().map(|(n, _)| n).collect()
+    }
+
     /// Switch the active backend by name.
     ///
     /// # Errors
@@ -1662,6 +1686,45 @@ mod tests {
         let mem = e.memory();
         assert_eq!(mem.degradations, 1);
         assert_eq!(mem.current_backend, "cpu");
+    }
+
+    #[test]
+    fn three_rung_ladder_walks_in_order_and_promotes_back() {
+        let e = Engine::new();
+        e.register_backend_ladder(vec![
+            ("webgpu".to_string(), Arc::new(CpuBackend::new()) as Arc<dyn Backend>),
+            ("webgl".to_string(), Arc::new(CpuBackend::new())),
+            ("cpu".to_string(), Arc::new(CpuBackend::new())),
+        ]);
+        assert_eq!(e.backend_ladder(), vec!["webgpu", "webgl", "cpu"]);
+        assert_eq!(e.backend_name(), "webgpu", "head of the ladder is the default");
+        // The top two rungs lose their device in turn: the kernel walks
+        // webgpu → webgl → cpu and succeeds with no caller-visible error.
+        let out = e
+            .run_kernel(
+                "MatMul",
+                &[],
+                &mut |b, _| match e.backend_name().as_str() {
+                    "webgpu" => Err(Error::context_lost("webgpu")),
+                    "webgl" => Err(Error::context_lost("webgl")),
+                    _ => emit_scalar(b, 9.0),
+                },
+                None,
+            )
+            .unwrap();
+        assert_eq!(out[0].to_f32_vec().unwrap(), vec![9.0]);
+        assert_eq!(e.degradations(), 2);
+        let events = e.degradation_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].from_backend.as_str(), events[0].to_backend.as_str()), ("webgpu", "webgl"));
+        assert_eq!((events[1].from_backend.as_str(), events[1].to_backend.as_str()), ("webgl", "cpu"));
+        let health = e.backend_health();
+        assert!(!health.at_preferred);
+        assert_eq!(health.current_backend, "cpu");
+        assert_eq!(health.preferred_backend, "webgpu");
+        // Re-admission climbs back to the head of the ladder.
+        assert_eq!(e.promote_backend().as_deref(), Some("webgpu"));
+        assert!(e.backend_health().at_preferred);
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct DeviceProfile {
     /// pipeline drains). Fence-synchronized readback (Fig 3) pays nothing.
     /// Charged as wall-clock host latency, not device compute time.
     pub readback_sync_penalty_ns: u64,
+    /// Whether the browser on this device exposes a WebGPU-class compute
+    /// API (compute shaders, workgroups, storage buffers — paper Sec 4.3's
+    /// "general purpose parallel programming" future work). Absent on older
+    /// iOS Safari and legacy Android profiles, so the degradation ladder
+    /// and fleet placement only offer the webgpu backend where it exists.
+    pub has_webgpu: bool,
 }
 
 impl DeviceProfile {
@@ -94,6 +100,7 @@ impl DeviceProfile {
             has_fence_sync: true,
             has_disjoint_timer_query: true,
             readback_sync_penalty_ns: 1_500_000,
+            has_webgpu: true,
         }
     }
 
@@ -110,6 +117,7 @@ impl DeviceProfile {
             has_fence_sync: true,
             has_disjoint_timer_query: true,
             readback_sync_penalty_ns: 1_200_000,
+            has_webgpu: true,
         }
     }
 
@@ -126,6 +134,7 @@ impl DeviceProfile {
             has_fence_sync: false,
             has_disjoint_timer_query: true,
             readback_sync_penalty_ns: 3_000_000,
+            has_webgpu: false,
         }
     }
 
@@ -142,6 +151,7 @@ impl DeviceProfile {
             has_fence_sync: true,
             has_disjoint_timer_query: false,
             readback_sync_penalty_ns: 2_500_000,
+            has_webgpu: true,
         }
     }
 
@@ -159,6 +169,7 @@ impl DeviceProfile {
             has_fence_sync: false,
             has_disjoint_timer_query: false,
             readback_sync_penalty_ns: 4_000_000,
+            has_webgpu: false,
         }
     }
 }
@@ -176,6 +187,10 @@ pub struct PopulationEntry {
     /// Whether the device supports float textures (can run the WebGL
     /// backend).
     pub supports_webgl_backend: bool,
+    /// Whether the browser on this device exposes a WebGPU-class compute
+    /// API (can run the webgpu backend). Strictly a subset of the WebGL
+    /// population: modern WebGL2-era devices only.
+    pub supports_webgpu_backend: bool,
 }
 
 /// Reporting platform of Sec 4.1.3.
@@ -194,28 +209,32 @@ pub enum Platform {
 /// devices with no usable GPU float support.
 pub fn population() -> Vec<PopulationEntry> {
     use Platform::*;
-    let e = |platform, model: &str, share, ok| PopulationEntry {
+    let e = |platform, model: &str, share, gl, gpu| PopulationEntry {
         platform,
         model: model.to_string(),
         share,
-        supports_webgl_backend: ok,
+        supports_webgl_backend: gl,
+        supports_webgpu_backend: gpu,
     };
     vec![
         // Desktop: overwhelmingly supported; a sliver of ancient GPUs or
-        // blacklisted drivers is not.
-        e(Desktop, "desktop-webgl2", 0.82, true),
-        e(Desktop, "desktop-webgl1-oes", 0.17, true),
-        e(Desktop, "desktop-blacklisted-driver", 0.01, false),
+        // blacklisted drivers is not. WebGPU ships only on the WebGL2-era
+        // browsers.
+        e(Desktop, "desktop-webgl2", 0.82, true, true),
+        e(Desktop, "desktop-webgl1-oes", 0.17, true, false),
+        e(Desktop, "desktop-blacklisted-driver", 0.01, false, false),
         // iOS + Windows mobile: Safari exposes 16-bit float textures, which
-        // still counts as supported (reduced precision).
-        e(IosAndWindowsMobile, "ios-safari-f16", 0.90, true),
-        e(IosAndWindowsMobile, "windows-mobile-webgl1", 0.08, true),
-        e(IosAndWindowsMobile, "ios-legacy", 0.02, false),
+        // still counts as supported (reduced precision) — but no compute
+        // API on any of these profiles.
+        e(IosAndWindowsMobile, "ios-safari-f16", 0.90, true, false),
+        e(IosAndWindowsMobile, "windows-mobile-webgl1", 0.08, true, false),
+        e(IosAndWindowsMobile, "ios-legacy", 0.02, false, false),
         // Android: modern devices support it; a long tail of older devices
-        // has no GPU float path at all (the 52% of the paper).
-        e(Android, "android-webgl2", 0.40, true),
-        e(Android, "android-webgl1-oes", 0.12, true),
-        e(Android, "android-legacy-no-float", 0.48, false),
+        // has no GPU float path at all (the 52% of the paper). Only the
+        // WebGL2 cohort carries a compute-capable browser.
+        e(Android, "android-webgl2", 0.40, true, true),
+        e(Android, "android-webgl1-oes", 0.12, true, false),
+        e(Android, "android-legacy-no-float", 0.48, false, false),
     ]
 }
 
@@ -226,6 +245,20 @@ pub fn coverage(platform: Platform) -> f64 {
     let ok: f64 = pop
         .iter()
         .filter(|p| p.platform == platform && p.supports_webgl_backend)
+        .map(|p| p.share)
+        .sum();
+    ok / total
+}
+
+/// Fraction of a platform's population able to run the WebGPU compute
+/// backend (the Sec 4.3 future-work API). Always ≤ the WebGL coverage:
+/// the compute API only exists on the modern end of each platform.
+pub fn webgpu_coverage(platform: Platform) -> f64 {
+    let pop = population();
+    let total: f64 = pop.iter().filter(|p| p.platform == platform).map(|p| p.share).sum();
+    let ok: f64 = pop
+        .iter()
+        .filter(|p| p.platform == platform && p.supports_webgpu_backend)
         .map(|p| p.share)
         .sum();
     ok / total
@@ -264,6 +297,38 @@ mod tests {
     #[test]
     fn legacy_android_cannot_run_webgl_backend() {
         assert!(!DeviceProfile::android_legacy().supports_float_textures());
+    }
+
+    #[test]
+    fn webgpu_only_on_modern_profiles() {
+        assert!(DeviceProfile::intel_iris_pro().has_webgpu);
+        assert!(DeviceProfile::gtx_1080().has_webgpu);
+        assert!(DeviceProfile::android_modern().has_webgpu);
+        assert!(!DeviceProfile::ios_safari().has_webgpu);
+        assert!(!DeviceProfile::android_legacy().has_webgpu);
+    }
+
+    #[test]
+    fn webgpu_coverage_is_subset_of_webgl_coverage() {
+        for platform in [Platform::Desktop, Platform::IosAndWindowsMobile, Platform::Android] {
+            assert!(
+                webgpu_coverage(platform) <= coverage(platform) + 1e-12,
+                "{platform:?}: webgpu coverage must not exceed webgl coverage"
+            );
+        }
+        // Every webgpu-capable entry must also be webgl-capable.
+        for p in population() {
+            if p.supports_webgpu_backend {
+                assert!(p.supports_webgl_backend, "{} claims webgpu without webgl", p.model);
+            }
+        }
+    }
+
+    #[test]
+    fn webgpu_coverage_matches_modern_cohorts() {
+        assert!((webgpu_coverage(Platform::Desktop) - 0.82).abs() < 0.005);
+        assert!((webgpu_coverage(Platform::IosAndWindowsMobile) - 0.0).abs() < 0.005);
+        assert!((webgpu_coverage(Platform::Android) - 0.40).abs() < 0.005);
     }
 
     #[test]

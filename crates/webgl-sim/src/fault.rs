@@ -197,7 +197,11 @@ pub struct FaultStats {
 /// Host-side runtime state evaluating a [`FaultPlan`]. All checks happen at
 /// enqueue time on the host thread, never on the device thread, so fault
 /// decisions are synchronous and deterministic.
-pub(crate) struct FaultState {
+///
+/// Public so sibling device simulators (the WebGPU-class compute device)
+/// can evaluate the same fault vocabulary: one `FaultPlan` seed injects
+/// the same schedule on either rung of the degradation ladder.
+pub struct FaultState {
     plan: FaultPlan,
     rng: Mutex<u64>,
     draws: AtomicU64,
@@ -209,6 +213,7 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
+    /// Build the runtime state for `plan`, seeding the fault RNG stream.
     pub fn new(plan: FaultPlan) -> FaultState {
         let rng_seed = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
         FaultState {
@@ -222,14 +227,17 @@ impl FaultState {
         }
     }
 
+    /// The plan being evaluated.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
 
+    /// Counters for faults injected so far.
     pub fn stats(&self) -> FaultStats {
         *self.stats.lock()
     }
 
+    /// Whether the context/device is currently lost.
     pub fn is_lost(&self) -> bool {
         self.lost.load(Ordering::SeqCst)
     }
@@ -243,10 +251,13 @@ impl FaultState {
         true
     }
 
+    /// Register a loss observer (the simulator's `webglcontextlost` /
+    /// `device.lost` listener).
     pub fn add_observer(&self, f: Box<dyn Fn(&ContextLossEvent) + Send + Sync>) {
         self.observers.lock().push(f);
     }
 
+    /// Deliver a loss event to all registered observers.
     pub fn notify_loss(&self, event: &ContextLossEvent) {
         for obs in self.observers.lock().iter() {
             obs(event);

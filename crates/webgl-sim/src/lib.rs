@@ -47,7 +47,7 @@ pub mod shader;
 pub mod texture;
 
 pub use context::{ContextConfig, FenceHandle, GpgpuContext, GpuMemoryStats, TexHandle};
-pub use fault::{ContextLossEvent, FaultPlan, FaultStats};
+pub use fault::{ContextLossEvent, FaultPlan, FaultState, FaultStats};
 pub use devices::{DeviceClass, DeviceProfile, GlVersion};
 pub use future::ReadFuture;
 pub use queue::QueueStats;

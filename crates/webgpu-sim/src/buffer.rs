@@ -1,0 +1,57 @@
+//! Storage buffers: the linear, read-write device memory of the compute
+//! API. No 2-D texture layout, no texel packing — a tensor is just its
+//! flattened values, and shape stays a host-side concern.
+
+/// Element format of a storage buffer, for byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferFormat {
+    /// 32-bit float values (4 bytes per element).
+    F32,
+    /// 8-bit quantization codes (1 byte per element). The simulator holds
+    /// the codes widened to f32 for uniform kernel access — like texels
+    /// sampled from an `R8` texture — but the allocator, the byte limit
+    /// and the injected OOM fault all see one byte per code.
+    U8,
+}
+
+impl BufferFormat {
+    /// Bytes per element in device memory.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            BufferFormat::F32 => 4,
+            BufferFormat::U8 => 1,
+        }
+    }
+}
+
+/// A device storage buffer (simulated).
+pub struct StorageBuffer {
+    /// The values. `U8` buffers hold integer codes widened to f32.
+    pub data: Vec<f32>,
+    /// Element format (drives byte accounting).
+    pub format: BufferFormat,
+    /// Whether the buffer is resident on the device. After a device loss
+    /// the data survives as a host shadow (`on_device = false`) so
+    /// readback keeps working and recovery can re-upload lazily.
+    pub on_device: bool,
+}
+
+impl StorageBuffer {
+    /// Device bytes this buffer occupies when resident.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * self.format.bytes_per_element()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting_by_format() {
+        let f = StorageBuffer { data: vec![0.0; 256], format: BufferFormat::F32, on_device: true };
+        let q = StorageBuffer { data: vec![0.0; 256], format: BufferFormat::U8, on_device: true };
+        assert_eq!(f.byte_size(), 1024);
+        assert_eq!(q.byte_size(), 256, "codes cost one byte each");
+    }
+}

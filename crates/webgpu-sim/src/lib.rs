@@ -1,0 +1,54 @@
+//! # webml-webgpu-sim
+//!
+//! A software simulation of the WebGPU-class compute API the paper's
+//! future-work section (Sec 4.3) predicts: "general purpose parallel
+//! programming" in the browser — compute shaders with workgroups, shared
+//! memory and storage buffers — closing the gap WebGL's fragment-shader
+//! contortions leave open.
+//!
+//! The simulator mirrors [`webml_webgl_sim`]'s architecture (command queue
+//! on a dedicated device thread, fences, seedable fault plans) but models
+//! the compute API's distinguishing capabilities:
+//!
+//! - **Storage buffers** ([`buffer`]) replace float textures: linear,
+//!   read-write, no 2-D layout compilation, no texel packing. Quantized
+//!   weights live as one-byte codes, like the WebGL `R8` path.
+//! - **Compute pipelines** ([`pipeline`]) replace fragment shaders: a
+//!   kernel dispatches workgroups whose invocations cooperate through
+//!   shared memory. The simulated-time model rewards that cooperation
+//!   explicitly: a pipeline declaring `shared_reuse = r` (each loaded
+//!   value serves `r` invocations from workgroup shared memory, e.g. a
+//!   16×16-tiled matmul) earns `r`-times-higher effective occupancy than
+//!   an uncooperative kernel on the same device.
+//! - A **command queue** ([`queue`], [`context`]) with the same enqueue/
+//!   fence/async-readback discipline as the WebGL simulator, so the
+//!   pipelined executor and the serving dispatcher run unchanged on top.
+//! - The **same fault vocabulary** as WebGL: [`FaultPlan`] seeds inject
+//!   device loss (`device.lost`), pipeline-compile rejection, allocation
+//!   OOM and transient readback failures — one seed schedules the same
+//!   faults on either rung of the degradation ladder.
+//!
+//! Dispatch overhead is modeled far below WebGL's draw-call overhead
+//! (command encoding without framebuffer binds) and buffer allocation far
+//! below texture allocation, which is where most of the measured
+//! webgpu-vs-webgl win on small kernels comes from — exactly the paper's
+//! prediction for what a compute API buys the browser.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod context;
+pub mod pipeline;
+pub mod queue;
+
+pub use buffer::{BufferFormat, StorageBuffer};
+pub use context::{
+    BufHandle, GpuFenceHandle, GpuMemoryStats, WebGpuConfig, WebGpuContext, WebGpuError,
+};
+pub use pipeline::ComputePipeline;
+pub use queue::WebGpuQueueStats;
+// One fault vocabulary across both simulated devices: plans, stats and the
+// loss event are the webgl-sim types, so a seed injects the same schedule
+// on either rung of the degradation ladder.
+pub use webml_webgl_sim::fault::{ContextLossEvent, FaultPlan, FaultState, FaultStats};
+pub use webml_webgl_sim::future::ReadFuture;

@@ -9,18 +9,24 @@
 //!
 //! ## Backends
 //!
-//! [`init`] registers four backends on the global engine, mirroring
-//! Figure 1 of the paper:
+//! [`init`] registers five backends on the global engine, mirroring
+//! Figure 1 of the paper plus the compute-API future work of Sec 4.3:
 //!
-//! | name       | analogue                         | priority |
-//! |------------|----------------------------------|----------|
-//! | `plainjs`  | interpreted plain-JS CPU baseline| 0        |
-//! | `cpu`      | bundled reference CPU fallback   | 1        |
-//! | `webgl`    | WebGL fragment-shader GPGPU      | 2        |
-//! | `native`   | Node.js binding to TensorFlow C  | 3        |
+//! | name       | analogue                           | priority |
+//! |------------|------------------------------------|----------|
+//! | `plainjs`  | interpreted plain-JS CPU baseline  | 0        |
+//! | `cpu`      | bundled reference CPU fallback     | 1        |
+//! | `webgl`    | WebGL fragment-shader GPGPU        | 2        |
+//! | `webgpu`   | WebGPU compute-shader GPGPU        | 3        |
+//! | `native`   | Node.js binding to TensorFlow C    | 4        |
 //!
 //! The highest-priority registered backend is the default, as in
-//! TensorFlow.js; switch with [`Engine::set_backend`].
+//! TensorFlow.js; switch with [`Engine::set_backend`]. The `webgpu` rung is
+//! only registered when the device profile exposes a WebGPU-class compute
+//! API ([`webml_webgl_sim::devices::DeviceProfile::has_webgpu`]); in the
+//! browser-side degradation ladder a lost webgpu device falls back to
+//! webgl, then cpu (`webgpu → webgl → cpu`), and
+//! [`Engine::promote_backend`] climbs back after canary re-admission.
 //!
 //! ## Quickstart (Listing 1 of the paper)
 //!
@@ -46,6 +52,7 @@
 pub use webml_backend_cpu as backend_cpu;
 pub use webml_backend_native as backend_native;
 pub use webml_backend_webgl as backend_webgl;
+pub use webml_backend_webgpu as backend_webgpu;
 pub use webml_converter as converter;
 pub use webml_core as core;
 pub use webml_data as data;
@@ -54,6 +61,7 @@ pub use webml_models as models;
 pub use webml_serve as serve;
 pub use webml_telemetry as telemetry;
 pub use webml_webgl_sim as webgl_sim;
+pub use webml_webgpu_sim as webgpu_sim;
 
 pub use webml_core::{
     ops, DType, DegradationEvent, Engine, Error, MemoryPolicy, Result, Shape, Tensor, TensorData,
@@ -66,8 +74,10 @@ use std::sync::OnceLock;
 use webml_backend_cpu::PlainJsBackend;
 use webml_backend_native::NativeBackend;
 use webml_backend_webgl::{WebGlBackend, WebGlConfig};
+use webml_backend_webgpu::WebGpuBackend;
 use webml_webgl_sim::devices::DeviceProfile;
 use webml_webgl_sim::pager::PagingPolicy;
+use webml_webgpu_sim::WebGpuConfig;
 
 /// Commonly used items, for `use webml::prelude::*`.
 pub mod prelude {
@@ -81,17 +91,30 @@ pub mod prelude {
 
 static INITED: OnceLock<Engine> = OnceLock::new();
 
-/// Create a *fresh, private* engine with all four backends registered —
+/// Create a *fresh, private* engine with all five backends registered —
 /// unlike [`init`], nothing is shared. Useful for tests and for embedding
-/// several independent engines in one process.
+/// several independent engines in one process. The `webgpu` rung is only
+/// registered when the device profile supports it.
 pub fn new_engine() -> Engine {
+    new_engine_on(DeviceProfile::intel_iris_pro())
+}
+
+/// [`new_engine`] on a specific device profile: GPU-class backends that the
+/// profile cannot host (no WebGL context, no WebGPU compute API) are simply
+/// not registered, so the degradation ladder is exactly what the device
+/// supports — this is how fleet placement avoids offering `webgpu` on
+/// older iOS/Android profiles.
+pub fn new_engine_on(profile: DeviceProfile) -> Engine {
     let engine = Engine::new();
     engine.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
     engine.register_backend("plainjs", Arc::new(PlainJsBackend::new()), 0);
-    if let Ok(webgl) = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()) {
+    if let Ok(webgl) = WebGlBackend::new(profile.clone(), WebGlConfig::default()) {
         engine.register_backend("webgl", Arc::new(webgl), 2);
     }
-    engine.register_backend("native", Arc::new(NativeBackend::new()), 3);
+    if let Ok(webgpu) = WebGpuBackend::new(profile, WebGpuConfig::default()) {
+        engine.register_backend("webgpu", Arc::new(webgpu), 3);
+    }
+    engine.register_backend("native", Arc::new(NativeBackend::new()), 4);
     engine
 }
 
@@ -112,6 +135,28 @@ pub fn new_engine_with_faults(plan: FaultPlan) -> Engine {
     engine
 }
 
+/// Create a fresh, private engine whose `webgpu` backend injects faults
+/// according to `plan`, with healthy `webgl` and reference `cpu` backends
+/// registered below it — the full three-rung degradation ladder
+/// `webgpu → webgl → cpu`. The faulty `webgpu` backend is the default, so
+/// a seeded device loss walks the ladder exactly as a browser losing its
+/// WebGPU device would, with no caller-visible errors. Both substrates
+/// share one seedable [`FaultPlan`] vocabulary, so the same soak seed can
+/// drive either rung.
+pub fn new_engine_with_webgpu_faults(plan: FaultPlan) -> Engine {
+    let engine = Engine::new();
+    engine.register_backend("cpu", Arc::new(webml_core::cpu::CpuBackend::new()), 1);
+    if let Ok(webgl) = WebGlBackend::new(DeviceProfile::intel_iris_pro(), WebGlConfig::default()) {
+        engine.register_backend("webgl", Arc::new(webgl), 2);
+    }
+    if let Ok(webgpu) =
+        WebGpuBackend::with_faults(DeviceProfile::intel_iris_pro(), WebGpuConfig::default(), plan)
+    {
+        engine.register_backend("webgpu", Arc::new(webgpu), 3);
+    }
+    engine
+}
+
 /// Initialize the global engine with every backend registered (idempotent)
 /// and return it. The `native` backend becomes the default.
 pub fn init() -> Engine {
@@ -124,7 +169,12 @@ pub fn init() -> Engine {
             if let Ok(webgl) = WebGlBackend::new(DeviceProfile::intel_iris_pro(), config) {
                 engine.register_backend("webgl", Arc::new(webgl), 2);
             }
-            engine.register_backend("native", Arc::new(NativeBackend::new()), 3);
+            if let Ok(webgpu) =
+                WebGpuBackend::new(DeviceProfile::intel_iris_pro(), WebGpuConfig::default())
+            {
+                engine.register_backend("webgpu", Arc::new(webgpu), 3);
+            }
+            engine.register_backend("native", Arc::new(NativeBackend::new()), 4);
             engine
         })
         .clone()
@@ -138,7 +188,7 @@ mod tests {
     fn init_registers_all_backends_with_native_default() {
         let e = init();
         let names = e.backend_names();
-        for expected in ["cpu", "plainjs", "webgl", "native"] {
+        for expected in ["cpu", "plainjs", "webgl", "webgpu", "native"] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
         // Highest priority wins.
@@ -149,10 +199,42 @@ mod tests {
     }
 
     #[test]
+    fn webgpu_rung_follows_device_profile_support() {
+        let modern = new_engine_on(DeviceProfile::intel_iris_pro());
+        let ladder = modern.backend_ladder();
+        assert_eq!(
+            ladder.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["native", "webgpu", "webgl", "cpu", "plainjs"],
+        );
+        // Profiles without a WebGPU-class compute API never get the rung,
+        // so fleet placement cannot route webgpu work to them.
+        let legacy = new_engine_on(DeviceProfile::ios_safari());
+        assert!(!legacy.backend_names().contains(&"webgpu".to_string()));
+        assert!(legacy.backend_names().contains(&"webgl".to_string()));
+    }
+
+    #[test]
+    fn seeded_webgpu_loss_degrades_to_webgl_without_caller_errors() {
+        let e = new_engine_with_webgpu_faults(FaultPlan::from_seed(7).lose_context_at(1));
+        assert_eq!(e.backend_name(), "webgpu");
+        let a = e.tensor_2d(&[1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        let b = e.tensor_2d(&[5.0, 6.0, 7.0, 8.0], 2, 2).unwrap();
+        // The first dispatch loses the webgpu device; the engine must land
+        // the kernel on the webgl rung with no error surfaced to us.
+        let c = ops::matmul(&a, &b, false, false).unwrap();
+        assert_eq!(c.to_f32_vec().unwrap(), vec![19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(e.backend_name(), "webgl");
+        let events = e.degradation_events();
+        assert!(!events.is_empty());
+        assert_eq!(events[0].from_backend, "webgpu");
+        assert_eq!(events[0].to_backend, "webgl");
+    }
+
+    #[test]
     fn ops_run_on_every_backend() {
         let e = init();
         let original = e.backend_name();
-        for name in ["plainjs", "cpu", "webgl", "native"] {
+        for name in ["plainjs", "cpu", "webgl", "webgpu", "native"] {
             e.set_backend(name).unwrap();
             let a = e.tensor_1d(&[1.0, 2.0]).unwrap();
             let b = e.tensor_1d(&[3.0, 4.0]).unwrap();

@@ -364,6 +364,64 @@ fn context_loss_invalidates_and_rebuilds_execution_plans() {
     assert!(stats.hits >= 1, "post-rebuild passes ride the new plan: {stats:?}");
 }
 
+/// A WebGPU device loss must land one rung down — on **webgl**, not cpu —
+/// with results bit-identical to the reference (both GPU rungs accumulate
+/// in the CPU kernel order).
+#[test]
+fn webgpu_device_loss_lands_on_webgl_bit_identical() {
+    let e = webml::new_engine_with_webgpu_faults(FaultPlan::none().lose_context_at(2));
+    assert_eq!(e.backend_name(), "webgpu");
+
+    let got = two_layer_chain(&e);
+    assert_eq!(got, cpu_reference(), "post-loss run must be bit-identical");
+
+    assert_eq!(e.degradations(), 1);
+    let events = e.degradation_events();
+    assert_eq!(events[0].from_backend, "webgpu");
+    assert_eq!(events[0].to_backend, "webgl", "the ladder lands on the webgl rung first");
+    assert_eq!(e.backend_name(), "webgl");
+}
+
+/// Both GPU devices fail in sequence: the engine must walk the full
+/// `webgpu → webgl → cpu` ladder, losing no data and no accuracy.
+#[test]
+fn double_device_loss_walks_the_full_ladder_to_cpu() {
+    use webml::backend_webgpu::WebGpuBackend;
+    use webml::webgpu_sim::WebGpuConfig;
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    let webgl = WebGlBackend::with_faults(
+        DeviceProfile::intel_iris_pro(),
+        WebGlConfig::default(),
+        FaultPlan::none().lose_context_at(1).unrestorable(),
+    )
+    .unwrap();
+    e.register_backend("webgl", Arc::new(webgl), 2);
+    let webgpu = WebGpuBackend::with_faults(
+        DeviceProfile::intel_iris_pro(),
+        WebGpuConfig::default(),
+        FaultPlan::none().lose_context_at(2).unrestorable(),
+    )
+    .unwrap();
+    e.register_backend("webgpu", Arc::new(webgpu), 3);
+    assert_eq!(e.backend_ladder()[..3], ["webgpu".to_string(), "webgl".into(), "cpu".into()]);
+
+    let got = two_layer_chain(&e);
+    assert_eq!(got, cpu_reference(), "double-fault run must be bit-identical");
+
+    assert_eq!(e.degradations(), 2, "two rungs failed");
+    let events = e.degradation_events();
+    assert_eq!(
+        (events[0].from_backend.as_str(), events[0].to_backend.as_str()),
+        ("webgpu", "webgl")
+    );
+    assert_eq!(
+        (events[1].from_backend.as_str(), events[1].to_backend.as_str()),
+        ("webgl", "cpu")
+    );
+    assert_eq!(e.backend_name(), "cpu");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -438,6 +496,73 @@ proptest! {
         }
         prop_assert!(e.degradations() <= 1, "at most one webgl→cpu fallback");
     }
+
+    /// Property: a WebGPU device loss landing anywhere inside a pipelined
+    /// window drains cleanly onto the **webgl** rung — every pending fetch
+    /// resolves bitwise-identical to a pristine CPU run, zero caller-visible
+    /// errors, and the one degradation (if the scheduled loss fired at all)
+    /// goes webgpu→webgl, never skipping a rung.
+    #[test]
+    fn webgpu_loss_mid_pipeline_drains_onto_webgl(seed in 0u64..10_000) {
+        use std::collections::VecDeque;
+        use webml::converter::PendingFetches;
+        use webml::models::graph_mlp;
+        use webml::Shape;
+        const DEPTH: usize = 3;
+        const PASSES: usize = 8;
+        const CYCLE: usize = 4;
+
+        let spec = graph_mlp(8, &[16, 16], 4, 33);
+        let r = new_engine();
+        r.set_backend("cpu").unwrap();
+        let ref_model = spec.build(&r).unwrap();
+        let mut want = Vec::with_capacity(CYCLE);
+        for k in 0..CYCLE {
+            let (vals, shape) = spec.example(1, k);
+            let x = r.tensor(vals, Shape::new(shape)).unwrap();
+            let outs = ref_model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+            want.push(outs[0].to_f32_vec().unwrap());
+        }
+
+        let e = webml::new_engine_with_webgpu_faults(
+            FaultPlan::none().lose_context_at(1 + seed % 60),
+        );
+        prop_assert_eq!(e.backend_name(), "webgpu");
+        let model = spec.build(&e).unwrap();
+        let inputs: Vec<webml::Tensor> = (0..CYCLE)
+            .map(|k| {
+                let (vals, shape) = spec.example(1, k);
+                let x = e.tensor(vals, Shape::new(shape)).unwrap();
+                x.keep();
+                x
+            })
+            .collect();
+
+        let mut window: VecDeque<(usize, PendingFetches)> = VecDeque::new();
+        for pass in 0..PASSES {
+            let k = pass % CYCLE;
+            let pending = model
+                .execute_pipelined(&[(&spec.input, &inputs[k])], &[&spec.output])
+                .expect("submission never surfaces an error");
+            window.push_back((k, pending));
+            if window.len() == DEPTH {
+                let (k, pending) = window.pop_front().expect("window non-empty");
+                let got = pending.wait().expect("in-flight fetches drain cleanly");
+                prop_assert!(got[0].to_f32_vec() == want[k], "output diverged: seed {} pass {}", seed, pass);
+            }
+        }
+        for (k, pending) in window {
+            let got = pending.wait().expect("final drain completes");
+            prop_assert!(got[0].to_f32_vec() == want[k], "output diverged: seed {} drain", seed);
+        }
+        prop_assert!(e.degradations() <= 1, "at most one webgpu→webgl fallback");
+        if e.degradations() == 1 {
+            let events = e.degradation_events();
+            prop_assert_eq!(events[0].from_backend.as_str(), "webgpu");
+            // Never skips the webgl rung.
+            prop_assert_eq!(events[0].to_backend.as_str(), "webgl");
+        }
+    }
 }
 
 /// A 4-engine SLO fleet under simultaneous overload, a scheduled context
@@ -475,12 +600,17 @@ fn fleet_soak(seed: u64, clients: usize, requests: usize, burst: usize) {
         .collect();
 
     // The fleet: one engine loses its WebGL context at a seed-scheduled
-    // draw, one straggles with seeded stalls (slow, never wrong), one is a
-    // clean WebGL engine, one is CPU-only. All full-precision profiles, so
-    // a mid-traffic backend switch is bitwise-invisible.
+    // draw, one rides the webgpu rung and loses *that* device (landing on
+    // its webgl rung, one step down the three-rung ladder), one straggles
+    // with seeded stalls (slow, never wrong), one is a clean WebGL engine,
+    // one is CPU-only. All full-precision profiles, so a mid-traffic
+    // backend switch is bitwise-invisible.
     let loss_engine = engine_with_faults_and_config(
         FaultPlan::none().lose_context_at(1 + seed % 60),
         WebGlConfig::default(),
+    );
+    let webgpu_loss_engine = webml::new_engine_with_webgpu_faults(
+        FaultPlan::none().lose_context_at(1 + seed % 40),
     );
     let stall_engine = engine_with_faults_and_config(
         FaultPlan { seed, ..FaultPlan::none() }.with_draw_stall(0.1, 200_000),
@@ -492,6 +622,7 @@ fn fleet_soak(seed: u64, clients: usize, requests: usize, burst: usize) {
     let fleet = FleetServer::new(
         vec![
             EngineSpec::new("loss", &loss_engine, 8),
+            EngineSpec::new("webgpu-loss", &webgpu_loss_engine, 4),
             EngineSpec::new("stall", &stall_engine, 4),
             EngineSpec::new("clean", &clean_engine, 4),
             EngineSpec::new("cpu", &cpu_only, 1),
@@ -593,6 +724,14 @@ fn fleet_soak(seed: u64, clients: usize, requests: usize, burst: usize) {
     assert_eq!(stats.engine_errors, 0, "faults must never surface as engine errors");
     assert!(stats.breaker_trips >= 1, "the scheduled context loss trips a breaker");
     assert!(loss_engine.degradations() >= 1, "the loss engine degraded to its CPU rung");
+    // The webgpu engine's scheduled loss is seed-positioned and may land
+    // after the measured traffic; but *if* it fired, the ladder must have
+    // stepped exactly one rung down, onto webgl.
+    let gpu_events = webgpu_loss_engine.degradation_events();
+    if let Some(first) = gpu_events.first() {
+        assert_eq!(first.from_backend, "webgpu");
+        assert_eq!(first.to_backend, "webgl", "webgpu loss lands on the webgl rung");
+    }
 }
 
 /// The fleet soak at CI scale, driven by the `fault-soak` matrix seed.

@@ -8,7 +8,7 @@ use webml::converter::{GraphDef, GraphModel};
 use webml::models::{graph_mlp, graph_mobilenet, GraphSpec, MobileNetConfig};
 use webml::{Engine, Shape};
 
-const BACKENDS: [&str; 3] = ["cpu", "webgl", "native"];
+const BACKENDS: [&str; 4] = ["cpu", "webgl", "webgpu", "native"];
 
 fn build(e: &Engine, spec: &GraphSpec) -> GraphModel {
     spec.build(e).expect("build graph model")

@@ -1,0 +1,236 @@
+//! WebGPU-vs-CPU parity sweeps: the compute backend's tiled shared-memory
+//! kernels accumulate in the reference order and its fused epilogues apply
+//! the same scalar ops the unfused composition would, so every comparison
+//! here is **bitwise** (`assert_eq!` on raw f32 values) — across
+//! fused/unfused execution, f32 and U8-quantized weights, and the
+//! planned / interpreted / pipelined execution paths.
+
+use std::sync::Arc;
+use webml::backend_webgpu::WebGpuBackend;
+use webml::core::backend::{BinaryOp, UnaryOp};
+use webml::core::conv_util::Padding;
+use webml::core::cpu::CpuBackend;
+use webml::core::quant::QuantParams;
+use webml::core::FusedStep;
+use webml::webgl_sim::devices::DeviceProfile;
+use webml::webgpu_sim::WebGpuConfig;
+use webml::{ops, Engine, Tensor};
+
+/// Deterministic pseudo-random values in roughly [-2, 2] (xorshift).
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0) as f32
+        })
+        .collect()
+}
+
+fn cpu_engine() -> Engine {
+    let e = Engine::new();
+    e.register_backend("cpu", Arc::new(CpuBackend::new()), 1);
+    e
+}
+
+fn webgpu_engine() -> Engine {
+    let e = Engine::new();
+    let b = WebGpuBackend::new(DeviceProfile::intel_iris_pro(), WebGpuConfig::default())
+        .expect("profile exposes a WebGPU compute API");
+    e.register_backend("webgpu", Arc::new(b), 1);
+    e
+}
+
+/// Build the same graph on a CPU engine and a WebGPU engine, with fusion
+/// both on and off, and require all four results bitwise-equal pairwise
+/// per fusion mode (and fused-vs-unfused equal within each backend, since
+/// every op used here has a bit-exact fused epilogue).
+fn assert_parity(label: &str, build: &dyn Fn(&Engine) -> Tensor) {
+    let cpu = cpu_engine();
+    let gpu = webgpu_engine();
+    for fusion in [true, false] {
+        cpu.set_fusion_enabled(fusion);
+        gpu.set_fusion_enabled(fusion);
+        let want = build(&cpu).to_f32_vec().unwrap();
+        let got = build(&gpu).to_f32_vec().unwrap();
+        assert_eq!(got, want, "{label} (fusion={fusion}): webgpu must match cpu bitwise");
+    }
+}
+
+const ACTIVATIONS: [Option<UnaryOp>; 4] =
+    [None, Some(UnaryOp::Relu), Some(UnaryOp::Relu6), Some(UnaryOp::Sigmoid)];
+
+#[test]
+fn fused_matmul_parity_across_shapes_and_activations() {
+    for (ti, &(m, k, n)) in [(1usize, 1usize, 1usize), (5, 7, 3), (17, 19, 18)].iter().enumerate() {
+        for act in ACTIVATIONS {
+            for with_bias in [false, true] {
+                assert_parity(&format!("matmul {m}x{k}x{n} bias={with_bias}"), &|e| {
+                    let a = e.tensor(data(m * k, 11 + ti as u64), vec![m, k]).unwrap();
+                    let b = e.tensor(data(k * n, 23 + ti as u64), vec![k, n]).unwrap();
+                    let bias = e.tensor_1d(&data(n, 37 + ti as u64)).unwrap();
+                    let bias_opt = with_bias.then_some(&bias);
+                    ops::fused_matmul(&a, &b, bias_opt, act, false, false).unwrap()
+                });
+            }
+        }
+    }
+    // Transposed operands take a distinct staging path in the tiled kernel.
+    assert_parity("matmul transposed", &|e| {
+        let at = e.tensor(data(4 * 3, 53), vec![4, 3]).unwrap();
+        let bt = e.tensor(data(5 * 4, 59), vec![5, 4]).unwrap();
+        let bias = e.tensor_1d(&data(5, 61)).unwrap();
+        ops::fused_matmul(&at, &bt, Some(&bias), Some(UnaryOp::Sigmoid), true, true).unwrap()
+    });
+}
+
+#[test]
+fn fused_conv_and_depthwise_parity() {
+    for padding in [Padding::Same, Padding::Valid] {
+        for strides in [(1usize, 1usize), (2, 2)] {
+            assert_parity(&format!("conv2d {padding:?} {strides:?}"), &|e| {
+                let x = e.tensor(data(5 * 5 * 3, 71), vec![1, 5, 5, 3]).unwrap();
+                let w = e.tensor(data(3 * 3 * 3 * 4, 73), vec![3, 3, 3, 4]).unwrap();
+                let bias = e.tensor_1d(&data(4, 79)).unwrap();
+                ops::fused_conv2d(&x, &w, Some(&bias), Some(UnaryOp::Relu), strides, padding, (1, 1))
+                    .unwrap()
+            });
+            assert_parity(&format!("dwconv {padding:?} {strides:?}"), &|e| {
+                let x = e.tensor(data(5 * 5 * 2, 83), vec![1, 5, 5, 2]).unwrap();
+                let w = e.tensor(data(3 * 3 * 2 * 2, 89), vec![3, 3, 2, 2]).unwrap();
+                let bias = e.tensor_1d(&data(4, 97)).unwrap();
+                ops::fused_depthwise_conv2d(
+                    &x,
+                    &w,
+                    Some(&bias),
+                    Some(UnaryOp::Relu6),
+                    strides,
+                    padding,
+                    (1, 1),
+                )
+                .unwrap()
+            });
+        }
+    }
+}
+
+#[test]
+fn fused_elementwise_parity() {
+    assert_parity("elementwise chain", &|e| {
+        let x = e.tensor(data(2 * 3 * 4, 101), vec![2, 3, 4]).unwrap();
+        let row = e.tensor(data(4, 103), vec![4]).unwrap();
+        let col = e.tensor(data(3, 107), vec![1, 3, 1]).unwrap();
+        ops::fused_elementwise(
+            &x,
+            &[&row, &col],
+            &[
+                FusedStep::Binary(BinaryOp::Mul, 0),
+                FusedStep::Binary(BinaryOp::Add, 1),
+                FusedStep::Unary(UnaryOp::Relu),
+            ],
+        )
+        .unwrap()
+    });
+}
+
+/// U8-quantized fused ops (per-tensor and per-channel params): fused mode
+/// runs the dequant-free tiled kernels, unfused mode dequantizes and runs
+/// the f32 composition — both must match the CPU backend bitwise.
+#[test]
+fn quantized_fused_ops_parity() {
+    let codes: Vec<u8> = (0..7 * 3).map(|i| ((i * 37) % 256) as u8).collect();
+    assert_parity("quant matmul per-tensor", &|e| {
+        let a = e.tensor(data(5 * 7, 113), vec![5, 7]).unwrap();
+        let b = e
+            .quantized_tensor(codes.clone(), vec![7, 3], QuantParams::per_tensor(0.05, -3.0))
+            .unwrap();
+        let bias = e.tensor_1d(&data(3, 127)).unwrap();
+        ops::fused_matmul_quant(&a, &b, Some(&bias), Some(UnaryOp::Relu), false, false).unwrap()
+    });
+    let wcodes: Vec<u8> = (0..3 * 3 * 3 * 4).map(|i| ((i * 29) % 256) as u8).collect();
+    assert_parity("quant conv per-channel", &|e| {
+        let x = e.tensor(data(6 * 6 * 3, 131), vec![1, 6, 6, 3]).unwrap();
+        let w = e
+            .quantized_tensor(
+                wcodes.clone(),
+                vec![3, 3, 3, 4],
+                QuantParams::per_channel(
+                    3,
+                    vec![0.02, 0.04, 0.03, 0.05],
+                    vec![-2.0, -1.5, -2.5, -1.0],
+                ),
+            )
+            .unwrap();
+        let bias = e.tensor_1d(&data(4, 137)).unwrap();
+        ops::fused_conv2d_quant(&x, &w, Some(&bias), Some(UnaryOp::Relu6), (1, 1), Padding::Same, (1, 1))
+            .unwrap()
+    });
+    let dcodes: Vec<u8> = (0..3 * 3 * 2 * 2).map(|i| ((i * 41) % 256) as u8).collect();
+    assert_parity("quant depthwise per-tensor", &|e| {
+        let x = e.tensor(data(5 * 5 * 2, 139), vec![1, 5, 5, 2]).unwrap();
+        let w = e
+            .quantized_tensor(dcodes.clone(), vec![3, 3, 2, 2], QuantParams::per_tensor(0.03, -2.0))
+            .unwrap();
+        ops::fused_depthwise_conv2d_quant(&x, &w, None, Some(UnaryOp::Relu), (1, 1), Padding::Same, (1, 1))
+            .unwrap()
+    });
+}
+
+/// Planned, interpreted, and pipelined execution on the webgpu backend must
+/// all reproduce the CPU reference bitwise — the three dispatch paths run
+/// the same kernels in the same order; only scheduling and readback differ.
+#[test]
+fn planned_interpreted_and_pipelined_match_cpu_bitwise() {
+    use webml::models::graph_mlp;
+    use webml::Shape;
+    let spec = graph_mlp(12, &[24, 24], 5, 42);
+
+    let cpu = cpu_engine();
+    let ref_model = spec.build(&cpu).unwrap();
+    let (vals, shape) = spec.example(3, 1);
+    let xr = cpu.tensor(vals.clone(), Shape::new(shape.clone())).unwrap();
+    let want = ref_model.execute(&[(&spec.input, &xr)], &[&spec.output]).unwrap()[0]
+        .to_f32_vec()
+        .unwrap();
+
+    let gpu = webgpu_engine();
+    let model = spec.build(&gpu).unwrap();
+    let x = gpu.tensor(vals, Shape::new(shape)).unwrap();
+    x.keep();
+    let planned =
+        model.execute(&[(&spec.input, &x)], &[&spec.output]).unwrap()[0].to_f32_vec().unwrap();
+    assert_eq!(planned, want, "planned webgpu vs cpu");
+    let interpreted = model.execute_interpreted(&[(&spec.input, &x)], &[&spec.output]).unwrap()[0]
+        .to_f32_vec()
+        .unwrap();
+    assert_eq!(interpreted, want, "interpreted webgpu vs cpu");
+    let pending = model.execute_pipelined(&[(&spec.input, &x)], &[&spec.output]).unwrap();
+    let got = pending.wait().unwrap();
+    assert_eq!(got[0].to_f32_vec(), want, "pipelined webgpu vs cpu");
+}
+
+/// Whole-model parity: a seeded MobileNet inference on webgpu equals the
+/// CPU reference bitwise, fused and unfused.
+#[test]
+fn mobilenet_inference_matches_cpu_bitwise() {
+    use webml::models::{Image, MobileNet, MobileNetConfig};
+    let config = MobileNetConfig { input_size: 32, classes: 7, ..MobileNetConfig::small() };
+    let infer = |e: &Engine, fused: bool| -> Vec<f32> {
+        e.set_fusion_enabled(fused);
+        let mut net = MobileNet::new(e, config).unwrap();
+        let img = Image::synthetic_person(config.input_size, config.input_size);
+        let input = img.to_normalized_tensor(e, config.input_size).unwrap();
+        net.infer(&input).unwrap().to_f32_vec().unwrap()
+    };
+    let cpu = cpu_engine();
+    let gpu = webgpu_engine();
+    for fused in [true, false] {
+        assert_eq!(
+            infer(&gpu, fused),
+            infer(&cpu, fused),
+            "mobilenet logits (fused={fused}) must be bitwise identical"
+        );
+    }
+}
